@@ -1,0 +1,166 @@
+package gpm_test
+
+// Ablation benchmarks for the design choices DESIGN.md §4 calls out:
+// entry striping in HCL (Fig 5), read-only data placement (§4.3), the
+// double-buffered checkpoint, selective DDIO disabling, and the binomial
+// poor-fit case (§4.3). Each bench reports the factor the design choice is
+// worth, so a regression in any mechanism shows up as a changed metric.
+
+import (
+	"testing"
+
+	gpmroot "github.com/gpm-sim/gpm"
+	gpm "github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/finance"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+func ablCtx() *gpm.Context {
+	return gpm.NewContext(sim.Default(), memsys.Config{
+		HBMSize: 16 << 20, DRAMSize: 8 << 20, PMSize: 32 << 20,
+	})
+}
+
+// BenchmarkAblationHCLStriping compares HCL's striped 16-byte inserts
+// (Fig 5: SIMD stores, one coalesced transaction per stripe) against a
+// naive layout where each thread writes its entry contiguously (32 scattered
+// transactions per warp step).
+func BenchmarkAblationHCLStriping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const blocks, tpb, entry = 16, 256, 16
+		ctx := ablCtx()
+		log, err := ctx.LogCreateHCL("/pm/abl-hcl", 4<<20, blocks, tpb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive := ctx.Space.AllocPM(int64(blocks*tpb)*entry, 0)
+		ctx.PersistBegin()
+		striped := ctx.Dev.Launch("striped", blocks, tpb, func(t *gpu.Thread) {
+			var e [entry]byte
+			if err := log.Insert(t, e[:], -1); err != nil {
+				b.Error(err)
+			}
+		})
+		contiguous := ctx.Dev.Launch("contiguous", blocks, tpb, func(t *gpu.Thread) {
+			var e [entry]byte
+			// Naive: thread-contiguous entries — lanes hit different
+			// 128B blocks, so nothing coalesces.
+			t.StoreBytes(naive+uint64(t.GlobalID())*entry, e[:])
+			gpmroot.Persist(t)
+			t.StoreBytes(naive+uint64(t.GlobalID())*entry+8, e[8:])
+			gpmroot.Persist(t)
+		})
+		ctx.PersistEnd()
+		b.ReportMetric(float64(striped.Stats.PMWriteTxns), "striped_txns")
+		b.ReportMetric(float64(contiguous.Stats.PMWriteTxns), "naive_txns")
+		b.ReportMetric(float64(contiguous.Elapsed)/float64(striped.Elapsed), "striping_speedup_x")
+	}
+}
+
+// BenchmarkAblationReadOnlyPlacement quantifies §4.3's rule that read-only
+// inputs belong in device memory: the same reduction kernel reading its
+// input from HBM versus directly from PM.
+func BenchmarkAblationReadOnlyPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const n = 1 << 16
+		ctx := ablCtx()
+		hbm := ctx.Space.AllocHBM(n * 4)
+		pm := ctx.Space.AllocPM(n*4, 0)
+		out := ctx.Space.AllocHBM(n * 4)
+		run := func(name string, src uint64) sim.Duration {
+			res := ctx.Dev.Launch(name, n/256, 256, func(t *gpu.Thread) {
+				v := t.LoadU32(src + uint64(t.GlobalID())*4)
+				t.StoreU32(out+uint64(t.GlobalID())*4, v*3)
+			})
+			return res.Elapsed
+		}
+		fromHBM := run("from-hbm", hbm)
+		fromPM := run("from-pm", pm)
+		b.ReportMetric(float64(fromPM)/float64(fromHBM), "hbm_placement_speedup_x")
+	}
+}
+
+// BenchmarkAblationDoubleBuffer measures what the checkpoint's double
+// buffering costs in time (the price of crash atomicity): a double-buffered
+// gpmcp checkpoint versus a raw single-buffer copy+persist of the same data.
+func BenchmarkAblationDoubleBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const n = 1 << 20
+		ctx := ablCtx()
+		src := ctx.Space.AllocHBM(n)
+		cp, err := ctx.CPCreate("/pm/abl-cp", n, 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cp.Register(src, n, 0); err != nil {
+			b.Fatal(err)
+		}
+		d1, err := cp.CheckpointGroup(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Raw single-buffer copy (not crash-atomic).
+		raw := ctx.Space.AllocPM(n, 0)
+		ctx.PersistBegin()
+		res := ctx.Dev.Launch("raw-copy", n/16/256, 256, func(t *gpu.Thread) {
+			off := uint64(t.GlobalID()) * 16
+			var tmp [16]byte
+			t.LoadBytes(src+off, tmp[:])
+			t.StoreBytes(raw+off, tmp[:])
+			gpmroot.Persist(t)
+		})
+		ctx.PersistEnd()
+		b.ReportMetric(float64(d1)/float64(res.Elapsed), "atomicity_cost_x")
+	}
+}
+
+// BenchmarkAblationDDIO quantifies the cost of correctness: persisting with
+// DDIO disabled (durable) versus fencing with DDIO enabled (fast but NOT
+// durable — the exact trap §3.1 warns about).
+func BenchmarkAblationDDIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const threads, iters = 256, 128
+		ctx := ablCtx()
+		dst := ctx.Space.AllocPM(threads*iters*8, 0)
+		kern := func(t *gpu.Thread) {
+			for j := 0; j < iters; j++ {
+				t.StoreU64(dst+uint64(j*threads+t.GlobalID())*8, 1)
+				gpmroot.Persist(t)
+			}
+		}
+		ctx.PersistBegin()
+		durable := ctx.Dev.Launch("ddio-off", 1, threads, kern)
+		ctx.PersistEnd()
+		fast := ctx.Dev.Launch("ddio-on", 1, threads, kern)
+		if !ctx.Space.Persisted(dst, 64) {
+			// With DDIO back on the second kernel's lines sit in the LLC.
+			b.ReportMetric(1, "ddio_on_not_durable")
+		}
+		b.ReportMetric(float64(durable.Elapsed)/float64(fast.Elapsed), "ddio_off_cost_x")
+	}
+}
+
+// BenchmarkAblationBinomial is §4.3's poor-fit case: per-byte persist cost
+// of the one-thread-per-block binomial pattern versus Black-Scholes'
+// all-threads pattern.
+func BenchmarkAblationBinomial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := workloads.NewEnv(workloads.GPM, workloads.QuickConfig())
+		bi := &finance.Binomial{Steps: 32}
+		n := 4096
+		s := make([]float32, n)
+		k := make([]float32, n)
+		y := make([]float32, n)
+		for j := range s {
+			s[j], k[j], y[j] = 100, 95, 1
+		}
+		elapsed, _, err := bi.PriceOptions(env, s, k, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(elapsed)/float64(n*4), "binomial_ns_per_persisted_byte")
+	}
+}

@@ -1,0 +1,200 @@
+package gpm_test
+
+// One benchmark per table and figure of the paper's evaluation (§6). Each
+// bench runs the corresponding experiment end to end on the simulated node
+// and reports the figure's headline quantity via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates every result in one sweep.
+// (cmd/gpmbench produces the full TSV reports at the larger default scale.)
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/experiments"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+func cell(b *testing.B, t *experiments.Table, key string, col int) float64 {
+	b.Helper()
+	row := t.FindRow(key)
+	if row == nil {
+		b.Fatalf("row %q missing", key)
+	}
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		b.Fatalf("cell %q[%d] = %q", key, col, row[col])
+	}
+	return v
+}
+
+// BenchmarkFigure1a: pKVS throughput — CPU PM stores vs gpKVS on GPM.
+func BenchmarkFigure1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure1a(workloads.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, t, "GPM-KVS", 1), "gpm_mops")
+		b.ReportMetric(cell(b, t, "pmemKV", 2), "speedup_vs_pmemkv")
+		b.ReportMetric(cell(b, t, "RocksDB-pmem", 2), "speedup_vs_rocksdb")
+		b.ReportMetric(cell(b, t, "MatrixKV", 2), "speedup_vs_matrixkv")
+	}
+}
+
+// BenchmarkFigure1b: GPM speedup over CPU PM apps (BFS, SRAD, PS).
+func BenchmarkFigure1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure1b(workloads.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, t, "BFS", 1), "bfs_x")
+		b.ReportMetric(cell(b, t, "SRAD", 1), "srad_x")
+		b.ReportMetric(cell(b, t, "PS", 1), "ps_x")
+	}
+}
+
+// BenchmarkFigure3: scaling of persistence — CAP-mm thread plateau vs GPM
+// GPU-thread scaling.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure3(8 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var capPlateau, gpmPeak float64
+		for _, r := range t.Rows {
+			v, _ := strconv.ParseFloat(r[2], 64)
+			if r[0] == "CAP-mm" && v > capPlateau {
+				capPlateau = v
+			}
+			if r[0] == "GPM" && v > gpmPeak {
+				gpmPeak = v
+			}
+		}
+		b.ReportMetric(capPlateau, "cap_plateau_x")
+		b.ReportMetric(gpmPeak, "gpm_peak_x")
+	}
+}
+
+// BenchmarkFigure9: speedups over CAP-fs across all GPMbench workloads.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure9(workloads.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, t, "gpKVS", 3), "gpkvs_gpm_x")
+		b.ReportMetric(cell(b, t, "HS", 3), "hs_gpm_x")
+		b.ReportMetric(cell(b, t, "BFS", 3), "bfs_gpm_x")
+		b.ReportMetric(cell(b, t, "PS", 3), "ps_gpm_x")
+	}
+}
+
+// BenchmarkTable4: write amplification of CAP over GPM.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table4(workloads.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, t, "gpKVS", 2), "gpkvs_wa")
+		b.ReportMetric(cell(b, t, "gpDB(I)", 2), "gpdbI_wa")
+		b.ReportMetric(cell(b, t, "gpDB(U)", 2), "gpdbU_wa")
+		b.ReportMetric(cell(b, t, "PS", 2), "ps_wa")
+	}
+}
+
+// BenchmarkFigure10: GPM-NDP / GPM / GPM-eADR / CAP-eADR projections.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure10(workloads.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, t, "gpKVS", 3), "gpkvs_gpm_x")
+		b.ReportMetric(cell(b, t, "gpKVS", 4), "gpkvs_eadr_x")
+		b.ReportMetric(cell(b, t, "HS", 2), "hs_ndp_x")
+		b.ReportMetric(cell(b, t, "HS", 3), "hs_gpm_x")
+	}
+}
+
+// BenchmarkFigure11a: HCL vs conventional logging inside gpKVS / gpDB(U).
+func BenchmarkFigure11a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure11a(workloads.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, t, "gpKVS", 1), "gpkvs_hcl_x")
+		b.ReportMetric(cell(b, t, "gpDB(U)", 1), "gpdbU_hcl_x")
+	}
+}
+
+// BenchmarkFigure11b: log-insert latency vs thread count.
+func BenchmarkFigure11b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure11b(16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		hcl, _ := strconv.ParseFloat(last[1], 64)
+		conv, _ := strconv.ParseFloat(last[2], 64)
+		b.ReportMetric(hcl, "hcl_us_at_16k")
+		b.ReportMetric(conv, "conv_us_at_16k")
+		b.ReportMetric(conv/hcl, "hcl_advantage_x")
+	}
+}
+
+// BenchmarkFigure12: PM write bandwidth per workload under GPM.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure12(workloads.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, t, "gpKVS", 1), "gpkvs_gbps")
+		b.ReportMetric(cell(b, t, "gpDB(I)", 1), "gpdbI_gbps")
+		b.ReportMetric(cell(b, t, "HS", 1), "hs_gbps")
+	}
+}
+
+// BenchmarkTable5: restoration latency as % of operation time.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table5(workloads.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, t, "gpKVS", 2), "gpkvs_restore_pct")
+		b.ReportMetric(cell(b, t, "gpDB(I)", 2), "gpdbI_restore_pct")
+		b.ReportMetric(cell(b, t, "gpDB(U)", 2), "gpdbU_restore_pct")
+		b.ReportMetric(cell(b, t, "DNN", 2), "dnn_restore_pct")
+	}
+}
+
+// BenchmarkDNNFrequency: the §6.1 checkpoint-frequency study.
+func BenchmarkDNNFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.DNNFrequency(workloads.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, _ := strconv.ParseFloat(t.Rows[0][2], 64)
+		b.ReportMetric(v, "overhead_pct_freq_hi")
+	}
+}
+
+// BenchmarkOptanePattern: the §6.1 pattern-dependent bandwidth microbench.
+func BenchmarkOptanePattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.OptanePattern(4 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, t, "seq-aligned", 1), "seq_aligned_gbps")
+		b.ReportMetric(cell(b, t, "seq-unaligned", 1), "seq_unaligned_gbps")
+		b.ReportMetric(cell(b, t, "random", 1), "random_gbps")
+	}
+}

@@ -1,0 +1,91 @@
+// Command gpmbench regenerates the paper's evaluation tables and figures
+// (§6) as tab-separated reports, mirroring the artifact's `make figure_9`
+// style interface (Appendix A):
+//
+//	gpmbench -experiment all            # everything, reports/ directory
+//	gpmbench -experiment figure9        # one experiment to stdout + file
+//	gpmbench -experiment table5 -quick  # smaller inputs, faster
+//
+// Experiments: figure1a figure1b figure3 figure9 figure10 figure11a
+// figure11b figure12 table4 table5 dnnfreq optane breakdown all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/experiments"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+func main() {
+	var (
+		name  = flag.String("experiment", "all", "experiment to run (figure1a..figure12, table4, table5, dnnfreq, optane, all)")
+		out   = flag.String("out", "reports", "output directory for TSV reports")
+		quick = flag.Bool("quick", false, "use the smaller test-scale configuration")
+		seed  = flag.Uint64("seed", 42, "workload generator seed")
+	)
+	flag.Parse()
+
+	cfg := workloads.DefaultConfig()
+	if *quick {
+		cfg = workloads.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	runners := map[string]func() (*experiments.Table, error){
+		"figure1a":  func() (*experiments.Table, error) { return experiments.Figure1a(cfg) },
+		"figure1b":  func() (*experiments.Table, error) { return experiments.Figure1b(cfg) },
+		"figure3":   func() (*experiments.Table, error) { return experiments.Figure3(8 << 20) },
+		"figure9":   func() (*experiments.Table, error) { return experiments.Figure9(cfg) },
+		"figure10":  func() (*experiments.Table, error) { return experiments.Figure10(cfg) },
+		"figure11a": func() (*experiments.Table, error) { return experiments.Figure11a(cfg) },
+		"figure11b": func() (*experiments.Table, error) { return experiments.Figure11b(32768) },
+		"figure12":  func() (*experiments.Table, error) { return experiments.Figure12(cfg) },
+		"table4":    func() (*experiments.Table, error) { return experiments.Table4(cfg) },
+		"table5":    func() (*experiments.Table, error) { return experiments.Table5(cfg) },
+		"dnnfreq":   func() (*experiments.Table, error) { return experiments.DNNFrequency(cfg) },
+		"optane":    func() (*experiments.Table, error) { return experiments.OptanePattern(8 << 20) },
+		"breakdown": func() (*experiments.Table, error) { return experiments.Breakdown(cfg) },
+		"cpudb":     func() (*experiments.Table, error) { return experiments.CPUDatabase(cfg) },
+		"ckptfreq":  func() (*experiments.Table, error) { return experiments.CheckpointFrequency(cfg) },
+	}
+
+	var names []string
+	if *name == "all" {
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	} else if _, ok := runners[*name]; ok {
+		names = []string{*name}
+	} else {
+		fatal(fmt.Errorf("unknown experiment %q", *name))
+	}
+
+	for _, n := range names {
+		start := time.Now()
+		tab, err := runners[n]()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", n, err))
+		}
+		path := filepath.Join(*out, "out_"+n+".txt")
+		if err := os.WriteFile(path, []byte(tab.TSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== %s (%.1fs) -> %s\n%s\n", n, time.Since(start).Seconds(), path, tab.TSV())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpmbench:", err)
+	os.Exit(1)
+}

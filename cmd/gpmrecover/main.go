@@ -1,0 +1,65 @@
+// Command gpmrecover is the crash-injection stress tool (§6.2, the NVBitFI
+// analog): it runs each recoverable GPMbench workload repeatedly, aborting
+// the GPU at random points mid-execution, simulating a power failure,
+// running the workload's recovery procedure, and verifying that the
+// recovered state is byte-correct.
+//
+//	gpmrecover -runs 5              # 5 random crash points per workload
+//	gpmrecover -workload gpKVS      # stress one workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gpm-sim/gpm/internal/crash"
+	"github.com/gpm-sim/gpm/internal/experiments"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+func main() {
+	var (
+		runs  = flag.Int("runs", 3, "crash points injected per workload")
+		only  = flag.String("workload", "", "restrict to one workload name")
+		seed  = flag.Uint64("seed", 7, "crash-point generator seed")
+		quick = flag.Bool("quick", true, "use the smaller test-scale configuration")
+	)
+	flag.Parse()
+
+	cfg := workloads.DefaultConfig()
+	if *quick {
+		cfg = workloads.QuickConfig()
+	}
+
+	injector := crash.NewInjector(*seed)
+	failures := 0
+	total := 0
+	stress := func(mk func() workloads.Crasher) {
+		name := mk().Name()
+		if *only != "" && *only != name {
+			return
+		}
+		for i := 0; i < *runs; i++ {
+			total++
+			res, err := injector.Stress(mk, cfg)
+			if err != nil {
+				failures++
+				fmt.Printf("FAIL %-12s run %d: %v\n", name, i, err)
+				continue
+			}
+			fmt.Printf("ok   %-12s run %d: crashed@op %d, restored in %v (%.2f%% of op time)\n",
+				name, i, res.CrashAt, res.Report.Restore, res.Report.RestoreFraction()*100)
+		}
+	}
+	for _, mk := range experiments.Crashers() {
+		stress(mk)
+	}
+	for _, mk := range experiments.NativeCrashers() {
+		stress(mk)
+	}
+	fmt.Printf("\n%d/%d crash-recovery runs verified\n", total-failures, total)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

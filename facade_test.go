@@ -1,0 +1,80 @@
+package gpm_test
+
+// Tests of the public facade: everything a downstream user touches should
+// be reachable through the root package alone.
+
+import (
+	"testing"
+
+	gpm "github.com/gpm-sim/gpm"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	ctx := gpm.NewDefaultContext()
+	m, err := ctx.Map("/pm/facade", 64*64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.PersistBegin()
+	res := ctx.Launch("facade", 1, 64, func(th *gpm.Thread) {
+		th.StoreU64(m.Addr+uint64(th.GlobalID())*64, uint64(th.GlobalID()))
+		gpm.Persist(th)
+	})
+	ctx.PersistEnd()
+	if res.Crashed || res.Elapsed <= 0 {
+		t.Fatalf("kernel result %+v", res)
+	}
+	ctx.Crash()
+	for i := 0; i < 64; i++ {
+		if got := ctx.Space.ReadU64(m.Addr + uint64(i)*64); got != uint64(i) {
+			t.Fatalf("slot %d = %d after crash", i, got)
+		}
+	}
+}
+
+func TestFacadeLoggingAndCheckpoint(t *testing.T) {
+	ctx := gpm.NewDefaultContext()
+	log, err := ctx.LogCreateHCL("/pm/facade-log", 1<<20, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.PersistBegin()
+	ctx.Launch("log", 2, 64, func(th *gpm.Thread) {
+		if err := log.Insert(th, []byte{1, 2, 3, 4}, -1); err != nil {
+			t.Error(err)
+		}
+	})
+	ctx.PersistEnd()
+	if log.HostTail(0) != 1 {
+		t.Error("facade log insert missing")
+	}
+
+	src := ctx.Space.AllocHBM(4096)
+	cp, err := ctx.CPCreate("/pm/facade-cp", 4096, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register(src, 4096, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.CheckpointGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Seq(0) != 1 {
+		t.Error("facade checkpoint sequence wrong")
+	}
+}
+
+func TestFacadeParams(t *testing.T) {
+	p := gpm.DefaultParams()
+	if p.WarpSize != 32 || p.PMSeqAlignedBW != 12.5e9 {
+		t.Error("default params drifted from Table 3 constants")
+	}
+	ctx := gpm.NewContext(p, gpm.MemConfig{HBMSize: 1 << 20, DRAMSize: 1 << 20, PMSize: 1 << 20})
+	ctx.RunCPU("noop", 2, func(th *gpm.CPUThread) {
+		th.Compute(gpm.Duration(100))
+	})
+	if ctx.Timeline.Total() <= 0 {
+		t.Error("CPU phase not accounted")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/gpm-sim/gpm
+
+go 1.22

@@ -1,0 +1,71 @@
+// Package gpm is a Go reproduction of "GPM: Leveraging Persistent Memory
+// from a GPU" (Pandey, Kamath, Basu — ASPLOS 2022): libGPM, the GPMbench
+// workload suite, the CAP baselines, and a full simulated substrate (GPU
+// execution model, Optane PM device, LLC/DDIO, PCIe) that stands in for the
+// paper's hardware. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// This root package is the public facade: it re-exports libGPM's API
+// (persistency primitives, logging, checkpointing) and the pieces needed
+// to write kernels against it. The heavy machinery lives in internal/.
+//
+// A minimal program:
+//
+//	ctx := gpm.NewDefaultContext()
+//	m, _ := ctx.Map("/pm/data", 4096, true)
+//	ctx.PersistBegin()
+//	ctx.Launch("k", 1, 32, func(t *gpm.Thread) {
+//	    t.StoreU64(m.Addr+uint64(t.GlobalID())*8, 42)
+//	    gpm.Persist(t)
+//	})
+//	ctx.PersistEnd()
+package gpm
+
+import (
+	core "github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Core libGPM types (§5, Table 2).
+type (
+	// Context is one simulated node: GPU + CPU + PM + the run's timeline.
+	Context = core.Context
+	// Mapping is a PM-resident file mapped into the unified address
+	// space (gpm_map).
+	Mapping = core.Mapping
+	// Log is the PM write-ahead log: HCL or conventional (gpmlog_*).
+	Log = core.Log
+	// Checkpoint is the group-based double-buffered checkpoint facility
+	// (gpmcp_*).
+	Checkpoint = core.Checkpoint
+
+	// Thread is a GPU thread context inside a kernel.
+	Thread = gpu.Thread
+	// KernelResult reports one kernel execution.
+	KernelResult = gpu.Result
+	// CPUThread is a CPU worker inside a host phase.
+	CPUThread = cpusim.Thread
+
+	// Params holds every hardware constant of the timing model.
+	Params = sim.Params
+	// Duration is simulated time in nanoseconds.
+	Duration = sim.Duration
+	// MemConfig sizes the simulated memory regions.
+	MemConfig = memsys.Config
+)
+
+// NewContext assembles a simulated node.
+func NewContext(params *Params, cfg MemConfig) *Context { return core.NewContext(params, cfg) }
+
+// NewDefaultContext assembles a node with the calibrated Table 3 defaults.
+func NewDefaultContext() *Context { return core.NewDefaultContext() }
+
+// DefaultParams returns the calibrated parameter set.
+func DefaultParams() *Params { return sim.Default() }
+
+// Persist is gpm_persist: ensure the calling GPU thread's prior writes are
+// durable (a system-scoped fence; requires DDIO disabled via PersistBegin).
+func Persist(t *Thread) { core.Persist(t) }

@@ -1,0 +1,154 @@
+// Package cache models the volatile cache domain in front of persistent
+// memory: the Xeon last-level cache that absorbs inbound I/O writes when
+// Data Direct I/O (DDIO) is enabled, the CPU caches that hold ordinary
+// stores until CLFLUSHOPT, and the eADR variant in which the whole cache
+// hierarchy joins the persistence domain.
+//
+// The domain does not hold data — the pmem.Device's contents are always
+// current. It tracks *which* dirty lines are cache-resident, evicts them
+// FIFO when capacity is exceeded (a natural eviction writes the line back
+// to media, making it durable), and translates flushes into persists.
+package cache
+
+import (
+	"sync"
+
+	"github.com/gpm-sim/gpm/internal/pmem"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Domain is the volatile cache domain over one PM device.
+type Domain struct {
+	params *sim.Params
+	dev    *pmem.Device
+
+	mu       sync.Mutex
+	resident map[uint64]uint64 // line -> generation
+	queue    []fifoEntry
+	capLines int
+	gen      uint64
+
+	eADR      bool
+	evictions int64
+}
+
+type fifoEntry struct {
+	line uint64
+	gen  uint64
+}
+
+// NewDomain returns a cache domain over dev sized from params.LLCCapacity.
+func NewDomain(params *sim.Params, dev *pmem.Device) *Domain {
+	capLines := int(params.LLCCapacity) / params.LineSize()
+	if capLines < 1 {
+		capLines = 1
+	}
+	return &Domain{
+		params:   params,
+		dev:      dev,
+		resident: make(map[uint64]uint64),
+		capLines: capLines,
+	}
+}
+
+// SetEADR switches the domain into eADR mode: cached lines are inside the
+// persistence domain, so caching a line immediately makes it durable.
+func (d *Domain) SetEADR(on bool) {
+	d.mu.Lock()
+	d.eADR = on
+	d.mu.Unlock()
+}
+
+// EADR reports whether eADR mode is enabled.
+func (d *Domain) EADR() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.eADR
+}
+
+// CacheLines records that the given dirty PM lines are now cache-resident.
+// Under eADR they are persisted instantly; otherwise they stay volatile
+// until flushed or naturally evicted. Lines evicted to make room are written
+// back to media (persisted).
+func (d *Domain) CacheLines(lines []uint64) {
+	d.mu.Lock()
+	if d.eADR {
+		d.mu.Unlock()
+		d.dev.PersistLines(lines)
+		return
+	}
+	var evicted []uint64
+	for _, la := range lines {
+		d.gen++
+		d.resident[la] = d.gen
+		d.queue = append(d.queue, fifoEntry{la, d.gen})
+		for len(d.resident) > d.capLines && len(d.queue) > 0 {
+			e := d.queue[0]
+			d.queue = d.queue[1:]
+			if g, ok := d.resident[e.line]; ok && g == e.gen {
+				delete(d.resident, e.line)
+				evicted = append(evicted, e.line)
+				d.evictions++
+			}
+		}
+	}
+	d.mu.Unlock()
+	d.dev.PersistLines(evicted)
+}
+
+// FlushLines writes the given lines back to media (CLFLUSHOPT semantics):
+// they become durable and leave the cache.
+func (d *Domain) FlushLines(lines []uint64) {
+	d.mu.Lock()
+	for _, la := range lines {
+		delete(d.resident, la)
+	}
+	d.mu.Unlock()
+	d.dev.PersistLines(lines)
+}
+
+// FlushAll writes back every resident line (wbinvd-scale flush, used by
+// eADR power-fail drain modeling and tests).
+func (d *Domain) FlushAll() {
+	d.mu.Lock()
+	lines := make([]uint64, 0, len(d.resident))
+	for la := range d.resident {
+		lines = append(lines, la)
+	}
+	d.resident = make(map[uint64]uint64)
+	d.queue = nil
+	d.mu.Unlock()
+	d.dev.PersistLines(lines)
+}
+
+// Resident reports whether the line containing addr is cache-resident.
+func (d *Domain) Resident(addr uint64) bool {
+	la := addr / uint64(d.params.LineSize()) * uint64(d.params.LineSize())
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.resident[la]
+	return ok
+}
+
+// ResidentLines returns the number of dirty lines currently held.
+func (d *Domain) ResidentLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.resident)
+}
+
+// Evictions returns the number of natural (capacity) evictions so far.
+func (d *Domain) Evictions() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.evictions
+}
+
+// Crash discards all cache-resident state. The underlying device's own
+// Crash must be invoked separately; this only clears residency tracking.
+func (d *Domain) Crash() {
+	d.mu.Lock()
+	d.resident = make(map[uint64]uint64)
+	d.queue = nil
+	d.mu.Unlock()
+}

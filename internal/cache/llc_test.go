@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/pmem"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+func newDomain(t *testing.T, llcBytes int64) (*Domain, *pmem.Device) {
+	t.Helper()
+	p := sim.Default()
+	p.LLCCapacity = llcBytes
+	dev := pmem.New(p, 1<<20)
+	return NewDomain(p, dev), dev
+}
+
+func TestCachedLinesStayVolatile(t *testing.T) {
+	d, dev := newDomain(t, 1<<16)
+	lines := dev.Write(0, []byte{1})
+	d.CacheLines(lines)
+	if dev.Persisted(0, 1) {
+		t.Error("DDIO-cached write must not be durable")
+	}
+	if !d.Resident(0) {
+		t.Error("line not resident")
+	}
+}
+
+func TestFlushPersists(t *testing.T) {
+	d, dev := newDomain(t, 1<<16)
+	lines := dev.Write(0, []byte{1})
+	d.CacheLines(lines)
+	d.FlushLines(lines)
+	if !dev.Persisted(0, 1) {
+		t.Error("flushed line not durable")
+	}
+	if d.Resident(0) {
+		t.Error("flushed line still resident")
+	}
+}
+
+func TestNaturalEvictionPersists(t *testing.T) {
+	// Capacity of 4 lines: the 5th insert evicts the 1st, persisting it.
+	d, dev := newDomain(t, 4*64)
+	for i := 0; i < 5; i++ {
+		lines := dev.Write(uint64(i)*64, []byte{byte(i + 1)})
+		d.CacheLines(lines)
+	}
+	if !dev.Persisted(0, 1) {
+		t.Error("evicted line should be durable")
+	}
+	if dev.Persisted(4*64, 1) {
+		t.Error("most recent line should still be volatile")
+	}
+	if d.Evictions() != 1 {
+		t.Errorf("evictions = %d", d.Evictions())
+	}
+	if d.ResidentLines() != 4 {
+		t.Errorf("resident = %d", d.ResidentLines())
+	}
+}
+
+func TestRewriteDoesNotDoubleEvict(t *testing.T) {
+	d, dev := newDomain(t, 4*64)
+	for i := 0; i < 8; i++ {
+		lines := dev.Write(0, []byte{byte(i)}) // same line over and over
+		d.CacheLines(lines)
+	}
+	if d.Evictions() != 0 {
+		t.Errorf("rewriting one line caused %d evictions", d.Evictions())
+	}
+	if d.ResidentLines() != 1 {
+		t.Errorf("resident = %d", d.ResidentLines())
+	}
+}
+
+func TestEADRPersistsImmediately(t *testing.T) {
+	d, dev := newDomain(t, 1<<16)
+	d.SetEADR(true)
+	if !d.EADR() {
+		t.Error("EADR not set")
+	}
+	lines := dev.Write(0, []byte{1})
+	d.CacheLines(lines)
+	if !dev.Persisted(0, 1) {
+		t.Error("eADR write must be durable at the LLC")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	d, dev := newDomain(t, 1<<16)
+	for i := 0; i < 10; i++ {
+		d.CacheLines(dev.Write(uint64(i)*64, []byte{1}))
+	}
+	d.FlushAll()
+	if d.ResidentLines() != 0 {
+		t.Error("FlushAll left residents")
+	}
+	if !dev.Persisted(0, 640) {
+		t.Error("FlushAll did not persist")
+	}
+}
+
+func TestCrashDiscardsResidency(t *testing.T) {
+	d, dev := newDomain(t, 1<<16)
+	d.CacheLines(dev.Write(0, []byte{1}))
+	d.Crash()
+	dev.Crash()
+	if d.ResidentLines() != 0 {
+		t.Error("crash left residency")
+	}
+	got := make([]byte, 1)
+	dev.Read(0, got)
+	if got[0] != 0 {
+		t.Error("LLC-resident write survived crash")
+	}
+}

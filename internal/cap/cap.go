@@ -1,0 +1,151 @@
+// Package cap implements CPU-Assisted Persistence — the ways a GPU
+// application can reach PM today, without GPM (§3, Fig 2a): results are
+// DMA-ed from device memory to host DRAM, then the CPU writes them to PM
+// and guarantees persistence. Three variants are modeled:
+//
+//   - CAP-fs: write(2) into a PM-resident file, then fsync.
+//   - CAP-mm: memcpy into a mmap-ed PM file, then user-space cache flushes
+//     and a drain, on a configurable number of CPU threads. cudaMemcpy
+//     cannot target the file directly, so a pinned DRAM bounce buffer sits
+//     in the middle (§3).
+//   - CAP-eADR: CAP-mm on eADR hardware — flushes are unnecessary, only
+//     the drain remains (§6.1). Enabled via Space.SetEADR; the same code
+//     path specializes automatically.
+//
+// The package also provides the CPU flush phase of GPM-NDP (GPM without
+// direct persistence, §6.1): kernels load/store PM directly, but the CPU
+// must still flush to guarantee durability.
+package cap
+
+import (
+	"github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/fsim"
+)
+
+// Engine drives CAP persistence for one context, reusing a pinned DRAM
+// bounce buffer across transfers.
+type Engine struct {
+	ctx *gpm.Context
+	// Threads is the number of CPU threads used by the mm persist phase
+	// (the paper uses the best of 2–32 per application).
+	Threads int
+
+	bounce     uint64
+	bounceSize int64
+}
+
+// New returns an engine with the given CPU persist-thread count.
+func New(ctx *gpm.Context, threads int) *Engine {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Engine{ctx: ctx, Threads: threads}
+}
+
+func (e *Engine) ensureBounce(n int64) uint64 {
+	if n > e.bounceSize {
+		e.bounce = e.ctx.Space.AllocDRAM(n)
+		e.bounceSize = n
+	}
+	return e.bounce
+}
+
+// dmaToHost copies [src, src+n) from device memory into the bounce buffer
+// (cudaMemcpyDeviceToHost through the DMA engine) and charges its time.
+func (e *Engine) dmaToHost(src uint64, n int64) uint64 {
+	b := e.ensureBounce(n)
+	const chunk = 1 << 16
+	buf := make([]byte, chunk)
+	for off := int64(0); off < n; off += chunk {
+		c := n - off
+		if c > chunk {
+			c = chunk
+		}
+		e.ctx.Space.Read(src+uint64(off), buf[:c])
+		e.ctx.Space.WriteCPU(b+uint64(off), buf[:c])
+	}
+	e.ctx.Timeline.Add("dma", e.ctx.Space.DMA.TransferUp(n))
+	return b
+}
+
+// DMAToDevice copies host data down to device memory, charging DMA time.
+func (e *Engine) DMAToDevice(dst, src uint64, n int64) {
+	const chunk = 1 << 16
+	buf := make([]byte, chunk)
+	for off := int64(0); off < n; off += chunk {
+		c := n - off
+		if c > chunk {
+			c = chunk
+		}
+		e.ctx.Space.Read(src+uint64(off), buf[:c])
+		e.ctx.Space.WriteCPU(dst+uint64(off), buf[:c])
+	}
+	e.ctx.Timeline.Add("dma", e.ctx.Space.DMA.TransferDown(n))
+}
+
+// PersistFS is the CAP-fs path: DMA the device range to the host, write it
+// into the PM-resident file at fileOff, and fsync. The filesystem path is
+// single-threaded (write + fsync on one file descriptor).
+func (e *Engine) PersistFS(f *fsim.File, fileOff int64, devSrc uint64, n int64) error {
+	b := e.dmaToHost(devSrc, n)
+	var werr error
+	e.ctx.RunCPU("cap-fs", 1, func(t *cpusim.Thread) {
+		const chunk = 1 << 20
+		buf := make([]byte, chunk)
+		for off := int64(0); off < n; off += chunk {
+			c := n - off
+			if c > chunk {
+				c = chunk
+			}
+			t.Read(b+uint64(off), buf[:c])
+			if err := f.WriteAt(t, fileOff+off, buf[:c]); err != nil {
+				werr = err
+				return
+			}
+		}
+		f.Fsync(t)
+	})
+	return werr
+}
+
+// PersistMM is the CAP-mm path (and CAP-eADR when the space is in eADR
+// mode): DMA to the bounce buffer, then Threads CPU workers memcpy their
+// partitions into the mmap-ed PM range and flush+drain them.
+func (e *Engine) PersistMM(pmDst uint64, devSrc uint64, n int64) {
+	b := e.dmaToHost(devSrc, n)
+	threads := e.Threads
+	e.ctx.RunCPU("cap-mm", threads, func(t *cpusim.Thread) {
+		part := (n + int64(threads) - 1) / int64(threads)
+		off := int64(t.ID) * part
+		if off >= n {
+			return
+		}
+		c := part
+		if off+c > n {
+			c = n - off
+		}
+		t.Memcpy(pmDst+uint64(off), b+uint64(off), c)
+		t.PersistRange(pmDst+uint64(off), c)
+	})
+}
+
+// FlushOnly is GPM-NDP's persistence phase: the kernel already stored the
+// data to PM directly (DDIO on, so it sits in the LLC); the CPU flushes the
+// range to guarantee durability. The lines are foreign (GPU-written), so
+// the drain pays the CPU→PM bandwidth (§6.1).
+func (e *Engine) FlushOnly(pmAddr uint64, n int64) {
+	threads := e.Threads
+	e.ctx.RunCPU("ndp-flush", threads, func(t *cpusim.Thread) {
+		part := (n + int64(threads) - 1) / int64(threads)
+		off := int64(t.ID) * part
+		if off >= n {
+			return
+		}
+		c := part
+		if off+c > n {
+			c = n - off
+		}
+		t.PersistForeignRange(pmAddr+uint64(off), c)
+	})
+}

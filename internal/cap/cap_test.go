@@ -1,0 +1,134 @@
+package cap
+
+import (
+	"bytes"
+	"testing"
+
+	gpm "github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+func newCtx(t *testing.T) *gpm.Context {
+	t.Helper()
+	return gpm.NewContext(sim.Default(), memsys.Config{HBMSize: 8 << 20, DRAMSize: 8 << 20, PMSize: 16 << 20})
+}
+
+func fill(ctx *gpm.Context, addr uint64, n int64, b byte) []byte {
+	buf := bytes.Repeat([]byte{b}, int(n))
+	ctx.Space.WriteCPU(addr, buf)
+	return buf
+}
+
+func TestPersistFSDurable(t *testing.T) {
+	ctx := newCtx(t)
+	e := New(ctx, 4)
+	f, _ := ctx.FS.Create("/f", 1<<16, 0)
+	src := ctx.Space.AllocHBM(1 << 16)
+	want := fill(ctx, src, 1<<16, 0x11)
+	if err := e.PersistFS(f, 0, src, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Crash()
+	got := make([]byte, 1<<16)
+	ctx.Space.Read(f.Mmap(), got)
+	if !bytes.Equal(got, want) {
+		t.Error("CAP-fs data lost on crash")
+	}
+}
+
+func TestPersistMMDurable(t *testing.T) {
+	ctx := newCtx(t)
+	e := New(ctx, 8)
+	dst := ctx.Space.AllocPM(1<<16, 0)
+	src := ctx.Space.AllocHBM(1 << 16)
+	want := fill(ctx, src, 1<<16, 0x22)
+	e.PersistMM(dst, src, 1<<16)
+	ctx.Crash()
+	got := make([]byte, 1<<16)
+	ctx.Space.Read(dst, got)
+	if !bytes.Equal(got, want) {
+		t.Error("CAP-mm data lost on crash")
+	}
+}
+
+func TestPersistMMEADRFaster(t *testing.T) {
+	mm := func(eadr bool) sim.Duration {
+		ctx := newCtx(t)
+		if eadr {
+			ctx.Space.SetEADR(true)
+		}
+		e := New(ctx, 8)
+		dst := ctx.Space.AllocPM(1<<20, 0)
+		src := ctx.Space.AllocHBM(1 << 20)
+		start := ctx.Timeline.Total()
+		e.PersistMM(dst, src, 1<<20)
+		return ctx.Timeline.Total() - start
+	}
+	plain, eadr := mm(false), mm(true)
+	// §6.1: eADR "provides limited benefits to CAP" — the PM bandwidth
+	// bound dominates with or without explicit flushes. eADR must never
+	// be slower, and any gain stays modest.
+	if eadr > plain {
+		t.Errorf("CAP-eADR (%v) slower than CAP-mm (%v)", eadr, plain)
+	}
+	if float64(plain)/float64(eadr) > 2 {
+		t.Errorf("CAP-eADR gain %.1fx too large; transfers should dominate", float64(plain)/float64(eadr))
+	}
+}
+
+func TestFlushOnlyPersistsGPUWrites(t *testing.T) {
+	ctx := newCtx(t)
+	e := New(ctx, 4)
+	dst := ctx.Space.AllocPM(1<<12, 0)
+	// GPU writes with DDIO on (the NDP pattern): volatile in the LLC.
+	ctx.Launch("ndp", 1, 32, func(th *gpu.Thread) {
+		th.StoreU64(dst+uint64(th.ID())*8, uint64(th.ID()+1))
+	})
+	if ctx.Space.Persisted(dst, 256) {
+		t.Fatal("writes durable before flush?")
+	}
+	e.FlushOnly(dst, 1<<12)
+	ctx.Crash()
+	for i := 0; i < 32; i++ {
+		if ctx.Space.ReadU64(dst+uint64(i)*8) != uint64(i+1) {
+			t.Fatalf("slot %d lost", i)
+		}
+	}
+}
+
+func TestDMAToDevice(t *testing.T) {
+	ctx := newCtx(t)
+	e := New(ctx, 2)
+	src := ctx.Space.AllocDRAM(4096)
+	dst := ctx.Space.AllocHBM(4096)
+	want := fill(ctx, src, 4096, 0x33)
+	before := ctx.Timeline.Total()
+	e.DMAToDevice(dst, src, 4096)
+	if ctx.Timeline.Total() <= before {
+		t.Error("DMA cost not accounted")
+	}
+	got := make([]byte, 4096)
+	ctx.Space.Read(dst, got)
+	if !bytes.Equal(got, want) {
+		t.Error("DMA data mismatch")
+	}
+}
+
+func TestMoreThreadsHelpUntilPlateau(t *testing.T) {
+	run := func(threads int) sim.Duration {
+		ctx := newCtx(t)
+		e := New(ctx, threads)
+		dst := ctx.Space.AllocPM(4<<20, 0)
+		src := ctx.Space.AllocHBM(4 << 20)
+		start := ctx.Timeline.Total()
+		e.PersistMM(dst, src, 4<<20)
+		return ctx.Timeline.Total() - start
+	}
+	t1, t16 := run(1), run(16)
+	sp := float64(t1) / float64(t16)
+	if sp < 1.05 || sp > 1.8 {
+		t.Errorf("CAP-mm 16-thread speedup %.2f, want within the Fig 3a plateau", sp)
+	}
+}

@@ -1,0 +1,307 @@
+package gpm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+const (
+	cpMagic      uint64 = 0x47504d4350303031 // "GPMCP001"
+	cpHeaderSize uint64 = 64
+	cpChunk             = 16 // bytes copied per thread per step (float4)
+)
+
+// Checkpoint errors.
+var (
+	ErrBadCheckpoint    = errors.New("gpm: not a gpm checkpoint file")
+	ErrNoCheckpoint     = errors.New("gpm: group has no consistent checkpoint yet")
+	ErrGroupFull        = errors.New("gpm: checkpoint group capacity exceeded")
+	ErrGroupRange       = errors.New("gpm: checkpoint group out of range")
+	ErrRegisterMismatch = errors.New("gpm: registration does not match checkpointed layout")
+)
+
+// Checkpoint is libGPM's group-based double-buffered checkpoint facility
+// (§5.3). Each group owns two PM buffers: a consistent copy and a working
+// copy. gpmcp_checkpoint copies the group's registered data structures into
+// the working copy with a GPU kernel, persists it, and atomically flips an
+// 8-byte flag to promote it; a crash mid-checkpoint therefore always leaves
+// one intact consistent copy. Registration order identifies structures
+// across restarts (pointer-based structures cannot be checkpointed).
+type Checkpoint struct {
+	ctx *Context
+	m   *Mapping
+
+	groups    int
+	elements  int   // max registrations per group
+	groupSize int64 // data capacity per group
+
+	regs [][]cpReg
+
+	flagsBase uint64
+	metaBase  uint64
+	bufBase   uint64
+	gsAligned int64
+}
+
+type cpReg struct {
+	addr uint64
+	size int64
+}
+
+func cpFileSize(groupSize int64, elements, groups int) int64 {
+	gsAligned := int64(align256(uint64(groupSize)))
+	meta := align256(uint64(groups*elements) * 8)
+	flags := align256(uint64(groups) * 8)
+	return int64(align256(cpHeaderSize)) + int64(flags) + int64(meta) + int64(groups)*2*gsAligned
+}
+
+// CPCreate creates a checkpoint file for `groups` groups of up to
+// `elements` data structures and `groupSize` bytes each (gpmcp_create).
+func (c *Context) CPCreate(path string, groupSize int64, elements, groups int) (*Checkpoint, error) {
+	if groupSize <= 0 || elements <= 0 || groups <= 0 {
+		return nil, fmt.Errorf("gpm: invalid checkpoint shape size=%d elements=%d groups=%d", groupSize, elements, groups)
+	}
+	m, err := c.Map(path, cpFileSize(groupSize, elements, groups), true)
+	if err != nil {
+		return nil, err
+	}
+	cp := newCheckpoint(c, m, groupSize, elements, groups)
+	sp := c.Space
+	sp.WriteU64(m.Addr, cpMagic)
+	sp.WriteU32(m.Addr+8, uint32(groups))
+	sp.WriteU32(m.Addr+12, uint32(elements))
+	sp.WriteU64(m.Addr+16, uint64(groupSize))
+	sp.PersistRange(m.Addr, int(cpHeaderSize))
+	// Zero flags: no consistent copy yet.
+	zero := make([]byte, groups*8)
+	sp.WriteCPU(cp.flagsBase, zero)
+	sp.PersistRange(cp.flagsBase, len(zero))
+	c.Timeline.Add("checkpoint-meta", 5*sim.Microsecond)
+	return cp, nil
+}
+
+// CPOpen reopens an existing checkpoint file (gpmcp_open), e.g. in
+// recovery mode. The caller must re-register the same structures in the
+// same order before restoring.
+func (c *Context) CPOpen(path string) (*Checkpoint, error) {
+	m, err := c.Map(path, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	sp := c.Space
+	if sp.ReadU64(m.Addr) != cpMagic {
+		return nil, ErrBadCheckpoint
+	}
+	groups := int(sp.ReadU32(m.Addr + 8))
+	elements := int(sp.ReadU32(m.Addr + 12))
+	groupSize := int64(sp.ReadU64(m.Addr + 16))
+	return newCheckpoint(c, m, groupSize, elements, groups), nil
+}
+
+func newCheckpoint(c *Context, m *Mapping, groupSize int64, elements, groups int) *Checkpoint {
+	cp := &Checkpoint{
+		ctx: c, m: m,
+		groups: groups, elements: elements, groupSize: groupSize,
+		regs:      make([][]cpReg, groups),
+		gsAligned: int64(align256(uint64(groupSize))),
+	}
+	// Every region starts on a 256B boundary (§5.3: "checkpoint
+	// structures are 128-byte aligned to maximize bandwidth to the NVM
+	// and across the PCIe") — a misaligned buffer would cut Optane's
+	// write bandwidth to the unaligned rate and split every coalesced
+	// transaction.
+	cp.flagsBase = m.Addr + align256(cpHeaderSize)
+	cp.metaBase = cp.flagsBase + align256(uint64(groups)*8)
+	cp.bufBase = cp.metaBase + align256(uint64(groups*elements)*8)
+	return cp
+}
+
+// Close closes the checkpoint (gpmcp_close).
+func (cp *Checkpoint) Close() { cp.ctx.Unmap(cp.m) }
+
+// Groups returns the number of checkpoint groups.
+func (cp *Checkpoint) Groups() int { return cp.groups }
+
+// Register associates a data structure (addr, size — typically in GPU
+// device memory) with a group (gpmcp_register). Structures restore in
+// registration order, so recovery code must register identically.
+func (cp *Checkpoint) Register(addr uint64, size int64, group int) error {
+	if group < 0 || group >= cp.groups {
+		return ErrGroupRange
+	}
+	if len(cp.regs[group]) >= cp.elements {
+		return ErrGroupFull
+	}
+	var used int64
+	for _, r := range cp.regs[group] {
+		used += r.size
+	}
+	if used+size > cp.groupSize {
+		return ErrGroupFull
+	}
+	idx := len(cp.regs[group])
+	metaAddr := cp.metaBase + uint64(group*cp.elements+idx)*8
+	sp := cp.ctx.Space
+	if prev := sp.ReadU64(metaAddr); prev != 0 && prev != uint64(size) {
+		return fmt.Errorf("%w: element %d of group %d was %d bytes, now %d",
+			ErrRegisterMismatch, idx, group, prev, size)
+	}
+	sp.WriteU64(metaAddr, uint64(size))
+	sp.PersistRange(metaAddr, 8)
+	cp.regs[group] = append(cp.regs[group], cpReg{addr: addr, size: size})
+	cp.ctx.Timeline.Add("checkpoint-meta", sim.Microsecond)
+	return nil
+}
+
+func (cp *Checkpoint) flagAddr(group int) uint64 { return cp.flagsBase + uint64(group)*8 }
+
+// flag layout: bit 0 = consistent buffer index, bits 63..1 = sequence.
+func (cp *Checkpoint) flag(group int) (seq uint64, idx int) {
+	v := cp.ctx.Space.ReadU64(cp.flagAddr(group))
+	return v >> 1, int(v & 1)
+}
+
+func (cp *Checkpoint) bufAddr(group, idx int) uint64 {
+	return cp.bufBase + uint64((group*2+idx))*uint64(cp.gsAligned)
+}
+
+// Seq returns the group's checkpoint sequence number (0 = none yet).
+func (cp *Checkpoint) Seq(group int) uint64 {
+	seq, _ := cp.flag(group)
+	return seq
+}
+
+// CheckpointGroup writes the group's registered structures into the working
+// PM buffer with a GPU kernel, persists them, and atomically promotes the
+// working copy to consistent (gpmcp_checkpoint). It returns the simulated
+// duration, also accounted on the context timeline under "checkpoint".
+func (cp *Checkpoint) CheckpointGroup(group int) (sim.Duration, error) {
+	if group < 0 || group >= cp.groups {
+		return 0, ErrGroupRange
+	}
+	regs := cp.regs[group]
+	var total int64
+	for _, r := range regs {
+		total += r.size
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("gpm: checkpoint group %d has no registered data", group)
+	}
+	start := cp.ctx.Timeline.Total()
+	// Under eADR the LLC is in the persistence domain, so DDIO can stay
+	// on (§3.3); otherwise the persist region must disable it.
+	toggleDDIO := !cp.ctx.Space.EADR()
+	if toggleDDIO {
+		cp.ctx.PersistBegin()
+	}
+	_, idx := cp.flag(group)
+	working := 1 - idx
+	dst := cp.bufAddr(group, working)
+
+	res := cp.copyKernel("checkpoint", regs, dst, false)
+	if !res.Crashed {
+		// Promote the working copy with one atomic 8-byte persist.
+		cp.ctx.RunCPU("checkpoint", 1, func(t *cpusim.Thread) {
+			seq, _ := cp.flag(group)
+			t.WriteU64(cp.flagAddr(group), (seq+1)<<1|uint64(working))
+			t.PersistRange(cp.flagAddr(group), 8)
+		})
+	}
+	if toggleDDIO {
+		cp.ctx.PersistEnd()
+	}
+	if res.Crashed {
+		return 0, gpu.ErrCrashed
+	}
+	return cp.ctx.Timeline.Total() - start, nil
+}
+
+// RestoreGroup copies the group's consistent checkpoint back into the
+// registered structures (gpmcp_restore), in registration order. It returns
+// the simulated duration, accounted under "restore".
+func (cp *Checkpoint) RestoreGroup(group int) (sim.Duration, error) {
+	if group < 0 || group >= cp.groups {
+		return 0, ErrGroupRange
+	}
+	seq, idx := cp.flag(group)
+	if seq == 0 {
+		return 0, ErrNoCheckpoint
+	}
+	regs := cp.regs[group]
+	if len(regs) == 0 {
+		return 0, fmt.Errorf("gpm: restore of group %d before registration", group)
+	}
+	// Validate against the persisted layout.
+	for i, r := range regs {
+		want := cp.ctx.Space.ReadU64(cp.metaBase + uint64(group*cp.elements+i)*8)
+		if want != uint64(r.size) {
+			return 0, fmt.Errorf("%w: element %d of group %d is %d bytes, checkpoint has %d",
+				ErrRegisterMismatch, i, group, r.size, want)
+		}
+	}
+	start := cp.ctx.Timeline.Total()
+	src := cp.bufAddr(group, idx)
+	res := cp.copyKernel("restore", regs, src, true)
+	if res.Crashed {
+		return 0, gpu.ErrCrashed
+	}
+	return cp.ctx.Timeline.Total() - start, nil
+}
+
+// copyKernel moves data between the registered structures and a packed PM
+// buffer. reverse=false packs structures into the buffer (checkpoint,
+// persisted); reverse=true unpacks (restore).
+func (cp *Checkpoint) copyKernel(segment string, regs []cpReg, buf uint64, reverse bool) gpu.Result {
+	type span struct {
+		addr   uint64
+		packed uint64
+		size   int64
+	}
+	spans := make([]span, len(regs))
+	var off uint64
+	var total int64
+	for i, r := range regs {
+		spans[i] = span{addr: r.addr, packed: off, size: r.size}
+		off += uint64(r.size)
+		total += r.size
+	}
+	nThreads := int((total + cpChunk - 1) / cpChunk)
+	tpb := 256
+	blocks := (nThreads + tpb - 1) / tpb
+	return cp.ctx.Launch(segment, blocks, tpb, func(t *gpu.Thread) {
+		g := t.GlobalID()
+		off := int64(g) * cpChunk
+		if off >= total {
+			return
+		}
+		n := int64(cpChunk)
+		if off+n > total {
+			n = total - off
+		}
+		// Locate the registered span containing this packed offset.
+		var s span
+		for _, cand := range spans {
+			if off >= int64(cand.packed) && off < int64(cand.packed)+cand.size {
+				s = cand
+				break
+			}
+		}
+		if off+n > int64(s.packed)+s.size {
+			n = int64(s.packed) + s.size - off // do not cross spans
+		}
+		rel := uint64(off) - s.packed
+		var tmp [cpChunk]byte
+		if reverse {
+			t.LoadBytes(buf+uint64(off), tmp[:n])
+			t.StoreBytes(s.addr+rel, tmp[:n])
+		} else {
+			t.LoadBytes(s.addr+rel, tmp[:n])
+			t.StoreBytes(buf+uint64(off), tmp[:n])
+			Persist(t)
+		}
+	})
+}

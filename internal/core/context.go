@@ -1,0 +1,69 @@
+// Package gpm is libGPM, the paper's GPU persistence library (§5),
+// reimplemented over the simulated node: persistency primitives
+// (Map/Unmap, PersistBegin/PersistEnd, Persist), GPU-optimized logging
+// (Hierarchical Coalesced Logging plus a conventional lock-based log), and
+// group-based double-buffered checkpointing.
+package gpm
+
+import (
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Context binds one simulated node: the unified memory space, the GPU, the
+// CPU host, the PM filesystem, and the run's timeline. Every libGPM call
+// operates on a Context; workloads share one per run.
+type Context struct {
+	Params   *sim.Params
+	Space    *memsys.Space
+	Dev      *gpu.Device
+	Host     *cpusim.Host
+	FS       *fsim.FS
+	GFS      *fsim.GPUFS
+	Timeline *sim.Timeline
+}
+
+// NewContext assembles a node with the given parameters and memory sizes.
+func NewContext(params *sim.Params, cfg memsys.Config) *Context {
+	space := memsys.New(params, cfg)
+	fs := fsim.New(space)
+	return &Context{
+		Params:   params,
+		Space:    space,
+		Dev:      gpu.New(space),
+		Host:     cpusim.NewHost(space),
+		FS:       fs,
+		GFS:      fsim.NewGPUFS(fs),
+		Timeline: sim.NewTimeline(),
+	}
+}
+
+// NewDefaultContext is NewContext with default parameters and sizes.
+func NewDefaultContext() *Context {
+	return NewContext(sim.Default(), memsys.DefaultConfig())
+}
+
+// Launch runs a kernel and accounts its duration under the given timeline
+// segment. It returns the kernel result.
+func (c *Context) Launch(segment string, blocks, tpb int, kern func(*gpu.Thread)) gpu.Result {
+	res := c.Dev.Launch(segment, blocks, tpb, kern)
+	c.Timeline.Add(segment, res.Elapsed)
+	return res
+}
+
+// RunCPU runs a CPU phase on n threads and accounts its duration under the
+// given timeline segment, returning the phase duration.
+func (c *Context) RunCPU(segment string, n int, fn func(*cpusim.Thread)) sim.Duration {
+	d := c.Host.Run(n, fn)
+	c.Timeline.Add(segment, d)
+	return d
+}
+
+// Crash simulates a whole-node power failure at this instant: volatile
+// memory and caches are lost; PM retains exactly what was persisted.
+func (c *Context) Crash() {
+	c.Space.Crash()
+}

@@ -1,0 +1,174 @@
+package gpm
+
+import (
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+func errCtx(t *testing.T) *Context {
+	t.Helper()
+	return NewContext(sim.Default(), memsys.Config{HBMSize: 2 << 20, DRAMSize: 2 << 20, PMSize: 8 << 20})
+}
+
+func TestLogOpenRejectsNonLog(t *testing.T) {
+	c := errCtx(t)
+	if _, err := c.Map("/pm/plain", 4096, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LogOpen("/pm/plain"); err != ErrBadLog {
+		t.Errorf("LogOpen on plain file: %v", err)
+	}
+	if _, err := c.LogOpen("/pm/missing"); err == nil {
+		t.Error("LogOpen on missing file succeeded")
+	}
+}
+
+func TestCPOpenRejectsNonCheckpoint(t *testing.T) {
+	c := errCtx(t)
+	if _, err := c.Map("/pm/plain2", 4096, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CPOpen("/pm/plain2"); err != ErrBadCheckpoint {
+		t.Errorf("CPOpen on plain file: %v", err)
+	}
+	if _, err := c.CPOpen("/pm/missing"); err == nil {
+		t.Error("CPOpen on missing file succeeded")
+	}
+}
+
+func TestLogCreateValidation(t *testing.T) {
+	c := errCtx(t)
+	if _, err := c.LogCreateHCL("/pm/badgrid", 1<<20, 0, 32); err == nil {
+		t.Error("zero blocks accepted")
+	}
+	if _, err := c.LogCreateHCL("/pm/tiny", 256, 64, 256); err == nil {
+		t.Error("undersized HCL log accepted")
+	}
+	if _, err := c.LogCreateConv("/pm/badparts", 1<<20, 0); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	if _, err := c.LogCreateConv("/pm/tiny2", 128, 64); err == nil {
+		t.Error("undersized conventional log accepted")
+	}
+}
+
+func TestConvLogFullAndReadBack(t *testing.T) {
+	c := errCtx(t)
+	l, err := c.LogCreateConv("/pm/convfull", 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PersistBegin()
+	c.Launch("fill", 1, 1, func(th *gpu.Thread) {
+		var sawFull bool
+		e := make([]byte, 64)
+		for i := 0; i < 100; i++ {
+			if err := l.Insert(th, e, 0); err == ErrLogFull {
+				sawFull = true
+				break
+			} else if err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+		if !sawFull {
+			t.Error("conventional log never filled")
+		}
+		// Read back and pop the last entry.
+		if err := l.Read(th, e, 0); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if err := l.Remove(th, 64, 0); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		// Underflow after popping everything.
+		for l.Remove(th, 64, 0) == nil {
+		}
+		if err := l.Read(th, e, 0); err != ErrEmptyLog {
+			t.Errorf("read on empty: %v", err)
+		}
+	})
+	c.PersistEnd()
+}
+
+func TestConvClearByThread(t *testing.T) {
+	c := errCtx(t)
+	l, _ := c.LogCreateConv("/pm/convclear", 1<<16, 4)
+	c.PersistBegin()
+	c.Launch("ins", 1, 4, func(th *gpu.Thread) {
+		_ = l.Insert(th, make([]byte, 8), th.ID())
+	})
+	c.Launch("clear", 1, 4, func(th *gpu.Thread) {
+		l.Clear(th)
+	})
+	c.PersistEnd()
+	for p := 0; p < 4; p++ {
+		if b := l.HostPartitionBytes(p); len(b) != 0 {
+			t.Errorf("partition %d not cleared (%d bytes)", p, len(b))
+		}
+	}
+}
+
+func TestHCLRemoveUnderflowAndReadErrors(t *testing.T) {
+	c := errCtx(t)
+	l, _ := c.LogCreateHCL("/pm/hclerr", 1<<20, 1, 32)
+	c.Launch("errs", 1, 32, func(th *gpu.Thread) {
+		if err := l.Remove(th, 4, -1); err != ErrEmptyLog {
+			t.Errorf("remove on empty: %v", err)
+		}
+		if err := l.Read(th, make([]byte, 4), -1); err != ErrEmptyLog {
+			t.Errorf("read on empty: %v", err)
+		}
+		if err := l.Remove(th, 3, -1); err != ErrEntrySize {
+			t.Errorf("bad remove size: %v", err)
+		}
+		if err := l.Read(th, nil, -1); err != ErrEntrySize {
+			t.Errorf("nil read: %v", err)
+		}
+	})
+}
+
+func TestHostReadEntryOnConvFails(t *testing.T) {
+	c := errCtx(t)
+	l, _ := c.LogCreateConv("/pm/convhost", 1<<16, 2)
+	if err := l.HostReadEntry(0, make([]byte, 4)); err != ErrWrongKind {
+		t.Errorf("HostReadEntry on conv: %v", err)
+	}
+	l.Close()
+}
+
+func TestMappingLifecycle(t *testing.T) {
+	c := errCtx(t)
+	m, err := c.Map("/pm/life", 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Timeline.Segment("map")
+	c.Unmap(m)
+	if c.Timeline.Segment("map") <= before {
+		t.Error("unmap cost not accounted")
+	}
+}
+
+func TestRestoreBeforeRegisterFails(t *testing.T) {
+	c := errCtx(t)
+	src := c.Space.AllocHBM(1024)
+	cp, _ := c.CPCreate("/pm/cpreg", 1024, 1, 1)
+	_ = cp.Register(src, 1024, 0)
+	if _, err := cp.CheckpointGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	cp2, _ := c.CPOpen("/pm/cpreg")
+	if _, err := cp2.RestoreGroup(0); err == nil {
+		t.Error("restore without registration succeeded")
+	}
+	if _, err := cp2.RestoreGroup(9); err != ErrGroupRange {
+		t.Errorf("out-of-range group: %v", err)
+	}
+	if _, err := cp2.CheckpointGroup(5); err != ErrGroupRange {
+		t.Errorf("out-of-range checkpoint: %v", err)
+	}
+}

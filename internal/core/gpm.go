@@ -1,0 +1,62 @@
+package gpm
+
+import (
+	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Mapping is a PM-resident file mapped into the unified address space
+// (gpm_map, §5.1): the GPU can load/store through Addr directly thanks to
+// UVA, and the CPU sees the same bytes at the same address.
+type Mapping struct {
+	File *fsim.File
+	Addr uint64
+	Size int64
+}
+
+// Map creates (or opens, if create is false) a PM-resident file of the
+// given size and maps it into the GPU's address space (gpm_map).
+func (c *Context) Map(path string, size int64, create bool) (*Mapping, error) {
+	var f *fsim.File
+	var err error
+	if create {
+		f, err = c.FS.OpenOrCreate(path, size, 0)
+	} else {
+		f, err = c.FS.Open(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.Timeline.Add("map", 30*sim.Microsecond) // mmap + cudaHostRegister-style setup
+	return &Mapping{File: f, Addr: f.Mmap(), Size: f.Size()}, nil
+}
+
+// Unmap releases a mapping (gpm_unmap). Contents persist in the file.
+func (c *Context) Unmap(m *Mapping) {
+	c.Timeline.Add("map", 10*sim.Microsecond)
+}
+
+// PersistBegin disables DDIO for GPU writes (gpm_persist_begin, §5.1):
+// inside a PersistBegin/PersistEnd region, a system-scoped fence guarantees
+// that prior writes reached the ADR persistence domain. The switch writes
+// the perfctrlsts_0 I/O register, so it is placed around kernel launches,
+// not inside kernels.
+func (c *Context) PersistBegin() {
+	c.Space.SetDDIOOff(true)
+	c.Timeline.Add("ddio-toggle", 2*sim.Microsecond)
+}
+
+// PersistEnd re-enables DDIO (gpm_persist_end).
+func (c *Context) PersistEnd() {
+	c.Space.SetDDIOOff(false)
+	c.Timeline.Add("ddio-toggle", 2*sim.Microsecond)
+}
+
+// Persist ensures the calling GPU thread's prior writes are durable
+// (gpm_persist, §5.1): a system-scoped fence, which — with DDIO disabled —
+// completes only when the writes have drained past the PCIe and the memory
+// controller's WPQ. Called from inside kernels.
+func Persist(t *gpu.Thread) {
+	t.FenceSystem()
+}

@@ -1,0 +1,583 @@
+package gpm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+func testCtx(t *testing.T) *Context {
+	t.Helper()
+	return NewContext(sim.Default(), memsys.Config{HBMSize: 8 << 20, DRAMSize: 8 << 20, PMSize: 32 << 20})
+}
+
+func TestMapCreateOpen(t *testing.T) {
+	c := testCtx(t)
+	m, err := c.Map("/pm/data", 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size != 4096 || c.Space.KindOf(m.Addr) != memsys.KindPM {
+		t.Errorf("mapping %+v", m)
+	}
+	m2, err := c.Map("/pm/data", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Addr != m.Addr {
+		t.Error("reopen moved the mapping")
+	}
+	if _, err := c.Map("/pm/missing", 0, false); err == nil {
+		t.Error("opening a missing file should fail")
+	}
+	c.Unmap(m)
+}
+
+func TestPersistBeginEndToggleDDIO(t *testing.T) {
+	c := testCtx(t)
+	if c.Space.DDIOOff() {
+		t.Error("DDIO should start enabled")
+	}
+	c.PersistBegin()
+	if !c.Space.DDIOOff() {
+		t.Error("PersistBegin did not disable DDIO")
+	}
+	c.PersistEnd()
+	if c.Space.DDIOOff() {
+		t.Error("PersistEnd did not re-enable DDIO")
+	}
+}
+
+func TestPersistFromKernel(t *testing.T) {
+	c := testCtx(t)
+	m, _ := c.Map("/pm/p", 4096, true)
+	c.PersistBegin()
+	c.Launch("k", 1, 32, func(th *gpu.Thread) {
+		th.StoreU32(m.Addr+uint64(4*th.ID()), uint32(th.ID()))
+		Persist(th)
+	})
+	c.PersistEnd()
+	c.Crash()
+	for i := 0; i < 32; i++ {
+		if got := c.Space.ReadU32(m.Addr + uint64(4*i)); got != uint32(i) {
+			t.Fatalf("slot %d = %d after crash", i, got)
+		}
+	}
+}
+
+// ---- HCL logging ----
+
+func TestHCLInsertReadRemove(t *testing.T) {
+	c := testCtx(t)
+	const blocks, tpb = 4, 64
+	l, err := c.LogCreateHCL("/pm/log", 1<<20, blocks, tpb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PersistBegin()
+	c.Launch("log", blocks, tpb, func(th *gpu.Thread) {
+		var e [8]byte
+		binary.LittleEndian.PutUint32(e[:], uint32(th.GlobalID()))
+		binary.LittleEndian.PutUint32(e[4:], 0xabcd)
+		if err := l.Insert(th, e[:], -1); err != nil {
+			t.Errorf("insert: %v", err)
+			return
+		}
+		var got [8]byte
+		if err := l.Read(th, got[:], -1); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if !bytes.Equal(got[:], e[:]) {
+			t.Errorf("thread %d read %v", th.GlobalID(), got)
+		}
+	})
+	c.PersistEnd()
+	// Host-side read of each entry.
+	var buf [8]byte
+	for tid := 0; tid < blocks*tpb; tid++ {
+		if l.HostTail(tid) != 2 {
+			t.Fatalf("tid %d tail = %d", tid, l.HostTail(tid))
+		}
+		if err := l.HostReadEntry(tid, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint32(buf[:]) != uint32(tid) {
+			t.Fatalf("tid %d entry = %v", tid, buf)
+		}
+	}
+	// Remove all entries.
+	c.PersistBegin()
+	c.Launch("rm", blocks, tpb, func(th *gpu.Thread) {
+		if err := l.Remove(th, 8, -1); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+	})
+	c.PersistEnd()
+	if l.HostTail(0) != 0 {
+		t.Error("remove did not pop")
+	}
+}
+
+func TestHCLSurvivesCrashAndReopen(t *testing.T) {
+	c := testCtx(t)
+	l, _ := c.LogCreateHCL("/pm/log2", 1<<20, 2, 32)
+	c.PersistBegin()
+	c.Launch("log", 2, 32, func(th *gpu.Thread) {
+		var e [4]byte
+		binary.LittleEndian.PutUint32(e[:], uint32(th.GlobalID()+100))
+		if err := l.Insert(th, e[:], -1); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	c.PersistEnd()
+	c.Crash()
+	l2, err := c.LogOpen("/pm/log2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l2.IsHCL() || l2.Blocks() != 2 || l2.ThreadsPerBlock() != 32 {
+		t.Fatalf("reopened geometry %d x %d", l2.Blocks(), l2.ThreadsPerBlock())
+	}
+	var buf [4]byte
+	for tid := 0; tid < 64; tid++ {
+		if err := l2.HostReadEntry(tid, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint32(buf[:]); got != uint32(tid+100) {
+			t.Fatalf("tid %d = %d", tid, got)
+		}
+	}
+}
+
+func TestHCLTornEntryInvisibleAfterCrash(t *testing.T) {
+	// Crash between persisting the entry and persisting the tail: the
+	// tail sentinel must hide the torn entry (§5.2).
+	c := testCtx(t)
+	l, _ := c.LogCreateHCL("/pm/log3", 1<<20, 1, 32)
+	c.PersistBegin()
+	// First a committed entry.
+	c.Launch("log", 1, 32, func(th *gpu.Thread) {
+		var e [4]byte
+		binary.LittleEndian.PutUint32(e[:], 1)
+		if err := l.Insert(th, e[:], -1); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	// Now crash during the second insert, before tails are updated:
+	// allow the writes, then abort before the 2nd fence has happened for
+	// most threads. We abort very early so no tail update persists.
+	c.Dev.SetAbortCheck(func(op int64) bool { return op >= 40 })
+	res := c.Launch("log-crash", 1, 32, func(th *gpu.Thread) {
+		var e [4]byte
+		binary.LittleEndian.PutUint32(e[:], 2)
+		_ = l.Insert(th, e[:], -1)
+	})
+	if !res.Crashed {
+		t.Fatal("expected crash")
+	}
+	c.Dev.SetAbortCheck(nil)
+	c.PersistEnd()
+	c.Crash()
+	l2, err := c.LogOpen("/pm/log3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [4]byte
+	for tid := 0; tid < 32; tid++ {
+		tail := l2.HostTail(tid)
+		if tail != 1 && tail != 2 {
+			t.Fatalf("tid %d tail = %d", tid, tail)
+		}
+		if tail == 1 {
+			// Only the committed entry is visible.
+			if err := l2.HostReadEntry(tid, buf[:]); err != nil {
+				t.Fatal(err)
+			}
+			if binary.LittleEndian.Uint32(buf[:]) != 1 {
+				t.Fatalf("tid %d reads torn entry", tid)
+			}
+		}
+	}
+}
+
+func TestHCLGeometryMismatch(t *testing.T) {
+	c := testCtx(t)
+	l, _ := c.LogCreateHCL("/pm/log4", 1<<20, 2, 64)
+	c.Launch("wrong", 1, 32, func(th *gpu.Thread) {
+		if err := l.Insert(th, make([]byte, 4), -1); err != ErrBadGeometry {
+			t.Errorf("want ErrBadGeometry, got %v", err)
+		}
+	})
+}
+
+func TestHCLEntrySizeValidation(t *testing.T) {
+	c := testCtx(t)
+	l, _ := c.LogCreateHCL("/pm/log5", 1<<20, 1, 32)
+	c.Launch("size", 1, 32, func(th *gpu.Thread) {
+		if err := l.Insert(th, make([]byte, 3), -1); err != ErrEntrySize {
+			t.Errorf("3-byte entry: %v", err)
+		}
+		if err := l.Insert(th, nil, -1); err != ErrEntrySize {
+			t.Errorf("empty entry: %v", err)
+		}
+	})
+}
+
+func TestHCLLogFull(t *testing.T) {
+	c := testCtx(t)
+	// Tiny log: few chunks per thread.
+	l, err := c.LogCreateHCL("/pm/log6", 40960, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PersistBegin()
+	c.Launch("fill", 1, 32, func(th *gpu.Thread) {
+		var sawFull bool
+		for i := 0; i < 1000; i++ {
+			if err := l.Insert(th, make([]byte, 4), -1); err == ErrLogFull {
+				sawFull = true
+				break
+			} else if err != nil {
+				t.Errorf("unexpected: %v", err)
+				return
+			}
+		}
+		if !sawFull {
+			t.Error("log never filled")
+		}
+	})
+	c.PersistEnd()
+}
+
+func TestHCLStripedEntryCoalesces(t *testing.T) {
+	// A warp inserting 16-byte entries should generate ~4 coalesced
+	// stores (one per stripe), not 32×4 scattered ones (Fig 5).
+	c := testCtx(t)
+	l, _ := c.LogCreateHCL("/pm/log7", 1<<20, 1, 32)
+	c.PersistBegin()
+	res := c.Launch("stripe", 1, 32, func(th *gpu.Thread) {
+		e := make([]byte, 16)
+		binary.LittleEndian.PutUint32(e, uint32(th.GlobalID()))
+		if err := l.Insert(th, e, -1); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	c.PersistEnd()
+	// 4 stripes of data + 1 tail line; the tail reads add no writes.
+	if res.Stats.PMWriteTxns > 8 {
+		t.Errorf("striped insert produced %d write txns, want ≤8", res.Stats.PMWriteTxns)
+	}
+}
+
+// ---- Conventional logging ----
+
+func TestConvLogInsertAndReadBack(t *testing.T) {
+	c := testCtx(t)
+	l, err := c.LogCreateConv("/pm/conv", 1<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Partitions() != 8 || l.IsHCL() {
+		t.Fatalf("geometry: %d partitions", l.Partitions())
+	}
+	c.PersistBegin()
+	c.Launch("clog", 2, 64, func(th *gpu.Thread) {
+		var e [4]byte
+		binary.LittleEndian.PutUint32(e[:], uint32(th.GlobalID()))
+		if err := l.Insert(th, e[:], th.GlobalID()%8); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	c.PersistEnd()
+	total := 0
+	for p := 0; p < 8; p++ {
+		b := l.HostPartitionBytes(p)
+		total += len(b) / 4
+	}
+	if total != 128 {
+		t.Errorf("entries across partitions = %d, want 128", total)
+	}
+}
+
+func TestConvLogSerializes(t *testing.T) {
+	c := testCtx(t)
+	l, _ := c.LogCreateConv("/pm/conv2", 1<<20, 1)
+	c.PersistBegin()
+	res := c.Launch("clog", 2, 128, func(th *gpu.Thread) {
+		_ = l.Insert(th, make([]byte, 8), 0)
+	})
+	c.PersistEnd()
+	if len(res.Stats.Serial) == 0 {
+		t.Fatal("no serialization recorded")
+	}
+	// 256 serialized inserts on one partition must dominate elapsed.
+	if res.Elapsed < 256*l.convCost(8)/2 {
+		t.Errorf("conventional log too fast: %v", res.Elapsed)
+	}
+}
+
+func TestHCLFasterThanConventional(t *testing.T) {
+	// The paper's core logging claim (Fig 11): HCL beats the lock-based
+	// distributed log.
+	c := testCtx(t)
+	const blocks, tpb = 8, 256
+	hcl, _ := c.LogCreateHCL("/pm/hcl-race", 4<<20, blocks, tpb)
+	conv, _ := c.LogCreateConv("/pm/conv-race", 4<<20, 32)
+	c.PersistBegin()
+	h := c.Launch("hcl", blocks, tpb, func(th *gpu.Thread) {
+		e := make([]byte, 16)
+		_ = hcl.Insert(th, e, -1)
+	})
+	v := c.Launch("conv", blocks, tpb, func(th *gpu.Thread) {
+		e := make([]byte, 16)
+		_ = conv.Insert(th, e, -1)
+	})
+	c.PersistEnd()
+	if h.Elapsed*2 >= v.Elapsed {
+		t.Errorf("HCL %v not clearly faster than conventional %v", h.Elapsed, v.Elapsed)
+	}
+}
+
+func TestConvLogPersistence(t *testing.T) {
+	c := testCtx(t)
+	l, _ := c.LogCreateConv("/pm/conv3", 1<<20, 2)
+	c.PersistBegin()
+	c.Launch("clog", 1, 32, func(th *gpu.Thread) {
+		var e [4]byte
+		binary.LittleEndian.PutUint32(e[:], 7)
+		_ = l.Insert(th, e[:], 0)
+	})
+	c.PersistEnd()
+	c.Crash()
+	l2, err := c.LogOpen("/pm/conv3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := l2.HostPartitionBytes(0)
+	if len(b) != 32*4 {
+		t.Fatalf("partition bytes after crash = %d", len(b))
+	}
+	for i := 0; i < 32; i++ {
+		if binary.LittleEndian.Uint32(b[i*4:]) != 7 {
+			t.Fatal("corrupt entry after crash")
+		}
+	}
+}
+
+// ---- Checkpointing ----
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	c := testCtx(t)
+	n := int64(64 << 10)
+	src := c.Space.AllocHBM(n)
+	cp, err := c.CPCreate("/pm/cp", n, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register(src, n, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fill source with a pattern.
+	pat := make([]byte, n)
+	for i := range pat {
+		pat[i] = byte(i * 7)
+	}
+	c.Space.WriteCPU(src, pat)
+	if _, err := cp.CheckpointGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Seq(0) != 1 {
+		t.Errorf("seq = %d", cp.Seq(0))
+	}
+	// Clobber the source, restore, verify.
+	c.Space.WriteCPU(src, make([]byte, n))
+	if _, err := cp.RestoreGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n)
+	c.Space.Read(src, got)
+	if !bytes.Equal(got, pat) {
+		t.Error("restore mismatch")
+	}
+	cp.Close()
+}
+
+func TestCheckpointSurvivesCrash(t *testing.T) {
+	c := testCtx(t)
+	n := int64(16 << 10)
+	src := c.Space.AllocHBM(n)
+	cp, _ := c.CPCreate("/pm/cp2", n, 2, 1)
+	_ = cp.Register(src, n, 0)
+	pat := make([]byte, n)
+	for i := range pat {
+		pat[i] = byte(i)
+	}
+	c.Space.WriteCPU(src, pat)
+	if _, err := cp.CheckpointGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash() // loses HBM including src
+	// Recovery mode: open, re-register, restore.
+	cp2, err := c.CPOpen("/pm/cp2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp2.Register(src, n, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp2.RestoreGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n)
+	c.Space.Read(src, got)
+	if !bytes.Equal(got, pat) {
+		t.Error("restored data does not match checkpoint")
+	}
+}
+
+func TestCrashMidCheckpointKeepsOldConsistentCopy(t *testing.T) {
+	c := testCtx(t)
+	n := int64(32 << 10)
+	src := c.Space.AllocHBM(n)
+	cp, _ := c.CPCreate("/pm/cp3", n, 2, 1)
+	_ = cp.Register(src, n, 0)
+	v1 := bytes.Repeat([]byte{1}, int(n))
+	c.Space.WriteCPU(src, v1)
+	if _, err := cp.CheckpointGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	// Second checkpoint crashes mid-copy.
+	v2 := bytes.Repeat([]byte{2}, int(n))
+	c.Space.WriteCPU(src, v2)
+	c.Dev.SetAbortCheck(func(op int64) bool { return op >= 100 })
+	if _, err := cp.CheckpointGroup(0); err != gpu.ErrCrashed {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	c.Dev.SetAbortCheck(nil)
+	c.Crash()
+	cp2, _ := c.CPOpen("/pm/cp3")
+	_ = cp2.Register(src, n, 0)
+	if _, err := cp2.RestoreGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n)
+	c.Space.Read(src, got)
+	if !bytes.Equal(got, v1) {
+		t.Error("crashed checkpoint corrupted the consistent copy")
+	}
+	if cp2.Seq(0) != 1 {
+		t.Errorf("seq advanced through crash: %d", cp2.Seq(0))
+	}
+}
+
+func TestCheckpointGroupsIndependent(t *testing.T) {
+	c := testCtx(t)
+	n := int64(4 << 10)
+	a := c.Space.AllocHBM(n)
+	b := c.Space.AllocHBM(n)
+	cp, _ := c.CPCreate("/pm/cp4", n, 1, 2)
+	_ = cp.Register(a, n, 0)
+	_ = cp.Register(b, n, 1)
+	c.Space.WriteCPU(a, bytes.Repeat([]byte{0xa}, int(n)))
+	c.Space.WriteCPU(b, bytes.Repeat([]byte{0xb}, int(n)))
+	if _, err := cp.CheckpointGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.RestoreGroup(1); err != ErrNoCheckpoint {
+		t.Errorf("group 1 restore: %v", err)
+	}
+	if _, err := cp.CheckpointGroup(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Space.WriteCPU(a, make([]byte, n))
+	if _, err := cp.RestoreGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	c.Space.Read(a, got)
+	if got[0] != 0xa {
+		t.Error("group 0 restore wrong")
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	c := testCtx(t)
+	cp, _ := c.CPCreate("/pm/cp5", 1024, 1, 1)
+	if err := cp.Register(0, 2048, 0); err != ErrGroupFull {
+		t.Errorf("oversize register: %v", err)
+	}
+	if err := cp.Register(0, 512, 5); err != ErrGroupRange {
+		t.Errorf("bad group: %v", err)
+	}
+	if _, err := cp.CheckpointGroup(0); err == nil {
+		t.Error("checkpoint with no registrations should fail")
+	}
+	if _, err := c.CPCreate("/pm/cp5b", 0, 1, 1); err == nil {
+		t.Error("zero-size create should fail")
+	}
+	src := c.Space.AllocHBM(512)
+	_ = cp.Register(src, 512, 0)
+	if _, err := cp.CheckpointGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with mismatched registration size.
+	cp2, _ := c.CPOpen("/pm/cp5")
+	if err := cp2.Register(src, 256, 0); err == nil {
+		t.Error("mismatched re-registration should fail")
+	}
+}
+
+func TestCheckpointDoubleBufferAlternates(t *testing.T) {
+	c := testCtx(t)
+	n := int64(4096)
+	src := c.Space.AllocHBM(n)
+	cp, _ := c.CPCreate("/pm/cp6", n, 1, 1)
+	_ = cp.Register(src, n, 0)
+	for i := 1; i <= 4; i++ {
+		c.Space.WriteCPU(src, bytes.Repeat([]byte{byte(i)}, int(n)))
+		if _, err := cp.CheckpointGroup(0); err != nil {
+			t.Fatal(err)
+		}
+		if cp.Seq(0) != uint64(i) {
+			t.Fatalf("seq = %d after %d checkpoints", cp.Seq(0), i)
+		}
+	}
+	c.Space.WriteCPU(src, make([]byte, n))
+	if _, err := cp.RestoreGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	c.Space.Read(src, got)
+	if got[0] != 4 {
+		t.Errorf("restored %d, want latest (4)", got[0])
+	}
+}
+
+func TestCheckpointRestoreFasterThanCAPStyle(t *testing.T) {
+	// Restore reads PM at near link bandwidth; it must be much faster
+	// than re-computing, and checkpoint duration should be reported.
+	c := testCtx(t)
+	n := int64(1 << 20)
+	src := c.Space.AllocHBM(n)
+	cp, _ := c.CPCreate("/pm/cp7", n, 1, 1)
+	_ = cp.Register(src, n, 0)
+	d, err := cp.CheckpointGroup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("checkpoint duration not reported")
+	}
+	r, err := cp.RestoreGroup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0 {
+		t.Error("restore duration not reported")
+	}
+}

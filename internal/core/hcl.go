@@ -1,0 +1,195 @@
+package gpm
+
+import (
+	"encoding/binary"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Hierarchical Coalesced Logging (§5.2, Figs 4–5).
+//
+// The log file mirrors the GPU's execution hierarchy: each threadblock owns
+// a region, each warp owns a sub-region of 128-byte stripes, and each lane
+// owns the 4-byte chunk at its lane offset inside every stripe. A thread's
+// i-th chunk therefore lives at a statically computable address — no locks
+// — and when the 32 lanes of a warp insert entries together, each stripe's
+// 32 4-byte chunk writes fall on one 128-byte block and the hardware
+// coalescer merges them into a single store. Entries larger than 4 bytes
+// are striped across consecutive stripes (Fig 5).
+//
+// Failure atomicity uses a per-thread tail index as the sentinel: a thread
+// persists its chunks, then increments and persists its tail. A crash
+// between the two leaves the tail pointing before the torn entry.
+
+// chunkAddr returns the address of chunk index c belonging to (block, warp,
+// lane).
+func (l *Log) chunkAddr(block, warp, lane, c int) uint64 {
+	cb := uint64(l.ctx.Params.CoalesceBytes)
+	gw := uint64(block*l.warpsPerBlock + warp)
+	return l.dataBase + (gw*uint64(l.chunksPerThread)+uint64(c))*cb + uint64(lane)*4
+}
+
+func (l *Log) tailAddr(tid int) uint64 { return l.tailsBase + uint64(tid)*4 }
+
+// Insert appends data (a positive multiple of 4 bytes) to the calling
+// thread's log and persists it entry-then-tail (gpmlog_insert). For HCL
+// logs the partition argument of the paper's API is implicit in the thread
+// identity; for conventional logs pass partition ≥ 0 or -1 for
+// thread-hashed.
+func (l *Log) Insert(t *gpu.Thread, data []byte, partition int) error {
+	if len(data) == 0 || len(data)%4 != 0 {
+		return ErrEntrySize
+	}
+	if l.kind == logKindConv {
+		return l.convInsert(t, data, partition)
+	}
+	if t.Block().Grid() != l.blocks || t.Block().Threads() != l.tpb {
+		return ErrBadGeometry
+	}
+	k := len(data) / 4
+	tid := t.GlobalID()
+	tail := int(t.LoadU32(l.tailAddr(tid)))
+	if tail+k > l.chunksPerThread {
+		return ErrLogFull
+	}
+	b, w, lane := t.Block().ID(), t.WarpID(), t.Lane()
+	for i := 0; i < k; i++ {
+		t.StoreU32(l.chunkAddr(b, w, lane, tail+i), binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	Persist(t)
+	t.StoreU32(l.tailAddr(tid), uint32(tail+k))
+	Persist(t)
+	return nil
+}
+
+// Read copies the calling thread's most recent n=len(p) bytes back out of
+// the log (gpmlog_read), without consuming them.
+func (l *Log) Read(t *gpu.Thread, p []byte, partition int) error {
+	if len(p) == 0 || len(p)%4 != 0 {
+		return ErrEntrySize
+	}
+	if l.kind == logKindConv {
+		return l.convRead(t, p, partition)
+	}
+	k := len(p) / 4
+	tid := t.GlobalID()
+	tail := int(t.LoadU32(l.tailAddr(tid)))
+	if tail < k {
+		return ErrEmptyLog
+	}
+	b, w, lane := t.Block().ID(), t.WarpID(), t.Lane()
+	for i := 0; i < k; i++ {
+		binary.LittleEndian.PutUint32(p[i*4:], t.LoadU32(l.chunkAddr(b, w, lane, tail-k+i)))
+	}
+	return nil
+}
+
+// Remove pops the calling thread's most recent n bytes (gpmlog_remove),
+// persisting the tail so the removal itself is crash-consistent.
+func (l *Log) Remove(t *gpu.Thread, n, partition int) error {
+	if n == 0 || n%4 != 0 {
+		return ErrEntrySize
+	}
+	if l.kind == logKindConv {
+		return l.convRemove(t, n, partition)
+	}
+	k := n / 4
+	tid := t.GlobalID()
+	tail := int(t.LoadU32(l.tailAddr(tid)))
+	if tail < k {
+		return ErrEmptyLog
+	}
+	t.StoreU32(l.tailAddr(tid), uint32(tail-k))
+	Persist(t)
+	return nil
+}
+
+// convRead returns the last len(p) bytes of a conventional partition.
+func (l *Log) convRead(t *gpu.Thread, p []byte, partition int) error {
+	if partition < 0 {
+		partition = t.GlobalID() % l.partitions
+	}
+	partition %= l.partitions
+	l.locks[partition].Lock()
+	defer l.locks[partition].Unlock()
+	head := int(t.LoadU32(l.tailsBase + uint64(partition)*4))
+	if head < len(p) {
+		return ErrEmptyLog
+	}
+	base := l.dataBase + uint64(partition)*uint64(l.capBytes)
+	t.LoadBytes(base+uint64(head-len(p)), p)
+	return nil
+}
+
+// Clear resets the calling thread's log (gpmlog_clear with partition -1
+// clears the caller's slots; HCL has per-thread partitions).
+func (l *Log) Clear(t *gpu.Thread) {
+	if l.kind == logKindConv {
+		tid := t.GlobalID()
+		if tid < l.partitions {
+			t.StoreU32(l.tailsBase+uint64(tid)*4, 0)
+			Persist(t)
+		}
+		return
+	}
+	t.StoreU32(l.tailAddr(t.GlobalID()), 0)
+	Persist(t)
+}
+
+// ClearIfUsed resets the calling thread's tail only if it logged anything,
+// so commit-time truncation writes nothing for the threads that never
+// logged (e.g. gpKVS's 7-of-8 non-inserting group threads).
+func (l *Log) ClearIfUsed(t *gpu.Thread) {
+	if l.kind == logKindConv {
+		l.Clear(t)
+		return
+	}
+	addr := l.tailAddr(t.GlobalID())
+	if t.LoadU32(addr) != 0 {
+		t.StoreU32(addr, 0)
+		Persist(t)
+	}
+}
+
+// HostClearAll resets every tail/head from the host (log truncation after
+// a committed transaction, §5.2 recovery discussion).
+func (l *Log) HostClearAll() {
+	n := l.partitions
+	if l.kind == logKindHCL {
+		n = l.blocks * l.tpb
+	}
+	sp := l.ctx.Space
+	zero := make([]byte, 4*n)
+	sp.WriteCPU(l.tailsBase, zero)
+	sp.PersistRange(l.tailsBase, len(zero))
+	l.ctx.Timeline.Add("log-meta", 5*sim.Microsecond)
+}
+
+// HostTail returns a thread's tail (in 4-byte chunks) from the host.
+func (l *Log) HostTail(tid int) int {
+	return int(l.ctx.Space.ReadU32(l.tailAddr(tid)))
+}
+
+// HostReadEntry reads the most recent len(p) bytes logged by thread tid,
+// from the host (CPU-side recovery and tests).
+func (l *Log) HostReadEntry(tid int, p []byte) error {
+	if l.kind != logKindHCL {
+		return ErrWrongKind
+	}
+	k := len(p) / 4
+	tail := l.HostTail(tid)
+	if tail < k {
+		return ErrEmptyLog
+	}
+	ws := l.ctx.Params.WarpSize
+	block := tid / l.tpb
+	within := tid % l.tpb
+	w, lane := within/ws, within%ws
+	var b [4]byte
+	for i := 0; i < k; i++ {
+		l.ctx.Space.Read(l.chunkAddr(block, w, lane, tail-k+i), b[:])
+		copy(p[i*4:], b[:])
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package gpm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Log kinds.
+const (
+	logKindConv uint32 = 1
+	logKindHCL  uint32 = 2
+)
+
+const (
+	logMagic      uint64 = 0x47504d4c4f470001 // "GPMLOG" v1
+	logHeaderSize        = 64
+)
+
+// Log errors.
+var (
+	ErrLogFull     = errors.New("gpm: log partition full")
+	ErrBadLog      = errors.New("gpm: not a gpm log file")
+	ErrEntrySize   = errors.New("gpm: log entry size must be a positive multiple of 4 bytes")
+	ErrEmptyLog    = errors.New("gpm: log entry missing")
+	ErrWrongKind   = errors.New("gpm: operation not supported by this log kind")
+	ErrBadGeometry = errors.New("gpm: log geometry does not match kernel grid")
+)
+
+// Log is a PM-resident write-ahead log (§5.2). Two layouts exist:
+//
+//   - Conventional: N partitions, each an append-only region guarded by a
+//     lock. Inserts to the same partition serialize (the prior-work
+//     distributed-log design HCL is compared against, Fig 11).
+//   - HCL (Hierarchical Coalesced Logging): the log mirrors the GPU's
+//     execution hierarchy so every thread owns statically computable slots
+//     and no insert ever takes a lock; entries are striped in 4-byte chunks
+//     across 128-byte units so a warp's inserts coalesce into single
+//     stores (Figs 4 and 5).
+//
+// All metadata (geometry, per-thread tails, partition heads) lives in PM,
+// so a log reopened after a crash is fully usable for recovery.
+type Log struct {
+	ctx  *Context
+	m    *Mapping
+	kind uint32
+
+	// HCL geometry.
+	blocks, tpb     int
+	warpsPerBlock   int
+	chunksPerThread int
+
+	// Conventional geometry.
+	partitions int
+	capBytes   int
+	locks      []sync.Mutex
+
+	tailsBase uint64 // per-thread tails (HCL) or per-partition heads (conv)
+	dataBase  uint64
+}
+
+func align256(x uint64) uint64 { return (x + 255) / 256 * 256 }
+
+// LogCreateHCL creates an HCL log sized for a grid of blocks×tpb threads
+// (gpmlog_create_hcl). The file's capacity is divided so that every thread
+// owns an equal number of 4-byte chunk slots.
+func (c *Context) LogCreateHCL(path string, size int64, blocks, tpb int) (*Log, error) {
+	if blocks <= 0 || tpb <= 0 {
+		return nil, fmt.Errorf("gpm: invalid HCL grid %dx%d", blocks, tpb)
+	}
+	ws := c.Params.WarpSize
+	warpsPerBlock := (tpb + ws - 1) / ws
+	totalThreads := blocks * tpb
+	overhead := align256(logHeaderSize + uint64(totalThreads)*4)
+	warpBytes := int64(blocks) * int64(warpsPerBlock) * int64(c.Params.CoalesceBytes)
+	chunksPerThread := (size - int64(overhead)) / warpBytes
+	if chunksPerThread < 1 {
+		return nil, fmt.Errorf("gpm: HCL log of %d bytes too small for %d threads", size, totalThreads)
+	}
+	m, err := c.Map(path, size, true)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		ctx: c, m: m, kind: logKindHCL,
+		blocks: blocks, tpb: tpb,
+		warpsPerBlock:   warpsPerBlock,
+		chunksPerThread: int(chunksPerThread),
+		tailsBase:       m.Addr + logHeaderSize,
+		dataBase:        m.Addr + overhead,
+	}
+	l.writeHeader()
+	return l, nil
+}
+
+// LogCreateConv creates a conventional distributed log with nPartitions
+// lock-guarded append regions (gpmlog_create_conv).
+func (c *Context) LogCreateConv(path string, size int64, nPartitions int) (*Log, error) {
+	if nPartitions <= 0 {
+		return nil, fmt.Errorf("gpm: invalid partition count %d", nPartitions)
+	}
+	overhead := align256(logHeaderSize + uint64(nPartitions)*4)
+	capBytes := (size - int64(overhead)) / int64(nPartitions) / 4 * 4
+	if capBytes < 4 {
+		return nil, fmt.Errorf("gpm: conventional log of %d bytes too small for %d partitions", size, nPartitions)
+	}
+	m, err := c.Map(path, size, true)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		ctx: c, m: m, kind: logKindConv,
+		partitions: nPartitions,
+		capBytes:   int(capBytes),
+		locks:      make([]sync.Mutex, nPartitions),
+		tailsBase:  m.Addr + logHeaderSize,
+		dataBase:   m.Addr + overhead,
+	}
+	l.writeHeader()
+	return l, nil
+}
+
+func (l *Log) writeHeader() {
+	sp := l.ctx.Space
+	sp.WriteU64(l.m.Addr, logMagic)
+	sp.WriteU32(l.m.Addr+8, l.kind)
+	switch l.kind {
+	case logKindHCL:
+		sp.WriteU32(l.m.Addr+12, uint32(l.blocks))
+		sp.WriteU32(l.m.Addr+16, uint32(l.tpb))
+		sp.WriteU32(l.m.Addr+20, uint32(l.chunksPerThread))
+	case logKindConv:
+		sp.WriteU32(l.m.Addr+12, uint32(l.partitions))
+		sp.WriteU32(l.m.Addr+16, uint32(l.capBytes))
+	}
+	sp.PersistRange(l.m.Addr, logHeaderSize)
+	l.ctx.Timeline.Add("log-meta", 3*sim.Microsecond)
+}
+
+// LogOpen reopens an existing log from its PM header (gpmlog_open), e.g.
+// after a crash, for recovery.
+func (c *Context) LogOpen(path string) (*Log, error) {
+	m, err := c.Map(path, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	sp := c.Space
+	if sp.ReadU64(m.Addr) != logMagic {
+		return nil, ErrBadLog
+	}
+	l := &Log{ctx: c, m: m, kind: sp.ReadU32(m.Addr + 8), tailsBase: m.Addr + logHeaderSize}
+	switch l.kind {
+	case logKindHCL:
+		l.blocks = int(sp.ReadU32(m.Addr + 12))
+		l.tpb = int(sp.ReadU32(m.Addr + 16))
+		l.chunksPerThread = int(sp.ReadU32(m.Addr + 20))
+		ws := c.Params.WarpSize
+		l.warpsPerBlock = (l.tpb + ws - 1) / ws
+		l.dataBase = m.Addr + align256(logHeaderSize+uint64(l.blocks*l.tpb)*4)
+	case logKindConv:
+		l.partitions = int(sp.ReadU32(m.Addr + 12))
+		l.capBytes = int(sp.ReadU32(m.Addr + 16))
+		l.locks = make([]sync.Mutex, l.partitions)
+		l.dataBase = m.Addr + align256(logHeaderSize+uint64(l.partitions)*4)
+	default:
+		return nil, ErrBadLog
+	}
+	return l, nil
+}
+
+// Close closes the log (gpmlog_close); contents persist in the file.
+func (l *Log) Close() { l.ctx.Unmap(l.m) }
+
+// IsHCL reports whether this is an HCL log.
+func (l *Log) IsHCL() bool { return l.kind == logKindHCL }
+
+// Blocks returns the HCL grid's block count.
+func (l *Log) Blocks() int { return l.blocks }
+
+// ThreadsPerBlock returns the HCL grid's block width.
+func (l *Log) ThreadsPerBlock() int { return l.tpb }
+
+// Partitions returns the conventional log's partition count.
+func (l *Log) Partitions() int { return l.partitions }
+
+// ---- Conventional logging ----
+
+// convCost is the serialized cost of one lock-protected insert from a GPU
+// thread: spin-acquire the PM-resident lock (~2 round trips), read the
+// head, append and persist the entry, bump and persist the head — about
+// five PCIe round trips end to end, all serialized per partition.
+func (l *Log) convCost(n int) sim.Duration {
+	p := l.ctx.Params
+	return 100*sim.Nanosecond + 5*p.PCIeRTT + sim.DurationOfBytes(int64(n), p.PMSeqUnalignedBW)
+}
+
+// convInsert appends an entry to one partition under its lock.
+func (l *Log) convInsert(t *gpu.Thread, data []byte, partition int) error {
+	if partition < 0 {
+		partition = t.GlobalID() % l.partitions
+	}
+	partition %= l.partitions
+	t.Serialize(fmt.Sprintf("%s/p%d", l.m.File.Name(), partition), l.convCost(len(data)))
+	l.locks[partition].Lock()
+	defer l.locks[partition].Unlock()
+	headAddr := l.tailsBase + uint64(partition)*4
+	head := t.LoadU32(headAddr)
+	if int(head)+len(data) > l.capBytes {
+		return ErrLogFull
+	}
+	base := l.dataBase + uint64(partition)*uint64(l.capBytes)
+	t.StoreBytes(base+uint64(head), data)
+	Persist(t)
+	t.StoreU32(headAddr, head+uint32(len(data)))
+	Persist(t)
+	return nil
+}
+
+// convRemove pops n bytes from a partition's tail.
+func (l *Log) convRemove(t *gpu.Thread, n, partition int) error {
+	if partition < 0 {
+		partition = t.GlobalID() % l.partitions
+	}
+	partition %= l.partitions
+	t.Serialize(fmt.Sprintf("%s/p%d", l.m.File.Name(), partition), l.convCost(4))
+	l.locks[partition].Lock()
+	defer l.locks[partition].Unlock()
+	headAddr := l.tailsBase + uint64(partition)*4
+	head := t.LoadU32(headAddr)
+	if int(head) < n {
+		return ErrEmptyLog
+	}
+	t.StoreU32(headAddr, head-uint32(n))
+	Persist(t)
+	return nil
+}
+
+// HostPartitionBytes returns a conventional partition's content from the
+// host, up to its current head (for CPU-side recovery and tests).
+func (l *Log) HostPartitionBytes(partition int) []byte {
+	if l.kind != logKindConv {
+		panic(ErrWrongKind)
+	}
+	head := l.ctx.Space.ReadU32(l.tailsBase + uint64(partition)*4)
+	out := make([]byte, head)
+	l.ctx.Space.Read(l.dataBase+uint64(partition)*uint64(l.capBytes), out)
+	return out
+}

@@ -1,0 +1,237 @@
+package gpm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Property: for any per-thread sequence of HCL inserts, every thread reads
+// back exactly what it wrote, in LIFO order, with no cross-thread
+// interference — the lock-free slot math never collides.
+func TestQuickHCLPerThreadIsolation(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := NewContext(sim.Default(), memsys.Config{HBMSize: 4 << 20, DRAMSize: 4 << 20, PMSize: 16 << 20})
+		const blocks, tpb = 2, 64
+		l, err := c.LogCreateHCL("/pm/q", 1<<20, blocks, tpb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each thread derives a deterministic op sequence from the seed.
+		ok := true
+		c.PersistBegin()
+		c.Launch("q", blocks, tpb, func(th *gpu.Thread) {
+			rng := sim.NewRNG(seed ^ uint64(th.GlobalID())*0x9e37)
+			var stack [][]byte
+			for op := 0; op < 12; op++ {
+				switch {
+				case rng.Intn(3) != 0 || len(stack) == 0: // insert
+					n := (rng.Intn(3) + 1) * 4
+					e := make([]byte, n)
+					binary.LittleEndian.PutUint32(e, uint32(th.GlobalID()))
+					for i := 4; i < n; i++ {
+						e[i] = byte(rng.Intn(256))
+					}
+					if err := l.Insert(th, e, -1); err != nil {
+						return // log full: fine
+					}
+					stack = append(stack, e)
+				default: // read back + remove
+					want := stack[len(stack)-1]
+					got := make([]byte, len(want))
+					if err := l.Read(th, got, -1); err != nil {
+						ok = false
+						return
+					}
+					if !bytes.Equal(got, want) {
+						ok = false
+						return
+					}
+					if err := l.Remove(th, len(want), -1); err != nil {
+						ok = false
+						return
+					}
+					stack = stack[:len(stack)-1]
+				}
+			}
+			// Drain the stack verifying LIFO order.
+			for len(stack) > 0 {
+				want := stack[len(stack)-1]
+				got := make([]byte, len(want))
+				if err := l.Read(th, got, -1); err != nil || !bytes.Equal(got, want) {
+					ok = false
+					return
+				}
+				_ = l.Remove(th, len(want), -1)
+				stack = stack[:len(stack)-1]
+			}
+		})
+		c.PersistEnd()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: whatever was inserted and committed into an HCL log is
+// readable from the host after a crash, byte-for-byte.
+func TestQuickHCLDurability(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewContext(sim.Default(), memsys.Config{HBMSize: 4 << 20, DRAMSize: 4 << 20, PMSize: 16 << 20})
+		const blocks, tpb = 1, 32
+		l, err := c.LogCreateHCL("/pm/q2", 1<<20, blocks, tpb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.PersistBegin()
+		c.Launch("q2", blocks, tpb, func(th *gpu.Thread) {
+			v := vals[th.GlobalID()%len(vals)]
+			var e [4]byte
+			binary.LittleEndian.PutUint32(e[:], v)
+			_ = l.Insert(th, e[:], -1)
+		})
+		c.PersistEnd()
+		c.Crash()
+		l2, err := c.LogOpen("/pm/q2")
+		if err != nil {
+			return false
+		}
+		var e [4]byte
+		for tid := 0; tid < tpb; tid++ {
+			if err := l2.HostReadEntry(tid, e[:]); err != nil {
+				return false
+			}
+			if binary.LittleEndian.Uint32(e[:]) != vals[tid%len(vals)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: checkpoint + restore is the identity for arbitrary contents,
+// through any number of checkpoint generations.
+func TestQuickCheckpointIdentity(t *testing.T) {
+	f := func(gens []byte) bool {
+		if len(gens) == 0 {
+			return true
+		}
+		if len(gens) > 5 {
+			gens = gens[:5]
+		}
+		c := NewContext(sim.Default(), memsys.Config{HBMSize: 4 << 20, DRAMSize: 4 << 20, PMSize: 16 << 20})
+		const n = 8 << 10
+		src := c.Space.AllocHBM(n)
+		cp, err := c.CPCreate("/pm/q3", n, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Register(src, n, 0); err != nil {
+			t.Fatal(err)
+		}
+		var last []byte
+		for _, g := range gens {
+			last = bytes.Repeat([]byte{g}, n)
+			c.Space.WriteCPU(src, last)
+			if _, err := cp.CheckpointGroup(0); err != nil {
+				return false
+			}
+		}
+		c.Crash()
+		cp2, err := c.CPOpen("/pm/q3")
+		if err != nil {
+			return false
+		}
+		if err := cp2.Register(src, n, 0); err != nil {
+			return false
+		}
+		if _, err := cp2.RestoreGroup(0); err != nil {
+			return false
+		}
+		got := make([]byte, n)
+		c.Space.Read(src, got)
+		return bytes.Equal(got, last)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a crash injected at ANY operation index during a logged KVS-like
+// update leaves the store in a state the undo log can roll back to exactly
+// the pre-transaction image.
+func TestQuickUndoLogAtomicity(t *testing.T) {
+	f := func(crashAtRaw uint16) bool {
+		crashAt := int64(crashAtRaw)%600 + 1
+		c := NewContext(sim.Default(), memsys.Config{HBMSize: 4 << 20, DRAMSize: 4 << 20, PMSize: 16 << 20})
+		const blocks, tpb = 1, 32
+		data, err := c.Map("/pm/q4data", 64*tpb, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Initial durable image: slot i holds i.
+		for i := 0; i < tpb; i++ {
+			c.Space.WriteU64(data.Addr+uint64(i)*64, uint64(i))
+		}
+		c.Space.PersistRange(data.Addr, 64*tpb)
+		l, err := c.LogCreateHCL("/pm/q4log", 1<<20, blocks, tpb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Transaction: log old value, overwrite with new, crash somewhere.
+		c.PersistBegin()
+		c.Dev.SetAbortCheck(func(op int64) bool { return op >= crashAt })
+		c.Launch("tx", blocks, tpb, func(th *gpu.Thread) {
+			addr := data.Addr + uint64(th.GlobalID())*64
+			var e [8]byte
+			binary.LittleEndian.PutUint64(e[:], th.LoadU64(addr))
+			if err := l.Insert(th, e[:], -1); err != nil {
+				return
+			}
+			th.StoreU64(addr, 0xdead0000+uint64(th.GlobalID()))
+			Persist(th)
+		})
+		c.Dev.SetAbortCheck(nil)
+		c.PersistEnd()
+		c.Crash()
+		// Recovery: undo every logged entry.
+		l2, err := c.LogOpen("/pm/q4log")
+		if err != nil {
+			return false
+		}
+		c.PersistBegin()
+		c.Launch("undo", blocks, tpb, func(th *gpu.Thread) {
+			var e [8]byte
+			if err := l2.Read(th, e[:], -1); err != nil {
+				return // nothing logged by this thread
+			}
+			th.StoreU64(data.Addr+uint64(th.GlobalID())*64, binary.LittleEndian.Uint64(e[:]))
+			Persist(th)
+			_ = l2.Remove(th, 8, -1)
+		})
+		c.PersistEnd()
+		c.Crash()
+		// Every slot must hold its pre-transaction value.
+		for i := 0; i < tpb; i++ {
+			if got := c.Space.ReadU64(data.Addr + uint64(i)*64); got != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package cpusim
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+func newHost(t *testing.T) *Host {
+	t.Helper()
+	sp := memsys.New(sim.Default(), memsys.Config{HBMSize: 4 << 20, DRAMSize: 8 << 20, PMSize: 8 << 20})
+	return NewHost(sp)
+}
+
+func TestRunExecutesAllThreads(t *testing.T) {
+	h := newHost(t)
+	seen := make([]bool, 8)
+	h.Run(8, func(th *Thread) {
+		if th.N != 8 {
+			t.Errorf("N = %d", th.N)
+		}
+		seen[th.ID] = true
+	})
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("thread %d never ran", i)
+		}
+	}
+}
+
+func TestWritePersistCrash(t *testing.T) {
+	h := newHost(t)
+	addr := h.Space.AllocPM(128, 0)
+	h.Run(1, func(th *Thread) {
+		th.WriteU64(addr, 7)
+		th.PersistRange(addr, 8)
+		th.WriteU64(addr+64, 9) // never flushed
+	})
+	h.Space.Crash()
+	if h.Space.ReadU64(addr) != 7 {
+		t.Error("persisted write lost")
+	}
+	if h.Space.ReadU64(addr+64) != 0 {
+		t.Error("unflushed write survived")
+	}
+}
+
+func TestFlushWithoutDrainNotDurable(t *testing.T) {
+	h := newHost(t)
+	addr := h.Space.AllocPM(64, 0)
+	h.Run(1, func(th *Thread) {
+		th.WriteU64(addr, 5)
+		th.FlushRange(addr, 8)
+		// no Drain: CLFLUSHOPT without SFENCE gives no guarantee
+	})
+	h.Space.Crash()
+	if h.Space.ReadU64(addr) != 0 {
+		t.Error("flush without drain should not guarantee durability")
+	}
+}
+
+func TestFlushWritesTracksOwnStores(t *testing.T) {
+	h := newHost(t)
+	a := h.Space.AllocPM(64, 0)
+	b := h.Space.AllocPM(64, 0)
+	h.Run(1, func(th *Thread) {
+		th.WriteU64(a, 1)
+		th.WriteU64(b, 2)
+		th.FlushWrites()
+		th.Drain()
+	})
+	h.Space.Crash()
+	if h.Space.ReadU64(a) != 1 || h.Space.ReadU64(b) != 2 {
+		t.Error("FlushWrites+Drain did not persist both stores")
+	}
+}
+
+func TestMemcpyMovesData(t *testing.T) {
+	h := newHost(t)
+	src := h.Space.AllocDRAM(1 << 17)
+	dst := h.Space.AllocPM(1<<17, 0)
+	want := bytes.Repeat([]byte{0xab}, 1<<17)
+	h.Space.WriteCPU(src, want)
+	h.Run(1, func(th *Thread) {
+		th.Memcpy(dst, src, 1<<17)
+		th.PersistRange(dst, 1<<17)
+	})
+	h.Space.Crash()
+	got := make([]byte, 1<<17)
+	h.Space.Read(dst, got)
+	if !bytes.Equal(got, want) {
+		t.Error("memcpy data mismatch after crash")
+	}
+}
+
+func TestPhaseTimeBoundedByPMBandwidth(t *testing.T) {
+	h := newHost(t)
+	n := int64(4 << 20)
+	src := h.Space.AllocDRAM(n)
+	dst := h.Space.AllocPM(n, 0)
+	one := h.Run(1, func(th *Thread) {
+		th.Memcpy(dst, src, n)
+		th.PersistRange(dst, n)
+	})
+	many := h.Run(16, func(th *Thread) {
+		part := n / 16
+		off := uint64(th.ID) * uint64(part)
+		th.Memcpy(dst+off, src+off, part)
+		th.PersistRange(dst+off, part)
+	})
+	speedup := float64(one) / float64(many)
+	// The Fig 3a plateau: threads cannot beat the aggregate PM bandwidth.
+	if speedup > 1.8 {
+		t.Errorf("16 CPU threads sped persistence %.2fx; plateau should cap it", speedup)
+	}
+	if speedup < 1.05 {
+		t.Errorf("16 threads gave no speedup at all (%.2fx)", speedup)
+	}
+}
+
+func TestSmallAccessLatency(t *testing.T) {
+	h := newHost(t)
+	addr := h.Space.AllocPM(1<<16, 0)
+	// 1024 scattered 8-byte writes must cost at least the media latency
+	// each, far more than 8KB/bandwidth.
+	d := h.Run(1, func(th *Thread) {
+		for i := 0; i < 1024; i++ {
+			th.WriteU64(addr+uint64(i*64), uint64(i))
+		}
+	})
+	if d < 1024*h.Params.PMReadLatency {
+		t.Errorf("scattered small writes too cheap: %v", d)
+	}
+}
+
+func TestFlushForeignCountsPMTraffic(t *testing.T) {
+	h := newHost(t)
+	addr := h.Space.AllocPM(1<<20, 0)
+	own := h.Run(4, func(th *Thread) {
+		th.PersistRange(addr, 1<<20) // own-flush: no PM byte accounting
+	})
+	foreign := h.Run(4, func(th *Thread) {
+		th.PersistForeignRange(addr, 1<<20)
+	})
+	if foreign <= own {
+		t.Errorf("foreign flush (%v) should cost more than own flush (%v): it drains LLC->PM", foreign, own)
+	}
+}
+
+func TestEADRSkipsFlushes(t *testing.T) {
+	h := newHost(t)
+	h.Space.SetEADR(true)
+	addr := h.Space.AllocPM(1<<20, 0)
+	d := h.Run(1, func(th *Thread) {
+		th.Write(addr, make([]byte, 1<<20))
+		th.PersistRange(addr, 1<<20)
+	})
+	h.Space.SetEADR(false)
+	h2 := newHost(t)
+	addr2 := h2.Space.AllocPM(1<<20, 0)
+	d2 := h2.Run(1, func(th *Thread) {
+		th.Write(addr2, make([]byte, 1<<20))
+		th.PersistRange(addr2, 1<<20)
+	})
+	if d >= d2 {
+		t.Errorf("eADR persist (%v) should be cheaper than flush+drain (%v)", d, d2)
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	h := newHost(t)
+	a := h.Space.AllocDRAM(64)
+	h.Run(1, func(th *Thread) {
+		th.WriteU32(a, 0xfeed)
+		th.WriteF32(a+8, 2.5)
+		th.WriteF64(a+16, -1.25)
+		if th.ReadU32(a) != 0xfeed || th.ReadF32(a+8) != 2.5 || th.ReadF64(a+16) != -1.25 {
+			t.Error("typed round trip failed")
+		}
+		if th.Clock() <= 0 {
+			t.Error("clock did not advance")
+		}
+		if th.Host() != h || th.Space() != h.Space {
+			t.Error("accessors broken")
+		}
+	})
+}
+
+func TestComputeScales(t *testing.T) {
+	h := newHost(t)
+	d := h.Run(1, func(th *Thread) { th.Compute(time100us()) })
+	if d != time100us() {
+		t.Errorf("compute = %v", d)
+	}
+}
+
+func time100us() sim.Duration { return 100 * sim.Microsecond }

@@ -1,0 +1,67 @@
+// Package crash is the NVBitFI analog (§6.2): it injects crashes at
+// pseudo-random points during GPU execution, simulates the power failure,
+// drives the workload's recovery procedure, and verifies the result.
+package crash
+
+import (
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// Injector drives randomized crash-recovery stress runs.
+type Injector struct {
+	rng *sim.RNG
+}
+
+// NewInjector returns an injector with a deterministic crash-point stream.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{rng: sim.NewRNG(seed)}
+}
+
+// Result reports one stress run.
+type Result struct {
+	CrashAt int64 // device-operation index of the injected fault
+	Report  *workloads.Report
+}
+
+// Stress measures a workload's operation count on a sacrificial instance,
+// crashes a fresh instance at a random point in the second half of
+// execution (so recovery has real state to work with), recovers, verifies,
+// and reports. An error means recovery produced incorrect state — the §6.2
+// experiment failing.
+func (in *Injector) Stress(mk func() workloads.Crasher, cfg workloads.Config) (*Result, error) {
+	total, err := in.countOps(mk(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("calibration: %w", err)
+	}
+	if total < 4 {
+		return nil, fmt.Errorf("workload too small to crash (only %d ops)", total)
+	}
+	// Crash in the second half: late enough that transactional workloads
+	// are mid-batch and checkpointing ones have a checkpoint to restore.
+	crashAt := total/2 + in.rng.Int63n(total/2-1) + 1
+	rep, err := workloads.RunWithCrash(mk(), workloads.GPM, cfg, crashAt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{CrashAt: crashAt, Report: rep}, nil
+}
+
+// countOps runs the workload once with a never-firing abort check to learn
+// its total device-operation count.
+func (in *Injector) countOps(w workloads.Crasher, cfg workloads.Config) (int64, error) {
+	env := workloads.NewEnv(workloads.GPM, cfg)
+	if err := w.Setup(env); err != nil {
+		return 0, err
+	}
+	env.Ctx.Dev.SetAbortCheck(func(int64) bool { return false })
+	env.BeginOps()
+	if err := w.Run(env); err != nil {
+		return 0, err
+	}
+	n := env.Ctx.Dev.ObservedOps()
+	env.Ctx.Dev.SetAbortCheck(nil)
+	return n, nil
+}

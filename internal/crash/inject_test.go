@@ -1,0 +1,58 @@
+package crash
+
+import (
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/gpdb"
+	"github.com/gpm-sim/gpm/internal/graph"
+	"github.com/gpm-sim/gpm/internal/kvstore"
+	"github.com/gpm-sim/gpm/internal/scan"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+func TestStressKVS(t *testing.T) {
+	in := NewInjector(11)
+	for i := 0; i < 3; i++ {
+		res, err := in.Stress(func() workloads.Crasher { return kvstore.New() }, workloads.QuickConfig())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.CrashAt <= 0 || res.Report.Restore < 0 {
+			t.Errorf("run %d: odd result %+v", i, res)
+		}
+	}
+}
+
+func TestStressGpDBUpdate(t *testing.T) {
+	in := NewInjector(13)
+	if _, err := in.Stress(func() workloads.Crasher { return gpdb.New(gpdb.Update) }, workloads.QuickConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStressNativeWorkloads(t *testing.T) {
+	in := NewInjector(17)
+	for name, mk := range map[string]func() workloads.Crasher{
+		"bfs": func() workloads.Crasher { return graph.New() },
+		"ps":  func() workloads.Crasher { return scan.New() },
+	} {
+		if _, err := in.Stress(mk, workloads.QuickConfig()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDeterministicCrashPoints(t *testing.T) {
+	a, b := NewInjector(5), NewInjector(5)
+	ra, err := a.Stress(func() workloads.Crasher { return kvstore.New() }, workloads.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Stress(func() workloads.Crasher { return kvstore.New() }, workloads.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.CrashAt != rb.CrashAt {
+		t.Errorf("same seed picked different crash points: %d vs %d", ra.CrashAt, rb.CrashAt)
+	}
+}

@@ -1,0 +1,37 @@
+// Package cxl models the paper's §3.3 discussion of CXL 2.0-attached
+// persistent memory as a forward-looking extension: devices get coherent
+// load/store access to PM, and the host can issue a Global Persistent Flush
+// (GPF) that drains ALL device caches into the persistence domain.
+//
+// The paper's argument — reproduced mechanically by this package and its
+// tests — is that CXL-attached PM alone cannot substitute for GPM: GPF is
+// host-issued and global, so a kernel cannot order its log entry ahead of
+// its data update. Between GPFs, cache evictions persist lines in an order
+// the program does not control, so write-ahead logging's invariant (log
+// durable before data) silently breaks. GPM's in-kernel, thread-scoped
+// persist is precisely what GPF does not provide; GPM's design principles
+// would need to be extended to CXL-attached PM (§3.3).
+package cxl
+
+import (
+	gpm "github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// GPFBase is the fixed cost of issuing the Global Persistent Flush from
+// the host (instruction + protocol handshake across the hierarchy).
+const GPFBase = 3 * sim.Microsecond
+
+// GPF issues a Global Persistent Flush: every dirty line cached anywhere in
+// the coherence domain drains to PM. It is host-issued, global (it cannot
+// name a structure or a thread), and its cost scales with the total dirty
+// footprint — all three properties are what make it unsuitable as a
+// fine-grained persist primitive. The simulated duration is accounted on
+// the context timeline under "gpf" and returned.
+func GPF(ctx *gpm.Context) sim.Duration {
+	lines := ctx.Space.LLC.ResidentLines()
+	ctx.Space.LLC.FlushAll()
+	d := GPFBase + sim.DurationOfBytes(int64(lines)*int64(ctx.Params.LineSize()), ctx.Params.PMSeqAlignedBW)
+	ctx.Timeline.Add("gpf", d)
+	return d
+}

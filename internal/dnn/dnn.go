@@ -1,0 +1,215 @@
+// Package dnn implements the GPMbench DNN-training workload (§4.2): a
+// LeNet-class MLP trained on synthetic MNIST-like data with forward and
+// backward kernels on the GPU, checkpointing the weights and biases every
+// few iterations (the paper uses every 10th pass) through libGPM's
+// checkpoint facility, CAP, or GPUfs.
+package dnn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+const (
+	dnnDataset = 256 // synthetic samples
+	dnnLR      = float32(0.5)
+)
+
+// DNN is the training workload.
+type DNN struct {
+	inputs, hidden, classes, batch, iters, ckptEach int
+
+	// HBM addresses.
+	x, xT  uint64 // dataset [DS][in] and its transpose [in][DS]
+	labels uint64 // [DS] u32
+	wBlock uint64 // contiguous weight block: W1 | b1 | W2 | b2
+	hid    uint64 // [B][hidden]
+	hidT   uint64 // [hidden][B]
+	logits uint64 // [B][classes]
+	grad   uint64 // [B][classes]
+	gradT  uint64 // [classes][B]
+	dhid   uint64 // [B][hidden]
+	dhidT  uint64 // [hidden][B]
+
+	cp     *gpm.Checkpoint
+	cpFile *fsim.File
+
+	dataBytes  []byte    // durable source of the dataset
+	cachedX    []float32 // host copy of the dataset for loss evaluation
+	labelVals  []uint32
+	initLoss   float64
+	ckptWts    []float32 // weights captured at the last checkpoint
+	ckpts      int
+	resumeIter int
+}
+
+// New returns the DNN workload.
+func New() *DNN { return &DNN{} }
+
+// Name implements workloads.Workload.
+func (d *DNN) Name() string { return "DNN" }
+
+// Class implements workloads.Workload.
+func (d *DNN) Class() string { return "checkpointing" }
+
+// Supports implements workloads.Workload: the weight checkpoint is small,
+// so DNN is one of the coarse-grained workloads GPUfs CAN run (§6.1).
+func (d *DNN) Supports(mode workloads.Mode) bool { return mode != workloads.CPUOnly }
+
+// Weight block offsets (in floats).
+func (d *DNN) w1Len() int { return d.hidden * d.inputs }
+func (d *DNN) b1Off() int { return d.w1Len() }
+func (d *DNN) w2Off() int { return d.b1Off() + d.hidden }
+func (d *DNN) b2Off() int { return d.w2Off() + d.classes*d.hidden }
+func (d *DNN) wLen() int  { return d.b2Off() + d.classes }
+
+// Setup implements workloads.Workload.
+func (d *DNN) Setup(env *workloads.Env) error {
+	cfg := env.Cfg
+	d.inputs, d.hidden, d.classes = cfg.DNNInputs, cfg.DNNHidden, cfg.DNNClasses
+	d.batch, d.iters, d.ckptEach = cfg.DNNBatch, cfg.DNNIters, cfg.DNNCkptEach
+	if d.batch > dnnDataset {
+		return fmt.Errorf("dnn: batch %d exceeds dataset %d", d.batch, dnnDataset)
+	}
+	sp := env.Ctx.Space
+	f4 := func(n int) uint64 { return sp.AllocHBM(int64(n) * 4) }
+	d.x = f4(dnnDataset * d.inputs)
+	d.xT = f4(d.inputs * dnnDataset)
+	d.labels = f4(dnnDataset)
+	d.wBlock = f4(d.wLen())
+	d.hid = f4(d.batch * d.hidden)
+	d.hidT = f4(d.hidden * d.batch)
+	d.logits = f4(d.batch * d.classes)
+	d.grad = f4(d.batch * d.classes)
+	d.gradT = f4(d.classes * d.batch)
+	d.dhid = f4(d.batch * d.hidden)
+	d.dhidT = f4(d.hidden * d.batch)
+
+	// Synthetic MNIST-like data: the label is the argmax of the first
+	// `classes` features, a pattern the MLP can learn quickly.
+	xs := make([]float32, dnnDataset*d.inputs)
+	d.labelVals = make([]uint32, dnnDataset)
+	for s := 0; s < dnnDataset; s++ {
+		best, bestV := 0, float32(-1)
+		for i := 0; i < d.inputs; i++ {
+			v := float32(env.RNG.Float64())
+			xs[s*d.inputs+i] = v
+			if i < d.classes && v > bestV {
+				best, bestV = i, v
+			}
+		}
+		d.labelVals[s] = uint32(best)
+	}
+	d.dataBytes = f32Bytes(xs)
+	d.cachedX = xs
+	d.stageData(env, xs)
+
+	// Initialize weights deterministically.
+	w := make([]float32, d.wLen())
+	for i := range w {
+		w[i] = float32(env.RNG.NormFloat64()) * 0.08
+	}
+	sp.WriteCPU(d.wBlock, f32Bytes(w))
+	d.initLoss = d.hostLoss(w)
+
+	var err error
+	wBytes := int64(d.wLen()) * 4
+	if env.Mode.UsesGPM() {
+		if d.cp, err = env.Ctx.CPCreate("/pm/dnn.cp", wBytes, 4, 1); err != nil {
+			return err
+		}
+		// Register weights and biases in a fixed order (§5.3: restore
+		// follows registration order).
+		for _, r := range d.regions() {
+			if err = d.cp.Register(r.addr, r.n, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	d.cpFile, err = env.Ctx.FS.Create("/pm/dnn.cp", wBytes, 0)
+	return err
+}
+
+type region struct {
+	addr uint64
+	n    int64
+}
+
+func (d *DNN) regions() []region {
+	return []region{
+		{d.wBlock, int64(d.w1Len()) * 4},
+		{d.wBlock + uint64(d.b1Off())*4, int64(d.hidden) * 4},
+		{d.wBlock + uint64(d.w2Off())*4, int64(d.classes*d.hidden) * 4},
+		{d.wBlock + uint64(d.b2Off())*4, int64(d.classes) * 4},
+	}
+}
+
+func (d *DNN) stageData(env *workloads.Env, xs []float32) {
+	sp := env.Ctx.Space
+	sp.WriteCPU(d.x, f32Bytes(xs))
+	xt := make([]float32, len(xs))
+	for s := 0; s < dnnDataset; s++ {
+		for i := 0; i < d.inputs; i++ {
+			xt[i*dnnDataset+s] = xs[s*d.inputs+i]
+		}
+	}
+	sp.WriteCPU(d.xT, f32Bytes(xt))
+	lb := make([]byte, dnnDataset*4)
+	for s, l := range d.labelVals {
+		binary.LittleEndian.PutUint32(lb[s*4:], l)
+	}
+	sp.WriteCPU(d.labels, lb)
+	env.Ctx.Timeline.Add("setup", sp.DMA.TransferDown(int64(len(xs)*8+dnnDataset*4)))
+}
+
+// hostLoss computes mean cross-entropy over the dataset for the given
+// weight block (float64 host math; used only for relative comparisons).
+func (d *DNN) hostLoss(w []float32) float64 {
+	var total float64
+	for s := 0; s < dnnDataset; s++ {
+		logits := d.hostForward(w, s)
+		var maxv float64
+		for _, v := range logits {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range logits {
+			sum += math.Exp(v - maxv)
+		}
+		total += -(logits[d.labelVals[s]] - maxv - math.Log(sum))
+	}
+	return total / dnnDataset
+}
+
+func (d *DNN) hostForward(w []float32, s int) []float64 {
+	hid := make([]float64, d.hidden)
+	base := s * d.inputs
+	xs := d.cachedX
+	for j := 0; j < d.hidden; j++ {
+		acc := float64(w[d.b1Off()+j])
+		for i := 0; i < d.inputs; i++ {
+			acc += float64(w[j*d.inputs+i]) * float64(xs[base+i])
+		}
+		if acc < 0 {
+			acc = 0
+		}
+		hid[j] = acc
+	}
+	out := make([]float64, d.classes)
+	for c := 0; c < d.classes; c++ {
+		acc := float64(w[d.b2Off()+c])
+		for j := 0; j < d.hidden; j++ {
+			acc += float64(w[d.w2Off()+c*d.hidden+j]) * hid[j]
+		}
+		out[c] = acc
+	}
+	return out
+}

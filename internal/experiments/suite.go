@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"github.com/gpm-sim/gpm/internal/dnn"
+	"github.com/gpm-sim/gpm/internal/finance"
+	"github.com/gpm-sim/gpm/internal/gpdb"
+	"github.com/gpm-sim/gpm/internal/graph"
+	"github.com/gpm-sim/gpm/internal/kvstore"
+	"github.com/gpm-sim/gpm/internal/scan"
+	"github.com/gpm-sim/gpm/internal/stencil"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// Suite returns fresh instances of every GPMbench workload configuration
+// evaluated in Fig 9/10 (the nine workloads of Table 1, with gpKVS and gpDB
+// split into their reported variants), in the paper's presentation order.
+func Suite() []func() workloads.Workload {
+	return []func() workloads.Workload{
+		func() workloads.Workload { return kvstore.New() },
+		func() workloads.Workload { return kvstore.NewMixed() },
+		func() workloads.Workload { return gpdb.New(gpdb.Insert) },
+		func() workloads.Workload { return gpdb.New(gpdb.Update) },
+		func() workloads.Workload { return dnn.New() },
+		func() workloads.Workload { return stencil.NewCFD() },
+		func() workloads.Workload { return finance.NewBlackScholes() },
+		func() workloads.Workload { return stencil.NewHotspot() },
+		func() workloads.Workload { return graph.New() },
+		func() workloads.Workload { return stencil.NewSRAD() },
+		func() workloads.Workload { return scan.New() },
+	}
+}
+
+// Crashers returns the workloads participating in the Table 5 / §6.2
+// recovery study (transactional and checkpointing classes; native
+// workloads embed their recovery in the application itself and are
+// excluded, as in the paper).
+func Crashers() []func() workloads.Crasher {
+	return []func() workloads.Crasher{
+		func() workloads.Crasher { return kvstore.New() },
+		func() workloads.Crasher { return gpdb.New(gpdb.Insert) },
+		func() workloads.Crasher { return gpdb.New(gpdb.Update) },
+		func() workloads.Crasher { return dnn.New() },
+		func() workloads.Crasher { return stencil.NewCFD() },
+		func() workloads.Crasher { return finance.NewBlackScholes() },
+		func() workloads.Crasher { return stencil.NewHotspot() },
+	}
+}
+
+// NativeCrashers are the native-persistence workloads whose §6.2 recovery
+// is exercised separately (they resume rather than restore).
+func NativeCrashers() []func() workloads.Crasher {
+	return []func() workloads.Crasher{
+		func() workloads.Crasher { return graph.New() },
+		func() workloads.Crasher { return stencil.NewSRAD() },
+		func() workloads.Crasher { return scan.New() },
+	}
+}
+
+// opTimeFor selects the paper's Fig 9 metric for a workload class:
+// checkpointing workloads report the speedup of the checkpoint operation;
+// transactional and native ones the operation region.
+func opTimeFor(r *workloads.Report) float64 {
+	if r.Class == "checkpointing" && r.CkptTime > 0 {
+		return float64(r.CkptTime)
+	}
+	return float64(r.OpTime)
+}

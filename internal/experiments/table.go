@@ -1,0 +1,64 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) from the simulated system: Fig 1a/1b, Fig 3, Fig 9,
+// Fig 10, Fig 11a/11b, Fig 12, Table 4, Table 5, plus the §6.1 DNN
+// checkpoint-frequency study and the §3.2/§6.1 Optane pattern microbench.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one generated report: a named grid with a header row.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v, floats with 3 decimals.
+func (t *Table) Add(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// TSV renders the table as tab-separated values (the artifact's report
+// format, Appendix A.6).
+func (t *Table) TSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, "\t"))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Cell returns the value at (row, col) or "" if out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		return ""
+	}
+	return t.Rows[row][col]
+}
+
+// FindRow returns the first row whose first column equals key, or nil.
+func (t *Table) FindRow(key string) []string {
+	for _, r := range t.Rows {
+		if len(r) > 0 && r[0] == key {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package finance
+
+import (
+	"math"
+
+	"github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// Binomial is the paper's poor-fit example (§4.3): in GPU binomial option
+// pricing, a whole threadblock cooperates on ONE option and a single thread
+// writes (and would persist) the result. GPM needs parallelism in the
+// persist path for good performance; with one persisting thread per block
+// there is almost none. PriceOptions exposes the per-option persist pattern
+// so the ablation bench can quantify it against Black-Scholes.
+type Binomial struct {
+	Steps int // binomial tree depth
+}
+
+// binomialPrice computes one option's value on the host (float32,
+// mirroring the kernel).
+func binomialPrice(s, k, t float32, steps int) float32 {
+	const r, v = float32(0.02), float32(0.30)
+	dt := t / float32(steps)
+	u := expf(v * sqrtf(dt))
+	d := 1 / u
+	p := (expf(r*dt) - d) / (u - d)
+	disc := expf(-r * dt)
+	vals := make([]float32, steps+1)
+	for i := 0; i <= steps; i++ {
+		sp := s * float32(math.Pow(float64(u), float64(i))) * float32(math.Pow(float64(d), float64(steps-i)))
+		if sp > k {
+			vals[i] = sp - k
+		}
+	}
+	for step := steps; step > 0; step-- {
+		for i := 0; i < step; i++ {
+			vals[i] = disc * (p*vals[i+1] + (1-p)*vals[i])
+		}
+	}
+	return vals[0]
+}
+
+// PriceOptions prices n options under GPM, one threadblock per option:
+// the block's threads evaluate tree leaves in parallel, but only thread 0
+// performs the backward induction, writes, and persists — the pattern that
+// leaves no persist parallelism. It returns the kernel duration and the
+// computed prices' PM address.
+func (bi *Binomial) PriceOptions(env *workloads.Env, spots, strikes, yearsv []float32) (sim.Duration, uint64, error) {
+	n := len(spots)
+	sp := env.Ctx.Space
+	sAddr := sp.AllocHBM(int64(n) * 4)
+	kAddr := sp.AllocHBM(int64(n) * 4)
+	yAddr := sp.AllocHBM(int64(n) * 4)
+	writeF32Slice(sp, sAddr, spots)
+	writeF32Slice(sp, kAddr, strikes)
+	writeF32Slice(sp, yAddr, yearsv)
+	out, err := env.Ctx.FS.OpenOrCreate("/pm/binomial.out", int64(n)*4, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	steps := bi.Steps
+	if steps <= 0 {
+		steps = 64
+	}
+	env.PersistKernelBegin()
+	res := env.Ctx.Launch("binomial", n, 64, func(t *gpu.Thread) {
+		opt := t.Block().ID()
+		// All threads share leaf evaluation (parallel compute)...
+		t.Compute(sim.Duration(steps) * 2 * sim.Nanosecond)
+		t.SyncBlock()
+		// ...but only thread 0 runs the induction, writes, and persists.
+		if t.ID() != 0 {
+			return
+		}
+		s := t.LoadF32(sAddr + uint64(opt)*4)
+		k := t.LoadF32(kAddr + uint64(opt)*4)
+		y := t.LoadF32(yAddr + uint64(opt)*4)
+		t.Compute(sim.Duration(steps*steps) * sim.Nanosecond / 2)
+		t.StoreF32(out.Mmap()+uint64(opt)*4, binomialPrice(s, k, y, steps))
+		gpm.Persist(t)
+	})
+	env.PersistKernelEnd()
+	return res.Elapsed, out.Mmap(), nil
+}

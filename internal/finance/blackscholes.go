@@ -1,0 +1,231 @@
+// Package finance implements the financial GPMbench workloads:
+// Black-Scholes option pricing (BLK — checkpointing class, §4.2) and the
+// binomial options model, the paper's example of a workload that fits GPM
+// poorly because one thread per block writes the result, leaving no
+// parallelism for persistence (§4.3).
+package finance
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+const blkGPUCost = 40 * sim.Nanosecond
+
+// BlackScholes (BLK) prices a large pool of European call options in
+// batches, checkpointing the predicted prices after every few batches.
+type BlackScholes struct {
+	options, iters, ckptEach int
+	perIter                  int
+
+	spot, strike, years uint64 // HBM read-only inputs
+	prices              uint64 // HBM output prices
+
+	cp     *gpm.Checkpoint
+	cpFile *fsim.File
+
+	expect     []float32
+	expectCkpt []float32
+	ckpts      int
+	resumeIter int
+
+	// Host copies of the read-only inputs, restaged on recovery.
+	hostS, hostK, hostY []float32
+}
+
+// NewBlackScholes returns the BLK workload.
+func NewBlackScholes() *BlackScholes { return &BlackScholes{} }
+
+// Name implements workloads.Workload.
+func (b *BlackScholes) Name() string { return "BLK" }
+
+// Class implements workloads.Workload.
+func (b *BlackScholes) Class() string { return "checkpointing" }
+
+// Supports implements workloads.Workload: like HS, BLK's checkpoint file
+// exceeds GPUfs's file-size limit in the paper (§6.1), and checkpointing
+// workloads have no CPU-only counterpart.
+func (b *BlackScholes) Supports(mode workloads.Mode) bool {
+	return mode != workloads.GPUfs && mode != workloads.CPUOnly
+}
+
+// cnd is the cumulative normal distribution (Abramowitz–Stegun polynomial),
+// in float32 to match the kernel bit-for-bit.
+func cnd(x float32) float32 {
+	const (
+		a1 = float32(0.31938153)
+		a2 = float32(-0.356563782)
+		a3 = float32(1.781477937)
+		a4 = float32(-1.821255978)
+		a5 = float32(1.330274429)
+	)
+	l := x
+	if l < 0 {
+		l = -l
+	}
+	k := 1 / (1 + 0.2316419*l)
+	w := 1 - 1/float32(math.Sqrt(2*math.Pi))*expf(-l*l/2)*
+		(a1*k+a2*k*k+a3*k*k*k+a4*k*k*k*k+a5*k*k*k*k*k)
+	if x < 0 {
+		return 1 - w
+	}
+	return w
+}
+
+func expf(x float32) float32  { return float32(math.Exp(float64(x))) }
+func logf(x float32) float32  { return float32(math.Log(float64(x))) }
+func sqrtf(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// price is the Black-Scholes call price with fixed rate and volatility.
+func price(s, k, t float32) float32 {
+	const r, v = float32(0.02), float32(0.30)
+	sqrtT := sqrtf(t)
+	d1 := (logf(s/k) + (r+v*v/2)*t) / (v * sqrtT)
+	d2 := d1 - v*sqrtT
+	return s*cnd(d1) - k*expf(-r*t)*cnd(d2)
+}
+
+// Setup implements workloads.Workload.
+func (b *BlackScholes) Setup(env *workloads.Env) error {
+	cfg := env.Cfg
+	b.options, b.iters, b.ckptEach = cfg.BLKOptions, cfg.BLKIters, cfg.BLKCkptEach
+	b.perIter = (b.options + b.iters - 1) / b.iters
+	n := b.options
+	sp := env.Ctx.Space
+	b.spot = sp.AllocHBM(int64(n) * 4)
+	b.strike = sp.AllocHBM(int64(n) * 4)
+	b.years = sp.AllocHBM(int64(n) * 4)
+	b.prices = sp.AllocHBM(int64(n) * 4)
+
+	s := make([]float32, n)
+	k := make([]float32, n)
+	y := make([]float32, n)
+	b.expect = make([]float32, n)
+	for i := 0; i < n; i++ {
+		s[i] = 10 + 90*float32(env.RNG.Float64())
+		k[i] = 10 + 90*float32(env.RNG.Float64())
+		y[i] = 0.25 + 2*float32(env.RNG.Float64())
+		b.expect[i] = price(s[i], k[i], y[i])
+	}
+	b.hostS, b.hostK, b.hostY = s, k, y
+	writeF32Slice(sp, b.spot, s)
+	writeF32Slice(sp, b.strike, k)
+	writeF32Slice(sp, b.years, y)
+	env.Ctx.Timeline.Add("setup", sp.DMA.TransferDown(3*int64(n)*4))
+
+	lastCkptIter := b.iters / b.ckptEach * b.ckptEach
+	b.expectCkpt = make([]float32, n)
+	copy(b.expectCkpt, b.expect[:minInt(lastCkptIter*b.perIter, n)])
+
+	var err error
+	if env.Mode.UsesGPM() {
+		if b.cp, err = env.Ctx.CPCreate("/pm/blk.cp", int64(n)*4, 1, 1); err != nil {
+			return err
+		}
+		return b.cp.Register(b.prices, int64(n)*4, 0)
+	}
+	b.cpFile, err = env.Ctx.FS.Create("/pm/blk.cp", int64(n)*4, 0)
+	return err
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+const blkTPB = 256
+
+// priceKernel prices options [lo, hi).
+func (b *BlackScholes) priceKernel(env *workloads.Env, lo, hi int) {
+	spot, strike, years, prices := b.spot, b.strike, b.years, b.prices
+	count := hi - lo
+	blocks := (count + blkTPB - 1) / blkTPB
+	env.Ctx.Launch("blk-price", blocks, blkTPB, func(t *gpu.Thread) {
+		i := lo + t.GlobalID()
+		if i >= hi {
+			return
+		}
+		s := t.LoadF32(spot + uint64(i)*4)
+		k := t.LoadF32(strike + uint64(i)*4)
+		y := t.LoadF32(years + uint64(i)*4)
+		t.Compute(blkGPUCost)
+		t.StoreF32(prices+uint64(i)*4, price(s, k, y))
+	})
+}
+
+func (b *BlackScholes) checkpoint(env *workloads.Env) error {
+	start := env.Ctx.Timeline.Total()
+	defer func() { env.AddCheckpoint(env.Ctx.Timeline.Total() - start) }()
+	b.ckpts++
+	if env.Mode.UsesGPM() {
+		_, err := b.cp.CheckpointGroup(0)
+		return err
+	}
+	return workloads.PersistBuffer(env, b.cpFile, 0, b.prices, int64(b.options)*4)
+}
+
+// Run implements workloads.Workload.
+func (b *BlackScholes) Run(env *workloads.Env) error {
+	for it := b.resumeIter + 1; it <= b.iters; it++ {
+		lo := (it - 1) * b.perIter
+		hi := minInt(lo+b.perIter, b.options)
+		if lo < hi {
+			b.priceKernel(env, lo, hi)
+		}
+		if it%b.ckptEach == 0 {
+			if err := b.checkpoint(env); err != nil {
+				return err
+			}
+		}
+	}
+	env.CountOps(int64(b.options))
+	return nil
+}
+
+// Verify implements workloads.Workload.
+func (b *BlackScholes) Verify(env *workloads.Env) error {
+	n := b.options
+	got := readF32Slice(env.Ctx.Space, b.prices, n)
+	for i := range got {
+		if got[i] != b.expect[i] {
+			return fmt.Errorf("blk: price[%d] = %v, want %v", i, got[i], b.expect[i])
+		}
+	}
+	if b.ckpts == 0 {
+		return fmt.Errorf("blk: no checkpoints taken")
+	}
+	// The durable checkpoint holds prices as of the last checkpoint.
+	var snap []float32
+	if env.Mode.UsesGPM() {
+		sp := env.Ctx.Space
+		scratch := sp.AllocHBM(int64(n) * 4)
+		cp2, err := env.Ctx.CPOpen("/pm/blk.cp")
+		if err != nil {
+			return err
+		}
+		if err := cp2.Register(scratch, int64(n)*4, 0); err != nil {
+			return err
+		}
+		if _, err := cp2.RestoreGroup(0); err != nil {
+			return err
+		}
+		snap = readF32Slice(sp, scratch, n)
+	} else {
+		raw := env.Ctx.Space.SnapshotPersistent(b.cpFile.Mmap(), n*4)
+		snap = f32FromBytes(raw)
+	}
+	for i := range b.expectCkpt {
+		if b.expectCkpt[i] != 0 && snap[i] != b.expectCkpt[i] {
+			return fmt.Errorf("blk: durable ckpt[%d] = %v, want %v", i, snap[i], b.expectCkpt[i])
+		}
+	}
+	return nil
+}

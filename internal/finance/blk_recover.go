@@ -1,0 +1,54 @@
+package finance
+
+import (
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// RunUntilCrash implements workloads.Crasher.
+func (b *BlackScholes) RunUntilCrash(env *workloads.Env, abortAfterOps int64) error {
+	if !env.Mode.UsesGPM() {
+		return fmt.Errorf("blk: crash study requires a GPM mode")
+	}
+	env.Ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= abortAfterOps })
+	err := b.Run(env)
+	env.Ctx.Dev.SetAbortCheck(nil)
+	if err == gpu.ErrCrashed {
+		return nil
+	}
+	return err
+}
+
+// Recover implements workloads.Crasher: restore the checkpointed prices,
+// restage the read-only option parameters, and resume pricing at the
+// checkpointed batch.
+func (b *BlackScholes) Recover(env *workloads.Env) error {
+	restoreStart := env.Ctx.Timeline.Total()
+	cp2, err := env.Ctx.CPOpen("/pm/blk.cp")
+	if err != nil {
+		return err
+	}
+	if err := cp2.Register(b.prices, int64(b.options)*4, 0); err != nil {
+		return err
+	}
+	if cp2.Seq(0) == 0 {
+		return fmt.Errorf("blk: crash before first checkpoint; nothing to restore")
+	}
+	if _, err := cp2.RestoreGroup(0); err != nil {
+		return err
+	}
+	env.AddRestore(env.Ctx.Timeline.Total() - restoreStart)
+	b.cp = cp2
+	b.ckpts = int(cp2.Seq(0))
+	sp := env.Ctx.Space
+	writeF32Slice(sp, b.spot, b.hostS)
+	writeF32Slice(sp, b.strike, b.hostK)
+	writeF32Slice(sp, b.years, b.hostY)
+	env.Ctx.Timeline.Add("reload", sp.DMA.TransferDown(3*int64(b.options)*4))
+	b.resumeIter = int(cp2.Seq(0)) * b.ckptEach
+	err = b.Run(env)
+	b.resumeIter = 0
+	return err
+}

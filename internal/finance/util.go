@@ -1,0 +1,30 @@
+package finance
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/gpm-sim/gpm/internal/memsys"
+)
+
+func writeF32Slice(sp *memsys.Space, addr uint64, vals []float32) {
+	buf := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	sp.WriteCPU(addr, buf)
+}
+
+func readF32Slice(sp *memsys.Space, addr uint64, n int) []float32 {
+	buf := make([]byte, n*4)
+	sp.Read(addr, buf)
+	return f32FromBytes(buf)
+}
+
+func f32FromBytes(buf []byte) []float32 {
+	out := make([]float32, len(buf)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+// Package fsim is a PM-backed file layer modeled on ext4-DAX: files are
+// extents of the PM device mapped straight into the unified address space.
+// It provides the write()+fsync() path used by the CAP-fs baseline, the
+// mmap path used by CAP-mm, and a GPUfs-like in-kernel file API (§6.1).
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Errors returned by the file layer.
+var (
+	ErrNotExist = errors.New("fsim: file does not exist")
+	ErrExist    = errors.New("fsim: file already exists")
+	ErrTooLarge = errors.New("fsim: file exceeds supported size")
+)
+
+// FS is a flat namespace of PM-resident files.
+type FS struct {
+	space *memsys.Space
+
+	mu    sync.Mutex
+	files map[string]*File
+}
+
+// New returns an empty filesystem over space.
+func New(space *memsys.Space) *FS {
+	return &FS{space: space, files: make(map[string]*File)}
+}
+
+// File is one PM-resident file. Its extent is preallocated at creation and
+// mapped at a stable virtual address (DAX).
+type File struct {
+	fs   *FS
+	name string
+	addr uint64
+	size int64
+
+	mu    sync.Mutex
+	dirty []span // byte ranges written via WriteAt since the last Fsync
+}
+
+type span struct{ off, n int64 }
+
+// Create allocates a file of the given size. Alignment 0 means 256B.
+func (fs *FS) Create(name string, size int64, align uint64) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, name)
+	}
+	f := &File{fs: fs, name: name, addr: fs.space.AllocPM(size, align), size: size}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return f, nil
+}
+
+// OpenOrCreate opens name, creating it at size if absent.
+func (fs *FS) OpenOrCreate(name string, size int64, align uint64) (*File, error) {
+	fs.mu.Lock()
+	if f, ok := fs.files[name]; ok {
+		fs.mu.Unlock()
+		return f, nil
+	}
+	fs.mu.Unlock()
+	return fs.Create(name, size, align)
+}
+
+// Remove deletes a file's directory entry (the extent is not reclaimed; the
+// simulated PM allocator is bump-only).
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Space returns the underlying memory space.
+func (fs *FS) Space() *memsys.Space { return fs.space }
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Mmap returns the file's stable virtual base address (DAX mmap: no copy,
+// no page cache). Stores through this address follow normal CPU/GPU
+// persistence rules.
+func (f *File) Mmap() uint64 { return f.addr }
+
+// WriteAt is the write(2) path used by CAP-fs: a syscall that copies p into
+// the file through the kernel. The data is volatile until Fsync. Timing is
+// charged to the calling CPU thread.
+func (f *File) WriteAt(t *cpusim.Thread, off int64, p []byte) error {
+	if off < 0 || off+int64(len(p)) > f.size {
+		return fmt.Errorf("fsim: write beyond EOF in %s (off=%d n=%d size=%d)", f.name, off, len(p), f.size)
+	}
+	par := t.Host().Params
+	t.Compute(par.SyscallOverhead)
+	// The kernel's copy path is slower than a user-space store stream.
+	t.Compute(sim.DurationOfBytes(int64(len(p)), par.FSWriteBandwidth))
+	t.Write(f.addr+uint64(off), p)
+	f.mu.Lock()
+	f.dirty = append(f.dirty, span{off, int64(len(p))})
+	f.mu.Unlock()
+	return nil
+}
+
+// ReadAt is the read(2) path.
+func (f *File) ReadAt(t *cpusim.Thread, off int64, p []byte) error {
+	if off < 0 || off+int64(len(p)) > f.size {
+		return fmt.Errorf("fsim: read beyond EOF in %s", f.name)
+	}
+	par := t.Host().Params
+	t.Compute(par.SyscallOverhead)
+	t.Read(f.addr+uint64(off), p)
+	return nil
+}
+
+// Fsync persists every range written via WriteAt since the last Fsync.
+func (f *File) Fsync(t *cpusim.Thread) {
+	par := t.Host().Params
+	t.Compute(par.SyscallOverhead + par.FsyncBase)
+	f.mu.Lock()
+	dirty := f.dirty
+	f.dirty = nil
+	f.mu.Unlock()
+	for _, s := range dirty {
+		t.PersistRange(f.addr+uint64(s.off), s.n)
+	}
+}
+
+// PersistUserRange persists part of a mmapped file from user space (the
+// CAP-mm flush path), charged to the calling thread.
+func (f *File) PersistUserRange(t *cpusim.Thread, off, n int64) {
+	t.PersistRange(f.addr+uint64(off), n)
+}

@@ -1,0 +1,190 @@
+package fsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+func newFS(t *testing.T) (*FS, *cpusim.Host, *gpu.Device) {
+	t.Helper()
+	sp := memsys.New(sim.Default(), memsys.Config{HBMSize: 4 << 20, DRAMSize: 4 << 20, PMSize: 8 << 20})
+	return New(sp), cpusim.NewHost(sp), gpu.New(sp)
+}
+
+func TestCreateOpenRemove(t *testing.T) {
+	fs, _, _ := newFS(t)
+	f, err := fs.Create("/a", 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "/a" || f.Size() != 4096 {
+		t.Error("metadata wrong")
+	}
+	if _, err := fs.Create("/a", 4096, 0); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if _, err := fs.Open("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing open: %v", err)
+	}
+	f2, err := fs.OpenOrCreate("/a", 0, 0)
+	if err != nil || f2 != f {
+		t.Error("OpenOrCreate should return existing")
+	}
+	if err := fs.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/a"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestWriteFsyncCrash(t *testing.T) {
+	fs, host, _ := newFS(t)
+	f, _ := fs.Create("/data", 8192, 0)
+	payload := bytes.Repeat([]byte{0x5a}, 1024)
+	host.Run(1, func(th *cpusim.Thread) {
+		if err := f.WriteAt(th, 100, payload); err != nil {
+			t.Error(err)
+		}
+		f.Fsync(th)
+		if err := f.WriteAt(th, 4096, payload); err != nil { // never fsynced
+			t.Error(err)
+		}
+	})
+	fs.Space().Crash()
+	got := make([]byte, 1024)
+	host.Run(1, func(th *cpusim.Thread) {
+		if err := f.ReadAt(th, 100, got); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Equal(got, payload) {
+		t.Error("fsynced data lost")
+	}
+	fs.Space().Read(f.Mmap()+4096, got)
+	if bytes.Equal(got, payload) {
+		t.Error("un-fsynced write survived crash")
+	}
+}
+
+func TestWriteBeyondEOF(t *testing.T) {
+	fs, host, _ := newFS(t)
+	f, _ := fs.Create("/small", 128, 0)
+	host.Run(1, func(th *cpusim.Thread) {
+		if err := f.WriteAt(th, 100, make([]byte, 100)); err == nil {
+			t.Error("write past EOF should fail")
+		}
+		if err := f.ReadAt(th, 120, make([]byte, 100)); err == nil {
+			t.Error("read past EOF should fail")
+		}
+	})
+}
+
+func TestFsyncCostsMoreThanNothing(t *testing.T) {
+	fs, host, _ := newFS(t)
+	f, _ := fs.Create("/timing", 1<<20, 0)
+	buf := make([]byte, 1<<20)
+	withSync := host.Run(1, func(th *cpusim.Thread) {
+		_ = f.WriteAt(th, 0, buf)
+		f.Fsync(th)
+	})
+	plain := host.Run(1, func(th *cpusim.Thread) {
+		th.Write(f.Mmap(), buf)
+	})
+	if withSync <= plain {
+		t.Errorf("fs path (%v) should cost more than raw stores (%v)", withSync, plain)
+	}
+}
+
+func TestGPUFSWholeBlockRule(t *testing.T) {
+	fs, _, dev := newFS(t)
+	g := NewGPUFS(fs)
+	f, _ := fs.Create("/g", 1<<16, 0)
+	if _, err := g.GOpen("/g"); err != nil {
+		t.Fatal(err)
+	}
+	dev.Launch("divergent", 1, 32, func(th *gpu.Thread) {
+		if th.ID() == 1 {
+			if err := g.GWrite(th, f, 0, []byte{1}); !errors.Is(err, ErrDivergentCall) {
+				t.Errorf("divergent gwrite: %v", err)
+			}
+		}
+	})
+}
+
+func TestGPUFSWriteAndFsync(t *testing.T) {
+	fs, _, dev := newFS(t)
+	g := NewGPUFS(fs)
+	f, _ := fs.Create("/g2", 1<<16, 0)
+	payload := bytes.Repeat([]byte{7}, 4096)
+	dev.Launch("gwrite", 1, 32, func(th *gpu.Thread) {
+		th.SyncBlock()
+		if th.ID() != 0 {
+			return
+		}
+		if err := g.GWrite(th, f, 0, payload); err != nil {
+			t.Error(err)
+		}
+		g.GFsync(th, f)
+	})
+	fs.Space().Crash()
+	got := make([]byte, 4096)
+	fs.Space().Read(f.Mmap(), got)
+	if !bytes.Equal(got, payload) {
+		t.Error("gfsynced data lost on crash")
+	}
+}
+
+func TestGPUFSFileSizeLimit(t *testing.T) {
+	sp := memsys.New(sim.Default(), memsys.Config{HBMSize: 1 << 20, DRAMSize: 1 << 20, PMSize: 4 << 20})
+	sp.Params.GPUFSMaxFileSize = 1 << 10
+	fs := New(sp)
+	g := NewGPUFS(fs)
+	if _, err := fs.Create("/big", 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.GOpen("/big"); !errors.Is(err, ErrFileTooLarge) {
+		t.Errorf("oversize gopen: %v", err)
+	}
+}
+
+func TestGPUFSRead(t *testing.T) {
+	fs, _, dev := newFS(t)
+	g := NewGPUFS(fs)
+	f, _ := fs.Create("/g3", 8192, 0)
+	fs.Space().WriteCPU(f.Mmap(), []byte("hello gpufs"))
+	dev.Launch("gread", 1, 32, func(th *gpu.Thread) {
+		th.SyncBlock()
+		if th.ID() != 0 {
+			return
+		}
+		buf := make([]byte, 11)
+		if err := g.GRead(th, f, 0, buf); err != nil {
+			t.Error(err)
+		} else if string(buf) != "hello gpufs" {
+			t.Errorf("gread = %q", buf)
+		}
+	})
+}
+
+func TestPersistUserRange(t *testing.T) {
+	fs, host, _ := newFS(t)
+	f, _ := fs.Create("/mm", 4096, 0)
+	host.Run(1, func(th *cpusim.Thread) {
+		th.WriteU64(f.Mmap(), 99)
+		f.PersistUserRange(th, 0, 8)
+	})
+	fs.Space().Crash()
+	if fs.Space().ReadU64(f.Mmap()) != 99 {
+		t.Error("PersistUserRange did not persist")
+	}
+}

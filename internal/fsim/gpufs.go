@@ -1,0 +1,106 @@
+package fsim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// GPUfs-layer errors mirroring the failure modes the paper reports (§6.1):
+// most GPMbench workloads cannot run on GPUfs at all.
+var (
+	// ErrDivergentCall is returned when a single thread (not a whole
+	// threadblock) invokes the API; on real GPUfs this deadlocks.
+	ErrDivergentCall = errors.New("gpufs: file API must be invoked by a full threadblock")
+	// ErrFileTooLarge is returned for files beyond the 2 GB limit.
+	ErrFileTooLarge = errors.New("gpufs: file exceeds 2 GB limit")
+)
+
+// GPUFS is the GPUfs analog: gread/gwrite-style file calls from inside a
+// GPU kernel, serviced by the CPU and the filesystem. Persistence still
+// happens on the CPU (it is a CAP-class design); the in-kernel calls buy
+// convenience, not byte-grained persistence.
+type GPUFS struct {
+	fs *FS
+}
+
+// NewGPUFS layers the in-kernel API over fs.
+func NewGPUFS(fs *FS) *GPUFS {
+	return &GPUFS{fs: fs}
+}
+
+// GOpen checks that a file is usable from a kernel.
+func (g *GPUFS) GOpen(name string) (*File, error) {
+	f, err := g.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.size > g.fs.space.Params.GPUFSMaxFileSize {
+		return nil, fmt.Errorf("%w: %s is %d bytes", ErrFileTooLarge, name, f.size)
+	}
+	return f, nil
+}
+
+// GWrite writes p at off from inside a kernel. It must be called by the
+// block's thread 0 with the whole block at a barrier (CUDA-side GPUfs
+// requires block-wide invocation; divergent calls deadlock). Each call is
+// an RPC to the CPU: it serializes on the GPUfs request channel and moves
+// data at page granularity over PCIe. Data is volatile until GFsync.
+func (g *GPUFS) GWrite(t *gpu.Thread, f *File, off int64, p []byte) error {
+	if t.ID() != 0 {
+		return ErrDivergentCall
+	}
+	if off < 0 || off+int64(len(p)) > f.size {
+		return fmt.Errorf("gpufs: write beyond EOF in %s", f.name)
+	}
+	par := t.Device().Params
+	pages := (int64(len(p)) + int64(par.GPUFSPageSize) - 1) / int64(par.GPUFSPageSize)
+	// One RPC per call plus per-page staging costs, serialized on the
+	// single CPU-side GPUfs daemon.
+	t.Serialize("gpufs-rpc", par.GPUFSCallOverhead+sim.Duration(pages)*par.SyscallOverhead)
+	t.Compute(sim.DurationOfBytes(int64(len(p)), par.PCIeBandwidth))
+	// The daemon's copy lands in the file's pages; it does NOT persist.
+	sp := t.Space()
+	sp.WriteCPU(f.addr+uint64(off), p)
+	f.mu.Lock()
+	f.dirty = append(f.dirty, span{off, int64(len(p))})
+	f.mu.Unlock()
+	return nil
+}
+
+// GRead reads len(p) bytes at off from inside a kernel, with the same
+// block-wide invocation rule and RPC costs as GWrite.
+func (g *GPUFS) GRead(t *gpu.Thread, f *File, off int64, p []byte) error {
+	if t.ID() != 0 {
+		return ErrDivergentCall
+	}
+	if off < 0 || off+int64(len(p)) > f.size {
+		return fmt.Errorf("gpufs: read beyond EOF in %s", f.name)
+	}
+	par := t.Device().Params
+	pages := (int64(len(p)) + int64(par.GPUFSPageSize) - 1) / int64(par.GPUFSPageSize)
+	t.Serialize("gpufs-rpc", par.GPUFSCallOverhead+sim.Duration(pages)*par.SyscallOverhead)
+	t.Compute(sim.DurationOfBytes(int64(len(p)), par.PCIeBandwidth))
+	t.Space().Read(f.addr+uint64(off), p)
+	return nil
+}
+
+// GFsync asks the CPU to persist the file's dirty ranges, serialized on the
+// daemon like every other call.
+func (g *GPUFS) GFsync(t *gpu.Thread, f *File) {
+	par := t.Device().Params
+	f.mu.Lock()
+	dirty := f.dirty
+	f.dirty = nil
+	f.mu.Unlock()
+	var lines int64
+	sp := t.Space()
+	for _, s := range dirty {
+		sp.PersistRange(f.addr+uint64(s.off), int(s.n))
+		lines += (s.n + int64(par.LineSize()) - 1) / int64(par.LineSize())
+	}
+	t.Serialize("gpufs-rpc", par.GPUFSCallOverhead+par.FsyncBase+
+		sim.Duration(lines)*par.CPUFlushCost+par.CPUDrainCost)
+}

@@ -1,0 +1,393 @@
+package gpdb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+func (d *GpDB) setTxFlag(env *workloads.Env, on bool) {
+	v := uint64(0)
+	if on {
+		v = 1
+	}
+	env.Ctx.RunCPU("tx-flag", 1, func(t *cpusim.Thread) {
+		t.WriteU64(d.txFile.Mmap(), v)
+		t.PersistRange(d.txFile.Mmap(), 8)
+	})
+}
+
+// insertKernel appends nOps rows: one thread per new cell, laid out so
+// consecutive threads write consecutive rows of one column — the contiguous
+// sequential pattern that gives gpDB(I) good PM bandwidth (§6.1).
+func (d *GpDB) insertKernel(env *workloads.Env, direct, persist bool) {
+	pm, mirror := d.tableFile.Mmap(), d.mirror
+	rows, cols, nOps := d.rows, d.cols, d.nOps
+	total := nOps * cols
+	blocks := (total + dbTPB - 1) / dbTPB
+	env.Ctx.Launch("db-insert", blocks, dbTPB, func(t *gpu.Thread) {
+		gid := t.GlobalID()
+		if gid >= total {
+			return
+		}
+		c, i := gid/nOps, gid%nOps
+		row := rows + i
+		t.Compute(dbGPUCost / 4)
+		v := cellValue(row, c)
+		t.StoreU64(d.cellAddr(mirror, row, c), v)
+		if direct {
+			t.StoreU64(d.cellAddr(pm, row, c), v)
+			if persist {
+				gpm.Persist(t)
+			}
+		}
+	})
+}
+
+// updateKernel rewrites two columns of nOps scattered rows, undo-logging
+// each old row first (Fig 6a's pattern, one entry per thread — full HCL
+// parallelism, hence gpDB(U)'s 6.1× HCL speedup in Fig 11a).
+func (d *GpDB) updateKernel(env *workloads.Env, logging, direct, persist bool) error {
+	pm, mirror := d.tableFile.Mmap(), d.mirror
+	nOps := d.nOps
+	log := d.log
+	var kerr error
+	env.Ctx.Launch("db-update", d.blocks, dbTPB, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= nOps {
+			return
+		}
+		row := int(t.LoadU32(d.updRowsB + uint64(i)*4))
+		t.Compute(dbGPUCost)
+		m1 := d.cellAddr(mirror, row, updCol1)
+		m2 := d.cellAddr(mirror, row, updCol2)
+		if logging {
+			var e [updEntryBytes]byte
+			binary.LittleEndian.PutUint32(e[0:], uint32(row))
+			binary.LittleEndian.PutUint64(e[8:], t.LoadU64(m1))
+			binary.LittleEndian.PutUint64(e[16:], t.LoadU64(m2))
+			if err := log.Insert(t, e[:], -1); err != nil {
+				kerr = err
+				return
+			}
+		}
+		t.StoreU64(m1, updValue(row, updCol1))
+		t.StoreU64(m2, updValue(row, updCol2))
+		if direct {
+			t.StoreU64(d.cellAddr(pm, row, updCol1), updValue(row, updCol1))
+			t.StoreU64(d.cellAddr(pm, row, updCol2), updValue(row, updCol2))
+			if persist {
+				gpm.Persist(t)
+			}
+		}
+	})
+	return kerr
+}
+
+// commit persists the new row count and truncates logs. Under GPM the GPU
+// does both; under GPM-NDP the CPU must guarantee the persists (that is the
+// point of the ablation).
+func (d *GpDB) commit(env *workloads.Env, newRows int) {
+	meta := d.metaFile.Mmap()
+	if env.Mode == workloads.GPMNDP {
+		env.Ctx.RunCPU("ndp-meta", 1, func(t *cpusim.Thread) {
+			t.WriteU64(meta, uint64(newRows))
+			t.PersistRange(meta, 8)
+		})
+		if d.log != nil {
+			d.log.HostClearAll()
+		}
+		d.setTxFlag(env, false)
+		return
+	}
+	env.PersistKernelBegin()
+	env.Ctx.Launch("db-meta", 1, 1, func(t *gpu.Thread) {
+		t.StoreU64(meta, uint64(newRows))
+		gpm.Persist(t)
+	})
+	if d.log != nil {
+		log := d.log
+		env.Ctx.Launch("db-logclear", d.blocks, dbTPB, func(t *gpu.Thread) {
+			log.ClearIfUsed(t)
+		})
+	}
+	env.PersistKernelEnd()
+	d.setTxFlag(env, false)
+}
+
+// Run implements workloads.Workload: one transaction covering all ops.
+func (d *GpDB) Run(env *workloads.Env) error {
+	return d.run(env, -1)
+}
+
+func (d *GpDB) run(env *workloads.Env, abortAfterOps int64) error {
+	if env.Mode == workloads.CPUOnly {
+		return d.runCPU(env)
+	}
+	mode := env.Mode
+	direct := mode.UsesGPM() || mode == workloads.GPMNDP
+	logging := direct
+
+	if logging {
+		// Begin transaction: log the old table size, set the flag.
+		if d.Op == Insert || d.ConvLog {
+			oldRows := d.rows
+			log := d.log
+			env.PersistKernelBegin()
+			var kerr error
+			env.Ctx.Launch("db-logsize", 1, 1, func(t *gpu.Thread) {
+				var e [8]byte
+				binary.LittleEndian.PutUint64(e[:], uint64(oldRows))
+				kerr = log.Insert(t, e[:], 0)
+			})
+			env.PersistKernelEnd()
+			if kerr != nil {
+				return kerr
+			}
+		}
+		d.setTxFlag(env, true)
+	}
+
+	env.PersistKernelBegin()
+	if abortAfterOps >= 0 {
+		env.Ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= abortAfterOps })
+	}
+	var err error
+	if d.Op == Insert {
+		d.insertKernel(env, direct, mode.UsesGPM())
+	} else {
+		err = d.updateKernel(env, logging, direct, mode.UsesGPM())
+	}
+	crashed := abortAfterOps >= 0
+	if crashed {
+		env.Ctx.Dev.SetAbortCheck(nil)
+	}
+	env.PersistKernelEnd()
+	if err != nil {
+		return err
+	}
+	if crashed {
+		return nil
+	}
+
+	switch {
+	case mode.UsesGPM():
+		d.commit(env, d.newRowCount())
+	case mode == workloads.GPMNDP:
+		// Direct stores; CPU flushes the touched ranges, then commit.
+		if d.Op == Insert {
+			for c := 0; c < d.cols; c++ {
+				env.Cap.FlushOnly(d.cellAddr(d.tableFile.Mmap(), d.rows, c), int64(d.nOps)*cellBytes)
+			}
+		} else {
+			// Updated rows are only known inside the kernel (§3.2), so
+			// the CPU flushes the whole table.
+			env.Cap.FlushOnly(d.tableFile.Mmap(), d.tableFile.Size())
+		}
+		d.commit(env, d.newRowCount())
+	default:
+		// CAP. INSERTs ship only the appended (contiguous, page-rounded)
+		// column tails — modest 1.27× amplification; UPDATEs cannot know
+		// which rows changed, so the whole table ships (19.9×, Table 4).
+		if d.Op == Insert {
+			for c := 0; c < d.cols; c++ {
+				// The CPU ships page-rounded windows covering the
+				// appended tail of each column (Table 4's 1.27×).
+				start := int64(c*d.maxRows+d.rows) * cellBytes
+				end := start + int64(d.nOps)*cellBytes
+				off := start / 4096 * 4096
+				n := pageRound(end - off)
+				if off+n > d.tableFile.Size() {
+					n = d.tableFile.Size() - off
+				}
+				if err := workloads.PersistBuffer(env, d.tableFile, off, d.mirror+uint64(off), n); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := workloads.PersistBuffer(env, d.tableFile, 0, d.mirror, d.tableFile.Size()); err != nil {
+				return err
+			}
+		}
+		// CAP has no in-kernel logging; the row count is persisted by
+		// the CPU after the data.
+		env.Ctx.RunCPU("cap-meta", 1, func(t *cpusim.Thread) {
+			t.WriteU64(d.metaFile.Mmap(), uint64(d.newRowCount()))
+			t.PersistRange(d.metaFile.Mmap(), 8)
+		})
+	}
+	d.applyModel()
+	env.CountOps(int64(d.nOps))
+	return nil
+}
+
+func pageRound(n int64) int64 { return (n + 4095) / 4096 * 4096 }
+
+func (d *GpDB) newRowCount() int {
+	if d.Op == Insert {
+		return d.rows + d.nOps
+	}
+	return d.rows
+}
+
+func (d *GpDB) applyModel() {
+	if d.Op == Insert {
+		for i := 0; i < d.nOps; i++ {
+			row := d.rows + i
+			for c := 0; c < d.cols; c++ {
+				d.model[c*d.maxRows+row] = cellValue(row, c)
+			}
+		}
+	} else {
+		for _, r := range d.updRows {
+			d.model[updCol1*d.maxRows+int(r)] = updValue(int(r), updCol1)
+			d.model[updCol2*d.maxRows+int(r)] = updValue(int(r), updCol2)
+		}
+	}
+	d.committed = true
+}
+
+// runCPU is the OpenMP-style many-core engine (§6.1's CPU comparison).
+func (d *GpDB) runCPU(env *workloads.Env) error {
+	threads := env.Cfg.CAPThreads
+	pm := d.tableFile.Mmap()
+	env.Ctx.RunCPU("cpu-db", threads, func(t *cpusim.Thread) {
+		if d.Op == Insert {
+			// Appends are contiguous per column: each thread streams its
+			// row range into every column and persists it in bulk.
+			chunk := (d.nOps + t.N - 1) / t.N
+			lo, hi := t.ID*chunk, (t.ID+1)*chunk
+			if hi > d.nOps {
+				hi = d.nOps
+			}
+			if lo >= hi {
+				return
+			}
+			buf := make([]byte, (hi-lo)*cellBytes)
+			for c := 0; c < d.cols; c++ {
+				for i := lo; i < hi; i++ {
+					t.Compute(dbCPUInsertCost / sim.Duration(d.cols))
+					binary.LittleEndian.PutUint64(buf[(i-lo)*cellBytes:], cellValue(d.rows+i, c))
+				}
+				dst := d.cellAddr(pm, d.rows+lo, c)
+				t.Write(dst, buf)
+				t.PersistRange(dst, int64(len(buf)))
+			}
+			return
+		}
+		for i := t.ID; i < d.nOps; i += t.N {
+			t.Compute(dbCPUUpdateCost)
+			row := int(d.updRows[i])
+			t.WriteU64(d.cellAddr(pm, row, updCol1), updValue(row, updCol1))
+			t.WriteU64(d.cellAddr(pm, row, updCol2), updValue(row, updCol2))
+			t.FlushRange(d.cellAddr(pm, row, updCol1), cellBytes)
+			t.FlushRange(d.cellAddr(pm, row, updCol2), cellBytes)
+			t.Drain()
+		}
+	})
+	env.Ctx.RunCPU("cpu-db", 1, func(t *cpusim.Thread) {
+		t.WriteU64(d.metaFile.Mmap(), uint64(d.newRowCount()))
+		t.PersistRange(d.metaFile.Mmap(), 8)
+	})
+	d.applyModel()
+	env.CountOps(int64(d.nOps))
+	return nil
+}
+
+// Verify implements workloads.Workload: the durable table up to the durable
+// row count must match the model.
+func (d *GpDB) Verify(env *workloads.Env) error {
+	sp := env.Ctx.Space
+	metaSnap := sp.SnapshotPersistent(d.metaFile.Mmap(), 8)
+	durableRows := int(binary.LittleEndian.Uint64(metaSnap))
+	wantRows := d.rows
+	if d.committed {
+		wantRows = d.newRowCount()
+	}
+	if durableRows != wantRows {
+		return fmt.Errorf("gpdb: durable row count %d, want %d", durableRows, wantRows)
+	}
+	snap := sp.SnapshotPersistent(d.tableFile.Mmap(), int(d.tableFile.Size()))
+	for c := 0; c < d.cols; c++ {
+		for r := 0; r < durableRows; r++ {
+			got := binary.LittleEndian.Uint64(snap[(c*d.maxRows+r)*cellBytes:])
+			want := d.model[c*d.maxRows+r]
+			if d.crashed && !d.committed {
+				// After an aborted transaction the table must show
+				// pre-transaction values.
+				want = cellValue(r, c)
+			}
+			if got != want {
+				return fmt.Errorf("gpdb: durable cell (%d,%d) = %d, want %d", r, c, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// RunUntilCrash implements workloads.Crasher.
+func (d *GpDB) RunUntilCrash(env *workloads.Env, abortAfterOps int64) error {
+	if !env.Mode.UsesGPM() {
+		return fmt.Errorf("gpdb: crash study requires a GPM mode")
+	}
+	d.crashed = true
+	return d.run(env, abortAfterOps)
+}
+
+// Recover implements workloads.Crasher: undo the aborted transaction —
+// INSERTs restore the logged table size (near-free, Table 5's 0.01%);
+// UPDATEs run the undo kernel over the HCL log.
+func (d *GpDB) Recover(env *workloads.Env) error {
+	start := env.Ctx.Timeline.Total()
+	snap := env.Ctx.Space.SnapshotPersistent(d.txFile.Mmap(), 8)
+	if binary.LittleEndian.Uint64(snap) == 0 {
+		return nil
+	}
+	log, err := env.Ctx.LogOpen("/pm/db.log")
+	if err != nil {
+		return err
+	}
+	d.log = log
+	pm := d.tableFile.Mmap()
+	env.Ctx.PersistBegin()
+	if d.Op == Insert || d.ConvLog {
+		// The conventional log's partition 0 holds the old table size.
+		b := log.HostPartitionBytes(0)
+		if len(b) < 8 {
+			return fmt.Errorf("gpdb: missing size log entry")
+		}
+		oldRows := binary.LittleEndian.Uint64(b[len(b)-8:])
+		env.Ctx.Launch("db-recover", 1, 1, func(t *gpu.Thread) {
+			t.StoreU64(d.metaFile.Mmap(), oldRows)
+			gpm.Persist(t)
+		})
+	}
+	if d.Op == Update {
+		var kerr error
+		env.Ctx.Launch("db-recover", d.blocks, dbTPB, func(t *gpu.Thread) {
+			var e [updEntryBytes]byte
+			if err := log.Read(t, e[:], -1); err != nil {
+				return
+			}
+			row := int(binary.LittleEndian.Uint32(e[0:]))
+			t.StoreU64(d.cellAddr(pm, row, updCol1), binary.LittleEndian.Uint64(e[8:]))
+			t.StoreU64(d.cellAddr(pm, row, updCol2), binary.LittleEndian.Uint64(e[16:]))
+			gpm.Persist(t)
+			if err := log.Remove(t, updEntryBytes, -1); err != nil {
+				kerr = err
+			}
+		})
+		if kerr != nil {
+			return kerr
+		}
+	}
+	env.Ctx.PersistEnd()
+	d.setTxFlag(env, false)
+	env.AddRestore(env.Ctx.Timeline.Total() - start)
+	return nil
+}

@@ -1,0 +1,105 @@
+package gpdb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+func setupDB(t *testing.T, op Op) (*GpDB, *workloads.Env) {
+	t.Helper()
+	env := workloads.NewEnv(workloads.GPM, workloads.QuickConfig())
+	d := New(op)
+	if err := d.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	return d, env
+}
+
+func TestSelectMatchesHost(t *testing.T) {
+	d, env := setupDB(t, Update)
+	q := SelectQuery{PredCol: 0, AggCol: 3, Lo: 2_000_000}
+	gotC, gotS, err := d.RunSelect(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, wantS := d.HostSelect(q)
+	if gotC != wantC || gotS != wantS {
+		t.Errorf("select = (%d, %d), want (%d, %d)", gotC, gotS, wantC, wantS)
+	}
+	if wantC == 0 {
+		t.Fatal("degenerate query: no rows matched")
+	}
+}
+
+func TestSelectAfterUpdateSeesNewValues(t *testing.T) {
+	d, env := setupDB(t, Update)
+	env.BeginOps()
+	if err := d.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	// Updated column 1 values are XOR-flipped; the select over col 1 must
+	// reflect them.
+	q := SelectQuery{PredCol: 1, AggCol: 1, Lo: 0}
+	gotC, gotS, err := d.RunSelect(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, wantS := d.HostSelect(q)
+	if gotC != wantC || gotS != wantS {
+		t.Errorf("post-update select = (%d, %d), want (%d, %d)", gotC, gotS, wantC, wantS)
+	}
+}
+
+func TestSelectAfterInsertSeesNewRows(t *testing.T) {
+	d, env := setupDB(t, Insert)
+	q := SelectQuery{PredCol: 0, AggCol: 0, Lo: 0}
+	before, _, err := d.RunSelect(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.BeginOps()
+	if err := d.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := d.RunSelect(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before+uint64(d.nOps) {
+		t.Errorf("row count %d -> %d, want +%d", before, after, d.nOps)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	d, env := setupDB(t, Update)
+	if _, _, err := d.RunSelect(env, SelectQuery{PredCol: -1, AggCol: 0}); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, _, err := d.RunSelect(env, SelectQuery{PredCol: 0, AggCol: 99}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+// Property: GPU select equals host select for arbitrary thresholds and
+// column choices.
+func TestQuickSelectEquivalence(t *testing.T) {
+	d, env := setupDB(t, Update)
+	f := func(lo uint32, pc, ac uint8) bool {
+		q := SelectQuery{
+			PredCol: int(pc) % d.cols,
+			AggCol:  int(ac) % d.cols,
+			Lo:      uint64(lo) % 5_000_000,
+		}
+		gc, gs, err := d.RunSelect(env, q)
+		if err != nil {
+			return false
+		}
+		wc, ws := d.HostSelect(q)
+		return gc == wc && gs == ws
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package gpdb
+
+import (
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// SELECT support. Today's GPU databases (Virginian, OmniSci, HippogriffDB)
+// execute primarily SELECT queries — what they avoid is transactions that
+// modify the database, which is exactly the gap gpDB(I)/gpDB(U) fill (§4.1).
+// The SELECT path rounds gpDB out into a usable mini-database and provides
+// the read-side mix for tests: a predicate scan over one column with a
+// filtered aggregate over another, executed by a classic two-phase
+// block-reduction kernel.
+
+// SelectQuery is a filtered aggregate: SUM(col agg) WHERE col pred >= lo.
+type SelectQuery struct {
+	PredCol, AggCol int
+	Lo              uint64
+}
+
+// RunSelect executes the query on the device-resident table and returns the
+// matching row count and aggregate sum. The scan reads the mirror (GETs do
+// not need PM, §4.3's placement rule) and reduces per block through shared
+// memory, then a final single-block pass combines the partials.
+func (d *GpDB) RunSelect(env *workloads.Env, q SelectQuery) (count uint64, sum uint64, err error) {
+	if q.PredCol < 0 || q.PredCol >= d.cols || q.AggCol < 0 || q.AggCol >= d.cols {
+		return 0, 0, fmt.Errorf("gpdb: select columns out of range (%d, %d)", q.PredCol, q.AggCol)
+	}
+	rows := d.curRows()
+	sp := env.Ctx.Space
+	blocks := (rows + dbTPB - 1) / dbTPB
+	partials := sp.AllocHBM(int64(blocks) * 16) // per-block {count, sum}
+
+	mirror := d.mirror
+	env.Ctx.Launch("db-select", blocks, dbTPB, func(t *gpu.Thread) {
+		sh := t.Block().Shared(dbTPB * 16)
+		i := t.GlobalID()
+		var c, s uint64
+		if i < rows {
+			t.Compute(dbGPUCost / 8)
+			if t.LoadU64(d.cellAddr(mirror, i, q.PredCol)) >= q.Lo {
+				c = 1
+				s = t.LoadU64(d.cellAddr(mirror, i, q.AggCol))
+			}
+		}
+		putU64(sh, t.ID()*16, c)
+		putU64(sh, t.ID()*16+8, s)
+		t.SyncBlock()
+		// Tree reduction in shared memory.
+		for stride := dbTPB / 2; stride > 0; stride /= 2 {
+			if t.ID() < stride {
+				putU64(sh, t.ID()*16, getU64(sh, t.ID()*16)+getU64(sh, (t.ID()+stride)*16))
+				putU64(sh, t.ID()*16+8, getU64(sh, t.ID()*16+8)+getU64(sh, (t.ID()+stride)*16+8))
+			}
+			t.Compute(2 * sim.Nanosecond)
+			t.SyncBlock()
+		}
+		if t.ID() == 0 {
+			t.StoreU64(partials+uint64(t.Block().ID())*16, getU64(sh, 0))
+			t.StoreU64(partials+uint64(t.Block().ID())*16+8, getU64(sh, 8))
+		}
+	})
+	// Final combine.
+	result := sp.AllocHBM(16)
+	env.Ctx.Launch("db-select-final", 1, 1, func(t *gpu.Thread) {
+		var c, s uint64
+		for b := 0; b < blocks; b++ {
+			c += t.LoadU64(partials + uint64(b)*16)
+			s += t.LoadU64(partials + uint64(b)*16 + 8)
+			t.Compute(sim.Nanosecond)
+		}
+		t.StoreU64(result, c)
+		t.StoreU64(result+8, s)
+	})
+	// Result set returns to the host.
+	env.Ctx.Timeline.Add("db-select-out", sp.DMA.TransferUp(16))
+	return sp.ReadU64(result), sp.ReadU64(result + 8), nil
+}
+
+// curRows returns the current logical row count (committed inserts
+// included).
+func (d *GpDB) curRows() int {
+	if d.committed && d.Op == Insert {
+		return d.rows + d.nOps
+	}
+	return d.rows
+}
+
+// HostSelect is the reference implementation over the host model.
+func (d *GpDB) HostSelect(q SelectQuery) (count uint64, sum uint64) {
+	rows := d.curRows()
+	for r := 0; r < rows; r++ {
+		if d.model[q.PredCol*d.maxRows+r] >= q.Lo {
+			count++
+			sum += d.model[q.AggCol*d.maxRows+r]
+		}
+	}
+	return count, sum
+}
+
+func putU64(b []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte, off int) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[off+i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,179 @@
+package gpu
+
+import (
+	"sync"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Block is one resident threadblock.
+type Block struct {
+	dev      *Device
+	id       int
+	grid     int // number of blocks in the grid
+	nthreads int
+	warps    []*warp
+	bar      barrier
+	stats    *kernelStats
+
+	sharedMu sync.Mutex
+	shared   []byte
+}
+
+// ID returns the block index within the grid.
+func (b *Block) ID() int { return b.id }
+
+// Threads returns the number of threads in the block (blockDim).
+func (b *Block) Threads() int { return b.nthreads }
+
+// Grid returns the number of blocks in the grid (gridDim).
+func (b *Block) Grid() int { return b.grid }
+
+// Shared returns the block's shared-memory arena, allocating it at the
+// requested size on first use (CUDA __shared__ analog). All threads in the
+// block see the same arena; callers synchronize with SyncBlock as they
+// would on hardware.
+func (b *Block) Shared(n int) []byte {
+	b.sharedMu.Lock()
+	defer b.sharedMu.Unlock()
+	if len(b.shared) < n {
+		grown := make([]byte, n)
+		copy(grown, b.shared)
+		b.shared = grown
+	}
+	return b.shared[:n]
+}
+
+// flushAndSync replays every warp's pending operations and, because it runs
+// at a block-wide barrier, aligns all warp clocks to the block maximum.
+func (b *Block) flushAndSync() {
+	batch := newReplayBatch()
+	var maxClock sim.Duration
+	for _, w := range b.warps {
+		w.replay(b.dev.Params, batch)
+		if w.clock > maxClock {
+			maxClock = w.clock
+		}
+	}
+	for _, w := range b.warps {
+		w.clock = maxClock
+	}
+	b.stats.merge(batch)
+}
+
+// flushFinal replays any remaining operations at block exit and returns the
+// block's critical path.
+func (b *Block) flushFinal() sim.Duration {
+	batch := newReplayBatch()
+	var maxClock sim.Duration
+	for _, w := range b.warps {
+		w.replay(b.dev.Params, batch)
+		if w.clock > maxClock {
+			maxClock = w.clock
+		}
+	}
+	b.stats.merge(batch)
+	return maxClock
+}
+
+func (d *Device) runBlock(id, grid, tpb int, kern func(*Thread), agg *kernelStats) sim.Duration {
+	ws := d.Params.WarpSize
+	if ws <= 0 {
+		ws = 32
+	}
+	nWarps := (tpb + ws - 1) / ws
+	blk := &Block{
+		dev:      d,
+		id:       id,
+		grid:     grid,
+		nthreads: tpb,
+		warps:    make([]*warp, nWarps),
+		stats:    agg,
+	}
+	for i := range blk.warps {
+		width := ws
+		if i == nWarps-1 && tpb%ws != 0 {
+			width = tpb % ws
+		}
+		blk.warps[i] = newWarp(width)
+	}
+	blk.bar.init(tpb, blk.flushAndSync)
+
+	var wg sync.WaitGroup
+	for tid := 0; tid < tpb; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			t := &Thread{
+				blk:  blk,
+				id:   tid,
+				warp: blk.warps[tid/ws],
+				lane: tid % ws,
+			}
+			defer func() {
+				blk.bar.done()
+				if r := recover(); r != nil && r != ErrCrashed {
+					panic(r)
+				}
+			}()
+			kern(t)
+		}(tid)
+	}
+	wg.Wait()
+	return blk.flushFinal()
+}
+
+// barrier is a reusable block-wide barrier that tolerates threads leaving
+// (thread exit deregisters via done) and runs a callback — the warp-log
+// flush — exactly once per release, while all threads are quiescent.
+type barrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	total     int
+	count     int
+	gen       uint64
+	onRelease func()
+}
+
+func (b *barrier) init(total int, onRelease func()) {
+	b.total = total
+	b.onRelease = onRelease
+	b.cond = sync.NewCond(&b.mu)
+}
+
+// wait blocks until all live threads of the block have arrived.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	b.count++
+	if b.count >= b.total {
+		b.release()
+		b.mu.Unlock()
+		return
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// done deregisters an exiting thread; if it was the last straggler holding
+// up a barrier, the barrier releases.
+func (b *barrier) done() {
+	b.mu.Lock()
+	b.total--
+	if b.count > 0 && b.count >= b.total {
+		b.release()
+	}
+	b.mu.Unlock()
+}
+
+// release must be called with b.mu held.
+func (b *barrier) release() {
+	if b.onRelease != nil {
+		b.onRelease()
+	}
+	b.count = 0
+	b.gen++
+	b.cond.Broadcast()
+}

@@ -1,0 +1,107 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Property: simulated time is deterministic — the same kernel on a fresh
+// device always reports the same elapsed duration, regardless of goroutine
+// scheduling.
+func TestQuickElapsedDeterministic(t *testing.T) {
+	run := func(seed uint64) sim.Duration {
+		sp := memsys.New(sim.Default(), memsys.Config{HBMSize: 2 << 20, DRAMSize: 1 << 20, PMSize: 4 << 20})
+		d := New(sp)
+		sp.SetDDIOOff(true)
+		pm := sp.AllocPM(1<<20, 0)
+		res := d.Launch("det", 8, 128, func(th *Thread) {
+			rng := sim.NewRNG(seed ^ uint64(th.GlobalID()))
+			for i := 0; i < 16; i++ {
+				th.StoreU32(pm+uint64(th.GlobalID()*64+(i%16)*4), rng.Uint32())
+				if i%4 == 0 {
+					th.FenceSystem()
+				}
+			}
+			th.SyncBlock()
+			th.Compute(sim.Duration(rng.Intn(100)) * sim.Nanosecond)
+		})
+		return res.Elapsed
+	}
+	f := func(seed uint64) bool {
+		a := run(seed)
+		for i := 0; i < 3; i++ {
+			if run(seed) != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transaction counts never exceed one per access and never fall
+// below accesses/warpSize — the coalescer merges, it never invents or
+// loses traffic.
+func TestQuickCoalescerBounds(t *testing.T) {
+	f := func(stride uint8) bool {
+		st := int(stride)%512 + 1
+		sp := memsys.New(sim.Default(), memsys.Config{HBMSize: 1 << 20, DRAMSize: 1 << 20, PMSize: 8 << 20})
+		d := New(sp)
+		sp.SetDDIOOff(true)
+		pm := sp.AllocPM(6<<20, 0)
+		res := d.Launch("co", 1, 32, func(th *Thread) {
+			th.StoreU32(pm+uint64(th.Lane()*st*4), 1)
+		})
+		txns := res.Stats.PMWriteTxns
+		return txns >= 1 && txns <= 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every byte a kernel writes with DDIO off and fences is durable,
+// and a crash after the kernel is the identity on that range.
+func TestQuickFencedWritesDurable(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 256 {
+			vals = vals[:256]
+		}
+		sp := memsys.New(sim.Default(), memsys.Config{HBMSize: 1 << 20, DRAMSize: 1 << 20, PMSize: 4 << 20})
+		d := New(sp)
+		sp.SetDDIOOff(true)
+		pm := sp.AllocPM(int64(len(vals))*4+256, 0)
+		n := len(vals)
+		tpb := n
+		if tpb > 256 {
+			tpb = 256
+		}
+		blocks := (n + tpb - 1) / tpb
+		d.Launch("w", blocks, tpb, func(th *Thread) {
+			i := th.GlobalID()
+			if i >= n {
+				return
+			}
+			th.StoreU32(pm+uint64(i)*4, vals[i])
+			th.FenceSystem()
+		})
+		sp.Crash()
+		for i, v := range vals {
+			if sp.ReadU32(pm+uint64(i)*4) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package gpu is a functional model of a CUDA-class GPU: grids of
+// threadblocks of 32-lane warps, a hardware write coalescer, block barriers,
+// scoped memory fences, and device memory, executing real Go code per thread
+// while a deterministic timing engine accounts simulated time.
+//
+// Execution model. Each threadblock runs its threads as goroutines; blocks
+// are scheduled over a worker pool and grouped into waves of at most
+// NumSMs×MaxBlocksPerSM resident blocks, like hardware occupancy. Every
+// thread records its memory operations into a per-lane log; at each block
+// barrier and at block exit the warp logs are replayed in SIMT lockstep
+// order (the i-th operation of every lane forms one step), which is where
+// the 128-byte hardware coalescer merges per-lane stores into transactions
+// and where per-warp simulated clocks advance. A kernel's elapsed time is
+// the maximum of its critical path (slowest warp, summed over waves), the
+// bandwidth bounds of PM/PCIe/HBM, the PCIe outstanding-transaction bound,
+// and any software serialization (e.g. lock-based logging).
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// ErrCrashed is the panic value used internally to unwind kernel threads
+// when the fault injector fires; Launch recovers it and reports
+// Result.Crashed.
+var ErrCrashed = fmt.Errorf("gpu: kernel aborted by injected crash")
+
+// Device is one simulated GPU attached to a memory space.
+type Device struct {
+	Params *sim.Params
+	Space  *memsys.Space
+
+	resMu    sync.Mutex
+	resNames []string
+	resIDs   map[string]uint32
+
+	abortEnabled atomic.Bool
+	abortCheck   func(op int64) bool
+	opCounter    atomic.Int64
+	aborted      atomic.Bool
+}
+
+// New returns a device over the given space.
+func New(space *memsys.Space) *Device {
+	return &Device{
+		Params: space.Params,
+		Space:  space,
+		resIDs: make(map[string]uint32),
+	}
+}
+
+// ResourceID interns a serialization resource name (see Thread.Serialize).
+func (d *Device) ResourceID(name string) uint32 {
+	d.resMu.Lock()
+	defer d.resMu.Unlock()
+	if id, ok := d.resIDs[name]; ok {
+		return id
+	}
+	id := uint32(len(d.resNames))
+	d.resNames = append(d.resNames, name)
+	d.resIDs[name] = id
+	return id
+}
+
+func (d *Device) resourceName(id uint32) string {
+	d.resMu.Lock()
+	defer d.resMu.Unlock()
+	if int(id) < len(d.resNames) {
+		return d.resNames[id]
+	}
+	return fmt.Sprintf("resource-%d", id)
+}
+
+// SetAbortCheck installs a fault-injection hook: check is called with a
+// monotonically increasing operation index for every thread memory
+// operation, and the first true return aborts the running kernel (the
+// NVBitFI analog, §6.2). check must be safe for concurrent use. Pass nil to
+// disable. Installing a hook also clears any previous aborted state.
+func (d *Device) SetAbortCheck(check func(op int64) bool) {
+	d.abortCheck = check
+	d.opCounter.Store(0)
+	d.aborted.Store(false)
+	d.abortEnabled.Store(check != nil)
+}
+
+// ObservedOps returns the number of operations counted since the last
+// SetAbortCheck (used to pick crash points: install a never-firing check,
+// run once, and read the total).
+func (d *Device) ObservedOps() int64 { return d.opCounter.Load() }
+
+// noteOp advances the fault-injection counter; it reports true if the
+// kernel must abort.
+func (d *Device) noteOp() bool {
+	if !d.abortEnabled.Load() {
+		return false
+	}
+	if d.aborted.Load() {
+		return true
+	}
+	if d.abortCheck(d.opCounter.Add(1)) {
+		d.aborted.Store(true)
+		return true
+	}
+	return false
+}
+
+// Result reports one kernel execution.
+type Result struct {
+	// Elapsed is the simulated kernel duration.
+	Elapsed sim.Duration
+	// Crashed reports that the fault injector aborted the kernel.
+	Crashed bool
+	// Stats are the kernel's aggregate memory statistics.
+	Stats Stats
+}
+
+// Launch runs a 1-D grid of blocks×threadsPerBlock threads, executing kern
+// for every thread, and returns the simulated execution result. It blocks
+// until the kernel completes (cudaDeviceSynchronize semantics).
+func (d *Device) Launch(name string, blocks, threadsPerBlock int, kern func(*Thread)) Result {
+	if blocks <= 0 || threadsPerBlock <= 0 {
+		panic(fmt.Sprintf("gpu: invalid grid %dx%d for kernel %s", blocks, threadsPerBlock, name))
+	}
+	if threadsPerBlock > 1024 {
+		panic(fmt.Sprintf("gpu: threadsPerBlock %d exceeds 1024 for kernel %s", threadsPerBlock, name))
+	}
+	agg := newStats()
+	concurrent := d.Params.MaxConcurrentBlocks()
+	waves := (blocks + concurrent - 1) / concurrent
+	waveCrit := make([]sim.Duration, waves)
+	var critMu sync.Mutex
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for b := 0; b < blocks; b++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			crit := d.runBlock(b, blocks, threadsPerBlock, kern, agg)
+			w := b / concurrent
+			critMu.Lock()
+			if crit > waveCrit[w] {
+				waveCrit[w] = crit
+			}
+			critMu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+
+	crit := d.Params.KernelLaunch
+	for _, c := range waveCrit {
+		crit += c
+	}
+	res := Result{Stats: agg.snapshot(d)}
+	res.Crashed = d.aborted.Load()
+	res.Elapsed = d.elapsed(crit, &res.Stats)
+
+	// Merge kernel PM write pattern/traffic into the device-wide stats
+	// used for Fig 12 and the PCIe counters.
+	d.Space.PM.WriteStats.Merge(&agg.pmWrites)
+	d.Space.Link.RecordUp(res.Stats.PMWriteBytes+res.Stats.HostWriteBytes,
+		res.Stats.PMWriteTxns+res.Stats.HostTxns)
+	d.Space.Link.RecordDown(res.Stats.PMReadBytes+res.Stats.HostReadBytes, res.Stats.PMReadTxns)
+	return res
+}
+
+// elapsed combines the critical path with the bandwidth and concurrency
+// bounds into the kernel's simulated duration.
+func (d *Device) elapsed(crit sim.Duration, st *Stats) sim.Duration {
+	p := d.Params
+	pmWriteBW := st.pmPattern.EffectiveBandwidth(p)
+	e := crit
+	e = sim.MaxDuration(e, sim.DurationOfBytes(st.PMWriteBytes, pmWriteBW))
+	e = sim.MaxDuration(e, sim.DurationOfBytes(st.PMReadBytes, p.PMReadBandwidth))
+	pcieBytes := st.PMWriteBytes + st.PMReadBytes + st.HostWriteBytes + st.HostReadBytes
+	e = sim.MaxDuration(e, sim.DurationOfBytes(pcieBytes, p.PCIeBandwidth))
+	e = sim.MaxDuration(e, sim.DurationOfBytes(st.HBMBytes, p.HBMBandwidth))
+	e = sim.MaxDuration(e, d.Space.Link.ConcurrencyBound(st.PMWriteTxns+st.PMReadTxns+st.HostTxns))
+	for _, dur := range st.Serial {
+		e = sim.MaxDuration(e, dur)
+	}
+	return e
+}

@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"sync"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Stats aggregates a kernel's memory traffic. Byte counts are payload
+// bytes; transaction counts are post-coalescer (one per unique 128B block
+// per SIMT step).
+type Stats struct {
+	PMWriteBytes int64 // GPU stores landing on PM
+	PMWriteTxns  int64
+	PMReadBytes  int64 // GPU loads from PM
+	PMReadTxns   int64
+
+	HostWriteBytes int64 // GPU stores to host DRAM
+	HostReadBytes  int64 // GPU loads from host DRAM
+	HostTxns       int64
+
+	HBMBytes int64 // device-memory traffic
+
+	Fences int64 // system-scoped fences executed
+
+	// Serial is simulated time spent serialized on named software
+	// resources (e.g. conventional-log partition locks), keyed by name.
+	Serial map[string]sim.Duration
+
+	pmPattern sim.AccessSnapshot
+}
+
+// kernelStats is the mutable accumulator shared by a kernel's blocks.
+type kernelStats struct {
+	mu sync.Mutex
+
+	pmWriteBytes, pmWriteTxns int64
+	pmReadBytes, pmReadTxns   int64
+	hostWriteBytes            int64
+	hostReadBytes             int64
+	hostTxns                  int64
+	hbmBytes                  int64
+	fences                    int64
+
+	serial map[uint32]sim.Duration
+
+	pmWrites sim.AccessStats
+}
+
+func newStats() *kernelStats {
+	return &kernelStats{serial: make(map[uint32]sim.Duration)}
+}
+
+// merge folds one warp-replay batch into the kernel totals.
+func (k *kernelStats) merge(b *replayBatch) {
+	k.mu.Lock()
+	k.pmWriteBytes += b.pmWriteBytes
+	k.pmWriteTxns += b.pmWriteTxns
+	k.pmReadBytes += b.pmReadBytes
+	k.pmReadTxns += b.pmReadTxns
+	k.hostWriteBytes += b.hostWriteBytes
+	k.hostReadBytes += b.hostReadBytes
+	k.hostTxns += b.hostTxns
+	k.hbmBytes += b.hbmBytes
+	k.fences += b.fences
+	for id, d := range b.serial {
+		k.serial[id] += d
+	}
+	k.mu.Unlock()
+	k.pmWrites.Merge(&b.pmWrites)
+}
+
+func (k *kernelStats) snapshot(d *Device) Stats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	st := Stats{
+		PMWriteBytes:   k.pmWriteBytes,
+		PMWriteTxns:    k.pmWriteTxns,
+		PMReadBytes:    k.pmReadBytes,
+		PMReadTxns:     k.pmReadTxns,
+		HostWriteBytes: k.hostWriteBytes,
+		HostReadBytes:  k.hostReadBytes,
+		HostTxns:       k.hostTxns,
+		HBMBytes:       k.hbmBytes,
+		Fences:         k.fences,
+		Serial:         make(map[string]sim.Duration, len(k.serial)),
+	}
+	for id, dur := range k.serial {
+		st.Serial[d.resourceName(id)] += dur
+	}
+	st.pmPattern = k.pmWrites.Snapshot()
+	return st
+}
+
+// PMPattern exposes the kernel's PM write pattern statistics.
+func (s *Stats) PMPattern() sim.AccessSnapshot { return s.pmPattern }

@@ -1,0 +1,255 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Thread is the per-thread execution context handed to a kernel function.
+// It provides CUDA-thread semantics: identity within the execution
+// hierarchy, typed loads and stores into the unified address space, scoped
+// fences, a block barrier, and atomics.
+type Thread struct {
+	blk  *Block
+	warp *warp
+	id   int // thread index within the block
+	lane int // lane within the warp
+
+	dirty []uint64 // virtual PM lines written since the last system fence
+}
+
+// ---- Identity ----
+
+// ID returns the thread index within its block (threadIdx).
+func (t *Thread) ID() int { return t.id }
+
+// Lane returns the lane index within the warp.
+func (t *Thread) Lane() int { return t.lane }
+
+// WarpID returns the warp index within the block.
+func (t *Thread) WarpID() int { return t.id / t.blk.dev.Params.WarpSize }
+
+// Block returns the enclosing threadblock.
+func (t *Thread) Block() *Block { return t.blk }
+
+// GlobalID returns blockIdx*blockDim + threadIdx.
+func (t *Thread) GlobalID() int { return t.blk.id*t.blk.nthreads + t.id }
+
+// GridThreads returns the total number of threads in the grid.
+func (t *Thread) GridThreads() int { return t.blk.grid * t.blk.nthreads }
+
+// Device returns the executing device.
+func (t *Thread) Device() *Device { return t.blk.dev }
+
+// Space returns the unified memory space.
+func (t *Thread) Space() *memsys.Space { return t.blk.dev.Space }
+
+// ---- Logging helpers ----
+
+func (t *Thread) log(op laneOp) {
+	t.warp.lanes[t.lane] = append(t.warp.lanes[t.lane], op)
+}
+
+func (t *Thread) checkCrash() {
+	if t.blk.dev.noteOp() {
+		panic(ErrCrashed)
+	}
+}
+
+func (t *Thread) trackDirty(lines []uint64) {
+	if len(lines) == 0 {
+		return
+	}
+	t.dirty = append(t.dirty, lines...)
+	if len(t.dirty) > 1<<16 {
+		t.dirty = dedupeLines(t.dirty)
+	}
+}
+
+func dedupeLines(lines []uint64) []uint64 {
+	seen := make(map[uint64]struct{}, len(lines))
+	out := lines[:0]
+	for _, la := range lines {
+		if _, ok := seen[la]; ok {
+			continue
+		}
+		seen[la] = struct{}{}
+		out = append(out, la)
+	}
+	return out
+}
+
+// ---- Raw and typed memory access ----
+
+// StoreBytes writes p at addr.
+func (t *Thread) StoreBytes(addr uint64, p []byte) {
+	t.checkCrash()
+	t.trackDirty(t.Space().WriteGPU(addr, p))
+	t.log(laneOp{kind: opStore, addr: addr, size: uint32(len(p)), space: t.Space().KindOf(addr)})
+}
+
+// LoadBytes reads len(p) bytes at addr into p.
+func (t *Thread) LoadBytes(addr uint64, p []byte) {
+	t.checkCrash()
+	t.Space().Read(addr, p)
+	t.log(laneOp{kind: opLoad, addr: addr, size: uint32(len(p)), space: t.Space().KindOf(addr)})
+}
+
+// StoreU32 writes a little-endian uint32.
+func (t *Thread) StoreU32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	t.StoreBytes(addr, b[:])
+}
+
+// LoadU32 reads a little-endian uint32.
+func (t *Thread) LoadU32(addr uint64) uint32 {
+	var b [4]byte
+	t.LoadBytes(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// StoreU64 writes a little-endian uint64.
+func (t *Thread) StoreU64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.StoreBytes(addr, b[:])
+}
+
+// LoadU64 reads a little-endian uint64.
+func (t *Thread) LoadU64(addr uint64) uint64 {
+	var b [8]byte
+	t.LoadBytes(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// StoreF32 writes a float32.
+func (t *Thread) StoreF32(addr uint64, v float32) { t.StoreU32(addr, math.Float32bits(v)) }
+
+// LoadF32 reads a float32.
+func (t *Thread) LoadF32(addr uint64) float32 { return math.Float32frombits(t.LoadU32(addr)) }
+
+// StoreF64 writes a float64.
+func (t *Thread) StoreF64(addr uint64, v float64) { t.StoreU64(addr, math.Float64bits(v)) }
+
+// LoadF64 reads a float64.
+func (t *Thread) LoadF64(addr uint64) float64 { return math.Float64frombits(t.LoadU64(addr)) }
+
+// ---- Fences, barrier, compute, serialization ----
+
+// FenceSystem is __threadfence_system(): it waits until this thread's prior
+// writes are visible to the whole system. With DDIO disabled the writes
+// drain into the ADR persistence domain, so the fence doubles as a persist
+// (gpm_persist); with DDIO enabled the fence completes once the writes
+// reach the (volatile) LLC, and durability is NOT guaranteed — exactly the
+// pitfall GPM's persist_begin/persist_end exists to avoid (§3.1).
+func (t *Thread) FenceSystem() {
+	t.checkCrash()
+	sp := t.Space()
+	ddioOff := sp.DDIOOff()
+	lines := dedupeLines(t.dirty)
+	if ddioOff {
+		sp.PersistLines(lines)
+	}
+	t.dirty = t.dirty[:0]
+	t.log(laneOp{kind: opFence, aux: uint32(len(lines)), flag: ddioOff})
+}
+
+// FenceDevice is __threadfence(): device-scope ordering only. In this model
+// writes are immediately visible, so only the timing cost is recorded.
+func (t *Thread) FenceDevice() {
+	t.checkCrash()
+	t.log(laneOp{kind: opCompute, dur: 40 * sim.Nanosecond})
+}
+
+// FenceBlock is __threadfence_block().
+func (t *Thread) FenceBlock() {
+	t.checkCrash()
+	t.log(laneOp{kind: opCompute, dur: 10 * sim.Nanosecond})
+}
+
+// SyncBlock is __syncthreads(): all live threads of the block rendezvous.
+func (t *Thread) SyncBlock() {
+	t.checkCrash()
+	t.blk.bar.wait()
+}
+
+// Compute accounts d of pure computation on this thread.
+func (t *Thread) Compute(d sim.Duration) {
+	t.log(laneOp{kind: opCompute, dur: d})
+}
+
+// Serialize accounts d of simulated time on a named serial software
+// resource (such as a lock-protected log partition). Unlike Compute, the
+// cost does not parallelize: the kernel cannot finish before the sum of all
+// time serialized on any single resource.
+func (t *Thread) Serialize(resource string, d sim.Duration) {
+	id := t.blk.dev.ResourceID(resource)
+	t.log(laneOp{kind: opSerial, aux: id, dur: d})
+}
+
+// ---- Atomics ----
+
+func (t *Thread) atomicApply32(addr uint64, f func(uint32) uint32) (old uint32) {
+	t.checkCrash()
+	sp := t.Space()
+	mu := sp.LockFor(addr)
+	mu.Lock()
+	old = sp.ReadU32(addr)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], f(old))
+	t.trackDirty(sp.WriteGPU(addr, b[:]))
+	mu.Unlock()
+	t.log(laneOp{kind: opAtomic, addr: addr, size: 4, space: sp.KindOf(addr)})
+	return old
+}
+
+// AtomicAdd32 atomically adds delta at addr and returns the old value.
+func (t *Thread) AtomicAdd32(addr uint64, delta uint32) uint32 {
+	return t.atomicApply32(addr, func(v uint32) uint32 { return v + delta })
+}
+
+// AtomicMin32 atomically stores min(old, v) and returns the old value.
+func (t *Thread) AtomicMin32(addr uint64, v uint32) uint32 {
+	return t.atomicApply32(addr, func(old uint32) uint32 {
+		if v < old {
+			return v
+		}
+		return old
+	})
+}
+
+// AtomicMax32 atomically stores max(old, v) and returns the old value.
+func (t *Thread) AtomicMax32(addr uint64, v uint32) uint32 {
+	return t.atomicApply32(addr, func(old uint32) uint32 {
+		if v > old {
+			return v
+		}
+		return old
+	})
+}
+
+// AtomicExch32 atomically swaps in v and returns the old value.
+func (t *Thread) AtomicExch32(addr uint64, v uint32) uint32 {
+	return t.atomicApply32(addr, func(uint32) uint32 { return v })
+}
+
+// AtomicCAS32 atomically replaces expected with v; it returns the value
+// observed (CUDA atomicCAS semantics: success iff the return equals
+// expected).
+func (t *Thread) AtomicCAS32(addr uint64, expected, v uint32) uint32 {
+	return t.atomicApply32(addr, func(old uint32) uint32 {
+		if old == expected {
+			return v
+		}
+		return old
+	})
+}
+
+// AtomicOr32 atomically ORs v at addr and returns the old value.
+func (t *Thread) AtomicOr32(addr uint64, v uint32) uint32 {
+	return t.atomicApply32(addr, func(old uint32) uint32 { return old | v })
+}

@@ -1,0 +1,198 @@
+package gpu
+
+import (
+	"sort"
+
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+type opKind uint8
+
+const (
+	opStore opKind = iota
+	opLoad
+	opFence
+	opCompute
+	opAtomic
+	opSerial
+)
+
+// laneOp is one recorded thread operation, replayed later in SIMT order.
+type laneOp struct {
+	addr  uint64
+	dur   sim.Duration // compute/serial duration
+	size  uint32
+	aux   uint32 // fence: dirty-line count; serial: resource id
+	kind  opKind
+	space memsys.Kind
+	flag  bool // fence: DDIO was off (must drain to ADR domain)
+}
+
+// warp models 32 lanes executing in lockstep with a shared clock.
+type warp struct {
+	lanes [][]laneOp
+	pos   []int
+	clock sim.Duration
+
+	step []laneOp // scratch: memory ops of the current SIMT step
+}
+
+func newWarp(width int) *warp {
+	return &warp{
+		lanes: make([][]laneOp, width),
+		pos:   make([]int, width),
+	}
+}
+
+// replayBatch accumulates one replay's traffic before merging into the
+// kernel totals.
+type replayBatch struct {
+	pmWriteBytes, pmWriteTxns int64
+	pmReadBytes, pmReadTxns   int64
+	hostWriteBytes            int64
+	hostReadBytes             int64
+	hostTxns                  int64
+	hbmBytes                  int64
+	fences                    int64
+	serial                    map[uint32]sim.Duration
+	pmWrites                  sim.AccessStats
+}
+
+func newReplayBatch() *replayBatch {
+	return &replayBatch{serial: make(map[uint32]sim.Duration)}
+}
+
+// replay drains the lane logs in lockstep order: step i pairs the i-th
+// pending operation of every lane, coalesces its memory accesses at 128B
+// granularity, and advances the warp clock by the step's cost.
+func (w *warp) replay(p *sim.Params, batch *replayBatch) {
+	for {
+		active := false
+		var stepDur sim.Duration
+		w.step = w.step[:0]
+		for lane := range w.lanes {
+			ops := w.lanes[lane]
+			if w.pos[lane] >= len(ops) {
+				continue
+			}
+			op := ops[w.pos[lane]]
+			w.pos[lane]++
+			active = true
+			switch op.kind {
+			case opCompute:
+				d := sim.Duration(float64(op.dur) * p.GPUComputeScale)
+				stepDur = sim.MaxDuration(stepDur, d)
+			case opSerial:
+				batch.serial[op.aux] += op.dur
+			case opFence:
+				batch.fences++
+				var c sim.Duration
+				if op.flag {
+					c = p.PCIeRTT + sim.Duration(op.aux)*p.PMDrainPerLine
+				} else {
+					c = p.LLCFenceRTT
+				}
+				stepDur = sim.MaxDuration(stepDur, c)
+			default:
+				w.step = append(w.step, op)
+			}
+		}
+		if !active {
+			break
+		}
+		if len(w.step) > 0 {
+			stepDur = sim.MaxDuration(stepDur, w.coalesce(p, batch))
+		}
+		w.clock += stepDur
+	}
+	for lane := range w.lanes {
+		w.lanes[lane] = w.lanes[lane][:0]
+		w.pos[lane] = 0
+	}
+}
+
+// coalesce groups the current step's memory operations by access class and
+// 128-byte block, accounts the resulting transactions, and returns the
+// step's latency contribution.
+func (w *warp) coalesce(p *sim.Params, batch *replayBatch) sim.Duration {
+	cb := uint64(p.CoalesceBytes)
+	sort.Slice(w.step, func(i, j int) bool {
+		a, b := &w.step[i], &w.step[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.space != b.space {
+			return a.space < b.space
+		}
+		return a.addr < b.addr
+	})
+	var stepDur sim.Duration
+	i := 0
+	for i < len(w.step) {
+		first := w.step[i]
+		blk := first.addr / cb
+		var bytes int64
+		end := first.addr
+		j := i
+		for ; j < len(w.step); j++ {
+			op := w.step[j]
+			if op.kind != first.kind || op.space != first.space || op.addr/cb != blk {
+				break
+			}
+			bytes += int64(op.size)
+			if e := op.addr + uint64(op.size); e > end {
+				end = e
+			}
+		}
+		span := int(end - first.addr)
+		switch first.kind {
+		case opStore:
+			switch first.space {
+			case memsys.KindPM:
+				batch.pmWriteTxns++
+				batch.pmWriteBytes += bytes
+				batch.pmWrites.Record(first.addr, span)
+				stepDur = sim.MaxDuration(stepDur, p.GPUIssueCost)
+			case memsys.KindDRAM:
+				batch.hostTxns++
+				batch.hostWriteBytes += bytes
+				stepDur = sim.MaxDuration(stepDur, p.GPUIssueCost)
+			default:
+				batch.hbmBytes += bytes
+				stepDur = sim.MaxDuration(stepDur, p.GPUIssueCost)
+			}
+		case opLoad:
+			switch first.space {
+			case memsys.KindPM:
+				batch.pmReadTxns++
+				batch.pmReadBytes += bytes
+				stepDur = sim.MaxDuration(stepDur, p.GPULoadStall+p.PMReadLatency)
+			case memsys.KindDRAM:
+				batch.hostTxns++
+				batch.hostReadBytes += bytes
+				stepDur = sim.MaxDuration(stepDur, p.GPULoadStall)
+			default:
+				batch.hbmBytes += bytes
+				stepDur = sim.MaxDuration(stepDur, p.HBMLatency)
+			}
+		case opAtomic:
+			switch first.space {
+			case memsys.KindPM:
+				batch.pmWriteTxns++
+				batch.pmWriteBytes += bytes
+				batch.pmWrites.Record(first.addr, span)
+				stepDur = sim.MaxDuration(stepDur, p.PCIeRTT)
+			case memsys.KindDRAM:
+				batch.hostTxns++
+				batch.hostWriteBytes += bytes
+				stepDur = sim.MaxDuration(stepDur, p.PCIeRTT)
+			default:
+				batch.hbmBytes += bytes
+				stepDur = sim.MaxDuration(stepDur, 4*p.HBMLatency)
+			}
+		}
+		i = j
+	}
+	return stepDur
+}

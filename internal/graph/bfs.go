@@ -1,0 +1,506 @@
+// Package graph implements the GPMbench BFS workload (§4.3): a
+// level-synchronous breadth-first search over a high-diameter road-network-
+// like graph (a 2-D grid with shortcut edges), persisting the cost array
+// and the node search sequence (the frontier queues) to PM every iteration.
+// After a crash the traversal RESUMES from the last persisted level instead
+// of restarting — the paper's marquee native-persistence example (85× over
+// CAP-fs, Fig 9).
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// Unreached marks an unvisited node.
+const Unreached = 0xffffffff
+
+const bfsTPB = 128
+
+// BFS is the workload.
+type BFS struct {
+	n int // nodes
+	m int // directed edges
+
+	// Read-only CSR in device memory (§4.3: the input graph is read onto
+	// HBM once, without affecting recoverability).
+	rowPtr, col uint64
+	csrBytes    []byte // durable source for reload on recovery
+
+	costHBM uint64 // working cost array (atomics live here)
+	queueA  uint64 // HBM working queues (ping-pong)
+	queueB  uint64
+	tail    uint64 // HBM atomic tail for the next frontier
+
+	costFile  *fsim.File // PM durable cost
+	queueFile *fsim.File // PM durable search sequence (2 slots)
+	metaFile  *fsim.File // PM level/slot/qlen word
+
+	src    int
+	expect []uint32
+}
+
+// New returns the BFS workload.
+func New() *BFS { return &BFS{} }
+
+// Name implements workloads.Workload.
+func (b *BFS) Name() string { return "BFS" }
+
+// Class implements workloads.Workload.
+func (b *BFS) Class() string { return "native" }
+
+// Supports implements workloads.Workload: per-thread fine-grained writes
+// deadlock GPUfs (§6.1).
+func (b *BFS) Supports(mode workloads.Mode) bool { return mode != workloads.GPUfs }
+
+// Setup implements workloads.Workload.
+func (b *BFS) Setup(env *workloads.Env) error {
+	cfg := env.Cfg
+	w, h := cfg.BFSWidth, cfg.BFSHeight
+	b.n = w * h
+	b.src = 0
+
+	// Build the grid + shortcuts graph.
+	adj := make([][]uint32, b.n)
+	addEdge := func(u, v int) {
+		adj[u] = append(adj[u], uint32(v))
+		adj[v] = append(adj[v], uint32(u))
+	}
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			u := r*w + c
+			if c+1 < w {
+				addEdge(u, u+1)
+			}
+			if r+1 < h {
+				addEdge(u, u+w)
+			}
+		}
+	}
+	for i := 0; i < cfg.BFSShortcuts; i++ {
+		addEdge(env.RNG.Intn(b.n), env.RNG.Intn(b.n))
+	}
+	rowPtr := make([]uint32, b.n+1)
+	var cols []uint32
+	for u := 0; u < b.n; u++ {
+		rowPtr[u] = uint32(len(cols))
+		cols = append(cols, adj[u]...)
+	}
+	rowPtr[b.n] = uint32(len(cols))
+	b.m = len(cols)
+
+	sp := env.Ctx.Space
+	b.rowPtr = sp.AllocHBM(int64(len(rowPtr)) * 4)
+	b.col = sp.AllocHBM(int64(len(cols)) * 4)
+	b.csrBytes = append(u32Bytes(rowPtr), u32Bytes(cols)...)
+	sp.WriteCPU(b.rowPtr, u32Bytes(rowPtr))
+	sp.WriteCPU(b.col, u32Bytes(cols))
+	env.Ctx.Timeline.Add("setup", sp.DMA.TransferDown(int64(len(b.csrBytes))))
+
+	// Queues are sized by edge count: a recovery pass may enqueue
+	// duplicates (one per relaxed edge in the worst case).
+	b.costHBM = sp.AllocHBM(int64(b.n) * 4)
+	b.queueA = sp.AllocHBM(int64(b.m) * 4)
+	b.queueB = sp.AllocHBM(int64(b.m) * 4)
+	b.tail = sp.AllocHBM(64)
+
+	var err error
+	if b.costFile, err = env.Ctx.FS.OpenOrCreate("/pm/bfs.cost", int64(b.n)*4, 0); err != nil {
+		return err
+	}
+	if b.queueFile, err = env.Ctx.FS.OpenOrCreate("/pm/bfs.queue", 2*int64(b.m)*4, 0); err != nil {
+		return err
+	}
+	if b.metaFile, err = env.Ctx.FS.OpenOrCreate("/pm/bfs.meta", 64, 0); err != nil {
+		return err
+	}
+
+	// Initialize durable state: all costs unreached except the source;
+	// queue slot 0 holds the source; meta = level 0, slot 0, length 1.
+	unreached := make([]byte, b.n*4)
+	for i := 0; i < b.n; i++ {
+		binary.LittleEndian.PutUint32(unreached[i*4:], Unreached)
+	}
+	binary.LittleEndian.PutUint32(unreached[b.src*4:], 0)
+	sp.WriteCPU(b.costFile.Mmap(), unreached)
+	sp.PersistRange(b.costFile.Mmap(), len(unreached))
+	sp.WriteU32(b.queueFile.Mmap(), uint32(b.src))
+	sp.PersistRange(b.queueFile.Mmap(), 4)
+	sp.WriteU64(b.metaFile.Mmap(), packMeta(0, 0, 1))
+	sp.PersistRange(b.metaFile.Mmap(), 8)
+	env.Ctx.Timeline.Add("setup", sim.DurationOfBytes(int64(b.n)*4, env.Ctx.Params.CPUPMBandwidth(cfg.CAPThreads)))
+
+	// Working copies.
+	sp.WriteCPU(b.costHBM, unreached)
+
+	b.expect = hostBFS(rowPtr, cols, b.n, b.src)
+	return nil
+}
+
+func packMeta(level, slot int, qlen uint32) uint64 {
+	return uint64(level)<<48 | uint64(slot)<<32 | uint64(qlen)
+}
+
+func unpackMeta(v uint64) (level, slot int, qlen uint32) {
+	return int(v >> 48), int(v >> 32 & 0xffff), uint32(v)
+}
+
+func u32Bytes(vals []uint32) []byte {
+	out := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// hostBFS computes reference distances.
+func hostBFS(rowPtr, cols []uint32, n, src int) []uint32 {
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	queue := []uint32{uint32(src)}
+	for len(queue) > 0 {
+		var next []uint32
+		for _, u := range queue {
+			for _, v := range cols[rowPtr[u]:rowPtr[u+1]] {
+				if dist[v] == Unreached {
+					dist[v] = dist[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		queue = next
+	}
+	return dist
+}
+
+// relaxKernel processes one frontier: every thread takes one queued node,
+// relaxes its edges via atomics on the working cost array, enqueues newly
+// discovered nodes, and — in persistent modes — writes and persists the new
+// cost and the queue entry to PM (the in-kernel byte-grained persistence
+// CAP cannot express).
+func (b *BFS) relaxKernel(env *workloads.Env, curQ, nextQ uint64, qlen int, level uint32, pmSlot int, direct, persist, recovery bool) gpu.Result {
+	rowPtr, col, cost, tail := b.rowPtr, b.col, b.costHBM, b.tail
+	pmCost := b.costFile.Mmap()
+	pmQueue := b.queueFile.Mmap() + uint64(pmSlot)*uint64(b.m)*4
+	blocks := (qlen + bfsTPB - 1) / bfsTPB
+	return env.Ctx.Launch("bfs-relax", blocks, bfsTPB, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= qlen {
+			return
+		}
+		u := t.LoadU32(curQ + uint64(i)*4)
+		lo := t.LoadU32(rowPtr + uint64(u)*4)
+		hi := t.LoadU32(rowPtr + uint64(u+1)*4)
+		newCost := level + 1
+		for e := lo; e < hi; e++ {
+			v := t.LoadU32(col + uint64(e)*4)
+			t.Compute(4 * sim.Nanosecond)
+			old := t.AtomicMin32(cost+uint64(v)*4, newCost)
+			enqueue := old > newCost
+			if recovery && old == newCost {
+				// A pre-crash partial write already set this cost but
+				// the node never made it into a durable queue; enqueue
+				// it again (duplicates are benign for one level).
+				enqueue = true
+			}
+			if !enqueue {
+				continue
+			}
+			slot := t.AtomicAdd32(tail, 1)
+			t.StoreU32(nextQ+uint64(slot)*4, v)
+			if direct {
+				t.StoreU32(pmCost+uint64(v)*4, newCost)
+				t.StoreU32(pmQueue+uint64(slot)*4, v)
+				if persist {
+					gpm.Persist(t)
+				}
+			}
+		}
+	})
+}
+
+// commitLevel persists the level metadata. The iteration loop already runs
+// on the CPU (kernel launches), so the 8-byte level word is persisted from
+// the host — no data crosses the PCIe, and the kernel's in-place persists
+// ordered before it.
+func (b *BFS) commitLevel(env *workloads.Env, level, slot int, qlen uint32) {
+	meta := b.metaFile.Mmap()
+	env.Ctx.RunCPU("bfs-meta", 1, func(t *cpusim.Thread) {
+		t.WriteU64(meta, packMeta(level, slot, qlen))
+		t.PersistRange(meta, 8)
+	})
+}
+
+func (b *BFS) durableMeta(env *workloads.Env) (level, slot int, qlen uint32) {
+	snap := env.Ctx.Space.SnapshotPersistent(b.metaFile.Mmap(), 8)
+	return unpackMeta(binary.LittleEndian.Uint64(snap))
+}
+
+// Run implements workloads.Workload.
+func (b *BFS) Run(env *workloads.Env) error {
+	if env.Mode == workloads.CPUOnly {
+		return b.runCPU(env)
+	}
+	return b.run(env, false)
+}
+
+func (b *BFS) run(env *workloads.Env, recovery bool) error {
+	sp := env.Ctx.Space
+	direct := env.Mode.UsesGPM() || env.Mode == workloads.GPMNDP
+	persist := env.Mode.UsesGPM()
+
+	level, slot, qlen := 0, 0, uint32(1)
+	if direct {
+		level, slot, qlen = b.durableMeta(env)
+	}
+	// Stage the current frontier into the working queue.
+	q := make([]byte, int(qlen)*4)
+	sp.Read(b.queueFile.Mmap()+uint64(slot)*uint64(b.m)*4, q)
+	sp.WriteCPU(b.queueA, q)
+	curQ, nextQ := b.queueA, b.queueB
+
+	env.PersistKernelBegin()
+	for qlen > 0 {
+		sp.WriteU32(b.tail, 0)
+		res := b.relaxKernel(env, curQ, nextQ, int(qlen), uint32(level), 1-slot, direct, persist, recovery)
+		if res.Crashed {
+			// A power failure takes the host down too: no further
+			// orchestration (in particular, no metadata commit for this
+			// partially-relaxed level).
+			env.PersistKernelEnd()
+			return nil
+		}
+		recovery = false
+		nextLen := sp.ReadU32(b.tail)
+		level++
+		slot = 1 - slot
+		if direct {
+			if persist {
+				b.commitLevel(env, level, slot, nextLen)
+			}
+		} else if env.Mode.UsesCAP() && env.Mode != workloads.GPMNDP {
+			// CAP: the kernel computed in device memory; every iteration
+			// the new frontier and its cost updates must be DMA-ed out
+			// and persisted by the CPU — the per-iteration DMA initiation
+			// and CPU persists are what GPM's advantage comes from
+			// (§6.1). The queue tells the CPU which cost entries changed,
+			// so the data volume matches GPM (write amplification 1.0,
+			// Table 4); only the overheads differ.
+			env.PersistKernelEnd()
+			if err := b.capPersistLevel(env, nextQ, int(nextLen), slot, uint32(level)); err != nil {
+				return err
+			}
+			env.PersistKernelBegin()
+		}
+		if env.Mode == workloads.GPMNDP {
+			// NDP: stores went to PM directly (via the LLC), but the CPU
+			// cannot know which entries changed, so it flushes the whole
+			// cost array every iteration.
+			env.Cap.FlushOnly(b.costFile.Mmap(), int64(b.n)*4)
+			if nextLen > 0 {
+				env.Cap.FlushOnly(b.queueFile.Mmap()+uint64(slot)*uint64(b.m)*4, int64(nextLen)*4)
+			}
+		}
+		curQ, nextQ = nextQ, curQ
+		qlen = nextLen
+	}
+	env.PersistKernelEnd()
+	env.CountOps(int64(b.n))
+	return nil
+}
+
+// capPersistLevel ships one iteration's frontier queue and cost updates to
+// the CPU and persists them (CAP-fs via write+fsync, CAP-mm/eADR via
+// mmap+flush). level is the post-increment level: the frontier's cost.
+func (b *BFS) capPersistLevel(env *workloads.Env, nextQ uint64, nextLen, slot int, level uint32) error {
+	if nextLen == 0 {
+		return nil
+	}
+	sp := env.Ctx.Space
+	// The CPU cannot initiate efficient fine-grained transfers (§3.2
+	// [61]), so the whole cost array ships every iteration alongside the
+	// frontier; the CPU then persists only the changed entries, which it
+	// learns from the queue (write amplification stays ~1, Table 4, but
+	// the transfer amplification is the per-iteration cost GPM avoids).
+	nodes := make([]byte, nextLen*4)
+	sp.Read(nextQ, nodes)
+	env.Ctx.Timeline.Add("dma", sp.DMA.TransferUp(int64(b.n)*4+int64(nextLen)*4))
+
+	pmCost := b.costFile.Mmap()
+	pmQueue := b.queueFile.Mmap() + uint64(slot)*uint64(b.m)*4
+	if env.Mode == workloads.CAPfs {
+		var ferr error
+		env.Ctx.RunCPU("cap-fs", 1, func(t *cpusim.Thread) {
+			if err := b.queueFile.WriteAt(t, int64(slot)*int64(b.m)*4, nodes); err != nil {
+				ferr = err
+				return
+			}
+			// Scattered cost updates go through the file interface too.
+			var val [4]byte
+			for i := 0; i < nextLen; i++ {
+				v := binary.LittleEndian.Uint32(nodes[i*4:])
+				binary.LittleEndian.PutUint32(val[:], level)
+				if err := b.costFile.WriteAt(t, int64(v)*4, val[:]); err != nil {
+					ferr = err
+					return
+				}
+			}
+			b.queueFile.Fsync(t)
+			b.costFile.Fsync(t)
+		})
+		return ferr
+	}
+	threads := env.Cfg.CAPThreads
+	env.Ctx.RunCPU("cap-mm", threads, func(t *cpusim.Thread) {
+		chunk := (nextLen + t.N - 1) / t.N
+		lo, hi := t.ID*chunk, (t.ID+1)*chunk
+		if lo > nextLen {
+			lo = nextLen
+		}
+		if hi > nextLen {
+			hi = nextLen
+		}
+		if lo >= hi {
+			return
+		}
+		t.Write(pmQueue+uint64(lo)*4, nodes[lo*4:hi*4])
+		for i := lo; i < hi; i++ {
+			v := binary.LittleEndian.Uint32(nodes[i*4:])
+			t.WriteU32(pmCost+uint64(v)*4, level)
+		}
+		t.FlushWrites()
+		t.Drain()
+	})
+	return nil
+}
+
+// runCPU is the Fig 1b baseline: multi-threaded level-synchronous CPU BFS
+// persisting cost updates each level.
+func (b *BFS) runCPU(env *workloads.Env) error {
+	sp := env.Ctx.Space
+	threads := env.Cfg.CAPThreads
+	pmCost := b.costFile.Mmap()
+	rowPtr := u32sOf(b.csrBytes[:(b.n+1)*4])
+	cols := u32sOf(b.csrBytes[(b.n+1)*4:])
+	dist := make([]uint32, b.n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[b.src] = 0
+	frontier := []uint32{uint32(b.src)}
+	level := uint32(0)
+	for len(frontier) > 0 {
+		nexts := make([][]uint32, threads)
+		env.Ctx.RunCPU("cpu-bfs", threads, func(t *cpusim.Thread) {
+			chunk := (len(frontier) + t.N - 1) / t.N
+			lo, hi := t.ID*chunk, (t.ID+1)*chunk
+			if lo > len(frontier) {
+				lo = len(frontier)
+			}
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			var local []uint32
+			var count int64
+			for _, u := range frontier[lo:hi] {
+				for _, v := range cols[rowPtr[u]:rowPtr[u+1]] {
+					t.Compute(300 * sim.Nanosecond) // PM-resident graph: random reads pay media latency
+					// Atomic claim: racers would all write the same level,
+					// but only the winner persists and enqueues.
+					if atomic.CompareAndSwapUint32(&dist[v], Unreached, level+1) {
+						local = append(local, v)
+						t.WriteU32(pmCost+uint64(v)*4, level+1)
+						count++
+					}
+				}
+			}
+			if count > 0 {
+				t.FlushWrites()
+				t.Drain()
+			}
+			nexts[t.ID] = local
+		})
+		frontier = frontier[:0]
+		for _, l := range nexts {
+			frontier = append(frontier, l...)
+		}
+		level++
+	}
+	_ = sp
+	env.CountOps(int64(b.n))
+	return nil
+}
+
+func u32sOf(buf []byte) []uint32 {
+	out := make([]uint32, len(buf)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[i*4:])
+	}
+	return out
+}
+
+// Verify implements workloads.Workload: the DURABLE cost array must match
+// the reference distances.
+func (b *BFS) Verify(env *workloads.Env) error {
+	snap := env.Ctx.Space.SnapshotPersistent(b.costFile.Mmap(), b.n*4)
+	for i := 0; i < b.n; i++ {
+		if got := binary.LittleEndian.Uint32(snap[i*4:]); got != b.expect[i] {
+			return fmt.Errorf("bfs: durable cost[%d] = %d, want %d", i, got, b.expect[i])
+		}
+	}
+	return nil
+}
+
+// RunUntilCrash implements workloads.Crasher.
+func (b *BFS) RunUntilCrash(env *workloads.Env, abortAfterOps int64) error {
+	if !env.Mode.UsesGPM() {
+		return fmt.Errorf("bfs: crash study requires a GPM mode")
+	}
+	env.Ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= abortAfterOps })
+	err := b.Run(env)
+	env.Ctx.Dev.SetAbortCheck(nil)
+	if err == gpu.ErrCrashed {
+		return nil
+	}
+	return err
+}
+
+// Recover implements workloads.Crasher: reload the read-only graph, restore
+// the working cost array from durable state, and RESUME the traversal from
+// the persisted level (§4.3) — the recovery pass re-relaxes the persisted
+// frontier to absorb partially persisted cost writes.
+func (b *BFS) Recover(env *workloads.Env) error {
+	sp := env.Ctx.Space
+	start := env.Ctx.Timeline.Total()
+	// Reload read-only CSR (lost with device memory).
+	sp.WriteCPU(b.rowPtr, b.csrBytes[:(b.n+1)*4])
+	sp.WriteCPU(b.col, b.csrBytes[(b.n+1)*4:])
+	env.Ctx.Timeline.Add("reload", sp.DMA.TransferDown(int64(len(b.csrBytes))))
+	// Restore the working cost array from the durable copy.
+	cost := sp.SnapshotPersistent(b.costFile.Mmap(), b.n*4)
+	sp.WriteCPU(b.costHBM, cost)
+	env.Ctx.Timeline.Add("reload", sp.DMA.TransferDown(int64(b.n)*4))
+	err := b.run(env, true)
+	env.AddRestore(env.Ctx.Timeline.Total() - start)
+	return err
+}
+
+// DurableLevel reports the persisted BFS level (test hook).
+func (b *BFS) DurableLevel(env *workloads.Env) int {
+	level, _, _ := b.durableMeta(env)
+	return level
+}
+
+// Nodes returns the node count (test hook).
+func (b *BFS) Nodes() int { return b.n }

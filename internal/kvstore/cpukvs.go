@@ -1,0 +1,242 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// Style selects which commercial/academic PM key-value store a CPUKVS run
+// emulates (the Fig 1a baselines).
+type Style int
+
+// CPU KVS styles.
+const (
+	// StylePmemKV: Intel pmemKV's concurrent hashmap — in-place PM
+	// writes under striped locks, flush+drain per operation.
+	StylePmemKV Style = iota
+	// StyleRocksDB: RocksDB on PM — every SET appends a WAL record that
+	// must be persisted (and the WAL serializes per shard) before the
+	// memtable insert.
+	StyleRocksDB
+	// StyleMatrixKV: MatrixKV — WAL-free writes into a PM-resident L0
+	// "matrix container" with column-append (sequential PM writes), a
+	// DRAM index, and lighter per-op software overhead than RocksDB.
+	StyleMatrixKV
+)
+
+func (s Style) String() string {
+	switch s {
+	case StylePmemKV:
+		return "pmemKV"
+	case StyleRocksDB:
+		return "RocksDB-pmem"
+	case StyleMatrixKV:
+		return "MatrixKV"
+	default:
+		return "unknown"
+	}
+}
+
+// Per-operation software overheads (index maintenance, allocator,
+// transaction management), calibrated to the relative heights of Fig 1a.
+func (s Style) opOverhead() sim.Duration {
+	switch s {
+	case StylePmemKV:
+		return 6 * sim.Microsecond
+	case StyleRocksDB:
+		return 13 * sim.Microsecond
+	default: // MatrixKV
+		return 7500 * sim.Nanosecond
+	}
+}
+
+// CPUKVS is a multi-threaded CPU PM key-value store executing the same
+// batched SETs as gpKVS.
+type CPUKVS struct {
+	Style   Style
+	Threads int
+
+	sets, batches, opsPerBatch int
+	pmFile                     *fsim.File
+	walFile                    *fsim.File
+	l0File                     *fsim.File
+
+	work  []batch
+	model []uint64
+
+	memtable sync.Map // RocksDB/MatrixKV styles: volatile index
+	walOff   []int64  // per-shard WAL offsets
+	l0Off    int64
+}
+
+// NewCPU returns a CPU KVS baseline of the given style.
+func NewCPU(style Style) *CPUKVS { return &CPUKVS{Style: style} }
+
+// Name implements workloads.Workload.
+func (c *CPUKVS) Name() string { return c.Style.String() }
+
+// Class implements workloads.Workload.
+func (c *CPUKVS) Class() string { return "transactional" }
+
+// Supports implements workloads.Workload.
+func (c *CPUKVS) Supports(mode workloads.Mode) bool { return mode == workloads.CPUOnly }
+
+// Setup implements workloads.Workload.
+func (c *CPUKVS) Setup(env *workloads.Env) error {
+	cfg := env.Cfg
+	c.sets, c.batches, c.opsPerBatch = cfg.KVSSets, cfg.KVSBatches, cfg.KVSOpsPerBatch
+	c.Threads = cfg.CAPThreads
+	storeBytes := int64(c.sets) * ways * pairBytes
+	var err error
+	if c.pmFile, err = env.Ctx.FS.Create("/pm/cpukvs.store", storeBytes, 0); err != nil {
+		return err
+	}
+	if c.walFile, err = env.Ctx.FS.Create("/pm/cpukvs.wal", storeBytes, 0); err != nil {
+		return err
+	}
+	if c.l0File, err = env.Ctx.FS.Create("/pm/cpukvs.l0", storeBytes, 0); err != nil {
+		return err
+	}
+	c.walOff = make([]int64, c.Threads)
+	c.model = make([]uint64, c.sets*ways*2)
+	env.Ctx.Space.PersistRange(c.pmFile.Mmap(), int(storeBytes))
+
+	// Same batch generator as gpKVS (unique slots per batch).
+	g := &GpKVS{}
+	g.sets, g.batches, g.opsPerBatch = c.sets, c.batches, c.opsPerBatch
+	g.model = make([]uint64, len(c.model))
+	tmp := &workloads.Env{RNG: env.RNG, Cfg: cfg}
+	if err := genBatches(g, tmp); err != nil {
+		return err
+	}
+	c.work = g.work
+	return nil
+}
+
+// Run implements workloads.Workload.
+func (c *CPUKVS) Run(env *workloads.Env) error {
+	walShardBytes := c.walFile.Size() / int64(c.Threads)
+	for bi := range c.work {
+		b := &c.work[bi]
+		nOps := len(b.setKeys)
+		env.Ctx.RunCPU("cpu-kvs", c.Threads, func(t *cpusim.Thread) {
+			base := c.pmFile.Mmap()
+			for i := t.ID; i < nOps; i += t.N {
+				key, val := b.setKeys[i], b.setVals[i]
+				set, way := hashKey(key, c.sets)
+				addr := base + uint64((set*ways+way)*pairBytes)
+				t.Compute(c.Style.opOverhead())
+				switch c.Style {
+				case StylePmemKV:
+					// In-place persistent hashmap update.
+					t.WriteU64(addr, key)
+					t.WriteU64(addr+8, val)
+					t.PersistRange(addr, pairBytes)
+				case StyleRocksDB:
+					// WAL append (persisted) then memtable insert.
+					woff := uint64(int64(t.ID)*walShardBytes) + uint64(c.walOffAt(t.ID))
+					t.WriteU64(c.walFile.Mmap()+woff, key)
+					t.WriteU64(c.walFile.Mmap()+woff+8, val)
+					t.PersistRange(c.walFile.Mmap()+woff, pairBytes)
+					c.bumpWAL(t.ID, pairBytes)
+					c.memtable.Store(key, val)
+					// Background compaction eventually reaches the
+					// store; model its PM traffic in place.
+					t.WriteU64(addr, key)
+					t.WriteU64(addr+8, val)
+					t.PersistRange(addr, pairBytes)
+				case StyleMatrixKV:
+					// WAL-free: sequential column append into the L0
+					// matrix container plus a DRAM index.
+					loff := c.bumpL0(pairBytes)
+					t.WriteU64(c.l0File.Mmap()+uint64(loff), key)
+					t.WriteU64(c.l0File.Mmap()+uint64(loff)+8, val)
+					t.PersistRange(c.l0File.Mmap()+uint64(loff), pairBytes)
+					c.memtable.Store(key, val)
+					// Flush to the main store batched (sequentialized).
+					t.WriteU64(addr, key)
+					t.WriteU64(addr+8, val)
+					t.PersistRange(addr, pairBytes)
+				}
+			}
+		})
+		for i, key := range b.setKeys {
+			set, way := hashKey(key, c.sets)
+			slot := set*ways + way
+			c.model[slot*2] = key
+			c.model[slot*2+1] = b.setVals[i]
+		}
+		env.CountOps(int64(nOps))
+	}
+	return nil
+}
+
+var walMu sync.Mutex
+
+func (c *CPUKVS) walOffAt(shard int) int64 {
+	walMu.Lock()
+	defer walMu.Unlock()
+	return c.walOff[shard]
+}
+
+func (c *CPUKVS) bumpWAL(shard int, n int64) {
+	walMu.Lock()
+	c.walOff[shard] += n
+	walMu.Unlock()
+}
+
+func (c *CPUKVS) bumpL0(n int64) int64 {
+	walMu.Lock()
+	defer walMu.Unlock()
+	off := c.l0Off
+	c.l0Off = (c.l0Off + n) % (c.l0File.Size() - pairBytes)
+	return off
+}
+
+// Verify implements workloads.Workload.
+func (c *CPUKVS) Verify(env *workloads.Env) error {
+	snap := env.Ctx.Space.SnapshotPersistent(c.pmFile.Mmap(), int(c.pmFile.Size()))
+	for slot := 0; slot < c.sets*ways; slot++ {
+		key := binary.LittleEndian.Uint64(snap[slot*pairBytes:])
+		val := binary.LittleEndian.Uint64(snap[slot*pairBytes+8:])
+		if key != c.model[slot*2] || val != c.model[slot*2+1] {
+			return fmt.Errorf("%s: durable slot %d = (%d,%d), want (%d,%d)",
+				c.Name(), slot, key, val, c.model[slot*2], c.model[slot*2+1])
+		}
+	}
+	return nil
+}
+
+// genBatches runs the gpKVS batch generator against a bare environment.
+func genBatches(g *GpKVS, env *workloads.Env) error {
+	shadow := make([]uint64, g.sets*ways*2)
+	nextKey := uint64(1)
+	g.work = make([]batch, g.batches)
+	for bi := range g.work {
+		b := &g.work[bi]
+		used := make(map[int]bool, g.opsPerBatch)
+		for len(b.setKeys) < g.opsPerBatch {
+			key := nextKey
+			nextKey++
+			set, way := hashKey(key, g.sets)
+			slot := set*ways + way
+			if used[slot] {
+				continue
+			}
+			used[slot] = true
+			val := key*2654435761 + 13
+			b.setKeys = append(b.setKeys, key)
+			b.setVals = append(b.setVals, val)
+			shadow[slot*2] = key
+			shadow[slot*2+1] = val
+		}
+	}
+	_ = env
+	return nil
+}

@@ -1,0 +1,414 @@
+// Package memsys composes the hardware models — GPU device memory (HBM),
+// host DRAM, the PM device, the LLC/DDIO domain, and the PCIe link — into a
+// single virtual address space, mirroring CUDA's Unified Virtual Addressing:
+// once a PM range is mapped, the same pointer works from GPU kernels and CPU
+// code (§3.1).
+package memsys
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gpm-sim/gpm/internal/cache"
+	"github.com/gpm-sim/gpm/internal/pcie"
+	"github.com/gpm-sim/gpm/internal/pmem"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Region bases in the unified virtual address space. Address 0 is reserved
+// so that 0 can serve as a null pointer.
+const (
+	HBMBase  uint64 = 0x1000_0000_0000
+	DRAMBase uint64 = 0x2000_0000_0000
+	PMBase   uint64 = 0x3000_0000_0000
+)
+
+// Kind identifies which physical region a virtual address resolves to.
+type Kind int
+
+// Address kinds.
+const (
+	KindInvalid Kind = iota
+	KindHBM          // GPU device memory: fast, volatile, local to the GPU
+	KindDRAM         // host DRAM: volatile, behind PCIe from the GPU
+	KindPM           // persistent memory: durable once persisted, behind PCIe
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHBM:
+		return "HBM"
+	case KindDRAM:
+		return "DRAM"
+	case KindPM:
+		return "PM"
+	default:
+		return "invalid"
+	}
+}
+
+const atomicStripes = 256
+
+// Space is the unified virtual address space of one simulated node.
+type Space struct {
+	Params *sim.Params
+	PM     *pmem.Device
+	LLC    *cache.Domain
+	Link   *pcie.Link
+	DMA    *pcie.DMA
+
+	hbm  region
+	dram region
+
+	pmNext atomic.Uint64
+
+	ddioOff atomic.Bool
+	eADR    atomic.Bool
+
+	locks [atomicStripes]sync.Mutex
+}
+
+type region struct {
+	data []byte
+	next atomic.Uint64
+}
+
+// Config sizes the three regions.
+type Config struct {
+	HBMSize  int64
+	DRAMSize int64
+	PMSize   int64
+}
+
+// DefaultConfig returns region sizes adequate for the scaled-down GPMbench
+// suite (the paper's GB-scale inputs are scaled to MBs; see DESIGN.md §5).
+// Allocating a fresh node is common in tests, so the regions stay modest.
+func DefaultConfig() Config {
+	return Config{
+		HBMSize:  64 << 20,
+		DRAMSize: 64 << 20,
+		PMSize:   128 << 20,
+	}
+}
+
+// New builds a Space with the given parameters and region sizes.
+func New(params *sim.Params, cfg Config) *Space {
+	dev := pmem.New(params, cfg.PMSize)
+	link := pcie.NewLink(params)
+	s := &Space{
+		Params: params,
+		PM:     dev,
+		LLC:    cache.NewDomain(params, dev),
+		Link:   link,
+		DMA:    pcie.NewDMA(link),
+	}
+	s.hbm.data = make([]byte, cfg.HBMSize)
+	s.dram.data = make([]byte, cfg.DRAMSize)
+	return s
+}
+
+// KindOf classifies a virtual address.
+func (s *Space) KindOf(addr uint64) Kind {
+	switch {
+	case addr >= PMBase && addr < PMBase+uint64(s.PM.Size()):
+		return KindPM
+	case addr >= DRAMBase && addr < DRAMBase+uint64(len(s.dram.data)):
+		return KindDRAM
+	case addr >= HBMBase && addr < HBMBase+uint64(len(s.hbm.data)):
+		return KindHBM
+	default:
+		return KindInvalid
+	}
+}
+
+// ---- Allocation ----
+
+func alignUp(x uint64, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	return (x + align - 1) / align * align
+}
+
+func (r *region) alloc(n int64, align uint64, base uint64, name string) uint64 {
+	for {
+		cur := r.next.Load()
+		start := alignUp(cur, align)
+		end := start + uint64(n)
+		if end > uint64(len(r.data)) {
+			panic(fmt.Sprintf("memsys: %s out of memory (want %d, used %d of %d)", name, n, cur, len(r.data)))
+		}
+		if r.next.CompareAndSwap(cur, end) {
+			return base + start
+		}
+	}
+}
+
+// AllocHBM reserves n bytes of GPU device memory, 256B-aligned.
+func (s *Space) AllocHBM(n int64) uint64 { return s.hbm.alloc(n, 256, HBMBase, "HBM") }
+
+// AllocDRAM reserves n bytes of host DRAM, 256B-aligned.
+func (s *Space) AllocDRAM(n int64) uint64 { return s.dram.alloc(n, 256, DRAMBase, "DRAM") }
+
+// AllocPM reserves n bytes of persistent memory with the given alignment
+// (0 means 256, Optane's internal block; pass 1 to get deliberately
+// unaligned allocations for the pattern experiments).
+func (s *Space) AllocPM(n int64, align uint64) uint64 {
+	if align == 0 {
+		align = 256
+	}
+	for {
+		cur := s.pmNext.Load()
+		start := alignUp(cur, align)
+		end := start + uint64(n)
+		if end > uint64(s.PM.Size()) {
+			panic(fmt.Sprintf("memsys: PM out of memory (want %d, used %d of %d)", n, cur, s.PM.Size()))
+		}
+		if s.pmNext.CompareAndSwap(cur, end) {
+			return PMBase + start
+		}
+	}
+}
+
+// PMUsed returns the bytes of PM allocated so far.
+func (s *Space) PMUsed() int64 { return int64(s.pmNext.Load()) }
+
+// ---- Mode switches (DDIO / eADR) ----
+
+// SetDDIOOff disables DDIO for inbound I/O writes: GPU stores to PM bypass
+// the LLC, so a system-scoped fence drains them into the ADR persistence
+// domain (gpm_persist_begin). SetDDIOOff(false) re-enables DDIO
+// (gpm_persist_end).
+func (s *Space) SetDDIOOff(off bool) { s.ddioOff.Store(off) }
+
+// DDIOOff reports whether DDIO is currently disabled.
+func (s *Space) DDIOOff() bool { return s.ddioOff.Load() }
+
+// SetEADR enables eADR: the cache hierarchy joins the persistence domain,
+// so reaching the LLC suffices for durability.
+func (s *Space) SetEADR(on bool) {
+	s.eADR.Store(on)
+	s.LLC.SetEADR(on)
+}
+
+// EADR reports whether eADR is enabled.
+func (s *Space) EADR() bool { return s.eADR.Load() }
+
+// ---- Data movement ----
+
+func (s *Space) resolve(addr uint64, n int) (Kind, uint64) {
+	switch {
+	case addr >= PMBase:
+		off := addr - PMBase
+		if off+uint64(n) > uint64(s.PM.Size()) {
+			panic(fmt.Sprintf("memsys: PM access out of range addr=%#x n=%d", addr, n))
+		}
+		return KindPM, off
+	case addr >= DRAMBase:
+		off := addr - DRAMBase
+		if off+uint64(n) > uint64(len(s.dram.data)) {
+			panic(fmt.Sprintf("memsys: DRAM access out of range addr=%#x n=%d", addr, n))
+		}
+		return KindDRAM, off
+	case addr >= HBMBase:
+		off := addr - HBMBase
+		if off+uint64(n) > uint64(len(s.hbm.data)) {
+			panic(fmt.Sprintf("memsys: HBM access out of range addr=%#x n=%d", addr, n))
+		}
+		return KindHBM, off
+	default:
+		panic(fmt.Sprintf("memsys: invalid address %#x", addr))
+	}
+}
+
+// Read copies n=len(p) bytes at addr into p. Readers always observe the
+// latest write regardless of durability.
+func (s *Space) Read(addr uint64, p []byte) {
+	kind, off := s.resolve(addr, len(p))
+	switch kind {
+	case KindPM:
+		s.PM.Read(off, p)
+	case KindDRAM:
+		copy(p, s.dram.data[off:])
+	case KindHBM:
+		copy(p, s.hbm.data[off:])
+	}
+}
+
+// WriteGPU performs a store issued by a GPU thread. Writes to PM follow the
+// DDIO setting: with DDIO on they are absorbed by the LLC (volatile, subject
+// to natural eviction, durable immediately under eADR); with DDIO off they
+// are in flight toward the ADR domain and become durable at the issuing
+// thread's next system-scoped fence. The returned line addresses (virtual)
+// are what that fence must persist; nil for non-PM targets.
+func (s *Space) WriteGPU(addr uint64, p []byte) []uint64 {
+	kind, off := s.resolve(addr, len(p))
+	switch kind {
+	case KindPM:
+		lines := s.PM.Write(off, p)
+		if !s.ddioOff.Load() {
+			s.LLC.CacheLines(lines)
+			return nil // the fence cannot persist LLC-resident lines
+		}
+		for i := range lines {
+			lines[i] += PMBase
+		}
+		return lines
+	case KindDRAM:
+		copy(s.dram.data[off:], p)
+	case KindHBM:
+		copy(s.hbm.data[off:], p)
+	}
+	return nil
+}
+
+// WriteCPU performs a store issued by a CPU thread. PM stores land in the
+// CPU caches (volatile until CLFLUSHOPT+SFENCE, or durable at once under
+// eADR); the returned virtual line addresses are what a flush must cover.
+func (s *Space) WriteCPU(addr uint64, p []byte) []uint64 {
+	kind, off := s.resolve(addr, len(p))
+	switch kind {
+	case KindPM:
+		lines := s.PM.Write(off, p)
+		s.LLC.CacheLines(lines)
+		if s.eADR.Load() {
+			return nil
+		}
+		for i := range lines {
+			lines[i] += PMBase
+		}
+		return lines
+	case KindDRAM:
+		copy(s.dram.data[off:], p)
+	case KindHBM:
+		copy(s.hbm.data[off:], p)
+	}
+	return nil
+}
+
+// PersistLines makes the given virtual PM lines durable (fence with DDIO
+// off, or an explicit CPU flush).
+func (s *Space) PersistLines(lines []uint64) {
+	if len(lines) == 0 {
+		return
+	}
+	local := make([]uint64, 0, len(lines))
+	for _, la := range lines {
+		if la >= PMBase {
+			local = append(local, la-PMBase)
+		}
+	}
+	s.LLC.FlushLines(local)
+}
+
+// PersistRange makes every line overlapping the virtual PM range durable.
+func (s *Space) PersistRange(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	kind, off := s.resolve(addr, n)
+	if kind != KindPM {
+		return
+	}
+	line := uint64(s.Params.LineSize())
+	first := off / line * line
+	last := (off + uint64(n) - 1) / line * line
+	lines := make([]uint64, 0, (last-first)/line+1)
+	for la := first; la <= last; la += line {
+		lines = append(lines, la)
+	}
+	s.LLC.FlushLines(lines)
+}
+
+// Persisted reports whether the virtual PM range is fully durable.
+func (s *Space) Persisted(addr uint64, n int) bool {
+	kind, off := s.resolve(addr, n)
+	if kind != KindPM {
+		return false
+	}
+	return s.PM.Persisted(off, n)
+}
+
+// SnapshotPersistent returns the durable image of a virtual PM range.
+func (s *Space) SnapshotPersistent(addr uint64, n int) []byte {
+	kind, off := s.resolve(addr, n)
+	if kind != KindPM {
+		panic("memsys: SnapshotPersistent on non-PM address")
+	}
+	return s.PM.SnapshotPersistent(off, n)
+}
+
+// Crash simulates a power failure: volatile regions (HBM, DRAM) are wiped,
+// caches are discarded, and PM rolls back to its durable image. Under eADR
+// the cache contents drain first (§3.3), so everything written survives.
+func (s *Space) Crash() {
+	if s.eADR.Load() {
+		s.LLC.FlushAll()
+	}
+	s.LLC.Crash()
+	s.PM.Crash()
+	for i := range s.hbm.data {
+		s.hbm.data[i] = 0
+	}
+	for i := range s.dram.data {
+		s.dram.data[i] = 0
+	}
+}
+
+// ---- Typed accessors (host-side convenience; GPU threads use gpu.Thread) ----
+
+// ReadU32 loads a little-endian uint32 at addr.
+func (s *Space) ReadU32(addr uint64) uint32 {
+	var b [4]byte
+	s.Read(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// ReadU64 loads a little-endian uint64 at addr.
+func (s *Space) ReadU64(addr uint64) uint64 {
+	var b [8]byte
+	s.Read(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// ReadF32 loads a float32 at addr.
+func (s *Space) ReadF32(addr uint64) float32 {
+	return math.Float32frombits(s.ReadU32(addr))
+}
+
+// ReadF64 loads a float64 at addr.
+func (s *Space) ReadF64(addr uint64) float64 {
+	return math.Float64frombits(s.ReadU64(addr))
+}
+
+// WriteU32 stores v at addr from the CPU and returns the dirty lines.
+func (s *Space) WriteU32(addr uint64, v uint32) []uint64 {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return s.WriteCPU(addr, b[:])
+}
+
+// WriteU64 stores v at addr from the CPU and returns the dirty lines.
+func (s *Space) WriteU64(addr uint64, v uint64) []uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.WriteCPU(addr, b[:])
+}
+
+// WriteF32 stores v at addr from the CPU and returns the dirty lines.
+func (s *Space) WriteF32(addr uint64, v float32) []uint64 {
+	return s.WriteU32(addr, math.Float32bits(v))
+}
+
+// WriteF64 stores v at addr from the CPU and returns the dirty lines.
+func (s *Space) WriteF64(addr uint64, v float64) []uint64 {
+	return s.WriteU64(addr, math.Float64bits(v))
+}
+
+// LockFor returns the striped mutex guarding atomic operations on addr.
+func (s *Space) LockFor(addr uint64) *sync.Mutex {
+	return &s.locks[(addr>>2)%atomicStripes]
+}

@@ -1,0 +1,118 @@
+// Package pcie models the PCIe 3.0 ×16 interconnect between the GPU and the
+// host memory system: an ~13 GB/s link with per-transaction latency, a
+// bounded number of outstanding operations, and a DMA engine with a fixed
+// initiation cost. These three properties drive the paper's core trade-off:
+// a single GPU store+fence is slower than a CPU flush+drain, but thousands
+// of concurrent warps hide the latency until the link or the PM device
+// saturates (§3.2, Fig 3).
+package pcie
+
+import (
+	"sync"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Link models the shared GPU<->host interconnect.
+type Link struct {
+	params *sim.Params
+
+	mu        sync.Mutex
+	bytesUp   int64 // device -> host (writes to system memory)
+	bytesDown int64 // host -> device
+	txns      int64
+}
+
+// NewLink returns a link model using the bandwidth/latency in params.
+func NewLink(params *sim.Params) *Link {
+	return &Link{params: params}
+}
+
+// RecordUp accounts bytes moving from the GPU toward host memory in txns
+// link transactions.
+func (l *Link) RecordUp(bytes, txns int64) {
+	l.mu.Lock()
+	l.bytesUp += bytes
+	l.txns += txns
+	l.mu.Unlock()
+}
+
+// RecordDown accounts bytes moving from host memory toward the GPU.
+func (l *Link) RecordDown(bytes, txns int64) {
+	l.mu.Lock()
+	l.bytesDown += bytes
+	l.txns += txns
+	l.mu.Unlock()
+}
+
+// BytesUp returns total device->host bytes recorded.
+func (l *Link) BytesUp() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesUp
+}
+
+// BytesDown returns total host->device bytes recorded.
+func (l *Link) BytesDown() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesDown
+}
+
+// Reset clears the traffic counters.
+func (l *Link) Reset() {
+	l.mu.Lock()
+	l.bytesUp, l.bytesDown, l.txns = 0, 0, 0
+	l.mu.Unlock()
+}
+
+// TransferTime is the bandwidth-limited time to move n bytes.
+func (l *Link) TransferTime(n int64) sim.Duration {
+	return sim.DurationOfBytes(n, l.params.PCIeBandwidth)
+}
+
+// ConcurrencyBound is the minimum time needed to issue txns transactions
+// given the link's round-trip latency and bounded outstanding operations:
+// with at most PCIeMaxInflight in flight, throughput cannot exceed
+// inflight/RTT transactions per second.
+func (l *Link) ConcurrencyBound(txns int64) sim.Duration {
+	if txns <= 0 {
+		return 0
+	}
+	inflight := l.params.PCIeMaxInflight
+	if inflight < 1 {
+		inflight = 1
+	}
+	return sim.Duration(txns * int64(l.params.PCIeRTT) / int64(inflight))
+}
+
+// DMA models the copy engine used by cudaMemcpy-style transfers.
+type DMA struct {
+	link *Link
+}
+
+// NewDMA returns a DMA engine on link.
+func NewDMA(link *Link) *DMA {
+	return &DMA{link: link}
+}
+
+// TransferUp returns the time for one DMA transfer of n bytes from device
+// memory to host memory and records the traffic: fixed initiation overhead
+// plus the bandwidth term.
+func (d *DMA) TransferUp(n int64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d.link.RecordUp(n, n/int64(d.link.params.CoalesceBytes)+1)
+	return d.link.params.DMAInit + d.link.TransferTime(n)
+}
+
+// TransferDown returns the time for one DMA transfer of n bytes from host
+// memory to device memory and records the traffic.
+func (d *DMA) TransferDown(n int64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d.link.RecordDown(n, n/int64(d.link.params.CoalesceBytes)+1)
+	return d.link.params.DMAInit + d.link.TransferTime(n)
+}

@@ -1,0 +1,74 @@
+package pcie
+
+import (
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	p := sim.Default()
+	l := NewLink(p)
+	// 13 GB at 13 GB/s = 1 s.
+	if got := l.TransferTime(13e9); got != sim.Second {
+		t.Errorf("TransferTime = %v", got)
+	}
+	if l.TransferTime(0) != 0 {
+		t.Error("zero bytes should be free")
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	p := sim.Default()
+	l := NewLink(p)
+	one := l.ConcurrencyBound(int64(p.PCIeMaxInflight))
+	if one != p.PCIeRTT {
+		t.Errorf("inflight-many txns should take one RTT, got %v", one)
+	}
+	if l.ConcurrencyBound(0) != 0 {
+		t.Error("zero txns should be free")
+	}
+	// Degenerate params must not divide by zero.
+	z := &sim.Params{PCIeRTT: 100}
+	lz := NewLink(z)
+	if lz.ConcurrencyBound(10) <= 0 {
+		t.Error("zero inflight should clamp to 1")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	l := NewLink(sim.Default())
+	l.RecordUp(1000, 10)
+	l.RecordDown(500, 5)
+	if l.BytesUp() != 1000 || l.BytesDown() != 500 {
+		t.Errorf("traffic = %d up, %d down", l.BytesUp(), l.BytesDown())
+	}
+	l.Reset()
+	if l.BytesUp() != 0 || l.BytesDown() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestDMAIncludesInitOverhead(t *testing.T) {
+	p := sim.Default()
+	l := NewLink(p)
+	d := NewDMA(l)
+	small := d.TransferUp(64)
+	if small < p.DMAInit {
+		t.Errorf("tiny DMA (%v) must pay initiation (%v)", small, p.DMAInit)
+	}
+	big := d.TransferUp(64 << 20)
+	if big <= small {
+		t.Error("larger transfers must take longer")
+	}
+	if l.BytesUp() != 64+(64<<20) {
+		t.Errorf("DMA traffic not recorded: %d", l.BytesUp())
+	}
+	down := d.TransferDown(1 << 20)
+	if down <= 0 || l.BytesDown() != 1<<20 {
+		t.Error("down transfer not accounted")
+	}
+	if d.TransferUp(0) != 0 {
+		t.Error("empty DMA should be free")
+	}
+}

@@ -1,0 +1,297 @@
+// Package pmem models an Intel Optane DC Persistent Memory module: a
+// byte-addressable device whose media is durable, fronted by volatile
+// buffering (CPU caches / DDIO-filled LLC / in-flight PCIe writes) that is
+// lost on power failure.
+//
+// The device keeps a single "current contents" array that all readers and
+// writers see, plus a rollback overlay: for every 64-byte line that has been
+// written but not yet persisted, the overlay stores the line's last durable
+// bytes. Persisting a line discards its overlay entry; a crash rolls every
+// overlay entry back, reconstructing exactly the durable image. This gives
+// byte-exact crash semantics without duplicating the whole device.
+package pmem
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+const shardCount = 64
+
+// Device is a simulated PM module. All addresses are device-local offsets in
+// [0, Size()).
+type Device struct {
+	params *sim.Params
+	data   []byte
+	line   uint64 // persistence tracking granularity (64B)
+
+	shards [shardCount]shard
+
+	// WriteStats records every write transaction that reaches the device,
+	// for the pattern-dependent bandwidth model and Fig 12.
+	WriteStats sim.AccessStats
+
+	metrics struct {
+		mu             sync.Mutex
+		bytesWritten   int64
+		bytesPersisted int64
+		linesPersisted int64
+	}
+}
+
+type shard struct {
+	mu      sync.Mutex
+	overlay map[uint64][]byte // line address -> durable bytes of that line
+}
+
+// New returns a PM device of the given size, zero-filled and fully durable.
+func New(params *sim.Params, size int64) *Device {
+	if size <= 0 {
+		panic("pmem: device size must be positive")
+	}
+	d := &Device{
+		params: params,
+		data:   make([]byte, size),
+		line:   uint64(params.LineSize()),
+	}
+	for i := range d.shards {
+		d.shards[i].overlay = make(map[uint64][]byte)
+	}
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(len(d.data)) }
+
+// LineSize returns the persistence tracking granularity.
+func (d *Device) LineSize() int { return int(d.line) }
+
+func (d *Device) shardFor(lineAddr uint64) *shard {
+	return &d.shards[(lineAddr/d.line)%shardCount]
+}
+
+func (d *Device) check(addr uint64, n int) {
+	if n < 0 || addr+uint64(n) > uint64(len(d.data)) {
+		panic(fmt.Sprintf("pmem: access out of range: addr=%#x n=%d size=%d", addr, n, len(d.data)))
+	}
+}
+
+// Read copies the current contents at addr into p. Reads always observe the
+// most recent write, durable or not (caches are coherent for readers).
+func (d *Device) Read(addr uint64, p []byte) {
+	d.check(addr, len(p))
+	copy(p, d.data[addr:])
+}
+
+// Write stores p at addr. The touched lines become volatile (dirty) until
+// persisted; their previous durable contents are preserved for crash
+// rollback. It returns the set of line addresses dirtied so callers (GPU
+// threads, CPU threads) can track what a subsequent fence must persist.
+//
+// Each line's rollback snapshot and payload update happen atomically under
+// that line's shard lock — a line is a coherence unit, and taking the
+// snapshot concurrently with another writer's store to the same line could
+// leak never-persisted bytes into the "durable" image.
+func (d *Device) Write(addr uint64, p []byte) []uint64 {
+	d.check(addr, len(p))
+	if len(p) == 0 {
+		return nil
+	}
+	first := addr / d.line * d.line
+	last := (addr + uint64(len(p)) - 1) / d.line * d.line
+	lines := make([]uint64, 0, (last-first)/d.line+1)
+	for la := first; la <= last; la += d.line {
+		// Intersect the payload with this line.
+		start, end := la, la+d.line
+		if start < addr {
+			start = addr
+		}
+		if end > addr+uint64(len(p)) {
+			end = addr + uint64(len(p))
+		}
+		sh := d.shardFor(la)
+		sh.mu.Lock()
+		if _, dirty := sh.overlay[la]; !dirty {
+			old := make([]byte, d.line)
+			copy(old, d.data[la:la+d.line])
+			sh.overlay[la] = old
+		}
+		copy(d.data[start:end], p[start-addr:end-addr])
+		sh.mu.Unlock()
+		lines = append(lines, la)
+	}
+	d.metrics.mu.Lock()
+	d.metrics.bytesWritten += int64(len(p))
+	d.metrics.mu.Unlock()
+	return lines
+}
+
+// WriteDurable stores p at addr and marks the touched lines durable
+// immediately (used for ADR-bypass paths such as eADR-drained state and
+// test setup).
+func (d *Device) WriteDurable(addr uint64, p []byte) {
+	lines := d.Write(addr, p)
+	d.PersistLines(lines)
+}
+
+// PersistLine makes one line durable: its overlay entry (if any) is
+// discarded so a crash can no longer roll it back.
+func (d *Device) PersistLine(lineAddr uint64) {
+	la := lineAddr / d.line * d.line
+	sh := d.shardFor(la)
+	sh.mu.Lock()
+	_, dirty := sh.overlay[la]
+	if dirty {
+		delete(sh.overlay, la)
+	}
+	sh.mu.Unlock()
+	if dirty {
+		d.metrics.mu.Lock()
+		d.metrics.bytesPersisted += int64(d.line)
+		d.metrics.linesPersisted++
+		d.metrics.mu.Unlock()
+	}
+}
+
+// PersistLines persists each line address in lines.
+func (d *Device) PersistLines(lines []uint64) {
+	for _, la := range lines {
+		d.PersistLine(la)
+	}
+}
+
+// PersistRange persists every line overlapping [addr, addr+n).
+func (d *Device) PersistRange(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	d.check(addr, n)
+	first := addr / d.line * d.line
+	last := (addr + uint64(n) - 1) / d.line * d.line
+	for la := first; la <= last; la += d.line {
+		d.PersistLine(la)
+	}
+}
+
+// PersistAll drains every dirty line (an eADR power-fail flush).
+func (d *Device) PersistAll() {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		n := len(sh.overlay)
+		sh.overlay = make(map[uint64][]byte)
+		sh.mu.Unlock()
+		if n > 0 {
+			d.metrics.mu.Lock()
+			d.metrics.bytesPersisted += int64(n) * int64(d.line)
+			d.metrics.linesPersisted += int64(n)
+			d.metrics.mu.Unlock()
+		}
+	}
+}
+
+// Crash simulates a power failure: every line that was written but never
+// persisted rolls back to its last durable contents.
+func (d *Device) Crash() {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for la, old := range sh.overlay {
+			copy(d.data[la:la+d.line], old)
+		}
+		sh.overlay = make(map[uint64][]byte)
+		sh.mu.Unlock()
+	}
+}
+
+// Persisted reports whether the whole range [addr, addr+n) is durable
+// (no dirty lines overlap it).
+func (d *Device) Persisted(addr uint64, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	d.check(addr, n)
+	first := addr / d.line * d.line
+	last := (addr + uint64(n) - 1) / d.line * d.line
+	for la := first; la <= last; la += d.line {
+		sh := d.shardFor(la)
+		sh.mu.Lock()
+		_, dirty := sh.overlay[la]
+		sh.mu.Unlock()
+		if dirty {
+			return false
+		}
+	}
+	return true
+}
+
+// DirtyLines returns the number of lines currently volatile.
+func (d *Device) DirtyLines() int {
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		n += len(sh.overlay)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SnapshotPersistent reconstructs the durable image of [addr, addr+n): the
+// bytes a reader would find after a crash at this instant.
+func (d *Device) SnapshotPersistent(addr uint64, n int) []byte {
+	d.check(addr, n)
+	out := make([]byte, n)
+	copy(out, d.data[addr:])
+	if n == 0 {
+		return out
+	}
+	first := addr / d.line * d.line
+	last := (addr + uint64(n) - 1) / d.line * d.line
+	for la := first; la <= last; la += d.line {
+		sh := d.shardFor(la)
+		sh.mu.Lock()
+		old, dirty := sh.overlay[la]
+		if dirty {
+			// Intersect the line with [addr, addr+n).
+			start, end := la, la+d.line
+			if start < addr {
+				start = addr
+			}
+			if end > addr+uint64(n) {
+				end = addr + uint64(n)
+			}
+			copy(out[start-addr:end-addr], old[start-la:end-la])
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// BytesWritten returns the total bytes written to the device.
+func (d *Device) BytesWritten() int64 {
+	d.metrics.mu.Lock()
+	defer d.metrics.mu.Unlock()
+	return d.metrics.bytesWritten
+}
+
+// BytesPersisted returns the total bytes made durable via explicit persists
+// (line-granular).
+func (d *Device) BytesPersisted() int64 {
+	d.metrics.mu.Lock()
+	defer d.metrics.mu.Unlock()
+	return d.metrics.bytesPersisted
+}
+
+// ResetMetrics clears the byte counters and write statistics (device
+// contents are untouched).
+func (d *Device) ResetMetrics() {
+	d.metrics.mu.Lock()
+	d.metrics.bytesWritten = 0
+	d.metrics.bytesPersisted = 0
+	d.metrics.linesPersisted = 0
+	d.metrics.mu.Unlock()
+	d.WriteStats.Reset()
+}

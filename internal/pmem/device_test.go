@@ -1,0 +1,222 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+func newDev(t *testing.T) *Device {
+	t.Helper()
+	return New(sim.Default(), 1<<20)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newDev(t)
+	data := []byte("persistent memory from a GPU")
+	d.Write(100, data)
+	got := make([]byte, len(data))
+	d.Read(100, got)
+	if !bytes.Equal(got, data) {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestUnpersistedWriteLostOnCrash(t *testing.T) {
+	d := newDev(t)
+	d.Write(0, []byte{1, 2, 3, 4})
+	d.Crash()
+	got := make([]byte, 4)
+	d.Read(0, got)
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Errorf("unpersisted write survived crash: %v", got)
+	}
+}
+
+func TestPersistedWriteSurvivesCrash(t *testing.T) {
+	d := newDev(t)
+	d.Write(128, []byte{9, 9, 9, 9})
+	d.PersistRange(128, 4)
+	d.Crash()
+	got := make([]byte, 4)
+	d.Read(128, got)
+	if !bytes.Equal(got, []byte{9, 9, 9, 9}) {
+		t.Errorf("persisted write lost: %v", got)
+	}
+}
+
+func TestPartialPersist(t *testing.T) {
+	d := newDev(t)
+	// Two lines written, only the first persisted.
+	d.Write(0, make([]byte, 128)) // zero content, but dirties lines 0 and 64
+	d.Write(0, []byte{1})
+	d.Write(64, []byte{2})
+	d.PersistLine(0)
+	d.Crash()
+	got := make([]byte, 65)
+	d.Read(0, got)
+	if got[0] != 1 {
+		t.Error("persisted line rolled back")
+	}
+	if got[64] != 0 {
+		t.Error("unpersisted line survived")
+	}
+}
+
+func TestRollbackToLastPersistedValue(t *testing.T) {
+	d := newDev(t)
+	d.Write(0, []byte{5})
+	d.PersistLine(0)
+	d.Write(0, []byte{7}) // overwrite, not persisted
+	d.Crash()
+	got := make([]byte, 1)
+	d.Read(0, got)
+	if got[0] != 5 {
+		t.Errorf("rollback target = %d, want 5 (last persisted)", got[0])
+	}
+}
+
+func TestWriteReturnsDirtyLines(t *testing.T) {
+	d := newDev(t)
+	lines := d.Write(60, make([]byte, 10)) // spans lines 0 and 64
+	if len(lines) != 2 || lines[0] != 0 || lines[1] != 64 {
+		t.Errorf("dirty lines = %v", lines)
+	}
+}
+
+func TestPersistLinesAndPersisted(t *testing.T) {
+	d := newDev(t)
+	lines := d.Write(0, make([]byte, 256))
+	if d.Persisted(0, 256) {
+		t.Error("freshly written range reported persisted")
+	}
+	d.PersistLines(lines)
+	if !d.Persisted(0, 256) {
+		t.Error("range not persisted after PersistLines")
+	}
+}
+
+func TestWriteDurable(t *testing.T) {
+	d := newDev(t)
+	d.WriteDurable(0, []byte{42})
+	d.Crash()
+	got := make([]byte, 1)
+	d.Read(0, got)
+	if got[0] != 42 {
+		t.Error("WriteDurable lost on crash")
+	}
+}
+
+func TestPersistAll(t *testing.T) {
+	d := newDev(t)
+	d.Write(0, []byte{1})
+	d.Write(4096, []byte{2})
+	d.PersistAll()
+	if d.DirtyLines() != 0 {
+		t.Errorf("dirty lines after PersistAll: %d", d.DirtyLines())
+	}
+	d.Crash()
+	got := make([]byte, 1)
+	d.Read(0, got)
+	if got[0] != 1 {
+		t.Error("PersistAll did not persist")
+	}
+}
+
+func TestSnapshotPersistent(t *testing.T) {
+	d := newDev(t)
+	d.Write(0, []byte{1, 1, 1, 1})
+	d.PersistRange(0, 4)
+	d.Write(0, []byte{2, 2}) // dirty again
+	snap := d.SnapshotPersistent(0, 4)
+	if !bytes.Equal(snap, []byte{1, 1, 1, 1}) {
+		t.Errorf("snapshot = %v, want persisted image", snap)
+	}
+	// Current contents unchanged by snapshotting.
+	cur := make([]byte, 4)
+	d.Read(0, cur)
+	if !bytes.Equal(cur, []byte{2, 2, 1, 1}) {
+		t.Errorf("current = %v", cur)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	d := newDev(t)
+	d.Write(0, make([]byte, 100))
+	if d.BytesWritten() != 100 {
+		t.Errorf("BytesWritten = %d", d.BytesWritten())
+	}
+	d.PersistRange(0, 100)
+	if d.BytesPersisted() != 128 { // two 64B lines
+		t.Errorf("BytesPersisted = %d", d.BytesPersisted())
+	}
+	// Persisting clean lines must not double count.
+	d.PersistRange(0, 100)
+	if d.BytesPersisted() != 128 {
+		t.Errorf("double-counted persists: %d", d.BytesPersisted())
+	}
+	d.ResetMetrics()
+	if d.BytesWritten() != 0 || d.BytesPersisted() != 0 {
+		t.Error("ResetMetrics failed")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := newDev(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	d.Write(uint64(d.Size())-1, []byte{1, 2})
+}
+
+// Property: after any sequence of writes in which every write is
+// immediately persisted, a crash never changes device contents.
+func TestQuickPersistedWritesStable(t *testing.T) {
+	d := newDev(t)
+	f := func(ops []struct {
+		Addr uint16
+		Val  byte
+	}) bool {
+		for _, op := range ops {
+			lines := d.Write(uint64(op.Addr), []byte{op.Val})
+			d.PersistLines(lines)
+		}
+		before := d.SnapshotPersistent(0, 1<<16)
+		d.Crash()
+		after := make([]byte, 1<<16)
+		d.Read(0, after)
+		return bytes.Equal(before, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SnapshotPersistent always equals what Crash produces.
+func TestQuickSnapshotMatchesCrash(t *testing.T) {
+	f := func(writes []struct {
+		Addr    uint16
+		Val     byte
+		Persist bool
+	}) bool {
+		d := New(sim.Default(), 1<<17)
+		for _, w := range writes {
+			lines := d.Write(uint64(w.Addr), []byte{w.Val})
+			if w.Persist {
+				d.PersistLines(lines)
+			}
+		}
+		snap := d.SnapshotPersistent(0, 1<<16)
+		d.Crash()
+		got := make([]byte, 1<<16)
+		d.Read(0, got)
+		return bytes.Equal(snap, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

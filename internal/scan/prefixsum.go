@@ -1,0 +1,352 @@
+// Package scan implements the GPMbench prefix-sum workload (PS, §4.3 and
+// Fig 8): a block-partitioned parallel scan whose per-thread partial sums
+// are natively persisted to PM. The last thread of each block persists its
+// partial sum only after the whole block has persisted, so the last slot
+// acts as a per-block completion sentinel: after a crash the kernel resumes
+// by skipping completed blocks instead of restarting.
+package scan
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// Empty is the sentinel marking a slot not yet computed. Inputs are kept
+// small so no real prefix sum collides with it.
+const Empty = 0xffffffff
+
+const tpb = 256
+
+// PrefixSum is the PS workload.
+type PrefixSum struct {
+	n      int
+	blocks int
+
+	input              uint64 // read-only input (HBM; DRAM for CPU-only)
+	inputBytes         []byte // durable source of the input, for reload on recovery
+	scratchA, scratchB uint64 // HBM: scan ping-pong buffers
+
+	psumFile *fsim.File // PM: per-thread partial (block-local inclusive) sums
+	outFile  *fsim.File // PM: final prefix sums
+	psumHBM  uint64     // CAP-mode home of partial sums
+	outHBM   uint64     // CAP-mode home of final sums
+
+	offsets   uint64 // HBM: per-block offsets (recomputable)
+	blockSums uint64 // HBM: per-block totals for the offsets pass
+
+	expect []uint32
+}
+
+// New returns the PS workload.
+func New() *PrefixSum { return &PrefixSum{} }
+
+// Name implements workloads.Workload.
+func (p *PrefixSum) Name() string { return "PS" }
+
+// Class implements workloads.Workload.
+func (p *PrefixSum) Class() string { return "native" }
+
+// Supports implements workloads.Workload. Fine-grained per-thread file
+// writes deadlock GPUfs (§6.1), so PS cannot run there.
+func (p *PrefixSum) Supports(mode workloads.Mode) bool {
+	return mode != workloads.GPUfs
+}
+
+// Setup implements workloads.Workload.
+func (p *PrefixSum) Setup(env *workloads.Env) error {
+	cfg := env.Cfg
+	p.n = cfg.PSElems / tpb * tpb
+	if p.n == 0 {
+		return fmt.Errorf("scan: PSElems %d too small", cfg.PSElems)
+	}
+	p.blocks = p.n / tpb
+	sp := env.Ctx.Space
+
+	if env.Mode == workloads.CPUOnly {
+		p.input = sp.AllocDRAM(int64(p.n) * 4)
+	} else {
+		p.input = sp.AllocHBM(int64(p.n) * 4)
+	}
+	p.scratchA = sp.AllocHBM(int64(p.n) * 4)
+	p.scratchB = sp.AllocHBM(int64(p.n) * 4)
+	p.offsets = sp.AllocHBM(int64(p.blocks) * 4)
+	p.blockSums = sp.AllocHBM(int64(p.blocks) * 4)
+
+	vals := make([]byte, p.n*4)
+	p.expect = make([]uint32, p.n)
+	var running uint32
+	for i := 0; i < p.n; i++ {
+		v := uint32(env.RNG.Intn(100) + 1)
+		binary.LittleEndian.PutUint32(vals[i*4:], v)
+		running += v
+		p.expect[i] = running // inclusive prefix sum
+	}
+	p.inputBytes = vals
+	// The input is read onto device memory once (§4.3).
+	sp.WriteCPU(p.input, vals)
+	env.Ctx.Timeline.Add("setup", env.Ctx.Space.DMA.TransferDown(int64(len(vals))))
+
+	var err error
+	if p.psumFile, err = env.Ctx.FS.OpenOrCreate("/pm/ps.psums", int64(p.n)*4, 0); err != nil {
+		return err
+	}
+	if p.outFile, err = env.Ctx.FS.OpenOrCreate("/pm/ps.out", int64(p.n)*4, 0); err != nil {
+		return err
+	}
+	if env.Mode.UsesCAP() || env.Mode == workloads.CPUOnly {
+		p.psumHBM = sp.AllocHBM(int64(p.n) * 4)
+		p.outHBM = sp.AllocHBM(int64(p.n) * 4)
+	}
+	// Initialize the persistent partial sums to the sentinel.
+	empty := make([]byte, p.n*4)
+	for i := 0; i < p.n; i++ {
+		binary.LittleEndian.PutUint32(empty[i*4:], Empty)
+	}
+	sp.WriteCPU(p.psumFile.Mmap(), empty)
+	sp.PersistRange(p.psumFile.Mmap(), len(empty))
+	env.Ctx.Timeline.Add("setup", sim.DurationOfBytes(int64(len(empty)), env.Ctx.Params.CPUPMBandwidth(cfg.CAPThreads)))
+	return nil
+}
+
+// psumAddr returns the mode-appropriate home of the partial-sum array.
+func (p *PrefixSum) psumAddr(env *workloads.Env) uint64 {
+	if env.Mode.UsesGPM() || env.Mode == workloads.GPMNDP {
+		return p.psumFile.Mmap()
+	}
+	return p.psumHBM
+}
+
+func (p *PrefixSum) outAddr(env *workloads.Env) uint64 {
+	if env.Mode.UsesGPM() || env.Mode == workloads.GPMNDP {
+		return p.outFile.Mmap()
+	}
+	return p.outHBM
+}
+
+// blockScanKernel is Fig 8: a Hillis–Steele scan per block; all threads but
+// the last persist their partial sum, a block barrier, then the last thread
+// persists — the completion sentinel.
+func (p *PrefixSum) blockScanKernel(env *workloads.Env, psums uint64, persist bool) {
+	input, a, b := p.input, p.scratchA, p.scratchB
+	env.Ctx.Launch("ps-scan", p.blocks, tpb, func(t *gpu.Thread) {
+		gid := t.GlobalID()
+		blockLast := uint64((t.Block().ID()+1)*tpb-1) * 4
+		// Resume check: if the block's sentinel slot is set, the whole
+		// block already persisted its sums (Fig 8 line 3). The last
+		// thread republishes the block total for the offsets pass.
+		if persist && t.LoadU32(psums+blockLast) != Empty {
+			if t.ID() == tpb-1 {
+				t.StoreU32(p.blockSums+uint64(t.Block().ID())*4, t.LoadU32(psums+blockLast))
+			}
+			return
+		}
+		v := t.LoadU32(input + uint64(gid)*4)
+		t.StoreU32(a+uint64(gid)*4, v)
+		t.SyncBlock()
+		src, dst := a, b
+		for stride := 1; stride < tpb; stride *= 2 {
+			x := t.LoadU32(src + uint64(gid)*4)
+			if t.ID() >= stride {
+				x += t.LoadU32(src + uint64(gid-stride)*4)
+			}
+			t.StoreU32(dst+uint64(gid)*4, x)
+			t.SyncBlock()
+			src, dst = dst, src
+		}
+		sum := t.LoadU32(src + uint64(gid)*4)
+		t.Compute(4 * sim.Nanosecond)
+		if t.ID() != tpb-1 {
+			t.StoreU32(psums+uint64(gid)*4, sum)
+			if persist {
+				gpm.Persist(t)
+			}
+		}
+		t.SyncBlock()
+		if t.ID() == tpb-1 {
+			t.StoreU32(psums+uint64(gid)*4, sum)
+			if persist {
+				gpm.Persist(t)
+			}
+			// Publish the block total in device memory so the offsets
+			// pass reads fast HBM instead of PM (§4.3: avoid unnecessary
+			// PM accesses).
+			t.StoreU32(p.blockSums+uint64(t.Block().ID())*4, sum)
+		}
+	})
+}
+
+// offsetsKernel turns per-block totals into exclusive per-block offsets
+// (single block; blocks ≤ 1024 after scaling).
+func (p *PrefixSum) offsetsKernel(env *workloads.Env, psums uint64) {
+	blocks, offsets, sums := p.blocks, p.offsets, p.blockSums
+	env.Ctx.Launch("ps-offsets", 1, 1, func(t *gpu.Thread) {
+		var running uint32
+		for b := 0; b < blocks; b++ {
+			t.StoreU32(offsets+uint64(b)*4, running)
+			running += t.LoadU32(sums + uint64(b)*4)
+			t.Compute(2 * sim.Nanosecond)
+		}
+	})
+	_ = psums
+}
+
+// finalKernel adds block offsets to the block-local sums and writes the
+// final prefix sums.
+func (p *PrefixSum) finalKernel(env *workloads.Env, psums, out uint64, persist bool) {
+	offsets := p.offsets
+	env.Ctx.Launch("ps-final", p.blocks, tpb, func(t *gpu.Thread) {
+		gid := t.GlobalID()
+		v := t.LoadU32(psums+uint64(gid)*4) + t.LoadU32(offsets+uint64(t.Block().ID())*4)
+		t.StoreU32(out+uint64(gid)*4, v)
+		if persist {
+			gpm.Persist(t)
+		}
+	})
+}
+
+// Run implements workloads.Workload.
+func (p *PrefixSum) Run(env *workloads.Env) error {
+	if env.Mode == workloads.CPUOnly {
+		return p.runCPU(env)
+	}
+	persist := env.Mode.UsesGPM()
+	psums, out := p.psumAddr(env), p.outAddr(env)
+
+	env.PersistKernelBegin()
+	p.blockScanKernel(env, psums, persist)
+	p.offsetsKernel(env, psums)
+	p.finalKernel(env, psums, out, persist)
+	env.PersistKernelEnd()
+
+	if env.Mode.UsesCAP() {
+		// The whole result must be shipped to the CPU and persisted
+		// (write-amplification 1.0 — the full output is the result).
+		if err := workloads.PersistBuffer(env, p.psumFile, 0, psums, int64(p.n)*4); err != nil {
+			return err
+		}
+		if err := workloads.PersistBuffer(env, p.outFile, 0, out, int64(p.n)*4); err != nil {
+			return err
+		}
+	}
+	env.CountOps(int64(p.n))
+	return nil
+}
+
+// runCPU is the Fig 1b baseline: a multi-threaded CPU prefix sum persisting
+// partial and final sums to PM.
+func (p *PrefixSum) runCPU(env *workloads.Env) error {
+	n := p.n
+	threads := env.Cfg.CAPThreads
+	psums, out := p.psumFile.Mmap(), p.outFile.Mmap()
+	input := p.input // CPU reads the same input array
+	// Pass 1: chunk-local scans persisted to PM.
+	env.Ctx.RunCPU("cpu-scan", threads, func(t *cpusim.Thread) {
+		chunk := (n + t.N - 1) / t.N
+		lo := t.ID * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		var running uint32
+		buf := make([]byte, 4)
+		for i := lo; i < hi; i++ {
+			t.Read(input+uint64(i)*4, buf)
+			running += binary.LittleEndian.Uint32(buf)
+			t.WriteU32(psums+uint64(i)*4, running)
+			t.Compute(2 * sim.Nanosecond)
+		}
+		t.PersistRange(psums+uint64(lo)*4, int64(hi-lo)*4)
+	})
+	// Pass 2: sequential chunk offsets, then parallel fix-up + persist.
+	chunk := (n + threads - 1) / threads
+	offsets := make([]uint32, threads)
+	env.Ctx.RunCPU("cpu-offsets", 1, func(t *cpusim.Thread) {
+		var running uint32
+		for c := 0; c < threads; c++ {
+			offsets[c] = running
+			last := (c+1)*chunk - 1
+			if last >= n {
+				last = n - 1
+			}
+			if last >= c*chunk {
+				running += t.ReadU32(psums + uint64(last)*4)
+			}
+		}
+	})
+	env.Ctx.RunCPU("cpu-final", threads, func(t *cpusim.Thread) {
+		lo := t.ID * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			t.WriteU32(out+uint64(i)*4, t.ReadU32(psums+uint64(i)*4)+offsets[t.ID])
+			t.Compute(2 * sim.Nanosecond)
+		}
+		t.PersistRange(out+uint64(lo)*4, int64(hi-lo)*4)
+	})
+	env.CountOps(int64(n))
+	return nil
+}
+
+// Verify implements workloads.Workload: the final prefix sums must be
+// DURABLE (crash-surviving) and correct.
+func (p *PrefixSum) Verify(env *workloads.Env) error {
+	snap := env.Ctx.Space.SnapshotPersistent(p.outFile.Mmap(), p.n*4)
+	for i := 0; i < p.n; i++ {
+		if got := binary.LittleEndian.Uint32(snap[i*4:]); got != p.expect[i] {
+			return fmt.Errorf("scan: durable out[%d] = %d, want %d", i, got, p.expect[i])
+		}
+	}
+	return nil
+}
+
+// RunUntilCrash implements workloads.Crasher: crash mid block-scan.
+func (p *PrefixSum) RunUntilCrash(env *workloads.Env, abortAfterOps int64) error {
+	if !env.Mode.UsesGPM() {
+		return fmt.Errorf("scan: crash study requires a GPM mode")
+	}
+	env.PersistKernelBegin()
+	env.Ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= abortAfterOps })
+	p.blockScanKernel(env, p.psumFile.Mmap(), true)
+	env.Ctx.Dev.SetAbortCheck(nil)
+	env.PersistKernelEnd()
+	return nil
+}
+
+// Recover implements workloads.Crasher: native persistence means recovery
+// is simply re-running the kernels — completed blocks are skipped via the
+// sentinel (§5.4). The read-only input is reloaded first (it is lost with
+// device memory but comes from a durable source).
+func (p *PrefixSum) Recover(env *workloads.Env) error {
+	env.Ctx.Space.WriteCPU(p.input, p.inputBytes)
+	env.Ctx.Timeline.Add("reload", env.Ctx.Space.DMA.TransferDown(int64(len(p.inputBytes))))
+	start := env.Ctx.Timeline.Total()
+	err := p.Run(env)
+	env.AddRestore(env.Ctx.Timeline.Total() - start)
+	return err
+}
+
+// CompletedBlocks counts blocks whose durable sentinel is set (test hook
+// for the resume-not-restart property).
+func (p *PrefixSum) CompletedBlocks(env *workloads.Env) int {
+	done := 0
+	for b := 0; b < p.blocks; b++ {
+		addr := p.psumFile.Mmap() + uint64((b+1)*tpb-1)*4
+		snap := env.Ctx.Space.SnapshotPersistent(addr, 4)
+		if binary.LittleEndian.Uint32(snap) != Empty {
+			done++
+		}
+	}
+	return done
+}
+
+// Blocks returns the grid size (test hook).
+func (p *PrefixSum) Blocks() int { return p.blocks }

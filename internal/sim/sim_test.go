@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationOfBytes(t *testing.T) {
+	// 13 GB at 13 GB/s should be one second.
+	if got := DurationOfBytes(13e9, 13e9); got != Second {
+		t.Errorf("DurationOfBytes(13e9, 13e9) = %v, want 1s", got)
+	}
+	if got := DurationOfBytes(0, 13e9); got != 0 {
+		t.Errorf("zero bytes should take zero time, got %v", got)
+	}
+	if got := DurationOfBytes(100, 0); got != 0 {
+		t.Errorf("zero bandwidth should yield zero (guard), got %v", got)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.AdvanceTo(5) // must not go backwards
+	if got := c.Now(); got != 10 {
+		t.Errorf("clock went backwards: %d", got)
+	}
+	c.AdvanceTo(50)
+	if got := c.Now(); got != 50 {
+		t.Errorf("AdvanceTo(50) = %d", got)
+	}
+	if c.Advance(-3); c.Now() != 50 {
+		t.Errorf("negative advance must clamp, now=%d", c.Now())
+	}
+}
+
+func TestMaxMinDuration(t *testing.T) {
+	if MaxDuration(1, 2) != 2 || MaxDuration(2, 1) != 2 {
+		t.Error("MaxDuration wrong")
+	}
+	if MinDuration(1, 2) != 1 || MinDuration(2, 1) != 1 {
+		t.Error("MinDuration wrong")
+	}
+}
+
+func TestAccessStatsSequentialAligned(t *testing.T) {
+	p := Default()
+	var s AccessStats
+	for i := 0; i < 100; i++ {
+		s.Record(uint64(i)*256, 256)
+	}
+	if f := s.SeqFraction(); f < 0.98 {
+		t.Errorf("sequential stream classified %.2f sequential", f)
+	}
+	if f := s.AlignedFraction(); f != 1 {
+		t.Errorf("aligned stream classified %.2f aligned", f)
+	}
+	bw := s.EffectiveBandwidth(p)
+	if bw < 12e9 {
+		t.Errorf("seq-aligned bandwidth = %.2f GB/s, want ~12.5", bw/1e9)
+	}
+}
+
+func TestAccessStatsRandom(t *testing.T) {
+	p := Default()
+	var s AccessStats
+	rng := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		s.Record(uint64(rng.Intn(1<<20))*64+32, 64)
+	}
+	bw := s.EffectiveBandwidth(p)
+	if bw > 1.5e9 {
+		t.Errorf("random stream bandwidth = %.2f GB/s, want near 0.72", bw/1e9)
+	}
+}
+
+func TestAccessStatsSequentialUnaligned(t *testing.T) {
+	p := Default()
+	var s AccessStats
+	for i := 0; i < 1000; i++ {
+		s.Record(uint64(i)*128+32, 128) // contiguous but never 256B-aligned
+	}
+	bw := s.EffectiveBandwidth(p)
+	if bw < 2.5e9 || bw > 4e9 {
+		t.Errorf("seq-unaligned bandwidth = %.2f GB/s, want ~3.13", bw/1e9)
+	}
+}
+
+func TestAccessStatsMergeAndReset(t *testing.T) {
+	var a, b AccessStats
+	a.Record(0, 64)
+	b.Record(64, 64)
+	b.Record(128, 64)
+	a.Merge(&b)
+	snap := a.Snapshot()
+	if snap.Txns != 3 || snap.Bytes != 192 {
+		t.Errorf("merge: txns=%d bytes=%d", snap.Txns, snap.Bytes)
+	}
+	a.Reset()
+	if s := a.Snapshot(); s.Txns != 0 || s.Bytes != 0 {
+		t.Errorf("reset did not clear: %+v", s)
+	}
+}
+
+func TestEffectiveBandwidthBounds(t *testing.T) {
+	// Property: blended bandwidth always lies within [random, seq-aligned].
+	p := Default()
+	f := func(addrs []uint32) bool {
+		var s AccessStats
+		for _, a := range addrs {
+			s.Record(uint64(a), 64)
+		}
+		bw := s.EffectiveBandwidth(p)
+		return bw >= p.PMRandomBW-1 && bw <= p.PMSeqAlignedBW+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("kernel", 10*Microsecond)
+	tl.Add("kernel", 5*Microsecond)
+	tl.Add("checkpoint", 2*Microsecond)
+	if got := tl.Segment("kernel"); got != 15*Microsecond {
+		t.Errorf("kernel segment = %v", got)
+	}
+	if got := tl.Total(); got != 17*Microsecond {
+		t.Errorf("total = %v", got)
+	}
+	segs := tl.Segments()
+	if len(segs) != 2 || segs[0] != "kernel" || segs[1] != "checkpoint" {
+		t.Errorf("segments = %v", segs)
+	}
+	if tl.String() == "" {
+		t.Error("empty String()")
+	}
+	tl.Reset()
+	if tl.Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int63n(1 << 40); v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %f", v)
+		}
+	}
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 50 {
+		t.Errorf("shuffle lost elements: %d distinct", len(seen))
+	}
+}
+
+func TestCPUPMBandwidthCurve(t *testing.T) {
+	p := Default()
+	one := p.CPUPMBandwidth(1)
+	plateau := p.CPUPMBandwidth(64)
+	ratio := plateau / one
+	// Fig 3a: 64 threads reach ~1.47× a single thread.
+	if ratio < 1.40 || ratio > 1.55 {
+		t.Errorf("CPU PM scaling plateau = %.3f, want ~1.47", ratio)
+	}
+	if p.CPUPMBandwidth(2) <= one {
+		t.Error("bandwidth must grow with threads")
+	}
+}
+
+func TestParamsHelpers(t *testing.T) {
+	p := Default()
+	if p.MaxConcurrentBlocks() != p.NumSMs*p.MaxBlocksPerSM {
+		t.Error("MaxConcurrentBlocks")
+	}
+	if p.LineSize() != 64 {
+		t.Error("LineSize default")
+	}
+	var z Params
+	if z.MaxConcurrentBlocks() != 1 || z.LineSize() != 64 {
+		t.Error("zero params should degrade gracefully")
+	}
+}
+
+func TestAccessClassFastBlocks(t *testing.T) {
+	p := Default()
+	var s AccessStats
+	// Scattered but block-aligned 128B bursts: Optane absorbs them at
+	// full speed (its internal 256B buffer).
+	rng := NewRNG(3)
+	for i := 0; i < 500; i++ {
+		s.Record(uint64(rng.Intn(1<<14))*256, 128)
+	}
+	snap := s.Snapshot()
+	if snap.FastFraction() < 0.99 {
+		t.Errorf("aligned bursts fast fraction = %.2f", snap.FastFraction())
+	}
+	if bw := snap.EffectiveBandwidth(p); bw < 12e9 {
+		t.Errorf("aligned bursts bandwidth = %.2f GB/s", bw/1e9)
+	}
+}
+
+func TestAccessClassSmallScattered(t *testing.T) {
+	p := Default()
+	var s AccessStats
+	rng := NewRNG(4)
+	for i := 0; i < 500; i++ {
+		s.Record(uint64(rng.Intn(1<<14))*64+16, 16)
+	}
+	if bw := s.EffectiveBandwidth(p); bw > 0.8e9 {
+		t.Errorf("small scattered writes bandwidth = %.2f GB/s, want ~0.72", bw/1e9)
+	}
+}
+
+func TestAccessClassUnalignedRun(t *testing.T) {
+	p := Default()
+	var s AccessStats
+	base := uint64(68) // off a 256B boundary
+	for i := 0; i < 500; i++ {
+		s.Record(base, 128)
+		base += 128
+	}
+	bw := s.EffectiveBandwidth(p)
+	if bw < 2.8e9 || bw > 3.5e9 {
+		t.Errorf("unaligned run bandwidth = %.2f GB/s, want ~3.13", bw/1e9)
+	}
+}
+
+func TestAccessClassAlignedRunAfterSplit(t *testing.T) {
+	p := Default()
+	var s AccessStats
+	// An aligned run stays fast even when recorded as 128B halves.
+	for i := 0; i < 500; i++ {
+		s.Record(uint64(i)*128, 128)
+	}
+	if bw := s.EffectiveBandwidth(p); bw < 12e9 {
+		t.Errorf("aligned run bandwidth = %.2f GB/s", bw/1e9)
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import "sync"
+
+// AccessStats classifies a stream of memory transactions to persistent
+// memory. Optane's effective bandwidth depends strongly on the access
+// pattern (§6.1: 12.5 GB/s sequential 256B-aligned, 3.13 GB/s sequential
+// unaligned, 0.72 GB/s random): internally the device buffers writes in
+// 256-byte blocks, so writes that fill aligned blocks — whether via one
+// long stream or scattered block-sized bursts — run at full speed, unaligned
+// streams pay read-modify-write at the block seams, and small scattered
+// writes pay it on every access.
+//
+// Each recorded transaction's bytes are binned into one of three classes:
+//
+//   - fast: part of a 256B-aligned run (a sequential run that began on a
+//     block boundary, or a standalone block-aligned transaction of at
+//     least half a block — the coalescer's 128B unit — which its warp's
+//     neighbor completes).
+//   - seqUnaligned: contiguous with the previous transaction but in a run
+//     that began off a block boundary.
+//   - random: everything else.
+type AccessStats struct {
+	mu sync.Mutex
+
+	Txns       int64 // number of transactions observed
+	Bytes      int64 // total bytes moved
+	Sequential int64 // transactions contiguous with the previous one
+	Aligned256 int64 // transactions starting on a 256B boundary
+
+	bytesFast   int64
+	bytesSeqUna int64
+	bytesRandom int64
+
+	lastEnd    uint64
+	runAligned bool
+	seeded     bool
+}
+
+// Record adds one transaction at addr of n bytes.
+func (s *AccessStats) Record(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.Txns++
+	s.Bytes += int64(n)
+	seq := s.seeded && addr == s.lastEnd
+	if seq {
+		s.Sequential++
+	} else {
+		s.runAligned = addr%256 == 0
+	}
+	if addr%256 == 0 {
+		s.Aligned256++
+	}
+	switch {
+	case seq && s.runAligned:
+		s.bytesFast += int64(n)
+	case seq:
+		s.bytesSeqUna += int64(n)
+	case addr%256 == 0 && n >= 128:
+		// A block-aligned burst: Optane's internal buffer absorbs it at
+		// full speed (its partner half-block typically follows).
+		s.bytesFast += int64(n)
+	default:
+		s.bytesRandom += int64(n)
+	}
+	s.lastEnd = addr + uint64(n)
+	s.seeded = true
+	s.mu.Unlock()
+}
+
+// Merge folds o into s. Merging loses cross-stream sequentiality, which is
+// the conservative choice: independent streams do not combine into one
+// sequential stream at the device.
+func (s *AccessStats) Merge(o *AccessStats) {
+	o.mu.Lock()
+	snap := AccessSnapshot{
+		Txns: o.Txns, Bytes: o.Bytes, Sequential: o.Sequential, Aligned256: o.Aligned256,
+		BytesFast: o.bytesFast, BytesSeqUnaligned: o.bytesSeqUna, BytesRandom: o.bytesRandom,
+	}
+	o.mu.Unlock()
+	s.mu.Lock()
+	s.Txns += snap.Txns
+	s.Bytes += snap.Bytes
+	s.Sequential += snap.Sequential
+	s.Aligned256 += snap.Aligned256
+	s.bytesFast += snap.BytesFast
+	s.bytesSeqUna += snap.BytesSeqUnaligned
+	s.bytesRandom += snap.BytesRandom
+	s.mu.Unlock()
+}
+
+// Reset clears the stats.
+func (s *AccessStats) Reset() {
+	s.mu.Lock()
+	s.Txns, s.Bytes, s.Sequential, s.Aligned256 = 0, 0, 0, 0
+	s.bytesFast, s.bytesSeqUna, s.bytesRandom = 0, 0, 0
+	s.lastEnd, s.runAligned, s.seeded = 0, false, false
+	s.mu.Unlock()
+}
+
+// AccessSnapshot is an immutable copy of AccessStats counters.
+type AccessSnapshot struct {
+	Txns       int64
+	Bytes      int64
+	Sequential int64
+	Aligned256 int64
+
+	BytesFast         int64
+	BytesSeqUnaligned int64
+	BytesRandom       int64
+}
+
+// SeqFraction is the fraction of transactions contiguous with their
+// predecessor.
+func (s AccessSnapshot) SeqFraction() float64 {
+	if s.Txns == 0 {
+		return 0
+	}
+	return float64(s.Sequential) / float64(s.Txns)
+}
+
+// AlignedFraction is the fraction of transactions that are 256B-aligned.
+func (s AccessSnapshot) AlignedFraction() float64 {
+	if s.Txns == 0 {
+		return 0
+	}
+	return float64(s.Aligned256) / float64(s.Txns)
+}
+
+// FastFraction is the fraction of bytes moved at the full block rate.
+func (s AccessSnapshot) FastFraction() float64 {
+	if s.Bytes == 0 {
+		return 0
+	}
+	return float64(s.BytesFast) / float64(s.Bytes)
+}
+
+// EffectiveBandwidth blends the three Optane regimes by the byte-weighted
+// class mix: block-aligned traffic at PMSeqAlignedBW, unaligned streams at
+// PMSeqUnalignedBW, small scattered writes at PMRandomBW.
+func (s AccessSnapshot) EffectiveBandwidth(p *Params) float64 {
+	total := s.BytesFast + s.BytesSeqUnaligned + s.BytesRandom
+	if total == 0 {
+		return p.PMSeqAlignedBW
+	}
+	return (float64(s.BytesFast)*p.PMSeqAlignedBW +
+		float64(s.BytesSeqUnaligned)*p.PMSeqUnalignedBW +
+		float64(s.BytesRandom)*p.PMRandomBW) / float64(total)
+}
+
+// Snapshot returns an immutable copy safe to read without locking.
+func (s *AccessStats) Snapshot() AccessSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return AccessSnapshot{
+		Txns: s.Txns, Bytes: s.Bytes, Sequential: s.Sequential, Aligned256: s.Aligned256,
+		BytesFast: s.bytesFast, BytesSeqUnaligned: s.bytesSeqUna, BytesRandom: s.bytesRandom,
+	}
+}
+
+// SeqFraction is the fraction of transactions contiguous with their
+// predecessor.
+func (s *AccessStats) SeqFraction() float64 { return s.Snapshot().SeqFraction() }
+
+// AlignedFraction is the fraction of transactions that are 256B-aligned.
+func (s *AccessStats) AlignedFraction() float64 { return s.Snapshot().AlignedFraction() }
+
+// EffectiveBandwidth blends the three Optane bandwidth regimes by the
+// observed byte-weighted access mix.
+func (s *AccessStats) EffectiveBandwidth(p *Params) float64 {
+	return s.Snapshot().EffectiveBandwidth(p)
+}

@@ -1,0 +1,108 @@
+// Package sim provides the simulated-time substrate shared by every model in
+// gpm-go: a nanosecond-resolution clock, the hardware parameter set, access
+// pattern statistics, and the latency-hiding arithmetic used to convert
+// recorded memory traffic into elapsed simulated time.
+//
+// Everything above this package (PM device, LLC, PCIe link, GPU, CPU) is
+// functional — real bytes move — while time is accounted analytically and
+// deterministically: a run with the same inputs always reports the same
+// simulated duration.
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds. It mirrors
+// time.Duration semantics but is kept distinct so wall-clock time can never
+// be mixed into the simulation by accident.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds returns the duration as a floating-point number of µs.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds returns the duration as a floating-point number of ms.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// DurationOfBytes returns the time to move n bytes at bw bytes/second.
+func DurationOfBytes(n int64, bw float64) Duration {
+	if n <= 0 || bw <= 0 {
+		return 0
+	}
+	return Duration(float64(n) / bw * float64(Second))
+}
+
+// Clock is a monotonically advancing simulated clock. It is safe for
+// concurrent use; Advance returns the new time.
+type Clock struct {
+	now atomic.Int64
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *Clock) Advance(d Duration) Time {
+	if d < 0 {
+		d = 0
+	}
+	return Time(c.now.Add(int64(d)))
+}
+
+// AdvanceTo moves the clock to at least t (it never goes backwards).
+func (c *Clock) AdvanceTo(t Time) {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// MaxDuration returns the larger of a and b.
+func MaxDuration(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinDuration returns the smaller of a and b.
+func MinDuration(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Timeline accumulates named segments of simulated time for one run of a
+// workload. The workload harness uses it both for the total runtime and for
+// per-phase breakdowns (e.g. restoration latency as a fraction of operation
+// time, Table 5).
+type Timeline struct {
+	mu       sync.Mutex
+	clock    Clock
+	segments map[string]Duration
+	order    []string
+}
+
+// NewTimeline returns an empty timeline starting at time zero.
+func NewTimeline() *Timeline {
+	return &Timeline{segments: make(map[string]Duration)}
+}
+
+// Add appends d of simulated time under the given segment name and advances
+// the global clock.
+func (tl *Timeline) Add(segment string, d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	tl.clock.Advance(d)
+	tl.mu.Lock()
+	if _, ok := tl.segments[segment]; !ok {
+		tl.order = append(tl.order, segment)
+	}
+	tl.segments[segment] += d
+	tl.mu.Unlock()
+}
+
+// Now returns the current simulated time on this timeline.
+func (tl *Timeline) Now() Time { return tl.clock.Now() }
+
+// Total returns the sum of all segments.
+func (tl *Timeline) Total() Duration {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var t Duration
+	for _, d := range tl.segments {
+		t += d
+	}
+	return t
+}
+
+// Segment returns the accumulated time under the given name.
+func (tl *Timeline) Segment(name string) Duration {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.segments[name]
+}
+
+// Segments returns the segment names in first-use order.
+func (tl *Timeline) Segments() []string {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]string, len(tl.order))
+	copy(out, tl.order)
+	return out
+}
+
+// Reset clears all segments and rewinds the clock reference (the clock
+// itself is monotonic; totals restart from zero).
+func (tl *Timeline) Reset() {
+	tl.mu.Lock()
+	tl.segments = make(map[string]Duration)
+	tl.order = nil
+	tl.mu.Unlock()
+}
+
+// String renders the timeline as a sorted breakdown, largest first.
+func (tl *Timeline) String() string {
+	tl.mu.Lock()
+	type seg struct {
+		name string
+		d    Duration
+	}
+	segs := make([]seg, 0, len(tl.segments))
+	for n, d := range tl.segments {
+		segs = append(segs, seg{n, d})
+	}
+	tl.mu.Unlock()
+	sort.Slice(segs, func(i, j int) bool { return segs[i].d > segs[j].d })
+	var b strings.Builder
+	for _, s := range segs {
+		fmt.Fprintf(&b, "%-24s %s\n", s.name, s.d)
+	}
+	return b.String()
+}

@@ -1,0 +1,279 @@
+package stencil
+
+import (
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+const cfdGPUCost = 16 * sim.Nanosecond
+
+// CFD is the Euler grid-solver checkpointing workload (§4.2, Rodinia's cfd
+// analog reduced to a 1-D finite-volume form): density, momentum, and
+// energy evolve over many timesteps via upwind fluxes; the three state
+// arrays are checkpointed together as one group — semantically related
+// structures restore together (§5.3).
+type CFD struct {
+	cells, iters, ckptEach int
+
+	// HBM state (ping-pong ×3 variables).
+	rhoA, rhoB, momA, momB, eneA, eneB uint64
+
+	cp     *gpm.Checkpoint
+	cpFile *fsim.File
+
+	expect     [3][]float32
+	expectCkpt [3][]float32
+	curIsA     bool
+	ckpts      int
+}
+
+// NewCFD returns the CFD workload.
+func NewCFD() *CFD { return &CFD{} }
+
+// Name implements workloads.Workload.
+func (c *CFD) Name() string { return "CFD" }
+
+// Class implements workloads.Workload.
+func (c *CFD) Class() string { return "checkpointing" }
+
+// Supports implements workloads.Workload: CFD checkpoints whole arrays at
+// iteration boundaries, so the coarse-grained GPUfs API can express it
+// (§6.1 reports checkpointing workloads run on GPUfs, slowly).
+func (c *CFD) Supports(mode workloads.Mode) bool { return mode != workloads.CPUOnly }
+
+func cfdStep(rho, mom, ene []float32, i int) (float32, float32, float32) {
+	n := len(rho)
+	l := i - 1
+	if l < 0 {
+		l = 0
+	}
+	r := i + 1
+	if r >= n {
+		r = n - 1
+	}
+	// Upwind flux differences with a diffusive term.
+	const dt = float32(0.05)
+	fRho := (rho[r] - 2*rho[i] + rho[l]) * 0.25
+	fMom := (mom[r]-2*mom[i]+mom[l])*0.25 - (rho[r]-rho[l])*0.1
+	fEne := (ene[r]-2*ene[i]+ene[l])*0.25 - (mom[r]-mom[l])*0.05
+	return rho[i] + dt*fRho, mom[i] + dt*fMom, ene[i] + dt*fEne
+}
+
+// Setup implements workloads.Workload.
+func (c *CFD) Setup(env *workloads.Env) error {
+	cfg := env.Cfg
+	c.cells, c.iters, c.ckptEach = cfg.CFDCells, cfg.CFDIters, cfg.CFDCkptEach
+	n := c.cells
+	sp := env.Ctx.Space
+	alloc := func() uint64 { return sp.AllocHBM(int64(n) * 4) }
+	c.rhoA, c.rhoB, c.momA, c.momB, c.eneA, c.eneB = alloc(), alloc(), alloc(), alloc(), alloc(), alloc()
+
+	rho := make([]float32, n)
+	mom := make([]float32, n)
+	ene := make([]float32, n)
+	for i := range rho {
+		rho[i] = 1 + 0.1*float32(env.RNG.Float64())
+		mom[i] = 0.5 * float32(env.RNG.Float64())
+		ene[i] = 2 + 0.2*float32(env.RNG.Float64())
+	}
+	writeF32s(sp, c.rhoA, rho)
+	writeF32s(sp, c.momA, mom)
+	writeF32s(sp, c.eneA, ene)
+	env.Ctx.Timeline.Add("setup", sp.DMA.TransferDown(3*int64(n)*4))
+	c.curIsA = true
+
+	var err error
+	if env.Mode.UsesGPM() {
+		if c.cp, err = env.Ctx.CPCreate("/pm/cfd.cp", 3*int64(n)*4, 3, 1); err != nil {
+			return err
+		}
+		for _, a := range []uint64{c.rhoA, c.momA, c.eneA} {
+			if err = c.cp.Register(a, int64(n)*4, 0); err != nil {
+				return err
+			}
+		}
+	} else {
+		if c.cpFile, err = env.Ctx.FS.Create("/pm/cfd.cp", 3*int64(n)*4, 0); err != nil {
+			return err
+		}
+	}
+
+	// Host reference.
+	r2, m2, e2 := make([]float32, n), make([]float32, n), make([]float32, n)
+	for it := 1; it <= c.iters; it++ {
+		for i := 0; i < n; i++ {
+			r2[i], m2[i], e2[i] = cfdStep(rho, mom, ene, i)
+		}
+		rho, r2 = r2, rho
+		mom, m2 = m2, mom
+		ene, e2 = e2, ene
+		if it%c.ckptEach == 0 {
+			c.expectCkpt = [3][]float32{
+				append([]float32(nil), rho...),
+				append([]float32(nil), mom...),
+				append([]float32(nil), ene...),
+			}
+		}
+	}
+	c.expect = [3][]float32{rho, mom, ene}
+	return nil
+}
+
+const cfdTPB = 256
+
+func (c *CFD) stepKernel(env *workloads.Env, sr, sm, se, dr, dm, de uint64) {
+	n := c.cells
+	blocks := (n + cfdTPB - 1) / cfdTPB
+	env.Ctx.Launch("cfd-step", blocks, cfdTPB, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		l := i - 1
+		if l < 0 {
+			l = 0
+		}
+		r := i + 1
+		if r >= n {
+			r = n - 1
+		}
+		rhoL, rhoI, rhoR := t.LoadF32(sr+uint64(l)*4), t.LoadF32(sr+uint64(i)*4), t.LoadF32(sr+uint64(r)*4)
+		momL, momI, momR := t.LoadF32(sm+uint64(l)*4), t.LoadF32(sm+uint64(i)*4), t.LoadF32(sm+uint64(r)*4)
+		eneL, eneI, eneR := t.LoadF32(se+uint64(l)*4), t.LoadF32(se+uint64(i)*4), t.LoadF32(se+uint64(r)*4)
+		const dt = float32(0.05)
+		fRho := (rhoR - 2*rhoI + rhoL) * 0.25
+		fMom := (momR-2*momI+momL)*0.25 - (rhoR-rhoL)*0.1
+		fEne := (eneR-2*eneI+eneL)*0.25 - (momR-momL)*0.05
+		t.Compute(cfdGPUCost)
+		t.StoreF32(dr+uint64(i)*4, rhoI+dt*fRho)
+		t.StoreF32(dm+uint64(i)*4, momI+dt*fMom)
+		t.StoreF32(de+uint64(i)*4, eneI+dt*fEne)
+	})
+}
+
+func (c *CFD) cur() (uint64, uint64, uint64) {
+	if c.curIsA {
+		return c.rhoA, c.momA, c.eneA
+	}
+	return c.rhoB, c.momB, c.eneB
+}
+
+func (c *CFD) alt() (uint64, uint64, uint64) {
+	if c.curIsA {
+		return c.rhoB, c.momB, c.eneB
+	}
+	return c.rhoA, c.momA, c.eneA
+}
+
+func (c *CFD) checkpoint(env *workloads.Env) error {
+	start := env.Ctx.Timeline.Total()
+	defer func() { env.AddCheckpoint(env.Ctx.Timeline.Total() - start) }()
+	c.ckpts++
+	r, m, e := c.cur()
+	n := int64(c.cells) * 4
+	if env.Mode.UsesGPM() {
+		// The group was registered against the A buffers.
+		if !c.curIsA {
+			c.copyKernel(env, c.rhoA, r)
+			c.copyKernel(env, c.momA, m)
+			c.copyKernel(env, c.eneA, e)
+			c.curIsA = true
+		}
+		_, err := c.cp.CheckpointGroup(0)
+		return err
+	}
+	if err := workloads.PersistBuffer(env, c.cpFile, 0, r, n); err != nil {
+		return err
+	}
+	if err := workloads.PersistBuffer(env, c.cpFile, n, m, n); err != nil {
+		return err
+	}
+	return workloads.PersistBuffer(env, c.cpFile, 2*n, e, n)
+}
+
+func (c *CFD) copyKernel(env *workloads.Env, dst, src uint64) {
+	n := c.cells
+	blocks := (n + cfdTPB - 1) / cfdTPB
+	env.Ctx.Launch("cfd-copy", blocks, cfdTPB, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		t.StoreU32(dst+uint64(i)*4, t.LoadU32(src+uint64(i)*4))
+	})
+}
+
+// Run implements workloads.Workload.
+func (c *CFD) Run(env *workloads.Env) error {
+	for it := 1; it <= c.iters; it++ {
+		sr, sm, se := c.cur()
+		dr, dm, de := c.alt()
+		c.stepKernel(env, sr, sm, se, dr, dm, de)
+		c.curIsA = !c.curIsA
+		if it%c.ckptEach == 0 {
+			if err := c.checkpoint(env); err != nil {
+				return err
+			}
+		}
+	}
+	env.CountOps(int64(c.iters) * int64(c.cells))
+	return nil
+}
+
+// Verify implements workloads.Workload.
+func (c *CFD) Verify(env *workloads.Env) error {
+	n := c.cells
+	r, m, e := c.cur()
+	for vi, addr := range []uint64{r, m, e} {
+		got := readF32s(env.Ctx.Space, addr, n)
+		for i := range got {
+			if got[i] != c.expect[vi][i] {
+				return fmt.Errorf("cfd: var %d cell %d = %v, want %v", vi, i, got[i], c.expect[vi][i])
+			}
+		}
+	}
+	if c.ckpts == 0 {
+		return fmt.Errorf("cfd: no checkpoints taken")
+	}
+	// Durable checkpoint check.
+	if env.Mode.UsesGPM() {
+		sp := env.Ctx.Space
+		scratch := [3]uint64{sp.AllocHBM(int64(n) * 4), sp.AllocHBM(int64(n) * 4), sp.AllocHBM(int64(n) * 4)}
+		cp2, err := env.Ctx.CPOpen("/pm/cfd.cp")
+		if err != nil {
+			return err
+		}
+		for _, a := range scratch {
+			if err := cp2.Register(a, int64(n)*4, 0); err != nil {
+				return err
+			}
+		}
+		if _, err := cp2.RestoreGroup(0); err != nil {
+			return err
+		}
+		for vi, a := range scratch {
+			got := readF32s(sp, a, n)
+			for i := range got {
+				if got[i] != c.expectCkpt[vi][i] {
+					return fmt.Errorf("cfd: restored var %d cell %d = %v, want %v", vi, i, got[i], c.expectCkpt[vi][i])
+				}
+			}
+		}
+		return nil
+	}
+	for vi := 0; vi < 3; vi++ {
+		snap := env.Ctx.Space.SnapshotPersistent(c.cpFile.Mmap()+uint64(vi*n*4), n*4)
+		got := readF32sBytes(snap)
+		for i := range got {
+			if got[i] != c.expectCkpt[vi][i] {
+				return fmt.Errorf("cfd: durable var %d cell %d = %v, want %v", vi, i, got[i], c.expectCkpt[vi][i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package stencil
+
+import (
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// RunUntilCrash implements workloads.Crasher.
+func (c *CFD) RunUntilCrash(env *workloads.Env, abortAfterOps int64) error {
+	if !env.Mode.UsesGPM() {
+		return fmt.Errorf("cfd: crash study requires a GPM mode")
+	}
+	env.Ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= abortAfterOps })
+	err := c.Run(env)
+	env.Ctx.Dev.SetAbortCheck(nil)
+	if err == gpu.ErrCrashed {
+		return nil
+	}
+	return err
+}
+
+// Recover implements workloads.Crasher: restore all three state arrays from
+// the group's consistent checkpoint (they restore together, §5.3) and
+// resume at the checkpointed timestep.
+func (c *CFD) Recover(env *workloads.Env) error {
+	restoreStart := env.Ctx.Timeline.Total()
+	cp2, err := env.Ctx.CPOpen("/pm/cfd.cp")
+	if err != nil {
+		return err
+	}
+	n := int64(c.cells) * 4
+	for _, a := range []uint64{c.rhoA, c.momA, c.eneA} {
+		if err := cp2.Register(a, n, 0); err != nil {
+			return err
+		}
+	}
+	if cp2.Seq(0) == 0 {
+		return fmt.Errorf("cfd: crash before first checkpoint; nothing to restore")
+	}
+	if _, err := cp2.RestoreGroup(0); err != nil {
+		return err
+	}
+	env.AddRestore(env.Ctx.Timeline.Total() - restoreStart)
+	c.cp = cp2
+	c.ckpts = int(cp2.Seq(0))
+	c.curIsA = true
+	startIt := int(cp2.Seq(0)) * c.ckptEach
+	for it := startIt + 1; it <= c.iters; it++ {
+		sr, sm, se := c.cur()
+		dr, dm, de := c.alt()
+		c.stepKernel(env, sr, sm, se, dr, dm, de)
+		c.curIsA = !c.curIsA
+		if it%c.ckptEach == 0 {
+			if err := c.checkpoint(env); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
