@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race vet check figures quick-figures clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the tier-1 gate: everything CI runs.
+check: vet race
+	$(GO) build ./...
+
+# Regenerate every paper figure/table into reports/.
+figures:
+	$(GO) run ./cmd/gpmbench -experiment all
+
+# Same, at test scale, with a trace + metrics dump (see README Observability).
+quick-figures:
+	$(GO) run ./cmd/gpmbench -experiment all -quick \
+		-trace reports/trace.json -metrics reports/metrics.tsv \
+		-timebreakdown reports/timebreakdown.tsv
+
+clean:
+	rm -f reports/out_*.txt reports/trace.json reports/metrics.tsv reports/timebreakdown.tsv

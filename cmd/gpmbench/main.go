@@ -8,6 +8,12 @@
 //
 // Experiments: figure1a figure1b figure3 figure9 figure10 figure11a
 // figure11b figure12 table4 table5 dnnfreq optane breakdown all.
+//
+// Observability (see README "Observability"): -trace out.json writes a
+// Chrome trace-event file of every simulated run (load it in Perfetto or
+// chrome://tracing), -metrics out.tsv dumps the cross-subsystem metrics
+// registry, and -timebreakdown out.tsv writes the per-run span time
+// breakdown (the Fig 12-style table). All timestamps are simulated time.
 package main
 
 import (
@@ -19,15 +25,19 @@ import (
 	"time"
 
 	"github.com/gpm-sim/gpm/internal/experiments"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
 func main() {
 	var (
-		name  = flag.String("experiment", "all", "experiment to run (figure1a..figure12, table4, table5, dnnfreq, optane, all)")
-		out   = flag.String("out", "reports", "output directory for TSV reports")
-		quick = flag.Bool("quick", false, "use the smaller test-scale configuration")
-		seed  = flag.Uint64("seed", 42, "workload generator seed")
+		name      = flag.String("experiment", "all", "experiment to run (figure1a..figure12, table4, table5, dnnfreq, optane, all)")
+		out       = flag.String("out", "reports", "output directory for TSV reports")
+		quick     = flag.Bool("quick", false, "use the smaller test-scale configuration")
+		seed      = flag.Uint64("seed", 42, "workload generator seed")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
+		metricsTo = flag.String("metrics", "", "write the telemetry metrics registry as TSV to this file")
+		brkTo     = flag.String("timebreakdown", "", "write the per-run span time breakdown as TSV to this file")
 	)
 	flag.Parse()
 
@@ -36,6 +46,12 @@ func main() {
 		cfg = workloads.QuickConfig()
 	}
 	cfg.Seed = *seed
+
+	var tel *telemetry.Telemetry
+	if *traceOut != "" || *metricsTo != "" || *brkTo != "" {
+		tel = telemetry.New()
+		cfg.Telemetry = tel
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -82,6 +98,28 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("== %s (%.1fs) -> %s\n%s\n", n, time.Since(start).Seconds(), path, tab.TSV())
+	}
+
+	if tel != nil {
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, tel.Trace.ChromeTrace(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace: %d spans over %s of simulated time -> %s\n",
+				tel.Trace.Len(), tel.Trace.SimTotal().Format(1), *traceOut)
+		}
+		if *metricsTo != "" {
+			if err := os.WriteFile(*metricsTo, []byte(tel.Metrics.TSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics -> %s\n", *metricsTo)
+		}
+		if *brkTo != "" {
+			if err := os.WriteFile(*brkTo, []byte(tel.Trace.BreakdownTSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("time breakdown -> %s\n", *brkTo)
+		}
 	}
 }
 

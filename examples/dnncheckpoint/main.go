@@ -3,6 +3,11 @@
 // checkpointed to PM through the double-buffered group facility. A crash
 // mid-training restores the last consistent checkpoint and training
 // resumes from that iteration instead of restarting.
+//
+// The run is instrumented with the telemetry layer: a per-epoch
+// checkpoint-latency histogram (gpm.checkpoint_us) is printed at the end,
+// showing the Fig 10-style distribution without any extra bookkeeping in
+// the workload itself.
 package main
 
 import (
@@ -10,6 +15,7 @@ import (
 	"log"
 
 	"github.com/gpm-sim/gpm/internal/dnn"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
@@ -17,6 +23,8 @@ func main() {
 	cfg := workloads.QuickConfig()
 	cfg.DNNIters = 20
 	cfg.DNNCkptEach = 5
+	tel := telemetry.New()
+	cfg.Telemetry = tel
 
 	rep, err := workloads.RunOne(dnn.New(), workloads.GPM, cfg)
 	if err != nil {
@@ -42,4 +50,32 @@ func main() {
 	}
 	fmt.Printf("checkpointing via GPM is %.1fx faster than via CAP-mm\n",
 		float64(capRep.CkptTime)/float64(rep.CkptTime))
+
+	// Per-epoch checkpoint latency distribution, straight from the
+	// telemetry registry (every CheckpointGroup observed one sample).
+	h := tel.Metrics.Histogram("gpm.checkpoint_us", telemetry.LatencyBucketsUS)
+	fmt.Printf("\ncheckpoint latency histogram (%d epochs across all runs):\n", h.Count())
+	var cum int64
+	for _, b := range h.Buckets() {
+		if b.Count == 0 {
+			continue
+		}
+		cum += b.Count
+		le := fmt.Sprintf("%dµs", b.Le)
+		if b.Le == telemetry.InfBucket {
+			le = "+inf"
+		}
+		fmt.Printf("  le=%-8s %3d  %s\n", le, cum, bar(b.Count))
+	}
+	if n := h.Count(); n > 0 {
+		fmt.Printf("  mean %.1fµs over %d checkpoints\n", float64(h.Sum())/float64(n), n)
+	}
+}
+
+func bar(n int64) string {
+	out := ""
+	for i := int64(0); i < n && i < 40; i++ {
+		out += "#"
+	}
+	return out
 }

@@ -27,6 +27,7 @@ import (
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/memsys"
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 // Core libGPM types (§5, Table 2).
@@ -55,7 +56,19 @@ type (
 	Duration = sim.Duration
 	// MemConfig sizes the simulated memory regions.
 	MemConfig = memsys.Config
+
+	// Telemetry bundles a metrics registry and a simulated-time span
+	// tracer; attach one to a Context to observe a run (README
+	// "Observability").
+	Telemetry = telemetry.Telemetry
+	// MetricsRegistry interns named counters, gauges, and histograms.
+	MetricsRegistry = telemetry.Registry
+	// Tracer records simulated-time spans for Chrome-trace export.
+	Tracer = telemetry.Tracer
 )
+
+// NewTelemetry returns an empty Telemetry ready to attach to Contexts.
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // NewContext assembles a simulated node.
 func NewContext(params *Params, cfg MemConfig) *Context { return core.NewContext(params, cfg) }

@@ -15,6 +15,7 @@ import (
 
 	"github.com/gpm-sim/gpm/internal/pmem"
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 // Domain is the volatile cache domain over one PM device.
@@ -30,6 +31,19 @@ type Domain struct {
 
 	eADR      bool
 	evictions int64
+
+	// Telemetry mirrors; nil (no-op) until AttachTelemetry.
+	telEvictions *telemetry.Counter
+	telFlushed   *telemetry.Counter
+	telResident  *telemetry.Gauge
+}
+
+// AttachTelemetry mirrors eviction/flush activity into the registry under
+// the llc.* namespace. Passing a nil registry detaches.
+func (d *Domain) AttachTelemetry(r *telemetry.Registry) {
+	d.telEvictions = r.Counter("llc.evictions")
+	d.telFlushed = r.Counter("llc.flushed_lines")
+	d.telResident = r.Gauge("llc.resident_lines")
 }
 
 type fifoEntry struct {
@@ -92,7 +106,10 @@ func (d *Domain) CacheLines(lines []uint64) {
 			}
 		}
 	}
+	nResident := len(d.resident)
 	d.mu.Unlock()
+	d.telEvictions.Add(int64(len(evicted)))
+	d.telResident.Set(int64(nResident))
 	d.dev.PersistLines(evicted)
 }
 
@@ -103,7 +120,10 @@ func (d *Domain) FlushLines(lines []uint64) {
 	for _, la := range lines {
 		delete(d.resident, la)
 	}
+	nResident := len(d.resident)
 	d.mu.Unlock()
+	d.telFlushed.Add(int64(len(lines)))
+	d.telResident.Set(int64(nResident))
 	d.dev.PersistLines(lines)
 }
 
@@ -118,6 +138,8 @@ func (d *Domain) FlushAll() {
 	d.resident = make(map[uint64]uint64)
 	d.queue = nil
 	d.mu.Unlock()
+	d.telFlushed.Add(int64(len(lines)))
+	d.telResident.Set(0)
 	d.dev.PersistLines(lines)
 }
 
@@ -151,4 +173,5 @@ func (d *Domain) Crash() {
 	d.resident = make(map[uint64]uint64)
 	d.queue = nil
 	d.mu.Unlock()
+	d.telResident.Set(0)
 }

@@ -21,6 +21,7 @@ import (
 	"github.com/gpm-sim/gpm/internal/core"
 	"github.com/gpm-sim/gpm/internal/cpusim"
 	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 // Engine drives CAP persistence for one context, reusing a pinned DRAM
@@ -54,6 +55,7 @@ func (e *Engine) ensureBounce(n int64) uint64 {
 // dmaToHost copies [src, src+n) from device memory into the bounce buffer
 // (cudaMemcpyDeviceToHost through the DMA engine) and charges its time.
 func (e *Engine) dmaToHost(src uint64, n int64) uint64 {
+	start := e.ctx.SpanStart()
 	b := e.ensureBounce(n)
 	const chunk = 1 << 16
 	buf := make([]byte, chunk)
@@ -66,11 +68,13 @@ func (e *Engine) dmaToHost(src uint64, n int64) uint64 {
 		e.ctx.Space.WriteCPU(b+uint64(off), buf[:c])
 	}
 	e.ctx.Timeline.Add("dma", e.ctx.Space.DMA.TransferUp(n))
+	e.ctx.SpanEnd(telemetry.TrackPCIe, "dma-to-host", "pcie", start)
 	return b
 }
 
 // DMAToDevice copies host data down to device memory, charging DMA time.
 func (e *Engine) DMAToDevice(dst, src uint64, n int64) {
+	start := e.ctx.SpanStart()
 	const chunk = 1 << 16
 	buf := make([]byte, chunk)
 	for off := int64(0); off < n; off += chunk {
@@ -82,6 +86,7 @@ func (e *Engine) DMAToDevice(dst, src uint64, n int64) {
 		e.ctx.Space.WriteCPU(dst+uint64(off), buf[:c])
 	}
 	e.ctx.Timeline.Add("dma", e.ctx.Space.DMA.TransferDown(n))
+	e.ctx.SpanEnd(telemetry.TrackPCIe, "dma-to-device", "pcie", start)
 }
 
 // PersistFS is the CAP-fs path: DMA the device range to the host, write it

@@ -7,6 +7,7 @@ import (
 	"github.com/gpm-sim/gpm/internal/cpusim"
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 const (
@@ -202,14 +203,18 @@ func (cp *Checkpoint) CheckpointGroup(group int) (sim.Duration, error) {
 	working := 1 - idx
 	dst := cp.bufAddr(group, working)
 
+	snapStart := cp.ctx.SpanStart()
 	res := cp.copyKernel("checkpoint", regs, dst, false)
+	cp.ctx.SpanEnd(telemetry.TrackCheckpoint, "snapshot", "checkpoint", snapStart)
 	if !res.Crashed {
 		// Promote the working copy with one atomic 8-byte persist.
+		swapStart := cp.ctx.SpanStart()
 		cp.ctx.RunCPU("checkpoint", 1, func(t *cpusim.Thread) {
 			seq, _ := cp.flag(group)
 			t.WriteU64(cp.flagAddr(group), (seq+1)<<1|uint64(working))
 			t.PersistRange(cp.flagAddr(group), 8)
 		})
+		cp.ctx.SpanEnd(telemetry.TrackCheckpoint, "swap", "checkpoint", swapStart)
 	}
 	if toggleDDIO {
 		cp.ctx.PersistEnd()
@@ -217,7 +222,11 @@ func (cp *Checkpoint) CheckpointGroup(group int) (sim.Duration, error) {
 	if res.Crashed {
 		return 0, gpu.ErrCrashed
 	}
-	return cp.ctx.Timeline.Total() - start, nil
+	elapsed := cp.ctx.Timeline.Total() - start
+	cp.ctx.SpanEnd(telemetry.TrackCheckpoint, "checkpoint", "checkpoint", start)
+	cp.ctx.telCheckpoints.Inc()
+	cp.ctx.telCheckpointUS.ObserveMicros(elapsed)
+	return elapsed, nil
 }
 
 // RestoreGroup copies the group's consistent checkpoint back into the
@@ -249,7 +258,10 @@ func (cp *Checkpoint) RestoreGroup(group int) (sim.Duration, error) {
 	if res.Crashed {
 		return 0, gpu.ErrCrashed
 	}
-	return cp.ctx.Timeline.Total() - start, nil
+	elapsed := cp.ctx.Timeline.Total() - start
+	cp.ctx.SpanEnd(telemetry.TrackRecovery, "restore", "recovery", start)
+	cp.ctx.telRestoreUS.ObserveMicros(elapsed)
+	return elapsed, nil
 }
 
 // copyKernel moves data between the registered structures and a packed PM

@@ -4,6 +4,7 @@ import (
 	"github.com/gpm-sim/gpm/internal/fsim"
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 // Mapping is a PM-resident file mapped into the unified address space
@@ -18,6 +19,7 @@ type Mapping struct {
 // Map creates (or opens, if create is false) a PM-resident file of the
 // given size and maps it into the GPU's address space (gpm_map).
 func (c *Context) Map(path string, size int64, create bool) (*Mapping, error) {
+	start := c.SpanStart()
 	var f *fsim.File
 	var err error
 	if create {
@@ -29,12 +31,15 @@ func (c *Context) Map(path string, size int64, create bool) (*Mapping, error) {
 		return nil, err
 	}
 	c.Timeline.Add("map", 30*sim.Microsecond) // mmap + cudaHostRegister-style setup
+	c.SpanEnd(telemetry.TrackMap, "gpm_map "+path, "map", start)
 	return &Mapping{File: f, Addr: f.Mmap(), Size: f.Size()}, nil
 }
 
 // Unmap releases a mapping (gpm_unmap). Contents persist in the file.
 func (c *Context) Unmap(m *Mapping) {
+	start := c.SpanStart()
 	c.Timeline.Add("map", 10*sim.Microsecond)
+	c.SpanEnd(telemetry.TrackMap, "gpm_unmap", "map", start)
 }
 
 // PersistBegin disables DDIO for GPU writes (gpm_persist_begin, §5.1):
@@ -43,6 +48,8 @@ func (c *Context) Unmap(m *Mapping) {
 // the perfctrlsts_0 I/O register, so it is placed around kernel launches,
 // not inside kernels.
 func (c *Context) PersistBegin() {
+	c.persistStart = c.SpanStart()
+	c.persistOpen = true
 	c.Space.SetDDIOOff(true)
 	c.Timeline.Add("ddio-toggle", 2*sim.Microsecond)
 }
@@ -51,6 +58,11 @@ func (c *Context) PersistBegin() {
 func (c *Context) PersistEnd() {
 	c.Space.SetDDIOOff(false)
 	c.Timeline.Add("ddio-toggle", 2*sim.Microsecond)
+	if c.persistOpen {
+		c.persistOpen = false
+		c.telPersistEpochs.Inc()
+		c.SpanEnd(telemetry.TrackPersist, "persist-epoch", "persist", c.persistStart)
+	}
 }
 
 // Persist ensures the calling GPU thread's prior writes are durable

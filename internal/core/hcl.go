@@ -5,6 +5,7 @@ import (
 
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 // Hierarchical Coalesced Logging (§5.2, Figs 4–5).
@@ -60,6 +61,8 @@ func (l *Log) Insert(t *gpu.Thread, data []byte, partition int) error {
 	Persist(t)
 	t.StoreU32(l.tailAddr(tid), uint32(tail+k))
 	Persist(t)
+	l.telInserts.Inc()
+	l.telInsertBytes.Add(int64(len(data)))
 	return nil
 }
 
@@ -102,6 +105,7 @@ func (l *Log) Remove(t *gpu.Thread, n, partition int) error {
 	}
 	t.StoreU32(l.tailAddr(tid), uint32(tail-k))
 	Persist(t)
+	l.telRemoves.Inc()
 	return nil
 }
 
@@ -155,6 +159,7 @@ func (l *Log) ClearIfUsed(t *gpu.Thread) {
 // HostClearAll resets every tail/head from the host (log truncation after
 // a committed transaction, §5.2 recovery discussion).
 func (l *Log) HostClearAll() {
+	start := l.ctx.SpanStart()
 	n := l.partitions
 	if l.kind == logKindHCL {
 		n = l.blocks * l.tpb
@@ -164,6 +169,7 @@ func (l *Log) HostClearAll() {
 	sp.WriteCPU(l.tailsBase, zero)
 	sp.PersistRange(l.tailsBase, len(zero))
 	l.ctx.Timeline.Add("log-meta", 5*sim.Microsecond)
+	l.ctx.SpanEnd(telemetry.TrackLog, "log-commit", "log", start)
 }
 
 // HostTail returns a thread's tail (in 4-byte chunks) from the host.

@@ -7,6 +7,7 @@ import (
 
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 // Log kinds.
@@ -60,6 +61,29 @@ type Log struct {
 
 	tailsBase uint64 // per-thread tails (HCL) or per-partition heads (conv)
 	dataBase  uint64
+
+	// Cached log.{hcl,conv}.* counters; nil (no-op) when the owning
+	// Context has no telemetry attached.
+	telInserts     *telemetry.Counter
+	telInsertBytes *telemetry.Counter
+	telRemoves     *telemetry.Counter
+}
+
+// attachTelemetry caches this log's counters from the owning Context's
+// registry, keyed by kind so HCL and conventional traffic stay separable
+// (the Fig 11 comparison).
+func (l *Log) attachTelemetry() {
+	if l.ctx.Tel == nil {
+		return
+	}
+	r := l.ctx.Tel.Registry()
+	kind := "conv"
+	if l.kind == logKindHCL {
+		kind = "hcl"
+	}
+	l.telInserts = r.Counter("log." + kind + ".inserts")
+	l.telInsertBytes = r.Counter("log." + kind + ".insert_bytes")
+	l.telRemoves = r.Counter("log." + kind + ".removes")
 }
 
 func align256(x uint64) uint64 { return (x + 255) / 256 * 256 }
@@ -71,6 +95,7 @@ func (c *Context) LogCreateHCL(path string, size int64, blocks, tpb int) (*Log, 
 	if blocks <= 0 || tpb <= 0 {
 		return nil, fmt.Errorf("gpm: invalid HCL grid %dx%d", blocks, tpb)
 	}
+	start := c.SpanStart()
 	ws := c.Params.WarpSize
 	warpsPerBlock := (tpb + ws - 1) / ws
 	totalThreads := blocks * tpb
@@ -93,6 +118,8 @@ func (c *Context) LogCreateHCL(path string, size int64, blocks, tpb int) (*Log, 
 		dataBase:        m.Addr + overhead,
 	}
 	l.writeHeader()
+	l.attachTelemetry()
+	c.SpanEnd(telemetry.TrackLog, "log-create", "log", start)
 	return l, nil
 }
 
@@ -102,6 +129,7 @@ func (c *Context) LogCreateConv(path string, size int64, nPartitions int) (*Log,
 	if nPartitions <= 0 {
 		return nil, fmt.Errorf("gpm: invalid partition count %d", nPartitions)
 	}
+	start := c.SpanStart()
 	overhead := align256(logHeaderSize + uint64(nPartitions)*4)
 	capBytes := (size - int64(overhead)) / int64(nPartitions) / 4 * 4
 	if capBytes < 4 {
@@ -120,6 +148,8 @@ func (c *Context) LogCreateConv(path string, size int64, nPartitions int) (*Log,
 		dataBase:   m.Addr + overhead,
 	}
 	l.writeHeader()
+	l.attachTelemetry()
+	c.SpanEnd(telemetry.TrackLog, "log-create", "log", start)
 	return l, nil
 }
 
@@ -168,6 +198,7 @@ func (c *Context) LogOpen(path string) (*Log, error) {
 	default:
 		return nil, ErrBadLog
 	}
+	l.attachTelemetry()
 	return l, nil
 }
 
@@ -216,6 +247,8 @@ func (l *Log) convInsert(t *gpu.Thread, data []byte, partition int) error {
 	Persist(t)
 	t.StoreU32(headAddr, head+uint32(len(data)))
 	Persist(t)
+	l.telInserts.Inc()
+	l.telInsertBytes.Add(int64(len(data)))
 	return nil
 }
 
@@ -235,6 +268,7 @@ func (l *Log) convRemove(t *gpu.Thread, n, partition int) error {
 	}
 	t.StoreU32(headAddr, head-uint32(n))
 	Persist(t)
+	l.telRemoves.Inc()
 	return nil
 }
 

@@ -1,0 +1,153 @@
+package gpm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+// exerciseNode runs one small end-to-end sequence touching every traced
+// subsystem: map, persist epoch + kernel, HCL log insert/commit, checkpoint,
+// crash, and restore.
+func exerciseNode(tel *telemetry.Telemetry) *Context {
+	ctx := NewContext(sim.Default(), memsys.Config{HBMSize: 2 << 20, DRAMSize: 2 << 20, PMSize: 8 << 20})
+	if tel != nil {
+		ctx.AttachTelemetry(tel, "exercise/GPM")
+	}
+
+	m, err := ctx.Map("/pm/data", 4096, true)
+	if err != nil {
+		panic(err)
+	}
+	ctx.PersistBegin()
+	ctx.Launch("fill", 1, 32, func(t *gpu.Thread) {
+		t.StoreU32(m.Addr+uint64(t.GlobalID())*4, uint32(t.GlobalID()))
+		Persist(t)
+	})
+	ctx.PersistEnd()
+
+	l, err := ctx.LogCreateHCL("/pm/log", 8192, 1, 32)
+	if err != nil {
+		panic(err)
+	}
+	ctx.Launch("log-insert", 1, 32, func(t *gpu.Thread) {
+		if err := l.Insert(t, []byte{1, 2, 3, 4}, -1); err != nil {
+			panic(err)
+		}
+	})
+	l.HostClearAll()
+
+	cp, err := ctx.CPCreate("/pm/ckpt", 4096, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	buf := ctx.Space.AllocHBM(4096)
+	if err := cp.Register(buf, 4096, 0); err != nil {
+		panic(err)
+	}
+	if _, err := cp.CheckpointGroup(0); err != nil {
+		panic(err)
+	}
+	ctx.Crash()
+	if _, err := cp.RestoreGroup(0); err != nil {
+		panic(err)
+	}
+	return ctx
+}
+
+func TestContextTelemetrySpans(t *testing.T) {
+	tel := telemetry.New()
+	exerciseNode(tel)
+
+	byCat := map[string][]telemetry.Span{}
+	for _, s := range tel.Trace.Spans() {
+		byCat[s.Cat] = append(byCat[s.Cat], s)
+	}
+	for _, cat := range []string{"kernel", "persist", "log", "checkpoint", "map", "recovery", "crash", "cpu"} {
+		if len(byCat[cat]) == 0 {
+			t.Errorf("no spans of category %q recorded", cat)
+		}
+	}
+
+	// Some persist epoch must enclose the fill kernel it brackets (the
+	// checkpoint opens further epochs of its own).
+	var fill *telemetry.Span
+	for i := range byCat["kernel"] {
+		if byCat["kernel"][i].Name == "fill" {
+			fill = &byCat["kernel"][i]
+		}
+	}
+	if fill == nil {
+		t.Fatal("missing fill span")
+	}
+	enclosed := false
+	for _, epoch := range byCat["persist"] {
+		if epoch.Name == "persist-epoch" && fill.Start >= epoch.Start && fill.End() <= epoch.End() {
+			enclosed = true
+		}
+	}
+	if !enclosed {
+		t.Errorf("fill [%d,%d] not nested inside any persist-epoch", fill.Start, fill.End())
+	}
+
+	// The checkpoint span must contain its snapshot and swap phases.
+	var outer, snap, swap *telemetry.Span
+	for i := range byCat["checkpoint"] {
+		s := &byCat["checkpoint"][i]
+		switch s.Name {
+		case "checkpoint":
+			outer = s
+		case "snapshot":
+			snap = s
+		case "swap":
+			swap = s
+		}
+	}
+	if outer == nil || snap == nil || swap == nil {
+		t.Fatalf("missing checkpoint phase spans: outer=%v snap=%v swap=%v", outer, snap, swap)
+	}
+	if snap.Start < outer.Start || swap.End() > outer.End() || snap.End() > swap.Start {
+		t.Error("checkpoint phases not ordered snapshot < swap inside checkpoint")
+	}
+
+	// Metrics: the registry must have mirrored every subsystem.
+	tsv := tel.Metrics.TSV()
+	for _, metric := range []string{
+		"gpu.kernels", "gpm.persist_epochs", "gpm.checkpoints", "gpm.crashes",
+		"log.hcl.inserts", "pmem.write_bytes", "pcie.bytes_up", "llc.",
+	} {
+		if !strings.Contains(tsv, metric) {
+			t.Errorf("metrics TSV missing %q", metric)
+		}
+	}
+	if got := tel.Metrics.Counter("log.hcl.inserts").Value(); got != 32 {
+		t.Errorf("log.hcl.inserts = %d, want 32", got)
+	}
+	if got := tel.Metrics.Counter("gpm.persist_epochs").Value(); got < 1 {
+		t.Errorf("gpm.persist_epochs = %d, want >= 1", got)
+	}
+}
+
+// Telemetry must be an observer: attaching it cannot change simulated time,
+// and two identical runs must export byte-identical traces.
+func TestContextTelemetryDeterministic(t *testing.T) {
+	bare := exerciseNode(nil).Timeline.Total()
+
+	telA := telemetry.New()
+	traced := exerciseNode(telA).Timeline.Total()
+	if bare != traced {
+		t.Errorf("telemetry perturbed simulated time: %v != %v", traced, bare)
+	}
+
+	telB := telemetry.New()
+	exerciseNode(telB)
+	a, b := telA.Trace.ChromeTrace(), telB.Trace.ChromeTrace()
+	if !bytes.Equal(a, b) {
+		t.Error("identical runs exported different traces")
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/gpm-sim/gpm/internal/memsys"
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 // ErrCrashed is the panic value used internally to unwind kernel threads
@@ -44,6 +45,29 @@ type Device struct {
 	abortCheck   func(op int64) bool
 	opCounter    atomic.Int64
 	aborted      atomic.Bool
+
+	// Telemetry sinks; nil (no-op) until AttachTelemetry. They observe the
+	// already-computed kernel results, so attaching them cannot perturb
+	// simulated time (see determinism_test.go).
+	telKernels      *telemetry.Counter
+	telKernelUS     *telemetry.Histogram
+	telPMWriteBytes *telemetry.Counter
+	telPMReadBytes  *telemetry.Counter
+	telHostBytes    *telemetry.Counter
+	telHBMBytes     *telemetry.Counter
+	telFences       *telemetry.Counter
+}
+
+// AttachTelemetry mirrors per-kernel aggregate traffic into the registry
+// under the gpu.* namespace. Passing a nil registry detaches.
+func (d *Device) AttachTelemetry(r *telemetry.Registry) {
+	d.telKernels = r.Counter("gpu.kernels")
+	d.telKernelUS = r.Histogram("gpu.kernel_us", telemetry.LatencyBucketsUS)
+	d.telPMWriteBytes = r.Counter("gpu.pm_write_bytes")
+	d.telPMReadBytes = r.Counter("gpu.pm_read_bytes")
+	d.telHostBytes = r.Counter("gpu.host_bytes")
+	d.telHBMBytes = r.Counter("gpu.hbm_bytes")
+	d.telFences = r.Counter("gpu.fences")
 }
 
 // New returns a device over the given space.
@@ -175,6 +199,14 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, kern func(*Thr
 	d.Space.Link.RecordUp(res.Stats.PMWriteBytes+res.Stats.HostWriteBytes,
 		res.Stats.PMWriteTxns+res.Stats.HostTxns)
 	d.Space.Link.RecordDown(res.Stats.PMReadBytes+res.Stats.HostReadBytes, res.Stats.PMReadTxns)
+
+	d.telKernels.Inc()
+	d.telKernelUS.ObserveMicros(res.Elapsed)
+	d.telPMWriteBytes.Add(res.Stats.PMWriteBytes)
+	d.telPMReadBytes.Add(res.Stats.PMReadBytes)
+	d.telHostBytes.Add(res.Stats.HostWriteBytes + res.Stats.HostReadBytes)
+	d.telHBMBytes.Add(res.Stats.HBMBytes)
+	d.telFences.Add(res.Stats.Fences)
 	return res
 }
 

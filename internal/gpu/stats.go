@@ -25,9 +25,29 @@ type Stats struct {
 
 	// Serial is simulated time spent serialized on named software
 	// resources (e.g. conventional-log partition locks), keyed by name.
+	//
+	// Ownership: Launch returns a Stats whose Serial map is freshly
+	// allocated and owned by the caller, but Go's value-copy semantics
+	// still alias it — `b := a` shares a.Serial. Use Clone for an
+	// independent copy before mutating or retaining a Stats that others
+	// may also hold.
 	Serial map[string]sim.Duration
 
 	pmPattern sim.AccessSnapshot
+}
+
+// Clone returns a deep copy of s: the Serial map is duplicated so mutating
+// the clone (or the original) cannot affect the other. All other fields are
+// plain values and copy by assignment.
+func (s *Stats) Clone() Stats {
+	out := *s
+	if s.Serial != nil {
+		out.Serial = make(map[string]sim.Duration, len(s.Serial))
+		for name, d := range s.Serial {
+			out.Serial[name] = d
+		}
+	}
+	return out
 }
 
 // kernelStats is the mutable accumulator shared by a kernel's blocks.

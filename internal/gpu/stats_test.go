@@ -1,0 +1,76 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+// A plain value copy of Stats aliases the Serial map; Clone must not.
+func TestStatsCloneIndependence(t *testing.T) {
+	orig := Stats{
+		PMWriteBytes: 128,
+		Serial:       map[string]sim.Duration{"lock": sim.Microsecond},
+	}
+
+	aliased := orig // the footgun Clone exists for
+	aliased.Serial["lock"] = 2 * sim.Microsecond
+	if orig.Serial["lock"] != 2*sim.Microsecond {
+		t.Fatal("expected value copy to alias the Serial map (documented behavior)")
+	}
+
+	clone := orig.Clone()
+	clone.Serial["lock"] = 9 * sim.Microsecond
+	clone.Serial["extra"] = sim.Nanosecond
+	if orig.Serial["lock"] != 2*sim.Microsecond {
+		t.Errorf("mutating clone changed original: %v", orig.Serial)
+	}
+	if _, ok := orig.Serial["extra"]; ok {
+		t.Error("new key in clone leaked into original")
+	}
+	if clone.PMWriteBytes != orig.PMWriteBytes {
+		t.Error("scalar fields not copied")
+	}
+
+	var empty Stats
+	if c := empty.Clone(); c.Serial != nil {
+		t.Error("clone of nil Serial should stay nil")
+	}
+}
+
+// Attaching telemetry must not change simulated time: the tracer and
+// counters observe results, they never advance clocks.
+func TestTelemetryDoesNotPerturbElapsed(t *testing.T) {
+	run := func(r *telemetry.Registry) sim.Duration {
+		sp := memsys.New(sim.Default(), memsys.Config{HBMSize: 2 << 20, DRAMSize: 1 << 20, PMSize: 4 << 20})
+		d := New(sp)
+		d.AttachTelemetry(r)
+		sp.SetDDIOOff(true)
+		pm := sp.AllocPM(1<<20, 0)
+		res := d.Launch("det", 4, 128, func(th *Thread) {
+			th.StoreU32(pm+uint64(th.GlobalID())*4, uint32(th.GlobalID()))
+			if th.GlobalID()%8 == 0 {
+				th.FenceSystem()
+			}
+		})
+		return res.Elapsed
+	}
+
+	bare := run(nil)
+	reg := telemetry.NewRegistry()
+	instrumented := run(reg)
+	if bare != instrumented {
+		t.Errorf("telemetry changed elapsed time: %v != %v", instrumented, bare)
+	}
+	if got := reg.Counter("gpu.kernels").Value(); got != 1 {
+		t.Errorf("gpu.kernels = %d, want 1", got)
+	}
+	if reg.Counter("gpu.pm_write_bytes").Value() == 0 {
+		t.Error("gpu.pm_write_bytes not recorded")
+	}
+	if reg.Histogram("gpu.kernel_us", telemetry.LatencyBucketsUS).Count() != 1 {
+		t.Error("gpu.kernel_us histogram not recorded")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/gpm-sim/gpm/internal/pcie"
 	"github.com/gpm-sim/gpm/internal/pmem"
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 // Region bases in the unified virtual address space. Address 0 is reserved
@@ -108,6 +109,14 @@ func New(params *sim.Params, cfg Config) *Space {
 	s.hbm.data = make([]byte, cfg.HBMSize)
 	s.dram.data = make([]byte, cfg.DRAMSize)
 	return s
+}
+
+// AttachTelemetry mirrors the PM device, LLC, and PCIe link counters into
+// the registry (pmem.*, llc.*, pcie.*). Passing nil detaches all three.
+func (s *Space) AttachTelemetry(r *telemetry.Registry) {
+	s.PM.AttachTelemetry(r)
+	s.LLC.AttachTelemetry(r)
+	s.Link.AttachTelemetry(r)
 }
 
 // KindOf classifies a virtual address.

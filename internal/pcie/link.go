@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 // Link models the shared GPU<->host interconnect.
@@ -21,6 +22,21 @@ type Link struct {
 	bytesUp   int64 // device -> host (writes to system memory)
 	bytesDown int64 // host -> device
 	txns      int64
+
+	// Telemetry mirrors; nil (no-op) until AttachTelemetry.
+	telBytesUp   *telemetry.Counter
+	telBytesDown *telemetry.Counter
+	telTxns      *telemetry.Counter
+	telDMAs      *telemetry.Counter
+}
+
+// AttachTelemetry mirrors link traffic into the registry under the pcie.*
+// namespace. Passing a nil registry detaches.
+func (l *Link) AttachTelemetry(r *telemetry.Registry) {
+	l.telBytesUp = r.Counter("pcie.bytes_up")
+	l.telBytesDown = r.Counter("pcie.bytes_down")
+	l.telTxns = r.Counter("pcie.txns")
+	l.telDMAs = r.Counter("pcie.dma_transfers")
 }
 
 // NewLink returns a link model using the bandwidth/latency in params.
@@ -35,6 +51,8 @@ func (l *Link) RecordUp(bytes, txns int64) {
 	l.bytesUp += bytes
 	l.txns += txns
 	l.mu.Unlock()
+	l.telBytesUp.Add(bytes)
+	l.telTxns.Add(txns)
 }
 
 // RecordDown accounts bytes moving from host memory toward the GPU.
@@ -43,6 +61,8 @@ func (l *Link) RecordDown(bytes, txns int64) {
 	l.bytesDown += bytes
 	l.txns += txns
 	l.mu.Unlock()
+	l.telBytesDown.Add(bytes)
+	l.telTxns.Add(txns)
 }
 
 // BytesUp returns total device->host bytes recorded.
@@ -104,6 +124,7 @@ func (d *DMA) TransferUp(n int64) sim.Duration {
 		return 0
 	}
 	d.link.RecordUp(n, n/int64(d.link.params.CoalesceBytes)+1)
+	d.link.telDMAs.Inc()
 	return d.link.params.DMAInit + d.link.TransferTime(n)
 }
 
@@ -114,5 +135,6 @@ func (d *DMA) TransferDown(n int64) sim.Duration {
 		return 0
 	}
 	d.link.RecordDown(n, n/int64(d.link.params.CoalesceBytes)+1)
+	d.link.telDMAs.Inc()
 	return d.link.params.DMAInit + d.link.TransferTime(n)
 }

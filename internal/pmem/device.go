@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 )
 
 const shardCount = 64
@@ -39,6 +40,22 @@ type Device struct {
 		bytesPersisted int64
 		linesPersisted int64
 	}
+
+	// Telemetry mirrors of the counters above; nil (no-op) until
+	// AttachTelemetry is called.
+	telWriteBytes   *telemetry.Counter
+	telWriteTxns    *telemetry.Counter
+	telPersistBytes *telemetry.Counter
+	telPersistLines *telemetry.Counter
+}
+
+// AttachTelemetry mirrors the device's write/persist counters into the
+// registry under the pmem.* namespace. Passing a nil registry detaches.
+func (d *Device) AttachTelemetry(r *telemetry.Registry) {
+	d.telWriteBytes = r.Counter("pmem.write_bytes")
+	d.telWriteTxns = r.Counter("pmem.write_txns")
+	d.telPersistBytes = r.Counter("pmem.persist_bytes")
+	d.telPersistLines = r.Counter("pmem.persist_lines")
 }
 
 type shard struct {
@@ -125,6 +142,8 @@ func (d *Device) Write(addr uint64, p []byte) []uint64 {
 	d.metrics.mu.Lock()
 	d.metrics.bytesWritten += int64(len(p))
 	d.metrics.mu.Unlock()
+	d.telWriteBytes.Add(int64(len(p)))
+	d.telWriteTxns.Inc()
 	return lines
 }
 
@@ -152,6 +171,8 @@ func (d *Device) PersistLine(lineAddr uint64) {
 		d.metrics.bytesPersisted += int64(d.line)
 		d.metrics.linesPersisted++
 		d.metrics.mu.Unlock()
+		d.telPersistBytes.Add(int64(d.line))
+		d.telPersistLines.Inc()
 	}
 }
 
@@ -188,6 +209,8 @@ func (d *Device) PersistAll() {
 			d.metrics.bytesPersisted += int64(n) * int64(d.line)
 			d.metrics.linesPersisted += int64(n)
 			d.metrics.mu.Unlock()
+			d.telPersistBytes.Add(int64(n) * int64(d.line))
+			d.telPersistLines.Add(int64(n))
 		}
 	}
 }

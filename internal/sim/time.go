@@ -40,14 +40,26 @@ func (d Duration) Microseconds() float64 { return float64(d) / float64(Microseco
 // Milliseconds returns the duration as a floating-point number of ms.
 func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
 
-func (d Duration) String() string {
+func (d Duration) String() string { return d.Format(3) }
+
+// Format renders the duration with an auto-scaled unit (ns, µs, ms, or s)
+// and prec fractional digits. Negative durations keep their sign; the unit
+// is chosen from the magnitude.
+func (d Duration) Format(prec int) string {
+	if prec < 0 {
+		prec = 0
+	}
+	mag := d
+	if mag < 0 {
+		mag = -mag
+	}
 	switch {
-	case d >= Second:
-		return fmt.Sprintf("%.3fs", d.Seconds())
-	case d >= Millisecond:
-		return fmt.Sprintf("%.3fms", d.Milliseconds())
-	case d >= Microsecond:
-		return fmt.Sprintf("%.3fµs", d.Microseconds())
+	case mag >= Second:
+		return fmt.Sprintf("%.*fs", prec, d.Seconds())
+	case mag >= Millisecond:
+		return fmt.Sprintf("%.*fms", prec, d.Milliseconds())
+	case mag >= Microsecond:
+		return fmt.Sprintf("%.*fµs", prec, d.Microseconds())
 	default:
 		return fmt.Sprintf("%dns", int64(d))
 	}

@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+func TestDurationFormat(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		prec int
+		want string
+	}{
+		{500 * Nanosecond, 3, "500ns"},
+		{0, 3, "0ns"},
+		{Microsecond, 0, "1µs"},
+		{1500 * Nanosecond, 1, "1.5µs"},
+		{2500 * Microsecond, 2, "2.50ms"},
+		{3 * Second, 1, "3.0s"},
+		{-1500 * Nanosecond, 1, "-1.5µs"},
+		{1500 * Nanosecond, -1, "2µs"}, // negative precision clamps to 0
+	}
+	for _, c := range cases {
+		if got := c.d.Format(c.prec); got != c.want {
+			t.Errorf("Format(%d ns, %d) = %q, want %q", int64(c.d), c.prec, got, c.want)
+		}
+	}
+	if got := (1500 * Microsecond).String(); got != "1.500ms" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// chromeEvent is one Chrome trace-event "complete" ("X") event. ts and dur
+// are microseconds (the trace-event convention); fractional values carry
+// sub-µs simulated precision.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Cat  string  `json:"cat,omitempty"`
+}
+
+// sortedSpans returns the spans ordered by (PID, Start, TID, Name, Dur) so
+// exports are byte-stable regardless of recording interleaving.
+func (t *Tracer) sortedSpans() []Span {
+	spans := t.Spans()
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Dur < b.Dur
+	})
+	return spans
+}
+
+// ChromeTrace renders every span as a JSON array of Chrome trace-event
+// complete events, loadable in chrome://tracing or Perfetto. One line per
+// event keeps diffs and golden files readable.
+func (t *Tracer) ChromeTrace() []byte {
+	spans := t.sortedSpans()
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   s.Start.Microseconds(),
+			Dur:  s.Dur.Microseconds(),
+			Pid:  s.PID,
+			Tid:  s.TID,
+			Cat:  s.Cat,
+		}
+		enc, err := json.Marshal(ev)
+		if err != nil {
+			continue // unreachable: chromeEvent has no unmarshalable fields
+		}
+		b.Write(enc)
+		if i != len(spans)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("]\n")
+	return []byte(b.String())
+}
+
+// BreakdownRow aggregates span time for one (process, category) pair — the
+// Figure-12-style attribution view: where does each run's simulated time
+// go? Pct is Total relative to the process's trace extent; categories can
+// nest (a checkpoint span encloses its snapshot kernel), so percentages
+// are attributions, not a partition.
+type BreakdownRow struct {
+	Process string
+	Cat     string
+	Count   int
+	Total   sim.Duration
+	Pct     float64
+}
+
+// Breakdown aggregates spans into per-(process, category) totals, sorted
+// by process then descending total.
+func (t *Tracer) Breakdown() []BreakdownRow {
+	if t == nil {
+		return nil
+	}
+	spans := t.sortedSpans()
+	type key struct {
+		pid int
+		cat string
+	}
+	agg := make(map[key]*BreakdownRow)
+	wall := make(map[int]sim.Duration)
+	var order []key
+	for _, s := range spans {
+		k := key{s.PID, s.Cat}
+		r, ok := agg[k]
+		if !ok {
+			r = &BreakdownRow{Process: t.ProcessLabel(s.PID), Cat: s.Cat}
+			agg[k] = r
+			order = append(order, k)
+		}
+		r.Count++
+		r.Total += s.Dur
+		if e := s.End(); e > wall[s.PID] {
+			wall[s.PID] = e
+		}
+	}
+	rows := make([]BreakdownRow, 0, len(order))
+	for _, k := range order {
+		r := *agg[k]
+		if w := wall[k.pid]; w > 0 {
+			r.Pct = float64(r.Total) / float64(w) * 100
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Process != rows[j].Process {
+			return rows[i].Process < rows[j].Process
+		}
+		return rows[i].Total > rows[j].Total
+	})
+	return rows
+}
+
+// BreakdownTSV renders Breakdown as a reports/-style TSV.
+func (t *Tracer) BreakdownTSV() string {
+	var b strings.Builder
+	b.WriteString("process\tcategory\tspans\ttotal_us\tpct\n")
+	for _, r := range t.Breakdown() {
+		fmt.Fprintf(&b, "%s\t%s\t%d\t%.3f\t%.1f\n",
+			r.Process, r.Cat, r.Count, r.Total.Microseconds(), r.Pct)
+	}
+	return b.String()
+}
+
+// Telemetry bundles the two halves of the observability layer so a single
+// handle can be threaded through configuration.
+type Telemetry struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// New returns a Telemetry with an empty registry and tracer.
+func New() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// Registry returns t.Metrics, tolerating a nil t (the no-op default).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics
+}
+
+// Tracer returns t.Trace, tolerating a nil t (the no-op default).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Trace
+}

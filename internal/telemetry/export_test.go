@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+func goldenTracer() *Tracer {
+	tr := NewTracer()
+	pid := tr.NewProcess("quickstart/GPM")
+	tr.Record(Span{Name: "persist-epoch", Cat: "persist", PID: pid, TID: TrackPersist,
+		Start: 0, Dur: 20 * sim.Microsecond})
+	tr.Record(Span{Name: "fill", Cat: "kernel", PID: pid, TID: TrackKernel,
+		Start: 0, Dur: 12500 * sim.Nanosecond})
+	tr.Record(Span{Name: "log-create", Cat: "log", PID: pid, TID: TrackLog,
+		Start: 30250 * sim.Nanosecond, Dur: 3 * sim.Microsecond})
+	tr.Record(Span{Name: "checkpoint", Cat: "checkpoint", PID: pid, TID: TrackCheckpoint,
+		Start: 40 * sim.Microsecond, Dur: 100125 * sim.Nanosecond})
+	return tr
+}
+
+// The Chrome trace exporter is byte-stable: same spans, same bytes. The
+// golden file also documents the wire format for readers.
+func TestChromeTraceGolden(t *testing.T) {
+	got := goldenTracer().ChromeTrace()
+	goldenPath := filepath.Join("testdata", "chrome_trace.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("trace differs from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Every exported event must be a valid trace-event object: a complete "X"
+// event carrying name/ph/ts/dur/pid/tid, with ts/dur in microseconds.
+func TestChromeTraceShape(t *testing.T) {
+	var events []map[string]any
+	if err := json.Unmarshal(goldenTracer().ChromeTrace(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("want 4 events, got %d", len(events))
+	}
+	for _, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event %v missing %q", ev, key)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Errorf("event %v is not a complete event", ev)
+		}
+	}
+	// Events are start-sorted; both ts=0 events appear before later ones.
+	if events[0]["name"] != "fill" || events[1]["name"] != "persist-epoch" {
+		t.Errorf("events not sorted by (start, tid): %v, %v", events[0]["name"], events[1]["name"])
+	}
+	if ts := events[2]["ts"].(float64); ts != 30.25 {
+		t.Errorf("ts not in microseconds: %v", ts)
+	}
+}
+
+func TestBreakdownTSV(t *testing.T) {
+	tsv := goldenTracer().BreakdownTSV()
+	if !strings.HasPrefix(tsv, "process\tcategory\tspans\ttotal_us\tpct\n") {
+		t.Errorf("missing header:\n%s", tsv)
+	}
+	for _, cat := range []string{"kernel", "persist", "log", "checkpoint"} {
+		if !strings.Contains(tsv, "quickstart/GPM\t"+cat+"\t") {
+			t.Errorf("missing %s row:\n%s", cat, tsv)
+		}
+	}
+	var empty *Tracer
+	if empty.BreakdownTSV() != "process\tcategory\tspans\ttotal_us\tpct\n" {
+		t.Error("nil tracer breakdown must be header-only")
+	}
+}

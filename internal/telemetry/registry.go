@@ -1,0 +1,282 @@
+// Package telemetry is the unified observability layer of gpm-go: a
+// cross-subsystem metrics registry (counters, gauges, fixed-bucket
+// histograms) and a span tracer keyed on *simulated* nanoseconds, with
+// exporters for Chrome trace-event JSON, a flat metrics TSV, and a
+// per-category time breakdown.
+//
+// Everything is stdlib-only and deterministic: the tracer never consults
+// wall-clock time, so attaching telemetry cannot perturb a run's simulated
+// duration (the property internal/gpu/determinism_test.go enforces).
+//
+// Nil-safety is the contract that keeps untelemetered runs near zero-cost:
+// every method on a nil *Registry, *Tracer, *Counter, *Gauge, or
+// *Histogram is a no-op, so instrumentation sites hold plain (possibly
+// nil) pointers and never branch on an "enabled" flag.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Counter is a monotonically increasing metric. Safe for concurrent use
+// (GPU threads increment counters from kernel goroutines).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric (e.g. LLC resident lines).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// InfBucket is the upper bound of a histogram's overflow bucket.
+const InfBucket = int64(math.MaxInt64)
+
+// Histogram bins observations into fixed buckets: observation v lands in
+// the first bucket whose upper bound satisfies v <= bound (Prometheus "le"
+// semantics); values above every bound land in the +Inf overflow bucket.
+type Histogram struct {
+	bounds []int64        // sorted ascending, exclusive of +Inf
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+}
+
+// NewHistogram returns a histogram with the given ascending upper bounds.
+// It is normally obtained from a Registry; the constructor is exported for
+// tests and ad-hoc use.
+func NewHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveMicros records a simulated duration in whole microseconds, the
+// unit convention for the *_us latency histograms.
+func (h *Histogram) ObserveMicros(d sim.Duration) {
+	h.Observe(int64(d / sim.Microsecond))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket is one histogram bin: the count of observations v with
+// prevBound < v <= Le (Le == InfBucket for the overflow bin).
+type Bucket struct {
+	Le    int64
+	Count int64
+}
+
+// Buckets returns a snapshot of the bins in ascending bound order,
+// overflow last.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]Bucket, len(h.counts))
+	for i := range h.bounds {
+		out[i] = Bucket{Le: h.bounds[i], Count: h.counts[i].Load()}
+	}
+	out[len(h.bounds)] = Bucket{Le: InfBucket, Count: h.counts[len(h.bounds)].Load()}
+	return out
+}
+
+// LatencyBucketsUS is the default bound set for *_us latency histograms:
+// a 1-2-5 ladder from 1 µs to 1 s.
+var LatencyBucketsUS = []int64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000, 1_000_000,
+}
+
+// Registry names and owns metrics. Lookups intern by name: asking twice
+// for the same name returns the same metric, so subsystems attached to the
+// same registry share counters across Context instances.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls reuse the existing bounds). A nil registry
+// returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// TSV renders every metric as tab-separated "metric\ttype\tvalue" rows
+// (the reports/ format), sorted by metric name so output is deterministic.
+// Histograms expand to one row per bucket plus sum and count rows.
+func (r *Registry) TSV() string {
+	var b strings.Builder
+	b.WriteString("metric\ttype\tvalue\n")
+	if r == nil {
+		return b.String()
+	}
+	r.mu.Lock()
+	type row struct{ name, typ, val string }
+	rows := make([]row, 0, len(r.counters)+len(r.gauges)+len(r.hists)*8)
+	for name, c := range r.counters {
+		rows = append(rows, row{name, "counter", fmt.Sprintf("%d", c.Value())})
+	}
+	for name, g := range r.gauges {
+		rows = append(rows, row{name, "gauge", fmt.Sprintf("%d", g.Value())})
+	}
+	for name, h := range r.hists {
+		for _, bk := range h.Buckets() {
+			le := "+Inf"
+			if bk.Le != InfBucket {
+				le = fmt.Sprintf("%d", bk.Le)
+			}
+			rows = append(rows, row{fmt.Sprintf("%s[le=%s]", name, le), "histogram", fmt.Sprintf("%d", bk.Count)})
+		}
+		rows = append(rows, row{name + "[sum]", "histogram", fmt.Sprintf("%d", h.Sum())})
+		rows = append(rows, row{name + "[count]", "histogram", fmt.Sprintf("%d", h.Count())})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].name != rows[j].name {
+			return rows[i].name < rows[j].name
+		}
+		return rows[i].val < rows[j].val
+	})
+	for _, rw := range rows {
+		b.WriteString(rw.name)
+		b.WriteByte('\t')
+		b.WriteString(rw.typ)
+		b.WriteByte('\t')
+		b.WriteString(rw.val)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

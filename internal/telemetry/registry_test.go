@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Bucket edges follow "le" semantics: a value equal to a bound lands in
+// that bound's bucket, one past it lands in the next.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]int64{10, 20})
+	for _, v := range []int64{0, 9, 10, 11, 20, 21, 1 << 40} {
+		h.Observe(v)
+	}
+	bks := h.Buckets()
+	if len(bks) != 3 {
+		t.Fatalf("want 3 buckets, got %d", len(bks))
+	}
+	want := []struct {
+		le    int64
+		count int64
+	}{{10, 3}, {20, 2}, {InfBucket, 2}}
+	for i, w := range want {
+		if bks[i].Le != w.le || bks[i].Count != w.count {
+			t.Errorf("bucket %d: got {le=%d n=%d}, want {le=%d n=%d}",
+				i, bks[i].Le, bks[i].Count, w.le, w.count)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 0+9+10+11+20+21+(1<<40) {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+}
+
+func TestHistogramObserveMicros(t *testing.T) {
+	h := NewHistogram([]int64{1, 100})
+	h.ObserveMicros(500 * sim.Nanosecond)  // 0 µs -> le=1
+	h.ObserveMicros(99 * sim.Microsecond)  // le=100
+	h.ObserveMicros(2 * sim.Millisecond)   // overflow
+	bks := h.Buckets()
+	if bks[0].Count != 1 || bks[1].Count != 1 || bks[2].Count != 1 {
+		t.Errorf("bucket counts = %+v", bks)
+	}
+}
+
+// Concurrent increments from many goroutines must not lose counts (run
+// under -race to catch data races).
+func TestConcurrentCounterIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat", LatencyBucketsUS)
+			g := r.Gauge("g")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(int64(i % 50))
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g").Value(); got != workers*per {
+		t.Errorf("gauge = %d, want %d", got, workers*per)
+	}
+}
+
+// Every metric operation on the nil default must be a safe no-op — this is
+// the contract that lets instrumentation sites skip enabled-checks.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter must read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge must read 0")
+	}
+	h := r.Histogram("z", []int64{1})
+	h.Observe(1)
+	h.ObserveMicros(sim.Millisecond)
+	if h.Count() != 0 || h.Sum() != 0 || h.Buckets() != nil {
+		t.Error("nil histogram must be empty")
+	}
+	if !strings.HasPrefix(r.TSV(), "metric\ttype\tvalue\n") {
+		t.Error("nil registry TSV must still emit the header")
+	}
+
+	var tr *Tracer
+	tr.Record(Span{Name: "s"})
+	if tr.Len() != 0 || tr.Spans() != nil || tr.NewProcess("p") != 0 {
+		t.Error("nil tracer must be inert")
+	}
+	var tel *Telemetry
+	if tel.Registry() != nil || tel.Tracer() != nil {
+		t.Error("nil telemetry accessors must return nil")
+	}
+}
+
+// Lookups intern: the same name always resolves to the same metric.
+func TestRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("counter not interned")
+	}
+	if r.Histogram("h", []int64{1, 2}) != r.Histogram("h", []int64{9}) {
+		t.Error("histogram not interned")
+	}
+	r.Counter("a").Add(2)
+	tsv := r.TSV()
+	if !strings.Contains(tsv, "a\tcounter\t2\n") {
+		t.Errorf("TSV missing counter row:\n%s", tsv)
+	}
+	if !strings.Contains(tsv, "h[count]\thistogram\t0\n") {
+		t.Errorf("TSV missing histogram count row:\n%s", tsv)
+	}
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"sync"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Track identifiers group spans into Chrome-trace threads (tid) by
+// subsystem, so a Perfetto view shows one lane per component.
+const (
+	TrackKernel     = 1 // GPU kernel launches
+	TrackCPU        = 2 // host CPU phases
+	TrackPersist    = 3 // gpm_persist_begin/end epochs
+	TrackLog        = 4 // HCL / conventional log lifecycle
+	TrackCheckpoint = 5 // gpmcp checkpoint phases (snapshot/swap)
+	TrackPCIe       = 6 // DMA transfers over the link
+	TrackMap        = 7 // gpm_map / gpm_unmap
+	TrackRecovery   = 8 // crash, restore, replay
+)
+
+// TrackName returns the human-readable lane name for a track id.
+func TrackName(tid int) string {
+	switch tid {
+	case TrackKernel:
+		return "kernel"
+	case TrackCPU:
+		return "cpu"
+	case TrackPersist:
+		return "persist"
+	case TrackLog:
+		return "log"
+	case TrackCheckpoint:
+		return "checkpoint"
+	case TrackPCIe:
+		return "pcie"
+	case TrackMap:
+		return "map"
+	case TrackRecovery:
+		return "recovery"
+	default:
+		return "other"
+	}
+}
+
+// Span is one closed interval of *simulated* time. Start and Dur are
+// simulated nanoseconds relative to the owning context's time zero —
+// wall-clock time never appears, which is what keeps tracing deterministic.
+type Span struct {
+	Name  string       // e.g. the kernel segment, "persist-epoch", "checkpoint"
+	Cat   string       // category: kernel, cpu, persist, log, checkpoint, pcie, map, recovery, crash
+	PID   int          // process id: one per traced Context (see NewProcess)
+	TID   int          // track id: one of the Track* constants
+	Start sim.Duration // simulated-ns offset of the span's start
+	Dur   sim.Duration // simulated length (0 for instant events such as crash)
+}
+
+// End returns the span's end offset.
+func (s Span) End() sim.Duration { return s.Start + s.Dur }
+
+// Tracer collects spans from any number of contexts. It is safe for
+// concurrent use; recording order does not matter because exporters sort.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+	procs []string // index = pid-1
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// NewProcess registers a trace process (one simulated node / workload run)
+// and returns its pid, starting at 1. A nil tracer returns 0.
+func (t *Tracer) NewProcess(label string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procs = append(t.procs, label)
+	return len(t.procs)
+}
+
+// ProcessLabel returns the label passed to NewProcess for pid, or "".
+func (t *Tracer) ProcessLabel(pid int) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pid >= 1 && pid <= len(t.procs) {
+		return t.procs[pid-1]
+	}
+	return ""
+}
+
+// Record appends one span. No-op on a nil receiver. Negative durations are
+// clamped to zero so a malformed caller cannot produce a backwards span.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	if s.Dur < 0 {
+		s.Dur = 0
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of all recorded spans in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// SimTotal returns the sum over processes of each process's latest span
+// end — the total simulated time the trace covers.
+func (t *Tracer) SimTotal() sim.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	wall := make(map[int]sim.Duration)
+	for _, s := range t.spans {
+		if e := s.End(); e > wall[s.PID] {
+			wall[s.PID] = e
+		}
+	}
+	var total sim.Duration
+	for _, w := range wall {
+		total += w
+	}
+	return total
+}

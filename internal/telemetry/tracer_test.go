@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// Spans nest by simulated time: an inner span recorded inside an outer one
+// must stay inside it, and the exporter's sort must order by start time.
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.NewProcess("run")
+	outer := Span{Name: "checkpoint", Cat: "checkpoint", PID: pid, TID: TrackCheckpoint,
+		Start: 100 * sim.Microsecond, Dur: 50 * sim.Microsecond}
+	inner := Span{Name: "snapshot", Cat: "checkpoint", PID: pid, TID: TrackCheckpoint,
+		Start: 110 * sim.Microsecond, Dur: 20 * sim.Microsecond}
+	// Record out of order on purpose: exporters sort by start.
+	tr.Record(inner)
+	tr.Record(outer)
+
+	spans := tr.sortedSpans()
+	if len(spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(spans))
+	}
+	if spans[0].Name != "checkpoint" || spans[1].Name != "snapshot" {
+		t.Errorf("sort order wrong: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if inner.Start < outer.Start || inner.End() > outer.End() {
+		t.Error("inner span escapes outer span")
+	}
+	if tr.SimTotal() != outer.End() {
+		t.Errorf("SimTotal = %v, want %v", tr.SimTotal(), outer.End())
+	}
+}
+
+func TestTracerProcessesAndClamping(t *testing.T) {
+	tr := NewTracer()
+	p1 := tr.NewProcess("gpKVS/GPM")
+	p2 := tr.NewProcess("gpDB/GPM")
+	if p1 != 1 || p2 != 2 {
+		t.Fatalf("pids = %d, %d", p1, p2)
+	}
+	if tr.ProcessLabel(p2) != "gpDB/GPM" || tr.ProcessLabel(99) != "" {
+		t.Error("process labels wrong")
+	}
+	tr.Record(Span{Name: "bad", PID: p1, Start: 10, Dur: -5})
+	if got := tr.Spans()[0].Dur; got != 0 {
+		t.Errorf("negative duration not clamped: %v", got)
+	}
+}
+
+func TestBreakdownAggregation(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.NewProcess("w")
+	tr.Record(Span{Name: "k1", Cat: "kernel", PID: pid, TID: TrackKernel, Start: 0, Dur: 60})
+	tr.Record(Span{Name: "k2", Cat: "kernel", PID: pid, TID: TrackKernel, Start: 60, Dur: 20})
+	tr.Record(Span{Name: "e", Cat: "persist", PID: pid, TID: TrackPersist, Start: 80, Dur: 20})
+	rows := tr.Breakdown()
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	// Sorted by descending total: kernel (80ns) first.
+	if rows[0].Cat != "kernel" || rows[0].Count != 2 || rows[0].Total != 80 {
+		t.Errorf("kernel row = %+v", rows[0])
+	}
+	if rows[0].Pct != 80.0 || rows[1].Pct != 20.0 {
+		t.Errorf("pcts = %.1f, %.1f", rows[0].Pct, rows[1].Pct)
+	}
+	if rows[0].Process != "w" {
+		t.Errorf("process label = %q", rows[0].Process)
+	}
+}
+
+func TestTrackNames(t *testing.T) {
+	for tid := TrackKernel; tid <= TrackRecovery; tid++ {
+		if TrackName(tid) == "other" {
+			t.Errorf("track %d has no name", tid)
+		}
+	}
+	if TrackName(0) != "other" {
+		t.Error("unknown track must map to other")
+	}
+}

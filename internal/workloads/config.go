@@ -1,11 +1,18 @@
 package workloads
 
+import "github.com/gpm-sim/gpm/internal/telemetry"
+
 // Config holds the scaled workload sizes. The paper's inputs are GB-scale
 // (Table 1); these defaults shrink them ~64× so the whole suite runs in
 // seconds of wall-clock time while keeping every ratio
 // bandwidth/latency-model driven (DESIGN.md §5).
 type Config struct {
 	Seed uint64
+
+	// Telemetry, when non-nil, receives spans and metrics from every run
+	// started through RunOne/RunWithCrash. Each run gets its own trace
+	// process lane named "workload/mode"; metrics aggregate across runs.
+	Telemetry *telemetry.Telemetry
 	// CAPThreads is the CPU thread count for CAP-mm persist phases (the
 	// paper uses the best of 2–32 per application).
 	CAPThreads int

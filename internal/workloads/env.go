@@ -167,6 +167,9 @@ func RunOne(w Workload, mode Mode, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("workloads: %s does not support %s", w.Name(), mode)
 	}
 	env := NewEnv(mode, cfg)
+	if cfg.Telemetry != nil {
+		env.Ctx.AttachTelemetry(cfg.Telemetry, w.Name()+"/"+mode.String())
+	}
 	if err := w.Setup(env); err != nil {
 		return nil, fmt.Errorf("%s/%s setup: %w", w.Name(), mode, err)
 	}
@@ -222,6 +225,9 @@ func RunWithCrash(w Crasher, mode Mode, cfg Config, abortAfterOps int64) (*Repor
 		return nil, fmt.Errorf("workloads: %s does not support %s", w.Name(), mode)
 	}
 	env := NewEnv(mode, cfg)
+	if cfg.Telemetry != nil {
+		env.Ctx.AttachTelemetry(cfg.Telemetry, w.Name()+"/"+mode.String()+"/crash")
+	}
 	if err := w.Setup(env); err != nil {
 		return nil, fmt.Errorf("%s setup: %w", w.Name(), err)
 	}
