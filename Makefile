@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check figures quick-figures clean
+.PHONY: build test race vet check recover-smoke figures quick-figures clean
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,22 @@ build:
 test:
 	$(GO) test ./...
 
+# The race detector is ~10x slower and CI runners can be single-core, so
+# give the heavier packages explicit headroom over go test's 10m default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 25m ./...
 
 vet:
 	$(GO) vet ./...
 
 # check is the tier-1 gate: everything CI runs.
-check: vet race
+check: vet race recover-smoke
 	$(GO) build ./...
+
+# Deterministic crash-campaign smoke: every recoverable workload, all four
+# fault models, swept crash points, one nested re-crash per recovery.
+recover-smoke:
+	$(GO) run ./cmd/gpmrecover -quick -sweep -maxpoints 2 -recrash-depth 1
 
 # Regenerate every paper figure/table into reports/.
 figures:

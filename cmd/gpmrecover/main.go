@@ -1,29 +1,55 @@
 // Command gpmrecover is the crash-injection stress tool (§6.2, the NVBitFI
-// analog): it runs each recoverable GPMbench workload repeatedly, aborting
-// the GPU at random points mid-execution, simulating a power failure,
-// running the workload's recovery procedure, and verifying that the
-// recovered state is byte-correct.
+// analog) grown into a recovery auditor: it aborts the GPU mid-execution,
+// simulates the power failure under an adversarial persistence fault model
+// (clean rollback, torn lines, torn 8-byte words, reordered persists),
+// optionally fails the power again while recovery runs, drives the
+// workload's recovery procedure, and verifies the result byte-exactly.
 //
-//	gpmrecover -runs 5              # 5 random crash points per workload
-//	gpmrecover -workload gpKVS      # stress one workload
+//	gpmrecover -runs 5                      # random crash points, every mode
+//	gpmrecover -workload gpKVS              # stress one workload
+//	gpmrecover -sweep                       # deterministic campaign: all
+//	                                        # models x swept crash points
+//	gpmrecover -sweep -recrash-depth 2      # also re-crash during recovery
+//	gpmrecover -sweep -json                 # machine-readable records
+//	gpmrecover -workload gpKVS -mode GPM -faultmodel torn-lines \
+//	    -crashat 1234 -faultseed 99         # replay one shrunk failure
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/gpm-sim/gpm/internal/crash"
 	"github.com/gpm-sim/gpm/internal/experiments"
+	"github.com/gpm-sim/gpm/internal/pmem"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
 func main() {
 	var (
-		runs  = flag.Int("runs", 3, "crash points injected per workload")
-		only  = flag.String("workload", "", "restrict to one workload name")
-		seed  = flag.Uint64("seed", 7, "crash-point generator seed")
-		quick = flag.Bool("quick", true, "use the smaller test-scale configuration")
+		runs      = flag.Int("runs", 3, "random crash points per workload (legacy stress mode)")
+		only      = flag.String("workload", "", "restrict to one workload name")
+		seed      = flag.Uint64("seed", 7, "campaign / crash-point generator seed")
+		quick     = flag.Bool("quick", true, "use the smaller test-scale configuration")
+		sweep     = flag.Bool("sweep", false, "run the deterministic campaign instead of random stress")
+		models    = flag.String("faultmodel", "", "fault model(s), comma-separated (clean, torn-lines, torn-words, reorder); empty = all in -sweep, clean otherwise")
+		points    = flag.Int("maxpoints", crash.DefaultPoints, "swept crash points per (mode, model) pair")
+		stride    = flag.Int64("stride", 0, "crash at every stride-th op (0 = derive from -maxpoints)")
+		depth     = flag.Int("recrash-depth", 0, "nested crashes injected during recovery")
+		every     = flag.Int64("recrash-every", 0, "base op budget between nested recovery crashes (0 = default)")
+		shrink    = flag.Bool("shrink", false, "shrink the first failure per workload to a minimal replayable triple")
+		asJSON    = flag.Bool("json", false, "emit campaign results as JSON")
+		metricsTo = flag.String("metrics", "", "write the telemetry metrics registry (crash/fault counters included) as TSV to this file")
+
+		// Replay flags (the shrinker's Replay string uses these).
+		modeName  = flag.String("mode", "", "persistence mode for -crashat replay (e.g. GPM)")
+		crashAt   = flag.Int64("crashat", -1, "replay a single crash at this op index")
+		faultSeed = flag.Uint64("faultseed", 0, "fault-model seed for -crashat replay")
+		faultLim  = flag.Int("faultlimit", 0, "fault only the first N dirty lines (0 = all)")
 	)
 	flag.Parse()
 
@@ -31,35 +57,194 @@ func main() {
 	if *quick {
 		cfg = workloads.QuickConfig()
 	}
+	var tel *telemetry.Telemetry
+	if *metricsTo != "" {
+		tel = telemetry.New()
+		cfg.Telemetry = tel
+	}
 
-	injector := crash.NewInjector(*seed)
-	failures := 0
-	total := 0
-	stress := func(mk func() workloads.Crasher) {
-		name := mk().Name()
-		if *only != "" && *only != name {
-			return
+	mks := selectWorkloads(*only)
+	if len(mks) == 0 {
+		fmt.Fprintf(os.Stderr, "gpmrecover: no workload matches %q\n", *only)
+		os.Exit(2)
+	}
+
+	var code int
+	switch {
+	case *crashAt >= 0:
+		code = replay(mks, cfg, *modeName, *models, *crashAt, *faultSeed, *faultLim, *depth, *every)
+	case *sweep:
+		code = campaign(mks, cfg, *seed, *stride, *points, *models, *depth, *every, *shrink, *asJSON)
+	default:
+		code = stress(mks, cfg, *seed, *runs)
+	}
+	if tel != nil {
+		if err := os.WriteFile(*metricsTo, []byte(tel.Metrics.TSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+			if code == 0 {
+				code = 2
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "metrics -> %s\n", *metricsTo)
 		}
-		for i := 0; i < *runs; i++ {
-			total++
-			res, err := injector.Stress(mk, cfg)
+	}
+	os.Exit(code)
+}
+
+// selectWorkloads returns the recoverable workload constructors, optionally
+// filtered by name.
+func selectWorkloads(only string) []func() workloads.Crasher {
+	var out []func() workloads.Crasher
+	for _, mk := range append(experiments.Crashers(), experiments.NativeCrashers()...) {
+		if only == "" || mk().Name() == only {
+			out = append(out, mk)
+		}
+	}
+	return out
+}
+
+// parseModels resolves a comma-separated model list; empty means all.
+func parseModels(spec string) ([]pmem.FaultModel, error) {
+	if spec == "" || spec == "all" {
+		return nil, nil // campaign default: every model
+	}
+	var out []pmem.FaultModel
+	for _, name := range strings.Split(spec, ",") {
+		m, err := pmem.ModelByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// stress is the legacy mode: random second-half crash points under the
+// clean fault model, every crash-study mode the workload supports.
+func stress(mks []func() workloads.Crasher, cfg workloads.Config, seed uint64, runs int) int {
+	injector := crash.NewInjector(seed)
+	failures, total := 0, 0
+	for _, mk := range mks {
+		name := mk().Name()
+		for i := 0; i < runs; i++ {
+			results, err := injector.StressAll(mk, cfg)
+			total += len(results)
 			if err != nil {
+				total++
 				failures++
 				fmt.Printf("FAIL %-12s run %d: %v\n", name, i, err)
-				continue
 			}
-			fmt.Printf("ok   %-12s run %d: crashed@op %d, restored in %v (%.2f%% of op time)\n",
-				name, i, res.CrashAt, res.Report.Restore, res.Report.RestoreFraction()*100)
+			for _, res := range results {
+				fmt.Printf("ok   %-12s run %d: %-9s crashed@op %d, restored in %v (%.2f%% of op time)\n",
+					name, i, res.Mode, res.CrashAt, res.Report.Restore, res.Report.RestoreFraction()*100)
+			}
 		}
-	}
-	for _, mk := range experiments.Crashers() {
-		stress(mk)
-	}
-	for _, mk := range experiments.NativeCrashers() {
-		stress(mk)
 	}
 	fmt.Printf("\n%d/%d crash-recovery runs verified\n", total-failures, total)
 	if failures > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// campaign runs the deterministic sweep.
+func campaign(mks []func() workloads.Crasher, cfg workloads.Config, seed uint64, stride int64, points int, modelSpec string, depth int, every int64, shrink, asJSON bool) int {
+	models, err := parseModels(modelSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+		return 2
+	}
+	c := &crash.Campaign{
+		Seed:         seed,
+		Stride:       stride,
+		MaxPoints:    points,
+		Models:       models,
+		RecrashDepth: depth,
+		RecrashEvery: every,
+	}
+	results, err := c.RunAll(mks, cfg, shrink)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+		return 2
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+			return 2
+		}
+	}
+	failures, total := 0, 0
+	for _, wc := range results {
+		total += len(wc.Runs)
+		failures += wc.Failures
+		if asJSON {
+			continue
+		}
+		fmt.Printf("%-8s %d ops, %d runs, %d failures\n", wc.Workload, wc.TotalOps, len(wc.Runs), wc.Failures)
+		for _, r := range wc.Runs {
+			if r.Err != "" {
+				fmt.Printf("  FAIL %s/%s@%d seed=%d: %s\n", r.Mode, r.Model, r.CrashAt, r.FaultSeed, r.Err)
+			}
+		}
+		if wc.Shrunk != nil {
+			fmt.Printf("  shrunk: %s\n", wc.Shrunk.Replay)
+		}
+	}
+	if !asJSON {
+		fmt.Printf("\n%d/%d campaign runs verified\n", total-failures, total)
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// replay re-executes one (seed, schedule, model) triple, typically pasted
+// from a shrunk failure report.
+func replay(mks []func() workloads.Crasher, cfg workloads.Config, modeName, modelSpec string, crashAt int64, faultSeed uint64, faultLim, depth int, every int64) int {
+	if len(mks) != 1 {
+		fmt.Fprintf(os.Stderr, "gpmrecover: -crashat replay needs -workload naming exactly one workload\n")
+		return 2
+	}
+	mode := workloads.GPM
+	if modeName != "" {
+		m, err := crash.ModeByName(modeName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+			return 2
+		}
+		mode = m
+	}
+	var model pmem.FaultModel
+	if modelSpec != "" {
+		m, err := pmem.ModelByName(modelSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+			return 2
+		}
+		model = m
+	}
+	if faultLim > 0 {
+		if model == nil {
+			model = pmem.Clean{}
+		}
+		model = pmem.Subset{Base: model, Limit: faultLim}
+	}
+	rep, err := workloads.RunWithPlan(mks[0](), mode, cfg, workloads.CrashPlan{
+		AbortAfterOps: crashAt,
+		Fault:         model,
+		FaultSeed:     faultSeed,
+		RecrashDepth:  depth,
+		RecrashEvery:  every,
+	})
+	name := mks[0]().Name()
+	if err != nil {
+		fmt.Printf("FAIL %s/%s@%d seed=%d: %v\n", name, mode, crashAt, faultSeed, err)
+		return 1
+	}
+	fmt.Printf("ok   %s/%s@%d seed=%d: restored in %v (%.2f%% of op time)\n",
+		name, mode, crashAt, faultSeed, rep.Restore, rep.RestoreFraction()*100)
+	return 0
 }

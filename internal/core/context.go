@@ -10,6 +10,7 @@ import (
 	"github.com/gpm-sim/gpm/internal/fsim"
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/pmem"
 	"github.com/gpm-sim/gpm/internal/sim"
 	"github.com/gpm-sim/gpm/internal/telemetry"
 )
@@ -128,8 +129,17 @@ func (c *Context) RunCPU(segment string, n int, fn func(*cpusim.Thread)) sim.Dur
 // Crash simulates a whole-node power failure at this instant: volatile
 // memory and caches are lost; PM retains exactly what was persisted.
 func (c *Context) Crash() {
+	c.CrashWith(nil, 0)
+}
+
+// CrashWith is Crash under an adversarial persistence fault model: model
+// (nil = clean rollback) decides which unpersisted PM writes survive, with
+// seed making the outcome deterministic and replayable. It returns what the
+// fault injection did to the device.
+func (c *Context) CrashWith(model pmem.FaultModel, seed uint64) pmem.CrashStats {
 	start := c.SpanStart()
-	c.Space.Crash()
+	st := c.Space.CrashWith(model, seed)
 	c.telCrashes.Inc()
 	c.SpanEnd(telemetry.TrackRecovery, "crash", "crash", start)
+	return st
 }

@@ -1,0 +1,211 @@
+package crash
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/gpm-sim/gpm/internal/pmem"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// Campaign sweeps a workload's crash-schedule space deterministically:
+// crash points strided across the whole execution (not just the second
+// half), every fault model, every supported crash-study mode, and nested
+// crashes injected during recovery. The same Campaign fields + Seed always
+// produce the same runs, so any failure is replayable from its record.
+type Campaign struct {
+	// Seed anchors every derived fault seed; two campaigns with equal
+	// fields replay identically.
+	Seed uint64
+
+	// Stride crashes at every Stride-th device operation (1, 1+Stride,
+	// ...). <=0 derives a stride that yields DefaultPoints evenly spaced
+	// crash points from the workload's calibrated op count.
+	Stride int64
+
+	// MaxPoints caps the swept crash points per (mode, model) pair; when a
+	// stride produces more, the sweep samples them evenly. 0 means
+	// DefaultPoints.
+	MaxPoints int
+
+	// Models are the fault models to sweep; nil means all of pmem.Models.
+	Models []pmem.FaultModel
+
+	// Modes restricts the sweep; nil means every CrashStudyModes entry the
+	// workload Supports.
+	Modes []workloads.Mode
+
+	// RecrashDepth and RecrashEvery configure nested crashes during
+	// recovery (see workloads.CrashPlan).
+	RecrashDepth int
+	RecrashEvery int64
+}
+
+// DefaultPoints is the crash-point budget when Stride/MaxPoints are unset.
+const DefaultPoints = 4
+
+// RunRecord is one (workload, mode, model, crash point) execution. Err is
+// empty for a verified recovery; otherwise the triple (CrashAt, FaultSeed,
+// Model) plus the campaign's re-crash settings replays the failure exactly.
+type RunRecord struct {
+	Workload     string  `json:"workload"`
+	Mode         string  `json:"mode"`
+	Model        string  `json:"model"`
+	CrashAt      int64   `json:"crash_at"`
+	FaultSeed    uint64  `json:"fault_seed"`
+	RecrashDepth int     `json:"recrash_depth"`
+	RestoreUS    float64 `json:"restore_us"`
+	Err          string  `json:"error,omitempty"`
+}
+
+// WorkloadCampaign aggregates one workload's sweep.
+type WorkloadCampaign struct {
+	Workload string         `json:"workload"`
+	TotalOps int64          `json:"total_ops"` // calibrated op count under the first swept mode
+	Runs     []RunRecord    `json:"runs"`
+	Failures int            `json:"failures"`
+	Shrunk   *ShrunkFailure `json:"shrunk,omitempty"`
+}
+
+func (c *Campaign) models() []pmem.FaultModel {
+	if len(c.Models) > 0 {
+		return c.Models
+	}
+	return pmem.Models()
+}
+
+func (c *Campaign) modesFor(w workloads.Workload) []workloads.Mode {
+	candidates := c.Modes
+	if len(candidates) == 0 {
+		candidates = CrashStudyModes
+	}
+	var out []workloads.Mode
+	for _, m := range candidates {
+		if w.Supports(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// sweepPoints returns the deterministic crash points for a run of total
+// ops: every stride-th op, evenly downsampled to at most max points.
+func sweepPoints(total, stride int64, max int) []int64 {
+	if total <= 0 {
+		return nil
+	}
+	if max <= 0 {
+		max = DefaultPoints
+	}
+	if stride <= 0 {
+		stride = total / int64(max)
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	var pts []int64
+	for p := stride; p <= total; p += stride {
+		pts = append(pts, p)
+	}
+	if len(pts) == 0 {
+		pts = []int64{total / 2}
+	}
+	if len(pts) > max {
+		sampled := make([]int64, 0, max)
+		for i := 0; i < max; i++ {
+			sampled = append(sampled, pts[i*len(pts)/max])
+		}
+		pts = sampled
+	}
+	return pts
+}
+
+// faultSeed derives a stable per-run seed from the campaign seed and the
+// run's coordinates, so each run's fault stream is independent yet
+// replayable from the record alone.
+func faultSeed(base uint64, workload, mode, model string, crashAt int64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d", workload, mode, model, crashAt)
+	return base ^ h.Sum64()
+}
+
+// Run sweeps one workload and returns its campaign report. Calibration
+// errors (the workload cannot even run under a mode) are returned as
+// errors; recovery failures are recorded in the report.
+func (c *Campaign) Run(mk func() workloads.Crasher, cfg workloads.Config) (*WorkloadCampaign, error) {
+	w := mk()
+	wc := &WorkloadCampaign{Workload: w.Name()}
+	modes := c.modesFor(w)
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("%s supports no crash-study mode", w.Name())
+	}
+	for mi, mode := range modes {
+		total, err := CountOps(mk(), mode, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate %s/%s: %w", w.Name(), mode, err)
+		}
+		if mi == 0 {
+			wc.TotalOps = total
+		}
+		points := sweepPoints(total, c.Stride, c.MaxPoints)
+		for _, model := range c.models() {
+			for _, pt := range points {
+				rec := RunRecord{
+					Workload:     w.Name(),
+					Mode:         mode.String(),
+					Model:        model.Name(),
+					CrashAt:      pt,
+					FaultSeed:    faultSeed(c.Seed, w.Name(), mode.String(), model.Name(), pt),
+					RecrashDepth: c.RecrashDepth,
+				}
+				rep, err := workloads.RunWithPlan(mk(), mode, cfg, workloads.CrashPlan{
+					AbortAfterOps: pt,
+					Fault:         model,
+					FaultSeed:     rec.FaultSeed,
+					RecrashDepth:  c.RecrashDepth,
+					RecrashEvery:  c.RecrashEvery,
+				})
+				if err != nil {
+					rec.Err = err.Error()
+					wc.Failures++
+				} else {
+					rec.RestoreUS = rep.Restore.Seconds() * 1e6
+				}
+				wc.Runs = append(wc.Runs, rec)
+			}
+		}
+	}
+	return wc, nil
+}
+
+// RunAll sweeps every workload and, when shrink is true, reduces the first
+// failure of each failing workload to a minimal replayable triple.
+func (c *Campaign) RunAll(mks []func() workloads.Crasher, cfg workloads.Config, shrink bool) ([]*WorkloadCampaign, error) {
+	var out []*WorkloadCampaign
+	for _, mk := range mks {
+		wc, err := c.Run(mk, cfg)
+		if err != nil {
+			return out, err
+		}
+		if shrink && wc.Failures > 0 {
+			for _, r := range wc.Runs {
+				if r.Err != "" {
+					wc.Shrunk = c.Shrink(mk, cfg, r)
+					break
+				}
+			}
+		}
+		out = append(out, wc)
+	}
+	return out, nil
+}
+
+// ModeByName resolves a workloads.Mode from its String form.
+func ModeByName(name string) (workloads.Mode, error) {
+	for m := workloads.GPM; m <= workloads.CPUOnly; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("crash: unknown mode %q", name)
+}

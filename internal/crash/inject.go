@@ -1,6 +1,11 @@
-// Package crash is the NVBitFI analog (§6.2): it injects crashes at
-// pseudo-random points during GPU execution, simulates the power failure,
-// drives the workload's recovery procedure, and verifies the result.
+// Package crash is the NVBitFI analog (§6.2) grown into a recovery
+// auditor: it injects crashes at chosen or pseudo-random points during GPU
+// execution, simulates the power failure under an adversarial persistence
+// fault model (torn lines, torn words, reordered persists), optionally
+// fails the power again while recovery is running, drives the workload's
+// recovery procedure, and verifies the result. Campaign sweeps the whole
+// schedule space deterministically; Shrink reduces a failing run to a
+// minimal replayable (seed, schedule, model) triple.
 package crash
 
 import (
@@ -9,6 +14,11 @@ import (
 	"github.com/gpm-sim/gpm/internal/sim"
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
+
+// CrashStudyModes are the persistence modes under which the recovery study
+// runs: §6.2 evaluates GPM, and GPM-eADR is the projected-hardware variant
+// whose drained caches make every crash friendly (a useful control).
+var CrashStudyModes = []workloads.Mode{workloads.GPM, workloads.GPMeADR}
 
 // Injector drives randomized crash-recovery stress runs.
 type Injector struct {
@@ -22,6 +32,7 @@ func NewInjector(seed uint64) *Injector {
 
 // Result reports one stress run.
 type Result struct {
+	Mode    workloads.Mode
 	CrashAt int64 // device-operation index of the injected fault
 	Report  *workloads.Report
 }
@@ -31,8 +42,8 @@ type Result struct {
 // execution (so recovery has real state to work with), recovers, verifies,
 // and reports. An error means recovery produced incorrect state — the §6.2
 // experiment failing.
-func (in *Injector) Stress(mk func() workloads.Crasher, cfg workloads.Config) (*Result, error) {
-	total, err := in.countOps(mk(), cfg)
+func (in *Injector) Stress(mk func() workloads.Crasher, mode workloads.Mode, cfg workloads.Config) (*Result, error) {
+	total, err := CountOps(mk(), mode, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("calibration: %w", err)
 	}
@@ -42,17 +53,42 @@ func (in *Injector) Stress(mk func() workloads.Crasher, cfg workloads.Config) (*
 	// Crash in the second half: late enough that transactional workloads
 	// are mid-batch and checkpointing ones have a checkpoint to restore.
 	crashAt := total/2 + in.rng.Int63n(total/2-1) + 1
-	rep, err := workloads.RunWithCrash(mk(), workloads.GPM, cfg, crashAt)
+	rep, err := workloads.RunWithCrash(mk(), mode, cfg, crashAt)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{CrashAt: crashAt, Report: rep}, nil
+	return &Result{Mode: mode, CrashAt: crashAt, Report: rep}, nil
 }
 
-// countOps runs the workload once with a never-firing abort check to learn
-// its total device-operation count.
-func (in *Injector) countOps(w workloads.Crasher, cfg workloads.Config) (int64, error) {
-	env := workloads.NewEnv(workloads.GPM, cfg)
+// StressAll stresses the workload under every crash-study mode it Supports
+// and returns one result per mode. The first recovery failure aborts the
+// sweep and is returned alongside the results collected so far.
+func (in *Injector) StressAll(mk func() workloads.Crasher, cfg workloads.Config) ([]*Result, error) {
+	var out []*Result
+	w := mk()
+	for _, mode := range CrashStudyModes {
+		if !w.Supports(mode) {
+			continue
+		}
+		res, err := in.Stress(mk, mode, cfg)
+		if err != nil {
+			return out, fmt.Errorf("%s under %s: %w", w.Name(), mode, err)
+		}
+		out = append(out, res)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s supports no crash-study mode", w.Name())
+	}
+	return out, nil
+}
+
+// CountOps runs the workload once under mode with a never-firing abort
+// check to learn its total device-operation count (the crash-point space).
+func CountOps(w workloads.Crasher, mode workloads.Mode, cfg workloads.Config) (int64, error) {
+	if !w.Supports(mode) {
+		return 0, fmt.Errorf("workloads: %s does not support %s", w.Name(), mode)
+	}
+	env := workloads.NewEnv(mode, cfg)
 	if err := w.Setup(env); err != nil {
 		return 0, err
 	}

@@ -13,7 +13,7 @@ import (
 func TestStressKVS(t *testing.T) {
 	in := NewInjector(11)
 	for i := 0; i < 3; i++ {
-		res, err := in.Stress(func() workloads.Crasher { return kvstore.New() }, workloads.QuickConfig())
+		res, err := in.Stress(func() workloads.Crasher { return kvstore.New() }, workloads.GPM, workloads.QuickConfig())
 		if err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
@@ -25,7 +25,7 @@ func TestStressKVS(t *testing.T) {
 
 func TestStressGpDBUpdate(t *testing.T) {
 	in := NewInjector(13)
-	if _, err := in.Stress(func() workloads.Crasher { return gpdb.New(gpdb.Update) }, workloads.QuickConfig()); err != nil {
+	if _, err := in.Stress(func() workloads.Crasher { return gpdb.New(gpdb.Update) }, workloads.GPM, workloads.QuickConfig()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -36,7 +36,7 @@ func TestStressNativeWorkloads(t *testing.T) {
 		"bfs": func() workloads.Crasher { return graph.New() },
 		"ps":  func() workloads.Crasher { return scan.New() },
 	} {
-		if _, err := in.Stress(mk, workloads.QuickConfig()); err != nil {
+		if _, err := in.Stress(mk, workloads.GPM, workloads.QuickConfig()); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
@@ -44,11 +44,11 @@ func TestStressNativeWorkloads(t *testing.T) {
 
 func TestDeterministicCrashPoints(t *testing.T) {
 	a, b := NewInjector(5), NewInjector(5)
-	ra, err := a.Stress(func() workloads.Crasher { return kvstore.New() }, workloads.QuickConfig())
+	ra, err := a.Stress(func() workloads.Crasher { return kvstore.New() }, workloads.GPM, workloads.QuickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.Stress(func() workloads.Crasher { return kvstore.New() }, workloads.QuickConfig())
+	rb, err := b.Stress(func() workloads.Crasher { return kvstore.New() }, workloads.GPM, workloads.QuickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,103 @@
+package crash
+
+import (
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// brokenStore is a deliberately incorrect Crasher: it updates pairs of
+// PM-resident records in place with no logging and no fencing, violating
+// the undo-log discipline every real GPMbench workload follows. Under the
+// clean fault model a crash rolls every unpersisted write back and the
+// initial state verifies fine — the bug is invisible. The torn models must
+// catch it: each record pair spans two cache lines, so a torn crash strands
+// half-updated pairs that Verify rejects. It exists to prove the campaign
+// has teeth (a negative control).
+type brokenStore struct {
+	pairs int
+	file  uint64 // PM base: pair i is (a_i @ i*128, b_i @ i*128+64)
+}
+
+const (
+	brokenPairs   = 64
+	brokenStride  = 128 // a and b on separate 64B lines
+	brokenInitVal = 1
+	brokenNewVal  = 2
+)
+
+func newBroken() workloads.Crasher { return &brokenStore{pairs: brokenPairs} }
+
+func (b *brokenStore) Name() string  { return "NEG" }
+func (b *brokenStore) Class() string { return "negative-control" }
+
+// Supports restricts the control to plain GPM: under eADR every write is
+// instantly durable, so the missing fences are not a bug there.
+func (b *brokenStore) Supports(mode workloads.Mode) bool { return mode == workloads.GPM }
+
+func (b *brokenStore) Setup(env *workloads.Env) error {
+	f, err := env.Ctx.FS.Create("/pm/neg.store", int64(b.pairs)*brokenStride, 0)
+	if err != nil {
+		return err
+	}
+	b.file = f.Mmap()
+	sp := env.Ctx.Space
+	for i := 0; i < b.pairs; i++ {
+		sp.WriteU64(b.file+uint64(i)*brokenStride, brokenInitVal)
+		sp.WriteU64(b.file+uint64(i)*brokenStride+64, brokenInitVal)
+	}
+	sp.PersistRange(b.file, b.pairs*brokenStride)
+	return nil
+}
+
+// Run updates every pair in place: a_i then b_i, no log entry, no fence.
+func (b *brokenStore) Run(env *workloads.Env) error {
+	env.PersistKernelBegin()
+	base := b.file
+	pairs := b.pairs
+	env.Ctx.Launch("neg-update", 1, pairs, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= pairs {
+			return
+		}
+		t.StoreU64(base+uint64(i)*brokenStride, brokenNewVal)
+		t.Compute(10 * sim.Nanosecond)
+		t.StoreU64(base+uint64(i)*brokenStride+64, brokenNewVal)
+	})
+	env.PersistKernelEnd()
+	env.CountOps(int64(pairs))
+	return nil
+}
+
+func (b *brokenStore) RunUntilCrash(env *workloads.Env, abortAfterOps int64) error {
+	env.Ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= abortAfterOps })
+	err := b.Run(env)
+	env.Ctx.Dev.SetAbortCheck(nil)
+	if err == gpu.ErrCrashed {
+		return nil
+	}
+	return err
+}
+
+// Recover is a no-op: with no log there is nothing to undo — which is
+// exactly the defect.
+func (b *brokenStore) Recover(env *workloads.Env) error { return nil }
+
+// Verify demands pair consistency: a_i == b_i, both either the initial or
+// the updated value. A crash that strands one side of a pair fails here.
+func (b *brokenStore) Verify(env *workloads.Env) error {
+	sp := env.Ctx.Space
+	for i := 0; i < b.pairs; i++ {
+		a := sp.ReadU64(b.file + uint64(i)*brokenStride)
+		c := sp.ReadU64(b.file + uint64(i)*brokenStride + 64)
+		if a != c {
+			return fmt.Errorf("neg: pair %d torn: a=%d b=%d", i, a, c)
+		}
+		if a != brokenInitVal && a != brokenNewVal {
+			return fmt.Errorf("neg: pair %d corrupt value %d", i, a)
+		}
+	}
+	return nil
+}

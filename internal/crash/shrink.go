@@ -1,0 +1,104 @@
+package crash
+
+import (
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/pmem"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// ShrunkFailure is a minimized, replayable recovery failure: the earliest
+// crash point found to still fail, and the smallest prefix of faulted dirty
+// lines (FaultLimit; 0 = every dirty line) that still breaks verification
+// under the same seed. Replay is the gpmrecover invocation reproducing it.
+type ShrunkFailure struct {
+	Workload     string `json:"workload"`
+	Mode         string `json:"mode"`
+	Model        string `json:"model"`
+	CrashAt      int64  `json:"crash_at"`
+	FaultSeed    uint64 `json:"fault_seed"`
+	FaultLimit   int    `json:"fault_limit"`
+	RecrashDepth int    `json:"recrash_depth"`
+	Replay       string `json:"replay"`
+}
+
+// shrinkLimitCap bounds the fault-subset search; campaigns at test scale
+// dirty far fewer lines than this.
+const shrinkLimitCap = 1 << 12
+
+// Shrink minimizes a failing run record. It binary-searches the smallest
+// crash point that still fails verification, then the smallest fault subset
+// (a prefix of the dirty lines in write order, via pmem.Subset) that still
+// fails at that point. Failure is not guaranteed to be monotone in either
+// axis, so the result is best-effort minimal: every reported value was
+// re-executed and confirmed failing.
+func (c *Campaign) Shrink(mk func() workloads.Crasher, cfg workloads.Config, rec RunRecord) *ShrunkFailure {
+	mode, err := ModeByName(rec.Mode)
+	if err != nil {
+		return nil
+	}
+	base, err := pmem.ModelByName(rec.Model)
+	if err != nil {
+		return nil
+	}
+	fails := func(crashAt int64, limit int) bool {
+		model := base
+		if limit > 0 {
+			model = pmem.Subset{Base: base, Limit: limit}
+		}
+		_, runErr := workloads.RunWithPlan(mk(), mode, cfg, workloads.CrashPlan{
+			AbortAfterOps: crashAt,
+			Fault:         model,
+			FaultSeed:     rec.FaultSeed,
+			RecrashDepth:  rec.RecrashDepth,
+			RecrashEvery:  c.RecrashEvery,
+		})
+		return runErr != nil
+	}
+
+	// Phase 1: earliest failing crash point at full fault strength.
+	lo, hi := int64(1), rec.CrashAt
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if fails(mid, 0) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	crashAt := lo
+	if !fails(crashAt, 0) {
+		crashAt = rec.CrashAt // non-monotone search missed; keep the known-bad point
+	}
+
+	// Phase 2: smallest faulted-line prefix that still fails there.
+	limit := 0
+	if fails(crashAt, shrinkLimitCap) {
+		l, h := 1, shrinkLimitCap
+		for l < h {
+			m := l + (h-l)/2
+			if fails(crashAt, m) {
+				h = m
+			} else {
+				l = m + 1
+			}
+		}
+		if fails(crashAt, l) {
+			limit = l
+		}
+	}
+
+	s := &ShrunkFailure{
+		Workload:     rec.Workload,
+		Mode:         rec.Mode,
+		Model:        rec.Model,
+		CrashAt:      crashAt,
+		FaultSeed:    rec.FaultSeed,
+		FaultLimit:   limit,
+		RecrashDepth: rec.RecrashDepth,
+	}
+	s.Replay = fmt.Sprintf(
+		"gpmrecover -quick -workload %q -mode %s -faultmodel %s -crashat %d -faultseed %d -faultlimit %d -recrash-depth %d",
+		s.Workload, s.Mode, s.Model, s.CrashAt, s.FaultSeed, s.FaultLimit, s.RecrashDepth)
+	return s
+}

@@ -43,6 +43,7 @@ type DNN struct {
 	cachedX    []float32 // host copy of the dataset for loss evaluation
 	labelVals  []uint32
 	initLoss   float64
+	initWts    []float32 // initial weights, for crashes before any checkpoint
 	ckptWts    []float32 // weights captured at the last checkpoint
 	ckpts      int
 	resumeIter int
@@ -115,6 +116,7 @@ func (d *DNN) Setup(env *workloads.Env) error {
 		w[i] = float32(env.RNG.NormFloat64()) * 0.08
 	}
 	sp.WriteCPU(d.wBlock, f32Bytes(w))
+	d.initWts = append([]float32(nil), w...)
 	d.initLoss = d.hostLoss(w)
 
 	var err error

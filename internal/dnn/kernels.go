@@ -352,11 +352,15 @@ func (d *DNN) Recover(env *workloads.Env) error {
 			return err
 		}
 	}
-	if cp2.Seq(0) == 0 {
-		return fmt.Errorf("dnn: crash before first checkpoint; nothing to restore")
-	}
-	if _, err := cp2.RestoreGroup(0); err != nil {
-		return err
+	if cp2.Seq(0) > 0 {
+		if _, err := cp2.RestoreGroup(0); err != nil {
+			return err
+		}
+	} else {
+		// Crash landed before the first checkpoint: restart training from
+		// the initial weights (a durable input in the paper's setting,
+		// kept host-side here).
+		env.Ctx.Space.WriteCPU(d.wBlock, f32Bytes(d.initWts))
 	}
 	env.AddRestore(env.Ctx.Timeline.Total() - restoreStart)
 	d.cp = cp2

@@ -46,6 +46,14 @@ type Device struct {
 	opCounter    atomic.Int64
 	aborted      atomic.Bool
 
+	// powerFailOnAbort makes the abort instant authoritative: the moment
+	// the check fires, the space's power-failure latch is set so that no
+	// code — GPU threads racing to their next crash check, or host code
+	// that is unaware it is "dead" — can persist anything afterwards. Used
+	// for crashes injected during recovery, where the recovery procedures
+	// are not written to be abort-aware.
+	powerFailOnAbort atomic.Bool
+
 	// Telemetry sinks; nil (no-op) until AttachTelemetry. They observe the
 	// already-computed kernel results, so attaching them cannot perturb
 	// simulated time (see determinism_test.go).
@@ -118,6 +126,17 @@ func (d *Device) SetAbortCheck(check func(op int64) bool) {
 // run once, and read the total).
 func (d *Device) ObservedOps() int64 { return d.opCounter.Load() }
 
+// Aborted reports whether the abort check has fired since the last
+// SetAbortCheck. Campaign drivers use it to distinguish "recovery finished
+// before the re-crash budget" from "the injected crash fired".
+func (d *Device) Aborted() bool { return d.aborted.Load() }
+
+// SetPowerFailOnAbort arms (or disarms) power-failure semantics for the
+// next abort: when the check fires, the memory space's persist paths shut
+// off until the crash is simulated, so nothing issued after the failure
+// instant can become durable.
+func (d *Device) SetPowerFailOnAbort(on bool) { d.powerFailOnAbort.Store(on) }
+
 // noteOp advances the fault-injection counter; it reports true if the
 // kernel must abort.
 func (d *Device) noteOp() bool {
@@ -128,7 +147,9 @@ func (d *Device) noteOp() bool {
 		return true
 	}
 	if d.abortCheck(d.opCounter.Add(1)) {
-		d.aborted.Store(true)
+		if d.aborted.CompareAndSwap(false, true) && d.powerFailOnAbort.Load() {
+			d.Space.SetPowerFailed(true)
+		}
 		return true
 	}
 	return false

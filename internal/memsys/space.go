@@ -298,6 +298,16 @@ func (s *Space) WriteCPU(addr uint64, p []byte) []uint64 {
 	return nil
 }
 
+// SetPowerFailed latches (or clears) the power-failure instant. The latch
+// lives on the PM device, where every durability path (fence flush, DDIO
+// write-back, eADR instant persist) terminates — so code that keeps running
+// after an injected mid-recovery crash cannot retroactively make state
+// durable through any route.
+func (s *Space) SetPowerFailed(v bool) { s.PM.SetPowerFailed(v) }
+
+// PowerFailed reports whether the power-failure latch is set.
+func (s *Space) PowerFailed() bool { return s.PM.PowerFailed() }
+
 // PersistLines makes the given virtual PM lines durable (fence with DDIO
 // off, or an explicit CPU flush).
 func (s *Space) PersistLines(lines []uint64) {
@@ -354,17 +364,27 @@ func (s *Space) SnapshotPersistent(addr uint64, n int) []byte {
 // caches are discarded, and PM rolls back to its durable image. Under eADR
 // the cache contents drain first (§3.3), so everything written survives.
 func (s *Space) Crash() {
+	s.CrashWith(nil, 0)
+}
+
+// CrashWith is Crash under an adversarial fault model (see pmem.FaultModel):
+// the model decides which unpersisted PM writes survive. Under eADR the
+// caches are in the persistence domain, so the drain happens first and the
+// model sees nothing dirty. The power-failure latch is cleared: the failure
+// instant has passed and the node is rebooting.
+func (s *Space) CrashWith(model pmem.FaultModel, seed uint64) pmem.CrashStats {
 	if s.eADR.Load() {
 		s.LLC.FlushAll()
 	}
 	s.LLC.Crash()
-	s.PM.Crash()
+	st := s.PM.CrashWith(model, seed)
 	for i := range s.hbm.data {
 		s.hbm.data[i] = 0
 	}
 	for i := range s.dram.data {
 		s.dram.data[i] = 0
 	}
+	return st
 }
 
 // ---- Typed accessors (host-side convenience; GPU threads use gpu.Thread) ----

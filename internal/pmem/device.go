@@ -13,7 +13,9 @@ package pmem
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gpm-sim/gpm/internal/sim"
 	"github.com/gpm-sim/gpm/internal/telemetry"
@@ -29,6 +31,22 @@ type Device struct {
 	line   uint64 // persistence tracking granularity (64B)
 
 	shards [shardCount]shard
+
+	// writeSeq orders dirty lines by their most recent write, so crash
+	// fault models (Reorder in particular) can reason about the
+	// unpersisted write sequence.
+	writeSeq atomic.Uint64
+
+	// powerOff latches the power-failure instant (set by the fault
+	// injector when an abort fires mid-recovery). While set, nothing can
+	// become durable: persists are no-ops and writes issued after the
+	// latch (seq > powerCut) unconditionally roll back at the next crash —
+	// they happened after the machine died, so no fault model may let
+	// them survive. The latch sits here, not higher in the stack, because
+	// every durability path (CPU flush, DDIO write-back, eADR instant
+	// persist) funnels into this device.
+	powerOff atomic.Bool
+	powerCut atomic.Uint64
 
 	// WriteStats records every write transaction that reaches the device,
 	// for the pattern-dependent bandwidth model and Fig 12.
@@ -47,6 +65,12 @@ type Device struct {
 	telWriteTxns    *telemetry.Counter
 	telPersistBytes *telemetry.Counter
 	telPersistLines *telemetry.Counter
+
+	// Crash / fault-injection telemetry.
+	telCrashes       *telemetry.Counter
+	telCrashRolled   *telemetry.Counter
+	telCrashSurvived *telemetry.Counter
+	telCrashTorn     *telemetry.Counter
 }
 
 // AttachTelemetry mirrors the device's write/persist counters into the
@@ -56,11 +80,22 @@ func (d *Device) AttachTelemetry(r *telemetry.Registry) {
 	d.telWriteTxns = r.Counter("pmem.write_txns")
 	d.telPersistBytes = r.Counter("pmem.persist_bytes")
 	d.telPersistLines = r.Counter("pmem.persist_lines")
+	d.telCrashes = r.Counter("pmem.crashes")
+	d.telCrashRolled = r.Counter("pmem.crash_lines_rolled_back")
+	d.telCrashSurvived = r.Counter("pmem.crash_lines_survived")
+	d.telCrashTorn = r.Counter("pmem.crash_words_torn")
+}
+
+// dirtyLine is one overlay entry: the line's last durable bytes plus the
+// sequence number of the most recent write that touched it.
+type dirtyLine struct {
+	old []byte
+	seq uint64
 }
 
 type shard struct {
 	mu      sync.Mutex
-	overlay map[uint64][]byte // line address -> durable bytes of that line
+	overlay map[uint64]*dirtyLine // line address -> rollback state
 }
 
 // New returns a PM device of the given size, zero-filled and fully durable.
@@ -74,7 +109,7 @@ func New(params *sim.Params, size int64) *Device {
 		line:   uint64(params.LineSize()),
 	}
 	for i := range d.shards {
-		d.shards[i].overlay = make(map[uint64][]byte)
+		d.shards[i].overlay = make(map[uint64]*dirtyLine)
 	}
 	return d
 }
@@ -129,11 +164,14 @@ func (d *Device) Write(addr uint64, p []byte) []uint64 {
 			end = addr + uint64(len(p))
 		}
 		sh := d.shardFor(la)
+		seq := d.writeSeq.Add(1)
 		sh.mu.Lock()
-		if _, dirty := sh.overlay[la]; !dirty {
+		if ent, dirty := sh.overlay[la]; !dirty {
 			old := make([]byte, d.line)
 			copy(old, d.data[la:la+d.line])
-			sh.overlay[la] = old
+			sh.overlay[la] = &dirtyLine{old: old, seq: seq}
+		} else {
+			ent.seq = seq
 		}
 		copy(d.data[start:end], p[start-addr:end-addr])
 		sh.mu.Unlock()
@@ -155,9 +193,27 @@ func (d *Device) WriteDurable(addr uint64, p []byte) {
 	d.PersistLines(lines)
 }
 
+// SetPowerFailed latches (or clears) the power-failure instant. Latching
+// records the current write sequence so the next CrashWith can tell
+// pre-failure writes (fair game for fault models) from post-failure ones
+// (unconditionally rolled back).
+func (d *Device) SetPowerFailed(v bool) {
+	if v {
+		d.powerCut.Store(d.writeSeq.Load())
+	}
+	d.powerOff.Store(v)
+}
+
+// PowerFailed reports whether the power-failure latch is set.
+func (d *Device) PowerFailed() bool { return d.powerOff.Load() }
+
 // PersistLine makes one line durable: its overlay entry (if any) is
-// discarded so a crash can no longer roll it back.
+// discarded so a crash can no longer roll it back. After a power failure
+// (SetPowerFailed) it is a no-op until the crash completes.
 func (d *Device) PersistLine(lineAddr uint64) {
+	if d.powerOff.Load() {
+		return
+	}
 	la := lineAddr / d.line * d.line
 	sh := d.shardFor(la)
 	sh.mu.Lock()
@@ -198,11 +254,14 @@ func (d *Device) PersistRange(addr uint64, n int) {
 
 // PersistAll drains every dirty line (an eADR power-fail flush).
 func (d *Device) PersistAll() {
+	if d.powerOff.Load() {
+		return
+	}
 	for i := range d.shards {
 		sh := &d.shards[i]
 		sh.mu.Lock()
 		n := len(sh.overlay)
-		sh.overlay = make(map[uint64][]byte)
+		sh.overlay = make(map[uint64]*dirtyLine)
 		sh.mu.Unlock()
 		if n > 0 {
 			d.metrics.mu.Lock()
@@ -215,18 +274,118 @@ func (d *Device) PersistAll() {
 	}
 }
 
-// Crash simulates a power failure: every line that was written but never
-// persisted rolls back to its last durable contents.
+// Crash simulates a friendly power failure: every line that was written but
+// never persisted rolls back to its last durable contents (the Clean fault
+// model).
 func (d *Device) Crash() {
+	d.CrashWith(nil, 0)
+}
+
+// CrashWith simulates a power failure under a fault model: model decides,
+// per dirty line (and per 8-byte word within it), whether the unpersisted
+// write survives or rolls back. A nil model behaves like Clean. seed makes
+// the model's randomness deterministic and replayable. The device is fully
+// durable afterwards.
+func (d *Device) CrashWith(model FaultModel, seed uint64) CrashStats {
+	stats := CrashStats{Model: "clean"}
+	if model != nil {
+		stats.Model = model.Name()
+	}
+	// Writes issued after the power-failure instant never reached the
+	// device; they roll back no matter what the fault model says.
+	cut := uint64(0)
+	if d.powerOff.Load() {
+		cut = d.powerCut.Load()
+	}
+	d.powerOff.Store(false)
+	if _, clean := model.(Clean); model == nil || clean {
+		for i := range d.shards {
+			sh := &d.shards[i]
+			sh.mu.Lock()
+			for la, ent := range sh.overlay {
+				copy(d.data[la:la+d.line], ent.old)
+			}
+			stats.DirtyLines += len(sh.overlay)
+			sh.overlay = make(map[uint64]*dirtyLine)
+			sh.mu.Unlock()
+		}
+		stats.LinesRolledBack = stats.DirtyLines
+		d.noteCrash(stats)
+		return stats
+	}
+
+	// Collect the dirty set, order it by last write, and let the model
+	// assign fates. Writers racing with a crash are inherently unordered;
+	// the per-shard locks below make each line's resolution atomic.
+	type dirtyRef struct {
+		line DirtyLine
+		sh   *shard
+	}
+	var refs []dirtyRef
 	for i := range d.shards {
 		sh := &d.shards[i]
 		sh.mu.Lock()
-		for la, old := range sh.overlay {
-			copy(d.data[la:la+d.line], old)
+		for la, ent := range sh.overlay {
+			if cut > 0 && ent.seq > cut {
+				// Post-failure write: force rollback now.
+				copy(d.data[la:la+d.line], ent.old)
+				delete(sh.overlay, la)
+				stats.DirtyLines++
+				stats.LinesRolledBack++
+				continue
+			}
+			refs = append(refs, dirtyRef{line: DirtyLine{Addr: la, Seq: ent.seq}, sh: sh})
 		}
-		sh.overlay = make(map[uint64][]byte)
 		sh.mu.Unlock()
 	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].line.Seq < refs[j].line.Seq })
+	lines := make([]DirtyLine, len(refs))
+	for i, r := range refs {
+		lines[i] = r.line
+	}
+	words := int(d.line / 8)
+	fates := model.Plan(sim.NewRNG(seed), lines, words)
+	stats.DirtyLines += len(refs)
+
+	full := fullMask(words)
+	for i, r := range refs {
+		la := r.line.Addr
+		r.sh.mu.Lock()
+		ent, ok := r.sh.overlay[la]
+		if !ok {
+			r.sh.mu.Unlock()
+			continue
+		}
+		mask := fates[i].SurviveMask & full
+		switch mask {
+		case 0:
+			copy(d.data[la:la+d.line], ent.old)
+			stats.LinesRolledBack++
+		case full:
+			stats.LinesSurvived++
+		default:
+			for w := 0; w < words; w++ {
+				if mask&(uint64(1)<<w) == 0 {
+					off := la + uint64(w)*8
+					copy(d.data[off:off+8], ent.old[uint64(w)*8:uint64(w)*8+8])
+				} else {
+					stats.WordsTorn++
+				}
+			}
+		}
+		delete(r.sh.overlay, la)
+		r.sh.mu.Unlock()
+	}
+	d.noteCrash(stats)
+	return stats
+}
+
+// noteCrash bumps the crash telemetry counters.
+func (d *Device) noteCrash(st CrashStats) {
+	d.telCrashes.Inc()
+	d.telCrashRolled.Add(int64(st.LinesRolledBack))
+	d.telCrashSurvived.Add(int64(st.LinesSurvived))
+	d.telCrashTorn.Add(int64(st.WordsTorn))
 }
 
 // Persisted reports whether the whole range [addr, addr+n) is durable
@@ -276,7 +435,7 @@ func (d *Device) SnapshotPersistent(addr uint64, n int) []byte {
 	for la := first; la <= last; la += d.line {
 		sh := d.shardFor(la)
 		sh.mu.Lock()
-		old, dirty := sh.overlay[la]
+		ent, dirty := sh.overlay[la]
 		if dirty {
 			// Intersect the line with [addr, addr+n).
 			start, end := la, la+d.line
@@ -286,7 +445,7 @@ func (d *Device) SnapshotPersistent(addr uint64, n int) []byte {
 			if end > addr+uint64(n) {
 				end = addr + uint64(n)
 			}
-			copy(out[start-addr:end-addr], old[start-la:end-la])
+			copy(out[start-addr:end-addr], ent.old[start-la:end-la])
 		}
 		sh.mu.Unlock()
 	}

@@ -1,0 +1,182 @@
+package pmem
+
+import (
+	"fmt"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// DirtyLine describes one unpersisted line at the instant of a crash.
+type DirtyLine struct {
+	Addr uint64 // line-aligned device offset
+	Seq  uint64 // last-write sequence number (global write order)
+}
+
+// LineFate says which 8-byte words of a dirty line survive a crash: bit i
+// set keeps the volatile contents of word i, bit i clear rolls that word
+// back to its last durable image. All-zero is a clean rollback; all-ones
+// means the whole line persists as if it had been flushed.
+type LineFate struct {
+	SurviveMask uint64
+}
+
+func fullMask(words int) uint64 {
+	if words >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << words) - 1
+}
+
+// A FaultModel decides, at crash time, what becomes of the writes that were
+// issued but never explicitly persisted. The clean model (today's friendly
+// semantics) rolls every one back; the adversarial models exploit the
+// freedom real hardware has — a write may persist any time between issue
+// and the fence that orders it, and ADR only guarantees 8-byte atomicity —
+// to produce the harshest schedules a correct logging protocol must absorb.
+//
+// Plan receives every dirty line sorted by last-write order and a
+// deterministic RNG derived from the crash seed; it must return one fate
+// per line. Models must be pure: same lines + same RNG stream = same plan.
+type FaultModel interface {
+	Name() string
+	Plan(rng *sim.RNG, lines []DirtyLine, wordsPerLine int) []LineFate
+}
+
+// Clean is the friendly power-failure: every unpersisted line rolls back
+// whole, in order. This is the pre-existing Device.Crash behavior.
+type Clean struct{}
+
+// Name implements FaultModel.
+func (Clean) Name() string { return "clean" }
+
+// Plan implements FaultModel: all-zero fates (full rollback).
+func (Clean) Plan(_ *sim.RNG, lines []DirtyLine, _ int) []LineFate {
+	return make([]LineFate, len(lines))
+}
+
+// TornLines models arbitrary early persistence at cache-line granularity:
+// each dirty line independently survives whole with probability P (default
+// 1/2). A write may become durable any time after issue, so a correct
+// protocol must tolerate any subset of its unfenced lines surviving.
+type TornLines struct {
+	P float64 // survival probability per line; <=0 means 1/2
+}
+
+// Name implements FaultModel.
+func (TornLines) Name() string { return "torn-lines" }
+
+// Plan implements FaultModel.
+func (m TornLines) Plan(rng *sim.RNG, lines []DirtyLine, wordsPerLine int) []LineFate {
+	p := m.P
+	if p <= 0 {
+		p = 0.5
+	}
+	fates := make([]LineFate, len(lines))
+	for i := range lines {
+		if rng.Float64() < p {
+			fates[i].SurviveMask = fullMask(wordsPerLine)
+		}
+	}
+	return fates
+}
+
+// TornWords models the ADR guarantee at its true granularity: the memory
+// controller persists 8-byte words atomically, but nothing larger. Within
+// every dirty line each word independently survives with probability P
+// (default 1/2), producing torn lines that mix old and new data.
+type TornWords struct {
+	P float64 // survival probability per word; <=0 means 1/2
+}
+
+// Name implements FaultModel.
+func (TornWords) Name() string { return "torn-words" }
+
+// Plan implements FaultModel.
+func (m TornWords) Plan(rng *sim.RNG, lines []DirtyLine, wordsPerLine int) []LineFate {
+	p := m.P
+	if p <= 0 {
+		p = 0.5
+	}
+	fates := make([]LineFate, len(lines))
+	for i := range lines {
+		var mask uint64
+		for w := 0; w < wordsPerLine && w < 64; w++ {
+			if rng.Float64() < p {
+				mask |= uint64(1) << w
+			}
+		}
+		fates[i].SurviveMask = mask
+	}
+	return fates
+}
+
+// Reorder models an in-order persist queue cut at a random depth: a random
+// prefix of the unpersisted write sequence (lines ordered by their last
+// write) survives whole, the suffix rolls back. This is the epoch-ordering
+// hazard: writes below a fence drain in order, and the power fails midway
+// through the drain.
+type Reorder struct{}
+
+// Name implements FaultModel.
+func (Reorder) Name() string { return "reorder" }
+
+// Plan implements FaultModel.
+func (Reorder) Plan(rng *sim.RNG, lines []DirtyLine, wordsPerLine int) []LineFate {
+	fates := make([]LineFate, len(lines))
+	if len(lines) == 0 {
+		return fates
+	}
+	cut := rng.Intn(len(lines) + 1)
+	for i := 0; i < cut; i++ {
+		fates[i].SurviveMask = fullMask(wordsPerLine)
+	}
+	return fates
+}
+
+// Subset restricts Base to the first Limit dirty lines (in write order) and
+// rolls the rest back cleanly. The shrinker uses it to find the smallest
+// fault subset that still breaks a recovery.
+type Subset struct {
+	Base  FaultModel
+	Limit int
+}
+
+// Name implements FaultModel.
+func (m Subset) Name() string { return fmt.Sprintf("subset(%s,%d)", m.Base.Name(), m.Limit) }
+
+// Plan implements FaultModel.
+func (m Subset) Plan(rng *sim.RNG, lines []DirtyLine, wordsPerLine int) []LineFate {
+	n := m.Limit
+	if n > len(lines) {
+		n = len(lines)
+	}
+	if n < 0 {
+		n = 0
+	}
+	fates := m.Base.Plan(rng, lines[:n], wordsPerLine)
+	return append(fates, make([]LineFate, len(lines)-n)...)
+}
+
+// Models returns one instance of every named fault model, clean first.
+func Models() []FaultModel {
+	return []FaultModel{Clean{}, TornLines{}, TornWords{}, Reorder{}}
+}
+
+// ModelByName resolves a fault model from its command-line name.
+func ModelByName(name string) (FaultModel, error) {
+	for _, m := range Models() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("pmem: unknown fault model %q (have clean, torn-lines, torn-words, reorder)", name)
+}
+
+// CrashStats reports what one crash did to the device's volatile state.
+type CrashStats struct {
+	Model           string `json:"model"`
+	DirtyLines      int    `json:"dirty_lines"`      // lines volatile at the crash instant
+	LinesRolledBack int    `json:"lines_rolled_back"` // fully reverted to the durable image
+	LinesSurvived   int    `json:"lines_survived"`    // persisted whole despite never being flushed
+	WordsTorn       int    `json:"words_torn"`        // 8-byte words that survived inside partially-reverted lines
+}

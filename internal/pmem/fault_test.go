@@ -1,0 +1,231 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// dirtyN writes a distinct byte pattern to n consecutive lines without
+// persisting any of them, and returns the line addresses in write order.
+func dirtyN(d *Device, n int) []uint64 {
+	line := uint64(d.LineSize())
+	addrs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		la := uint64(i) * line
+		buf := make([]byte, line)
+		for j := range buf {
+			buf[j] = byte(i + 1)
+		}
+		d.Write(la, buf)
+		addrs[i] = la
+	}
+	return addrs
+}
+
+func TestFaultModelNames(t *testing.T) {
+	for _, m := range Models() {
+		got, err := ModelByName(m.Name())
+		if err != nil {
+			t.Fatalf("ModelByName(%q): %v", m.Name(), err)
+		}
+		if got.Name() != m.Name() {
+			t.Errorf("ModelByName(%q).Name() = %q", m.Name(), got.Name())
+		}
+	}
+	if _, err := ModelByName("no-such-model"); err == nil {
+		t.Error("ModelByName accepted a bogus name")
+	}
+}
+
+func TestCleanModelMatchesCrash(t *testing.T) {
+	d := newDev(t)
+	dirtyN(d, 8)
+	st := d.CrashWith(Clean{}, 42)
+	if st.DirtyLines != 8 || st.LinesRolledBack != 8 || st.LinesSurvived != 0 || st.WordsTorn != 0 {
+		t.Errorf("clean crash stats: %+v", st)
+	}
+	buf := make([]byte, 8*d.LineSize())
+	d.Read(0, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d after clean crash, want 0", i, b)
+		}
+	}
+}
+
+func TestTornLinesDeterministicAndWhole(t *testing.T) {
+	run := func() ([]byte, CrashStats) {
+		d := newDev(t)
+		dirtyN(d, 64)
+		st := d.CrashWith(TornLines{}, 7)
+		buf := make([]byte, 64*d.LineSize())
+		d.Read(0, buf)
+		return buf, st
+	}
+	img1, st1 := run()
+	img2, st2 := run()
+	if !bytes.Equal(img1, img2) {
+		t.Error("same seed produced different torn-lines images")
+	}
+	if st1 != st2 {
+		t.Errorf("same seed produced different stats: %+v vs %+v", st1, st2)
+	}
+	if st1.LinesSurvived == 0 || st1.LinesRolledBack == 0 {
+		t.Errorf("torn-lines over 64 lines should split: %+v", st1)
+	}
+	if st1.WordsTorn != 0 {
+		t.Errorf("torn-lines must keep or roll whole lines, tore %d words", st1.WordsTorn)
+	}
+	// Lines survive or roll back whole: every byte of a line agrees.
+	line := 64
+	for i := 0; i < 64; i++ {
+		first := img1[i*line]
+		for j := 1; j < line; j++ {
+			if img1[i*line+j] != first {
+				t.Fatalf("line %d mixed bytes under torn-lines", i)
+			}
+		}
+	}
+}
+
+func TestTornWordsTearWithinLines(t *testing.T) {
+	d := newDev(t)
+	dirtyN(d, 64)
+	st := d.CrashWith(TornWords{}, 11)
+	if st.WordsTorn == 0 {
+		t.Errorf("torn-words over 64 lines tore nothing: %+v", st)
+	}
+	// Each 8-byte word is atomic: all bytes of a word agree.
+	buf := make([]byte, 64*d.LineSize())
+	d.Read(0, buf)
+	for w := 0; w < len(buf)/8; w++ {
+		first := buf[w*8]
+		for j := 1; j < 8; j++ {
+			if buf[w*8+j] != first {
+				t.Fatalf("word %d mixed bytes under torn-words", w)
+			}
+		}
+	}
+}
+
+func TestReorderKeepsPrefix(t *testing.T) {
+	d := newDev(t)
+	addrs := dirtyN(d, 32)
+	d.CrashWith(Reorder{}, 5)
+	// Surviving lines must form a prefix of the write order: once one line
+	// rolls back, every later-written line must have rolled back too.
+	line := uint64(d.LineSize())
+	seenRollback := false
+	survived := 0
+	for i, la := range addrs {
+		buf := make([]byte, line)
+		d.Read(la, buf)
+		alive := buf[0] == byte(i+1)
+		if alive {
+			if seenRollback {
+				t.Fatalf("line %d survived after an earlier rollback (not a prefix)", i)
+			}
+			survived++
+		} else {
+			seenRollback = true
+		}
+	}
+	t.Logf("reorder kept a %d/32 prefix", survived)
+}
+
+func TestSubsetFaultsOnlyPrefix(t *testing.T) {
+	d := newDev(t)
+	addrs := dirtyN(d, 16)
+	// Fault only the first 4 dirty lines; the rest must roll back clean
+	// even under an always-survive base model.
+	d.CrashWith(Subset{Base: TornLines{P: 1}, Limit: 4}, 3)
+	line := uint64(d.LineSize())
+	for i, la := range addrs {
+		buf := make([]byte, line)
+		d.Read(la, buf)
+		alive := buf[0] == byte(i+1)
+		if i < 4 && !alive {
+			t.Errorf("line %d inside the subset rolled back under P=1", i)
+		}
+		if i >= 4 && alive {
+			t.Errorf("line %d outside the subset survived", i)
+		}
+	}
+}
+
+func TestPersistedLinesAreUntouchable(t *testing.T) {
+	d := newDev(t)
+	d.Write(0, []byte{1, 2, 3, 4})
+	d.PersistRange(0, 4)
+	d.CrashWith(TornLines{P: 0}, 9) // P=0: every dirty line rolls back
+	got := make([]byte, 4)
+	d.Read(0, got)
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("persisted line changed by fault model: %v", got)
+	}
+}
+
+func TestPowerFailLatchBlocksPersists(t *testing.T) {
+	d := newDev(t)
+	d.Write(0, []byte{1, 1, 1, 1})
+	d.SetPowerFailed(true)
+	d.PersistRange(0, 4)
+	d.PersistAll()
+	if d.DirtyLines() != 1 {
+		t.Fatalf("persist went through while power-failed: %d dirty lines", d.DirtyLines())
+	}
+	d.Crash()
+	got := make([]byte, 4)
+	d.Read(0, got)
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Errorf("write persisted across a power failure: %v", got)
+	}
+	if d.PowerFailed() {
+		t.Error("crash did not clear the power-fail latch")
+	}
+}
+
+func TestPostFailureWritesAlwaysRollBack(t *testing.T) {
+	d := newDev(t)
+	// Pre-failure dirty line: fair game for the fault model.
+	d.Write(0, []byte{1, 1, 1, 1})
+	d.SetPowerFailed(true)
+	// Post-failure write: issued after the machine died; even an
+	// always-survive model must not keep it.
+	d.Write(128, []byte{2, 2, 2, 2})
+	st := d.CrashWith(TornLines{P: 1}, 1)
+	pre := make([]byte, 4)
+	d.Read(0, pre)
+	if !bytes.Equal(pre, []byte{1, 1, 1, 1}) {
+		t.Errorf("pre-failure line should survive under P=1: %v", pre)
+	}
+	post := make([]byte, 4)
+	d.Read(128, post)
+	if !bytes.Equal(post, []byte{0, 0, 0, 0}) {
+		t.Errorf("post-failure write survived the crash: %v", post)
+	}
+	if st.LinesRolledBack != 1 || st.LinesSurvived != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestFaultPlanPurity(t *testing.T) {
+	lines := make([]DirtyLine, 100)
+	for i := range lines {
+		lines[i] = DirtyLine{Addr: uint64(i) * 64, Seq: uint64(i) + 1}
+	}
+	for _, m := range Models() {
+		a := m.Plan(sim.NewRNG(77), lines, 8)
+		b := m.Plan(sim.NewRNG(77), lines, 8)
+		if len(a) != len(lines) || len(b) != len(lines) {
+			t.Fatalf("%s: plan length %d/%d, want %d", m.Name(), len(a), len(b), len(lines))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: plan not pure at line %d", m.Name(), i)
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ type CFD struct {
 
 	expect     [3][]float32
 	expectCkpt [3][]float32
+	init       [3][]float32 // initial state, for crashes before any checkpoint
 	curIsA     bool
 	ckpts      int
 }
@@ -84,6 +85,11 @@ func (c *CFD) Setup(env *workloads.Env) error {
 	writeF32s(sp, c.rhoA, rho)
 	writeF32s(sp, c.momA, mom)
 	writeF32s(sp, c.eneA, ene)
+	c.init = [3][]float32{
+		append([]float32(nil), rho...),
+		append([]float32(nil), mom...),
+		append([]float32(nil), ene...),
+	}
 	env.Ctx.Timeline.Add("setup", sp.DMA.TransferDown(3*int64(n)*4))
 	c.curIsA = true
 

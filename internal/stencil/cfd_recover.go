@@ -36,11 +36,19 @@ func (c *CFD) Recover(env *workloads.Env) error {
 			return err
 		}
 	}
-	if cp2.Seq(0) == 0 {
-		return fmt.Errorf("cfd: crash before first checkpoint; nothing to restore")
-	}
-	if _, err := cp2.RestoreGroup(0); err != nil {
-		return err
+	if cp2.Seq(0) > 0 {
+		if _, err := cp2.RestoreGroup(0); err != nil {
+			return err
+		}
+	} else {
+		// Crash landed before the first checkpoint: restart from the
+		// initial conditions (a durable input in the paper's setting,
+		// kept host-side here).
+		sp := env.Ctx.Space
+		writeF32s(sp, c.rhoA, c.init[0])
+		writeF32s(sp, c.momA, c.init[1])
+		writeF32s(sp, c.eneA, c.init[2])
+		env.Ctx.Timeline.Add("reload", sp.DMA.TransferDown(3*n))
 	}
 	env.AddRestore(env.Ctx.Timeline.Total() - restoreStart)
 	c.cp = cp2

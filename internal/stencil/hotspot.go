@@ -281,8 +281,6 @@ func (h *Hotspot) Recover(env *workloads.Env) error {
 			return err
 		}
 		startIt = int(cp2.Seq(0)) * h.ckptEach
-	} else {
-		return fmt.Errorf("hotspot: no durable checkpoint; cannot resume (crash landed before first checkpoint)")
 	}
 	env.AddRestore(env.Ctx.Timeline.Total() - restoreStart)
 	h.cp = cp2
@@ -297,6 +295,12 @@ func (h *Hotspot) Recover(env *workloads.Env) error {
 		power[i] = float32(rng.Float64())
 	}
 	writeF32s(env.Ctx.Space, h.power, power)
+	if startIt == 0 {
+		// Crash landed before the first checkpoint: restart the whole
+		// simulation from the regenerated initial temperatures.
+		writeF32s(env.Ctx.Space, h.tempA, tmp)
+		env.Ctx.Timeline.Add("reload", env.Ctx.Space.DMA.TransferDown(int64(n)*4))
+	}
 	env.Ctx.Timeline.Add("reload", env.Ctx.Space.DMA.TransferDown(int64(n)*4))
 
 	src, dst := h.tempA, h.tempB

@@ -216,34 +216,12 @@ func report(w Workload, env *Env) *Report {
 }
 
 // RunWithCrash executes a Crasher with a fault injected after roughly
-// abortAfterOps memory operations inside the op region, simulates a power
-// failure, recovers, re-runs to completion, verifies, and reports (the
-// §6.2 / Table 5 methodology). The returned report's Restore field holds
-// the restoration latency.
+// abortAfterOps memory operations inside the op region, simulates a clean
+// power failure, recovers, re-runs to completion, verifies, and reports
+// (the §6.2 / Table 5 methodology). It is RunWithPlan under the friendliest
+// plan: one crash, clean rollback, no nested recovery crashes.
 func RunWithCrash(w Crasher, mode Mode, cfg Config, abortAfterOps int64) (*Report, error) {
-	if !w.Supports(mode) {
-		return nil, fmt.Errorf("workloads: %s does not support %s", w.Name(), mode)
-	}
-	env := NewEnv(mode, cfg)
-	if cfg.Telemetry != nil {
-		env.Ctx.AttachTelemetry(cfg.Telemetry, w.Name()+"/"+mode.String()+"/crash")
-	}
-	if err := w.Setup(env); err != nil {
-		return nil, fmt.Errorf("%s setup: %w", w.Name(), err)
-	}
-	env.BeginOps()
-	if err := w.RunUntilCrash(env, abortAfterOps); err != nil {
-		return nil, fmt.Errorf("%s crash run: %w", w.Name(), err)
-	}
-	env.Ctx.Crash()
-	if err := w.Recover(env); err != nil {
-		return nil, fmt.Errorf("%s recover: %w", w.Name(), err)
-	}
-	rep := report(w, env)
-	if err := w.Verify(env); err != nil {
-		return nil, fmt.Errorf("%s verify after recovery: %w", w.Name(), err)
-	}
-	return rep, nil
+	return RunWithPlan(w, mode, cfg, CrashPlan{AbortAfterOps: abortAfterOps})
 }
 
 // copyKernelGPU moves n bytes from src to dst with a grid of 16B-chunk
