@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check recover-smoke figures quick-figures clean
+.PHONY: build test race vet check recover-smoke determinism bench figures quick-figures clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,18 @@ check: vet race recover-smoke
 # fault models, swept crash points, one nested re-crash per recovery.
 recover-smoke:
 	$(GO) run ./cmd/gpmrecover -quick -sweep -maxpoints 2 -recrash-depth 1
+
+# The engine's bit-identity contract: 1 worker vs 8 workers must produce
+# identical simulated durations, metrics TSV, trace bytes, and campaign
+# verdicts — under the race detector, at 1 and 4 host CPUs.
+determinism:
+	$(GO) test -race -timeout 25m -cpu=1,4 -run 'TestDeterminism' ./internal/experiments/
+
+# Serial vs parallel campaign wall-clock (workers = GOMAXPROCS), with the
+# verdict-identity check; writes BENCH_parallel.json. Speedup scales with
+# host cores — a single-core runner honestly reports ~1.0x.
+bench:
+	$(GO) run ./cmd/gpmrecover -quick -bench BENCH_parallel.json -maxpoints 2
 
 # Regenerate every paper figure/table into reports/.
 figures:

@@ -38,6 +38,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
 		metricsTo = flag.String("metrics", "", "write the telemetry metrics registry as TSV to this file")
 		brkTo     = flag.String("timebreakdown", "", "write the per-run span time breakdown as TSV to this file")
+		workers   = flag.Int("workers", 0, "GPU block goroutines per kernel (0 = GOMAXPROCS, 1 = serial reference; reports are bit-identical for every value)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		cfg = workloads.QuickConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	var tel *telemetry.Telemetry
 	if *traceOut != "" || *metricsTo != "" || *brkTo != "" {

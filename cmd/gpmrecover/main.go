@@ -11,16 +11,21 @@
 //	                                        # models x swept crash points
 //	gpmrecover -sweep -recrash-depth 2      # also re-crash during recovery
 //	gpmrecover -sweep -json                 # machine-readable records
+//	gpmrecover -sweep -workers 8            # parallel sweep (same verdicts)
+//	gpmrecover -bench BENCH_parallel.json   # serial vs parallel wall-clock
 //	gpmrecover -workload gpKVS -mode GPM -faultmodel torn-lines \
 //	    -crashat 1234 -faultseed 99         # replay one shrunk failure
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/gpm-sim/gpm/internal/crash"
 	"github.com/gpm-sim/gpm/internal/experiments"
@@ -44,6 +49,8 @@ func main() {
 		shrink    = flag.Bool("shrink", false, "shrink the first failure per workload to a minimal replayable triple")
 		asJSON    = flag.Bool("json", false, "emit campaign results as JSON")
 		metricsTo = flag.String("metrics", "", "write the telemetry metrics registry (crash/fault counters included) as TSV to this file")
+		workers   = flag.Int("workers", 0, "concurrent campaign runs and GPU block goroutines (0 = GOMAXPROCS, 1 = serial reference; results are identical for every value)")
+		benchTo   = flag.String("bench", "", "benchmark the campaign serially vs with -workers, verify identical verdicts, and write the wall-clock comparison as JSON to this file")
 
 		// Replay flags (the shrinker's Replay string uses these).
 		modeName  = flag.String("mode", "", "persistence mode for -crashat replay (e.g. GPM)")
@@ -57,6 +64,7 @@ func main() {
 	if *quick {
 		cfg = workloads.QuickConfig()
 	}
+	cfg.Workers = *workers
 	var tel *telemetry.Telemetry
 	if *metricsTo != "" {
 		tel = telemetry.New()
@@ -71,10 +79,12 @@ func main() {
 
 	var code int
 	switch {
+	case *benchTo != "":
+		code = bench(mks, cfg, *seed, *stride, *points, *models, *depth, *every, *workers, *benchTo)
 	case *crashAt >= 0:
 		code = replay(mks, cfg, *modeName, *models, *crashAt, *faultSeed, *faultLim, *depth, *every)
 	case *sweep:
-		code = campaign(mks, cfg, *seed, *stride, *points, *models, *depth, *every, *shrink, *asJSON)
+		code = campaign(mks, cfg, *seed, *stride, *points, *models, *depth, *every, *workers, *shrink, *asJSON)
 	default:
 		code = stress(mks, cfg, *seed, *runs)
 	}
@@ -148,7 +158,7 @@ func stress(mks []func() workloads.Crasher, cfg workloads.Config, seed uint64, r
 }
 
 // campaign runs the deterministic sweep.
-func campaign(mks []func() workloads.Crasher, cfg workloads.Config, seed uint64, stride int64, points int, modelSpec string, depth int, every int64, shrink, asJSON bool) int {
+func campaign(mks []func() workloads.Crasher, cfg workloads.Config, seed uint64, stride int64, points int, modelSpec string, depth int, every int64, workers int, shrink, asJSON bool) int {
 	models, err := parseModels(modelSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
@@ -161,6 +171,7 @@ func campaign(mks []func() workloads.Crasher, cfg workloads.Config, seed uint64,
 		Models:       models,
 		RecrashDepth: depth,
 		RecrashEvery: every,
+		Workers:      workers,
 	}
 	results, err := c.RunAll(mks, cfg, shrink)
 	if err != nil {
@@ -246,5 +257,97 @@ func replay(mks []func() workloads.Crasher, cfg workloads.Config, modeName, mode
 	}
 	fmt.Printf("ok   %s/%s@%d seed=%d: restored in %v (%.2f%% of op time)\n",
 		name, mode, crashAt, faultSeed, rep.Restore, rep.RestoreFraction()*100)
+	return 0
+}
+
+// benchReport is the BENCH_parallel.json schema: one campaign sweep run
+// serially and again with the worker pool, plus the verdict-identity check
+// that makes the speedup claim honest.
+type benchReport struct {
+	Workers        int     `json:"workers"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Runs           int     `json:"runs"`
+	SerialWallMS   float64 `json:"serial_wall_ms"`
+	ParallelWallMS float64 `json:"parallel_wall_ms"`
+	Speedup        float64 `json:"speedup"`
+	Identical      bool    `json:"identical_results"`
+}
+
+// bench times the campaign sweep twice — workers=1, then the requested pool
+// size — checks both produce byte-identical reports, and writes the
+// comparison as JSON. Speedup is wall-clock only; simulated results never
+// depend on workers (that is the point of the comparison).
+func bench(mks []func() workloads.Crasher, cfg workloads.Config, seed uint64, stride int64, points int, modelSpec string, depth int, every int64, workers int, outPath string) int {
+	models, err := parseModels(modelSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+		return 2
+	}
+	par := workers
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sweep := func(w int) ([]byte, float64, error) {
+		c := &crash.Campaign{
+			Seed:         seed,
+			Stride:       stride,
+			MaxPoints:    points,
+			Models:       models,
+			RecrashDepth: depth,
+			RecrashEvery: every,
+			Workers:      w,
+		}
+		runCfg := cfg
+		runCfg.Workers = w
+		start := time.Now()
+		results, err := c.RunAll(mks, runCfg, false)
+		wall := time.Since(start)
+		if err != nil {
+			return nil, 0, err
+		}
+		blob, err := json.Marshal(results)
+		return blob, float64(wall.Nanoseconds()) / 1e6, err
+	}
+	serialBlob, serialMS, err := sweep(1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpmrecover: serial sweep: %v\n", err)
+		return 2
+	}
+	parBlob, parMS, err := sweep(par)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpmrecover: parallel sweep: %v\n", err)
+		return 2
+	}
+	rep := benchReport{
+		Workers:        par,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		SerialWallMS:   serialMS,
+		ParallelWallMS: parMS,
+		Identical:      bytes.Equal(serialBlob, parBlob),
+	}
+	var results []*crash.WorkloadCampaign
+	if err := json.Unmarshal(serialBlob, &results); err == nil {
+		for _, wc := range results {
+			rep.Runs += len(wc.Runs)
+		}
+	}
+	if parMS > 0 {
+		rep.Speedup = serialMS / parMS
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+		return 2
+	}
+	fmt.Printf("campaign: %d runs, serial %.0f ms, %d workers %.0f ms, %.2fx, identical=%v -> %s\n",
+		rep.Runs, serialMS, par, parMS, rep.Speedup, rep.Identical, outPath)
+	if !rep.Identical {
+		fmt.Fprintln(os.Stderr, "gpmrecover: parallel sweep diverged from serial reference")
+		return 1
+	}
 	return 0
 }

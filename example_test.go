@@ -7,9 +7,11 @@ import (
 )
 
 // Example reproduces the README quickstart: map a PM file, persist from a
-// kernel, and survive a power failure.
+// kernel, and survive a power failure. NewContext with no options is the
+// calibrated default node; see WithParams/WithMemConfig/WithTelemetry/
+// WithWorkers for the configurable form.
 func Example() {
-	ctx := gpm.NewDefaultContext()
+	ctx := gpm.NewContext()
 	m, err := ctx.Map("/pm/data", 4096, true)
 	if err != nil {
 		panic(err)
@@ -28,7 +30,7 @@ func Example() {
 // ExampleContext_LogCreateHCL shows transactional undo logging from a
 // kernel: log the old value, update, persist — then roll back.
 func ExampleContext_LogCreateHCL() {
-	ctx := gpm.NewDefaultContext()
+	ctx := gpm.NewContext()
 	data, _ := ctx.Map("/pm/tx", 64*32, true)
 	log, _ := ctx.LogCreateHCL("/pm/txlog", 1<<20, 1, 32)
 

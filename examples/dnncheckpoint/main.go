@@ -24,9 +24,10 @@ func main() {
 	cfg.DNNIters = 20
 	cfg.DNNCkptEach = 5
 	tel := telemetry.New()
-	cfg.Telemetry = tel
 
-	rep, err := workloads.RunOne(dnn.New(), workloads.GPM, cfg)
+	rep, err := workloads.RunWorkload(dnn.New(),
+		workloads.WithConfig(cfg),
+		workloads.WithTelemetry(tel))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +36,10 @@ func main() {
 		cfg.DNNIters, rep.OpTime, nCkpts, rep.CkptTime, rep.CkptTime/4)
 
 	// Crash late in training and resume from the last checkpoint.
-	crashed, err := workloads.RunWithCrash(dnn.New(), workloads.GPM, cfg, 2_500_000)
+	crashed, err := workloads.RunWorkload(dnn.New(),
+		workloads.WithConfig(cfg),
+		workloads.WithTelemetry(tel),
+		workloads.WithCrashAt(2_500_000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +48,10 @@ func main() {
 	fmt.Println("loss trajectory verified: training improved despite the crash.")
 
 	// Compare the checkpoint path against CPU-assisted persistence.
-	capRep, err := workloads.RunOne(dnn.New(), workloads.CAPmm, cfg)
+	capRep, err := workloads.RunWorkload(dnn.New(),
+		workloads.WithMode(workloads.CAPmm),
+		workloads.WithConfig(cfg),
+		workloads.WithTelemetry(tel))
 	if err != nil {
 		log.Fatal(err)
 	}

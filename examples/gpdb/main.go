@@ -48,7 +48,9 @@ func main() {
 	fmt.Printf("SELECT after UPDATE: count=%d sum=%d\n", count2, sum2)
 
 	// Crash just before commit; the undo log rolls the table back.
-	rep, err := workloads.RunWithCrash(gpdb.New(gpdb.Update), workloads.GPM, cfg, 4000)
+	rep, err := workloads.RunWorkload(gpdb.New(gpdb.Update),
+		workloads.WithConfig(cfg),
+		workloads.WithCrashAt(4000))
 	if err != nil {
 		log.Fatal(err)
 	}

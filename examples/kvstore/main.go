@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"log"
 
-	"github.com/gpm-sim/gpm/internal/kvstore"
+	// Importing the experiments catalog registers the whole GPMbench suite,
+	// so workloads resolve by their paper names through workloads.Run.
+	_ "github.com/gpm-sim/gpm/internal/experiments"
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
@@ -17,7 +19,7 @@ func main() {
 	cfg.KVSBatches = 3
 
 	// First, a clean run: three committed transactions.
-	rep, err := workloads.RunOne(kvstore.New(), workloads.GPM, cfg)
+	rep, err := workloads.Run("gpKVS", workloads.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +27,9 @@ func main() {
 		rep.Ops, rep.Throughput()/1e6, float64(rep.PMBytes)/1024)
 
 	// Now crash mid-way through the final batch and recover.
-	crashed, err := workloads.RunWithCrash(kvstore.New(), workloads.GPM, cfg, 30000)
+	crashed, err := workloads.Run("gpKVS",
+		workloads.WithConfig(cfg),
+		workloads.WithCrashAt(30000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +38,9 @@ func main() {
 	fmt.Println("durable store verified equal to the last committed state.")
 
 	// The same store through CPU-assisted persistence, for contrast.
-	capRep, err := workloads.RunOne(kvstore.New(), workloads.CAPfs, cfg)
+	capRep, err := workloads.Run("gpKVS",
+		workloads.WithMode(workloads.CAPfs),
+		workloads.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"log"
 
-	gpm "github.com/gpm-sim/gpm/internal/core"
-	"github.com/gpm-sim/gpm/internal/gpu"
+	gpm "github.com/gpm-sim/gpm"
 )
 
 func main() {
-	ctx := gpm.NewDefaultContext()
+	// The root facade assembles a node from functional options; with none it
+	// is the calibrated default. WithWorkers only bounds host goroutines —
+	// simulated results are bit-identical for every value.
+	ctx := gpm.NewContext(gpm.WithWorkers(4))
 
 	// gpm_map: a PM-resident file, visible to GPU kernels through UVA.
 	m, err := ctx.Map("/pm/quickstart", 64*64, true)
@@ -24,7 +26,7 @@ func main() {
 	// gpm_persist_begin: disable DDIO so in-kernel fences reach the ADR
 	// persistence domain instead of stopping at the CPU's LLC.
 	ctx.PersistBegin()
-	res := ctx.Launch("hello", 1, 64, func(t *gpu.Thread) {
+	res := ctx.Launch("hello", 1, 64, func(t *gpm.Thread) {
 		// One 64B line per thread, so persistence is decided per thread.
 		addr := m.Addr + uint64(t.GlobalID())*64
 		t.StoreU64(addr, uint64(t.GlobalID()*t.GlobalID()))

@@ -11,7 +11,7 @@
 //
 // A minimal program:
 //
-//	ctx := gpm.NewDefaultContext()
+//	ctx := gpm.NewContext() // or NewContext(gpm.WithWorkers(8), ...)
 //	m, _ := ctx.Map("/pm/data", 4096, true)
 //	ctx.PersistBegin()
 //	ctx.Launch("k", 1, 32, func(t *gpm.Thread) {
@@ -24,10 +24,13 @@ package gpm
 import (
 	core "github.com/gpm-sim/gpm/internal/core"
 	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/crash"
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/pmem"
 	"github.com/gpm-sim/gpm/internal/sim"
 	"github.com/gpm-sim/gpm/internal/telemetry"
+	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
 // Core libGPM types (§5, Table 2).
@@ -65,13 +68,87 @@ type (
 	MetricsRegistry = telemetry.Registry
 	// Tracer records simulated-time spans for Chrome-trace export.
 	Tracer = telemetry.Tracer
+
+	// FaultModel decides the fate of unpersisted PM lines at a power
+	// failure (clean rollback, torn lines, torn words, reordering).
+	FaultModel = pmem.FaultModel
+	// CrashPlan is one adversarial crash-recovery schedule for a workload
+	// run (crash point, fault model, nested recovery crashes).
+	CrashPlan = workloads.CrashPlan
+	// Campaign sweeps a workload's crash-schedule space deterministically,
+	// fanning runs over a bounded worker pool (Campaign.Workers).
+	Campaign = crash.Campaign
+	// CampaignRun is one (workload, mode, model, crash point) record of a
+	// campaign sweep.
+	CampaignRun = crash.RunRecord
+	// CampaignReport aggregates one workload's sweep.
+	CampaignReport = crash.WorkloadCampaign
 )
+
+// FaultModels returns every built-in persistence fault model (the sweep
+// default for Campaign.Models).
+func FaultModels() []FaultModel { return pmem.Models() }
+
+// FaultModelByName resolves a fault model from its Name (e.g. "torn-line").
+func FaultModelByName(name string) (FaultModel, error) { return pmem.ModelByName(name) }
 
 // NewTelemetry returns an empty Telemetry ready to attach to Contexts.
 func NewTelemetry() *Telemetry { return telemetry.New() }
 
-// NewContext assembles a simulated node.
-func NewContext(params *Params, cfg MemConfig) *Context { return core.NewContext(params, cfg) }
+// ContextOption configures NewContext. The zero set of options reproduces
+// NewDefaultContext: calibrated Table 3 parameters, default memory sizes, no
+// telemetry, GOMAXPROCS execution workers.
+type ContextOption func(*contextConfig)
+
+type contextConfig struct {
+	params  *Params
+	mem     MemConfig
+	tel     *Telemetry
+	label   string
+	workers int
+}
+
+// WithParams selects the timing-model parameter set.
+func WithParams(p *Params) ContextOption {
+	return func(c *contextConfig) { c.params = p }
+}
+
+// WithMemConfig sizes the simulated HBM/DRAM/PM regions.
+func WithMemConfig(m MemConfig) ContextOption {
+	return func(c *contextConfig) { c.mem = m }
+}
+
+// WithTelemetry attaches a telemetry handle; label names the trace process
+// lane ("gpm" when empty).
+func WithTelemetry(tel *Telemetry, label string) ContextOption {
+	return func(c *contextConfig) { c.tel, c.label = tel, label }
+}
+
+// WithWorkers bounds how many GPU threadblocks execute on real goroutines at
+// once (0 = GOMAXPROCS). Simulated results are bit-identical for every
+// value; 1 is the determinism reference.
+func WithWorkers(n int) ContextOption {
+	return func(c *contextConfig) { c.workers = n }
+}
+
+// NewContext assembles a simulated node. With no options it is
+// NewDefaultContext.
+func NewContext(opts ...ContextOption) *Context {
+	c := contextConfig{params: sim.Default(), mem: memsys.DefaultConfig()}
+	for _, o := range opts {
+		o(&c)
+	}
+	ctx := core.NewContext(c.params, c.mem)
+	ctx.SetWorkers(c.workers)
+	if c.tel != nil {
+		label := c.label
+		if label == "" {
+			label = "gpm"
+		}
+		ctx.AttachTelemetry(c.tel, label)
+	}
+	return ctx
+}
 
 // NewDefaultContext assembles a node with the calibrated Table 3 defaults.
 func NewDefaultContext() *Context { return core.NewDefaultContext() }

@@ -8,9 +8,19 @@
 // current. It tracks *which* dirty lines are cache-resident, evicts them
 // FIFO when capacity is exceeded (a natural eviction writes the line back
 // to media, making it durable), and translates flushes into persists.
+//
+// Cache/flush traffic arrives concurrently from many worker goroutines when
+// the parallel execution engine is active, so the domain is event-sourced:
+// CacheLines/FlushLines only append an event stamped with the access's
+// canonical sequence number, and Drain replays the buffered events in
+// sequence order at a quiescent point (kernel exit, CPU phase exit, crash,
+// or any state query). FIFO insertion order, eviction decisions, and the
+// resulting durable set are therefore identical no matter how the OS
+// scheduled the workers.
 package cache
 
 import (
+	"sort"
 	"sync"
 
 	"github.com/gpm-sim/gpm/internal/pmem"
@@ -24,6 +34,7 @@ type Domain struct {
 	dev    *pmem.Device
 
 	mu       sync.Mutex
+	events   []domainEvent
 	resident map[uint64]uint64 // line -> generation
 	queue    []fifoEntry
 	capLines int
@@ -31,6 +42,7 @@ type Domain struct {
 
 	eADR      bool
 	evictions int64
+	flushed   int64
 
 	// Telemetry mirrors; nil (no-op) until AttachTelemetry.
 	telEvictions *telemetry.Counter
@@ -44,6 +56,12 @@ func (d *Domain) AttachTelemetry(r *telemetry.Registry) {
 	d.telEvictions = r.Counter("llc.evictions")
 	d.telFlushed = r.Counter("llc.flushed_lines")
 	d.telResident = r.Gauge("llc.resident_lines")
+}
+
+type domainEvent struct {
+	flush bool
+	lines []uint64
+	seq   uint64
 }
 
 type fifoEntry struct {
@@ -80,66 +98,118 @@ func (d *Domain) EADR() bool {
 	return d.eADR
 }
 
-// CacheLines records that the given dirty PM lines are now cache-resident.
-// Under eADR they are persisted instantly; otherwise they stay volatile
-// until flushed or naturally evicted. Lines evicted to make room are written
-// back to media (persisted).
-func (d *Domain) CacheLines(lines []uint64) {
-	d.mu.Lock()
-	if d.eADR {
-		d.mu.Unlock()
-		d.dev.PersistLines(lines)
+// CacheLines records that the given dirty PM lines became cache-resident by
+// the write with canonical sequence seq. The event is buffered; Drain
+// applies it. The domain takes ownership of lines.
+func (d *Domain) CacheLines(lines []uint64, seq uint64) {
+	if len(lines) == 0 {
 		return
 	}
-	var evicted []uint64
-	for _, la := range lines {
-		d.gen++
-		d.resident[la] = d.gen
-		d.queue = append(d.queue, fifoEntry{la, d.gen})
-		for len(d.resident) > d.capLines && len(d.queue) > 0 {
-			e := d.queue[0]
-			d.queue = d.queue[1:]
-			if g, ok := d.resident[e.line]; ok && g == e.gen {
-				delete(d.resident, e.line)
-				evicted = append(evicted, e.line)
-				d.evictions++
+	d.mu.Lock()
+	d.events = append(d.events, domainEvent{flush: false, lines: lines, seq: seq})
+	d.mu.Unlock()
+}
+
+// FlushLines records a CLFLUSHOPT of the given lines at canonical sequence
+// seq: when drained, they leave the cache and persist — unless a line was
+// re-dirtied by a write that canonically follows the flush, in which case it
+// stays dirty. The domain takes ownership of lines.
+func (d *Domain) FlushLines(lines []uint64, seq uint64) {
+	if len(lines) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.events = append(d.events, domainEvent{flush: true, lines: lines, seq: seq})
+	d.mu.Unlock()
+}
+
+// Drain replays all buffered cache/flush events in canonical sequence
+// order. It must be called at a quiescent point: no concurrent writers may
+// be appending events while the drain runs (kernel launches and CPU phases
+// drain on exit; queries drain on entry).
+func (d *Domain) Drain() {
+	d.mu.Lock()
+	d.drainLocked()
+	d.mu.Unlock()
+}
+
+func (d *Domain) drainLocked() {
+	if len(d.events) == 0 {
+		return
+	}
+	events := d.events
+	d.events = nil
+	// Canonical sequences are unique per access; SliceStable keeps the
+	// replay deterministic even if a caller ever reused one.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].seq < events[j].seq })
+
+	var persisted []persistReq
+	var evictedNow, flushedNow int64
+	for _, ev := range events {
+		if ev.flush {
+			for _, la := range ev.lines {
+				delete(d.resident, la)
+				persisted = append(persisted, persistReq{la, ev.seq})
+			}
+			d.flushed += int64(len(ev.lines))
+			flushedNow += int64(len(ev.lines))
+			continue
+		}
+		if d.eADR {
+			// Inside the persistence domain: the write is durable the
+			// instant it is cached. The seq guard keeps canonically
+			// later (still-buffered) writes to the same line dirty.
+			for _, la := range ev.lines {
+				persisted = append(persisted, persistReq{la, ev.seq})
+			}
+			continue
+		}
+		for _, la := range ev.lines {
+			d.gen++
+			d.resident[la] = d.gen
+			d.queue = append(d.queue, fifoEntry{la, d.gen})
+			for len(d.resident) > d.capLines && len(d.queue) > 0 {
+				e := d.queue[0]
+				d.queue = d.queue[1:]
+				if g, ok := d.resident[e.line]; ok && g == e.gen {
+					delete(d.resident, e.line)
+					persisted = append(persisted, persistReq{e.line, ev.seq})
+					d.evictions++
+					evictedNow++
+				}
 			}
 		}
 	}
-	nResident := len(d.resident)
-	d.mu.Unlock()
-	d.telEvictions.Add(int64(len(evicted)))
-	d.telResident.Set(int64(nResident))
-	d.dev.PersistLines(evicted)
+	d.telEvictions.Add(evictedNow)
+	d.telFlushed.Add(flushedNow)
+	d.telResident.Set(int64(len(d.resident)))
+	for _, pr := range persisted {
+		d.dev.PersistLineBefore(pr.line, pr.seq)
+	}
 }
 
-// FlushLines writes the given lines back to media (CLFLUSHOPT semantics):
-// they become durable and leave the cache.
-func (d *Domain) FlushLines(lines []uint64) {
-	d.mu.Lock()
-	for _, la := range lines {
-		delete(d.resident, la)
-	}
-	nResident := len(d.resident)
-	d.mu.Unlock()
-	d.telFlushed.Add(int64(len(lines)))
-	d.telResident.Set(int64(nResident))
-	d.dev.PersistLines(lines)
+type persistReq struct {
+	line uint64
+	seq  uint64
 }
 
 // FlushAll writes back every resident line (wbinvd-scale flush, used by
 // eADR power-fail drain modeling and tests).
 func (d *Domain) FlushAll() {
 	d.mu.Lock()
+	d.drainLocked()
 	lines := make([]uint64, 0, len(d.resident))
 	for la := range d.resident {
 		lines = append(lines, la)
 	}
 	d.resident = make(map[uint64]uint64)
 	d.queue = nil
+	d.flushed += int64(len(lines))
 	d.mu.Unlock()
 	d.telFlushed.Add(int64(len(lines)))
 	d.telResident.Set(0)
+	// Deterministic write-back order for the fault models downstream.
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	d.dev.PersistLines(lines)
 }
 
@@ -148,6 +218,7 @@ func (d *Domain) Resident(addr uint64) bool {
 	la := addr / uint64(d.params.LineSize()) * uint64(d.params.LineSize())
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.drainLocked()
 	_, ok := d.resident[la]
 	return ok
 }
@@ -156,6 +227,7 @@ func (d *Domain) Resident(addr uint64) bool {
 func (d *Domain) ResidentLines() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.drainLocked()
 	return len(d.resident)
 }
 
@@ -163,13 +235,17 @@ func (d *Domain) ResidentLines() int {
 func (d *Domain) Evictions() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.drainLocked()
 	return d.evictions
 }
 
-// Crash discards all cache-resident state. The underlying device's own
-// Crash must be invoked separately; this only clears residency tracking.
+// Crash discards all cache-resident state, including buffered events that
+// were never drained — they are in-flight traffic lost with the power. The
+// underlying device's own Crash must be invoked separately; this only
+// clears residency tracking.
 func (d *Domain) Crash() {
 	d.mu.Lock()
+	d.events = nil
 	d.resident = make(map[uint64]uint64)
 	d.queue = nil
 	d.mu.Unlock()

@@ -18,7 +18,8 @@ func newDomain(t *testing.T, llcBytes int64) (*Domain, *pmem.Device) {
 func TestCachedLinesStayVolatile(t *testing.T) {
 	d, dev := newDomain(t, 1<<16)
 	lines := dev.Write(0, []byte{1})
-	d.CacheLines(lines)
+	d.CacheLines(lines, 1)
+	d.Drain()
 	if dev.Persisted(0, 1) {
 		t.Error("DDIO-cached write must not be durable")
 	}
@@ -30,8 +31,9 @@ func TestCachedLinesStayVolatile(t *testing.T) {
 func TestFlushPersists(t *testing.T) {
 	d, dev := newDomain(t, 1<<16)
 	lines := dev.Write(0, []byte{1})
-	d.CacheLines(lines)
-	d.FlushLines(lines)
+	d.CacheLines(lines, 1)
+	d.FlushLines(lines, 2)
+	d.Drain()
 	if !dev.Persisted(0, 1) {
 		t.Error("flushed line not durable")
 	}
@@ -40,13 +42,27 @@ func TestFlushPersists(t *testing.T) {
 	}
 }
 
+func TestFlushBeforeRewriteLeavesLineDirty(t *testing.T) {
+	// A flush sequenced BEFORE the line's most recent write must not
+	// persist that newer write: the line stays dirty.
+	d, dev := newDomain(t, 1<<16)
+	d.CacheLines(dev.WriteSeq(0, []byte{1}, 1), 1)
+	d.CacheLines(dev.WriteSeq(0, []byte{2}, 3), 3)
+	d.FlushLines([]uint64{0}, 2)
+	d.Drain()
+	if dev.Persisted(0, 1) {
+		t.Error("flush persisted a write sequenced after it")
+	}
+}
+
 func TestNaturalEvictionPersists(t *testing.T) {
 	// Capacity of 4 lines: the 5th insert evicts the 1st, persisting it.
 	d, dev := newDomain(t, 4*64)
 	for i := 0; i < 5; i++ {
 		lines := dev.Write(uint64(i)*64, []byte{byte(i + 1)})
-		d.CacheLines(lines)
+		d.CacheLines(lines, uint64(i+1))
 	}
+	d.Drain()
 	if !dev.Persisted(0, 1) {
 		t.Error("evicted line should be durable")
 	}
@@ -65,7 +81,7 @@ func TestRewriteDoesNotDoubleEvict(t *testing.T) {
 	d, dev := newDomain(t, 4*64)
 	for i := 0; i < 8; i++ {
 		lines := dev.Write(0, []byte{byte(i)}) // same line over and over
-		d.CacheLines(lines)
+		d.CacheLines(lines, uint64(i+1))
 	}
 	if d.Evictions() != 0 {
 		t.Errorf("rewriting one line caused %d evictions", d.Evictions())
@@ -82,7 +98,8 @@ func TestEADRPersistsImmediately(t *testing.T) {
 		t.Error("EADR not set")
 	}
 	lines := dev.Write(0, []byte{1})
-	d.CacheLines(lines)
+	d.CacheLines(lines, 1)
+	d.Drain()
 	if !dev.Persisted(0, 1) {
 		t.Error("eADR write must be durable at the LLC")
 	}
@@ -91,7 +108,7 @@ func TestEADRPersistsImmediately(t *testing.T) {
 func TestFlushAll(t *testing.T) {
 	d, dev := newDomain(t, 1<<16)
 	for i := 0; i < 10; i++ {
-		d.CacheLines(dev.Write(uint64(i)*64, []byte{1}))
+		d.CacheLines(dev.Write(uint64(i)*64, []byte{1}), uint64(i+1))
 	}
 	d.FlushAll()
 	if d.ResidentLines() != 0 {
@@ -104,7 +121,7 @@ func TestFlushAll(t *testing.T) {
 
 func TestCrashDiscardsResidency(t *testing.T) {
 	d, dev := newDomain(t, 1<<16)
-	d.CacheLines(dev.Write(0, []byte{1}))
+	d.CacheLines(dev.Write(0, []byte{1}), 1)
 	d.Crash()
 	dev.Crash()
 	if d.ResidentLines() != 0 {
@@ -114,5 +131,17 @@ func TestCrashDiscardsResidency(t *testing.T) {
 	dev.Read(0, got)
 	if got[0] != 0 {
 		t.Error("LLC-resident write survived crash")
+	}
+}
+
+func TestUndrainedEventsDieWithCrash(t *testing.T) {
+	// Buffered (never-drained) traffic is in flight at the failure instant:
+	// a crash discards it before it can influence residency or durability.
+	d, dev := newDomain(t, 1<<16)
+	d.CacheLines(dev.Write(0, []byte{1}), 1)
+	d.FlushLines([]uint64{0}, 2)
+	d.Crash()
+	if dev.Persisted(0, 1) {
+		t.Error("in-flight flush persisted across a crash")
 	}
 }

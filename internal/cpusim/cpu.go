@@ -36,6 +36,21 @@ type Thread struct {
 	pmBytes   int64
 	unflushed []uint64 // PM lines stored but not yet flushed
 	flushed   []uint64 // PM lines flushed but not yet drained
+
+	// seqBase/opIdx give every persistence-relevant operation a canonical
+	// sequence number (round-robin interleaved across the phase's threads)
+	// so the dirty-line ordering is the same no matter how the OS
+	// scheduled the goroutines. pmStats accumulates this thread's PM write
+	// pattern; Run merges the per-thread stats in thread-ID order.
+	seqBase uint64
+	opIdx   int64
+	pmStats sim.AccessStats
+}
+
+// nextSeq allocates the canonical sequence for this thread's next op.
+func (t *Thread) nextSeq() uint64 {
+	t.opIdx++
+	return t.seqBase + uint64((t.opIdx-1)*int64(t.N)+int64(t.ID)) + 1
 }
 
 // Host returns the owning host.
@@ -58,7 +73,7 @@ func (t *Thread) Compute(d sim.Duration) {
 // from Optane first); bulk stores stream at the store bandwidth.
 func (t *Thread) Write(addr uint64, p []byte) {
 	sp := t.host.Space
-	lines := sp.WriteCPU(addr, p)
+	lines := sp.WriteCPUSeq(addr, p, t.nextSeq())
 	t.unflushed = append(t.unflushed, lines...)
 	par := t.host.Params
 	kind := sp.KindOf(addr)
@@ -70,7 +85,7 @@ func (t *Thread) Write(addr uint64, p []byte) {
 			cost = sim.MaxDuration(cost, par.PMReadLatency) // write-allocate miss
 		}
 		t.clock += cost
-		recordPM(sp, addr, len(p))
+		t.recordPM(addr, len(p))
 	default:
 		cost := sim.DurationOfBytes(int64(len(p)), par.DRAMBandwidth)
 		if len(p) <= par.LineSize() {
@@ -149,7 +164,7 @@ func (t *Thread) FlushWrites() {
 // flushed lines durable.
 func (t *Thread) Drain() {
 	t.clock += t.host.Params.CPUDrainCost
-	t.host.Space.PersistLines(t.flushed)
+	t.host.Space.PersistLinesSeq(t.flushed, t.nextSeq())
 	t.flushed = t.flushed[:0]
 }
 
@@ -238,16 +253,19 @@ func (t *Thread) WriteF64(addr uint64, v float64) { t.WriteU64(addr, math.Float6
 // ReadF64 loads a float64.
 func (t *Thread) ReadF64(addr uint64) float64 { return math.Float64frombits(t.ReadU64(addr)) }
 
-// recordPM feeds the device's write-pattern statistics, chunked at Optane's
-// 256B internal granularity so sequentiality is observable.
-func recordPM(sp *memsys.Space, addr uint64, n int) {
+// recordPM feeds the thread's write-pattern statistics, chunked at Optane's
+// 256B internal granularity so sequentiality is observable. Stats stay
+// thread-local until Run merges them in thread-ID order — recording into
+// the shared device stats from concurrent threads would make the
+// sequential/random classification depend on goroutine scheduling.
+func (t *Thread) recordPM(addr uint64, n int) {
 	local := addr - memsys.PMBase
 	for n > 0 {
 		c := 256 - int(local%256)
 		if c > n {
 			c = n
 		}
-		sp.PM.WriteStats.Record(local, c)
+		t.pmStats.Record(local, c)
 		local += uint64(c)
 		n -= c
 	}
@@ -260,10 +278,11 @@ func (h *Host) Run(n int, fn func(*Thread)) sim.Duration {
 	if n < 1 {
 		n = 1
 	}
+	seqBase := h.Space.SeqMark()
 	threads := make([]*Thread, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		threads[i] = &Thread{host: h, ID: i, N: n}
+		threads[i] = &Thread{host: h, ID: i, N: n, seqBase: seqBase}
 		wg.Add(1)
 		go func(t *Thread) {
 			defer wg.Done()
@@ -273,12 +292,20 @@ func (h *Host) Run(n int, fn func(*Thread)) sim.Duration {
 	wg.Wait()
 	var crit sim.Duration
 	var pmBytes int64
+	var maxOps int64
 	for _, t := range threads {
 		if t.clock > crit {
 			crit = t.clock
 		}
 		pmBytes += t.pmBytes
+		if t.opIdx > maxOps {
+			maxOps = t.opIdx
+		}
+		// Thread-ID order: deterministic regardless of scheduling.
+		h.Space.PM.WriteStats.Merge(&t.pmStats)
 	}
+	h.Space.SeqAdvance(seqBase + uint64(maxOps)*uint64(n))
+	h.Space.DrainPersistence()
 	bound := sim.DurationOfBytes(pmBytes, h.Params.CPUPMBandwidth(n))
 	return sim.MaxDuration(crit, bound)
 }

@@ -3,8 +3,12 @@ package crash
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/gpm-sim/gpm/internal/pmem"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
@@ -39,6 +43,16 @@ type Campaign struct {
 	// recovery (see workloads.CrashPlan).
 	RecrashDepth int
 	RecrashEvery int64
+
+	// Workers bounds how many campaign runs execute concurrently
+	// (0 = GOMAXPROCS, 1 = the serial determinism reference). Every run is
+	// fully isolated — its own pmem.Device, core.Context, and (when the
+	// Config carries telemetry) its own metrics registry — and results are
+	// committed by precomputed run index, so the report, verdicts, and
+	// merged metrics are byte-identical for every Workers value.
+	Workers int
+
+	calib calibCache // memoized CountOps per (workload, mode); see inject.go
 }
 
 // DefaultPoints is the crash-point budget when Stride/MaxPoints are unset.
@@ -129,9 +143,24 @@ func faultSeed(base uint64, workload, mode, model string, crashAt int64) uint64 
 	return base ^ h.Sum64()
 }
 
+// runDesc is one precomputed campaign run: everything needed to execute it
+// is decided up front, so execution order cannot influence the report.
+type runDesc struct {
+	mode workloads.Mode
+	plan workloads.CrashPlan
+	rec  RunRecord // pre-filled coordinates; outcome fields set by execute
+}
+
 // Run sweeps one workload and returns its campaign report. Calibration
 // errors (the workload cannot even run under a mode) are returned as
 // errors; recovery failures are recorded in the report.
+//
+// The sweep runs in two phases. Planning is serial: each mode is calibrated
+// once (memoized — crash points never re-run the op census), and one base
+// plan per (mode, model) pair is specialized per crash point into a flat
+// descriptor list. Execution fans the descriptors over Workers goroutines;
+// every run builds a fresh isolated node and commits its record by
+// descriptor index, so the report is identical for any Workers value.
 func (c *Campaign) Run(mk func() workloads.Crasher, cfg workloads.Config) (*WorkloadCampaign, error) {
 	w := mk()
 	wc := &WorkloadCampaign{Workload: w.Name()}
@@ -139,8 +168,9 @@ func (c *Campaign) Run(mk func() workloads.Crasher, cfg workloads.Config) (*Work
 	if len(modes) == 0 {
 		return nil, fmt.Errorf("%s supports no crash-study mode", w.Name())
 	}
+	var descs []runDesc
 	for mi, mode := range modes {
-		total, err := CountOps(mk(), mode, cfg)
+		total, err := c.calib.countOps(mk, w.Name(), mode, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("calibrate %s/%s: %w", w.Name(), mode, err)
 		}
@@ -149,33 +179,106 @@ func (c *Campaign) Run(mk func() workloads.Crasher, cfg workloads.Config) (*Work
 		}
 		points := sweepPoints(total, c.Stride, c.MaxPoints)
 		for _, model := range c.models() {
+			// One base plan per (mode, model); each crash point only
+			// specializes the abort index and fault seed.
+			base := workloads.CrashPlan{
+				Fault:        model,
+				RecrashDepth: c.RecrashDepth,
+				RecrashEvery: c.RecrashEvery,
+			}
 			for _, pt := range points {
-				rec := RunRecord{
-					Workload:     w.Name(),
-					Mode:         mode.String(),
-					Model:        model.Name(),
-					CrashAt:      pt,
-					FaultSeed:    faultSeed(c.Seed, w.Name(), mode.String(), model.Name(), pt),
-					RecrashDepth: c.RecrashDepth,
-				}
-				rep, err := workloads.RunWithPlan(mk(), mode, cfg, workloads.CrashPlan{
-					AbortAfterOps: pt,
-					Fault:         model,
-					FaultSeed:     rec.FaultSeed,
-					RecrashDepth:  c.RecrashDepth,
-					RecrashEvery:  c.RecrashEvery,
+				plan := base
+				plan.AbortAfterOps = pt
+				plan.FaultSeed = faultSeed(c.Seed, w.Name(), mode.String(), model.Name(), pt)
+				descs = append(descs, runDesc{
+					mode: mode,
+					plan: plan,
+					rec: RunRecord{
+						Workload:     w.Name(),
+						Mode:         mode.String(),
+						Model:        model.Name(),
+						CrashAt:      pt,
+						FaultSeed:    plan.FaultSeed,
+						RecrashDepth: c.RecrashDepth,
+					},
 				})
-				if err != nil {
-					rec.Err = err.Error()
-					wc.Failures++
-				} else {
-					rec.RestoreUS = rep.Restore.Seconds() * 1e6
-				}
-				wc.Runs = append(wc.Runs, rec)
 			}
 		}
 	}
+	wc.Runs = c.execute(mk, cfg, descs)
+	for _, r := range wc.Runs {
+		if r.Err != "" {
+			wc.Failures++
+		}
+	}
 	return wc, nil
+}
+
+// workers resolves the campaign's worker-pool size.
+func (c *Campaign) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// execute fans the descriptor list over a bounded worker pool. Each run is a
+// fully isolated simulated node (NewEnv inside RunWorkload builds a private
+// pmem.Device and core.Context), so runs share no mutable state; records
+// land at their descriptor index, keeping report order deterministic.
+//
+// When cfg carries telemetry, each run writes to a private registry and the
+// registries merge into the campaign registry in descriptor order after the
+// pool drains — counters and histograms sum and the merge order fixes gauge
+// last-writer, so the aggregate is byte-identical to a serial sweep.
+// Campaign telemetry is metrics-only: per-run trace spans are discarded
+// (interleaved traces from concurrent runs would not be meaningful).
+func (c *Campaign) execute(mk func() workloads.Crasher, cfg workloads.Config, descs []runDesc) []RunRecord {
+	recs := make([]RunRecord, len(descs))
+	tels := make([]*telemetry.Telemetry, len(descs))
+	n := c.workers()
+	if n > len(descs) {
+		n = len(descs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < n; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(descs) {
+					return
+				}
+				d := descs[i]
+				runCfg := cfg
+				if cfg.Telemetry != nil {
+					tels[i] = telemetry.New()
+					runCfg.Telemetry = tels[i]
+				}
+				rec := d.rec
+				rep, err := workloads.RunWorkload(mk(),
+					workloads.WithMode(d.mode),
+					workloads.WithConfig(runCfg),
+					workloads.WithCrashPlan(d.plan))
+				if err != nil {
+					rec.Err = err.Error()
+				} else {
+					rec.RestoreUS = rep.Restore.Seconds() * 1e6
+				}
+				recs[i] = rec
+			}
+		}()
+	}
+	wg.Wait()
+	if cfg.Telemetry != nil {
+		reg := cfg.Telemetry.Registry()
+		for _, t := range tels {
+			reg.Merge(t.Registry())
+		}
+	}
+	return recs
 }
 
 // RunAll sweeps every workload and, when shrink is true, reduces the first

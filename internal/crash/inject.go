@@ -10,6 +10,7 @@ package crash
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/gpm-sim/gpm/internal/sim"
 	"github.com/gpm-sim/gpm/internal/workloads"
@@ -22,12 +23,45 @@ var CrashStudyModes = []workloads.Mode{workloads.GPM, workloads.GPMeADR}
 
 // Injector drives randomized crash-recovery stress runs.
 type Injector struct {
-	rng *sim.RNG
+	rng   *sim.RNG
+	calib calibCache
 }
 
 // NewInjector returns an injector with a deterministic crash-point stream.
 func NewInjector(seed uint64) *Injector {
 	return &Injector{rng: sim.NewRNG(seed)}
+}
+
+// calibCache memoizes CountOps results per (workload, mode). The op count is
+// a function of (workload, mode, cfg); the cache lives inside one Injector or
+// Campaign, which by construction runs with a single Config, so the key can
+// omit it. This hoists the sacrificial calibration run out of sweep loops:
+// one run per (workload, mode) instead of one per crash point or per Stress
+// call.
+type calibCache struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (c *calibCache) countOps(mk func() workloads.Crasher, name string, mode workloads.Mode, cfg workloads.Config) (int64, error) {
+	key := name + "|" + mode.String()
+	c.mu.Lock()
+	if n, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+	n, err := CountOps(mk(), mode, cfg)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[key] = n
+	c.mu.Unlock()
+	return n, nil
 }
 
 // Result reports one stress run.
@@ -37,13 +71,15 @@ type Result struct {
 	Report  *workloads.Report
 }
 
-// Stress measures a workload's operation count on a sacrificial instance,
-// crashes a fresh instance at a random point in the second half of
+// Stress measures a workload's operation count on a sacrificial instance
+// (memoized per (workload, mode) across calls, so repeated stress runs pay
+// for calibration once), crashes a fresh instance at a random point in the
+// second half of
 // execution (so recovery has real state to work with), recovers, verifies,
 // and reports. An error means recovery produced incorrect state — the §6.2
 // experiment failing.
 func (in *Injector) Stress(mk func() workloads.Crasher, mode workloads.Mode, cfg workloads.Config) (*Result, error) {
-	total, err := CountOps(mk(), mode, cfg)
+	total, err := in.calib.countOps(mk, mk().Name(), mode, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("calibration: %w", err)
 	}

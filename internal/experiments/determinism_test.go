@@ -1,0 +1,128 @@
+package experiments
+
+// The determinism suite is the engine's bit-identity contract, checked at
+// the API surface users see: running any GPMbench workload with 1 worker
+// (the serial reference) and with 8 workers must produce identical simulated
+// durations, identical metrics TSV bytes, identical Chrome-trace bytes, and
+// identical crash-campaign verdicts. CI runs this file under -race with
+// -cpu=1,4 so real parallel interleavings are exercised, not just simulated.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/crash"
+	"github.com/gpm-sim/gpm/internal/kvstore"
+	"github.com/gpm-sim/gpm/internal/telemetry"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// runReport captures everything a worker count could possibly perturb.
+type runReport struct {
+	rep *workloads.Report
+	tsv string
+}
+
+func runAt(t *testing.T, mk func() workloads.Workload, cfg workloads.Config, workers int) runReport {
+	t.Helper()
+	tel := telemetry.New()
+	rep, err := workloads.RunWorkload(mk(),
+		workloads.WithConfig(cfg),
+		workloads.WithTelemetry(tel),
+		workloads.WithWorkers(workers))
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return runReport{rep: rep, tsv: tel.Metrics.TSV()}
+}
+
+// TestDeterminismAcrossWorkers runs every GPMbench workload with the serial
+// reference and an 8-goroutine pool and requires bit-identical results.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	cfg := workloads.QuickConfig()
+	for _, mk := range Suite() {
+		mk := mk
+		t.Run(mk().Name(), func(t *testing.T) {
+			t.Parallel()
+			serial := runAt(t, mk, cfg, 1)
+			parallel := runAt(t, mk, cfg, 8)
+			if serial.rep.OpTime != parallel.rep.OpTime {
+				t.Errorf("simulated OpTime depends on workers: 1 -> %v, 8 -> %v",
+					serial.rep.OpTime, parallel.rep.OpTime)
+			}
+			if serial.rep.TotalTime != parallel.rep.TotalTime {
+				t.Errorf("simulated TotalTime depends on workers: 1 -> %v, 8 -> %v",
+					serial.rep.TotalTime, parallel.rep.TotalTime)
+			}
+			if serial.rep.CkptTime != parallel.rep.CkptTime {
+				t.Errorf("CkptTime depends on workers: 1 -> %v, 8 -> %v",
+					serial.rep.CkptTime, parallel.rep.CkptTime)
+			}
+			if serial.rep.PMBytes != parallel.rep.PMBytes || serial.rep.Ops != parallel.rep.Ops {
+				t.Errorf("PM traffic depends on workers: 1 -> (%d B, %d ops), 8 -> (%d B, %d ops)",
+					serial.rep.PMBytes, serial.rep.Ops, parallel.rep.PMBytes, parallel.rep.Ops)
+			}
+			if serial.tsv != parallel.tsv {
+				t.Errorf("metrics TSV differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s",
+					serial.tsv, parallel.tsv)
+			}
+		})
+	}
+}
+
+// TestDeterminismTraceBytes requires the Chrome-trace export to be
+// byte-identical across worker counts for a representative workload (spans
+// are keyed on simulated time, so host scheduling must not leak in).
+func TestDeterminismTraceBytes(t *testing.T) {
+	cfg := workloads.QuickConfig()
+	trace := func(workers int) []byte {
+		tel := telemetry.New()
+		if _, err := workloads.RunWorkload(kvstore.New(),
+			workloads.WithConfig(cfg),
+			workloads.WithTelemetry(tel),
+			workloads.WithWorkers(workers)); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tel.Trace.ChromeTrace()
+	}
+	serial := trace(1)
+	parallel := trace(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("Chrome trace differs between 1 and 8 workers (%d vs %d bytes)",
+			len(serial), len(parallel))
+	}
+}
+
+// TestDeterminismCampaignVerdicts sweeps a crash campaign serially and with
+// a worker pool at both levels (campaign runs and GPU blocks) and requires
+// identical record sets and identical merged metrics.
+func TestDeterminismCampaignVerdicts(t *testing.T) {
+	cfg := workloads.QuickConfig()
+	sweep := func(workers int) ([]byte, string) {
+		c := &crash.Campaign{Seed: 7, MaxPoints: 2, RecrashDepth: 1, Workers: workers}
+		runCfg := cfg
+		runCfg.Workers = workers
+		tel := telemetry.New()
+		runCfg.Telemetry = tel
+		wc, err := c.Run(func() workloads.Crasher { return kvstore.New() }, runCfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := json.Marshal(wc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob, tel.Metrics.TSV()
+	}
+	serialBlob, serialTSV := sweep(1)
+	parBlob, parTSV := sweep(8)
+	if !bytes.Equal(serialBlob, parBlob) {
+		t.Fatalf("campaign verdicts differ between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s",
+			serialBlob, parBlob)
+	}
+	if serialTSV != parTSV {
+		t.Fatalf("campaign metrics differ between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s",
+			serialTSV, parTSV)
+	}
+}

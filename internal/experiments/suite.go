@@ -11,6 +11,14 @@ import (
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
+// The whole suite registers into the workloads name registry, so any caller
+// that imports this catalog can start runs with workloads.Run("gpKVS", ...).
+func init() {
+	for _, mk := range Suite() {
+		workloads.Register(mk)
+	}
+}
+
 // Suite returns fresh instances of every GPMbench workload configuration
 // evaluated in Fig 9/10 (the nine workloads of Table 1, with gpKVS and gpDB
 // split into their reported variants), in the paper's presentation order.

@@ -62,8 +62,10 @@ func (g *GPUFS) GWrite(t *gpu.Thread, f *File, off int64, p []byte) error {
 	t.Serialize("gpufs-rpc", par.GPUFSCallOverhead+sim.Duration(pages)*par.SyscallOverhead)
 	t.Compute(sim.DurationOfBytes(int64(len(p)), par.PCIeBandwidth))
 	// The daemon's copy lands in the file's pages; it does NOT persist.
-	sp := t.Space()
-	sp.WriteCPU(f.addr+uint64(off), p)
+	// The write is proxied through the calling thread so it carries that
+	// thread's canonical sequence (ambient writes from inside a kernel
+	// would be ordered by goroutine scheduling).
+	t.HostWriteBytes(f.addr+uint64(off), p)
 	f.mu.Lock()
 	f.dirty = append(f.dirty, span{off, int64(len(p))})
 	f.mu.Unlock()
@@ -96,9 +98,8 @@ func (g *GPUFS) GFsync(t *gpu.Thread, f *File) {
 	f.dirty = nil
 	f.mu.Unlock()
 	var lines int64
-	sp := t.Space()
 	for _, s := range dirty {
-		sp.PersistRange(f.addr+uint64(s.off), int(s.n))
+		t.HostPersistRange(f.addr+uint64(s.off), int(s.n))
 		lines += (s.n + int64(par.LineSize()) - 1) / int64(par.LineSize())
 	}
 	t.Serialize("gpufs-rpc", par.GPUFSCallOverhead+par.FsyncBase+

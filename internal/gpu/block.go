@@ -9,6 +9,7 @@ import (
 // Block is one resident threadblock.
 type Block struct {
 	dev      *Device
+	eng      *engine
 	id       int
 	grid     int // number of blocks in the grid
 	nthreads int
@@ -76,7 +77,7 @@ func (b *Block) flushFinal() sim.Duration {
 	return maxClock
 }
 
-func (d *Device) runBlock(id, grid, tpb int, kern func(*Thread), agg *kernelStats) sim.Duration {
+func (d *Device) runBlock(eng *engine, id, grid, tpb int, kern func(*Thread), st *kernelStats) (sim.Duration, []*Thread) {
 	ws := d.Params.WarpSize
 	if ws <= 0 {
 		ws = 32
@@ -84,11 +85,12 @@ func (d *Device) runBlock(id, grid, tpb int, kern func(*Thread), agg *kernelStat
 	nWarps := (tpb + ws - 1) / ws
 	blk := &Block{
 		dev:      d,
+		eng:      eng,
 		id:       id,
 		grid:     grid,
 		nthreads: tpb,
 		warps:    make([]*warp, nWarps),
-		stats:    agg,
+		stats:    st,
 	}
 	for i := range blk.warps {
 		width := ws
@@ -97,35 +99,44 @@ func (d *Device) runBlock(id, grid, tpb int, kern func(*Thread), agg *kernelStat
 		}
 		blk.warps[i] = newWarp(width)
 	}
-	blk.bar.init(tpb, blk.flushAndSync)
+	blk.bar.init(tpb, blk.flushAndSync, eng)
 
+	threads := make([]*Thread, tpb)
 	var wg sync.WaitGroup
 	for tid := 0; tid < tpb; tid++ {
+		t := &Thread{
+			blk:  blk,
+			id:   tid,
+			warp: blk.warps[tid/ws],
+			lane: tid % ws,
+		}
+		threads[tid] = t
 		wg.Add(1)
-		go func(tid int) {
+		go func(t *Thread) {
 			defer wg.Done()
-			t := &Thread{
-				blk:  blk,
-				id:   tid,
-				warp: blk.warps[tid/ws],
-				lane: tid % ws,
-			}
 			defer func() {
+				// Order matters: deregister from the barrier first (it may
+				// release stragglers, re-registering them with the engine),
+				// then leave the engine's runnable set — which may trigger
+				// a spawn or an atomic round.
 				blk.bar.done()
+				eng.exitThread()
 				if r := recover(); r != nil && r != ErrCrashed {
 					panic(r)
 				}
 			}()
 			kern(t)
-		}(tid)
+		}(t)
 	}
 	wg.Wait()
-	return blk.flushFinal()
+	return blk.flushFinal(), threads
 }
 
 // barrier is a reusable block-wide barrier that tolerates threads leaving
 // (thread exit deregisters via done) and runs a callback — the warp-log
-// flush — exactly once per release, while all threads are quiescent.
+// flush — exactly once per release, while all threads are quiescent. It
+// reports parked/woken threads to the launch engine so quiescence detection
+// sees barrier waiters as not-runnable. Lock order: bar.mu → eng.mu.
 type barrier struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -133,11 +144,13 @@ type barrier struct {
 	count     int
 	gen       uint64
 	onRelease func()
+	eng       *engine
 }
 
-func (b *barrier) init(total int, onRelease func()) {
+func (b *barrier) init(total int, onRelease func(), eng *engine) {
 	b.total = total
 	b.onRelease = onRelease
+	b.eng = eng
 	b.cond = sync.NewCond(&b.mu)
 }
 
@@ -146,11 +159,15 @@ func (b *barrier) wait() {
 	b.mu.Lock()
 	b.count++
 	if b.count >= b.total {
-		b.release()
+		// The arriving thread never parked, so it wakes count-1 waiters.
+		b.release(b.count - 1)
 		b.mu.Unlock()
 		return
 	}
 	gen := b.gen
+	// Park before sleeping; releasing requires b.mu, so a release cannot
+	// slip between the park and the cond.Wait below.
+	b.eng.parkBarrier()
 	for gen == b.gen {
 		b.cond.Wait()
 	}
@@ -158,21 +175,24 @@ func (b *barrier) wait() {
 }
 
 // done deregisters an exiting thread; if it was the last straggler holding
-// up a barrier, the barrier releases.
+// up a barrier, the barrier releases. All count arrived threads are parked.
 func (b *barrier) done() {
 	b.mu.Lock()
 	b.total--
 	if b.count > 0 && b.count >= b.total {
-		b.release()
+		b.release(b.count)
 	}
 	b.mu.Unlock()
 }
 
-// release must be called with b.mu held.
-func (b *barrier) release() {
+// release must be called with b.mu held; woken is the number of parked
+// threads this release wakes. They re-enter the engine's runnable set
+// before the broadcast so quiescence is never observed mid-release.
+func (b *barrier) release(woken int) {
 	if b.onRelease != nil {
 		b.onRelease()
 	}
+	b.eng.unpark(woken)
 	b.count = 0
 	b.gen++
 	b.cond.Broadcast()

@@ -18,6 +18,7 @@ package gpu
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,10 +42,26 @@ type Device struct {
 	resNames []string
 	resIDs   map[string]uint32
 
+	// workers bounds how many blocks execute on real goroutines at once;
+	// 0 means GOMAXPROCS. Simulated results are identical for every value
+	// (see engine.go); workers affects wall-clock time only.
+	workers int
+
 	abortEnabled atomic.Bool
 	abortCheck   func(op int64) bool
-	opCounter    atomic.Int64
 	aborted      atomic.Bool
+
+	// opBase/opHigh track canonical operation indices across launches:
+	// every thread operation gets the index
+	//
+	//	opBase + (localOp-1)*gridThreads + globalID + 1
+	//
+	// — a deterministic function of program position, not of scheduling.
+	// opBase advances by maxLocalOps*gridThreads per launch; opHigh is the
+	// highest index any thread actually executed (ObservedOps). Host-serial
+	// access only.
+	opBase int64
+	opHigh int64
 
 	// powerFailOnAbort makes the abort instant authoritative: the moment
 	// the check fires, the space's power-failure latch is set so that no
@@ -109,22 +126,51 @@ func (d *Device) resourceName(id uint32) string {
 	return fmt.Sprintf("resource-%d", id)
 }
 
-// SetAbortCheck installs a fault-injection hook: check is called with a
-// monotonically increasing operation index for every thread memory
-// operation, and the first true return aborts the running kernel (the
-// NVBitFI analog, §6.2). check must be safe for concurrent use. Pass nil to
-// disable. Installing a hook also clears any previous aborted state.
+// SetWorkers bounds the number of blocks executing on real goroutines at
+// once; n <= 0 restores the default (GOMAXPROCS). The worker count never
+// affects simulated results — -workers 1 is the determinism reference and
+// higher counts must reproduce it bit-identically.
+func (d *Device) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.workers = n
+}
+
+// Workers returns the configured worker bound (0 = GOMAXPROCS).
+func (d *Device) Workers() int { return d.workers }
+
+func (d *Device) effectiveWorkers() int {
+	if d.workers > 0 {
+		return d.workers
+	}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// SetAbortCheck installs a fault-injection hook: check is called with each
+// operation's canonical index — a deterministic function of the operation's
+// program position, identical for every worker count — and a true return
+// aborts that thread at that operation (the NVBitFI analog, §6.2). Checks
+// are expected to be monotone thresholds (op >= K): each thread then
+// executes exactly its operations with index < K, so the crash lands at the
+// same canonical instant on every run. check must be safe for concurrent
+// use. Pass nil to disable. Installing a hook also clears any previous
+// aborted state and restarts the canonical index space.
 func (d *Device) SetAbortCheck(check func(op int64) bool) {
 	d.abortCheck = check
-	d.opCounter.Store(0)
+	d.opBase = 0
+	d.opHigh = 0
 	d.aborted.Store(false)
 	d.abortEnabled.Store(check != nil)
 }
 
-// ObservedOps returns the number of operations counted since the last
-// SetAbortCheck (used to pick crash points: install a never-firing check,
-// run once, and read the total).
-func (d *Device) ObservedOps() int64 { return d.opCounter.Load() }
+// ObservedOps returns the highest canonical operation index executed since
+// the last SetAbortCheck (used to pick crash points: install a never-firing
+// check, run once, and read the total).
+func (d *Device) ObservedOps() int64 { return d.opHigh }
 
 // Aborted reports whether the abort check has fired since the last
 // SetAbortCheck. Campaign drivers use it to distinguish "recovery finished
@@ -136,24 +182,6 @@ func (d *Device) Aborted() bool { return d.aborted.Load() }
 // off until the crash is simulated, so nothing issued after the failure
 // instant can become durable.
 func (d *Device) SetPowerFailOnAbort(on bool) { d.powerFailOnAbort.Store(on) }
-
-// noteOp advances the fault-injection counter; it reports true if the
-// kernel must abort.
-func (d *Device) noteOp() bool {
-	if !d.abortEnabled.Load() {
-		return false
-	}
-	if d.aborted.Load() {
-		return true
-	}
-	if d.abortCheck(d.opCounter.Add(1)) {
-		if d.aborted.CompareAndSwap(false, true) && d.powerFailOnAbort.Load() {
-			d.Space.SetPowerFailed(true)
-		}
-		return true
-	}
-	return false
-}
 
 // Result reports one kernel execution.
 type Result struct {
@@ -175,41 +203,101 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, kern func(*Thr
 	if threadsPerBlock > 1024 {
 		panic(fmt.Sprintf("gpu: threadsPerBlock %d exceeds 1024 for kernel %s", threadsPerBlock, name))
 	}
-	agg := newStats()
+	tpb := threadsPerBlock
+	eng := newEngine(d, blocks*tpb)
+
 	concurrent := d.Params.MaxConcurrentBlocks()
 	waves := (blocks + concurrent - 1) / concurrent
-	waveCrit := make([]sim.Duration, waves)
-	var critMu sync.Mutex
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 1 {
-		workers = 1
+	window := d.effectiveWorkers()
+	if window > concurrent {
+		window = concurrent
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for b := 0; b < blocks; b++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(b int) {
-			defer func() {
-				<-sem
-				wg.Done()
-			}()
-			crit := d.runBlock(b, blocks, threadsPerBlock, kern, agg)
-			w := b / concurrent
-			critMu.Lock()
-			if crit > waveCrit[w] {
-				waveCrit[w] = crit
-			}
-			critMu.Unlock()
-		}(b)
-	}
-	wg.Wait()
 
+	blockStats := make([]*kernelStats, blocks)
+	blockThreads := make([][]*Thread, blocks)
+	blockCrit := make([]sim.Duration, blocks)
+
+	// Blocks execute on a bounded pool of goroutines, one wave of resident
+	// blocks at a time (hardware occupancy). The engine's quiescence
+	// protocol keeps atomics and fault injection deterministic for any
+	// window size; everything below the wave loop is a serial reduction in
+	// block-ID order.
+	for w := 0; w < waves; w++ {
+		lo, hi := w*concurrent, (w+1)*concurrent
+		if hi > blocks {
+			hi = blocks
+		}
+		eng.beginWave(hi - lo)
+		var wg sync.WaitGroup
+		for b := lo; b < hi; b++ {
+			eng.awaitSpawnSlot(window, tpb)
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				st := newStats()
+				crit, threads := d.runBlock(eng, b, blocks, tpb, kern, st)
+				blockStats[b] = st
+				blockThreads[b] = threads
+				blockCrit[b] = crit
+				eng.blockDone()
+			}(b)
+		}
+		wg.Wait()
+	}
+
+	agg := newStats()
+	for _, st := range blockStats {
+		agg.mergeFrom(st)
+	}
 	crit := d.Params.KernelLaunch
-	for _, c := range waveCrit {
-		crit += c
+	for w := 0; w < waves; w++ {
+		lo, hi := w*concurrent, (w+1)*concurrent
+		if hi > blocks {
+			hi = blocks
+		}
+		var waveMax sim.Duration
+		for b := lo; b < hi; b++ {
+			if blockCrit[b] > waveMax {
+				waveMax = blockCrit[b]
+			}
+		}
+		crit += waveMax
 	}
+
+	// Canonical-index bookkeeping: advance the op and PM-sequence windows
+	// past everything this launch could have issued, and pin the
+	// power-failure instant (if armed) to the first aborted operation.
+	var maxLocal, maxExec int64
+	minAbort := int64(math.MaxInt64)
+	for _, threads := range blockThreads {
+		for _, t := range threads {
+			if t.opIdx > maxLocal {
+				maxLocal = t.opIdx
+			}
+			if t.lastExec > maxExec {
+				maxExec = t.lastExec
+			}
+			if t.abortedAt != 0 && t.abortedAt < minAbort {
+				minAbort = t.abortedAt
+			}
+		}
+	}
+	d.opBase = eng.opBase + maxLocal*eng.gridThreads
+	if maxExec > d.opHigh {
+		d.opHigh = maxExec
+	}
+	d.Space.SeqAdvance(eng.seqBase + uint64(maxLocal)*uint64(eng.gridThreads))
+	if minAbort != math.MaxInt64 && d.powerFailOnAbort.Load() && !d.Space.PowerFailed() {
+		// The latch must precede the exit drain: the buffered LLC events
+		// span the whole kernel, and only those sequenced at or before the
+		// failure instant may persist. Every executed operation has
+		// canonical index < minAbort, hence sequence <= cut: legitimate
+		// pre-crash writes stay eligible for the fault models, everything
+		// after the failure instant rolls back unconditionally.
+		d.Space.PowerFailAtSeq(eng.seqBase + uint64(minAbort-eng.opBase) - 1)
+	}
+	d.Space.DrainPersistence()
+
 	res := Result{Stats: agg.snapshot(d)}
 	res.Crashed = d.aborted.Load()
 	res.Elapsed = d.elapsed(crit, &res.Stats)

@@ -1,0 +1,196 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// engine coordinates one kernel launch across a bounded pool of real
+// goroutines while keeping every simulated outcome schedule-independent.
+//
+// The determinism argument has three parts:
+//
+//  1. Between synchronization points (atomics, barriers, exit) kernel code
+//     is race-free — the repo runs under -race — so each thread's execution
+//     segment depends only on values committed by earlier rounds, never on
+//     how the OS interleaved the segments.
+//
+//  2. Atomics do not execute inline. A thread reaching an atomic parks;
+//     when every runnable thread of the wave has parked or exited
+//     (quiescence), the engine commits all pending atomics in canonical
+//     (block ID, thread ID) order and wakes the waiters. The quiescent
+//     state — who is parked where, with which operands — is therefore the
+//     unique fixed point of "run every thread to its next synchronization
+//     point", independent of scheduling and of the worker count.
+//
+//  3. Rounds never commit while the wave is partially spawned: if the
+//     spawn window (the -workers bound) is full and the wave still has
+//     unspawned blocks, quiescence force-spawns the next block instead.
+//     Every round therefore sees the whole wave's threads, so the window
+//     size affects wall-clock time only.
+//
+// Every thread additionally derives a canonical operation index from its
+// position in the program (see Thread.checkCrash), which feeds the
+// fault-injection abort check, the canonical PM write sequence numbers,
+// and the power-failure cut — all schedule-independent.
+type engine struct {
+	dev *Device
+
+	// Launch-wide canonical constants, captured while the host is serial.
+	opBase         int64  // device op-index base for this launch
+	gridThreads    int64  // total threads in the grid
+	seqBase        uint64 // PM sequence window base for this launch
+	abortEnabled   bool
+	abortCheck     func(op int64) bool
+	alreadyAborted bool // a previous launch aborted; every op aborts
+
+	mu        sync.Mutex
+	spawnCond *sync.Cond
+
+	active    int  // spawned threads neither parked nor exited
+	inFlight  int  // spawned, unfinished blocks
+	unspawned int  // blocks of the current wave not yet spawned
+	force     bool // quiescence hit with a partially spawned wave
+
+	pending []*atomicWait
+}
+
+// atomicWait is one thread parked at an atomic read-modify-write.
+type atomicWait struct {
+	t     *Thread
+	addr  uint64
+	f     func(uint32) uint32
+	seq   uint64 // canonical sequence of the atomic's write
+	old   uint32
+	lines []uint64
+	wake  chan struct{}
+}
+
+func newEngine(d *Device, gridThreads int) *engine {
+	e := &engine{
+		dev:            d,
+		opBase:         d.opBase,
+		gridThreads:    int64(gridThreads),
+		seqBase:        d.Space.SeqMark(),
+		abortEnabled:   d.abortEnabled.Load(),
+		abortCheck:     d.abortCheck,
+		alreadyAborted: d.aborted.Load(),
+	}
+	e.spawnCond = sync.NewCond(&e.mu)
+	return e
+}
+
+// beginWave registers a new wave's block count.
+func (e *engine) beginWave(blocks int) {
+	e.mu.Lock()
+	e.unspawned = blocks
+	e.mu.Unlock()
+}
+
+// awaitSpawnSlot blocks until the spawner may launch the next block of the
+// wave (window has room, or quiescence demands progress), then registers
+// the block's threads as runnable.
+func (e *engine) awaitSpawnSlot(window, tpb int) {
+	e.mu.Lock()
+	for e.inFlight >= window && !e.force {
+		e.spawnCond.Wait()
+	}
+	e.force = false
+	e.inFlight++
+	e.unspawned--
+	e.active += tpb
+	e.mu.Unlock()
+}
+
+// blockDone retires a finished block, freeing a window slot.
+func (e *engine) blockDone() {
+	e.mu.Lock()
+	e.inFlight--
+	e.spawnCond.Signal()
+	e.mu.Unlock()
+}
+
+// exitThread removes an exiting (returned or crash-unwound) thread from the
+// runnable set.
+func (e *engine) exitThread() {
+	e.mu.Lock()
+	e.active--
+	e.maybeTrigger()
+	e.mu.Unlock()
+}
+
+// parkBarrier removes a thread that is about to wait on its block barrier
+// from the runnable set. Called with the barrier's mutex held; the
+// bar.mu → eng.mu lock order is the only compound order in the engine.
+func (e *engine) parkBarrier() {
+	e.mu.Lock()
+	e.active--
+	e.maybeTrigger()
+	e.mu.Unlock()
+}
+
+// unpark re-registers n threads that a barrier release is about to wake.
+// The accounting must precede the wake: a woken thread could otherwise
+// observe a stale quiescent state.
+func (e *engine) unpark(n int) {
+	if n <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.active += n
+	e.mu.Unlock()
+}
+
+// parkAtomic parks the calling thread at an atomic; the caller then blocks
+// on w.wake until a round commits it.
+func (e *engine) parkAtomic(w *atomicWait) {
+	e.mu.Lock()
+	e.pending = append(e.pending, w)
+	e.active--
+	e.maybeTrigger()
+	e.mu.Unlock()
+}
+
+// maybeTrigger runs on every transition that can reach quiescence
+// (active == 0). Policy, in order: finish spawning the wave, then commit
+// the pending atomic round. Called with e.mu held.
+func (e *engine) maybeTrigger() {
+	if e.active != 0 {
+		return
+	}
+	if e.unspawned > 0 {
+		e.force = true
+		e.spawnCond.Signal()
+		return
+	}
+	if len(e.pending) > 0 {
+		e.runRound()
+	}
+}
+
+// runRound commits every pending atomic in canonical (block, thread) order
+// and wakes the waiters. All other threads of the wave are parked or
+// exited, so the reads and writes below are the only accesses in flight.
+// Called with e.mu held.
+func (e *engine) runRound() {
+	sort.Slice(e.pending, func(i, j int) bool {
+		a, b := e.pending[i].t, e.pending[j].t
+		if a.blk.id != b.blk.id {
+			return a.blk.id < b.blk.id
+		}
+		return a.id < b.id
+	})
+	sp := e.dev.Space
+	for _, w := range e.pending {
+		w.old = sp.ReadU32(w.addr)
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], w.f(w.old))
+		w.lines = sp.WriteGPUSeq(w.addr, b[:], w.seq)
+	}
+	e.active += len(e.pending)
+	for _, w := range e.pending {
+		close(w.wake)
+	}
+	e.pending = nil
+}

@@ -90,6 +90,27 @@ func (k *kernelStats) merge(b *replayBatch) {
 	k.pmWrites.Merge(&b.pmWrites)
 }
 
+// mergeFrom folds another block's totals into k. It runs in Launch's serial
+// reduction phase (block-ID order), after all block goroutines have joined,
+// so no locking is needed; every term is a commutative sum, but the fixed
+// order keeps the AccessStats sequential/random classification — which is
+// order-sensitive — deterministic.
+func (k *kernelStats) mergeFrom(o *kernelStats) {
+	k.pmWriteBytes += o.pmWriteBytes
+	k.pmWriteTxns += o.pmWriteTxns
+	k.pmReadBytes += o.pmReadBytes
+	k.pmReadTxns += o.pmReadTxns
+	k.hostWriteBytes += o.hostWriteBytes
+	k.hostReadBytes += o.hostReadBytes
+	k.hostTxns += o.hostTxns
+	k.hbmBytes += o.hbmBytes
+	k.fences += o.fences
+	for id, d := range o.serial {
+		k.serial[id] += d
+	}
+	k.pmWrites.Merge(&o.pmWrites)
+}
+
 func (k *kernelStats) snapshot(d *Device) Stats {
 	k.mu.Lock()
 	defer k.mu.Unlock()

@@ -19,6 +19,17 @@ type Thread struct {
 	lane int // lane within the warp
 
 	dirty []uint64 // virtual PM lines written since the last system fence
+
+	// Canonical-index state (see engine.go). opIdx counts this thread's
+	// operations; each gets the launch-wide canonical index
+	// opBase + (opIdx-1)*gridThreads + globalID + 1 and the PM sequence
+	// seqBase + (index - opBase). lastExec is the highest index executed,
+	// abortedAt the index at which the fault injector unwound the thread
+	// (0 = none). Read by Launch after the join.
+	opIdx    int64
+	lastExec int64
+	abortedAt int64
+	curSeq   uint64
 }
 
 // ---- Identity ----
@@ -53,10 +64,22 @@ func (t *Thread) log(op laneOp) {
 	t.warp.lanes[t.lane] = append(t.warp.lanes[t.lane], op)
 }
 
+// checkCrash advances this thread's canonical operation index and runs the
+// fault-injection check against it. With the monotone checks the campaign
+// uses (op >= K), every thread executes exactly its operations with index
+// below K and unwinds at its first index at or past K — the same canonical
+// crash instant for every worker count.
 func (t *Thread) checkCrash() {
-	if t.blk.dev.noteOp() {
+	eng := t.blk.eng
+	t.opIdx++
+	idx := eng.opBase + (t.opIdx-1)*eng.gridThreads + int64(t.GlobalID()) + 1
+	t.curSeq = eng.seqBase + uint64(idx-eng.opBase)
+	if eng.abortEnabled && (eng.alreadyAborted || eng.abortCheck(idx)) {
+		t.abortedAt = idx
+		t.blk.dev.aborted.Store(true)
 		panic(ErrCrashed)
 	}
+	t.lastExec = idx
 }
 
 func (t *Thread) trackDirty(lines []uint64) {
@@ -87,7 +110,7 @@ func dedupeLines(lines []uint64) []uint64 {
 // StoreBytes writes p at addr.
 func (t *Thread) StoreBytes(addr uint64, p []byte) {
 	t.checkCrash()
-	t.trackDirty(t.Space().WriteGPU(addr, p))
+	t.trackDirty(t.Space().WriteGPUSeq(addr, p, t.curSeq))
 	t.log(laneOp{kind: opStore, addr: addr, size: uint32(len(p)), space: t.Space().KindOf(addr)})
 }
 
@@ -152,7 +175,7 @@ func (t *Thread) FenceSystem() {
 	ddioOff := sp.DDIOOff()
 	lines := dedupeLines(t.dirty)
 	if ddioOff {
-		sp.PersistLines(lines)
+		sp.PersistLinesSeq(lines, t.curSeq)
 	}
 	t.dirty = t.dirty[:0]
 	t.log(laneOp{kind: opFence, aux: uint32(len(lines)), flag: ddioOff})
@@ -191,20 +214,41 @@ func (t *Thread) Serialize(resource string, d sim.Duration) {
 	t.log(laneOp{kind: opSerial, aux: id, dur: d})
 }
 
+// ---- Host-proxy operations (GPUfs daemon writes) ----
+
+// HostWriteBytes performs a CPU-daemon store on behalf of this GPU thread
+// (the GPUfs RPC path): the payload lands in the CPU caches with this
+// operation's canonical sequence, so its durability ordering is
+// schedule-independent. Timing is accounted separately by the caller
+// (Serialize/Compute); no warp-log entry is recorded.
+func (t *Thread) HostWriteBytes(addr uint64, p []byte) {
+	t.checkCrash()
+	t.Space().WriteCPUSeq(addr, p, t.curSeq)
+}
+
+// HostPersistRange is the daemon-side fsync analog of HostWriteBytes: it
+// flushes the virtual PM range at this operation's canonical sequence.
+func (t *Thread) HostPersistRange(addr uint64, n int) {
+	t.checkCrash()
+	t.Space().PersistRangeSeq(addr, n, t.curSeq)
+}
+
 // ---- Atomics ----
 
+// atomicApply32 parks the thread at the launch engine's arbiter. The
+// read-modify-write executes when every runnable thread of the wave has
+// parked or exited, in canonical (block, thread) order — so the value each
+// thread observes is identical for every worker count. The timing model is
+// unchanged: the operation is logged and costed at warp replay, exactly as
+// when atomics executed inline.
 func (t *Thread) atomicApply32(addr uint64, f func(uint32) uint32) (old uint32) {
 	t.checkCrash()
-	sp := t.Space()
-	mu := sp.LockFor(addr)
-	mu.Lock()
-	old = sp.ReadU32(addr)
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], f(old))
-	t.trackDirty(sp.WriteGPU(addr, b[:]))
-	mu.Unlock()
-	t.log(laneOp{kind: opAtomic, addr: addr, size: 4, space: sp.KindOf(addr)})
-	return old
+	w := &atomicWait{t: t, addr: addr, f: f, seq: t.curSeq, wake: make(chan struct{})}
+	t.blk.eng.parkAtomic(w)
+	<-w.wake
+	t.trackDirty(w.lines)
+	t.log(laneOp{kind: opAtomic, addr: addr, size: 4, space: t.Space().KindOf(addr)})
+	return w.old
 }
 
 // AtomicAdd32 atomically adds delta at addr and returns the old value.

@@ -66,6 +66,13 @@ type Space struct {
 
 	pmNext atomic.Uint64
 
+	// seqNext allocates ambient (host-serial) canonical sequence numbers
+	// for PM traffic. GPU kernels and CPU phases instead reserve a window
+	// with SeqMark/SeqAdvance and stamp each access with a sequence derived
+	// from its program position, so the ordering that the LLC drain and the
+	// crash fault models observe is schedule-independent.
+	seqNext atomic.Uint64
+
 	ddioOff atomic.Bool
 	eADR    atomic.Bool
 
@@ -206,6 +213,29 @@ func (s *Space) SetEADR(on bool) {
 // EADR reports whether eADR is enabled.
 func (s *Space) EADR() bool { return s.eADR.Load() }
 
+// ---- Canonical write sequencing ----
+
+// NextSeq allocates one ambient canonical sequence number. Ambient traffic
+// (host code running serially between kernel launches and CPU phases) is
+// already deterministically ordered, so a shared counter suffices for it.
+func (s *Space) NextSeq() uint64 { return s.seqNext.Add(1) }
+
+// SeqMark returns the current sequence high-water mark. A kernel launch or
+// CPU phase captures it as the base of its canonical sequence window.
+func (s *Space) SeqMark() uint64 { return s.seqNext.Load() }
+
+// SeqAdvance moves the sequence allocator past a window reserved with
+// SeqMark. Called at kernel/phase exit while the host is serial.
+func (s *Space) SeqAdvance(to uint64) {
+	if to > s.seqNext.Load() {
+		s.seqNext.Store(to)
+	}
+}
+
+// DrainPersistence replays buffered LLC cache/flush events in canonical
+// order. Called at quiescent points: kernel launch exit, CPU phase exit.
+func (s *Space) DrainPersistence() { s.LLC.Drain() }
+
 // ---- Data movement ----
 
 func (s *Space) resolve(addr uint64, n int) (Kind, uint64) {
@@ -253,13 +283,27 @@ func (s *Space) Read(addr uint64, p []byte) {
 // are in flight toward the ADR domain and become durable at the issuing
 // thread's next system-scoped fence. The returned line addresses (virtual)
 // are what that fence must persist; nil for non-PM targets.
+// Ambient (host-serial) callers use the seq-less wrappers below. They drain
+// the LLC event buffer immediately after each access: ambient code is
+// already deterministically ordered, and eager application preserves exact
+// store→flush→store semantics on a line (the deferred drain keeps only the
+// newest contents, so it cannot persist an intermediate version — that
+// deferral is reserved for kernel/phase windows, where it is documented).
 func (s *Space) WriteGPU(addr uint64, p []byte) []uint64 {
+	lines := s.WriteGPUSeq(addr, p, s.NextSeq())
+	s.LLC.Drain()
+	return lines
+}
+
+// WriteGPUSeq is WriteGPU with a caller-supplied canonical sequence number
+// (GPU threads stamp each store with its program position).
+func (s *Space) WriteGPUSeq(addr uint64, p []byte, seq uint64) []uint64 {
 	kind, off := s.resolve(addr, len(p))
 	switch kind {
 	case KindPM:
-		lines := s.PM.Write(off, p)
+		lines := s.PM.WriteSeq(off, p, seq)
 		if !s.ddioOff.Load() {
-			s.LLC.CacheLines(lines)
+			s.LLC.CacheLines(lines, seq)
 			return nil // the fence cannot persist LLC-resident lines
 		}
 		for i := range lines {
@@ -278,11 +322,23 @@ func (s *Space) WriteGPU(addr uint64, p []byte) []uint64 {
 // CPU caches (volatile until CLFLUSHOPT+SFENCE, or durable at once under
 // eADR); the returned virtual line addresses are what a flush must cover.
 func (s *Space) WriteCPU(addr uint64, p []byte) []uint64 {
+	lines := s.WriteCPUSeq(addr, p, s.NextSeq())
+	s.LLC.Drain()
+	return lines
+}
+
+// WriteCPUSeq is WriteCPU with a caller-supplied canonical sequence number
+// (cpusim threads stamp each store with its phase position).
+func (s *Space) WriteCPUSeq(addr uint64, p []byte, seq uint64) []uint64 {
 	kind, off := s.resolve(addr, len(p))
 	switch kind {
 	case KindPM:
-		lines := s.PM.Write(off, p)
-		s.LLC.CacheLines(lines)
+		lines := s.PM.WriteSeq(off, p, seq)
+		// The LLC event takes ownership of its slice; copy because the
+		// non-eADR return value below rebases the same lines to virtual.
+		cached := make([]uint64, len(lines))
+		copy(cached, lines)
+		s.LLC.CacheLines(cached, seq)
 		if s.eADR.Load() {
 			return nil
 		}
@@ -302,8 +358,26 @@ func (s *Space) WriteCPU(addr uint64, p []byte) []uint64 {
 // lives on the PM device, where every durability path (fence flush, DDIO
 // write-back, eADR instant persist) terminates — so code that keeps running
 // after an injected mid-recovery crash cannot retroactively make state
-// durable through any route.
-func (s *Space) SetPowerFailed(v bool) { s.PM.SetPowerFailed(v) }
+// durable through any route. Buffered cache events drain first: traffic
+// issued before the failure instant still reaches the persistence domain.
+func (s *Space) SetPowerFailed(v bool) {
+	if v {
+		s.LLC.Drain()
+	}
+	s.PM.SetPowerFailed(v)
+}
+
+// PowerFailAtSeq latches the power failure at an explicit canonical
+// sequence cut: pre-cut traffic drains into the persistence domain, and
+// writes sequenced after the cut unconditionally roll back at the next
+// crash. The parallel engine uses this to pin a mid-kernel failure to the
+// canonical instant of the first aborted operation. The latch is set before
+// the drain: the buffered events span the whole kernel window, and the
+// replay must persist only those sequenced at or before the cut.
+func (s *Space) PowerFailAtSeq(cut uint64) {
+	s.PM.SetPowerFailedAt(cut)
+	s.LLC.Drain()
+}
 
 // PowerFailed reports whether the power-failure latch is set.
 func (s *Space) PowerFailed() bool { return s.PM.PowerFailed() }
@@ -311,6 +385,13 @@ func (s *Space) PowerFailed() bool { return s.PM.PowerFailed() }
 // PersistLines makes the given virtual PM lines durable (fence with DDIO
 // off, or an explicit CPU flush).
 func (s *Space) PersistLines(lines []uint64) {
+	s.PersistLinesSeq(lines, s.NextSeq())
+	s.LLC.Drain()
+}
+
+// PersistLinesSeq is PersistLines stamped with the canonical sequence of
+// the fence that issued it.
+func (s *Space) PersistLinesSeq(lines []uint64, seq uint64) {
 	if len(lines) == 0 {
 		return
 	}
@@ -320,11 +401,18 @@ func (s *Space) PersistLines(lines []uint64) {
 			local = append(local, la-PMBase)
 		}
 	}
-	s.LLC.FlushLines(local)
+	s.LLC.FlushLines(local, seq)
 }
 
 // PersistRange makes every line overlapping the virtual PM range durable.
 func (s *Space) PersistRange(addr uint64, n int) {
+	s.PersistRangeSeq(addr, n, s.NextSeq())
+	s.LLC.Drain()
+}
+
+// PersistRangeSeq is PersistRange stamped with the canonical sequence of
+// the flush that issued it.
+func (s *Space) PersistRangeSeq(addr uint64, n int, seq uint64) {
 	if n <= 0 {
 		return
 	}
@@ -339,7 +427,7 @@ func (s *Space) PersistRange(addr uint64, n int) {
 	for la := first; la <= last; la += line {
 		lines = append(lines, la)
 	}
-	s.LLC.FlushLines(lines)
+	s.LLC.FlushLines(lines, seq)
 }
 
 // Persisted reports whether the virtual PM range is fully durable.
@@ -348,6 +436,7 @@ func (s *Space) Persisted(addr uint64, n int) bool {
 	if kind != KindPM {
 		return false
 	}
+	s.LLC.Drain()
 	return s.PM.Persisted(off, n)
 }
 
@@ -357,6 +446,7 @@ func (s *Space) SnapshotPersistent(addr uint64, n int) []byte {
 	if kind != KindPM {
 		panic("memsys: SnapshotPersistent on non-PM address")
 	}
+	s.LLC.Drain()
 	return s.PM.SnapshotPersistent(off, n)
 }
 
@@ -373,6 +463,10 @@ func (s *Space) Crash() {
 // model sees nothing dirty. The power-failure latch is cleared: the failure
 // instant has passed and the node is rebooting.
 func (s *Space) CrashWith(model pmem.FaultModel, seed uint64) pmem.CrashStats {
+	// Apply buffered cache traffic first: it was issued before this crash
+	// instant. (Under a power-fail latch the persists inside the drain are
+	// no-ops, which is exactly right — that traffic died with the power.)
+	s.LLC.Drain()
 	if s.eADR.Load() {
 		s.LLC.FlushAll()
 	}

@@ -34,8 +34,13 @@ type Device struct {
 
 	// writeSeq orders dirty lines by their most recent write, so crash
 	// fault models (Reorder in particular) can reason about the
-	// unpersisted write sequence.
+	// unpersisted write sequence. Callers driving the device through
+	// memsys.Space supply canonical (schedule-independent) sequence
+	// numbers via WriteSeq; writeSeq is the fallback allocator for
+	// direct-device users. maxSeq tracks the highest sequence number the
+	// device has seen from either source.
 	writeSeq atomic.Uint64
+	maxSeq   atomic.Uint64
 
 	// powerOff latches the power-failure instant (set by the fault
 	// injector when an abort fires mid-recovery). While set, nothing can
@@ -147,10 +152,21 @@ func (d *Device) Read(addr uint64, p []byte) {
 // snapshot concurrently with another writer's store to the same line could
 // leak never-persisted bytes into the "durable" image.
 func (d *Device) Write(addr uint64, p []byte) []uint64 {
+	return d.WriteSeq(addr, p, d.writeSeq.Add(1))
+}
+
+// WriteSeq is Write with a caller-supplied sequence number. The parallel
+// execution engine assigns each write a canonical sequence derived from its
+// position in the program (not from scheduling order), so the dirty-line
+// ordering that fault models observe is identical no matter how many worker
+// goroutines executed the run. When concurrent writers touch the same line,
+// the line keeps the maximum sequence — also schedule-independent.
+func (d *Device) WriteSeq(addr uint64, p []byte, seq uint64) []uint64 {
 	d.check(addr, len(p))
 	if len(p) == 0 {
 		return nil
 	}
+	d.noteSeq(seq)
 	first := addr / d.line * d.line
 	last := (addr + uint64(len(p)) - 1) / d.line * d.line
 	lines := make([]uint64, 0, (last-first)/d.line+1)
@@ -164,13 +180,12 @@ func (d *Device) Write(addr uint64, p []byte) []uint64 {
 			end = addr + uint64(len(p))
 		}
 		sh := d.shardFor(la)
-		seq := d.writeSeq.Add(1)
 		sh.mu.Lock()
 		if ent, dirty := sh.overlay[la]; !dirty {
 			old := make([]byte, d.line)
 			copy(old, d.data[la:la+d.line])
 			sh.overlay[la] = &dirtyLine{old: old, seq: seq}
-		} else {
+		} else if seq > ent.seq {
 			ent.seq = seq
 		}
 		copy(d.data[start:end], p[start-addr:end-addr])
@@ -183,6 +198,16 @@ func (d *Device) Write(addr uint64, p []byte) []uint64 {
 	d.telWriteBytes.Add(int64(len(p)))
 	d.telWriteTxns.Inc()
 	return lines
+}
+
+// noteSeq raises the device's sequence high-water mark.
+func (d *Device) noteSeq(seq uint64) {
+	for {
+		cur := d.maxSeq.Load()
+		if seq <= cur || d.maxSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // WriteDurable stores p at addr and marks the touched lines durable
@@ -199,9 +224,19 @@ func (d *Device) WriteDurable(addr uint64, p []byte) {
 // (unconditionally rolled back).
 func (d *Device) SetPowerFailed(v bool) {
 	if v {
-		d.powerCut.Store(d.writeSeq.Load())
+		d.powerCut.Store(d.maxSeq.Load())
 	}
 	d.powerOff.Store(v)
+}
+
+// SetPowerFailedAt latches the power failure at an explicit sequence cut:
+// writes with seq > cut are treated as post-failure and unconditionally roll
+// back at the next crash. The parallel engine uses this to pin the failure
+// instant to a canonical sequence number instead of "whatever the device had
+// seen when some racing thread noticed the abort".
+func (d *Device) SetPowerFailedAt(cut uint64) {
+	d.powerCut.Store(cut)
+	d.powerOff.Store(true)
 }
 
 // PowerFailed reports whether the power-failure latch is set.
@@ -220,6 +255,40 @@ func (d *Device) PersistLine(lineAddr uint64) {
 	_, dirty := sh.overlay[la]
 	if dirty {
 		delete(sh.overlay, la)
+	}
+	sh.mu.Unlock()
+	if dirty {
+		d.metrics.mu.Lock()
+		d.metrics.bytesPersisted += int64(d.line)
+		d.metrics.linesPersisted++
+		d.metrics.mu.Unlock()
+		d.telPersistBytes.Add(int64(d.line))
+		d.telPersistLines.Inc()
+	}
+}
+
+// PersistLineBefore persists one line only if its most recent write is not
+// newer than seq. The LLC drain uses it when replaying buffered flush events
+// in canonical order: a fence must not make writes that canonically follow
+// it durable, and since the simulator keeps only the current line contents,
+// a line re-dirtied after the fence instant simply stays dirty.
+//
+// Under a power-failure latch the cut is honored rather than the persist
+// being dropped outright: buffered traffic sequenced before the failure
+// instant still reaches the persistence domain, while flushes sequenced
+// after it died with the power.
+func (d *Device) PersistLineBefore(lineAddr, seq uint64) {
+	if d.powerOff.Load() && seq > d.powerCut.Load() {
+		return
+	}
+	la := lineAddr / d.line * d.line
+	sh := d.shardFor(la)
+	sh.mu.Lock()
+	ent, dirty := sh.overlay[la]
+	if dirty && ent.seq <= seq {
+		delete(sh.overlay, la)
+	} else {
+		dirty = false
 	}
 	sh.mu.Unlock()
 	if dirty {
@@ -293,9 +362,9 @@ func (d *Device) CrashWith(model FaultModel, seed uint64) CrashStats {
 	}
 	// Writes issued after the power-failure instant never reached the
 	// device; they roll back no matter what the fault model says.
-	cut := uint64(0)
+	cut, cutActive := uint64(0), false
 	if d.powerOff.Load() {
-		cut = d.powerCut.Load()
+		cut, cutActive = d.powerCut.Load(), true
 	}
 	d.powerOff.Store(false)
 	if _, clean := model.(Clean); model == nil || clean {
@@ -326,7 +395,7 @@ func (d *Device) CrashWith(model FaultModel, seed uint64) CrashStats {
 		sh := &d.shards[i]
 		sh.mu.Lock()
 		for la, ent := range sh.overlay {
-			if cut > 0 && ent.seq > cut {
+			if cutActive && ent.seq > cut {
 				// Post-failure write: force rollback now.
 				copy(d.data[la:la+d.line], ent.old)
 				delete(sh.overlay, la)
@@ -338,7 +407,16 @@ func (d *Device) CrashWith(model FaultModel, seed uint64) CrashStats {
 		}
 		sh.mu.Unlock()
 	}
-	sort.Slice(refs, func(i, j int) bool { return refs[i].line.Seq < refs[j].line.Seq })
+	// Order by sequence, tie-broken by address: canonical sequences are
+	// unique per write, but a multi-line write shares one sequence across
+	// its lines, and the address tie-break keeps the fault-model input
+	// deterministic in that case too.
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].line.Seq != refs[j].line.Seq {
+			return refs[i].line.Seq < refs[j].line.Seq
+		}
+		return refs[i].line.Addr < refs[j].line.Addr
+	})
 	lines := make([]DirtyLine, len(refs))
 	for i, r := range refs {
 		lines[i] = r.line

@@ -234,6 +234,68 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// Merge folds another registry's metrics into r: counters and histogram
+// buckets/sums add; gauges overwrite (last merge wins, so merging run
+// results in run order keeps gauge semantics of "latest value"). Histograms
+// with mismatched bounds merge bucket-by-index up to the shorter set, with
+// the remainder folded into overflow — in practice bounds always match
+// because both sides name the same metrics. The parallel campaign driver
+// uses Merge to give every run an isolated registry and still publish one
+// aggregate, identical to what serial execution would have produced.
+func (r *Registry) Merge(from *Registry) {
+	if r == nil || from == nil {
+		return
+	}
+	// Snapshot the source under its lock, then fold into r. Never hold both
+	// locks at once (no lock-order to get wrong).
+	type histSnap struct {
+		buckets []Bucket
+		sum     int64
+	}
+	from.mu.Lock()
+	counters := make(map[string]int64, len(from.counters))
+	for name, c := range from.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(from.gauges))
+	for name, g := range from.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]histSnap, len(from.hists))
+	for name, h := range from.hists {
+		hists[name] = histSnap{buckets: h.Buckets(), sum: h.Sum()}
+	}
+	from.mu.Unlock()
+
+	for name, v := range counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, snap := range hists {
+		bounds := make([]int64, 0, len(snap.buckets))
+		for _, bk := range snap.buckets {
+			if bk.Le != InfBucket {
+				bounds = append(bounds, bk.Le)
+			}
+		}
+		h := r.Histogram(name, bounds)
+		overflow := len(h.counts) - 1
+		for i, bk := range snap.buckets {
+			if bk.Count == 0 {
+				continue
+			}
+			j := i
+			if j > overflow {
+				j = overflow
+			}
+			h.counts[j].Add(bk.Count)
+		}
+		h.sum.Add(snap.sum)
+	}
+}
+
 // TSV renders every metric as tab-separated "metric\ttype\tvalue" rows
 // (the reports/ format), sorted by metric name so output is deterministic.
 // Histograms expand to one row per bucket plus sum and count rows.

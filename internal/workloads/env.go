@@ -37,6 +37,7 @@ func NewEnv(mode Mode, cfg Config) *Env {
 		mcfg = memsys.DefaultConfig()
 	}
 	ctx := gpm.NewContext(params, mcfg)
+	ctx.SetWorkers(cfg.Workers)
 	if mode.EADR() {
 		ctx.Space.SetEADR(true)
 	}
@@ -162,7 +163,13 @@ type Crasher interface {
 
 // RunOne executes a workload under a mode on a fresh environment and
 // returns its report.
+//
+// Deprecated: use Run (by name) or RunWorkload with WithMode/WithConfig.
 func RunOne(w Workload, mode Mode, cfg Config) (*Report, error) {
+	return RunWorkload(w, WithMode(mode), WithConfig(cfg))
+}
+
+func runOne(w Workload, mode Mode, cfg Config) (*Report, error) {
 	if !w.Supports(mode) {
 		return nil, fmt.Errorf("workloads: %s does not support %s", w.Name(), mode)
 	}
@@ -220,8 +227,10 @@ func report(w Workload, env *Env) *Report {
 // power failure, recovers, re-runs to completion, verifies, and reports
 // (the §6.2 / Table 5 methodology). It is RunWithPlan under the friendliest
 // plan: one crash, clean rollback, no nested recovery crashes.
+//
+// Deprecated: use Run/RunWorkload with WithCrashAt.
 func RunWithCrash(w Crasher, mode Mode, cfg Config, abortAfterOps int64) (*Report, error) {
-	return RunWithPlan(w, mode, cfg, CrashPlan{AbortAfterOps: abortAfterOps})
+	return RunWorkload(w, WithMode(mode), WithConfig(cfg), WithCrashAt(abortAfterOps))
 }
 
 // copyKernelGPU moves n bytes from src to dst with a grid of 16B-chunk

@@ -63,7 +63,13 @@ const defaultRecrashEvery = 48
 // space's persist paths shut off (power has failed), so not even host-side
 // recovery code that keeps executing can make state durable after the
 // failure instant.
+//
+// Deprecated: use Run/RunWorkload with WithCrashPlan.
 func RunWithPlan(w Crasher, mode Mode, cfg Config, plan CrashPlan) (*Report, error) {
+	return RunWorkload(w, WithMode(mode), WithConfig(cfg), WithCrashPlan(plan))
+}
+
+func runWithPlan(w Crasher, mode Mode, cfg Config, plan CrashPlan) (*Report, error) {
 	if !w.Supports(mode) {
 		return nil, fmt.Errorf("workloads: %s does not support %s", w.Name(), mode)
 	}
