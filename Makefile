@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check recover-smoke determinism bench figures quick-figures clean
+.PHONY: build test race vet check recover-smoke serve-smoke determinism bench figures quick-figures clean
 
 build:
 	$(GO) build ./...
@@ -17,13 +17,20 @@ vet:
 	$(GO) vet ./...
 
 # check is the tier-1 gate: everything CI runs.
-check: vet race recover-smoke
+check: vet race recover-smoke serve-smoke
 	$(GO) build ./...
 
 # Deterministic crash-campaign smoke: every recoverable workload, all four
 # fault models, swept crash points, one nested re-crash per recovery.
 recover-smoke:
 	$(GO) run ./cmd/gpmrecover -quick -sweep -maxpoints 2 -recrash-depth 1
+
+# Serving-path smoke: real TCP loopback load through the batched gpKVS
+# front-end (10k ops, 2 shards, GPM), kill-and-recover every shard mid-batch,
+# verify the durable store against the committed oracle, and write
+# BENCH_serve.json (throughput + latency percentiles).
+serve-smoke:
+	$(GO) run ./cmd/gpmserve -selftest -ops 10000 -shards 2 -out BENCH_serve.json
 
 # The engine's bit-identity contract: 1 worker vs 8 workers must produce
 # identical simulated durations, metrics TSV, trace bytes, and campaign

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/gpm-sim/gpm/internal/experiments"
@@ -29,37 +31,11 @@ import (
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
-func main() {
-	var (
-		name      = flag.String("experiment", "all", "experiment to run (figure1a..figure12, table4, table5, dnnfreq, optane, all)")
-		out       = flag.String("out", "reports", "output directory for TSV reports")
-		quick     = flag.Bool("quick", false, "use the smaller test-scale configuration")
-		seed      = flag.Uint64("seed", 42, "workload generator seed")
-		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
-		metricsTo = flag.String("metrics", "", "write the telemetry metrics registry as TSV to this file")
-		brkTo     = flag.String("timebreakdown", "", "write the per-run span time breakdown as TSV to this file")
-		workers   = flag.Int("workers", 0, "GPU block goroutines per kernel (0 = GOMAXPROCS, 1 = serial reference; reports are bit-identical for every value)")
-	)
-	flag.Parse()
-
-	cfg := workloads.DefaultConfig()
-	if *quick {
-		cfg = workloads.QuickConfig()
-	}
-	cfg.Seed = *seed
-	cfg.Workers = *workers
-
-	var tel *telemetry.Telemetry
-	if *traceOut != "" || *metricsTo != "" || *brkTo != "" {
-		tel = telemetry.New()
-		cfg.Telemetry = tel
-	}
-
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
-	}
-
-	runners := map[string]func() (*experiments.Table, error){
+// experimentNames are the valid -experiment values, kept alongside the
+// runner map in main (newExperimentRunners) — validation and dispatch must
+// agree, so both derive from the same table.
+func experimentRunners(cfg workloads.Config) map[string]func() (*experiments.Table, error) {
+	return map[string]func() (*experiments.Table, error){
 		"figure1a":  func() (*experiments.Table, error) { return experiments.Figure1a(cfg) },
 		"figure1b":  func() (*experiments.Table, error) { return experiments.Figure1b(cfg) },
 		"figure3":   func() (*experiments.Table, error) { return experiments.Figure3(8 << 20) },
@@ -76,6 +52,66 @@ func main() {
 		"cpudb":     func() (*experiments.Table, error) { return experiments.CPUDatabase(cfg) },
 		"ckptfreq":  func() (*experiments.Table, error) { return experiments.CheckpointFrequency(cfg) },
 	}
+}
+
+// validateFlags rejects flag values that previously fell back to defaults
+// silently (or crashed deep inside a run). experiment must name a known
+// experiment or "all"; workers must be positive (1 = serial reference).
+func validateFlags(experiment string, workers int, known []string) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d (1 = serial reference; default = GOMAXPROCS)", workers)
+	}
+	if experiment == "all" {
+		return nil
+	}
+	for _, n := range known {
+		if n == experiment {
+			return nil
+		}
+	}
+	sorted := append([]string(nil), known...)
+	sort.Strings(sorted)
+	return fmt.Errorf("unknown experiment %q (valid: %s, all)", experiment, strings.Join(sorted, " "))
+}
+
+func main() {
+	var (
+		name      = flag.String("experiment", "all", "experiment to run (figure1a..figure12, table4, table5, dnnfreq, optane, all)")
+		out       = flag.String("out", "reports", "output directory for TSV reports")
+		quick     = flag.Bool("quick", false, "use the smaller test-scale configuration")
+		seed      = flag.Uint64("seed", 42, "workload generator seed")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
+		metricsTo = flag.String("metrics", "", "write the telemetry metrics registry as TSV to this file")
+		brkTo     = flag.String("timebreakdown", "", "write the per-run span time breakdown as TSV to this file")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "GPU block goroutines per kernel (1 = serial reference; reports are bit-identical for every value)")
+	)
+	flag.Parse()
+
+	cfg := workloads.DefaultConfig()
+	if *quick {
+		cfg = workloads.QuickConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	var tel *telemetry.Telemetry
+	if *traceOut != "" || *metricsTo != "" || *brkTo != "" {
+		tel = telemetry.New()
+		cfg.Telemetry = tel
+	}
+
+	runners := experimentRunners(cfg)
+	known := make([]string, 0, len(runners))
+	for n := range runners {
+		known = append(known, n)
+	}
+	if err := validateFlags(*name, *workers, known); err != nil {
+		usage(err)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
 
 	var names []string
 	if *name == "all" {
@@ -83,10 +119,8 @@ func main() {
 			names = append(names, n)
 		}
 		sort.Strings(names)
-	} else if _, ok := runners[*name]; ok {
-		names = []string{*name}
 	} else {
-		fatal(fmt.Errorf("unknown experiment %q", *name))
+		names = []string{*name}
 	}
 
 	for _, n := range names {
@@ -123,6 +157,14 @@ func main() {
 			fmt.Printf("time breakdown -> %s\n", *brkTo)
 		}
 	}
+}
+
+// usage reports a flag-validation error with the full flag help and exits 2
+// (distinct from exit 1, a run that executed and failed).
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "gpmbench:", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -1,0 +1,111 @@
+// Command gpmload is the closed-loop load generator for gpmserve: -conns
+// connections each keep -window requests pipelined, sending a seeded
+// deterministic GET/SET/DEL mix, and report client-observed throughput and
+// latency percentiles.
+//
+//	gpmload -addr 127.0.0.1:7070 -ops 100000 -conns 8
+//	gpmload -addr 127.0.0.1:7070 -ops 10000 -get 0.9 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/serve"
+)
+
+// cliOptions mirrors the flag set for upfront validation (exit 2 + usage on
+// any bad value, before a single connection is dialed).
+type cliOptions struct {
+	addr             string
+	ops              int64
+	conns, window    int
+	getFrac, delFrac float64
+	keySpace         uint64
+	timeout          time.Duration
+}
+
+func validateCLI(o cliOptions) error {
+	if o.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if o.ops < 1 {
+		return fmt.Errorf("-ops must be >= 1, got %d", o.ops)
+	}
+	if o.conns < 1 {
+		return fmt.Errorf("-conns must be >= 1, got %d", o.conns)
+	}
+	if o.window < 1 {
+		return fmt.Errorf("-window must be >= 1, got %d", o.window)
+	}
+	if o.getFrac < 0 || o.delFrac < 0 || o.getFrac+o.delFrac > 1 {
+		return fmt.Errorf("-get/-del fractions must be >= 0 and sum to <= 1, got %g + %g", o.getFrac, o.delFrac)
+	}
+	if o.keySpace < 1 {
+		return fmt.Errorf("-keyspace must be >= 1, got %d", o.keySpace)
+	}
+	if o.timeout <= 0 {
+		return fmt.Errorf("-timeout must be > 0, got %s", o.timeout)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "gpmserve address")
+		ops      = flag.Int64("ops", 10000, "total operations across connections")
+		conns    = flag.Int("conns", 8, "concurrent client connections")
+		window   = flag.Int("window", 16, "pipelined outstanding requests per connection")
+		getFrac  = flag.Float64("get", 0.5, "GET fraction of the op mix")
+		delFrac  = flag.Float64("del", 0.05, "DEL fraction of the op mix")
+		keySpace = flag.Uint64("keyspace", 4096, "keys drawn uniformly from [1, keyspace]")
+		seed     = flag.Uint64("seed", 1, "op-mix RNG seed base (per-connection streams derive from it)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-connection dial/IO deadline")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	o := cliOptions{
+		addr: *addr, ops: *ops, conns: *conns, window: *window,
+		getFrac: *getFrac, delFrac: *delFrac, keySpace: *keySpace, timeout: *timeout,
+	}
+	if err := validateCLI(o); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmload:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	res, err := serve.RunLoad(serve.LoadConfig{
+		Addr:        o.addr,
+		Conns:       o.conns,
+		Ops:         o.ops,
+		Window:      o.window,
+		GetFraction: o.getFrac,
+		DelFraction: o.delFrac,
+		KeySpace:    o.keySpace,
+		Seed:        *seed,
+		Timeout:     o.timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmload:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "gpmload:", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("%d ops in %v: %.0f ops/s, p50 %v p95 %v p99 %v, %d hits %d misses %d errors\n",
+			res.Ops, res.Elapsed.Round(time.Millisecond), res.Throughput,
+			res.P50, res.P95, res.P99, res.Hits, res.Misses, res.Errors)
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func okOptions() cliOptions {
+	return cliOptions{
+		addr: "127.0.0.1:7070", ops: 100, conns: 4, window: 8,
+		getFrac: 0.5, delFrac: 0.05, keySpace: 512, timeout: time.Second,
+	}
+}
+
+func TestValidateCLI(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*cliOptions)
+		wantErr string // empty = valid
+	}{
+		{"baseline", func(o *cliOptions) {}, ""},
+		{"empty addr", func(o *cliOptions) { o.addr = "" }, "-addr"},
+		{"zero ops", func(o *cliOptions) { o.ops = 0 }, "-ops"},
+		{"zero conns", func(o *cliOptions) { o.conns = 0 }, "-conns"},
+		{"zero window", func(o *cliOptions) { o.window = 0 }, "-window"},
+		{"fractions over 1", func(o *cliOptions) { o.getFrac, o.delFrac = 0.9, 0.2 }, "fractions"},
+		{"negative del", func(o *cliOptions) { o.delFrac = -0.1 }, "fractions"},
+		{"zero keyspace", func(o *cliOptions) { o.keySpace = 0 }, "-keyspace"},
+		{"zero timeout", func(o *cliOptions) { o.timeout = 0 }, "-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := okOptions()
+			tc.mutate(&o)
+			err := validateCLI(o)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateCLI: %v, want ok", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateCLI = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -34,6 +34,73 @@ import (
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
+// cliOptions mirrors the flag set for upfront validation: every rejection
+// happens before any simulation work, with exit 2 + usage, instead of a
+// silent fall-back to defaults mid-run.
+type cliOptions struct {
+	runs, points, depth, workers, faultLim int
+	stride, every, crashAt                 int64
+	models, mode                           string
+	sweep, bench                           bool
+}
+
+// validateCLI checks cross-flag consistency and value ranges. Notably:
+// unknown -faultmodel names are rejected in every execution path (the
+// legacy stress path used to ignore the flag entirely, so a typo silently
+// ran the clean model), and a -faultmodel or -mode that the selected path
+// would ignore is an error rather than a no-op.
+func validateCLI(o cliOptions) error {
+	if o.workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d (1 = serial reference; default = GOMAXPROCS)", o.workers)
+	}
+	if o.runs < 1 {
+		return fmt.Errorf("-runs must be >= 1, got %d", o.runs)
+	}
+	if o.points < 1 {
+		return fmt.Errorf("-maxpoints must be >= 1, got %d", o.points)
+	}
+	if o.stride < 0 {
+		return fmt.Errorf("-stride must be >= 0, got %d", o.stride)
+	}
+	if o.depth < 0 {
+		return fmt.Errorf("-recrash-depth must be >= 0, got %d", o.depth)
+	}
+	if o.every < 0 {
+		return fmt.Errorf("-recrash-every must be >= 0, got %d", o.every)
+	}
+	if o.faultLim < 0 {
+		return fmt.Errorf("-faultlimit must be >= 0, got %d", o.faultLim)
+	}
+	if _, err := parseModels(o.models); err != nil {
+		return fmt.Errorf("-faultmodel: %w (valid: %s)", err, strings.Join(modelNames(), ", "))
+	}
+	replaying := o.crashAt >= 0
+	if o.models != "" && !o.sweep && !o.bench && !replaying {
+		return fmt.Errorf("-faultmodel only applies with -sweep, -bench, or -crashat replay (legacy stress always uses the clean model)")
+	}
+	if o.mode != "" {
+		if !replaying {
+			return fmt.Errorf("-mode only applies to -crashat replay")
+		}
+		if _, err := crash.ModeByName(o.mode); err != nil {
+			return err
+		}
+	}
+	if replaying && strings.Contains(o.models, ",") {
+		return fmt.Errorf("-crashat replay takes exactly one -faultmodel, got %q", o.models)
+	}
+	return nil
+}
+
+// modelNames lists the valid -faultmodel arguments.
+func modelNames() []string {
+	var names []string
+	for _, m := range pmem.Models() {
+		names = append(names, m.Name())
+	}
+	return names
+}
+
 func main() {
 	var (
 		runs      = flag.Int("runs", 3, "random crash points per workload (legacy stress mode)")
@@ -49,7 +116,7 @@ func main() {
 		shrink    = flag.Bool("shrink", false, "shrink the first failure per workload to a minimal replayable triple")
 		asJSON    = flag.Bool("json", false, "emit campaign results as JSON")
 		metricsTo = flag.String("metrics", "", "write the telemetry metrics registry (crash/fault counters included) as TSV to this file")
-		workers   = flag.Int("workers", 0, "concurrent campaign runs and GPU block goroutines (0 = GOMAXPROCS, 1 = serial reference; results are identical for every value)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent campaign runs and GPU block goroutines (1 = serial reference; results are identical for every value)")
 		benchTo   = flag.String("bench", "", "benchmark the campaign serially vs with -workers, verify identical verdicts, and write the wall-clock comparison as JSON to this file")
 
 		// Replay flags (the shrinker's Replay string uses these).
@@ -59,6 +126,17 @@ func main() {
 		faultLim  = flag.Int("faultlimit", 0, "fault only the first N dirty lines (0 = all)")
 	)
 	flag.Parse()
+
+	if err := validateCLI(cliOptions{
+		runs: *runs, points: *points, depth: *depth, workers: *workers, faultLim: *faultLim,
+		stride: *stride, every: *every, crashAt: *crashAt,
+		models: *models, mode: *modeName,
+		sweep: *sweep, bench: *benchTo != "",
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmrecover:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	cfg := workloads.DefaultConfig()
 	if *quick {
@@ -73,7 +151,12 @@ func main() {
 
 	mks := selectWorkloads(*only)
 	if len(mks) == 0 {
-		fmt.Fprintf(os.Stderr, "gpmrecover: no workload matches %q\n", *only)
+		var names []string
+		for _, mk := range append(experiments.Crashers(), experiments.NativeCrashers()...) {
+			names = append(names, mk().Name())
+		}
+		fmt.Fprintf(os.Stderr, "gpmrecover: unknown workload %q (valid: %s)\n", *only, strings.Join(names, ", "))
+		flag.Usage()
 		os.Exit(2)
 	}
 

@@ -1,0 +1,298 @@
+// Command gpmserve is the batched network KVS front-end over the simulated
+// gpKVS store (§6.1): a TCP server that accumulates GET/SET/DEL requests
+// into admission-controlled batches, dispatches each batch as the same GPU
+// kernel transactions the gpKVS workload runs (HCL undo logging under GPM,
+// CAP-fs/CAP-mm persistence as baselines), and replies only after the
+// batch's persistence path completes. The keyspace partitions across
+// -shards independent simulated nodes.
+//
+//	gpmserve -addr :7070 -mode GPM -shards 4      # serve until SIGTERM
+//	gpmserve -selftest                            # in-process smoke: load,
+//	                                              # kill-and-recover, verify,
+//	                                              # write BENCH_serve.json
+//	gpmserve -selftest -modes GPM,CAP-fs -shard-counts 1,2,4 -ops 20000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/serve"
+	"github.com/gpm-sim/gpm/internal/telemetry"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// cliOptions mirrors the flag set for upfront validation: every rejection
+// happens before a listener or shard exists, with exit 2 + usage.
+type cliOptions struct {
+	addr, mode, modes, shardCounts, out string
+	shards, sets, batch, queue          int
+	workers, capThreads, conns, window  int
+	ops                                 int64
+	batchWait, drain                    time.Duration
+	getFrac, delFrac                    float64
+	selftest, noRecover                 bool
+}
+
+// validateCLI checks value ranges and cross-flag consistency. Mode names
+// are resolved against the servable set, so a typo (or a mode like GPUfs
+// that cannot serve) fails here rather than mid-listen.
+func validateCLI(o cliOptions) error {
+	if o.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if _, err := serve.ModeByName(o.mode); err != nil {
+		return fmt.Errorf("-mode: %w", err)
+	}
+	if o.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", o.shards)
+	}
+	if o.sets < 1 {
+		return fmt.Errorf("-sets must be >= 1, got %d", o.sets)
+	}
+	if o.batch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", o.batch)
+	}
+	if o.batchWait < 0 {
+		return fmt.Errorf("-batch-wait must be >= 0, got %s", o.batchWait)
+	}
+	if o.queue < 1 {
+		return fmt.Errorf("-queue must be >= 1, got %d", o.queue)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", o.workers)
+	}
+	if o.capThreads < 1 {
+		return fmt.Errorf("-capthreads must be >= 1, got %d", o.capThreads)
+	}
+	if o.drain <= 0 {
+		return fmt.Errorf("-drain-timeout must be > 0, got %s", o.drain)
+	}
+	if o.ops < 1 {
+		return fmt.Errorf("-ops must be >= 1, got %d", o.ops)
+	}
+	if o.conns < 1 {
+		return fmt.Errorf("-conns must be >= 1, got %d", o.conns)
+	}
+	if o.window < 1 {
+		return fmt.Errorf("-window must be >= 1, got %d", o.window)
+	}
+	if o.getFrac < 0 || o.delFrac < 0 || o.getFrac+o.delFrac > 1 {
+		return fmt.Errorf("-get/-del fractions must be >= 0 and sum to <= 1, got %g + %g", o.getFrac, o.delFrac)
+	}
+	if !o.selftest {
+		if o.modes != "" {
+			return fmt.Errorf("-modes only applies with -selftest (use -mode to pick the serving mode)")
+		}
+		if o.shardCounts != "" {
+			return fmt.Errorf("-shard-counts only applies with -selftest (use -shards)")
+		}
+	}
+	if _, err := parseModes(o.modes); err != nil {
+		return fmt.Errorf("-modes: %w", err)
+	}
+	if _, err := parseShardCounts(o.shardCounts); err != nil {
+		return fmt.Errorf("-shard-counts: %w", err)
+	}
+	return nil
+}
+
+// parseModes resolves a comma-separated servable mode list; empty = nil
+// (SelfTest defaults to GPM).
+func parseModes(spec string) ([]workloads.Mode, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []workloads.Mode
+	for _, name := range strings.Split(spec, ",") {
+		m, err := serve.ModeByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// parseShardCounts parses a comma-separated list of shard counts; empty =
+// nil (SelfTest defaults to 2).
+func parseShardCounts(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, s := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("shard count %q must be an integer >= 1", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
+		modeName   = flag.String("mode", "GPM", "persistence mode to serve under (GPM, GPM-eADR, GPM-NDP, CAP-fs, CAP-mm, CAP-eADR)")
+		shards     = flag.Int("shards", 2, "keyspace partitions, each an independent simulated GPU+PM node")
+		sets       = flag.Int("sets", 1<<10, "hash sets per shard (8 ways each)")
+		batch      = flag.Int("batch", 256, "max client ops per kernel batch")
+		batchWait  = flag.Duration("batch-wait", 500*time.Microsecond, "max wall-clock wait before a partial batch dispatches")
+		queue      = flag.Int("queue", 1024, "per-shard admission queue depth (requests)")
+		workers    = flag.Int("workers", 0, "GPU block goroutines per shard (0 = GOMAXPROCS; simulated results are identical for every value)")
+		capThreads = flag.Int("capthreads", 16, "host threads for CAP-mode persistence")
+		seed       = flag.Uint64("seed", 1, "shard RNG seed base")
+		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget: pending batches flush, then stragglers are cut")
+		metricsTo  = flag.String("metrics", "", "write the telemetry metrics registry as TSV to this file on shutdown")
+
+		selftest   = flag.Bool("selftest", false, "run the in-process smoke test (load, kill-and-recover, verify) instead of serving")
+		modesSpec  = flag.String("modes", "", "selftest: comma-separated modes (default GPM)")
+		countsSpec = flag.String("shard-counts", "", "selftest: comma-separated shard counts (default 2)")
+		ops        = flag.Int64("ops", 10000, "selftest: total client operations per (mode, shards) run")
+		conns      = flag.Int("conns", 8, "selftest: concurrent client connections")
+		window     = flag.Int("window", 16, "selftest: pipelined requests per connection")
+		getFrac    = flag.Float64("get", 0.5, "selftest: GET fraction of the op mix")
+		delFrac    = flag.Float64("del", 0.05, "selftest: DEL fraction of the op mix")
+		noRecover  = flag.Bool("no-recover", false, "selftest: skip the kill-and-recover pass")
+		out        = flag.String("out", "BENCH_serve.json", "selftest: write the benchmark report here")
+	)
+	flag.Parse()
+
+	o := cliOptions{
+		addr: *addr, mode: *modeName, modes: *modesSpec, shardCounts: *countsSpec, out: *out,
+		shards: *shards, sets: *sets, batch: *batch, queue: *queue,
+		workers: *workers, capThreads: *capThreads, conns: *conns, window: *window,
+		ops: *ops, batchWait: *batchWait, drain: *drain,
+		getFrac: *getFrac, delFrac: *delFrac, selftest: *selftest, noRecover: *noRecover,
+	}
+	if err := validateCLI(o); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	mode, _ := serve.ModeByName(*modeName)
+
+	if *selftest {
+		os.Exit(runSelfTest(o, mode, *seed))
+	}
+	os.Exit(runServer(o, mode, *seed, *metricsTo))
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains gracefully.
+func runServer(o cliOptions, mode workloads.Mode, seed uint64, metricsTo string) int {
+	tel := telemetry.New()
+	srv, err := serve.NewServer(serve.Config{
+		Mode:       mode,
+		Shards:     o.shards,
+		Sets:       o.sets,
+		MaxBatch:   o.batch,
+		BatchWait:  o.batchWait,
+		QueueDepth: o.queue,
+		Workers:    o.workers,
+		CAPThreads: o.capThreads,
+		Seed:       seed,
+		Telemetry:  tel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		return 2
+	}
+	laddr, err := srv.Listen(o.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "gpmserve: %s, %d shards, batch %d/%s, listening on %s\n",
+		mode, o.shards, o.batch, o.batchWait, laddr)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "gpmserve: %s — draining (budget %s)\n", sig, o.drain)
+		srv.Shutdown(o.drain)
+		close(done)
+	}()
+
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		return 1
+	}
+	<-done
+
+	code := 0
+	for _, sh := range srv.Shards() {
+		if err := sh.Verify(); err != nil {
+			fmt.Fprintf(os.Stderr, "gpmserve: shard %d failed post-drain verification: %v\n", sh.ID(), err)
+			code = 1
+		}
+	}
+	if metricsTo != "" {
+		if err := os.WriteFile(metricsTo, []byte(tel.Metrics.TSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gpmserve:", err)
+			if code == 0 {
+				code = 2
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "metrics -> %s\n", metricsTo)
+		}
+	}
+	return code
+}
+
+// runSelfTest drives the whole serving path in-process and writes
+// BENCH_serve.json. Any verification or recovery failure is fatal.
+func runSelfTest(o cliOptions, mode workloads.Mode, seed uint64) int {
+	modes, _ := parseModes(o.modes)
+	if len(modes) == 0 {
+		modes = []workloads.Mode{mode}
+	}
+	counts, _ := parseShardCounts(o.shardCounts)
+	if len(counts) == 0 {
+		counts = []int{o.shards}
+	}
+	rep, err := serve.SelfTest(serve.SelfTestOptions{
+		Modes:          modes,
+		ShardCounts:    counts,
+		Ops:            o.ops,
+		Conns:          o.conns,
+		Window:         o.window,
+		Sets:           o.sets,
+		MaxBatch:       o.batch,
+		BatchWait:      o.batchWait,
+		QueueDepth:     o.queue,
+		Workers:        o.workers,
+		Seed:           seed,
+		GetFraction:    o.getFrac,
+		DelFraction:    o.delFrac,
+		KillAndRecover: !o.noRecover,
+	})
+	for _, e := range rep.Entries {
+		fmt.Printf("%-8s x%d: %d ops, %.0f ops/s, p50 %.0fµs p99 %.0fµs, %d batches, recovered=%v verified=%v\n",
+			e.Mode, e.Shards, e.Ops, e.Throughput, e.P50US, e.P99US, e.Batches, e.Recovered, e.Verified)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		return 1
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		return 2
+	}
+	if err := os.WriteFile(o.out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		return 2
+	}
+	fmt.Printf("report -> %s\n", o.out)
+	return 0
+}

@@ -73,12 +73,37 @@ type RunRecord struct {
 }
 
 // WorkloadCampaign aggregates one workload's sweep.
+//
+// Ownership: a plain value copy aliases the Runs slice and the Shrunk
+// pointer — `b := *a` shares both with a. Use Clone for an independent
+// copy before mutating or retaining a campaign that others may also hold
+// (RunRecord and ShrunkFailure themselves are pure value structs, so
+// copying the elements is enough).
 type WorkloadCampaign struct {
 	Workload string         `json:"workload"`
 	TotalOps int64          `json:"total_ops"` // calibrated op count under the first swept mode
 	Runs     []RunRecord    `json:"runs"`
 	Failures int            `json:"failures"`
 	Shrunk   *ShrunkFailure `json:"shrunk,omitempty"`
+}
+
+// Clone returns a deep copy of wc: the Runs slice and Shrunk pointer are
+// duplicated so mutating the clone (or the original) cannot affect the
+// other. A nil receiver returns nil.
+func (wc *WorkloadCampaign) Clone() *WorkloadCampaign {
+	if wc == nil {
+		return nil
+	}
+	out := *wc
+	if wc.Runs != nil {
+		out.Runs = make([]RunRecord, len(wc.Runs))
+		copy(out.Runs, wc.Runs)
+	}
+	if wc.Shrunk != nil {
+		s := *wc.Shrunk
+		out.Shrunk = &s
+	}
+	return &out
 }
 
 func (c *Campaign) models() []pmem.FaultModel {
@@ -205,7 +230,11 @@ func (c *Campaign) Run(mk func() workloads.Crasher, cfg workloads.Config) (*Work
 			}
 		}
 	}
-	wc.Runs = c.execute(mk, cfg, descs)
+	runs, err := c.execute(mk, cfg, descs)
+	if err != nil {
+		return nil, err
+	}
+	wc.Runs = runs
 	for _, r := range wc.Runs {
 		if r.Err != "" {
 			wc.Failures++
@@ -233,7 +262,7 @@ func (c *Campaign) workers() int {
 // last-writer, so the aggregate is byte-identical to a serial sweep.
 // Campaign telemetry is metrics-only: per-run trace spans are discarded
 // (interleaved traces from concurrent runs would not be meaningful).
-func (c *Campaign) execute(mk func() workloads.Crasher, cfg workloads.Config, descs []runDesc) []RunRecord {
+func (c *Campaign) execute(mk func() workloads.Crasher, cfg workloads.Config, descs []runDesc) ([]RunRecord, error) {
 	recs := make([]RunRecord, len(descs))
 	tels := make([]*telemetry.Telemetry, len(descs))
 	n := c.workers()
@@ -275,10 +304,15 @@ func (c *Campaign) execute(mk func() workloads.Crasher, cfg workloads.Config, de
 	if cfg.Telemetry != nil {
 		reg := cfg.Telemetry.Registry()
 		for _, t := range tels {
-			reg.Merge(t.Registry())
+			if err := reg.Merge(t.Registry()); err != nil {
+				// Every run instruments the same metrics with the same
+				// bounds, so a mismatch means the aggregate is corrupt —
+				// refuse to report rather than publish bad numbers.
+				return nil, fmt.Errorf("crash: merging per-run metrics: %w", err)
+			}
 		}
 	}
-	return recs
+	return recs, nil
 }
 
 // RunAll sweeps every workload and, when shrink is true, reduces the first

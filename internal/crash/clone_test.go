@@ -1,0 +1,79 @@
+package crash
+
+import (
+	"sync"
+	"testing"
+)
+
+// A plain value copy of WorkloadCampaign aliases Runs and Shrunk; Clone
+// must not. The goroutine makes the aliasing visible to the race detector:
+// under -race a shallow copy turns the concurrent reads below into a
+// reported data race.
+func TestWorkloadCampaignCloneIndependence(t *testing.T) {
+	orig := &WorkloadCampaign{
+		Workload: "kvs",
+		TotalOps: 4096,
+		Runs: []RunRecord{
+			{Workload: "kvs", Mode: "GPM", Model: "torn-lines", CrashAt: 100, FaultSeed: 7},
+			{Workload: "kvs", Mode: "GPM", Model: "reorder", CrashAt: 200, Err: "verify: slot 3 mismatch"},
+		},
+		Failures: 1,
+		Shrunk:   &ShrunkFailure{Workload: "kvs", CrashAt: 150, FaultSeed: 7, Replay: "gpmrecover ..."},
+	}
+
+	clone := orig.Clone()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			clone.Runs[0].CrashAt++
+			clone.Runs[1].Err = "mutated"
+			clone.Shrunk.CrashAt++
+			clone.Failures++
+		}
+		clone.Runs = append(clone.Runs, RunRecord{Workload: "extra"})
+	}()
+	for i := 0; i < 1000; i++ {
+		if orig.Runs[0].CrashAt != 100 {
+			t.Errorf("clone mutation leaked into original Runs: CrashAt = %d", orig.Runs[0].CrashAt)
+			break
+		}
+		if orig.Shrunk.CrashAt != 150 {
+			t.Errorf("clone mutation leaked into original Shrunk: CrashAt = %d", orig.Shrunk.CrashAt)
+			break
+		}
+	}
+	wg.Wait()
+
+	if orig.Runs[1].Err != "verify: slot 3 mismatch" {
+		t.Errorf("original Err changed: %q", orig.Runs[1].Err)
+	}
+	if len(orig.Runs) != 2 {
+		t.Errorf("append to clone grew original: len = %d", len(orig.Runs))
+	}
+	if orig.Failures != 1 {
+		t.Errorf("original Failures changed: %d", orig.Failures)
+	}
+}
+
+// Clone must preserve nil-ness (nil receiver, nil Runs, nil Shrunk) so
+// JSON output of a clone matches the original.
+func TestWorkloadCampaignCloneNil(t *testing.T) {
+	var nilWC *WorkloadCampaign
+	if nilWC.Clone() != nil {
+		t.Error("Clone of nil receiver should be nil")
+	}
+	wc := &WorkloadCampaign{Workload: "empty"}
+	c := wc.Clone()
+	if c.Runs != nil {
+		t.Error("Clone of nil Runs should stay nil")
+	}
+	if c.Shrunk != nil {
+		t.Error("Clone of nil Shrunk should stay nil")
+	}
+	if c == wc {
+		t.Error("Clone returned the receiver itself")
+	}
+}

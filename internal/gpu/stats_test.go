@@ -40,6 +40,38 @@ func TestStatsCloneIndependence(t *testing.T) {
 	}
 }
 
+// Under -race, a shallow Serial copy turns this concurrent clone mutation
+// into a reported data race; Clone's deep copy keeps it silent.
+func TestStatsCloneConcurrentMutation(t *testing.T) {
+	orig := Stats{
+		PMWriteBytes: 64,
+		Serial: map[string]sim.Duration{
+			"lock-a": sim.Microsecond,
+			"lock-b": 2 * sim.Microsecond,
+		},
+	}
+	clone := orig.Clone()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			clone.Serial["lock-a"] += sim.Nanosecond
+			clone.Serial["new"] = sim.Duration(i)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if orig.Serial["lock-a"] != sim.Microsecond {
+			t.Error("clone mutation leaked into original Serial map")
+			break
+		}
+	}
+	<-done
+	if _, ok := orig.Serial["new"]; ok {
+		t.Error("new key in clone leaked into original")
+	}
+}
+
 // Attaching telemetry must not change simulated time: the tracer and
 // counters observe results, they never advance clocks.
 func TestTelemetryDoesNotPerturbElapsed(t *testing.T) {

@@ -1,0 +1,28 @@
+package kvstore
+
+// Exported seams for the network front-end (internal/serve). The serving
+// layer batches client operations into the same kernels as the gpKVS
+// workload, so it must share the store geometry and hash bit-for-bit —
+// re-deriving either would silently fork the on-PM layout.
+const (
+	// Ways is the store's set associativity.
+	Ways = ways
+	// PairBytes is the on-PM size of one key/value slot.
+	PairBytes = pairBytes
+	// ThreadGroup is the number of threads cooperating per SET (Fig 6a).
+	ThreadGroup = thrdGrpSz
+	// TPB is the threads-per-block of the KVS kernels.
+	TPB = kvsTPB
+	// LogEntryBytes is the HCL undo-log entry size (set, way, old pair).
+	LogEntryBytes = logEntryBytes
+	// GPUOpCost is the per-thread hash+probe cost.
+	GPUOpCost = gpuOpCost
+	// HostOpCost is the host-side request/response handling cost per op.
+	HostOpCost = hostOpCost
+	// Section is the granularity at which CAP modes ship the store.
+	Section = kvsSection
+)
+
+// HashKey maps a key to its (set, way) slot coordinates; shared bit-for-bit
+// by host code and kernels.
+func HashKey(key uint64, sets int) (set, way int) { return hashKey(key, sets) }

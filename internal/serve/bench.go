@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/telemetry"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// BenchEntry is one (mode, shard count) serving measurement for
+// BENCH_serve.json.
+type BenchEntry struct {
+	Mode       string  `json:"mode"`
+	Shards     int     `json:"shards"`
+	Ops        int64   `json:"ops"`
+	Errors     int64   `json:"errors"`
+	Batches    int64   `json:"batches"`
+	Throughput float64 `json:"ops_per_sec"` // wall-clock, client-observed
+	P50US      float64 `json:"p50_us"`
+	P95US      float64 `json:"p95_us"`
+	P99US      float64 `json:"p99_us"`
+	// SimBatchUS is the mean simulated time per batch across shards.
+	SimBatchUS float64 `json:"sim_batch_us"`
+	// RecoverUS is the summed simulated restart/recovery time across shards
+	// (kill-and-recover runs only).
+	RecoverUS float64 `json:"recover_us,omitempty"`
+	Recovered bool    `json:"recovered"`
+	Verified  bool    `json:"verified"`
+}
+
+// BenchReport is the BENCH_serve.json document.
+type BenchReport struct {
+	Ops       int64        `json:"ops_per_run"`
+	Conns     int          `json:"conns"`
+	Batch     int          `json:"batch"`
+	BatchWait string       `json:"batch_wait"`
+	Sets      int          `json:"sets_per_shard"`
+	Seed      uint64       `json:"seed"`
+	Entries   []BenchEntry `json:"entries"`
+}
+
+// SelfTestOptions configures SelfTest / Bench runs.
+type SelfTestOptions struct {
+	Modes       []workloads.Mode
+	ShardCounts []int
+	Ops         int64
+	Conns       int
+	Window      int
+	Sets        int
+	MaxBatch    int
+	BatchWait   time.Duration
+	QueueDepth  int
+	Workers     int
+	Seed        uint64
+	GetFraction float64
+	DelFraction float64
+	// KillAndRecover crashes every shard mid-batch after the load drains,
+	// restarts it through the recovery path, and verifies (GPM modes only;
+	// CAP modes verify without the crash).
+	KillAndRecover bool
+}
+
+func (o *SelfTestOptions) normalize() {
+	if len(o.Modes) == 0 {
+		o.Modes = []workloads.Mode{workloads.GPM}
+	}
+	if len(o.ShardCounts) == 0 {
+		o.ShardCounts = []int{2}
+	}
+	if o.Ops == 0 {
+		o.Ops = 10000
+	}
+	if o.Conns == 0 {
+		o.Conns = 8
+	}
+	if o.Window == 0 {
+		o.Window = 16
+	}
+	if o.Sets == 0 {
+		o.Sets = 1 << 10
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 256
+	}
+	if o.BatchWait == 0 {
+		o.BatchWait = 500 * time.Microsecond
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 1024
+	}
+	if o.GetFraction == 0 && o.DelFraction == 0 {
+		o.GetFraction, o.DelFraction = 0.5, 0.05
+	}
+}
+
+// SelfTest runs the full serving path in-process for every (mode, shards)
+// combination: real TCP loopback traffic, graceful drain, optional
+// kill-and-recover, and authoritative durable-state verification. It
+// returns the report; any verification or recovery failure is an error.
+func SelfTest(opts SelfTestOptions) (*BenchReport, error) {
+	opts.normalize()
+	rep := &BenchReport{
+		Ops:       opts.Ops,
+		Conns:     opts.Conns,
+		Batch:     opts.MaxBatch,
+		BatchWait: opts.BatchWait.String(),
+		Sets:      opts.Sets,
+		Seed:      opts.Seed,
+	}
+	for _, mode := range opts.Modes {
+		for _, shards := range opts.ShardCounts {
+			entry, err := runSelfTest(opts, mode, shards)
+			if err != nil {
+				return rep, fmt.Errorf("serve: selftest %s x%d: %w", mode, shards, err)
+			}
+			rep.Entries = append(rep.Entries, *entry)
+		}
+	}
+	return rep, nil
+}
+
+func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchEntry, error) {
+	tel := telemetry.New()
+	srv, err := NewServer(Config{
+		Mode:       mode,
+		Shards:     shards,
+		Sets:       opts.Sets,
+		MaxBatch:   opts.MaxBatch,
+		BatchWait:  opts.BatchWait,
+		QueueDepth: opts.QueueDepth,
+		Workers:    opts.Workers,
+		Seed:       opts.Seed,
+		Telemetry:  tel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	load, err := RunLoad(LoadConfig{
+		Addr:        addr.String(),
+		Conns:       opts.Conns,
+		Ops:         opts.Ops,
+		Window:      opts.Window,
+		GetFraction: opts.GetFraction,
+		DelFraction: opts.DelFraction,
+		KeySpace:    uint64(opts.Sets) * 2, // enough reuse for hits and dels
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		srv.Shutdown(5 * time.Second)
+		return nil, err
+	}
+	srv.Shutdown(10 * time.Second)
+	if err := <-serveErr; err != nil {
+		return nil, fmt.Errorf("serve loop: %w", err)
+	}
+	if load.Errors > 0 {
+		return nil, fmt.Errorf("%d requests failed under load", load.Errors)
+	}
+
+	entry := &BenchEntry{
+		Mode:       mode.String(),
+		Shards:     shards,
+		Ops:        load.Ops,
+		Errors:     load.Errors,
+		Throughput: load.Throughput,
+		P50US:      load.P50US,
+		P95US:      load.P95US,
+		P99US:      load.P99US,
+	}
+	var served int64
+	reg := tel.Registry()
+	for i, sh := range srv.Shards() {
+		served += sh.Ops()
+		if sh.Ops() == 0 {
+			return nil, fmt.Errorf("shard %d served 0 ops — keyspace did not span all shards", i)
+		}
+		entry.Batches += reg.Counter(fmt.Sprintf("serve.shard%d.batches", i)).Value()
+	}
+	if served != load.Ops {
+		return nil, fmt.Errorf("shards served %d ops, clients completed %d", served, load.Ops)
+	}
+	if h := reg.Histogram("serve.batch_sim_us", telemetry.LatencyBucketsUS); h.Count() > 0 {
+		entry.SimBatchUS = float64(h.Sum()) / float64(h.Count())
+	}
+
+	// Kill-and-recover: crash every shard inside an uncommitted batch, then
+	// restart through the recovery kernel and reload path.
+	if opts.KillAndRecover && mode.UsesGPM() {
+		for _, sh := range srv.Shards() {
+			crash := crashBatchFor(sh, shards)
+			if err := sh.CrashMidBatch(crash, 3); err != nil {
+				return nil, fmt.Errorf("shard %d crash: %w", sh.ID(), err)
+			}
+			restore, err := sh.Restart()
+			if err != nil {
+				return nil, fmt.Errorf("shard %d restart: %w", sh.ID(), err)
+			}
+			entry.RecoverUS += restore.Seconds() * 1e6
+		}
+		entry.Recovered = true
+	}
+	for _, sh := range srv.Shards() {
+		if err := sh.Verify(); err != nil {
+			return nil, err
+		}
+	}
+	entry.Verified = true
+	return entry, nil
+}
+
+// crashBatchFor builds a batch of SETs routed to shard sh (key mod shards
+// == shard id), each on a distinct slot, to die inside of.
+func crashBatchFor(sh *Shard, shards int) *Batch {
+	b := &Batch{}
+	seen := make(map[int]bool)
+	start := uint64(sh.ID())
+	if start == 0 {
+		start = uint64(shards) // keys must be >= 1
+	}
+	for key := start; len(b.SetKeys) < 8; key += uint64(shards) {
+		slot := sh.SlotOf(key)
+		if seen[slot] {
+			continue
+		}
+		seen[slot] = true
+		b.SetKeys = append(b.SetKeys, key)
+		b.SetVals = append(b.SetVals, (key^0xdeadbeef)|1)
+	}
+	return b
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// LoadConfig configures the closed-loop load generator: Conns connections,
+// each keeping Window requests pipelined, sending a seeded deterministic
+// GET/SET/DEL mix over [1, KeySpace].
+type LoadConfig struct {
+	Addr        string
+	Conns       int
+	Ops         int64 // total across connections
+	Window      int   // pipelined outstanding requests per connection
+	GetFraction float64
+	DelFraction float64
+	KeySpace    uint64
+	Seed        uint64
+	Timeout     time.Duration // per-connection dial/IO deadline (0 = 30s)
+}
+
+// Normalize fills defaults and validates.
+func (c *LoadConfig) Normalize() error {
+	if c.Conns == 0 {
+		c.Conns = 8
+	}
+	if c.Window == 0 {
+		c.Window = 16
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 4096
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Addr == "" || c.Conns < 1 || c.Ops < 1 || c.Window < 1 ||
+		c.GetFraction < 0 || c.DelFraction < 0 || c.GetFraction+c.DelFraction > 1 {
+		return fmt.Errorf("serve: invalid load config (addr=%q conns=%d ops=%d window=%d get=%g del=%g)",
+			c.Addr, c.Conns, c.Ops, c.Window, c.GetFraction, c.DelFraction)
+	}
+	return nil
+}
+
+// LoadResult summarizes one load run. Latencies are wall-clock
+// request→reply times measured at the client.
+type LoadResult struct {
+	Ops        int64         `json:"ops"`
+	Errors     int64         `json:"errors"` // ERR replies + transport failures
+	Hits       int64         `json:"hits"`
+	Misses     int64         `json:"misses"`
+	Elapsed    time.Duration `json:"-"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+	Throughput float64       `json:"ops_per_sec"`
+	P50        time.Duration `json:"-"`
+	P95        time.Duration `json:"-"`
+	P99        time.Duration `json:"-"`
+	P50US      float64       `json:"p50_us"`
+	P95US      float64       `json:"p95_us"`
+	P99US      float64       `json:"p99_us"`
+}
+
+// RunLoad drives the server at cfg.Addr and reports client-side metrics.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	type connStats struct {
+		lats         []time.Duration
+		errs         int64
+		hits, misses int64
+		err          error
+	}
+	stats := make([]connStats, cfg.Conns)
+	per := cfg.Ops / int64(cfg.Conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Conns; ci++ {
+		ops := per
+		if ci == 0 {
+			ops += cfg.Ops % int64(cfg.Conns) // remainder on the first conn
+		}
+		wg.Add(1)
+		go func(ci int, ops int64) {
+			defer wg.Done()
+			st := &stats[ci]
+			st.err = driveConn(cfg, ci, ops, st.lats[:0], func(lats []time.Duration, errs, hits, misses int64) {
+				st.lats, st.errs, st.hits, st.misses = lats, errs, hits, misses
+			})
+		}(ci, ops)
+	}
+	wg.Wait()
+
+	out := &LoadResult{Elapsed: time.Since(start)}
+	var all []time.Duration
+	for i := range stats {
+		if stats[i].err != nil {
+			return nil, fmt.Errorf("serve: load conn %d: %w", i, stats[i].err)
+		}
+		out.Ops += int64(len(stats[i].lats))
+		out.Errors += stats[i].errs
+		out.Hits += stats[i].hits
+		out.Misses += stats[i].misses
+		all = append(all, stats[i].lats...)
+	}
+	out.ElapsedMS = float64(out.Elapsed) / float64(time.Millisecond)
+	if out.Elapsed > 0 {
+		out.Throughput = float64(out.Ops) / out.Elapsed.Seconds()
+	}
+	out.P50 = percentile(all, 0.50)
+	out.P95 = percentile(all, 0.95)
+	out.P99 = percentile(all, 0.99)
+	out.P50US = float64(out.P50) / float64(time.Microsecond)
+	out.P95US = float64(out.P95) / float64(time.Microsecond)
+	out.P99US = float64(out.P99) / float64(time.Microsecond)
+	return out, nil
+}
+
+// driveConn runs one connection's share: a writer keeps up to Window
+// requests outstanding; the reader matches in-order replies and records
+// latencies. commit publishes the results exactly once before return.
+func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration,
+	commit func(lats []time.Duration, errs, hits, misses int64)) error {
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(cfg.Timeout))
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // pipelined small writes; avoid Nagle stalls
+	}
+
+	rng := sim.NewRNG(cfg.Seed + uint64(ci)*0x9e3779b9)
+	sendTimes := make(chan time.Time, cfg.Window)
+	var errs, hits, misses int64
+
+	var readErr error
+	readerGone := make(chan struct{})
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		defer close(readerGone)
+		br := bufio.NewReader(conn)
+		for i := int64(0); i < ops; i++ {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				readErr = err
+				return
+			}
+			lats = append(lats, time.Since(<-sendTimes))
+			switch {
+			case strings.HasPrefix(line, "VALUE"):
+				hits++
+			case strings.HasPrefix(line, "NOTFOUND"):
+				misses++
+			case strings.HasPrefix(line, "ERR"):
+				errs++
+			}
+		}
+	}()
+
+	var writeErr error
+	bw := bufio.NewWriter(conn)
+	for i := int64(0); i < ops; i++ {
+		key := 1 + rng.Uint64()%cfg.KeySpace
+		roll := rng.Float64()
+		var line string
+		switch {
+		case roll < cfg.GetFraction:
+			line = fmt.Sprintf("GET %d\n", key)
+		case roll < cfg.GetFraction+cfg.DelFraction:
+			line = fmt.Sprintf("DEL %d\n", key)
+		default:
+			line = fmt.Sprintf("SET %d %d\n", key, key*2654435761+13)
+		}
+		// Blocks when Window requests are in flight; a dead reader releases
+		// the writer instead of deadlocking it.
+		select {
+		case sendTimes <- time.Now():
+		case <-readerGone:
+			writeErr = fmt.Errorf("reader stopped")
+		}
+		if writeErr != nil {
+			break
+		}
+		if _, err := bw.WriteString(line); err != nil {
+			writeErr = err
+			break
+		}
+		if len(sendTimes) == cap(sendTimes) || i == ops-1 {
+			if err := bw.Flush(); err != nil {
+				writeErr = err
+				break
+			}
+		}
+	}
+	bw.Flush()
+	rd.Wait()
+	commit(lats, errs, hits, misses)
+	if writeErr != nil {
+		return writeErr
+	}
+	return readErr
+}
+
+// percentile returns the p-th percentile (0..1) of ds, 0 when empty.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

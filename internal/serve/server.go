@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/telemetry"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// Config configures one serving node.
+type Config struct {
+	Mode       workloads.Mode
+	Shards     int           // keyspace partitions (key mod Shards)
+	Sets       int           // hash sets per shard
+	MaxBatch   int           // ops per batch before forced dispatch
+	BatchWait  time.Duration // max wall-clock wait before a partial batch dispatches
+	QueueDepth int           // per-shard admission queue (requests)
+	Workers    int           // GPU block goroutines per shard (0 = GOMAXPROCS)
+	CAPThreads int
+	Seed       uint64
+	Telemetry  *telemetry.Telemetry // optional; nil disables metrics
+}
+
+// Normalize fills zero fields with serving defaults and validates the rest.
+func (c *Config) Normalize() error {
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.Sets == 0 {
+		c.Sets = 1 << 10
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 500 * time.Microsecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.CAPThreads == 0 {
+		c.CAPThreads = 16
+	}
+	if c.Shards < 1 || c.Sets < 1 || c.MaxBatch < 1 || c.QueueDepth < 1 || c.BatchWait < 0 {
+		return fmt.Errorf("serve: invalid config (shards=%d sets=%d batch=%d queue=%d wait=%s)",
+			c.Shards, c.Sets, c.MaxBatch, c.QueueDepth, c.BatchWait)
+	}
+	if !ModeSupported(c.Mode) {
+		return fmt.Errorf("serve: mode %s cannot serve", c.Mode)
+	}
+	return nil
+}
+
+// request is one parsed client operation in flight.
+type request struct {
+	op   byte // 'S', 'G', 'D'
+	key  uint64
+	val  uint64
+	enq  time.Time
+	done chan string // receives exactly one reply line
+}
+
+// Server accepts TCP connections speaking a line protocol —
+//
+//	SET <key> <value>  ->  OK
+//	GET <key>          ->  VALUE <value> | NOTFOUND
+//	DEL <key>          ->  OK
+//	PING               ->  PONG
+//
+// (keys and values are decimal uint64, >= 1) — and dispatches requests to
+// per-shard batch workers. Replies are written in request order per
+// connection, each only after its batch's persistence completed.
+type Server struct {
+	cfg     Config
+	workers []*shardWorker
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	connWG   sync.WaitGroup
+	draining atomic.Bool
+
+	cRejected *telemetry.Counter
+}
+
+// NewServer builds the shards and their batch workers (not yet listening).
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	var reg *telemetry.Registry
+	if cfg.Telemetry != nil {
+		reg = cfg.Telemetry.Registry()
+	}
+	s.cRejected = reg.Counter("serve.rejected")
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := NewShard(i, ShardConfig{
+			Mode:       cfg.Mode,
+			Sets:       cfg.Sets,
+			MaxBatch:   cfg.MaxBatch,
+			Workers:    cfg.Workers,
+			CAPThreads: cfg.CAPThreads,
+			Seed:       cfg.Seed + uint64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		if cfg.Telemetry != nil {
+			sh.Env().Ctx.AttachTelemetry(cfg.Telemetry, fmt.Sprintf("serve/shard%d", i))
+		}
+		w := newShardWorker(sh, cfg, reg)
+		s.workers = append(s.workers, w)
+		go w.run()
+	}
+	return s, nil
+}
+
+// Shards exposes the shard stores (for post-drain verification and crash
+// testing). Only safe to use after Shutdown has returned.
+func (s *Server) Shards() []*Shard {
+	out := make([]*Shard, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.shard
+	}
+	return out
+}
+
+// Listen binds addr ("host:port"; port 0 picks a free one) and returns the
+// bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until the listener closes (via Shutdown).
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("serve: Serve before Listen")
+	}
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil // closed by Shutdown
+			}
+			return err
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true) // replies are small lines; Nagle+delayed-ACK adds ~40ms
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, tell every worker to flush
+// its pending batch without waiting out the admission deadline, service
+// everything already accepted, and stop. Connections still open after
+// timeout are force-closed. Safe to call once.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Release pending batches immediately: replies must not wait on
+	// BatchWait once the server is going down.
+	for _, w := range s.workers {
+		close(w.drainCh)
+	}
+	done := make(chan struct{})
+	go func() { s.connWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	// All connection readers are gone; no more sends into worker queues.
+	for _, w := range s.workers {
+		close(w.reqs)
+	}
+	for _, w := range s.workers {
+		<-w.done
+	}
+}
+
+// shardFor routes a key to its partition.
+func (s *Server) shardFor(key uint64) *shardWorker {
+	return s.workers[key%uint64(len(s.workers))]
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	// Replies go out in request order: the reader enqueues one future per
+	// request; the writer resolves them FIFO, so batching across shards
+	// cannot reorder a connection's replies.
+	futures := make(chan chan string, 2*s.cfg.QueueDepth)
+	var wWG sync.WaitGroup
+	wWG.Add(1)
+	go func() {
+		defer wWG.Done()
+		bw := bufio.NewWriter(c)
+		for f := range futures {
+			line := <-f
+			bw.WriteString(line)
+			bw.WriteByte('\n')
+			// Flush when no more replies are immediately ready.
+			if len(futures) == 0 {
+				bw.Flush()
+			}
+		}
+		bw.Flush()
+	}()
+
+	instant := func(line string) {
+		f := make(chan string, 1)
+		f <- line
+		futures <- f
+	}
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 4096), 1<<16)
+	for sc.Scan() {
+		op, key, val, err := parseRequest(sc.Text())
+		if err != nil {
+			instant("ERR " + err.Error())
+			continue
+		}
+		if op == 'P' {
+			instant("PONG")
+			continue
+		}
+		if s.draining.Load() {
+			instant("ERR server draining")
+			s.cRejected.Inc()
+			continue
+		}
+		r := &request{op: op, key: key, val: val, enq: time.Now(), done: make(chan string, 1)}
+		s.shardFor(key).reqs <- r
+		futures <- r.done
+	}
+	close(futures)
+	wWG.Wait()
+}
+
+// parseRequest parses one protocol line. op 'P' means PING.
+func parseRequest(line string) (op byte, key, val uint64, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return 0, 0, 0, fmt.Errorf("empty request")
+	}
+	verb := strings.ToUpper(fields[0])
+	argc := map[string]int{"SET": 2, "GET": 1, "DEL": 1, "PING": 0}
+	n, ok := argc[verb]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("unknown verb %q", fields[0])
+	}
+	if len(fields)-1 != n {
+		return 0, 0, 0, fmt.Errorf("%s takes %d argument(s)", verb, n)
+	}
+	if verb == "PING" {
+		return 'P', 0, 0, nil
+	}
+	key, err = strconv.ParseUint(fields[1], 10, 64)
+	if err != nil || key == 0 {
+		return 0, 0, 0, fmt.Errorf("key must be a decimal integer >= 1")
+	}
+	if verb == "SET" {
+		val, err = strconv.ParseUint(fields[2], 10, 64)
+		if err != nil || val == 0 {
+			return 0, 0, 0, fmt.Errorf("value must be a decimal integer >= 1")
+		}
+	}
+	return verb[0], key, val, nil
+}
+
+// shardWorker owns one Shard: it admits requests into a pending batch and
+// dispatches when the batch fills, the oldest request has waited BatchWait,
+// or an arriving mutation conflicts with a slot the batch already touches.
+type shardWorker struct {
+	shard   *Shard
+	reqs    chan *request
+	drainCh chan struct{} // closed by Shutdown: flush eagerly from now on
+	done    chan struct{}
+
+	drained  bool
+	maxBatch int
+	wait     time.Duration
+
+	// pending batch state
+	batch   Batch
+	pending []*request
+	getPos  []int        // for GET requests: index into batch.GetKeys
+	mutated map[int]bool // slots written by the pending batch
+	read    map[int]bool // slots read by the pending batch
+	first   time.Time    // arrival of the oldest pending request
+
+	gQueue     *telemetry.Gauge
+	gOccupancy *telemetry.Gauge
+	hReqUS     *telemetry.Histogram
+	hBatchSim  *telemetry.Histogram
+	cBatches   *telemetry.Counter
+	cOps       *telemetry.Counter
+	cSeals     *telemetry.Counter
+	cErrors    *telemetry.Counter
+}
+
+func newShardWorker(sh *Shard, cfg Config, reg *telemetry.Registry) *shardWorker {
+	p := fmt.Sprintf("serve.shard%d.", sh.ID())
+	return &shardWorker{
+		shard:      sh,
+		reqs:       make(chan *request, cfg.QueueDepth),
+		drainCh:    make(chan struct{}),
+		done:       make(chan struct{}),
+		maxBatch:   cfg.MaxBatch,
+		wait:       cfg.BatchWait,
+		mutated:    make(map[int]bool),
+		read:       make(map[int]bool),
+		gQueue:     reg.Gauge(p + "queue_depth"),
+		gOccupancy: reg.Gauge(p + "batch_occupancy"),
+		hReqUS:     reg.Histogram("serve.request_us", telemetry.LatencyBucketsUS),
+		hBatchSim:  reg.Histogram("serve.batch_sim_us", telemetry.LatencyBucketsUS),
+		cBatches:   reg.Counter(p + "batches"),
+		cOps:       reg.Counter(p + "ops"),
+		cSeals:     reg.Counter(p + "conflict_seals"),
+		cErrors:    reg.Counter(p + "errors"),
+	}
+}
+
+func (w *shardWorker) run() {
+	defer close(w.done)
+	for {
+		w.gQueue.Set(int64(len(w.reqs)))
+		if len(w.pending) == 0 {
+			if w.drained {
+				r, ok := <-w.reqs
+				if !ok {
+					return
+				}
+				w.admit(r)
+				continue
+			}
+			select {
+			case r, ok := <-w.reqs:
+				if !ok {
+					return
+				}
+				w.admit(r)
+			case <-w.drainCh:
+				w.drained = true
+			}
+			continue
+		}
+		if w.drained {
+			// Draining: absorb whatever is already queued, then flush
+			// without waiting out the admission deadline.
+			select {
+			case r, ok := <-w.reqs:
+				if !ok {
+					w.flush()
+					return
+				}
+				w.admit(r)
+			default:
+				w.flush()
+			}
+			continue
+		}
+		remaining := w.wait - time.Since(w.first)
+		if remaining <= 0 {
+			w.flush()
+			continue
+		}
+		deadline := time.NewTimer(remaining)
+		select {
+		case r, ok := <-w.reqs:
+			deadline.Stop()
+			if !ok {
+				w.flush()
+				return
+			}
+			w.admit(r)
+		case <-deadline.C:
+			w.flush()
+		case <-w.drainCh:
+			deadline.Stop()
+			w.drained = true
+		}
+	}
+}
+
+// admit adds one request to the pending batch, sealing first on slot
+// conflict and flushing when full.
+func (w *shardWorker) admit(r *request) {
+	slot := w.shard.SlotOf(r.key)
+	if r.op != 'G' && (w.mutated[slot] || w.read[slot]) {
+		// A second mutation of a slot (or a mutation after a GET of it)
+		// inside one batch would make the kernel outcome order-dependent:
+		// seal the current batch so per-connection ordering holds.
+		w.cSeals.Inc()
+		w.flush()
+	}
+	if len(w.pending) == 0 {
+		w.first = r.enq
+	}
+	switch r.op {
+	case 'S':
+		w.batch.SetKeys = append(w.batch.SetKeys, r.key)
+		w.batch.SetVals = append(w.batch.SetVals, r.val)
+		w.mutated[slot] = true
+		w.getPos = append(w.getPos, -1)
+	case 'D':
+		w.batch.DelKeys = append(w.batch.DelKeys, r.key)
+		w.mutated[slot] = true
+		w.getPos = append(w.getPos, -1)
+	case 'G':
+		w.getPos = append(w.getPos, len(w.batch.GetKeys))
+		w.batch.GetKeys = append(w.batch.GetKeys, r.key)
+		w.read[slot] = true
+	}
+	w.pending = append(w.pending, r)
+	if w.batch.Ops() >= w.maxBatch {
+		w.flush()
+	}
+}
+
+// flush applies the pending batch and resolves every reply future.
+func (w *shardWorker) flush() {
+	if len(w.pending) == 0 {
+		return
+	}
+	res, err := w.shard.Apply(&w.batch)
+	now := time.Now()
+	if err != nil {
+		w.cErrors.Inc()
+		for _, r := range w.pending {
+			r.done <- "ERR " + err.Error()
+		}
+	} else {
+		for i, r := range w.pending {
+			switch {
+			case r.op != 'G':
+				r.done <- "OK"
+			case res.GetVals[w.getPos[i]] != 0:
+				r.done <- "VALUE " + strconv.FormatUint(res.GetVals[w.getPos[i]], 10)
+			default:
+				r.done <- "NOTFOUND"
+			}
+			w.hReqUS.Observe(int64(now.Sub(r.enq) / time.Microsecond))
+		}
+		w.gOccupancy.Set(int64(res.Ops))
+		w.hBatchSim.ObserveMicros(res.SimTime)
+		w.cBatches.Inc()
+		w.cOps.Add(int64(res.Ops))
+	}
+	w.batch = Batch{}
+	w.pending = w.pending[:0]
+	w.getPos = w.getPos[:0]
+	w.mutated = make(map[int]bool)
+	w.read = make(map[int]bool)
+}

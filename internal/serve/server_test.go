@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/telemetry"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// startServer brings up a loopback server and returns its address and a
+// shutdown func.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go srv.Serve()
+	return srv, addr.String()
+}
+
+// dial opens a client and returns a send-line/expect-reply helper.
+func dial(t *testing.T, addr string) (*bufio.Reader, net.Conn) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c.SetDeadline(time.Now().Add(30 * time.Second))
+	return bufio.NewReader(c), c
+}
+
+func roundTrip(t *testing.T, c net.Conn, br *bufio.Reader, req string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(c, "%s\n", req); err != nil {
+		t.Fatalf("send %q: %v", req, err)
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reply to %q: %v", req, err)
+	}
+	return strings.TrimSpace(line)
+}
+
+// End-to-end over real TCP: sets, gets, dels, overwrite, durability on the
+// response path, graceful drain, verification.
+func TestServerEndToEnd(t *testing.T) {
+	tel := telemetry.New()
+	srv, addr := startServer(t, Config{
+		Mode: workloads.GPM, Shards: 2, Sets: 64, MaxBatch: 16,
+		BatchWait: 200 * time.Microsecond, Workers: 1, Telemetry: tel,
+	})
+	br, c := dial(t, addr)
+	defer c.Close()
+
+	cases := []struct{ req, want string }{
+		{"PING", "PONG"},
+		{"SET 1 100", "OK"},
+		{"SET 2 200", "OK"},
+		{"GET 1", "VALUE 100"},
+		{"GET 2", "VALUE 200"},
+		{"GET 3", "NOTFOUND"},
+		{"SET 1 101", "OK"}, // overwrite (second batch: same slot)
+		{"GET 1", "VALUE 101"},
+		{"DEL 2", "OK"},
+		{"GET 2", "NOTFOUND"},
+		{"set 7 70", "OK"}, // verbs are case-insensitive
+		{"GET 7", "VALUE 70"},
+	}
+	for _, tc := range cases {
+		if got := roundTrip(t, c, br, tc.req); got != tc.want {
+			t.Errorf("%q -> %q, want %q", tc.req, got, tc.want)
+		}
+	}
+	c.Close()
+	srv.Shutdown(5 * time.Second)
+
+	var served int64
+	for _, sh := range srv.Shards() {
+		served += sh.Ops()
+		if err := sh.Verify(); err != nil {
+			t.Errorf("shard %d: %v", sh.ID(), err)
+		}
+	}
+	if served != int64(len(cases)-1) { // PING is not a store op
+		t.Errorf("shards served %d ops, want %d", served, len(cases)-1)
+	}
+	reg := tel.Registry()
+	if reg.Histogram("serve.request_us", telemetry.LatencyBucketsUS).Count() != int64(len(cases)-1) {
+		t.Errorf("request_us count = %d, want %d",
+			reg.Histogram("serve.request_us", telemetry.LatencyBucketsUS).Count(), len(cases)-1)
+	}
+}
+
+// Malformed requests get ERR replies without killing the connection or the
+// server, and never reach a shard.
+func TestServerProtocolErrors(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Mode: workloads.GPM, Shards: 1, Sets: 64, MaxBatch: 8, Workers: 1,
+	})
+	defer srv.Shutdown(5 * time.Second)
+	br, c := dial(t, addr)
+	defer c.Close()
+
+	for _, bad := range []string{
+		"BOGUS 1", "SET 1", "SET 1 2 3", "GET", "SET x 1", "SET 1 x",
+		"SET 0 5", "SET 1 0", "GET 0", "",
+	} {
+		if got := roundTrip(t, c, br, bad); !strings.HasPrefix(got, "ERR") {
+			t.Errorf("%q -> %q, want ERR...", bad, got)
+		}
+	}
+	// The connection still works after errors.
+	if got := roundTrip(t, c, br, "SET 5 50"); got != "OK" {
+		t.Errorf("SET after errors -> %q", got)
+	}
+	if got := roundTrip(t, c, br, "GET 5"); got != "VALUE 50" {
+		t.Errorf("GET after errors -> %q", got)
+	}
+}
+
+// Two mutations of the same slot pipelined back-to-back must land in
+// different batches (conflict seal) and resolve in order.
+func TestServerConflictSealsBatch(t *testing.T) {
+	tel := telemetry.New()
+	srv, addr := startServer(t, Config{
+		Mode: workloads.GPM, Shards: 1, Sets: 64, MaxBatch: 64,
+		BatchWait: 50 * time.Millisecond, // long: only conflicts/size can seal
+		Workers:   1, Telemetry: tel,
+	})
+	br, c := dial(t, addr)
+	defer c.Close()
+
+	// Pipeline without waiting: SET k, SET k, GET k.
+	if _, err := fmt.Fprintf(c, "SET 11 1\nSET 11 2\nGET 11\n"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OK", "OK", "VALUE 2"} {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got := strings.TrimSpace(line); got != want {
+			t.Errorf("reply %q, want %q", got, want)
+		}
+	}
+	c.Close()
+	srv.Shutdown(5 * time.Second)
+	if seals := tel.Registry().Counter("serve.shard0.conflict_seals").Value(); seals < 1 {
+		t.Errorf("conflict_seals = %d, want >= 1", seals)
+	}
+	for _, sh := range srv.Shards() {
+		if err := sh.Verify(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// Shutdown must drain: requests accepted before the drain get real
+// replies, and pending partial batches flush.
+func TestServerDrainOnShutdown(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Mode: workloads.GPM, Shards: 2, Sets: 64, MaxBatch: 1024,
+		BatchWait: 10 * time.Second, // never seals on its own
+		Workers:   1,
+	})
+	br, c := dial(t, addr)
+	defer c.Close()
+
+	if _, err := fmt.Fprintf(c, "SET 1 10\nSET 2 20\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Give the requests time to reach the shard queues, then shut down
+	// while the batches are still pending on their deadline.
+	time.Sleep(100 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { srv.Shutdown(10 * time.Second); close(done) }()
+
+	for i := 0; i < 2; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply %d during drain: %v", i, err)
+		}
+		if got := strings.TrimSpace(line); got != "OK" {
+			t.Errorf("drain reply = %q, want OK", got)
+		}
+	}
+	c.Close()
+	<-done
+	for _, sh := range srv.Shards() {
+		if err := sh.Verify(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// The load generator end-to-end: a small closed-loop run with mixed ops
+// across shards, then drain and verify — the selftest path in miniature.
+func TestServerUnderLoad(t *testing.T) {
+	tel := telemetry.New()
+	srv, addr := startServer(t, Config{
+		Mode: workloads.GPM, Shards: 2, Sets: 256, MaxBatch: 64,
+		BatchWait: 200 * time.Microsecond, Workers: 1, Telemetry: tel,
+	})
+	res, err := RunLoad(LoadConfig{
+		Addr: addr, Conns: 4, Ops: 800, Window: 8,
+		GetFraction: 0.4, DelFraction: 0.1, KeySpace: 512, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	srv.Shutdown(10 * time.Second)
+
+	if res.Ops != 800 {
+		t.Errorf("completed %d ops, want 800", res.Ops)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d errored replies", res.Errors)
+	}
+	if res.Throughput <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("implausible latency stats: tput=%g p50=%v p99=%v", res.Throughput, res.P50, res.P99)
+	}
+	var served int64
+	for _, sh := range srv.Shards() {
+		served += sh.Ops()
+		if sh.Ops() == 0 {
+			t.Errorf("shard %d idle — keyspace not spanning shards", sh.ID())
+		}
+		if err := sh.Verify(); err != nil {
+			t.Error(err)
+		}
+	}
+	if served != res.Ops {
+		t.Errorf("shards served %d, clients saw %d", served, res.Ops)
+	}
+	if b := tel.Registry().Counter("serve.shard0.batches").Value(); b < 1 {
+		t.Error("no batches recorded on shard 0")
+	}
+}
+
+// SelfTest is the smoke-test entry: GPM across 2 shards with
+// kill-and-recover must verify and report sane numbers.
+func TestSelfTestKillAndRecover(t *testing.T) {
+	rep, err := SelfTest(SelfTestOptions{
+		Modes:          []workloads.Mode{workloads.GPM},
+		ShardCounts:    []int{2},
+		Ops:            600,
+		Conns:          4,
+		Sets:           256,
+		MaxBatch:       64,
+		BatchWait:      200 * time.Microsecond,
+		Workers:        1,
+		Seed:           3,
+		KillAndRecover: true,
+	})
+	if err != nil {
+		t.Fatalf("SelfTest: %v", err)
+	}
+	if len(rep.Entries) != 1 {
+		t.Fatalf("%d entries, want 1", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if !e.Verified || !e.Recovered {
+		t.Errorf("entry not verified/recovered: %+v", e)
+	}
+	if e.Ops != 600 || e.Errors != 0 {
+		t.Errorf("ops=%d errors=%d, want 600/0", e.Ops, e.Errors)
+	}
+	if e.RecoverUS <= 0 {
+		t.Errorf("RecoverUS = %g, want > 0", e.RecoverUS)
+	}
+	if e.Batches < 1 || e.SimBatchUS <= 0 {
+		t.Errorf("batches=%d sim_batch_us=%g", e.Batches, e.SimBatchUS)
+	}
+}

@@ -1,0 +1,629 @@
+// Package serve is gpmserve's batched network front-end over the gpKVS
+// store: a TCP server that accumulates client GET/SET/DEL requests into
+// admission-controlled batches and dispatches each batch as the same GPU
+// kernel transactions the gpKVS workload runs (SET/DELETE with HCL undo
+// logging under GPM, CAP-fs/CAP-mm post-kernel persistence as baselines).
+// Replies are sent only after the batch's persistence path completes, so a
+// positive response implies durability of the mutation it acknowledges.
+//
+// The keyspace partitions across -shards independent simulated nodes
+// (shard = key mod shards), each owned by one worker goroutine; batches on
+// different shards execute concurrently while each shard stays serial, so
+// the simulated results per shard are deterministic given the batch
+// sequence.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	gpm "github.com/gpm-sim/gpm/internal/core"
+	"github.com/gpm-sim/gpm/internal/cpusim"
+	"github.com/gpm-sim/gpm/internal/fsim"
+	"github.com/gpm-sim/gpm/internal/gpu"
+	"github.com/gpm-sim/gpm/internal/kvstore"
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// Batch is one admitted transaction of client operations. The batcher
+// guarantees at most one mutation (SET or DEL) per store slot per batch —
+// the same precondition the gpKVS workload generator enforces — so kernel
+// thread scheduling cannot change the result. GETs are serviced from the
+// post-mutation mirror, matching arrival order (a GET admitted after a SET
+// of the same key observes the new value; a mutation arriving after a GET
+// of its slot seals the batch first).
+type Batch struct {
+	SetKeys, SetVals []uint64
+	DelKeys          []uint64
+	GetKeys          []uint64
+}
+
+// Mutations is the number of slot-writing operations in the batch.
+func (b *Batch) Mutations() int { return len(b.SetKeys) + len(b.DelKeys) }
+
+// Ops is the total operation count.
+func (b *Batch) Ops() int { return b.Mutations() + len(b.GetKeys) }
+
+// BatchResult reports one applied batch.
+type BatchResult struct {
+	// GetVals holds one entry per GetKeys element: the value, or 0 when the
+	// key was absent.
+	GetVals []uint64
+	// SimTime is the simulated time the batch consumed on the shard's node
+	// (stage + kernels + host serve + persistence/commit).
+	SimTime sim.Duration
+	// Ops echoes the batch's operation count.
+	Ops int
+}
+
+// Shard is one keyspace partition: a private simulated node holding a
+// gpKVS-layout store (Sets × 8 ways × 16 B on PM, HBM working mirror),
+// applying batches as kernel transactions under the configured mode. A
+// Shard is not safe for concurrent use; the server drives each shard from
+// exactly one worker goroutine.
+type Shard struct {
+	id       int
+	mode     workloads.Mode
+	env      *workloads.Env
+	sets     int
+	maxBatch int
+	blocks   int // kernel grid (and HCL log geometry)
+
+	pmFile *fsim.File // PM-resident store
+	txFile *fsim.File // transaction-active flag
+	mirror uint64     // HBM working mirror
+	keysB  uint64     // HBM staging: SET keys
+	valsB  uint64     // HBM staging: SET values
+	delsB  uint64     // HBM staging: DEL keys
+	getsB  uint64     // HBM staging: GET keys
+	outB   uint64     // HBM staging: GET results
+
+	log *gpm.Log
+
+	// model is the committed-state oracle: it reflects exactly the batches
+	// that were acknowledged, survives a simulated crash (it models what
+	// clients were promised), and is what Verify compares the durable store
+	// against after recovery.
+	model []uint64 // slot -> key, value (2 u64 per slot)
+
+	ops  int64
+	down bool // crashed and not yet restarted
+}
+
+// ShardConfig sizes one shard.
+type ShardConfig struct {
+	Mode       workloads.Mode
+	Sets       int // hash sets (store = Sets × 8 ways × 16 B)
+	MaxBatch   int // max operations per admitted batch
+	Workers    int // GPU block goroutines (0 = GOMAXPROCS)
+	CAPThreads int // CPU threads for CAP persist phases and host serving
+	Seed       uint64
+}
+
+// SupportedModes lists the persistence modes gpmserve can run. GPUfs
+// deadlocks on fine-grained KVS updates and CPU-only has no GPU batches to
+// dispatch, so both are excluded (as in the gpKVS workload).
+func SupportedModes() []workloads.Mode {
+	return []workloads.Mode{
+		workloads.GPM, workloads.GPMeADR, workloads.GPMNDP,
+		workloads.CAPfs, workloads.CAPmm, workloads.CAPeADR,
+	}
+}
+
+// ModeByName resolves a servable mode name (e.g. "GPM", "CAP-fs"),
+// rejecting modes the server cannot run.
+func ModeByName(name string) (workloads.Mode, error) {
+	var valid []string
+	for _, m := range SupportedModes() {
+		if m.String() == name {
+			return m, nil
+		}
+		valid = append(valid, m.String())
+	}
+	return 0, fmt.Errorf("serve: unsupported mode %q (valid: %s)", name, strings.Join(valid, ", "))
+}
+
+// ModeSupported reports whether mode can serve.
+func ModeSupported(mode workloads.Mode) bool {
+	for _, m := range SupportedModes() {
+		if m == mode {
+			return true
+		}
+	}
+	return false
+}
+
+// NewShard builds one shard on a fresh simulated node.
+func NewShard(id int, cfg ShardConfig) (*Shard, error) {
+	if !ModeSupported(cfg.Mode) {
+		return nil, fmt.Errorf("serve: mode %s cannot serve", cfg.Mode)
+	}
+	if cfg.Sets < 1 {
+		return nil, fmt.Errorf("serve: sets must be >= 1, got %d", cfg.Sets)
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("serve: max batch must be >= 1, got %d", cfg.MaxBatch)
+	}
+	if cfg.CAPThreads < 1 {
+		cfg.CAPThreads = 16
+	}
+	s := &Shard{
+		id:       id,
+		mode:     cfg.Mode,
+		sets:     cfg.Sets,
+		maxBatch: cfg.MaxBatch,
+		blocks:   (cfg.MaxBatch*kvstore.ThreadGroup + kvstore.TPB - 1) / kvstore.TPB,
+	}
+	store := s.storeBytes()
+	logSize := int64(s.blocks*kvstore.TPB)*2*kvstore.LogEntryBytes + 1<<16
+	staging := int64(cfg.MaxBatch) * 8 * 5
+	wcfg := workloads.Config{
+		Seed:       cfg.Seed,
+		CAPThreads: cfg.CAPThreads,
+		Workers:    cfg.Workers,
+		HBMSize:    store + staging + 1<<20,
+		DRAMSize:   store + 1<<20, // CAP bounce buffers
+		PMSize:     store + logSize + 1<<20,
+	}
+	s.env = workloads.NewEnv(cfg.Mode, wcfg)
+
+	sp := s.env.Ctx.Space
+	var err error
+	if s.pmFile, err = s.env.Ctx.FS.Create("/pm/kvs.store", store, 0); err != nil {
+		return nil, err
+	}
+	if s.txFile, err = s.env.Ctx.FS.Create("/pm/kvs.tx", 64, 0); err != nil {
+		return nil, err
+	}
+	s.mirror = sp.AllocHBM(store)
+	s.keysB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
+	s.valsB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
+	s.delsB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
+	s.getsB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
+	s.outB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
+	s.model = make([]uint64, cfg.Sets*kvstore.Ways*2)
+
+	// The empty store is durable from the start.
+	sp.PersistRange(s.pmFile.Mmap(), int(store))
+	sp.PersistRange(s.txFile.Mmap(), 8)
+
+	if s.logged() {
+		s.log, err = s.env.Ctx.LogCreateHCL("/pm/kvs.log", logSize, s.blocks, kvstore.TPB)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ID returns the shard index.
+func (s *Shard) ID() int { return s.id }
+
+// Mode returns the shard's persistence mode.
+func (s *Shard) Mode() workloads.Mode { return s.mode }
+
+// Ops returns the total operations applied (committed batches only).
+func (s *Shard) Ops() int64 { return s.ops }
+
+// Env exposes the shard's execution environment (telemetry attachment,
+// timeline inspection).
+func (s *Shard) Env() *workloads.Env { return s.env }
+
+// SlotOf returns the store slot index a key maps to; the batcher uses it
+// for conflict sealing.
+func (s *Shard) SlotOf(key uint64) int {
+	set, way := kvstore.HashKey(key, s.sets)
+	return set*kvstore.Ways + way
+}
+
+func (s *Shard) storeBytes() int64 {
+	return int64(s.sets) * kvstore.Ways * kvstore.PairBytes
+}
+
+func (s *Shard) slotAddr(base uint64, set, way int) uint64 {
+	return base + uint64((set*kvstore.Ways+way)*kvstore.PairBytes)
+}
+
+// logged reports whether this mode undo-logs mutations.
+func (s *Shard) logged() bool {
+	return s.mode.UsesGPM() || s.mode == workloads.GPMNDP
+}
+
+// checkBatch rejects batches that violate the kernel preconditions: size
+// limits and the one-mutation-per-slot rule. Violations indicate a batcher
+// bug; refusing beats a silently scheduling-dependent store image.
+func (s *Shard) checkBatch(b *Batch) error {
+	if len(b.SetKeys) != len(b.SetVals) {
+		return fmt.Errorf("serve: shard %d: %d SET keys with %d values", s.id, len(b.SetKeys), len(b.SetVals))
+	}
+	if b.Mutations() > s.maxBatch || len(b.GetKeys) > s.maxBatch {
+		return fmt.Errorf("serve: shard %d: batch exceeds max %d (sets=%d dels=%d gets=%d)",
+			s.id, s.maxBatch, len(b.SetKeys), len(b.DelKeys), len(b.GetKeys))
+	}
+	seen := make(map[int]bool, b.Mutations())
+	for _, keys := range [][]uint64{b.SetKeys, b.DelKeys} {
+		for _, key := range keys {
+			slot := s.SlotOf(key)
+			if seen[slot] {
+				return fmt.Errorf("serve: shard %d: two mutations on slot %d in one batch", s.id, slot)
+			}
+			seen[slot] = true
+		}
+	}
+	return nil
+}
+
+// stage ships the batch's operations to the GPU (cudaMemcpy HtoD).
+func (s *Shard) stage(b *Batch) {
+	sp := s.env.Ctx.Space
+	if len(b.SetKeys) > 0 {
+		sp.WriteCPU(s.keysB, u64Bytes(b.SetKeys))
+		sp.WriteCPU(s.valsB, u64Bytes(b.SetVals))
+	}
+	if len(b.DelKeys) > 0 {
+		sp.WriteCPU(s.delsB, u64Bytes(b.DelKeys))
+	}
+	if len(b.GetKeys) > 0 {
+		sp.WriteCPU(s.getsB, u64Bytes(b.GetKeys))
+	}
+	n := int64(len(b.SetKeys)*16 + len(b.DelKeys)*8 + len(b.GetKeys)*8)
+	s.env.Ctx.Timeline.Add("stage", sp.DMA.TransferDown(n))
+}
+
+func (s *Shard) setTxFlag(on bool) {
+	v := uint64(0)
+	if on {
+		v = 1
+	}
+	s.env.Ctx.RunCPU("tx-flag", 1, func(t *cpusim.Thread) {
+		t.WriteU64(s.txFile.Mmap(), v)
+		t.PersistRange(s.txFile.Mmap(), 8)
+	})
+}
+
+// mutateKernel runs the SET or DELETE kernel (a DELETE is a SET of the
+// empty pair): thread groups cooperate per op, the home-way thread logs the
+// old pair, updates mirror (and PM directly under GPM-class modes), and
+// persists under plain GPM/eADR.
+func (s *Shard) mutateKernel(segment string, keys, vals uint64, nOps int, del, logging bool) error {
+	if nOps == 0 {
+		return nil
+	}
+	sets := s.sets
+	pm := s.pmFile.Mmap()
+	mirror := s.mirror
+	log := s.log
+	direct := s.mode.UsesGPM() || s.mode == workloads.GPMNDP
+	persist := s.mode.UsesGPM()
+	var kerr error
+	s.env.Ctx.Launch(segment, s.blocks, kvstore.TPB, func(t *gpu.Thread) {
+		gid := t.GlobalID()
+		op := gid / kvstore.ThreadGroup
+		if op >= nOps {
+			return
+		}
+		key := t.LoadU64(keys + uint64(op)*8)
+		t.Compute(kvstore.GPUOpCost)
+		set, way := kvstore.HashKey(key, sets)
+		if gid%kvstore.ThreadGroup != way {
+			return // each group thread probes its own way; only home proceeds
+		}
+		mAddr := s.slotAddr(mirror, set, way)
+		var newKey, newVal uint64
+		if del {
+			if t.LoadU64(mAddr) != key {
+				return // miss: nothing to delete
+			}
+		} else {
+			newKey = key
+			newVal = t.LoadU64(vals + uint64(op)*8)
+		}
+		if logging {
+			var entry [kvstore.LogEntryBytes]byte
+			binary.LittleEndian.PutUint32(entry[0:], uint32(set))
+			binary.LittleEndian.PutUint32(entry[4:], uint32(way))
+			binary.LittleEndian.PutUint64(entry[8:], t.LoadU64(mAddr))
+			binary.LittleEndian.PutUint64(entry[16:], t.LoadU64(mAddr+8))
+			if err := log.Insert(t, entry[:], -1); err != nil {
+				kerr = err
+				return
+			}
+		}
+		t.StoreU64(mAddr, newKey)
+		t.StoreU64(mAddr+8, newVal)
+		if direct {
+			pAddr := s.slotAddr(pm, set, way)
+			t.StoreU64(pAddr, newKey)
+			t.StoreU64(pAddr+8, newVal)
+			if persist {
+				gpm.Persist(t)
+			}
+		}
+	})
+	return kerr
+}
+
+// getKernel services batched GETs from the device-resident mirror.
+func (s *Shard) getKernel(nGets int) {
+	if nGets == 0 {
+		return
+	}
+	sets := s.sets
+	mirror, gets, out := s.mirror, s.getsB, s.outB
+	blocks := (nGets + kvstore.TPB - 1) / kvstore.TPB
+	s.env.Ctx.Launch("kvs-get", blocks, kvstore.TPB, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= nGets {
+			return
+		}
+		key := t.LoadU64(gets + uint64(i)*8)
+		t.Compute(kvstore.GPUOpCost)
+		set, way := kvstore.HashKey(key, sets)
+		mAddr := s.slotAddr(mirror, set, way)
+		var val uint64
+		if t.LoadU64(mAddr) == key {
+			val = t.LoadU64(mAddr + 8)
+		}
+		t.StoreU64(out+uint64(i)*8, val)
+	})
+}
+
+// hostServe accounts the host side of the server (parse, dispatch,
+// response assembly) — identical work under every persistence system.
+func (s *Shard) hostServe(totalOps int) {
+	s.env.Ctx.RunCPU("kvs-serve", s.env.Cfg.CAPThreads, func(t *cpusim.Thread) {
+		per := (totalOps + t.N - 1) / t.N
+		mine := per
+		if t.ID*per+mine > totalOps {
+			mine = totalOps - t.ID*per
+		}
+		if mine > 0 {
+			t.Compute(sim.Duration(mine) * kvstore.HostOpCost)
+		}
+	})
+}
+
+// commit makes the batch durable and closes the transaction, per mode.
+func (s *Shard) commit(b *Batch, logging bool) error {
+	switch {
+	case s.mode.UsesGPM():
+		if logging {
+			log := s.log
+			s.env.PersistKernelBegin()
+			s.env.Ctx.Launch("kvs-logclear", s.blocks, kvstore.TPB, func(t *gpu.Thread) {
+				log.ClearIfUsed(t)
+			})
+			s.env.PersistKernelEnd()
+			s.setTxFlag(false)
+		}
+	case s.mode == workloads.GPMNDP:
+		// Kernels stored PM directly but the CPU must flush; it cannot know
+		// which slots changed, so the whole store flushes.
+		s.env.Cap.FlushOnly(s.pmFile.Mmap(), s.storeBytes())
+		if logging {
+			s.log.HostClearAll()
+			s.setTxFlag(false)
+		}
+	default:
+		// CAP: ship the touched pre-defined sections to the CPU to persist.
+		for _, run := range s.touchedSections(b) {
+			if err := workloads.PersistBuffer(s.env, s.pmFile, run.off, s.mirror+uint64(run.off), run.n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type secRun struct{ off, n int64 }
+
+// touchedSections returns the merged section runs the batch's mutations
+// touch (CAP persists the store in 16 KB pre-defined chunks).
+func (s *Shard) touchedSections(b *Batch) []secRun {
+	nSections := (s.storeBytes() + kvstore.Section - 1) / kvstore.Section
+	touched := make([]bool, nSections)
+	for _, keys := range [][]uint64{b.SetKeys, b.DelKeys} {
+		for _, key := range keys {
+			touched[int64(s.SlotOf(key))*kvstore.PairBytes/kvstore.Section] = true
+		}
+	}
+	var runs []secRun
+	for sec := int64(0); sec < nSections; sec++ {
+		if !touched[sec] {
+			continue
+		}
+		e := sec
+		for e+1 < nSections && touched[e+1] {
+			e++
+		}
+		off := sec * kvstore.Section
+		end := (e + 1) * kvstore.Section
+		if end > s.storeBytes() {
+			end = s.storeBytes()
+		}
+		runs = append(runs, secRun{off, end - off})
+		sec = e
+	}
+	return runs
+}
+
+// commitModel applies an acknowledged batch to the committed-state oracle.
+func (s *Shard) commitModel(b *Batch) {
+	for i, key := range b.SetKeys {
+		slot := s.SlotOf(key)
+		s.model[slot*2] = key
+		s.model[slot*2+1] = b.SetVals[i]
+	}
+	for _, key := range b.DelKeys {
+		slot := s.SlotOf(key)
+		if s.model[slot*2] == key {
+			s.model[slot*2] = 0
+			s.model[slot*2+1] = 0
+		}
+	}
+}
+
+// Apply executes one batch as a transaction and returns the GET results.
+// On return the batch's mutations are durable (the response path includes
+// the mode's persistence step), so the caller may acknowledge clients.
+func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
+	if s.down {
+		return nil, fmt.Errorf("serve: shard %d is down (crashed; Restart first)", s.id)
+	}
+	if err := s.checkBatch(b); err != nil {
+		return nil, err
+	}
+	n := b.Ops()
+	if n == 0 {
+		return &BatchResult{}, nil
+	}
+	start := s.env.Ctx.Timeline.Total()
+	s.stage(b)
+	logging := s.logged() && b.Mutations() > 0
+
+	if logging {
+		s.setTxFlag(true)
+	}
+	s.env.PersistKernelBegin()
+	if err := s.mutateKernel("kvs-set", s.keysB, s.valsB, len(b.SetKeys), false, logging); err != nil {
+		return nil, err
+	}
+	if err := s.mutateKernel("kvs-del", s.delsB, 0, len(b.DelKeys), true, logging); err != nil {
+		return nil, err
+	}
+	s.getKernel(len(b.GetKeys))
+	s.env.PersistKernelEnd()
+
+	s.hostServe(n)
+	if err := s.commit(b, logging); err != nil {
+		return nil, err
+	}
+
+	out := make([]uint64, len(b.GetKeys))
+	for i := range out {
+		out[i] = s.env.Ctx.Space.ReadU64(s.outB + uint64(i)*8)
+	}
+	s.commitModel(b)
+	s.ops += int64(n)
+	return &BatchResult{GetVals: out, SimTime: s.env.Ctx.Timeline.Total() - start, Ops: n}, nil
+}
+
+// CrashMidBatch starts applying b, aborts the mutation kernel after
+// abortAfterOps device operations, and power-fails the node — the §6.2
+// worst case of dying inside an uncommitted transaction. The batch is NOT
+// acknowledged (the oracle ignores it); Restart must undo its partial
+// effects. Only GPM-class logging modes support mid-batch crashes.
+func (s *Shard) CrashMidBatch(b *Batch, abortAfterOps int64) error {
+	if !s.mode.UsesGPM() {
+		return fmt.Errorf("serve: mid-batch crash requires a GPM mode, shard runs %s", s.mode)
+	}
+	if s.down {
+		return fmt.Errorf("serve: shard %d already down", s.id)
+	}
+	if err := s.checkBatch(b); err != nil {
+		return err
+	}
+	if b.Mutations() == 0 {
+		return fmt.Errorf("serve: mid-batch crash needs mutations to abort")
+	}
+	s.stage(b)
+	s.setTxFlag(true)
+	s.env.PersistKernelBegin()
+	s.env.Ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= abortAfterOps })
+	err := s.mutateKernel("kvs-set", s.keysB, s.valsB, len(b.SetKeys), false, true)
+	if err == nil {
+		err = s.mutateKernel("kvs-del", s.delsB, 0, len(b.DelKeys), true, true)
+	}
+	s.env.Ctx.Dev.SetAbortCheck(nil)
+	s.env.PersistKernelEnd()
+	if err != nil {
+		return err
+	}
+	s.env.Ctx.Crash()
+	s.down = true
+	return nil
+}
+
+// Restart brings a crashed shard back: if the durable transaction flag is
+// set it runs the Fig 6b recovery kernel to undo the partial batch, then
+// reloads the HBM mirror from the durable store (the restart-time data
+// load). It returns the simulated restore time.
+func (s *Shard) Restart() (sim.Duration, error) {
+	start := s.env.Ctx.Timeline.Total()
+	ctx := s.env.Ctx
+	if s.logged() {
+		snap := ctx.Space.SnapshotPersistent(s.txFile.Mmap(), 8)
+		if binary.LittleEndian.Uint64(snap) != 0 {
+			log, err := ctx.LogOpen("/pm/kvs.log")
+			if err != nil {
+				return 0, err
+			}
+			s.log = log
+			pm := s.pmFile.Mmap()
+			sets := s.sets
+			ctx.PersistBegin()
+			var kerr error
+			ctx.Launch("kvs-recover", s.blocks, kvstore.TPB, func(t *gpu.Thread) {
+				// Undo this thread's logged entries newest-first until its
+				// log partition is empty (Fig 6b).
+				var entry [kvstore.LogEntryBytes]byte
+				for log.Read(t, entry[:], -1) == nil {
+					set := int(binary.LittleEndian.Uint32(entry[0:]))
+					way := int(binary.LittleEndian.Uint32(entry[4:]))
+					if set >= sets || way >= kvstore.Ways {
+						kerr = fmt.Errorf("serve: corrupt log entry (set=%d way=%d)", set, way)
+						return
+					}
+					addr := s.slotAddr(pm, set, way)
+					t.StoreU64(addr, binary.LittleEndian.Uint64(entry[8:]))
+					t.StoreU64(addr+8, binary.LittleEndian.Uint64(entry[16:]))
+					gpm.Persist(t)
+					// Remove only after the undo is durable.
+					if err := log.Remove(t, kvstore.LogEntryBytes, -1); err != nil {
+						kerr = err
+						return
+					}
+				}
+			})
+			ctx.PersistEnd()
+			if kerr != nil {
+				return 0, kerr
+			}
+			s.setTxFlag(false)
+		}
+	}
+	// Reload the working mirror from the durable store (DMA down), the
+	// restart cost every mode pays.
+	snap := ctx.Space.SnapshotPersistent(s.pmFile.Mmap(), int(s.storeBytes()))
+	ctx.Space.WriteCPU(s.mirror, snap)
+	ctx.Timeline.Add("restore", ctx.Space.DMA.TransferDown(s.storeBytes()))
+	s.down = false
+	restore := ctx.Timeline.Total() - start
+	s.env.AddRestore(restore)
+	return restore, nil
+}
+
+// Verify checks that the DURABLE store matches the committed-state oracle
+// slot by slot — acknowledged mutations present, unacknowledged ones absent.
+func (s *Shard) Verify() error {
+	snap := s.env.Ctx.Space.SnapshotPersistent(s.pmFile.Mmap(), int(s.storeBytes()))
+	for slot := 0; slot < s.sets*kvstore.Ways; slot++ {
+		key := binary.LittleEndian.Uint64(snap[slot*kvstore.PairBytes:])
+		val := binary.LittleEndian.Uint64(snap[slot*kvstore.PairBytes+8:])
+		if key != s.model[slot*2] || val != s.model[slot*2+1] {
+			return fmt.Errorf("serve: shard %d durable slot %d = (%d,%d), want (%d,%d)",
+				s.id, slot, key, val, s.model[slot*2], s.model[slot*2+1])
+		}
+	}
+	return nil
+}
+
+func u64Bytes(vals []uint64) []byte {
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], v)
+	}
+	return out
+}

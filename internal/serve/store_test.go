@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+func quickShard(t *testing.T, mode workloads.Mode) *Shard {
+	t.Helper()
+	sh, err := NewShard(0, ShardConfig{Mode: mode, Sets: 64, MaxBatch: 64, Workers: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewShard(%s): %v", mode, err)
+	}
+	return sh
+}
+
+// A shard must apply SET/GET/DEL batches transactionally: GETs see the
+// batch's own SETs, DELs empty slots, and the durable store always matches
+// the committed oracle.
+func TestShardApplyAndVerify(t *testing.T) {
+	sh := quickShard(t, workloads.GPM)
+
+	res, err := sh.Apply(&Batch{
+		SetKeys: []uint64{1, 2, 3},
+		SetVals: []uint64{10, 20, 30},
+		GetKeys: []uint64{1, 2, 99},
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	want := []uint64{10, 20, 0}
+	for i, w := range want {
+		if res.GetVals[i] != w {
+			t.Errorf("GetVals[%d] = %d, want %d", i, res.GetVals[i], w)
+		}
+	}
+	if res.SimTime <= 0 {
+		t.Error("batch consumed no simulated time")
+	}
+	if err := sh.Verify(); err != nil {
+		t.Fatalf("Verify after batch 1: %v", err)
+	}
+
+	// Overwrite, delete, and read back in a second batch.
+	res, err = sh.Apply(&Batch{
+		SetKeys: []uint64{1},
+		SetVals: []uint64{11},
+		DelKeys: []uint64{2},
+		GetKeys: []uint64{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatalf("Apply 2: %v", err)
+	}
+	want = []uint64{11, 0, 30}
+	for i, w := range want {
+		if res.GetVals[i] != w {
+			t.Errorf("batch2 GetVals[%d] = %d, want %d", i, res.GetVals[i], w)
+		}
+	}
+	if err := sh.Verify(); err != nil {
+		t.Fatalf("Verify after batch 2: %v", err)
+	}
+	if sh.Ops() != 6+5 {
+		t.Errorf("Ops = %d, want 11", sh.Ops())
+	}
+}
+
+// Every supported serving mode must persist acknowledged batches durably.
+func TestShardModes(t *testing.T) {
+	for _, mode := range SupportedModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			sh := quickShard(t, mode)
+			for i := uint64(1); i <= 3; i++ {
+				_, err := sh.Apply(&Batch{
+					SetKeys: []uint64{i, i + 100},
+					SetVals: []uint64{i * 7, i * 9},
+					GetKeys: []uint64{i},
+				})
+				if err != nil {
+					t.Fatalf("Apply batch %d: %v", i, err)
+				}
+			}
+			if _, err := sh.Apply(&Batch{DelKeys: []uint64{2}}); err != nil {
+				t.Fatalf("Apply del: %v", err)
+			}
+			if err := sh.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Batches violating the one-mutation-per-slot precondition must be
+// refused, not applied nondeterministically.
+func TestShardRejectsSlotConflict(t *testing.T) {
+	sh := quickShard(t, workloads.GPM)
+	_, err := sh.Apply(&Batch{SetKeys: []uint64{5, 5}, SetVals: []uint64{1, 2}})
+	if err == nil || !strings.Contains(err.Error(), "two mutations") {
+		t.Fatalf("conflicting batch: err = %v, want two-mutations error", err)
+	}
+	// DEL and SET of the same key collide on the same slot too.
+	_, err = sh.Apply(&Batch{SetKeys: []uint64{5}, SetVals: []uint64{1}, DelKeys: []uint64{5}})
+	if err == nil {
+		t.Fatal("SET+DEL same key in one batch should be refused")
+	}
+}
+
+// Crashing inside an uncommitted batch and restarting must roll the store
+// back to the committed oracle (the acknowledged prefix), and the shard
+// must keep serving afterwards.
+func TestShardCrashRecoverRestart(t *testing.T) {
+	for _, mode := range []workloads.Mode{workloads.GPM, workloads.GPMeADR} {
+		t.Run(mode.String(), func(t *testing.T) {
+			sh := quickShard(t, mode)
+			if _, err := sh.Apply(&Batch{
+				SetKeys: []uint64{1, 2, 3, 4},
+				SetVals: []uint64{10, 20, 30, 40},
+			}); err != nil {
+				t.Fatalf("committed batch: %v", err)
+			}
+
+			// Die inside the next batch: overwrites of committed keys plus
+			// fresh inserts, none acknowledged.
+			err := sh.CrashMidBatch(&Batch{
+				SetKeys: []uint64{1, 2, 50, 51},
+				SetVals: []uint64{111, 222, 500, 510},
+			}, 3)
+			if err != nil {
+				t.Fatalf("CrashMidBatch: %v", err)
+			}
+			if _, err := sh.Apply(&Batch{GetKeys: []uint64{1}}); err == nil {
+				t.Fatal("Apply on a down shard should fail")
+			}
+
+			restore, err := sh.Restart()
+			if err != nil {
+				t.Fatalf("Restart: %v", err)
+			}
+			if restore <= 0 {
+				t.Error("restart consumed no simulated time")
+			}
+			if err := sh.Verify(); err != nil {
+				t.Fatalf("Verify after recovery: %v", err)
+			}
+
+			// The recovered mirror must serve the committed values.
+			res, err := sh.Apply(&Batch{GetKeys: []uint64{1, 2, 50}})
+			if err != nil {
+				t.Fatalf("Apply after restart: %v", err)
+			}
+			want := []uint64{10, 20, 0}
+			for i, w := range want {
+				if res.GetVals[i] != w {
+					t.Errorf("post-recovery GetVals[%d] = %d, want %d", i, res.GetVals[i], w)
+				}
+			}
+		})
+	}
+}
+
+// A crash outside any transaction (tx flag clear) must restart cleanly
+// with no undo work.
+func TestShardCrashBetweenBatches(t *testing.T) {
+	sh := quickShard(t, workloads.GPM)
+	if _, err := sh.Apply(&Batch{SetKeys: []uint64{9}, SetVals: []uint64{90}}); err != nil {
+		t.Fatal(err)
+	}
+	sh.env.Ctx.Crash()
+	sh.down = true
+	if _, err := sh.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if err := sh.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sh.Apply(&Batch{GetKeys: []uint64{9}})
+	if err != nil || res.GetVals[0] != 90 {
+		t.Fatalf("GET after clean restart = %v, %v; want 90", res, err)
+	}
+}
+
+// Unsupported modes must be refused at construction.
+func TestShardRejectsUnservableModes(t *testing.T) {
+	for _, mode := range []workloads.Mode{workloads.GPUfs, workloads.CPUOnly} {
+		if _, err := NewShard(0, ShardConfig{Mode: mode, Sets: 64, MaxBatch: 8}); err == nil {
+			t.Errorf("NewShard(%s) should fail", mode)
+		}
+	}
+	// CAP modes cannot crash mid-batch (no in-kernel persistence to log).
+	sh := quickShard(t, workloads.CAPmm)
+	if err := sh.CrashMidBatch(&Batch{SetKeys: []uint64{1}, SetVals: []uint64{1}}, 1); err == nil {
+		t.Error("CrashMidBatch under CAP-mm should fail")
+	}
+}

@@ -26,3 +26,44 @@ func TestDurationFormat(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+// Edge cases of Format: zero, negatives in every unit branch, exact unit
+// boundaries, and sub-unit rounding (including fmt's round-half-to-even and
+// rounding that crosses a unit boundary without promoting the unit).
+func TestDurationFormatEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Duration
+		prec int
+		want string
+	}{
+		{"zero prec 0", 0, 0, "0ns"},
+		{"just below µs", 999 * Nanosecond, 3, "999ns"},
+		{"negative ns branch", -999 * Nanosecond, 3, "-999ns"},
+		{"exact µs boundary", Microsecond, 3, "1.000µs"},
+		{"negative exact µs", -Microsecond, 0, "-1µs"},
+		{"exact ms boundary", Millisecond, 3, "1.000ms"},
+		{"exact s boundary", Second, 0, "1s"},
+		{"negative seconds", -3 * Second, 0, "-3s"},
+		{"negative ms", -2500 * Microsecond, 2, "-2.50ms"},
+		// fmt rounds half to even: 1.5 -> "2" but 2.5 -> "2".
+		{"round half up to even", 1500 * Nanosecond, 0, "2µs"},
+		{"round half down to even", 2500 * Nanosecond, 0, "2µs"},
+		{"negative round half", -1500 * Nanosecond, 0, "-2µs"},
+		// Rounding can cross the unit boundary without promoting the unit:
+		// the unit is chosen from the raw magnitude, then the value rounds.
+		{"round crosses µs boundary", 999_999 * Nanosecond, 0, "1000µs"},
+		{"round crosses ms boundary", Second - Nanosecond, 0, "1000ms"},
+		{"large precision", 1500 * Nanosecond, 6, "1.500000µs"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.d.Format(c.prec); got != c.want {
+				t.Errorf("Format(%d ns, %d) = %q, want %q", int64(c.d), c.prec, got, c.want)
+			}
+		})
+	}
+	if got := Duration(0).String(); got != "0ns" {
+		t.Errorf("Duration(0).String() = %q, want 0ns", got)
+	}
+}

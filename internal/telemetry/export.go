@@ -9,6 +9,46 @@ import (
 	"github.com/gpm-sim/gpm/internal/sim"
 )
 
+// EscapeField neutralizes a name for embedding in a TSV field: backslash,
+// tab, newline, and carriage return become two-character escapes and any
+// other control character becomes \xNN, so a hostile metric or span name
+// (one containing the TSV delimiters themselves) cannot add columns or rows
+// to the export. Clean names — the overwhelmingly common case — are
+// returned unchanged without allocating.
+func EscapeField(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '\\' || c == 0x7f {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if c < 0x20 || c == 0x7f {
+				fmt.Fprintf(&b, `\x%02x`, c)
+			} else {
+				b.WriteByte(c)
+			}
+		}
+	}
+	return b.String()
+}
+
 // chromeEvent is one Chrome trace-event "complete" ("X") event. ts and dur
 // are microseconds (the trace-event convention); fractional values carry
 // sub-µs simulated precision.
@@ -140,7 +180,7 @@ func (t *Tracer) BreakdownTSV() string {
 	b.WriteString("process\tcategory\tspans\ttotal_us\tpct\n")
 	for _, r := range t.Breakdown() {
 		fmt.Fprintf(&b, "%s\t%s\t%d\t%.3f\t%.1f\n",
-			r.Process, r.Cat, r.Count, r.Total.Microseconds(), r.Pct)
+			EscapeField(r.Process), EscapeField(r.Cat), r.Count, r.Total.Microseconds(), r.Pct)
 	}
 	return b.String()
 }

@@ -87,3 +87,82 @@ func TestBreakdownTSV(t *testing.T) {
 		t.Error("nil tracer breakdown must be header-only")
 	}
 }
+
+// A hostile metric name — embedded tabs, newlines, quotes, backslashes,
+// control bytes — must not be able to forge rows or columns in the TSV
+// exports. Before the fix, names were emitted raw via Fprintf and a name
+// containing "\t" or "\n" silently corrupted the table.
+func TestHostileMetricNameEscapedInTSV(t *testing.T) {
+	evil := "evil\tname\nfake\trow\t1\x00\x1b[31m\\end\r"
+	r := NewRegistry()
+	r.Counter(evil).Add(7)
+	r.Histogram(evil+"_us", []int64{1}).Observe(1)
+
+	tsv := r.TSV()
+	lines := strings.Split(strings.TrimSuffix(tsv, "\n"), "\n")
+	// header + counter + 2 buckets + sum + count = 6 rows, no forged extras.
+	if len(lines) != 6 {
+		t.Fatalf("hostile name forged rows: got %d lines\n%s", len(lines), tsv)
+	}
+	for i, line := range lines {
+		if got := strings.Count(line, "\t"); got != 2 {
+			t.Errorf("line %d has %d tabs, want 2: %q", i, got, line)
+		}
+	}
+	if !strings.Contains(tsv, `evil\tname\nfake\trow\t1\x00\x1b[31m\\end\r`) {
+		t.Errorf("escaped name not found:\n%s", tsv)
+	}
+
+	tr := NewTracer()
+	pid := tr.NewProcess("proc\twith\ntabs")
+	tr.Record(Span{Name: "k", Cat: "cat\negory", PID: pid, TID: TrackKernel, Dur: sim.Microsecond})
+	btsv := tr.BreakdownTSV()
+	for i, line := range strings.Split(strings.TrimSuffix(btsv, "\n"), "\n") {
+		if got := strings.Count(line, "\t"); got != 4 {
+			t.Errorf("breakdown line %d has %d tabs, want 4: %q", i, got, line)
+		}
+	}
+	if !strings.Contains(btsv, `proc\twith\ntabs`) || !strings.Contains(btsv, `cat\negory`) {
+		t.Errorf("breakdown names not escaped:\n%s", btsv)
+	}
+}
+
+// The Chrome-trace exporter goes through encoding/json, so hostile span and
+// process names must round-trip intact as JSON string values.
+func TestHostileSpanNameValidChromeTrace(t *testing.T) {
+	evil := "span \"quoted\" \\ with\nnewline\tand \x01 ctrl"
+	tr := NewTracer()
+	pid := tr.NewProcess("p")
+	tr.Record(Span{Name: evil, Cat: evil, PID: pid, TID: TrackKernel, Dur: sim.Microsecond})
+
+	var events []map[string]any
+	if err := json.Unmarshal(tr.ChromeTrace(), &events); err != nil {
+		t.Fatalf("hostile name broke the trace JSON: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("want 1 event, got %d", len(events))
+	}
+	if events[0]["name"] != evil {
+		t.Errorf("name did not round-trip: %q", events[0]["name"])
+	}
+}
+
+// EscapeField leaves clean names untouched and escapes exactly the TSV
+// metacharacters.
+func TestEscapeField(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"gpu.kernel_us", "gpu.kernel_us"},
+		{"with space + µ∂", "with space + µ∂"}, // UTF-8 passes through
+		{"a\tb", `a\tb`},
+		{"a\nb", `a\nb`},
+		{"a\rb", `a\rb`},
+		{`a\b`, `a\\b`},
+		{"a\x00b\x7f", `a\x00b\x7f`},
+	}
+	for _, c := range cases {
+		if got := EscapeField(c.in); got != c.want {
+			t.Errorf("EscapeField(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

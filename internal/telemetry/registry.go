@@ -236,15 +236,19 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 
 // Merge folds another registry's metrics into r: counters and histogram
 // buckets/sums add; gauges overwrite (last merge wins, so merging run
-// results in run order keeps gauge semantics of "latest value"). Histograms
-// with mismatched bounds merge bucket-by-index up to the shorter set, with
-// the remainder folded into overflow — in practice bounds always match
-// because both sides name the same metrics. The parallel campaign driver
-// uses Merge to give every run an isolated registry and still publish one
-// aggregate, identical to what serial execution would have produced.
-func (r *Registry) Merge(from *Registry) {
+// results in run order keeps gauge semantics of "latest value"). A
+// histogram whose bounds differ from the same-named histogram already in r
+// is a hard error: bucket-by-index addition across different bound sets
+// silently corrupts the merged distribution, so Merge refuses (the
+// mismatched histogram and every later metric in its map-iteration batch
+// are skipped; counters and gauges always merge). In practice bounds always
+// match because both sides name the same metrics. The parallel campaign
+// driver uses Merge to give every run an isolated registry and still
+// publish one aggregate, identical to what serial execution would have
+// produced.
+func (r *Registry) Merge(from *Registry) error {
 	if r == nil || from == nil {
-		return
+		return nil
 	}
 	// Snapshot the source under its lock, then fold into r. Never hold both
 	// locks at once (no lock-order to get wrong).
@@ -273,7 +277,15 @@ func (r *Registry) Merge(from *Registry) {
 	for name, v := range gauges {
 		r.Gauge(name).Set(v)
 	}
-	for name, snap := range hists {
+	// Deterministic order so the first mismatch reported is stable.
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var mismatched []string
+	for _, name := range names {
+		snap := hists[name]
 		bounds := make([]int64, 0, len(snap.buckets))
 		for _, bk := range snap.buckets {
 			if bk.Le != InfBucket {
@@ -281,24 +293,44 @@ func (r *Registry) Merge(from *Registry) {
 			}
 		}
 		h := r.Histogram(name, bounds)
-		overflow := len(h.counts) - 1
+		if !h.boundsEqual(bounds) {
+			mismatched = append(mismatched, name)
+			continue
+		}
 		for i, bk := range snap.buckets {
 			if bk.Count == 0 {
 				continue
 			}
-			j := i
-			if j > overflow {
-				j = overflow
-			}
-			h.counts[j].Add(bk.Count)
+			h.counts[i].Add(bk.Count)
 		}
 		h.sum.Add(snap.sum)
 	}
+	if len(mismatched) > 0 {
+		return fmt.Errorf("telemetry: histogram bucket bounds mismatch on merge: %s",
+			strings.Join(mismatched, ", "))
+	}
+	return nil
+}
+
+// boundsEqual reports whether the histogram's bounds equal the given
+// (already sorted) set.
+func (h *Histogram) boundsEqual(bounds []int64) bool {
+	if len(h.bounds) != len(bounds) {
+		return false
+	}
+	for i, b := range h.bounds {
+		if b != bounds[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TSV renders every metric as tab-separated "metric\ttype\tvalue" rows
 // (the reports/ format), sorted by metric name so output is deterministic.
-// Histograms expand to one row per bucket plus sum and count rows.
+// Histograms expand to one row per bucket plus sum and count rows. Metric
+// names pass through EscapeField so a name containing a tab or newline
+// cannot forge extra columns or rows.
 func (r *Registry) TSV() string {
 	var b strings.Builder
 	b.WriteString("metric\ttype\tvalue\n")
@@ -309,10 +341,10 @@ func (r *Registry) TSV() string {
 	type row struct{ name, typ, val string }
 	rows := make([]row, 0, len(r.counters)+len(r.gauges)+len(r.hists)*8)
 	for name, c := range r.counters {
-		rows = append(rows, row{name, "counter", fmt.Sprintf("%d", c.Value())})
+		rows = append(rows, row{EscapeField(name), "counter", fmt.Sprintf("%d", c.Value())})
 	}
 	for name, g := range r.gauges {
-		rows = append(rows, row{name, "gauge", fmt.Sprintf("%d", g.Value())})
+		rows = append(rows, row{EscapeField(name), "gauge", fmt.Sprintf("%d", g.Value())})
 	}
 	for name, h := range r.hists {
 		for _, bk := range h.Buckets() {
@@ -320,10 +352,10 @@ func (r *Registry) TSV() string {
 			if bk.Le != InfBucket {
 				le = fmt.Sprintf("%d", bk.Le)
 			}
-			rows = append(rows, row{fmt.Sprintf("%s[le=%s]", name, le), "histogram", fmt.Sprintf("%d", bk.Count)})
+			rows = append(rows, row{fmt.Sprintf("%s[le=%s]", EscapeField(name), le), "histogram", fmt.Sprintf("%d", bk.Count)})
 		}
-		rows = append(rows, row{name + "[sum]", "histogram", fmt.Sprintf("%d", h.Sum())})
-		rows = append(rows, row{name + "[count]", "histogram", fmt.Sprintf("%d", h.Count())})
+		rows = append(rows, row{EscapeField(name) + "[sum]", "histogram", fmt.Sprintf("%d", h.Sum())})
+		rows = append(rows, row{EscapeField(name) + "[count]", "histogram", fmt.Sprintf("%d", h.Count())})
 	}
 	r.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool {

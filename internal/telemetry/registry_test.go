@@ -135,3 +135,73 @@ func TestRegistryInterning(t *testing.T) {
 		t.Errorf("TSV missing histogram count row:\n%s", tsv)
 	}
 }
+
+// Merging registries whose same-named histograms disagree on bucket bounds
+// must fail loudly: the old behavior merged bucket-by-index up to the
+// shorter set, silently corrupting the merged distribution (campaign
+// aggregates looked complete but binned observations under wrong bounds).
+func TestMergeMismatchedHistogramBoundsErrors(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("lat", []int64{1, 2, 3}).Observe(2)
+
+	src := NewRegistry()
+	src.Histogram("lat", []int64{10, 20}).Observe(15)
+
+	if err := dst.Merge(src); err == nil {
+		t.Fatal("Merge with mismatched bounds must return an error")
+	} else if !strings.Contains(err.Error(), "lat") {
+		t.Errorf("error should name the mismatched metric, got: %v", err)
+	}
+	// The mismatched histogram must be left untouched, not partially merged.
+	if got := dst.Histogram("lat", nil).Count(); got != 1 {
+		t.Errorf("mismatched histogram was mutated: count = %d, want 1", got)
+	}
+	if got := dst.Histogram("lat", nil).Sum(); got != 2 {
+		t.Errorf("mismatched histogram sum mutated: %d, want 2", got)
+	}
+}
+
+// Matching bounds (including histograms the destination has never seen)
+// merge exactly: buckets and sums add, counters add, gauges take the
+// source's last value.
+func TestMergeMatchingMetrics(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("ops").Add(3)
+	dst.Gauge("depth").Set(9)
+	dst.Histogram("lat", []int64{10, 20}).Observe(5)
+
+	src := NewRegistry()
+	src.Counter("ops").Add(4)
+	src.Gauge("depth").Set(2)
+	src.Histogram("lat", []int64{10, 20}).Observe(15)
+	src.Histogram("fresh", []int64{7}).Observe(100)
+
+	if err := dst.Merge(src); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got := dst.Counter("ops").Value(); got != 7 {
+		t.Errorf("ops = %d, want 7", got)
+	}
+	if got := dst.Gauge("depth").Value(); got != 2 {
+		t.Errorf("depth = %d, want 2 (last merge wins)", got)
+	}
+	bks := dst.Histogram("lat", nil).Buckets()
+	if bks[0].Count != 1 || bks[1].Count != 1 || bks[2].Count != 0 {
+		t.Errorf("merged buckets = %+v", bks)
+	}
+	if got := dst.Histogram("lat", nil).Sum(); got != 20 {
+		t.Errorf("merged sum = %d, want 20", got)
+	}
+	fresh := dst.Histogram("fresh", nil)
+	if fresh.Count() != 1 || fresh.Buckets()[1].Count != 1 {
+		t.Errorf("fresh histogram not adopted: %+v", fresh.Buckets())
+	}
+	// Merging into or from nil registries stays a no-op.
+	var nilReg *Registry
+	if err := nilReg.Merge(src); err != nil {
+		t.Errorf("nil dst Merge: %v", err)
+	}
+	if err := dst.Merge(nil); err != nil {
+		t.Errorf("nil src Merge: %v", err)
+	}
+}
