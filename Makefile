@@ -25,12 +25,14 @@ check: vet race recover-smoke serve-smoke
 recover-smoke:
 	$(GO) run ./cmd/gpmrecover -quick -sweep -maxpoints 2 -recrash-depth 1
 
-# Serving-path smoke: real TCP loopback load through the batched gpKVS
-# front-end (10k ops, 2 shards, GPM), kill-and-recover every shard mid-batch,
-# verify the durable store against the committed oracle, and write
-# BENCH_serve.json (throughput + latency percentiles).
+# Serving-path smoke: real TCP loopback load through the pipelined gpKVS
+# front-end (10k ops, 2 shards, GPM), kill-and-recover every shard at each
+# between-stage crash point, verify the durable store against the committed
+# oracle, and gate the run against the committed baseline (fail if ops/s
+# drops below 0.9x or p99 rises above 1.1x). Writes BENCH_serve.json.
 serve-smoke:
-	$(GO) run ./cmd/gpmserve -selftest -ops 10000 -shards 2 -out BENCH_serve.json
+	$(GO) run ./cmd/gpmserve -selftest -ops 10000 -shards 2 \
+		-baseline BENCH_serve.json -out BENCH_serve.json
 
 # The engine's bit-identity contract: 1 worker vs 8 workers must produce
 # identical simulated durations, metrics TSV, trace bytes, and campaign

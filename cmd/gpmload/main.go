@@ -5,6 +5,7 @@
 //
 //	gpmload -addr 127.0.0.1:7070 -ops 100000 -conns 8
 //	gpmload -addr 127.0.0.1:7070 -ops 10000 -get 0.9 -json
+//	gpmload -addr 127.0.0.1:7070 -dist zipf -theta 0.99 -json
 package main
 
 import (
@@ -20,10 +21,11 @@ import (
 // cliOptions mirrors the flag set for upfront validation (exit 2 + usage on
 // any bad value, before a single connection is dialed).
 type cliOptions struct {
-	addr             string
+	addr, dist       string
 	ops              int64
 	conns, window    int
 	getFrac, delFrac float64
+	theta            float64
 	keySpace         uint64
 	timeout          time.Duration
 }
@@ -50,6 +52,18 @@ func validateCLI(o cliOptions) error {
 	if o.timeout <= 0 {
 		return fmt.Errorf("-timeout must be > 0, got %s", o.timeout)
 	}
+	switch o.dist {
+	case serve.DistUniform:
+		if o.theta != 0 {
+			return fmt.Errorf("-theta only applies with -dist zipf")
+		}
+	case serve.DistZipf:
+		if o.theta < 0 || o.theta >= 1 {
+			return fmt.Errorf("-theta must be in (0, 1) (0 = 0.99 default), got %g", o.theta)
+		}
+	default:
+		return fmt.Errorf("-dist must be %q or %q, got %q", serve.DistUniform, serve.DistZipf, o.dist)
+	}
 	return nil
 }
 
@@ -61,7 +75,9 @@ func main() {
 		window   = flag.Int("window", 16, "pipelined outstanding requests per connection")
 		getFrac  = flag.Float64("get", 0.5, "GET fraction of the op mix")
 		delFrac  = flag.Float64("del", 0.05, "DEL fraction of the op mix")
-		keySpace = flag.Uint64("keyspace", 4096, "keys drawn uniformly from [1, keyspace]")
+		keySpace = flag.Uint64("keyspace", 4096, "keys drawn from [1, keyspace]")
+		dist     = flag.String("dist", serve.DistUniform, "key distribution: uniform or zipf")
+		theta    = flag.Float64("theta", 0, "zipf skew in (0, 1); 0 = 0.99 (YCSB default); requires -dist zipf")
 		seed     = flag.Uint64("seed", 1, "op-mix RNG seed base (per-connection streams derive from it)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-connection dial/IO deadline")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
@@ -69,8 +85,9 @@ func main() {
 	flag.Parse()
 
 	o := cliOptions{
-		addr: *addr, ops: *ops, conns: *conns, window: *window,
-		getFrac: *getFrac, delFrac: *delFrac, keySpace: *keySpace, timeout: *timeout,
+		addr: *addr, dist: *dist, ops: *ops, conns: *conns, window: *window,
+		getFrac: *getFrac, delFrac: *delFrac, theta: *theta,
+		keySpace: *keySpace, timeout: *timeout,
 	}
 	if err := validateCLI(o); err != nil {
 		fmt.Fprintln(os.Stderr, "gpmload:", err)
@@ -86,6 +103,8 @@ func main() {
 		GetFraction: o.getFrac,
 		DelFraction: o.delFrac,
 		KeySpace:    o.keySpace,
+		Dist:        o.dist,
+		Theta:       o.theta,
 		Seed:        *seed,
 		Timeout:     o.timeout,
 	})

@@ -8,7 +8,7 @@ import (
 
 func okOptions() cliOptions {
 	return cliOptions{
-		addr: "127.0.0.1:7070", ops: 100, conns: 4, window: 8,
+		addr: "127.0.0.1:7070", dist: "uniform", ops: 100, conns: 4, window: 8,
 		getFrac: 0.5, delFrac: 0.05, keySpace: 512, timeout: time.Second,
 	}
 }
@@ -28,6 +28,11 @@ func TestValidateCLI(t *testing.T) {
 		{"negative del", func(o *cliOptions) { o.delFrac = -0.1 }, "fractions"},
 		{"zero keyspace", func(o *cliOptions) { o.keySpace = 0 }, "-keyspace"},
 		{"zero timeout", func(o *cliOptions) { o.timeout = 0 }, "-timeout"},
+		{"zipf defaults", func(o *cliOptions) { o.dist = "zipf" }, ""},
+		{"zipf theta", func(o *cliOptions) { o.dist, o.theta = "zipf", 0.8 }, ""},
+		{"unknown dist", func(o *cliOptions) { o.dist = "pareto" }, "-dist"},
+		{"theta without zipf", func(o *cliOptions) { o.theta = 0.9 }, "-theta"},
+		{"theta out of range", func(o *cliOptions) { o.dist, o.theta = "zipf", 1.0 }, "-theta"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

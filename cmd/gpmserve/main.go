@@ -33,12 +33,14 @@ import (
 // happens before a listener or shard exists, with exit 2 + usage.
 type cliOptions struct {
 	addr, mode, modes, shardCounts, out string
+	dist, baseline                      string
 	shards, sets, batch, queue          int
+	hotKeys                             int
 	workers, capThreads, conns, window  int
 	ops                                 int64
 	batchWait, drain                    time.Duration
-	getFrac, delFrac                    float64
-	selftest, noRecover                 bool
+	getFrac, delFrac, theta             float64
+	selftest, noRecover, fixedWait      bool
 }
 
 // validateCLI checks value ranges and cross-flag consistency. Mode names
@@ -87,12 +89,30 @@ func validateCLI(o cliOptions) error {
 	if o.getFrac < 0 || o.delFrac < 0 || o.getFrac+o.delFrac > 1 {
 		return fmt.Errorf("-get/-del fractions must be >= 0 and sum to <= 1, got %g + %g", o.getFrac, o.delFrac)
 	}
+	if o.hotKeys < 1 {
+		return fmt.Errorf("-hotkeys must be >= 1, got %d", o.hotKeys)
+	}
+	switch o.dist {
+	case serve.DistUniform:
+		if o.theta != 0 {
+			return fmt.Errorf("-theta only applies with -dist zipf")
+		}
+	case serve.DistZipf:
+		if o.theta < 0 || o.theta >= 1 {
+			return fmt.Errorf("-theta must be in (0, 1) (0 = 0.99 default), got %g", o.theta)
+		}
+	default:
+		return fmt.Errorf("-dist must be %q or %q, got %q", serve.DistUniform, serve.DistZipf, o.dist)
+	}
 	if !o.selftest {
 		if o.modes != "" {
 			return fmt.Errorf("-modes only applies with -selftest (use -mode to pick the serving mode)")
 		}
 		if o.shardCounts != "" {
 			return fmt.Errorf("-shard-counts only applies with -selftest (use -shards)")
+		}
+		if o.baseline != "" {
+			return fmt.Errorf("-baseline only applies with -selftest")
 		}
 	}
 	if _, err := parseModes(o.modes); err != nil {
@@ -145,7 +165,9 @@ func main() {
 		shards     = flag.Int("shards", 2, "keyspace partitions, each an independent simulated GPU+PM node")
 		sets       = flag.Int("sets", 1<<10, "hash sets per shard (8 ways each)")
 		batch      = flag.Int("batch", 256, "max client ops per kernel batch")
-		batchWait  = flag.Duration("batch-wait", 500*time.Microsecond, "max wall-clock wait before a partial batch dispatches")
+		batchWait  = flag.Duration("batch-wait", 500*time.Microsecond, "max wall-clock wait before a partial batch dispatches (adaptive: upper bound on the starvation grace)")
+		fixedWait  = flag.Bool("fixed-wait", false, "disable adaptive batch sizing; always hold partial batches for -batch-wait")
+		hotKeys    = flag.Int("hotkeys", 128, "per-shard hot-key sketch capacity for the eADR read cache")
 		queue      = flag.Int("queue", 1024, "per-shard admission queue depth (requests)")
 		workers    = flag.Int("workers", 0, "GPU block goroutines per shard (0 = GOMAXPROCS; simulated results are identical for every value)")
 		capThreads = flag.Int("capthreads", 16, "host threads for CAP-mode persistence")
@@ -161,17 +183,22 @@ func main() {
 		window     = flag.Int("window", 16, "selftest: pipelined requests per connection")
 		getFrac    = flag.Float64("get", 0.5, "selftest: GET fraction of the op mix")
 		delFrac    = flag.Float64("del", 0.05, "selftest: DEL fraction of the op mix")
+		distFlag   = flag.String("dist", serve.DistUniform, "selftest: key distribution (uniform or zipf)")
+		theta      = flag.Float64("theta", 0, "selftest: zipf skew in (0, 1); 0 = 0.99; requires -dist zipf")
 		noRecover  = flag.Bool("no-recover", false, "selftest: skip the kill-and-recover pass")
 		out        = flag.String("out", "BENCH_serve.json", "selftest: write the benchmark report here")
+		baseline   = flag.String("baseline", "", "selftest: perf gate — fail unless ops/s >= 0.9x and p99 <= 1.1x this committed report")
 	)
 	flag.Parse()
 
 	o := cliOptions{
 		addr: *addr, mode: *modeName, modes: *modesSpec, shardCounts: *countsSpec, out: *out,
-		shards: *shards, sets: *sets, batch: *batch, queue: *queue,
+		dist: *distFlag, baseline: *baseline,
+		shards: *shards, sets: *sets, batch: *batch, queue: *queue, hotKeys: *hotKeys,
 		workers: *workers, capThreads: *capThreads, conns: *conns, window: *window,
 		ops: *ops, batchWait: *batchWait, drain: *drain,
-		getFrac: *getFrac, delFrac: *delFrac, selftest: *selftest, noRecover: *noRecover,
+		getFrac: *getFrac, delFrac: *delFrac, theta: *theta,
+		selftest: *selftest, noRecover: *noRecover, fixedWait: *fixedWait,
 	}
 	if err := validateCLI(o); err != nil {
 		fmt.Fprintln(os.Stderr, "gpmserve:", err)
@@ -195,7 +222,9 @@ func runServer(o cliOptions, mode workloads.Mode, seed uint64, metricsTo string)
 		Sets:       o.sets,
 		MaxBatch:   o.batch,
 		BatchWait:  o.batchWait,
+		FixedWait:  o.fixedWait,
 		QueueDepth: o.queue,
+		HotKeys:    o.hotKeys,
 		Workers:    o.workers,
 		CAPThreads: o.capThreads,
 		Seed:       seed,
@@ -269,20 +298,31 @@ func runSelfTest(o cliOptions, mode workloads.Mode, seed uint64) int {
 		Sets:           o.sets,
 		MaxBatch:       o.batch,
 		BatchWait:      o.batchWait,
+		FixedWait:      o.fixedWait,
 		QueueDepth:     o.queue,
+		HotKeys:        o.hotKeys,
 		Workers:        o.workers,
 		Seed:           seed,
 		GetFraction:    o.getFrac,
 		DelFraction:    o.delFrac,
+		Dist:           o.dist,
+		Theta:          o.theta,
 		KillAndRecover: !o.noRecover,
 	})
 	for _, e := range rep.Entries {
-		fmt.Printf("%-8s x%d: %d ops, %.0f ops/s, p50 %.0fµs p99 %.0fµs, %d batches, recovered=%v verified=%v\n",
-			e.Mode, e.Shards, e.Ops, e.Throughput, e.P50US, e.P99US, e.Batches, e.Recovered, e.Verified)
+		fmt.Printf("%-8s x%d: %d ops, %.0f ops/s, p50 %.0fµs p99 %.0fµs, %d batches (fill %.1f), %d cache hits, recovered=%v verified=%v\n",
+			e.Mode, e.Shards, e.Ops, e.Throughput, e.P50US, e.P99US, e.Batches, e.MeanFill, e.CacheHits, e.Recovered, e.Verified)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpmserve:", err)
 		return 1
+	}
+	if o.baseline != "" {
+		if err := gateAgainstBaseline(rep, o.baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "gpmserve: perf gate:", err)
+			return 1
+		}
+		fmt.Printf("perf gate: within 0.9x ops / 1.1x p99 of %s\n", o.baseline)
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -295,4 +335,52 @@ func runSelfTest(o cliOptions, mode workloads.Mode, seed uint64) int {
 	}
 	fmt.Printf("report -> %s\n", o.out)
 	return 0
+}
+
+// Perf-gate tolerances: a run may lose at most 10% throughput and gain at
+// most 10% p99 latency against the committed baseline before failing.
+const (
+	gateMinOpsFrac = 0.9
+	gateMaxP99Frac = 1.1
+)
+
+// gateAgainstBaseline compares every (mode, shards) entry of rep against
+// the committed baseline report at path. Entries missing from the baseline
+// are skipped (new configurations set their own floor when committed); a
+// gate run that matches nothing is an error, not a pass.
+func gateAgainstBaseline(rep *serve.BenchReport, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base serve.BenchReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseBy := make(map[string]serve.BenchEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseBy[fmt.Sprintf("%s/%d", e.Mode, e.Shards)] = e
+	}
+	matched := 0
+	for _, e := range rep.Entries {
+		b, ok := baseBy[fmt.Sprintf("%s/%d", e.Mode, e.Shards)]
+		if !ok {
+			continue
+		}
+		matched++
+		if e.Throughput < b.Throughput*gateMinOpsFrac {
+			return fmt.Errorf("%s x%d: %.0f ops/s < %.0f (%.0f%% of baseline %.0f)",
+				e.Mode, e.Shards, e.Throughput, b.Throughput*gateMinOpsFrac,
+				100*e.Throughput/b.Throughput, b.Throughput)
+		}
+		if b.P99US > 0 && e.P99US > b.P99US*gateMaxP99Frac {
+			return fmt.Errorf("%s x%d: p99 %.0fµs > %.0fµs (%.0f%% of baseline %.0fµs)",
+				e.Mode, e.Shards, e.P99US, b.P99US*gateMaxP99Frac,
+				100*e.P99US/b.P99US, b.P99US)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no (mode, shards) entries in common with %s", path)
+	}
+	return nil
 }

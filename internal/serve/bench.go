@@ -20,13 +20,20 @@ type BenchEntry struct {
 	P50US      float64 `json:"p50_us"`
 	P95US      float64 `json:"p95_us"`
 	P99US      float64 `json:"p99_us"`
+	// MeanFill is ops per dispatched epoch (pipeline batching efficiency).
+	MeanFill float64 `json:"mean_batch_fill"`
+	// CacheHits counts GETs served from the hot-key cache, no kernel trip.
+	CacheHits int64 `json:"cache_hits"`
 	// SimBatchUS is the mean simulated time per batch across shards.
 	SimBatchUS float64 `json:"sim_batch_us"`
 	// RecoverUS is the summed simulated restart/recovery time across shards
 	// (kill-and-recover runs only).
 	RecoverUS float64 `json:"recover_us,omitempty"`
-	Recovered bool    `json:"recovered"`
-	Verified  bool    `json:"verified"`
+	// CrashPoints lists the between-stage crash points exercised per shard
+	// by the kill-and-recover pass.
+	CrashPoints []string `json:"crash_points,omitempty"`
+	Recovered   bool     `json:"recovered"`
+	Verified    bool     `json:"verified"`
 }
 
 // BenchReport is the BENCH_serve.json document.
@@ -35,6 +42,9 @@ type BenchReport struct {
 	Conns     int          `json:"conns"`
 	Batch     int          `json:"batch"`
 	BatchWait string       `json:"batch_wait"`
+	Adaptive  bool         `json:"adaptive"` // adaptive batch sizing (false = fixed BatchWait)
+	Dist      string       `json:"dist"`
+	Theta     float64      `json:"theta,omitempty"` // zipf only
 	Sets      int          `json:"sets_per_shard"`
 	Seed      uint64       `json:"seed"`
 	Entries   []BenchEntry `json:"entries"`
@@ -50,14 +60,19 @@ type SelfTestOptions struct {
 	Sets        int
 	MaxBatch    int
 	BatchWait   time.Duration
+	FixedWait   bool // disable the adaptive controller (legacy fixed deadline)
 	QueueDepth  int
+	HotKeys     int
 	Workers     int
 	Seed        uint64
 	GetFraction float64
 	DelFraction float64
-	// KillAndRecover crashes every shard mid-batch after the load drains,
-	// restarts it through the recovery path, and verifies (GPM modes only;
-	// CAP modes verify without the crash).
+	Dist        string  // key distribution: DistUniform (default) or DistZipf
+	Theta       float64 // zipf skew (0 = 0.99)
+	// KillAndRecover crashes every shard after the load drains — cycling
+	// through the between-stage crash points — restarts it through the
+	// recovery path, and verifies (GPM modes only; CAP modes verify
+	// without the crash).
 	KillAndRecover bool
 }
 
@@ -92,6 +107,12 @@ func (o *SelfTestOptions) normalize() {
 	if o.GetFraction == 0 && o.DelFraction == 0 {
 		o.GetFraction, o.DelFraction = 0.5, 0.05
 	}
+	if o.Dist == "" {
+		o.Dist = DistUniform
+	}
+	if o.Dist == DistZipf && o.Theta == 0 {
+		o.Theta = 0.99
+	}
 }
 
 // SelfTest runs the full serving path in-process for every (mode, shards)
@@ -105,8 +126,13 @@ func SelfTest(opts SelfTestOptions) (*BenchReport, error) {
 		Conns:     opts.Conns,
 		Batch:     opts.MaxBatch,
 		BatchWait: opts.BatchWait.String(),
+		Adaptive:  !opts.FixedWait,
+		Dist:      opts.Dist,
 		Sets:      opts.Sets,
 		Seed:      opts.Seed,
+	}
+	if opts.Dist == DistZipf {
+		rep.Theta = opts.Theta
 	}
 	for _, mode := range opts.Modes {
 		for _, shards := range opts.ShardCounts {
@@ -128,7 +154,9 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 		Sets:       opts.Sets,
 		MaxBatch:   opts.MaxBatch,
 		BatchWait:  opts.BatchWait,
+		FixedWait:  opts.FixedWait,
 		QueueDepth: opts.QueueDepth,
+		HotKeys:    opts.HotKeys,
 		Workers:    opts.Workers,
 		Seed:       opts.Seed,
 		Telemetry:  tel,
@@ -151,6 +179,8 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 		GetFraction: opts.GetFraction,
 		DelFraction: opts.DelFraction,
 		KeySpace:    uint64(opts.Sets) * 2, // enough reuse for hits and dels
+		Dist:        opts.Dist,
+		Theta:       opts.Theta,
 		Seed:        opts.Seed,
 	})
 	if err != nil {
@@ -175,7 +205,7 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 		P95US:      load.P95US,
 		P99US:      load.P99US,
 	}
-	var served int64
+	var served, cacheHits int64
 	reg := tel.Registry()
 	for i, sh := range srv.Shards() {
 		served += sh.Ops()
@@ -183,25 +213,44 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 			return nil, fmt.Errorf("shard %d served 0 ops — keyspace did not span all shards", i)
 		}
 		entry.Batches += reg.Counter(fmt.Sprintf("serve.shard%d.batches", i)).Value()
+		cacheHits += reg.Counter(fmt.Sprintf("serve.shard%d.cache_hits", i)).Value()
 	}
-	if served != load.Ops {
-		return nil, fmt.Errorf("shards served %d ops, clients completed %d", served, load.Ops)
+	if served+cacheHits != load.Ops {
+		return nil, fmt.Errorf("shards served %d ops + %d cache hits, clients completed %d",
+			served, cacheHits, load.Ops)
+	}
+	entry.CacheHits = cacheHits
+	if entry.Batches > 0 {
+		// Cache hits never reach a batch; fill measures what the kernel saw.
+		entry.MeanFill = float64(entry.Ops-cacheHits) / float64(entry.Batches)
 	}
 	if h := reg.Histogram("serve.batch_sim_us", telemetry.LatencyBucketsUS); h.Count() > 0 {
 		entry.SimBatchUS = float64(h.Sum()) / float64(h.Count())
 	}
 
-	// Kill-and-recover: crash every shard inside an uncommitted batch, then
-	// restart through the recovery kernel and reload path.
+	// Kill-and-recover: crash every shard at a between-stage pipeline crash
+	// point (cycled so every point is exercised), then restart through the
+	// recovery kernel and reload path. The mid-kernel point dies inside the
+	// mutation kernel itself (partial HCL log); the others model a process
+	// death between pipeline stages.
 	if opts.KillAndRecover && mode.UsesGPM() {
-		for _, sh := range srv.Shards() {
+		points := CrashPoints()
+		all := srv.Shards()
+		rounds := len(all)
+		if rounds < len(points) {
+			rounds = len(points) // every point fires even with few shards
+		}
+		for i := 0; i < rounds; i++ {
+			sh := all[i%len(all)]
+			p := points[i%len(points)]
 			crash := crashBatchFor(sh, shards)
-			if err := sh.CrashMidBatch(crash, 3); err != nil {
-				return nil, fmt.Errorf("shard %d crash: %w", sh.ID(), err)
+			if err := sh.CrashAt(crash, p, 3); err != nil {
+				return nil, fmt.Errorf("shard %d crash %s: %w", sh.ID(), p, err)
 			}
+			entry.CrashPoints = append(entry.CrashPoints, p.String())
 			restore, err := sh.Restart()
 			if err != nil {
-				return nil, fmt.Errorf("shard %d restart: %w", sh.ID(), err)
+				return nil, fmt.Errorf("shard %d restart after %s: %w", sh.ID(), p, err)
 			}
 			entry.RecoverUS += restore.Seconds() * 1e6
 		}

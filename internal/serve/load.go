@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"strings"
@@ -12,9 +13,15 @@ import (
 	"github.com/gpm-sim/gpm/internal/sim"
 )
 
+// Key distributions the load generator can draw from.
+const (
+	DistUniform = "uniform"
+	DistZipf    = "zipf"
+)
+
 // LoadConfig configures the closed-loop load generator: Conns connections,
 // each keeping Window requests pipelined, sending a seeded deterministic
-// GET/SET/DEL mix over [1, KeySpace].
+// GET/SET/DEL mix over [1, KeySpace] drawn uniformly or zipfian.
 type LoadConfig struct {
 	Addr        string
 	Conns       int
@@ -23,6 +30,8 @@ type LoadConfig struct {
 	GetFraction float64
 	DelFraction float64
 	KeySpace    uint64
+	Dist        string  // DistUniform (default) or DistZipf
+	Theta       float64 // zipf skew in (0, 1); 0 defaults to 0.99 (YCSB hot)
 	Seed        uint64
 	Timeout     time.Duration // per-connection dial/IO deadline (0 = 30s)
 }
@@ -41,21 +50,41 @@ func (c *LoadConfig) Normalize() error {
 	if c.Timeout == 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.Dist == "" {
+		c.Dist = DistUniform
+	}
+	if c.Dist == DistZipf && c.Theta == 0 {
+		c.Theta = 0.99
+	}
 	if c.Addr == "" || c.Conns < 1 || c.Ops < 1 || c.Window < 1 ||
 		c.GetFraction < 0 || c.DelFraction < 0 || c.GetFraction+c.DelFraction > 1 {
 		return fmt.Errorf("serve: invalid load config (addr=%q conns=%d ops=%d window=%d get=%g del=%g)",
 			c.Addr, c.Conns, c.Ops, c.Window, c.GetFraction, c.DelFraction)
 	}
+	switch c.Dist {
+	case DistUniform:
+	case DistZipf:
+		if c.Theta <= 0 || c.Theta >= 1 {
+			return fmt.Errorf("serve: zipf theta must be in (0, 1), got %g", c.Theta)
+		}
+	default:
+		return fmt.Errorf("serve: unknown key distribution %q (valid: %s, %s)", c.Dist, DistUniform, DistZipf)
+	}
 	return nil
 }
 
 // LoadResult summarizes one load run. Latencies are wall-clock
-// request→reply times measured at the client.
+// request→reply times measured at the client. The key-distribution fields
+// echo the generator config so the JSON is self-describing.
 type LoadResult struct {
 	Ops        int64         `json:"ops"`
 	Errors     int64         `json:"errors"` // ERR replies + transport failures
 	Hits       int64         `json:"hits"`
 	Misses     int64         `json:"misses"`
+	Dist       string        `json:"dist"`
+	Theta      float64       `json:"theta,omitempty"` // zipf only
+	KeySpace   uint64        `json:"keyspace"`
+	Seed       uint64        `json:"seed"`
 	Elapsed    time.Duration `json:"-"`
 	ElapsedMS  float64       `json:"elapsed_ms"`
 	Throughput float64       `json:"ops_per_sec"`
@@ -98,7 +127,15 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 	wg.Wait()
 
-	out := &LoadResult{Elapsed: time.Since(start)}
+	out := &LoadResult{
+		Elapsed:  time.Since(start),
+		Dist:     cfg.Dist,
+		KeySpace: cfg.KeySpace,
+		Seed:     cfg.Seed,
+	}
+	if cfg.Dist == DistZipf {
+		out.Theta = cfg.Theta
+	}
 	var all []time.Duration
 	for i := range stats {
 		if stats[i].err != nil {
@@ -139,6 +176,7 @@ func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration,
 	}
 
 	rng := sim.NewRNG(cfg.Seed + uint64(ci)*0x9e3779b9)
+	nextKey := newKeyGen(cfg, rng)
 	sendTimes := make(chan time.Time, cfg.Window)
 	var errs, hits, misses int64
 
@@ -171,7 +209,7 @@ func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration,
 	var writeErr error
 	bw := bufio.NewWriter(conn)
 	for i := int64(0); i < ops; i++ {
-		key := 1 + rng.Uint64()%cfg.KeySpace
+		key := nextKey()
 		roll := rng.Float64()
 		var line string
 		switch {
@@ -210,6 +248,82 @@ func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration,
 		return writeErr
 	}
 	return readErr
+}
+
+// newKeyGen builds the per-connection key stream for a normalized config:
+// uniform over [1, KeySpace], or scrambled zipfian for hot-key workloads.
+func newKeyGen(cfg LoadConfig, rng *sim.RNG) func() uint64 {
+	if cfg.Dist == DistZipf {
+		z := newZipfGen(cfg.KeySpace, cfg.Theta)
+		return func() uint64 { return z.next(rng) }
+	}
+	return func() uint64 { return 1 + rng.Uint64()%cfg.KeySpace }
+}
+
+// zipfGen samples ranks with P(rank) ∝ 1/rank^theta over [1, n] using the
+// closed-form YCSB/Gray generator, then scrambles rank -> key with a fixed
+// mixer so the hot set spreads across the key-mod-shards partition map
+// instead of piling onto shard 1. Sampling is O(1) per draw after an O(n)
+// zeta precomputation; the stream is a pure function of the caller's RNG,
+// so seeded runs are reproducible.
+type zipfGen struct {
+	n            uint64
+	theta        float64
+	alpha        float64
+	zetan        float64
+	eta          float64
+	halfPowTheta float64
+}
+
+func newZipfGen(n uint64, theta float64) *zipfGen {
+	zetan := zetaSum(n, theta)
+	return &zipfGen{
+		n:            n,
+		theta:        theta,
+		alpha:        1 / (1 - theta),
+		zetan:        zetan,
+		eta:          (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zetaSum(2, theta)/zetan),
+		halfPowTheta: math.Pow(0.5, theta),
+	}
+}
+
+// zetaSum is the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zetaSum(n uint64, theta float64) float64 {
+	var z float64
+	for i := uint64(1); i <= n; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+	}
+	return z
+}
+
+// next draws one key in [1, n]; rank 0 is the hottest before scrambling.
+func (z *zipfGen) next(rng *sim.RNG) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+z.halfPowTheta:
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	return 1 + mix64(rank)%z.n
+}
+
+// mix64 is the splitmix64 finalizer: a fixed bijective scramble, so equal
+// ranks always map to the same key (the hot set is stable across draws).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // percentile returns the p-th percentile (0..1) of ds, 0 when empty.

@@ -20,8 +20,10 @@ type Config struct {
 	Shards     int           // keyspace partitions (key mod Shards)
 	Sets       int           // hash sets per shard
 	MaxBatch   int           // ops per batch before forced dispatch
-	BatchWait  time.Duration // max wall-clock wait before a partial batch dispatches
+	BatchWait  time.Duration // cap on how long a starved pipeline holds a partial epoch
+	FixedWait  bool          // true: always hold BatchWait from first admission (legacy fixed policy)
 	QueueDepth int           // per-shard admission queue (requests)
+	HotKeys    int           // hot-key sketch capacity per shard (0 = 128)
 	Workers    int           // GPU block goroutines per shard (0 = GOMAXPROCS)
 	CAPThreads int
 	Seed       uint64
@@ -45,12 +47,15 @@ func (c *Config) Normalize() error {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 1024
 	}
+	if c.HotKeys == 0 {
+		c.HotKeys = 128
+	}
 	if c.CAPThreads == 0 {
 		c.CAPThreads = 16
 	}
-	if c.Shards < 1 || c.Sets < 1 || c.MaxBatch < 1 || c.QueueDepth < 1 || c.BatchWait < 0 {
-		return fmt.Errorf("serve: invalid config (shards=%d sets=%d batch=%d queue=%d wait=%s)",
-			c.Shards, c.Sets, c.MaxBatch, c.QueueDepth, c.BatchWait)
+	if c.Shards < 1 || c.Sets < 1 || c.MaxBatch < 1 || c.QueueDepth < 1 || c.BatchWait < 0 || c.HotKeys < 1 {
+		return fmt.Errorf("serve: invalid config (shards=%d sets=%d batch=%d queue=%d wait=%s hotkeys=%d)",
+			c.Shards, c.Sets, c.MaxBatch, c.QueueDepth, c.BatchWait, c.HotKeys)
 	}
 	if !ModeSupported(c.Mode) {
 		return fmt.Errorf("serve: mode %s cannot serve", c.Mode)
@@ -75,8 +80,10 @@ type request struct {
 //	PING               ->  PONG
 //
 // (keys and values are decimal uint64, >= 1) — and dispatches requests to
-// per-shard batch workers. Replies are written in request order per
-// connection, each only after its batch's persistence completed.
+// per-shard pipeline workers. Replies are written in request order per
+// connection, each only after the persist epoch containing its mutation is
+// durable (reads with no pending write may be served from the hot-key
+// cache, whose contents are committed state by construction).
 type Server struct {
 	cfg     Config
 	workers []*shardWorker
@@ -90,7 +97,7 @@ type Server struct {
 	cRejected *telemetry.Counter
 }
 
-// NewServer builds the shards and their batch workers (not yet listening).
+// NewServer builds the shards and their pipeline workers (not yet listening).
 func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
@@ -169,16 +176,16 @@ func (s *Server) Serve() error {
 }
 
 // Shutdown drains gracefully: stop accepting, tell every worker to flush
-// its pending batch without waiting out the admission deadline, service
-// everything already accepted, and stop. Connections still open after
-// timeout are force-closed. Safe to call once.
+// its pending epochs without holding for more arrivals, service everything
+// already accepted, and stop. Connections still open after timeout are
+// force-closed. Safe to call once.
 func (s *Server) Shutdown(timeout time.Duration) {
 	s.draining.Store(true)
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	// Release pending batches immediately: replies must not wait on
-	// BatchWait once the server is going down.
+	// Release pending epochs immediately: replies must not wait out the
+	// admission hold once the server is going down.
 	for _, w := range s.workers {
 		close(w.drainCh)
 	}
@@ -218,8 +225,8 @@ func (s *Server) handleConn(c net.Conn) {
 	}()
 
 	// Replies go out in request order: the reader enqueues one future per
-	// request; the writer resolves them FIFO, so batching across shards
-	// cannot reorder a connection's replies.
+	// request; the writer resolves them FIFO, so pipelining across epochs
+	// and cache hits cannot reorder a connection's replies.
 	futures := make(chan chan string, 2*s.cfg.QueueDepth)
 	var wWG sync.WaitGroup
 	wWG.Add(1)
@@ -299,188 +306,389 @@ func parseRequest(line string) (op byte, key, val uint64, err error) {
 	return verb[0], key, val, nil
 }
 
-// shardWorker owns one Shard: it admits requests into a pending batch and
-// dispatches when the batch fills, the oldest request has waited BatchWait,
-// or an arriving mutation conflicts with a slot the batch already touches.
+// epochBatch is one persist epoch moving through the shard pipeline: a
+// staged batch, the requests riding it, and the per-epoch conflict maps
+// that let a second mutation of a slot land in the NEXT epoch instead of
+// destroying the current batch.
+type epochBatch struct {
+	seq     uint64
+	batch   Batch
+	pending []*request   // ops riding this epoch, arrival order
+	getPos  []int        // per pending op: index into batch.GetKeys, -1 for mutations
+	mutated map[int]bool // slots this epoch writes
+	read    map[int]bool // slots this epoch batch-reads
+
+	firstAdmit time.Time     // admission of the epoch's oldest op
+	sealedAt   time.Time     // dispatch instant (epoch lag measures from here)
+	applyWall  time.Duration // wall cost of Apply, fed back to the controller
+}
+
+// fillBuckets bounds the serve.shard*.batch_fill histograms (ops/epoch).
+var fillBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// shardWorker owns one Shard and runs its two pipeline stages:
+//
+//	batcher (run): admits requests into a queue of staged epochs — batch
+//	  N+1 forms while batch N is on the device, so admission never blocks
+//	  on kernel or persist time. Slot conflicts chain mutations into
+//	  consecutive epochs via per-epoch conflict maps; an adaptive
+//	  controller decides how long a starved pipeline holds a partial
+//	  epoch. Hot GETs with no pending mutation are answered straight from
+//	  the committed-slot cache, no kernel trip.
+//	applier (applyLoop): executes one epoch at a time on the shard
+//	  (stage -> kernel -> persist) and group-commits every reply in the
+//	  epoch the moment it is durable.
+//
+// All admission maps are owned by the batcher goroutine; the applier
+// touches only the shard, the reply futures, and the (locked) hot cache.
 type shardWorker struct {
-	shard   *Shard
+	shard *Shard
+	cfg   Config
+
 	reqs    chan *request
 	drainCh chan struct{} // closed by Shutdown: flush eagerly from now on
 	done    chan struct{}
 
-	drained  bool
-	maxBatch int
-	wait     time.Duration
+	dispatchCh  chan *epochBatch // batcher -> applier, buffered 1 (double buffer)
+	commitCh    chan *epochBatch // applier -> batcher, buffered 1
+	applierDone chan struct{}
 
-	// pending batch state
-	batch   Batch
-	pending []*request
-	getPos  []int        // for GET requests: index into batch.GetKeys
-	mutated map[int]bool // slots written by the pending batch
-	read    map[int]bool // slots read by the pending batch
-	first   time.Time    // arrival of the oldest pending request
+	ctrl  *batchController
+	cache *hotKeyCache
 
-	gQueue     *telemetry.Gauge
-	gOccupancy *telemetry.Gauge
-	hReqUS     *telemetry.Histogram
-	hBatchSim  *telemetry.Histogram
-	cBatches   *telemetry.Counter
-	cOps       *telemetry.Counter
-	cSeals     *telemetry.Counter
-	cErrors    *telemetry.Counter
+	// batcher-owned pipeline state
+	staged     []*epochBatch  // staged[0] is next to dispatch
+	nextSeq    uint64         // seq the next appended epoch gets
+	inflight   *epochBatch    // epoch on the device, nil when idle
+	lastMut    map[int]uint64 // slot -> seq of latest pending epoch mutating it
+	lastRead   map[int]uint64 // slot -> seq of latest pending epoch batch-reading it
+	stagedOps  int            // ops across staged epochs (admission backpressure)
+	drained    bool
+	reqsClosed bool
+
+	gQueue      *telemetry.Gauge
+	gOccupancy  *telemetry.Gauge
+	gHotSlots   *telemetry.Gauge
+	hReqUS      *telemetry.Histogram
+	hBatchSim   *telemetry.Histogram
+	hFill       *telemetry.Histogram
+	hQueueWait  *telemetry.Histogram
+	hEpochLag   *telemetry.Histogram
+	cBatches    *telemetry.Counter
+	cOps        *telemetry.Counter
+	cChains     *telemetry.Counter
+	cCacheHits  *telemetry.Counter
+	cCacheFills *telemetry.Counter
+	cErrors     *telemetry.Counter
 }
 
 func newShardWorker(sh *Shard, cfg Config, reg *telemetry.Registry) *shardWorker {
 	p := fmt.Sprintf("serve.shard%d.", sh.ID())
 	return &shardWorker{
-		shard:      sh,
-		reqs:       make(chan *request, cfg.QueueDepth),
-		drainCh:    make(chan struct{}),
-		done:       make(chan struct{}),
-		maxBatch:   cfg.MaxBatch,
-		wait:       cfg.BatchWait,
-		mutated:    make(map[int]bool),
-		read:       make(map[int]bool),
-		gQueue:     reg.Gauge(p + "queue_depth"),
-		gOccupancy: reg.Gauge(p + "batch_occupancy"),
-		hReqUS:     reg.Histogram("serve.request_us", telemetry.LatencyBucketsUS),
-		hBatchSim:  reg.Histogram("serve.batch_sim_us", telemetry.LatencyBucketsUS),
-		cBatches:   reg.Counter(p + "batches"),
-		cOps:       reg.Counter(p + "ops"),
-		cSeals:     reg.Counter(p + "conflict_seals"),
-		cErrors:    reg.Counter(p + "errors"),
+		shard:       sh,
+		cfg:         cfg,
+		reqs:        make(chan *request, cfg.QueueDepth),
+		drainCh:     make(chan struct{}),
+		done:        make(chan struct{}),
+		dispatchCh:  make(chan *epochBatch, 1),
+		commitCh:    make(chan *epochBatch, 1),
+		applierDone: make(chan struct{}),
+		ctrl:        newBatchController(!cfg.FixedWait, cfg.MaxBatch, cfg.BatchWait),
+		cache:       newHotKeyCache(cfg.HotKeys),
+		lastMut:     make(map[int]uint64),
+		lastRead:    make(map[int]uint64),
+		gQueue:      reg.Gauge(p + "queue_depth"),
+		gOccupancy:  reg.Gauge(p + "batch_occupancy"),
+		gHotSlots:   reg.Gauge(p + "hot_slots"),
+		hReqUS:      reg.Histogram("serve.request_us", telemetry.LatencyBucketsUS),
+		hBatchSim:   reg.Histogram("serve.batch_sim_us", telemetry.LatencyBucketsUS),
+		hFill:       reg.Histogram(p+"batch_fill", fillBuckets),
+		hQueueWait:  reg.Histogram("serve.queue_wait_us", telemetry.LatencyBucketsUS),
+		hEpochLag:   reg.Histogram("serve.epoch_lag_us", telemetry.LatencyBucketsUS),
+		cBatches:    reg.Counter(p + "batches"),
+		cOps:        reg.Counter(p + "ops"),
+		cChains:     reg.Counter(p + "conflict_chains"),
+		cCacheHits:  reg.Counter(p + "cache_hits"),
+		cCacheFills: reg.Counter(p + "cache_fills"),
+		cErrors:     reg.Counter(p + "errors"),
 	}
 }
 
-func (w *shardWorker) run() {
-	defer close(w.done)
-	for {
-		w.gQueue.Set(int64(len(w.reqs)))
-		if len(w.pending) == 0 {
-			if w.drained {
-				r, ok := <-w.reqs
-				if !ok {
-					return
-				}
-				w.admit(r)
-				continue
-			}
-			select {
-			case r, ok := <-w.reqs:
-				if !ok {
-					return
-				}
-				w.admit(r)
-			case <-w.drainCh:
-				w.drained = true
-			}
-			continue
+// headSeq is the sequence of the next epoch to dispatch (or to create,
+// when nothing is staged).
+func (w *shardWorker) headSeq() uint64 {
+	return w.nextSeq - uint64(len(w.staged))
+}
+
+// appendEpoch grows the staged queue by one empty epoch.
+func (w *shardWorker) appendEpoch() *epochBatch {
+	eb := &epochBatch{
+		seq:     w.nextSeq,
+		mutated: make(map[int]bool),
+		read:    make(map[int]bool),
+	}
+	w.nextSeq++
+	w.staged = append(w.staged, eb)
+	return eb
+}
+
+// epochFrom returns the first staged epoch with seq >= floor satisfying
+// fits, appending fresh epochs as needed. floor must be >= headSeq.
+func (w *shardWorker) epochFrom(floor uint64, fits func(*epochBatch) bool) *epochBatch {
+	for i := int(floor - w.headSeq()); ; i++ {
+		for i >= len(w.staged) {
+			w.appendEpoch()
 		}
-		if w.drained {
-			// Draining: absorb whatever is already queued, then flush
-			// without waiting out the admission deadline.
-			select {
-			case r, ok := <-w.reqs:
-				if !ok {
-					w.flush()
-					return
+		if fits(w.staged[i]) {
+			return w.staged[i]
+		}
+	}
+}
+
+// admit places one request into the pipeline: cache-served, or assigned to
+// the earliest epoch that respects the per-slot ordering constraints —
+//
+//	SET then GET  same slot: GET rides the SAME epoch (it reads the
+//	              post-mutation mirror, so it observes the SET);
+//	GET then SET  same slot: the SET goes to a LATER epoch (the staged GET
+//	              must not observe it);
+//	SET then SET  same slot: the second goes to a LATER epoch (one
+//	              mutation per slot per kernel batch).
+//
+// Conflicts therefore chain hot-key mutations into consecutive pipeline
+// stages instead of sealing and shrinking batches.
+func (w *shardWorker) admit(r *request) {
+	now := time.Now()
+	w.hQueueWait.Observe(int64(now.Sub(r.enq) / time.Microsecond))
+	w.ctrl.observeArrival(now)
+	slot := w.shard.SlotOf(r.key)
+
+	if r.op == 'G' {
+		w.cache.Observe(r.key)
+		if _, pending := w.lastMut[slot]; !pending {
+			if val, ok := w.cache.Lookup(r.key, slot); ok {
+				// Committed state with no pending write: durable by
+				// construction, reply without a kernel trip.
+				if val != 0 {
+					r.done <- "VALUE " + strconv.FormatUint(val, 10)
+				} else {
+					r.done <- "NOTFOUND"
 				}
-				w.admit(r)
-			default:
-				w.flush()
-			}
-			continue
-		}
-		remaining := w.wait - time.Since(w.first)
-		if remaining <= 0 {
-			w.flush()
-			continue
-		}
-		deadline := time.NewTimer(remaining)
-		select {
-		case r, ok := <-w.reqs:
-			deadline.Stop()
-			if !ok {
-				w.flush()
+				w.cCacheHits.Inc()
+				w.hReqUS.Observe(int64(now.Sub(r.enq) / time.Microsecond))
 				return
 			}
-			w.admit(r)
-		case <-deadline.C:
-			w.flush()
-		case <-w.drainCh:
-			deadline.Stop()
+		}
+	}
+
+	head := w.headSeq()
+	var eb *epochBatch
+	switch r.op {
+	case 'G':
+		floor := head
+		if m, ok := w.lastMut[slot]; ok && m > floor {
+			floor = m // ride the mutating epoch (or any later one)
+		}
+		eb = w.epochFrom(floor, func(e *epochBatch) bool {
+			return len(e.batch.GetKeys) < w.cfg.MaxBatch
+		})
+		eb.getPos = append(eb.getPos, len(eb.batch.GetKeys))
+		eb.batch.GetKeys = append(eb.batch.GetKeys, r.key)
+		eb.read[slot] = true
+		if g, ok := w.lastRead[slot]; !ok || eb.seq > g {
+			w.lastRead[slot] = eb.seq
+		}
+	default: // 'S', 'D'
+		floor := head
+		conflict := false
+		if m, ok := w.lastMut[slot]; ok && m+1 > floor {
+			floor, conflict = m+1, true
+		}
+		if g, ok := w.lastRead[slot]; ok && g+1 > floor {
+			floor, conflict = g+1, true
+		}
+		eb = w.epochFrom(floor, func(e *epochBatch) bool {
+			return e.batch.Mutations() < w.cfg.MaxBatch
+		})
+		if conflict {
+			w.cChains.Inc()
+		}
+		if r.op == 'S' {
+			eb.batch.SetKeys = append(eb.batch.SetKeys, r.key)
+			eb.batch.SetVals = append(eb.batch.SetVals, r.val)
+		} else {
+			eb.batch.DelKeys = append(eb.batch.DelKeys, r.key)
+		}
+		eb.getPos = append(eb.getPos, -1)
+		eb.mutated[slot] = true
+		w.lastMut[slot] = eb.seq
+	}
+	if len(eb.pending) == 0 {
+		eb.firstAdmit = now
+	}
+	eb.pending = append(eb.pending, r)
+	w.stagedOps++
+}
+
+// dispatch seals the head epoch and hands it to the applier. Only called
+// when the applier is idle, so the buffered send cannot block.
+func (w *shardWorker) dispatch() {
+	eb := w.staged[0]
+	w.staged = w.staged[1:]
+	w.stagedOps -= eb.batch.Ops()
+	eb.sealedAt = time.Now()
+	w.inflight = eb
+	w.hFill.Observe(int64(eb.batch.Ops()))
+	w.dispatchCh <- eb
+}
+
+// onCommit retires a durable epoch: per-slot ordering state whose horizon
+// was this epoch is released, and the controller learns the apply cost.
+func (w *shardWorker) onCommit(eb *epochBatch) {
+	w.inflight = nil
+	w.ctrl.observeApply(eb.applyWall)
+	for slot := range eb.mutated {
+		if w.lastMut[slot] == eb.seq {
+			delete(w.lastMut, slot)
+		}
+	}
+	for slot := range eb.read {
+		if w.lastRead[slot] == eb.seq {
+			delete(w.lastRead, slot)
+		}
+	}
+}
+
+// run is the batcher: it drains the admission queue into staged epochs,
+// dispatches the head epoch when the applier is free and the controller
+// agrees, and exits once the queue is closed and the pipeline is empty.
+func (w *shardWorker) run() {
+	defer close(w.done)
+	go w.applyLoop()
+	for {
+		// Absorb everything already queued without blocking: this is what
+		// fills epoch N+1 while epoch N is on the device.
+		for !w.reqsClosed && w.stagedOps < w.cfg.QueueDepth {
+			select {
+			case r, ok := <-w.reqs:
+				if !ok {
+					w.reqsClosed = true
+				} else {
+					w.admit(r)
+					continue
+				}
+			default:
+			}
+			break
+		}
+		w.gQueue.Set(int64(len(w.reqs)))
+
+		// Dispatch when the device is idle. The controller only gets a say
+		// in holding the head epoch open when nothing else is staged
+		// behind it — a conflict chain or overflow epoch waiting is load,
+		// and load means dispatch now.
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if w.inflight == nil && len(w.staged) > 0 {
+			hold := time.Duration(0)
+			if !w.drained && len(w.staged) == 1 {
+				head := w.staged[0]
+				hold = w.ctrl.hold(time.Now(), head.firstAdmit, head.batch.Ops())
+			}
+			if hold <= 0 {
+				w.dispatch()
+			} else {
+				timer = time.NewTimer(hold)
+				timerC = timer.C
+			}
+		}
+
+		if w.reqsClosed && w.inflight == nil && len(w.staged) == 0 {
+			close(w.dispatchCh)
+			<-w.applierDone
+			return
+		}
+
+		var recvCh chan *request
+		if !w.reqsClosed && w.stagedOps < w.cfg.QueueDepth {
+			recvCh = w.reqs
+		}
+		drainCh := w.drainCh
+		if w.drained {
+			drainCh = nil
+		}
+		select {
+		case r, ok := <-recvCh:
+			if !ok {
+				w.reqsClosed = true
+			} else {
+				w.admit(r)
+			}
+		case eb := <-w.commitCh:
+			w.onCommit(eb)
+		case <-timerC:
+			// Hold expired with no arrival: the next pass dispatches.
+		case <-drainCh:
 			w.drained = true
 		}
-	}
-}
-
-// admit adds one request to the pending batch, sealing first on slot
-// conflict and flushing when full.
-func (w *shardWorker) admit(r *request) {
-	slot := w.shard.SlotOf(r.key)
-	if r.op != 'G' && (w.mutated[slot] || w.read[slot]) {
-		// A second mutation of a slot (or a mutation after a GET of it)
-		// inside one batch would make the kernel outcome order-dependent:
-		// seal the current batch so per-connection ordering holds.
-		w.cSeals.Inc()
-		w.flush()
-	}
-	if len(w.pending) == 0 {
-		w.first = r.enq
-	}
-	switch r.op {
-	case 'S':
-		w.batch.SetKeys = append(w.batch.SetKeys, r.key)
-		w.batch.SetVals = append(w.batch.SetVals, r.val)
-		w.mutated[slot] = true
-		w.getPos = append(w.getPos, -1)
-	case 'D':
-		w.batch.DelKeys = append(w.batch.DelKeys, r.key)
-		w.mutated[slot] = true
-		w.getPos = append(w.getPos, -1)
-	case 'G':
-		w.getPos = append(w.getPos, len(w.batch.GetKeys))
-		w.batch.GetKeys = append(w.batch.GetKeys, r.key)
-		w.read[slot] = true
-	}
-	w.pending = append(w.pending, r)
-	if w.batch.Ops() >= w.maxBatch {
-		w.flush()
-	}
-}
-
-// flush applies the pending batch and resolves every reply future.
-func (w *shardWorker) flush() {
-	if len(w.pending) == 0 {
-		return
-	}
-	res, err := w.shard.Apply(&w.batch)
-	now := time.Now()
-	if err != nil {
-		w.cErrors.Inc()
-		for _, r := range w.pending {
-			r.done <- "ERR " + err.Error()
+		if timer != nil {
+			timer.Stop()
 		}
-	} else {
-		for i, r := range w.pending {
+	}
+}
+
+// applyLoop is the applier: one epoch at a time through the shard's
+// stage -> kernel -> persist path, then group-commit — every reply in the
+// epoch is released the moment the epoch is durable, and the hot cache is
+// refreshed from committed state.
+func (w *shardWorker) applyLoop() {
+	defer close(w.applierDone)
+	for eb := range w.dispatchCh {
+		start := time.Now()
+		res, err := w.shard.Apply(&eb.batch)
+		eb.applyWall = time.Since(start)
+		if err != nil {
+			w.cErrors.Inc()
+			for _, r := range eb.pending {
+				r.done <- "ERR " + err.Error()
+			}
+			w.commitCh <- eb
+			continue
+		}
+		now := time.Now()
+		for i, r := range eb.pending {
 			switch {
 			case r.op != 'G':
 				r.done <- "OK"
-			case res.GetVals[w.getPos[i]] != 0:
-				r.done <- "VALUE " + strconv.FormatUint(res.GetVals[w.getPos[i]], 10)
+			case res.GetVals[eb.getPos[i]] != 0:
+				r.done <- "VALUE " + strconv.FormatUint(res.GetVals[eb.getPos[i]], 10)
 			default:
 				r.done <- "NOTFOUND"
 			}
 			w.hReqUS.Observe(int64(now.Sub(r.enq) / time.Microsecond))
 		}
+		w.hEpochLag.Observe(int64(now.Sub(eb.sealedAt) / time.Microsecond))
 		w.gOccupancy.Set(int64(res.Ops))
 		w.hBatchSim.ObserveMicros(res.SimTime)
 		w.cBatches.Inc()
 		w.cOps.Add(int64(res.Ops))
+
+		// Cache maintenance, committed state only: every mutated slot that
+		// is cached gets refreshed (or dropped), and slots of hot batched
+		// GETs are filled so the next read skips the kernel.
+		for slot := range eb.mutated {
+			k, v := w.shard.ModelPair(slot)
+			w.cache.CommitSlot(slot, k, v)
+		}
+		for _, key := range eb.batch.GetKeys {
+			if w.cache.Hot(key) {
+				slot := w.shard.SlotOf(key)
+				k, v := w.shard.ModelPair(slot)
+				w.cache.CommitSlot(slot, k, v)
+				w.cCacheFills.Inc()
+			}
+		}
+		w.gHotSlots.Set(int64(w.cache.Len()))
+		w.commitCh <- eb
 	}
-	w.batch = Batch{}
-	w.pending = w.pending[:0]
-	w.getPos = w.getPos[:0]
-	w.mutated = make(map[int]bool)
-	w.read = make(map[int]bool)
 }

@@ -128,13 +128,14 @@ func TestServerProtocolErrors(t *testing.T) {
 	}
 }
 
-// Two mutations of the same slot pipelined back-to-back must land in
-// different batches (conflict seal) and resolve in order.
-func TestServerConflictSealsBatch(t *testing.T) {
+// Two mutations of the same slot pipelined back-to-back chain into
+// consecutive epochs (the batch is NOT sealed — other keys keep filling
+// it) and resolve in arrival order.
+func TestServerConflictChainsEpochs(t *testing.T) {
 	tel := telemetry.New()
 	srv, addr := startServer(t, Config{
 		Mode: workloads.GPM, Shards: 1, Sets: 64, MaxBatch: 64,
-		BatchWait: 50 * time.Millisecond, // long: only conflicts/size can seal
+		BatchWait: 50 * time.Millisecond,
 		Workers:   1, Telemetry: tel,
 	})
 	br, c := dial(t, addr)
@@ -155,8 +156,96 @@ func TestServerConflictSealsBatch(t *testing.T) {
 	}
 	c.Close()
 	srv.Shutdown(5 * time.Second)
-	if seals := tel.Registry().Counter("serve.shard0.conflict_seals").Value(); seals < 1 {
-		t.Errorf("conflict_seals = %d, want >= 1", seals)
+	if chains := tel.Registry().Counter("serve.shard0.conflict_chains").Value(); chains < 1 {
+		t.Errorf("conflict_chains = %d, want >= 1", chains)
+	}
+	for _, sh := range srv.Shards() {
+		if err := sh.Verify(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// Deterministic pipeline ordering: a long alternating SET/GET chain on ONE
+// key, all pipelined, must observe every write in arrival order even
+// though consecutive mutations land in consecutive epochs and the epochs
+// overlap in the pipeline.
+func TestServerPipelineOrdering(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Mode: workloads.GPM, Shards: 1, Sets: 64, MaxBatch: 32,
+		BatchWait: 5 * time.Millisecond, Workers: 1,
+	})
+	br, c := dial(t, addr)
+	defer c.Close()
+
+	const n = 50
+	var reqs strings.Builder
+	var wants []string
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&reqs, "SET 9 %d\nGET 9\n", i*10)
+		wants = append(wants, "OK", fmt.Sprintf("VALUE %d", i*10))
+	}
+	if _, err := fmt.Fprint(c, reqs.String()); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range wants {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if got := strings.TrimSpace(line); got != want {
+			t.Fatalf("reply %d = %q, want %q", i, got, want)
+		}
+	}
+	c.Close()
+	srv.Shutdown(5 * time.Second)
+	for _, sh := range srv.Shards() {
+		if err := sh.Verify(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// Hot-key cache: repeated GETs of one key are served from the eADR cache
+// (cache_hits > 0) without losing read-your-writes — a SET invalidates
+// the cached slot and later GETs see the new value.
+func TestServerHotKeyCache(t *testing.T) {
+	tel := telemetry.New()
+	srv, addr := startServer(t, Config{
+		Mode: workloads.GPM, Shards: 1, Sets: 64, MaxBatch: 16,
+		BatchWait: 200 * time.Microsecond, Workers: 1, HotKeys: 8, Telemetry: tel,
+	})
+	br, c := dial(t, addr)
+	defer c.Close()
+
+	if got := roundTrip(t, c, br, "SET 42 7"); got != "OK" {
+		t.Fatalf("SET -> %q", got)
+	}
+	for i := 0; i < 20; i++ {
+		if got := roundTrip(t, c, br, "GET 42"); got != "VALUE 7" {
+			t.Fatalf("GET %d -> %q, want VALUE 7", i, got)
+		}
+	}
+	// Overwrite, then read again: the cache must not serve the stale 7.
+	if got := roundTrip(t, c, br, "SET 42 8"); got != "OK" {
+		t.Fatalf("overwrite -> %q", got)
+	}
+	for i := 0; i < 5; i++ {
+		if got := roundTrip(t, c, br, "GET 42"); got != "VALUE 8" {
+			t.Fatalf("GET after overwrite -> %q, want VALUE 8", got)
+		}
+	}
+	// A hot key that was never set: cached absence still answers NOTFOUND.
+	for i := 0; i < 5; i++ {
+		if got := roundTrip(t, c, br, "GET 43"); got != "NOTFOUND" {
+			t.Fatalf("GET absent -> %q, want NOTFOUND", got)
+		}
+	}
+	c.Close()
+	srv.Shutdown(5 * time.Second)
+	reg := tel.Registry()
+	if hits := reg.Counter("serve.shard0.cache_hits").Value(); hits < 5 {
+		t.Errorf("cache_hits = %d, want >= 5", hits)
 	}
 	for _, sh := range srv.Shards() {
 		if err := sh.Verify(); err != nil {
@@ -239,8 +328,13 @@ func TestServerUnderLoad(t *testing.T) {
 			t.Error(err)
 		}
 	}
-	if served != res.Ops {
-		t.Errorf("shards served %d, clients saw %d", served, res.Ops)
+	reg := tel.Registry()
+	var cacheHits int64
+	for i := range srv.Shards() {
+		cacheHits += reg.Counter(fmt.Sprintf("serve.shard%d.cache_hits", i)).Value()
+	}
+	if served+cacheHits != res.Ops {
+		t.Errorf("shards served %d + %d cache hits, clients saw %d", served, cacheHits, res.Ops)
 	}
 	if b := tel.Registry().Counter("serve.shard0.batches").Value(); b < 1 {
 		t.Error("no batches recorded on shard 0")
@@ -280,5 +374,50 @@ func TestSelfTestKillAndRecover(t *testing.T) {
 	}
 	if e.Batches < 1 || e.SimBatchUS <= 0 {
 		t.Errorf("batches=%d sim_batch_us=%g", e.Batches, e.SimBatchUS)
+	}
+	if e.MeanFill <= 0 {
+		t.Errorf("MeanFill = %g, want > 0", e.MeanFill)
+	}
+	// Every between-stage crash point must have been exercised.
+	seen := make(map[string]bool)
+	for _, p := range e.CrashPoints {
+		seen[p] = true
+	}
+	for _, p := range CrashPoints() {
+		if !seen[p.String()] {
+			t.Errorf("crash point %s not exercised (got %v)", p, e.CrashPoints)
+		}
+	}
+}
+
+// The zipfian selftest: hot keys drive conflict chains and cache hits, and
+// kill-and-recover still verifies under skew.
+func TestSelfTestZipf(t *testing.T) {
+	rep, err := SelfTest(SelfTestOptions{
+		Modes:          []workloads.Mode{workloads.GPM},
+		ShardCounts:    []int{2},
+		Ops:            600,
+		Conns:          4,
+		Sets:           256,
+		MaxBatch:       64,
+		BatchWait:      200 * time.Microsecond,
+		Workers:        1,
+		Seed:           3,
+		Dist:           DistZipf,
+		Theta:          0.99,
+		KillAndRecover: true,
+	})
+	if err != nil {
+		t.Fatalf("SelfTest: %v", err)
+	}
+	if rep.Dist != DistZipf || rep.Theta != 0.99 {
+		t.Errorf("report dist/theta = %s/%g, want zipf/0.99", rep.Dist, rep.Theta)
+	}
+	e := rep.Entries[0]
+	if !e.Verified || !e.Recovered {
+		t.Errorf("entry not verified/recovered: %+v", e)
+	}
+	if e.CacheHits < 1 {
+		t.Errorf("cache_hits = %d, want >= 1 under zipfian skew", e.CacheHits)
 	}
 }

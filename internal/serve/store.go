@@ -24,6 +24,7 @@ import (
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/kvstore"
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
@@ -80,7 +81,15 @@ type Shard struct {
 	getsB  uint64     // HBM staging: GET keys
 	outB   uint64     // HBM staging: GET results
 
-	log *gpm.Log
+	// HCL logs, one per launch geometry. The HCL layout mirrors the kernel
+	// grid (Insert requires an exact geometry match), so a fixed
+	// MaxBatch-sized log would force every mutate kernel to launch the full
+	// grid no matter how small the batch. Instead each power-of-two block
+	// count up to the full grid gets its own log, a mutate launch uses the
+	// smallest grid covering its fill, and recovery replays every log (empty
+	// partitions cost nothing).
+	geoms []int      // ascending block counts; last == blocks
+	logs  []*gpm.Log // parallel to geoms
 
 	// model is the committed-state oracle: it reflects exactly the batches
 	// that were acknowledged, survives a simulated crash (it models what
@@ -156,8 +165,15 @@ func NewShard(id int, cfg ShardConfig) (*Shard, error) {
 		maxBatch: cfg.MaxBatch,
 		blocks:   (cfg.MaxBatch*kvstore.ThreadGroup + kvstore.TPB - 1) / kvstore.TPB,
 	}
+	for g := 1; g < s.blocks; g *= 2 {
+		s.geoms = append(s.geoms, g)
+	}
+	s.geoms = append(s.geoms, s.blocks)
 	store := s.storeBytes()
-	logSize := int64(s.blocks*kvstore.TPB)*2*kvstore.LogEntryBytes + 1<<16
+	var logSize int64
+	for _, g := range s.geoms {
+		logSize += logSizeFor(g)
+	}
 	staging := int64(cfg.MaxBatch) * 8 * 5
 	wcfg := workloads.Config{
 		Seed:       cfg.Seed,
@@ -190,12 +206,45 @@ func NewShard(id int, cfg ShardConfig) (*Shard, error) {
 	sp.PersistRange(s.txFile.Mmap(), 8)
 
 	if s.logged() {
-		s.log, err = s.env.Ctx.LogCreateHCL("/pm/kvs.log", logSize, s.blocks, kvstore.TPB)
-		if err != nil {
-			return nil, err
+		for _, g := range s.geoms {
+			log, err := s.env.Ctx.LogCreateHCL(logPath(g), logSizeFor(g), g, kvstore.TPB)
+			if err != nil {
+				return nil, err
+			}
+			s.logs = append(s.logs, log)
 		}
 	}
 	return s, nil
+}
+
+// logPath names the HCL log file for a g-block grid.
+func logPath(g int) string { return fmt.Sprintf("/pm/kvs.log.g%d", g) }
+
+// logSizeFor sizes a g-block HCL log for two undo entries per thread.
+func logSizeFor(g int) int64 {
+	return int64(g*kvstore.TPB)*2*kvstore.LogEntryBytes + 1<<16
+}
+
+// gridFor returns the smallest launch geometry whose grid covers nOps
+// thread groups (and therefore has a matching HCL log).
+func (s *Shard) gridFor(nOps int) int {
+	need := (nOps*kvstore.ThreadGroup + kvstore.TPB - 1) / kvstore.TPB
+	for _, g := range s.geoms {
+		if g >= need {
+			return g
+		}
+	}
+	return s.blocks
+}
+
+// logFor returns the HCL log matching a g-block launch.
+func (s *Shard) logFor(g int) *gpm.Log {
+	for i, geom := range s.geoms {
+		if geom == g {
+			return s.logs[i]
+		}
+	}
+	panic(fmt.Sprintf("serve: no HCL log for %d-block grid", g))
 }
 
 // ID returns the shard index.
@@ -212,10 +261,17 @@ func (s *Shard) Ops() int64 { return s.ops }
 func (s *Shard) Env() *workloads.Env { return s.env }
 
 // SlotOf returns the store slot index a key maps to; the batcher uses it
-// for conflict sealing.
+// for per-epoch conflict tracking and the hot-key cache.
 func (s *Shard) SlotOf(key uint64) int {
 	set, way := kvstore.HashKey(key, s.sets)
 	return set*kvstore.Ways + way
+}
+
+// ModelPair returns the committed (key, value) pair of a slot — the state
+// acknowledged clients were promised, which the hot-key cache mirrors.
+// Only safe from the goroutine driving Apply.
+func (s *Shard) ModelPair(slot int) (key, val uint64) {
+	return s.model[slot*2], s.model[slot*2+1]
 }
 
 func (s *Shard) storeBytes() int64 {
@@ -286,7 +342,9 @@ func (s *Shard) setTxFlag(on bool) {
 // mutateKernel runs the SET or DELETE kernel (a DELETE is a SET of the
 // empty pair): thread groups cooperate per op, the home-way thread logs the
 // old pair, updates mirror (and PM directly under GPM-class modes), and
-// persists under plain GPM/eADR.
+// persists under plain GPM/eADR. The grid is the smallest geometry covering
+// the batch's fill, and the undo log with that exact geometry is used — a
+// quarter-full epoch does not pay for a MaxBatch-sized launch.
 func (s *Shard) mutateKernel(segment string, keys, vals uint64, nOps int, del, logging bool) error {
 	if nOps == 0 {
 		return nil
@@ -294,11 +352,15 @@ func (s *Shard) mutateKernel(segment string, keys, vals uint64, nOps int, del, l
 	sets := s.sets
 	pm := s.pmFile.Mmap()
 	mirror := s.mirror
-	log := s.log
+	grid := s.gridFor(nOps)
+	var log *gpm.Log
+	if logging {
+		log = s.logFor(grid)
+	}
 	direct := s.mode.UsesGPM() || s.mode == workloads.GPMNDP
 	persist := s.mode.UsesGPM()
 	var kerr error
-	s.env.Ctx.Launch(segment, s.blocks, kvstore.TPB, func(t *gpu.Thread) {
+	s.env.Ctx.Launch(segment, grid, kvstore.TPB, func(t *gpu.Thread) {
 		gid := t.GlobalID()
 		op := gid / kvstore.ThreadGroup
 		if op >= nOps {
@@ -390,11 +452,13 @@ func (s *Shard) commit(b *Batch, logging bool) error {
 	switch {
 	case s.mode.UsesGPM():
 		if logging {
-			log := s.log
 			s.env.PersistKernelBegin()
-			s.env.Ctx.Launch("kvs-logclear", s.blocks, kvstore.TPB, func(t *gpu.Thread) {
-				log.ClearIfUsed(t)
-			})
+			for _, grid := range s.usedGrids(b) {
+				log := s.logFor(grid)
+				s.env.Ctx.Launch("kvs-logclear", grid, kvstore.TPB, func(t *gpu.Thread) {
+					log.ClearIfUsed(t)
+				})
+			}
 			s.env.PersistKernelEnd()
 			s.setTxFlag(false)
 		}
@@ -403,7 +467,9 @@ func (s *Shard) commit(b *Batch, logging bool) error {
 		// which slots changed, so the whole store flushes.
 		s.env.Cap.FlushOnly(s.pmFile.Mmap(), s.storeBytes())
 		if logging {
-			s.log.HostClearAll()
+			for _, grid := range s.usedGrids(b) {
+				s.logFor(grid).HostClearAll()
+			}
 			s.setTxFlag(false)
 		}
 	default:
@@ -415,6 +481,21 @@ func (s *Shard) commit(b *Batch, logging bool) error {
 		}
 	}
 	return nil
+}
+
+// usedGrids returns the distinct launch geometries the batch's mutate
+// kernels used — the logs commit must truncate.
+func (s *Shard) usedGrids(b *Batch) []int {
+	var grids []int
+	if n := len(b.SetKeys); n > 0 {
+		grids = append(grids, s.gridFor(n))
+	}
+	if n := len(b.DelKeys); n > 0 {
+		if g := s.gridFor(n); len(grids) == 0 || g != grids[0] {
+			grids = append(grids, g)
+		}
+	}
+	return grids
 }
 
 type secRun struct{ off, n int64 }
@@ -479,10 +560,14 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 	if n == 0 {
 		return &BatchResult{}, nil
 	}
-	start := s.env.Ctx.Timeline.Total()
+	ctx := s.env.Ctx
+	start := ctx.Timeline.Total()
+	spStage := ctx.SpanStart()
 	s.stage(b)
+	ctx.SpanEnd(telemetry.TrackPCIe, "serve-stage", "serve", spStage)
 	logging := s.logged() && b.Mutations() > 0
 
+	spKernel := ctx.SpanStart()
 	if logging {
 		s.setTxFlag(true)
 	}
@@ -495,11 +580,14 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 	}
 	s.getKernel(len(b.GetKeys))
 	s.env.PersistKernelEnd()
+	ctx.SpanEnd(telemetry.TrackKernel, "serve-kernel", "serve", spKernel)
 
+	spCommit := ctx.SpanStart()
 	s.hostServe(n)
 	if err := s.commit(b, logging); err != nil {
 		return nil, err
 	}
+	ctx.SpanEnd(telemetry.TrackPersist, "serve-persist", "serve", spCommit)
 
 	out := make([]uint64, len(b.GetKeys))
 	for i := range out {
@@ -546,6 +634,101 @@ func (s *Shard) CrashMidBatch(b *Batch, abortAfterOps int64) error {
 	return nil
 }
 
+// CrashPoint names a power-fail instant relative to the pipeline stages a
+// batch moves through: form -> stage/kernel -> persist/commit -> reply.
+// The durability contract is one-directional — an acknowledged mutation is
+// always durable; a crash after commit but before the reply leaves a
+// durable batch whose acks were simply lost (clients retry).
+type CrashPoint int
+
+const (
+	// CrashBeforeKernel dies after the batch is staged on the device and
+	// the transaction is armed, before the mutate kernel runs: recovery
+	// finds the tx flag set with an empty log and just closes it.
+	CrashBeforeKernel CrashPoint = iota
+	// CrashMidKernel dies inside the mutate kernel (§6.2 worst case):
+	// recovery must undo the partial batch from the HCL log.
+	CrashMidKernel
+	// CrashBeforeCommit dies after the mutate kernel fully ran and
+	// persisted, before the log clear closes the transaction: recovery
+	// must undo the complete (but uncommitted) batch.
+	CrashBeforeCommit
+	// CrashBeforeReply dies after the batch committed durably but before
+	// any reply was released: the batch survives recovery and the shard
+	// counts it committed; only the acknowledgements are lost.
+	CrashBeforeReply
+)
+
+// CrashPoints lists every between-stage crash point, in pipeline order.
+func CrashPoints() []CrashPoint {
+	return []CrashPoint{CrashBeforeKernel, CrashMidKernel, CrashBeforeCommit, CrashBeforeReply}
+}
+
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashBeforeKernel:
+		return "before-kernel"
+	case CrashMidKernel:
+		return "mid-kernel"
+	case CrashBeforeCommit:
+		return "before-commit"
+	case CrashBeforeReply:
+		return "before-reply"
+	default:
+		return fmt.Sprintf("crashpoint(%d)", int(p))
+	}
+}
+
+// CrashAt power-fails the shard at the given pipeline point while applying
+// b. For every point except CrashBeforeReply the batch is NOT acknowledged
+// (the oracle ignores it) and Restart must erase its effects; at
+// CrashBeforeReply the batch is durable and counts as committed. Only
+// GPM-class logging modes support crash injection (abortAfterOps bounds
+// the device ops of a mid-kernel crash).
+func (s *Shard) CrashAt(b *Batch, p CrashPoint, abortAfterOps int64) error {
+	if p == CrashMidKernel {
+		return s.CrashMidBatch(b, abortAfterOps)
+	}
+	if !s.mode.UsesGPM() {
+		return fmt.Errorf("serve: crash injection requires a GPM mode, shard runs %s", s.mode)
+	}
+	if s.down {
+		return fmt.Errorf("serve: shard %d already down", s.id)
+	}
+	if err := s.checkBatch(b); err != nil {
+		return err
+	}
+	if b.Mutations() == 0 {
+		return fmt.Errorf("serve: crash injection needs mutations to lose")
+	}
+	switch p {
+	case CrashBeforeKernel:
+		s.stage(b)
+		s.setTxFlag(true)
+	case CrashBeforeCommit:
+		s.stage(b)
+		s.setTxFlag(true)
+		s.env.PersistKernelBegin()
+		err := s.mutateKernel("kvs-set", s.keysB, s.valsB, len(b.SetKeys), false, true)
+		if err == nil {
+			err = s.mutateKernel("kvs-del", s.delsB, 0, len(b.DelKeys), true, true)
+		}
+		s.env.PersistKernelEnd()
+		if err != nil {
+			return err
+		}
+	case CrashBeforeReply:
+		if _, err := s.Apply(b); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("serve: unknown crash point %d", int(p))
+	}
+	s.env.Ctx.Crash()
+	s.down = true
+	return nil
+}
+
 // Restart brings a crashed shard back: if the durable transaction flag is
 // set it runs the Fig 6b recovery kernel to undo the partial batch, then
 // reloads the HBM mirror from the durable store (the restart-time data
@@ -556,40 +739,45 @@ func (s *Shard) Restart() (sim.Duration, error) {
 	if s.logged() {
 		snap := ctx.Space.SnapshotPersistent(s.txFile.Mmap(), 8)
 		if binary.LittleEndian.Uint64(snap) != 0 {
-			log, err := ctx.LogOpen("/pm/kvs.log")
-			if err != nil {
-				return 0, err
-			}
-			s.log = log
+			// The crashed transaction ran at one (unknown) geometry, so
+			// recovery replays every geometry's log at its own grid; the
+			// untouched logs cost an empty launch each.
 			pm := s.pmFile.Mmap()
 			sets := s.sets
-			ctx.PersistBegin()
-			var kerr error
-			ctx.Launch("kvs-recover", s.blocks, kvstore.TPB, func(t *gpu.Thread) {
-				// Undo this thread's logged entries newest-first until its
-				// log partition is empty (Fig 6b).
-				var entry [kvstore.LogEntryBytes]byte
-				for log.Read(t, entry[:], -1) == nil {
-					set := int(binary.LittleEndian.Uint32(entry[0:]))
-					way := int(binary.LittleEndian.Uint32(entry[4:]))
-					if set >= sets || way >= kvstore.Ways {
-						kerr = fmt.Errorf("serve: corrupt log entry (set=%d way=%d)", set, way)
-						return
-					}
-					addr := s.slotAddr(pm, set, way)
-					t.StoreU64(addr, binary.LittleEndian.Uint64(entry[8:]))
-					t.StoreU64(addr+8, binary.LittleEndian.Uint64(entry[16:]))
-					gpm.Persist(t)
-					// Remove only after the undo is durable.
-					if err := log.Remove(t, kvstore.LogEntryBytes, -1); err != nil {
-						kerr = err
-						return
-					}
+			for i, g := range s.geoms {
+				log, err := ctx.LogOpen(logPath(g))
+				if err != nil {
+					return 0, err
 				}
-			})
-			ctx.PersistEnd()
-			if kerr != nil {
-				return 0, kerr
+				s.logs[i] = log
+				ctx.PersistBegin()
+				var kerr error
+				ctx.Launch("kvs-recover", g, kvstore.TPB, func(t *gpu.Thread) {
+					// Undo this thread's logged entries newest-first until its
+					// log partition is empty (Fig 6b).
+					var entry [kvstore.LogEntryBytes]byte
+					for log.Read(t, entry[:], -1) == nil {
+						set := int(binary.LittleEndian.Uint32(entry[0:]))
+						way := int(binary.LittleEndian.Uint32(entry[4:]))
+						if set >= sets || way >= kvstore.Ways {
+							kerr = fmt.Errorf("serve: corrupt log entry (set=%d way=%d)", set, way)
+							return
+						}
+						addr := s.slotAddr(pm, set, way)
+						t.StoreU64(addr, binary.LittleEndian.Uint64(entry[8:]))
+						t.StoreU64(addr+8, binary.LittleEndian.Uint64(entry[16:]))
+						gpm.Persist(t)
+						// Remove only after the undo is durable.
+						if err := log.Remove(t, kvstore.LogEntryBytes, -1); err != nil {
+							kerr = err
+							return
+						}
+					}
+				})
+				ctx.PersistEnd()
+				if kerr != nil {
+					return 0, kerr
+				}
 			}
 			s.setTxFlag(false)
 		}

@@ -160,6 +160,78 @@ func TestShardCrashRecoverRestart(t *testing.T) {
 	}
 }
 
+// Every between-stage crash point must recover to the durability contract:
+// an unacknowledged batch leaves no trace (before-kernel, mid-kernel,
+// before-commit), while a batch that committed before the crash survives
+// with only its acknowledgements lost (before-reply).
+func TestShardCrashAtEveryPoint(t *testing.T) {
+	for _, p := range CrashPoints() {
+		t.Run(p.String(), func(t *testing.T) {
+			sh := quickShard(t, workloads.GPM)
+			if _, err := sh.Apply(&Batch{
+				SetKeys: []uint64{1, 2, 3, 4},
+				SetVals: []uint64{10, 20, 30, 40},
+			}); err != nil {
+				t.Fatalf("committed batch: %v", err)
+			}
+
+			err := sh.CrashAt(&Batch{
+				SetKeys: []uint64{1, 2, 50},
+				SetVals: []uint64{111, 222, 500},
+			}, p, 3)
+			if err != nil {
+				t.Fatalf("CrashAt(%s): %v", p, err)
+			}
+			if _, err := sh.Apply(&Batch{GetKeys: []uint64{1}}); err == nil {
+				t.Fatal("Apply on a down shard should fail")
+			}
+			restore, err := sh.Restart()
+			if err != nil {
+				t.Fatalf("Restart: %v", err)
+			}
+			if restore <= 0 {
+				t.Error("restart consumed no simulated time")
+			}
+			if err := sh.Verify(); err != nil {
+				t.Fatalf("Verify after %s recovery: %v", p, err)
+			}
+
+			want := []uint64{10, 20, 0} // crash batch rolled back
+			if p == CrashBeforeReply {
+				want = []uint64{111, 222, 500} // durable; only the acks died
+			}
+			res, err := sh.Apply(&Batch{GetKeys: []uint64{1, 2, 50}})
+			if err != nil {
+				t.Fatalf("Apply after restart: %v", err)
+			}
+			for i, w := range want {
+				if res.GetVals[i] != w {
+					t.Errorf("post-recovery GetVals[%d] = %d, want %d", i, res.GetVals[i], w)
+				}
+			}
+		})
+	}
+}
+
+// CrashAt must refuse non-GPM modes, double crashes, and mutation-free
+// batches — misuse of the injector should never masquerade as coverage.
+func TestShardCrashAtRejections(t *testing.T) {
+	cap := quickShard(t, workloads.CAPmm)
+	if err := cap.CrashAt(&Batch{SetKeys: []uint64{1}, SetVals: []uint64{1}}, CrashBeforeCommit, 1); err == nil {
+		t.Error("CrashAt under CAP-mm should fail")
+	}
+	sh := quickShard(t, workloads.GPM)
+	if err := sh.CrashAt(&Batch{GetKeys: []uint64{1}}, CrashBeforeKernel, 1); err == nil {
+		t.Error("CrashAt with no mutations should fail")
+	}
+	if err := sh.CrashAt(&Batch{SetKeys: []uint64{1}, SetVals: []uint64{1}}, CrashBeforeKernel, 1); err != nil {
+		t.Fatalf("first crash: %v", err)
+	}
+	if err := sh.CrashAt(&Batch{SetKeys: []uint64{2}, SetVals: []uint64{2}}, CrashBeforeKernel, 1); err == nil {
+		t.Error("second crash on a down shard should fail")
+	}
+}
+
 // A crash outside any transaction (tx flag clear) must restart cleanly
 // with no undo work.
 func TestShardCrashBetweenBatches(t *testing.T) {
