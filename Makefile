@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check recover-smoke serve-smoke determinism bench figures quick-figures clean
+.PHONY: build test race vet check recover-smoke serve-smoke obs-smoke determinism bench figures quick-figures clean
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 # check is the tier-1 gate: everything CI runs.
-check: vet race recover-smoke serve-smoke
+check: vet race recover-smoke serve-smoke obs-smoke
 	$(GO) build ./...
 
 # Deterministic crash-campaign smoke: every recoverable workload, all four
@@ -33,6 +33,13 @@ recover-smoke:
 serve-smoke:
 	$(GO) run ./cmd/gpmserve -selftest -ops 10000 -shards 2 \
 		-baseline BENCH_serve.json -out BENCH_serve.json
+
+# Observability smoke: run a real gpmserve process with the admin endpoint,
+# audit trail, and metrics flush on, drive TCP load, assert /metrics,
+# /healthz, /statusz, and /debug/trace are well-formed and show the load,
+# then SIGTERM and check the drain leaves metrics + audit files behind.
+obs-smoke:
+	$(GO) run ./cmd/obssmoke
 
 # The engine's bit-identity contract: 1 worker vs 8 workers must produce
 # identical simulated durations, metrics TSV, trace bytes, and campaign

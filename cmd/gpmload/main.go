@@ -6,6 +6,7 @@
 //	gpmload -addr 127.0.0.1:7070 -ops 100000 -conns 8
 //	gpmload -addr 127.0.0.1:7070 -ops 10000 -get 0.9 -json
 //	gpmload -addr 127.0.0.1:7070 -dist zipf -theta 0.99 -json
+//	gpmload -addr 127.0.0.1:7070 -ops 1000000 -progress 1s   # live status
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/gpm-sim/gpm/internal/obs"
 	"github.com/gpm-sim/gpm/internal/serve"
 )
 
@@ -28,6 +30,7 @@ type cliOptions struct {
 	theta            float64
 	keySpace         uint64
 	timeout          time.Duration
+	progress         time.Duration
 }
 
 func validateCLI(o cliOptions) error {
@@ -51,6 +54,9 @@ func validateCLI(o cliOptions) error {
 	}
 	if o.timeout <= 0 {
 		return fmt.Errorf("-timeout must be > 0, got %s", o.timeout)
+	}
+	if o.progress < 0 {
+		return fmt.Errorf("-progress must be >= 0 (0 = off), got %s", o.progress)
 	}
 	switch o.dist {
 	case serve.DistUniform:
@@ -80,6 +86,7 @@ func main() {
 		theta    = flag.Float64("theta", 0, "zipf skew in (0, 1); 0 = 0.99 (YCSB default); requires -dist zipf")
 		seed     = flag.Uint64("seed", 1, "op-mix RNG seed base (per-connection streams derive from it)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-connection dial/IO deadline")
+		progress = flag.Duration("progress", 0, "print a status line to stderr this often while running (0 = off)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 	)
 	flag.Parse()
@@ -87,7 +94,7 @@ func main() {
 	o := cliOptions{
 		addr: *addr, dist: *dist, ops: *ops, conns: *conns, window: *window,
 		getFrac: *getFrac, delFrac: *delFrac, theta: *theta,
-		keySpace: *keySpace, timeout: *timeout,
+		keySpace: *keySpace, timeout: *timeout, progress: *progress,
 	}
 	if err := validateCLI(o); err != nil {
 		fmt.Fprintln(os.Stderr, "gpmload:", err)
@@ -107,6 +114,8 @@ func main() {
 		Theta:       o.theta,
 		Seed:        *seed,
 		Timeout:     o.timeout,
+		Progress:    o.progress,
+		OnProgress:  printProgress,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpmload:", err)
@@ -127,4 +136,12 @@ func main() {
 	if res.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// printProgress renders one -progress status line: cumulative completion,
+// plus rate and p99 over just the last interval (a rolling window).
+func printProgress(p serve.LoadProgress) {
+	fmt.Fprintf(os.Stderr, "gpmload: %8s  %d/%d ops  %s ops/s  %d inflight  p99 %.0fµs\n",
+		p.Elapsed.Round(100*time.Millisecond), p.Done, p.Total,
+		obs.FormatRate(p.OpsPerSec), p.Inflight, p.P99US)
 }

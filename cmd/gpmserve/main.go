@@ -34,6 +34,7 @@ import (
 type cliOptions struct {
 	addr, mode, modes, shardCounts, out string
 	dist, baseline                      string
+	adminAddr, audit                    string
 	shards, sets, batch, queue          int
 	hotKeys                             int
 	workers, capThreads, conns, window  int
@@ -104,6 +105,9 @@ func validateCLI(o cliOptions) error {
 	default:
 		return fmt.Errorf("-dist must be %q or %q, got %q", serve.DistUniform, serve.DistZipf, o.dist)
 	}
+	if o.selftest && o.adminAddr != "" {
+		return fmt.Errorf("-admin-addr only applies when serving (selftest probes an ephemeral admin endpoint itself)")
+	}
 	if !o.selftest {
 		if o.modes != "" {
 			return fmt.Errorf("-modes only applies with -selftest (use -mode to pick the serving mode)")
@@ -173,7 +177,9 @@ func main() {
 		capThreads = flag.Int("capthreads", 16, "host threads for CAP-mode persistence")
 		seed       = flag.Uint64("seed", 1, "shard RNG seed base")
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget: pending batches flush, then stragglers are cut")
-		metricsTo  = flag.String("metrics", "", "write the telemetry metrics registry as TSV to this file on shutdown")
+		metricsTo  = flag.String("metrics", "", "write the telemetry metrics registry as TSV to this file on shutdown (flushed once when SIGTERM lands and again with final counts at exit)")
+		adminAddr  = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /healthz, /statusz, /debug/trace (empty = disabled)")
+		auditPath  = flag.String("audit", "", "append recovery audit events (crash/restart/verify/drain) as JSONL to this file")
 
 		selftest   = flag.Bool("selftest", false, "run the in-process smoke test (load, kill-and-recover, verify) instead of serving")
 		modesSpec  = flag.String("modes", "", "selftest: comma-separated modes (default GPM)")
@@ -194,6 +200,7 @@ func main() {
 	o := cliOptions{
 		addr: *addr, mode: *modeName, modes: *modesSpec, shardCounts: *countsSpec, out: *out,
 		dist: *distFlag, baseline: *baseline,
+		adminAddr: *adminAddr, audit: *auditPath,
 		shards: *shards, sets: *sets, batch: *batch, queue: *queue, hotKeys: *hotKeys,
 		workers: *workers, capThreads: *capThreads, conns: *conns, window: *window,
 		ops: *ops, batchWait: *batchWait, drain: *drain,
@@ -213,10 +220,21 @@ func main() {
 	os.Exit(runServer(o, mode, *seed, *metricsTo))
 }
 
-// runServer serves until SIGINT/SIGTERM, then drains gracefully.
+// runServer serves until SIGINT/SIGTERM, then drains gracefully. The
+// observability plane (admin endpoint, rolling windows, request tracing,
+// audit trail) comes up with the listener and dies with the process.
 func runServer(o cliOptions, mode workloads.Mode, seed uint64, metricsTo string) int {
 	tel := telemetry.New()
-	srv, err := serve.NewServer(serve.Config{
+	plane, err := serve.NewObsPlane(serve.ObsConfig{
+		AdminAddr: o.adminAddr,
+		AuditPath: o.audit,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		return 2
+	}
+	defer plane.Stop()
+	cfg := serve.Config{
 		Mode:       mode,
 		Shards:     o.shards,
 		Sets:       o.sets,
@@ -229,7 +247,9 @@ func runServer(o cliOptions, mode workloads.Mode, seed uint64, metricsTo string)
 		CAPThreads: o.capThreads,
 		Seed:       seed,
 		Telemetry:  tel,
-	})
+	}
+	plane.Apply(&cfg)
+	srv, err := serve.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpmserve:", err)
 		return 2
@@ -241,6 +261,12 @@ func runServer(o cliOptions, mode workloads.Mode, seed uint64, metricsTo string)
 	}
 	fmt.Fprintf(os.Stderr, "gpmserve: %s, %d shards, batch %d/%s, listening on %s\n",
 		mode, o.shards, o.batch, o.batchWait, laddr)
+	if boundAdmin, err := plane.Start(srv); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve: admin:", err)
+		return 2
+	} else if boundAdmin != "" {
+		fmt.Fprintf(os.Stderr, "gpmserve: admin endpoint on http://%s\n", boundAdmin)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -248,6 +274,9 @@ func runServer(o cliOptions, mode workloads.Mode, seed uint64, metricsTo string)
 	go func() {
 		sig := <-sigs
 		fmt.Fprintf(os.Stderr, "gpmserve: %s — draining (budget %s)\n", sig, o.drain)
+		// Flush a metrics snapshot before draining so the counters survive
+		// even if the drain stalls and the process is killed.
+		flushMetrics(tel, metricsTo, " (pre-drain)")
 		srv.Shutdown(o.drain)
 		close(done)
 	}()
@@ -265,17 +294,25 @@ func runServer(o cliOptions, mode workloads.Mode, seed uint64, metricsTo string)
 			code = 1
 		}
 	}
-	if metricsTo != "" {
-		if err := os.WriteFile(metricsTo, []byte(tel.Metrics.TSV()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "gpmserve:", err)
-			if code == 0 {
-				code = 2
-			}
-		} else {
-			fmt.Fprintf(os.Stderr, "metrics -> %s\n", metricsTo)
-		}
+	if err := flushMetrics(tel, metricsTo, ""); err != nil && code == 0 {
+		code = 2
 	}
 	return code
+}
+
+// flushMetrics writes the registry as TSV to path ("" = disabled). Called
+// twice on a signalled shutdown: once the moment the signal lands, and
+// again after the drain with final counts.
+func flushMetrics(tel *telemetry.Telemetry, path, note string) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(tel.Metrics.TSV()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "metrics -> %s%s\n", path, note)
+	return nil
 }
 
 // runSelfTest drives the whole serving path in-process and writes
@@ -308,10 +345,13 @@ func runSelfTest(o cliOptions, mode workloads.Mode, seed uint64) int {
 		Dist:           o.dist,
 		Theta:          o.theta,
 		KillAndRecover: !o.noRecover,
+		Admin:          true,
+		AuditPath:      o.audit,
 	})
 	for _, e := range rep.Entries {
-		fmt.Printf("%-8s x%d: %d ops, %.0f ops/s, p50 %.0fµs p99 %.0fµs, %d batches (fill %.1f), %d cache hits, recovered=%v verified=%v\n",
-			e.Mode, e.Shards, e.Ops, e.Throughput, e.P50US, e.P99US, e.Batches, e.MeanFill, e.CacheHits, e.Recovered, e.Verified)
+		fmt.Printf("%-8s x%d: %d ops, %.0f ops/s, p50 %.0fµs p99 %.0fµs, %d batches (fill %.1f), %d cache hits, recovered=%v verified=%v, %d traces, %d audit events (consistent=%v)\n",
+			e.Mode, e.Shards, e.Ops, e.Throughput, e.P50US, e.P99US, e.Batches, e.MeanFill, e.CacheHits, e.Recovered, e.Verified,
+			e.TracesCaptured, e.AuditEvents, e.AuditConsistent)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpmserve:", err)

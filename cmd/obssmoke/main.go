@@ -1,0 +1,273 @@
+// Command obssmoke is the end-to-end observability smoke test (make
+// obs-smoke): it builds and starts a real gpmserve process with the admin
+// endpoint, audit trail, and metrics flush enabled, drives pipelined load
+// over TCP, asserts the admin surfaces (/healthz, /metrics, /statusz,
+// /debug/trace) are well-formed and show the load, then SIGTERMs the
+// server and checks the drain left a metrics snapshot and a parseable
+// audit trail on disk.
+//
+//	obssmoke            # defaults: 2 shards, 5000 ops
+//	obssmoke -ops 20000 -shards 4
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/obs"
+	"github.com/gpm-sim/gpm/internal/serve"
+)
+
+func main() {
+	ops := flag.Int64("ops", 5000, "client operations to drive through the server")
+	shards := flag.Int("shards", 2, "server shards")
+	flag.Parse()
+	if err := run(*ops, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, "obssmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: ok")
+}
+
+var (
+	listenRE = regexp.MustCompile(`listening on (\S+)`)
+	adminRE  = regexp.MustCompile(`admin endpoint on http://(\S+)`)
+)
+
+func run(ops int64, shards int) error {
+	tmp, err := os.MkdirTemp("", "obssmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "gpmserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/gpmserve").CombinedOutput(); err != nil {
+		return fmt.Errorf("build gpmserve: %v\n%s", err, out)
+	}
+
+	metricsPath := filepath.Join(tmp, "metrics.tsv")
+	auditPath := filepath.Join(tmp, "audit.jsonl")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0",
+		"-shards", strconv.Itoa(shards),
+		"-metrics", metricsPath, "-audit", auditPath)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start gpmserve: %w", err)
+	}
+	defer cmd.Process.Kill() // no-op if the graceful path already reaped it
+
+	// Scrape the serving and admin addresses from the server's own startup
+	// lines (both listeners bind :0), echoing them for CI logs.
+	addrCh, adminCh := make(chan string, 1), make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, "  [gpmserve]", line)
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				addrCh <- m[1]
+			}
+			if m := adminRE.FindStringSubmatch(line); m != nil {
+				adminCh <- m[1]
+			}
+		}
+	}()
+	var addr, admin string
+	for addr == "" || admin == "" {
+		select {
+		case addr = <-addrCh:
+		case admin = <-adminCh:
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("server did not announce addresses (serve=%q admin=%q)", addr, admin)
+		}
+	}
+
+	// Healthy before any load.
+	if code, body, err := get("http://" + admin + "/healthz"); err != nil || code != 200 || !strings.Contains(string(body), "ok") {
+		return fmt.Errorf("/healthz = %d %q (%v), want 200 ok", code, body, err)
+	}
+
+	load, err := serve.RunLoad(serve.LoadConfig{
+		Addr: addr, Ops: ops, Conns: 4, Window: 16,
+		GetFraction: 0.5, DelFraction: 0.05, Seed: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	if load.Ops != ops || load.Errors > 0 {
+		return fmt.Errorf("load did %d/%d ops with %d errors", load.Ops, ops, load.Errors)
+	}
+	fmt.Printf("load: %d ops, %.0f ops/s, p99 %.0fµs\n", load.Ops, load.Throughput, load.P99US)
+
+	if err := checkMetrics(admin, ops); err != nil {
+		return err
+	}
+	if err := checkStatusz(admin, shards, ops); err != nil {
+		return err
+	}
+	if err := checkTraces(admin); err != nil {
+		return err
+	}
+
+	// Graceful SIGTERM drain: exit 0, metrics snapshot on disk, audit trail
+	// recording the drain.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("gpmserve exit after SIGTERM: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("gpmserve did not exit within 30s of SIGTERM")
+	}
+
+	mblob, err := os.ReadFile(metricsPath)
+	if err != nil {
+		return fmt.Errorf("metrics file after drain: %w", err)
+	}
+	if !bytes.Contains(mblob, []byte("serve.shard0.ops")) {
+		return fmt.Errorf("metrics file missing serve.shard0.ops:\n%s", mblob)
+	}
+	ablob, err := os.ReadFile(auditPath)
+	if err != nil {
+		return fmt.Errorf("audit file after drain: %w", err)
+	}
+	drains := 0
+	for _, line := range bytes.Split(bytes.TrimSpace(ablob), []byte("\n")) {
+		var ev obs.AuditEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("audit line %q: %w", line, err)
+		}
+		if ev.Type == obs.AuditDrain {
+			drains++
+		}
+	}
+	if drains == 0 {
+		return fmt.Errorf("audit trail has no drain event:\n%s", ablob)
+	}
+	fmt.Printf("drain: clean exit, metrics snapshot + %d-line audit trail\n",
+		bytes.Count(bytes.TrimSpace(ablob), []byte("\n"))+1)
+	return nil
+}
+
+// checkMetrics asserts /metrics renders Prometheus text whose shard-0 ops
+// counter accounts for a plausible share of the driven load.
+func checkMetrics(admin string, ops int64) error {
+	code, body, err := get("http://" + admin + "/metrics")
+	if err != nil || code != 200 {
+		return fmt.Errorf("/metrics = %d (%v)", code, err)
+	}
+	re := regexp.MustCompile(`(?m)^serve_shard0_ops (\d+)`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		return fmt.Errorf("/metrics missing serve_shard0_ops:\n%.2000s", body)
+	}
+	n, _ := strconv.ParseInt(string(m[1]), 10, 64)
+	if n < 1 || n > ops {
+		return fmt.Errorf("serve_shard0_ops = %d, want within [1, %d]", n, ops)
+	}
+	fmt.Printf("/metrics: ok (shard0 ops %d)\n", n)
+	return nil
+}
+
+// checkStatusz asserts the /statusz JSON document is well-formed and its
+// per-shard rows account for every driven op.
+func checkStatusz(admin string, shards int, ops int64) error {
+	code, body, err := get("http://" + admin + "/statusz")
+	if err != nil || code != 200 {
+		return fmt.Errorf("/statusz = %d (%v)", code, err)
+	}
+	var doc struct {
+		UptimeS   float64 `json:"uptime_s"`
+		Shards    int     `json:"shards"`
+		Draining  bool    `json:"draining"`
+		Windows   []any   `json:"windows"`
+		ShardRows []struct {
+			Ops       int64 `json:"ops"`
+			CacheHits int64 `json:"cache_hits"`
+		} `json:"shard_status"`
+		Traces struct {
+			Captured int64 `json:"captured"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("/statusz parse: %w\n%.2000s", err, body)
+	}
+	// Batched ops plus hot-key cache hits (answered at admission, so they
+	// never reach the shard op counters) must account for every driven op.
+	var rowOps int64
+	for _, r := range doc.ShardRows {
+		rowOps += r.Ops + r.CacheHits
+	}
+	switch {
+	case doc.Shards != shards || len(doc.ShardRows) != shards:
+		return fmt.Errorf("/statusz shards = %d with %d rows, want %d", doc.Shards, len(doc.ShardRows), shards)
+	case doc.UptimeS <= 0 || doc.Draining:
+		return fmt.Errorf("/statusz uptime %.3fs draining %v", doc.UptimeS, doc.Draining)
+	case rowOps != ops:
+		return fmt.Errorf("/statusz shard rows account for %d ops, want %d", rowOps, ops)
+	case len(doc.Windows) == 0:
+		return fmt.Errorf("/statusz has no rolling windows")
+	case doc.Traces.Captured < 1:
+		return fmt.Errorf("/statusz shows no captured traces")
+	}
+	fmt.Printf("/statusz: ok (%d shards, %d ops, %d traces)\n", doc.Shards, rowOps, doc.Traces.Captured)
+	return nil
+}
+
+// checkTraces asserts /debug/trace returns a JSON array of sampled request
+// traces with staged timelines.
+func checkTraces(admin string) error {
+	code, body, err := get("http://" + admin + "/debug/trace?n=8")
+	if err != nil || code != 200 {
+		return fmt.Errorf("/debug/trace = %d (%v)", code, err)
+	}
+	var traces []obs.ReqTrace
+	if err := json.Unmarshal(body, &traces); err != nil {
+		return fmt.Errorf("/debug/trace parse: %w\n%.2000s", err, body)
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("/debug/trace returned no traces")
+	}
+	for _, tr := range traces {
+		if tr.ID == 0 || len(tr.Stages) == 0 {
+			return fmt.Errorf("/debug/trace has a malformed trace: %+v", tr)
+		}
+	}
+	fmt.Printf("/debug/trace: ok (%d traces)\n", len(traces))
+	return nil
+}
+
+// get fetches a URL with a bounded client and returns status + body.
+func get(url string) (int, []byte, error) {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}

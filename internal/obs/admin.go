@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+// AdminOptions wires the admin HTTP surface to its data sources. Every
+// field is optional; endpoints whose source is absent degrade gracefully
+// (empty metrics, healthy=ok, minimal statusz, empty trace list) rather
+// than 404ing, so probes keep a stable shape.
+type AdminOptions struct {
+	// Registry backs /metrics (Prometheus text format).
+	Registry *telemetry.Registry
+	// Status builds the /statusz document; it runs per request, so it
+	// should be a cheap snapshot (atomics and short locks only).
+	Status func() any
+	// Healthy gates /healthz: ok=false returns 503 with the detail line
+	// (e.g. "draining") so load balancers stop routing during a drain.
+	Healthy func() (ok bool, detail string)
+	// Tracer backs /debug/trace.
+	Tracer *RequestTracer
+}
+
+// Admin is the live observability HTTP endpoint:
+//
+//	GET /metrics        Prometheus text format from the telemetry registry
+//	GET /healthz        200 "ok" or 503 "<reason>" (drain-aware)
+//	GET /statusz        JSON: whatever the host's Status closure reports
+//	GET /debug/trace?n=K  last K sampled request traces, oldest first
+//
+// It serves on its own listener so observability stays reachable while
+// the data plane saturates, and it never blocks the serving path: every
+// handler reads atomics, snapshots, or rings.
+type Admin struct {
+	opts AdminOptions
+	mux  *http.ServeMux
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+	err  error
+}
+
+// NewAdmin builds the admin surface (not yet listening).
+func NewAdmin(opts AdminOptions) *Admin {
+	a := &Admin{opts: opts, mux: http.NewServeMux(), done: make(chan struct{})}
+	a.mux.HandleFunc("/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/healthz", a.handleHealthz)
+	a.mux.HandleFunc("/statusz", a.handleStatusz)
+	a.mux.HandleFunc("/debug/trace", a.handleTrace)
+	a.srv = &http.Server{
+		Handler:           a.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return a
+}
+
+// ListenAndServe binds addr (port 0 picks a free one), serves in a
+// background goroutine, and returns the bound address immediately.
+func (a *Admin) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a.ln = ln
+	go func() {
+		defer close(a.done)
+		if err := a.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			a.err = err
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address ("" before ListenAndServe).
+func (a *Admin) Addr() string {
+	if a == nil || a.ln == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close shuts the listener down and waits for the serve goroutine.
+func (a *Admin) Close() error {
+	if a == nil || a.ln == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := a.srv.Shutdown(ctx)
+	<-a.done
+	if err == nil {
+		err = a.err
+	}
+	return err
+}
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, PrometheusText(a.opts.Registry.Snapshot()))
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ok, detail := true, "ok"
+	if a.opts.Healthy != nil {
+		if hOK, hDetail := a.opts.Healthy(); !hOK {
+			ok, detail = false, hDetail
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintln(w, detail)
+}
+
+func (a *Admin) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	var doc any = map[string]any{}
+	if a.opts.Status != nil {
+		doc = a.opts.Status()
+	}
+	writeJSON(w, doc)
+}
+
+func (a *Admin) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 0 // all retained
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	traces := a.opts.Tracer.Last(n)
+	if traces == nil {
+		traces = []ReqTrace{}
+	}
+	writeJSON(w, traces)
+}
+
+func writeJSON(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+func adminGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// The four endpoints, end to end over a real listener: Prometheus metrics,
+// drain-aware health, the host's statusz document, and the trace ring.
+func TestAdminEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("serve.shard0.ops").Add(99)
+	tracer := NewRequestTracer(1, time.Hour, 8)
+	tracer.Add(ReqTrace{ID: 7, Op: "SET", Reason: ReasonHead,
+		Stages: []StagePoint{{Stage: "admit", OffsetUS: 10}}})
+
+	var draining atomic.Bool
+	a := NewAdmin(AdminOptions{
+		Registry: reg,
+		Tracer:   tracer,
+		Status: func() any {
+			return map[string]any{"uptime_s": 1.5, "shards": []int{0, 1}}
+		},
+		Healthy: func() (bool, string) {
+			if draining.Load() {
+				return false, "draining"
+			}
+			return true, "ok"
+		},
+	})
+	addr, err := a.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	code, body := adminGet(t, addr.String(), "/metrics")
+	if code != 200 || !strings.Contains(body, "serve_shard0_ops 99\n") {
+		t.Errorf("/metrics -> %d:\n%s", code, body)
+	}
+
+	code, body = adminGet(t, addr.String(), "/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz -> %d %q", code, body)
+	}
+	draining.Store(true)
+	code, body = adminGet(t, addr.String(), "/healthz")
+	if code != http.StatusServiceUnavailable || strings.TrimSpace(body) != "draining" {
+		t.Errorf("draining /healthz -> %d %q, want 503 draining", code, body)
+	}
+
+	code, body = adminGet(t, addr.String(), "/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz -> %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if doc["uptime_s"] != 1.5 {
+		t.Errorf("statusz doc = %v", doc)
+	}
+
+	code, body = adminGet(t, addr.String(), "/debug/trace?n=5")
+	if code != 200 {
+		t.Fatalf("/debug/trace -> %d", code)
+	}
+	var traces []ReqTrace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(traces) != 1 || traces[0].ID != 7 || len(traces[0].Stages) != 1 {
+		t.Errorf("traces = %+v", traces)
+	}
+
+	if code, _ := adminGet(t, addr.String(), "/debug/trace?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n -> %d, want 400", code)
+	}
+}
+
+// Every source is optional: an Admin with empty options still answers all
+// four endpoints with stable shapes.
+func TestAdminDegradesWithoutSources(t *testing.T) {
+	a := NewAdmin(AdminOptions{})
+	addr, err := a.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if code, body := adminGet(t, addr.String(), "/metrics"); code != 200 || body != "" {
+		t.Errorf("/metrics -> %d %q", code, body)
+	}
+	if code, body := adminGet(t, addr.String(), "/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz -> %d %q", code, body)
+	}
+	if code, body := adminGet(t, addr.String(), "/statusz"); code != 200 || !strings.Contains(body, "{") {
+		t.Errorf("/statusz -> %d %q", code, body)
+	}
+	code, body := adminGet(t, addr.String(), "/debug/trace")
+	if code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Errorf("/debug/trace -> %d %q, want empty JSON array", code, body)
+	}
+	if a.Addr() == "" {
+		t.Error("Addr must report the bound address")
+	}
+	var nilAdmin *Admin
+	if nilAdmin.Addr() != "" || nilAdmin.Close() != nil {
+		t.Error("nil Admin accessors must be safe")
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Events get monotone sequence numbers and timestamps, the ring evicts
+// oldest-first, and the JSONL sink receives one parseable line per event.
+func TestAuditLogRingAndSink(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAuditLog(3)
+	l.Attach(&buf)
+	for i := 0; i < 5; i++ {
+		l.Record(AuditEvent{Type: AuditCrash, Shard: i, Point: "mid-kernel"})
+	}
+	evs := l.Events()
+	if len(evs) != 3 || l.Len() != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Shard != i+2 {
+			t.Errorf("event %d shard = %d, want %d (oldest evicted)", i, ev.Shard, i+2)
+		}
+		if ev.Seq != uint64(i+3) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+3)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d has zero time", i)
+		}
+	}
+	if tail := l.Tail(2); len(tail) != 2 || tail[1].Shard != 4 {
+		t.Errorf("Tail(2) = %+v", tail)
+	}
+
+	// The sink got all five events as JSON lines, even the evicted ones.
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		var ev AuditEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if ev.Type != AuditCrash || ev.Point != "mid-kernel" {
+			t.Errorf("line %d = %+v", lines, ev)
+		}
+		lines++
+	}
+	if lines != 5 {
+		t.Errorf("sink got %d lines, want 5", lines)
+	}
+
+	var nilLog *AuditLog
+	nilLog.Record(AuditEvent{}) // nil-safety: no panic
+	if nilLog.Events() != nil || nilLog.Len() != 0 {
+		t.Error("nil log must be empty")
+	}
+	if err := nilLog.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+// OpenFile appends JSONL across reopens — the post-crash queryable record.
+func TestAuditLogFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	l := NewAuditLog(8)
+	if err := l.OpenFile(path); err != nil {
+		t.Fatal(err)
+	}
+	l.Record(AuditEvent{Type: AuditRestart, Shard: 1, TxSet: true, Geometries: []int{1, 2, 4}, SlotsRolledBack: 5})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second session appends.
+	l2 := NewAuditLog(8)
+	if err := l2.OpenFile(path); err != nil {
+		t.Fatal(err)
+	}
+	l2.Record(AuditEvent{Type: AuditVerify, Shard: 1, Outcome: "ok"})
+	l2.Close()
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(blob), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2 (append across sessions)", len(lines))
+	}
+	var restart AuditEvent
+	if err := json.Unmarshal(lines[0], &restart); err != nil {
+		t.Fatal(err)
+	}
+	if restart.Type != AuditRestart || !restart.TxSet || restart.SlotsRolledBack != 5 ||
+		len(restart.Geometries) != 3 {
+		t.Errorf("restart event = %+v", restart)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+// PrometheusText renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): one TYPE line per metric family,
+// counters and gauges as bare samples, histograms as cumulative
+// _bucket{le="..."} series plus _sum and _count. Metric names are
+// sanitized to the Prometheus grammar (repo names use dots:
+// serve.shard0.ops -> serve_shard0_ops); two names that sanitize to the
+// same family get disambiguating suffixes rather than emitting a
+// duplicate family, which scrapers reject.
+func PrometheusText(snap telemetry.Snapshot) string {
+	var b strings.Builder
+	seen := make(map[string]bool)
+
+	counterNames := sortedKeys(snap.Counters)
+	gaugeNames := sortedKeys(snap.Gauges)
+	histNames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+
+	for _, name := range counterNames {
+		fam := uniqueFamily(seen, SanitizeMetricName(name))
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", fam, fam, snap.Counters[name])
+	}
+	for _, name := range gaugeNames {
+		fam := uniqueFamily(seen, SanitizeMetricName(name))
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", fam, fam, snap.Gauges[name])
+	}
+	for _, name := range histNames {
+		h := snap.Histograms[name]
+		fam := uniqueFamily(seen, SanitizeMetricName(name))
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", fam, bound, cum)
+		}
+		if n := len(h.Counts); n > 0 {
+			cum += h.Counts[n-1]
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", fam, cum)
+		fmt.Fprintf(&b, "%s_sum %d\n", fam, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", fam, cum)
+	}
+	return b.String()
+}
+
+// SanitizeMetricName maps an arbitrary repo metric name onto the
+// Prometheus metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (the
+// repo's namespace separator) and every other invalid byte become '_';
+// a leading digit gets an underscore prefix; an empty name becomes
+// "_unnamed". Sanitization is pure, so equal inputs always agree.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_unnamed"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if c >= '0' && c <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteByte(c)
+			continue
+		}
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// uniqueFamily reserves fam in seen, appending _2, _3, ... when two raw
+// names collide after sanitization (e.g. "serve.ops" and "serve_ops").
+func uniqueFamily(seen map[string]bool, fam string) string {
+	out := fam
+	for n := 2; seen[out]; n++ {
+		out = fmt.Sprintf("%s_%d", fam, n)
+	}
+	seen[out] = true
+	return out
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+// Histogram rendering must be cumulative across buckets (Prometheus
+// semantics) with _sum/_count rows and a +Inf bucket equal to _count.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("serve.request_us", []int64{10, 20, 50})
+	for _, v := range []int64{5, 15, 15, 30, 99} {
+		h.Observe(v)
+	}
+	out := PrometheusText(reg.Snapshot())
+
+	want := []string{
+		"# TYPE serve_request_us histogram",
+		`serve_request_us_bucket{le="10"} 1`,
+		`serve_request_us_bucket{le="20"} 3`,
+		`serve_request_us_bucket{le="50"} 4`,
+		`serve_request_us_bucket{le="+Inf"} 5`,
+		"serve_request_us_sum 164",
+		"serve_request_us_count 5",
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, out)
+		}
+	}
+}
+
+// Counters and gauges each get a TYPE line and their value; names sort so
+// output is deterministic.
+func TestPrometheusCountersGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("serve.shard0.ops").Add(42)
+	reg.Gauge("serve.shard0.queue_depth").Set(-7)
+	out := PrometheusText(reg.Snapshot())
+	for _, line := range []string{
+		"# TYPE serve_shard0_ops counter",
+		"serve_shard0_ops 42",
+		"# TYPE serve_shard0_queue_depth gauge",
+		"serve_shard0_queue_depth -7",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	if PrometheusText(telemetry.Snapshot{}) != "" {
+		t.Error("empty snapshot must render empty")
+	}
+}
+
+// Hostile metric names cannot break the exposition grammar: every invalid
+// byte sanitizes to '_', leading digits get a prefix, and the rendered
+// output contains no raw control bytes.
+func TestPrometheusNameSanitization(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"serve.shard0.ops", "serve_shard0_ops"},
+		{"a-b c\td", "a_b_c_d"},
+		{"9lives", "_9lives"},
+		{"", "_unnamed"},
+		{"ok_name:sub", "ok_name:sub"},
+		{"newline\nbreak", "newline_break"},
+		{"ünïcode", "__n__code"}, // each multibyte UTF-8 byte sanitizes
+	}
+	for _, tc := range cases {
+		if got := SanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.Counter("evil\nname{label=\"x\"} 999").Add(1)
+	out := PrometheusText(reg.Snapshot())
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.ContainsAny(line, "{}\"") && !strings.Contains(line, `le="`) {
+			t.Errorf("unsanitized structural bytes leaked: %q", line)
+		}
+	}
+	if !strings.Contains(out, "evil_name_label__x___999 1\n") {
+		t.Errorf("hostile counter not rendered flat:\n%s", out)
+	}
+}
+
+// Two raw names that sanitize identically must not emit a duplicate
+// family (scrapers reject those); the later one gets a suffix.
+func TestPrometheusCollision(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("serve.ops").Add(1)
+	reg.Counter("serve_ops").Add(2)
+	out := PrometheusText(reg.Snapshot())
+	if strings.Count(out, "# TYPE serve_ops counter") != 1 {
+		t.Errorf("duplicate family TYPE lines:\n%s", out)
+	}
+	if !strings.Contains(out, "serve_ops_2 ") {
+		t.Errorf("collision suffix missing:\n%s", out)
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+// StagePoint is one pipeline stage a traced request passed through, as a
+// microsecond offset from the request's client-enqueue instant. Stages
+// appear in pipeline order (admit -> seal -> stage -> kernel -> persist ->
+// commit); a cache-served GET has just admit -> cache.
+type StagePoint struct {
+	Stage    string  `json:"stage"`
+	OffsetUS float64 `json:"offset_us"`
+}
+
+// ReqTrace is one sampled request's journey through the serving pipeline.
+type ReqTrace struct {
+	ID      uint64       `json:"id"`
+	Shard   int          `json:"shard"`
+	Op      string       `json:"op"`
+	Key     uint64       `json:"key"`
+	Epoch   uint64       `json:"epoch"`  // persist-epoch sequence (0 for cache hits)
+	Reason  string       `json:"reason"` // "head" (sampled) or "slow" (over threshold)
+	Start   time.Time    `json:"start"`  // client-enqueue wall instant
+	TotalUS float64      `json:"total_us"`
+	Stages  []StagePoint `json:"stages"`
+}
+
+// Sampling reasons.
+const (
+	ReasonHead = "head"
+	ReasonSlow = "slow"
+)
+
+// RequestTracer decides which requests to capture and retains the last
+// Buf captures in a ring. Two triggers:
+//
+//   - head-based: every SampleEvery-th request ID (cheap modulo on the
+//     admission-assigned ID, no randomness, deterministic per run);
+//   - slow-threshold: any request whose total latency reaches Slow is
+//     captured regardless of sampling — tail latencies are exactly the
+//     requests worth explaining, and head sampling alone would miss them.
+//
+// ShouldCapture is called on hot paths (the applier's group-commit loop,
+// the batcher's cache-hit reply), so the fast path is two compares and
+// no locks; only actual captures pay for the ring mutex.
+//
+// All methods are nil-safe no-ops, matching the telemetry convention, so
+// instrumentation sites hold a possibly-nil pointer.
+type RequestTracer struct {
+	sampleEvery uint64
+	slow        time.Duration
+	buf         int
+
+	captured     atomic.Int64
+	slowCaptured atomic.Int64
+
+	mu   sync.Mutex
+	ring []ReqTrace
+	next int
+	n    int // valid entries
+}
+
+// Tracer tuning defaults.
+const (
+	DefaultSampleEvery = 64
+	DefaultSlow        = 50 * time.Millisecond
+	DefaultTraceBuf    = 256
+)
+
+// NewRequestTracer builds a tracer: sampleEvery 0 means DefaultSampleEvery
+// (pass a negative-impossible? use 1 to trace everything), slow 0 means
+// DefaultSlow, buf 0 means DefaultTraceBuf.
+func NewRequestTracer(sampleEvery uint64, slow time.Duration, buf int) *RequestTracer {
+	if sampleEvery == 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+	if slow == 0 {
+		slow = DefaultSlow
+	}
+	if buf <= 0 {
+		buf = DefaultTraceBuf
+	}
+	return &RequestTracer{
+		sampleEvery: sampleEvery,
+		slow:        slow,
+		buf:         buf,
+		ring:        make([]ReqTrace, buf),
+	}
+}
+
+// ShouldCapture reports whether the request with this admission ID and
+// total latency is worth building a trace for, and why. Nil tracer: never.
+func (t *RequestTracer) ShouldCapture(id uint64, total time.Duration) (reason string, ok bool) {
+	if t == nil {
+		return "", false
+	}
+	if total >= t.slow {
+		return ReasonSlow, true
+	}
+	if id%t.sampleEvery == 0 {
+		return ReasonHead, true
+	}
+	return "", false
+}
+
+// Add stores one built trace in the ring, evicting the oldest.
+func (t *RequestTracer) Add(tr ReqTrace) {
+	if t == nil {
+		return
+	}
+	t.captured.Add(1)
+	if tr.Reason == ReasonSlow {
+		t.slowCaptured.Add(1)
+	}
+	t.mu.Lock()
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Last returns up to n retained traces, oldest first (chronological), so
+// /debug/trace output reads top to bottom. n <= 0 means all retained.
+func (t *RequestTracer) Last(n int) []ReqTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.n {
+		n = t.n
+	}
+	out := make([]ReqTrace, 0, n)
+	start := t.next - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Captured returns (total captures, slow-threshold captures) since start.
+func (t *RequestTracer) Captured() (total, slow int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.captured.Load(), t.slowCaptured.Load()
+}
+
+// AppendWallSpans converts the retained request traces into spans on the
+// existing Chrome-trace exporter: one lane ("requests") per trace process,
+// each stage a complete event whose timestamps are wall microseconds
+// relative to epochZero. The tracer's other processes carry simulated
+// time; giving wall spans their own pid keeps the two time bases from
+// visually interleaving in Perfetto.
+func AppendWallSpans(tr *telemetry.Tracer, label string, epochZero time.Time, traces []ReqTrace) {
+	if tr == nil || len(traces) == 0 {
+		return
+	}
+	pid := tr.NewProcess(label)
+	for _, rt := range traces {
+		base := sim.Duration(rt.Start.Sub(epochZero)) // wall ns as span offset
+		prev := 0.0
+		for _, sp := range rt.Stages {
+			tr.Record(telemetry.Span{
+				Name:  sp.Stage,
+				Cat:   "request",
+				PID:   pid,
+				TID:   rt.Shard + 1,
+				Start: base + sim.Duration(prev*1e3),
+				Dur:   sim.Duration((sp.OffsetUS - prev) * 1e3),
+			})
+			prev = sp.OffsetUS
+		}
+	}
+}

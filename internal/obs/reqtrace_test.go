@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+// Head sampling captures every Nth request ID; the slow threshold
+// captures regardless of the ID.
+func TestRequestTracerSampling(t *testing.T) {
+	tr := NewRequestTracer(8, 10*time.Millisecond, 16)
+
+	if reason, ok := tr.ShouldCapture(16, time.Millisecond); !ok || reason != ReasonHead {
+		t.Errorf("id 16: (%q, %v), want head capture", reason, ok)
+	}
+	if _, ok := tr.ShouldCapture(17, time.Millisecond); ok {
+		t.Error("id 17 fast must not capture")
+	}
+	if reason, ok := tr.ShouldCapture(17, 50*time.Millisecond); !ok || reason != ReasonSlow {
+		t.Errorf("slow request: (%q, %v), want slow capture", reason, ok)
+	}
+
+	var nilTr *RequestTracer
+	if _, ok := nilTr.ShouldCapture(0, time.Hour); ok {
+		t.Error("nil tracer must never capture")
+	}
+	nilTr.Add(ReqTrace{}) // must not panic
+	if nilTr.Last(5) != nil {
+		t.Error("nil tracer Last must be nil")
+	}
+}
+
+// The ring retains the newest buf traces; Last returns them
+// chronologically and bounds n.
+func TestRequestTracerRing(t *testing.T) {
+	tr := NewRequestTracer(1, time.Hour, 4)
+	for i := uint64(1); i <= 10; i++ {
+		tr.Add(ReqTrace{ID: i, Reason: ReasonHead})
+	}
+	got := tr.Last(0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if got[i].ID != want {
+			t.Errorf("trace %d = id %d, want %d", i, got[i].ID, want)
+		}
+	}
+	if last2 := tr.Last(2); len(last2) != 2 || last2[0].ID != 9 || last2[1].ID != 10 {
+		t.Errorf("Last(2) = %+v", last2)
+	}
+	total, slow := tr.Captured()
+	if total != 10 || slow != 0 {
+		t.Errorf("captured = (%d, %d), want (10, 0)", total, slow)
+	}
+	tr.Add(ReqTrace{ID: 11, Reason: ReasonSlow})
+	if _, slow := tr.Captured(); slow != 1 {
+		t.Error("slow capture not counted")
+	}
+}
+
+// Wall spans convert stage offsets into contiguous Chrome-trace spans on
+// a dedicated process.
+func TestAppendWallSpans(t *testing.T) {
+	tracer := telemetry.NewTracer()
+	zero := time.Unix(100, 0)
+	AppendWallSpans(tracer, "serve/wall", zero, []ReqTrace{{
+		ID:    1,
+		Shard: 0,
+		Start: zero.Add(time.Millisecond),
+		Stages: []StagePoint{
+			{Stage: "admit", OffsetUS: 100},
+			{Stage: "seal", OffsetUS: 250},
+			{Stage: "commit", OffsetUS: 900},
+		},
+	}})
+	spans := tracer.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans, want 3", len(spans))
+	}
+	if tracer.ProcessLabel(spans[0].PID) != "serve/wall" {
+		t.Errorf("process label = %q", tracer.ProcessLabel(spans[0].PID))
+	}
+	// Stage spans tile without gaps: each starts where the previous ended.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start != spans[i-1].End() {
+			t.Errorf("span %d starts at %d, prev ends at %d", i, spans[i].Start, spans[i-1].End())
+		}
+	}
+	// First span starts at enqueue offset (1ms after zero).
+	if got := spans[0].Start; got != 1_000_000 {
+		t.Errorf("first span start = %d ns, want 1ms", got)
+	}
+	AppendWallSpans(nil, "x", zero, nil) // must not panic
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+// Windowed quantiles against a known distribution: observations uniform
+// over [1, 1000] must estimate p50 ~ 500 and p99 ~ 990 to within one
+// bucket of resolution, and only the observations INSIDE the window may
+// count — earlier ones are history the delta must subtract out.
+func TestWindowQuantileKnownDistribution(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	bounds := make([]int64, 0, 20)
+	for b := int64(50); b <= 1000; b += 50 {
+		bounds = append(bounds, b)
+	}
+	h := reg.Histogram("lat", bounds)
+	w := NewWindows(reg, time.Second, time.Minute)
+
+	t0 := time.Unix(1000, 0)
+	// Pre-window noise: a thousand huge values that must NOT influence the
+	// windowed quantiles.
+	for i := 0; i < 1000; i++ {
+		h.Observe(5000)
+	}
+	w.Advance(t0)
+
+	// In-window: uniform 1..1000, one each.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	w.Advance(t0.Add(10 * time.Second))
+
+	ws, ok := w.Window(10 * time.Second)
+	if !ok {
+		t.Fatal("window not available")
+	}
+	if n := ws.HistCount("lat"); n != 1000 {
+		t.Fatalf("windowed count = %d, want 1000 (pre-window noise leaked in?)", n)
+	}
+	if r := ws.HistRate("lat"); math.Abs(r-100) > 1e-9 {
+		t.Errorf("rate = %g/s, want 100", r)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 500}, {0.95, 950}, {0.99, 990}, {0.10, 100}} {
+		got, ok := ws.Quantile("lat", tc.q)
+		if !ok {
+			t.Fatalf("q%.2f: no data", tc.q)
+		}
+		if math.Abs(got-tc.want) > 50 { // one bucket width
+			t.Errorf("q%.2f = %g, want %g +/- 50", tc.q, got, tc.want)
+		}
+	}
+}
+
+// Overflow-bucket observations floor to the largest finite bound instead
+// of inventing values; an empty window reports no quantile.
+func TestWindowQuantileEdges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat", []int64{10, 100})
+	w := NewWindows(reg, time.Second, time.Minute)
+	t0 := time.Unix(0, 0)
+	w.Advance(t0)
+	w.Advance(t0.Add(time.Second))
+
+	ws, ok := w.Window(time.Second)
+	if !ok {
+		t.Fatal("window missing")
+	}
+	if _, ok := ws.Quantile("lat", 0.5); ok {
+		t.Error("empty window must report no quantile")
+	}
+	if _, ok := ws.Quantile("absent", 0.5); ok {
+		t.Error("unknown histogram must report no quantile")
+	}
+
+	h.Observe(1_000_000) // lands in +Inf
+	w.Advance(t0.Add(2 * time.Second))
+	ws, _ = w.Window(time.Second)
+	got, ok := ws.Quantile("lat", 0.99)
+	if !ok || got != 100 {
+		t.Errorf("overflow quantile = %g ok=%v, want 100 (largest finite bound)", got, ok)
+	}
+}
+
+// Counter rates diff the right base snapshot for each requested span, and
+// the ring trims to the horizon.
+func TestWindowCounterRatesAndTrim(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("ops")
+	w := NewWindows(reg, time.Second, 10*time.Second)
+	t0 := time.Unix(100, 0)
+	for i := 0; i <= 30; i++ {
+		c.Add(10) // 10 ops per second of simulated advancement
+		w.Advance(t0.Add(time.Duration(i) * time.Second))
+	}
+	ws, ok := w.Window(5 * time.Second)
+	if !ok {
+		t.Fatal("window missing")
+	}
+	if d := ws.CounterDelta("ops"); d != 50 {
+		t.Errorf("5s delta = %d, want 50", d)
+	}
+	if r := ws.CounterRate("ops"); math.Abs(r-10) > 1e-9 {
+		t.Errorf("5s rate = %g, want 10", r)
+	}
+	// Horizon is 10s: asking for 60s covers at most the retained history.
+	ws, _ = w.Window(60 * time.Second)
+	if ws.Elapsed > 12*time.Second {
+		t.Errorf("elapsed %s exceeds horizon retention", ws.Elapsed)
+	}
+
+	// Fewer than two snapshots: no window.
+	w2 := NewWindows(reg, time.Second, time.Minute)
+	if _, ok := w2.Window(time.Second); ok {
+		t.Error("window with no history must not be ok")
+	}
+	w2.Advance(t0)
+	if _, ok := w2.Window(time.Second); ok {
+		t.Error("window with one snapshot must not be ok")
+	}
+}
+
+// Summary has a stable shape: every requested span appears even with no
+// data, and a nil Windows yields zeros without panicking.
+func TestWindowSummaryShape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat", telemetry.LatencyBucketsUS)
+	w := NewWindows(reg, time.Second, time.Minute)
+	t0 := time.Unix(0, 0)
+	w.Advance(t0)
+	h.Observe(100)
+	h.Observe(200)
+	w.Advance(t0.Add(2 * time.Second))
+
+	sums := w.Summary("lat", time.Second, 10*time.Second)
+	if len(sums) != 2 {
+		t.Fatalf("%d summaries, want 2", len(sums))
+	}
+	if sums[0].Window != "1s" || sums[1].Window != "10s" {
+		t.Errorf("windows = %q/%q", sums[0].Window, sums[1].Window)
+	}
+	if sums[1].Ops != 2 || sums[1].OpsPerSec != 1 {
+		t.Errorf("10s summary = %+v, want 2 ops at 1/s", sums[1])
+	}
+	if sums[1].P99US <= 0 {
+		t.Errorf("p99 = %g, want > 0", sums[1].P99US)
+	}
+
+	var nilW *Windows
+	if _, ok := nilW.Window(time.Second); ok {
+		t.Error("nil Windows must not report a window")
+	}
+	nilW.Advance(time.Now()) // must not panic
+	nilW.Start()
+	nilW.Stop()
+}
+
+// The Start/Stop ticker actually advances windows from real time.
+func TestWindowTicker(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("ops")
+	w := NewWindows(reg, 5*time.Millisecond, time.Second)
+	w.Start()
+	defer w.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		c.Inc()
+		if ws, ok := w.Window(time.Second); ok && ws.CounterDelta("ops") > 0 {
+			return // ticker snapshotted growth
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("ticker never captured counter growth")
+}

@@ -1,9 +1,14 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"time"
 
+	"github.com/gpm-sim/gpm/internal/obs"
 	"github.com/gpm-sim/gpm/internal/telemetry"
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
@@ -34,6 +39,17 @@ type BenchEntry struct {
 	CrashPoints []string `json:"crash_points,omitempty"`
 	Recovered   bool     `json:"recovered"`
 	Verified    bool     `json:"verified"`
+	// TracesCaptured / SlowTraces count the per-request pipeline traces the
+	// run sampled (head sampling + slow threshold).
+	TracesCaptured int64 `json:"traces_captured,omitempty"`
+	SlowTraces     int64 `json:"slow_traces,omitempty"`
+	// AdminProbed reports that the admin endpoint answered /metrics,
+	// /healthz and /statusz during the run (Admin option).
+	AdminProbed bool `json:"admin_probed,omitempty"`
+	// AuditEvents counts recovery-audit events; AuditConsistent reports the
+	// trail matched the injected crash points (kill-and-recover runs).
+	AuditEvents     int  `json:"audit_events,omitempty"`
+	AuditConsistent bool `json:"audit_consistent,omitempty"`
 }
 
 // BenchReport is the BENCH_serve.json document.
@@ -74,6 +90,13 @@ type SelfTestOptions struct {
 	// recovery path, and verifies (GPM modes only; CAP modes verify
 	// without the crash).
 	KillAndRecover bool
+	// Admin starts the live admin endpoint (127.0.0.1:0) for each run and
+	// probes /metrics, /healthz and /statusz before shutdown, so the bench
+	// numbers measure the pipeline with the full observability plane on.
+	Admin bool
+	// AuditPath, when set, streams the recovery audit trail to this JSONL
+	// file (appending across runs).
+	AuditPath string
 }
 
 func (o *SelfTestOptions) normalize() {
@@ -148,7 +171,20 @@ func SelfTest(opts SelfTestOptions) (*BenchReport, error) {
 
 func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchEntry, error) {
 	tel := telemetry.New()
-	srv, err := NewServer(Config{
+	// The observability plane is always on for selftest runs — the numbers
+	// this writes into BENCH_serve.json (and the regression gate reads) must
+	// measure the pipeline WITH tracing and audit enabled, not a stripped
+	// build nobody ships.
+	obsCfg := ObsConfig{AuditPath: opts.AuditPath}
+	if opts.Admin {
+		obsCfg.AdminAddr = "127.0.0.1:0"
+	}
+	plane, err := NewObsPlane(obsCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer plane.Stop()
+	cfg := Config{
 		Mode:       mode,
 		Shards:     shards,
 		Sets:       opts.Sets,
@@ -160,7 +196,13 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 		Workers:    opts.Workers,
 		Seed:       opts.Seed,
 		Telemetry:  tel,
-	})
+	}
+	plane.Apply(&cfg)
+	srv, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	adminAddr, err := plane.Start(srv)
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +229,15 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 		srv.Shutdown(5 * time.Second)
 		return nil, err
 	}
+	adminProbed := false
+	if adminAddr != "" {
+		// Probe the admin surface while the server is still live and loaded.
+		if err := probeAdmin(adminAddr, shards); err != nil {
+			srv.Shutdown(5 * time.Second)
+			return nil, fmt.Errorf("admin probe: %w", err)
+		}
+		adminProbed = true
+	}
 	srv.Shutdown(10 * time.Second)
 	if err := <-serveErr; err != nil {
 		return nil, fmt.Errorf("serve loop: %w", err)
@@ -196,14 +247,19 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 	}
 
 	entry := &BenchEntry{
-		Mode:       mode.String(),
-		Shards:     shards,
-		Ops:        load.Ops,
-		Errors:     load.Errors,
-		Throughput: load.Throughput,
-		P50US:      load.P50US,
-		P95US:      load.P95US,
-		P99US:      load.P99US,
+		Mode:        mode.String(),
+		Shards:      shards,
+		Ops:         load.Ops,
+		Errors:      load.Errors,
+		Throughput:  load.Throughput,
+		P50US:       load.P50US,
+		P95US:       load.P95US,
+		P99US:       load.P99US,
+		AdminProbed: adminProbed,
+	}
+	entry.TracesCaptured, entry.SlowTraces = plane.Tracer.Captured()
+	if load.Ops >= obs.DefaultSampleEvery && entry.TracesCaptured == 0 {
+		return nil, fmt.Errorf("tracing enabled but 0 of %d requests captured", load.Ops)
 	}
 	var served, cacheHits int64
 	reg := tel.Registry()
@@ -233,6 +289,7 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 	// recovery kernel and reload path. The mid-kernel point dies inside the
 	// mutation kernel itself (partial HCL log); the others model a process
 	// death between pipeline stages.
+	var expected []crashRound
 	if opts.KillAndRecover && mode.UsesGPM() {
 		points := CrashPoints()
 		all := srv.Shards()
@@ -253,6 +310,7 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 				return nil, fmt.Errorf("shard %d restart after %s: %w", sh.ID(), p, err)
 			}
 			entry.RecoverUS += restore.Seconds() * 1e6
+			expected = append(expected, crashRound{shard: sh.ID(), point: p, muts: crash.Mutations()})
 		}
 		entry.Recovered = true
 	}
@@ -262,7 +320,148 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 		}
 	}
 	entry.Verified = true
+	entry.AuditEvents = plane.Audit.Len()
+	if opts.KillAndRecover {
+		if err := verifyAuditTrail(plane.Audit.Events(), expected, shards); err != nil {
+			return nil, fmt.Errorf("audit trail: %w", err)
+		}
+		entry.AuditConsistent = true
+	}
 	return entry, nil
+}
+
+// crashRound records one injected crash for audit-trail cross-checking.
+type crashRound struct {
+	shard int
+	point CrashPoint
+	muts  int
+}
+
+// probeAdmin asserts the admin surface is answering with well-formed,
+// non-trivial documents while the server runs: /healthz says ok, /metrics
+// renders the shard-0 op counter in Prometheus text, /statusz parses as
+// JSON with the right shard count.
+func probeAdmin(addr string, shards int) error {
+	get := func(path string) (string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("%s -> %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body), nil
+	}
+	if body, err := get("/healthz"); err != nil {
+		return err
+	} else if strings.TrimSpace(body) != "ok" {
+		return fmt.Errorf("/healthz said %q, want ok", body)
+	}
+	if body, err := get("/metrics"); err != nil {
+		return err
+	} else if !strings.Contains(body, "serve_shard0_ops") {
+		return fmt.Errorf("/metrics missing serve_shard0_ops:\n%.500s", body)
+	}
+	body, err := get("/statusz")
+	if err != nil {
+		return err
+	}
+	var doc StatusDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		return fmt.Errorf("/statusz not JSON: %w", err)
+	}
+	if doc.Shards != shards || len(doc.ShardRows) != shards {
+		return fmt.Errorf("/statusz reports %d/%d shards, want %d", doc.Shards, len(doc.ShardRows), shards)
+	}
+	if _, err := get("/debug/trace?n=4"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// verifyAuditTrail cross-checks the recovery audit trail against the
+// crashes actually injected: every crash event pairs with a restart whose
+// replay evidence matches what that crash point must have left behind —
+//
+//	before-kernel  tx flag set, all geometries replayed, 0 slots undone
+//	               (the log was still empty);
+//	mid-kernel     tx flag set, replay undid at most the batch's mutations;
+//	before-commit  tx flag set, replay undid EXACTLY the batch's mutations
+//	               (fully logged, never committed);
+//	before-reply   tx flag clear (the batch committed), nothing replayed.
+//
+// Every shard must close with a verify event whose outcome is "ok".
+func verifyAuditTrail(events []obs.AuditEvent, expected []crashRound, shards int) error {
+	var crashes, restarts, verifies []obs.AuditEvent
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.AuditCrash:
+			crashes = append(crashes, ev)
+		case obs.AuditRestart:
+			restarts = append(restarts, ev)
+		case obs.AuditVerify:
+			verifies = append(verifies, ev)
+		}
+	}
+	if len(crashes) != len(expected) || len(restarts) != len(expected) {
+		return fmt.Errorf("%d crash / %d restart events for %d injected crashes",
+			len(crashes), len(restarts), len(expected))
+	}
+	for i, want := range expected {
+		c, r := crashes[i], restarts[i]
+		if c.Shard != want.shard || c.Point != want.point.String() {
+			return fmt.Errorf("crash %d recorded shard %d point %q, injected shard %d point %s",
+				i, c.Shard, c.Point, want.shard, want.point)
+		}
+		if r.Shard != want.shard {
+			return fmt.Errorf("restart %d on shard %d, crash was on shard %d", i, r.Shard, want.shard)
+		}
+		if r.Seq <= c.Seq {
+			return fmt.Errorf("restart %d (seq %d) not after its crash (seq %d)", i, r.Seq, c.Seq)
+		}
+		wantTx := want.point != CrashBeforeReply
+		if r.TxSet != wantTx {
+			return fmt.Errorf("restart %d after %s found tx_set=%v, want %v", i, want.point, r.TxSet, wantTx)
+		}
+		if wantTx && len(r.Geometries) == 0 {
+			return fmt.Errorf("restart %d after %s replayed no log geometries", i, want.point)
+		}
+		if !wantTx && (len(r.Geometries) != 0 || r.SlotsRolledBack != 0) {
+			return fmt.Errorf("restart %d after %s replayed %v geoms, undid %d slots; committed batches must not be rolled back",
+				i, want.point, r.Geometries, r.SlotsRolledBack)
+		}
+		switch want.point {
+		case CrashBeforeKernel:
+			if r.SlotsRolledBack != 0 {
+				return fmt.Errorf("restart %d after %s undid %d slots, want 0 (kernel never ran)",
+					i, want.point, r.SlotsRolledBack)
+			}
+		case CrashMidKernel:
+			if r.SlotsRolledBack > int64(want.muts) {
+				return fmt.Errorf("restart %d after %s undid %d slots, batch only had %d mutations",
+					i, want.point, r.SlotsRolledBack, want.muts)
+			}
+		case CrashBeforeCommit:
+			if r.SlotsRolledBack != int64(want.muts) {
+				return fmt.Errorf("restart %d after %s undid %d slots, want exactly %d (fully logged, uncommitted)",
+					i, want.point, r.SlotsRolledBack, want.muts)
+			}
+		}
+	}
+	if len(verifies) < shards {
+		return fmt.Errorf("%d verify events, want >= %d (one per shard)", len(verifies), shards)
+	}
+	for _, v := range verifies {
+		if v.Outcome != "ok" {
+			return fmt.Errorf("shard %d verify outcome %q: %s", v.Shard, v.Outcome, v.Err)
+		}
+	}
+	return nil
 }
 
 // crashBatchFor builds a batch of SETs routed to shard sh (key mod shards

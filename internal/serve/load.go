@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gpm-sim/gpm/internal/sim"
@@ -34,6 +35,23 @@ type LoadConfig struct {
 	Theta       float64 // zipf skew in (0, 1); 0 defaults to 0.99 (YCSB hot)
 	Seed        uint64
 	Timeout     time.Duration // per-connection dial/IO deadline (0 = 30s)
+
+	// Progress/OnProgress enable live status reporting: every Progress
+	// interval the generator calls OnProgress with a snapshot whose rate
+	// and p99 cover just that interval (a rolling window, not cumulative).
+	// Both must be set for reporting to happen.
+	Progress   time.Duration
+	OnProgress func(LoadProgress)
+}
+
+// LoadProgress is one live status snapshot from a running load generation.
+type LoadProgress struct {
+	Elapsed   time.Duration // since RunLoad started
+	Done      int64         // replies received so far (cumulative)
+	Total     int64         // cfg.Ops
+	Inflight  int64         // requests sent but not yet answered
+	OpsPerSec float64       // over the last interval only
+	P99US     float64       // p99 latency over the last interval, microseconds
 }
 
 // Normalize fills defaults and validates.
@@ -96,6 +114,65 @@ type LoadResult struct {
 	P99US      float64       `json:"p99_us"`
 }
 
+// loadTracker aggregates live counters across connections for progress
+// reporting: sends/replies are atomics touched once per request; interval
+// latencies collect under a mutex and are swapped out at each report.
+type loadTracker struct {
+	sends   atomic.Int64
+	replies atomic.Int64
+	mu      sync.Mutex
+	lats    []time.Duration
+}
+
+func (t *loadTracker) record(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.replies.Add(1)
+	t.mu.Lock()
+	t.lats = append(t.lats, d)
+	t.mu.Unlock()
+}
+
+// swap returns the latencies recorded since the previous swap.
+func (t *loadTracker) swap() []time.Duration {
+	t.mu.Lock()
+	out := t.lats
+	t.lats = nil
+	t.mu.Unlock()
+	return out
+}
+
+// reportLoop emits one LoadProgress per interval until stop closes.
+func (t *loadTracker) reportLoop(cfg LoadConfig, start time.Time, stop <-chan struct{}) {
+	tick := time.NewTicker(cfg.Progress)
+	defer tick.Stop()
+	var lastDone int64
+	lastAt := start
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			done := t.replies.Load()
+			span := now.Sub(lastAt)
+			var rate float64
+			if span > 0 {
+				rate = float64(done-lastDone) / span.Seconds()
+			}
+			cfg.OnProgress(LoadProgress{
+				Elapsed:   now.Sub(start),
+				Done:      done,
+				Total:     cfg.Ops,
+				Inflight:  t.sends.Load() - done,
+				OpsPerSec: rate,
+				P99US:     float64(percentile(t.swap(), 0.99)) / float64(time.Microsecond),
+			})
+			lastDone, lastAt = done, now
+		}
+	}
+}
+
 // RunLoad drives the server at cfg.Addr and reports client-side metrics.
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	if err := cfg.Normalize(); err != nil {
@@ -110,6 +187,13 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	stats := make([]connStats, cfg.Conns)
 	per := cfg.Ops / int64(cfg.Conns)
 	start := time.Now()
+	var prog *loadTracker
+	if cfg.Progress > 0 && cfg.OnProgress != nil {
+		prog = &loadTracker{}
+		progDone := make(chan struct{})
+		defer close(progDone)
+		go prog.reportLoop(cfg, start, progDone)
+	}
 	var wg sync.WaitGroup
 	for ci := 0; ci < cfg.Conns; ci++ {
 		ops := per
@@ -120,7 +204,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		go func(ci int, ops int64) {
 			defer wg.Done()
 			st := &stats[ci]
-			st.err = driveConn(cfg, ci, ops, st.lats[:0], func(lats []time.Duration, errs, hits, misses int64) {
+			st.err = driveConn(cfg, ci, ops, st.lats[:0], prog, func(lats []time.Duration, errs, hits, misses int64) {
 				st.lats, st.errs, st.hits, st.misses = lats, errs, hits, misses
 			})
 		}(ci, ops)
@@ -163,7 +247,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 // driveConn runs one connection's share: a writer keeps up to Window
 // requests outstanding; the reader matches in-order replies and records
 // latencies. commit publishes the results exactly once before return.
-func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration,
+func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration, prog *loadTracker,
 	commit func(lats []time.Duration, errs, hits, misses int64)) error {
 	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
 	if err != nil {
@@ -194,7 +278,9 @@ func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration,
 				readErr = err
 				return
 			}
-			lats = append(lats, time.Since(<-sendTimes))
+			lat := time.Since(<-sendTimes)
+			lats = append(lats, lat)
+			prog.record(lat)
 			switch {
 			case strings.HasPrefix(line, "VALUE"):
 				hits++
@@ -224,6 +310,9 @@ func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration,
 		// the writer instead of deadlocking it.
 		select {
 		case sendTimes <- time.Now():
+			if prog != nil {
+				prog.sends.Add(1)
+			}
 		case <-readerGone:
 			writeErr = fmt.Errorf("reader stopped")
 		}

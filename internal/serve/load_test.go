@@ -1,9 +1,13 @@
 package serve
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/gpm-sim/gpm/internal/sim"
+	"github.com/gpm-sim/gpm/internal/telemetry"
+	"github.com/gpm-sim/gpm/internal/workloads"
 )
 
 // The zipfian generator must be seeded-deterministic, in-range, properly
@@ -100,5 +104,54 @@ func TestLoadConfigDistValidation(t *testing.T) {
 	badTheta := LoadConfig{Addr: "x", Ops: 1, Dist: DistZipf, Theta: 1.5}
 	if err := badTheta.Normalize(); err == nil {
 		t.Error("theta >= 1 should be rejected")
+	}
+}
+
+// Progress snapshots arrive on the configured cadence with sane counters:
+// Done never regresses, never exceeds Total, and inflight is non-negative.
+// The final LoadResult must be unaffected by progress tracking.
+func TestRunLoadProgress(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Mode: workloads.GPM, Shards: 2, Sets: 256, MaxBatch: 32,
+		BatchWait: 200 * time.Microsecond, Workers: 1, Telemetry: telemetry.New(),
+	})
+	defer srv.Shutdown(5 * time.Second)
+
+	var mu sync.Mutex
+	var snaps []LoadProgress
+	res, err := RunLoad(LoadConfig{
+		Addr: addr, Conns: 4, Ops: 4000, Window: 8, GetFraction: 0.5,
+		Seed: 11, Progress: 5 * time.Millisecond,
+		OnProgress: func(p LoadProgress) {
+			mu.Lock()
+			snaps = append(snaps, p)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Ops != 4000 || res.Errors != 0 {
+		t.Fatalf("load: %d ops, %d errors", res.Ops, res.Errors)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// The run may finish inside the first interval on a fast machine, so a
+	// zero-snapshot outcome is only reportable, not fatal.
+	if len(snaps) == 0 {
+		t.Skip("load finished before the first progress interval")
+	}
+	var prev int64
+	for i, p := range snaps {
+		if p.Done < prev || p.Done > p.Total || p.Total != 4000 {
+			t.Errorf("snapshot %d: done %d (prev %d) of total %d", i, p.Done, prev, p.Total)
+		}
+		if p.Inflight < 0 {
+			t.Errorf("snapshot %d: negative inflight %d", i, p.Inflight)
+		}
+		if p.Elapsed <= 0 {
+			t.Errorf("snapshot %d: elapsed %s", i, p.Elapsed)
+		}
+		prev = p.Done
 	}
 }

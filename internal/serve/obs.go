@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/obs"
+	"github.com/gpm-sim/gpm/internal/telemetry"
+)
+
+// ObsConfig sizes the live observability plane a serving host attaches to
+// one Server: the admin HTTP endpoint, rolling-window stats, per-request
+// pipeline tracing, and the recovery audit trail.
+type ObsConfig struct {
+	AdminAddr string // admin HTTP listen address ("" = no admin endpoint)
+
+	SampleEvery uint64        // trace every Nth request (0 = obs default)
+	Slow        time.Duration // always trace requests at least this slow (0 = obs default)
+	TraceBuf    int           // trace ring capacity (0 = obs default)
+
+	AuditPath string // JSONL audit sink file ("" = ring only)
+	AuditBuf  int    // audit ring capacity (0 = obs default)
+
+	Tick time.Duration // rolling-window snapshot cadence (0 = obs default)
+}
+
+// ObsPlane owns the observability machinery for one serving host. Build it
+// BEFORE the Server (its Tracer/Audit go into the server Config), then
+// Start it with the built server to bring up the admin endpoint and the
+// window ticker, and Stop it after shutdown.
+type ObsPlane struct {
+	Tracer  *obs.RequestTracer
+	Audit   *obs.AuditLog
+	Windows *obs.Windows
+	Admin   *obs.Admin
+	cfg     ObsConfig
+}
+
+// NewObsPlane builds the plane's passive pieces (tracer, audit log, audit
+// file sink). Nothing is listening or ticking yet.
+func NewObsPlane(cfg ObsConfig) (*ObsPlane, error) {
+	p := &ObsPlane{
+		Tracer: obs.NewRequestTracer(cfg.SampleEvery, cfg.Slow, cfg.TraceBuf),
+		Audit:  obs.NewAuditLog(cfg.AuditBuf),
+		cfg:    cfg,
+	}
+	if cfg.AuditPath != "" {
+		if err := p.Audit.OpenFile(cfg.AuditPath); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Apply copies the plane's hooks into a server Config (call between
+// NewObsPlane and NewServer).
+func (p *ObsPlane) Apply(cfg *Config) {
+	if p == nil {
+		return
+	}
+	cfg.Trace = p.Tracer
+	cfg.Audit = p.Audit
+}
+
+// Start brings the plane live against a built server: the rolling-window
+// ticker over the server's registry, and (when AdminAddr is set) the admin
+// HTTP endpoint. Returns the bound admin address ("" when no admin).
+func (p *ObsPlane) Start(srv *Server) (string, error) {
+	if p == nil {
+		return "", nil
+	}
+	reg := srv.Registry()
+	p.Windows = obs.NewWindows(reg, p.cfg.Tick, 0)
+	p.Windows.Start()
+	if p.cfg.AdminAddr == "" {
+		return "", nil
+	}
+	p.Admin = obs.NewAdmin(obs.AdminOptions{
+		Registry: reg,
+		Tracer:   p.Tracer,
+		Status:   func() any { return p.StatusDoc(srv) },
+		Healthy: func() (bool, string) {
+			if srv.Draining() {
+				return false, "draining"
+			}
+			return true, "ok"
+		},
+	})
+	addr, err := p.Admin.ListenAndServe(p.cfg.AdminAddr)
+	if err != nil {
+		return "", err
+	}
+	return addr.String(), nil
+}
+
+// Stop tears the plane down: admin listener, window ticker, audit sink.
+func (p *ObsPlane) Stop() {
+	if p == nil {
+		return
+	}
+	p.Admin.Close()
+	p.Windows.Stop()
+	p.Audit.Close()
+}
+
+// StatusDoc is the /statusz document: uptime and build info, windowed
+// throughput/latency over the request histogram, per-shard pipeline state,
+// trace-capture counts, and the audit-trail tail.
+type StatusDoc struct {
+	UptimeS   float64             `json:"uptime_s"`
+	GoVersion string              `json:"go_version"`
+	OSArch    string              `json:"os_arch"`
+	Mode      string              `json:"mode"`
+	Shards    int                 `json:"shards"`
+	Draining  bool                `json:"draining"`
+	Rejected  int64               `json:"rejected"`
+	Windows   []obs.WindowSummary `json:"windows"`
+	ShardRows []ShardStatus       `json:"shard_status"`
+	Traces    TraceStats          `json:"traces"`
+	AuditTail []obs.AuditEvent    `json:"audit_tail,omitempty"`
+}
+
+// TraceStats counts request-trace captures for /statusz.
+type TraceStats struct {
+	Captured int64 `json:"captured"`
+	Slow     int64 `json:"slow"`
+}
+
+// statusAuditTail bounds the audit events inlined into /statusz (the full
+// trail lives in the ring / JSONL sink).
+const statusAuditTail = 16
+
+// StatusDoc builds the current /statusz document for srv.
+func (p *ObsPlane) StatusDoc(srv *Server) StatusDoc {
+	doc := StatusDoc{
+		UptimeS:   srv.Uptime().Seconds(),
+		GoVersion: runtime.Version(),
+		OSArch:    runtime.GOOS + "/" + runtime.GOARCH,
+		Mode:      srv.cfg.Mode.String(),
+		Shards:    srv.cfg.Shards,
+		Draining:  srv.Draining(),
+		Rejected:  srv.cRejected.Value(),
+		ShardRows: srv.Status(),
+		AuditTail: p.Audit.Tail(statusAuditTail),
+	}
+	doc.Windows = p.Windows.Summary("serve.request_us", obs.StandardWindows...)
+	doc.Traces.Captured, doc.Traces.Slow = p.Tracer.Captured()
+	return doc
+}
+
+// ExportWallSpans appends the captured request traces to the run's
+// Chrome-trace exporter as wall-clock spans on their own process lane.
+func (p *ObsPlane) ExportWallSpans(tel *telemetry.Telemetry, epochZero time.Time) {
+	if p == nil {
+		return
+	}
+	obs.AppendWallSpans(tel.Tracer(), "serve/requests(wall)", epochZero, p.Tracer.Last(0))
+}

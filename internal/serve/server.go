@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/gpm-sim/gpm/internal/obs"
 	"github.com/gpm-sim/gpm/internal/telemetry"
 	"github.com/gpm-sim/gpm/internal/workloads"
 )
@@ -28,6 +29,13 @@ type Config struct {
 	CAPThreads int
 	Seed       uint64
 	Telemetry  *telemetry.Telemetry // optional; nil disables metrics
+
+	// Trace, when set, samples per-request pipeline traces (admission ID
+	// head sampling plus a slow-latency threshold); nil disables. Audit,
+	// when set, receives the recovery audit trail (drain/crash/restart/
+	// verify events) from the server and its shards; nil disables.
+	Trace *obs.RequestTracer
+	Audit *obs.AuditLog
 }
 
 // Normalize fills zero fields with serving defaults and validates the rest.
@@ -65,11 +73,27 @@ func (c *Config) Normalize() error {
 
 // request is one parsed client operation in flight.
 type request struct {
-	op   byte // 'S', 'G', 'D'
-	key  uint64
-	val  uint64
-	enq  time.Time
-	done chan string // receives exactly one reply line
+	op       byte // 'S', 'G', 'D'
+	key      uint64
+	val      uint64
+	id       uint64      // admission ID (server-wide, monotone; trace sampling key)
+	enq      time.Time   // client-enqueue instant (read off the wire)
+	admitted time.Time   // batcher admission instant (zero until admitted)
+	done     chan string // receives exactly one reply line
+}
+
+// opName spells a request op byte for traces and logs.
+func opName(op byte) string {
+	switch op {
+	case 'S':
+		return "SET"
+	case 'G':
+		return "GET"
+	case 'D':
+		return "DEL"
+	default:
+		return string(op)
+	}
 }
 
 // Server accepts TCP connections speaking a line protocol —
@@ -87,12 +111,15 @@ type request struct {
 type Server struct {
 	cfg     Config
 	workers []*shardWorker
+	reg     *telemetry.Registry
+	started time.Time
 
 	ln       net.Listener
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
 	connWG   sync.WaitGroup
 	draining atomic.Bool
+	nextID   atomic.Uint64 // admission IDs for request tracing
 
 	cRejected *telemetry.Counter
 }
@@ -102,11 +129,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{}), started: time.Now()}
 	var reg *telemetry.Registry
 	if cfg.Telemetry != nil {
 		reg = cfg.Telemetry.Registry()
 	}
+	s.reg = reg
 	s.cRejected = reg.Counter("serve.rejected")
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := NewShard(i, ShardConfig{
@@ -123,6 +151,7 @@ func NewServer(cfg Config) (*Server, error) {
 		if cfg.Telemetry != nil {
 			sh.Env().Ctx.AttachTelemetry(cfg.Telemetry, fmt.Sprintf("serve/shard%d", i))
 		}
+		sh.SetAudit(cfg.Audit)
 		w := newShardWorker(sh, cfg, reg)
 		s.workers = append(s.workers, w)
 		go w.run()
@@ -136,6 +165,58 @@ func (s *Server) Shards() []*Shard {
 	out := make([]*Shard, len(s.workers))
 	for i, w := range s.workers {
 		out[i] = w.shard
+	}
+	return out
+}
+
+// Draining reports whether Shutdown has begun (health endpoints use this
+// to fail readiness before the listener disappears).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Uptime is the wall time since the server was built.
+func (s *Server) Uptime() time.Duration { return time.Since(s.started) }
+
+// Registry exposes the server's metrics registry (nil when telemetry is
+// disabled); the admin plane scrapes it.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// ShardStatus is one shard's row in the /statusz document, read from the
+// shard's published metrics (safe from any goroutine while serving).
+type ShardStatus struct {
+	ID             int   `json:"id"`
+	Ops            int64 `json:"ops"`
+	Batches        int64 `json:"batches"`
+	QueueDepth     int64 `json:"queue_depth"`
+	StagedEpochs   int64 `json:"staged_epochs"`
+	TargetFill     int64 `json:"target_fill"`
+	LastEpochFill  int64 `json:"last_epoch_fill"`
+	ConflictChains int64 `json:"conflict_chains"`
+	HotSlots       int64 `json:"hot_slots"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheFills     int64 `json:"cache_fills"`
+	Errors         int64 `json:"errors"`
+}
+
+// Status reports per-shard pipeline state for /statusz. Values come from
+// the telemetry counters/gauges the pipeline already publishes, so reading
+// them races nothing; with telemetry disabled every row is zeros.
+func (s *Server) Status() []ShardStatus {
+	out := make([]ShardStatus, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = ShardStatus{
+			ID:             w.shard.ID(),
+			Ops:            w.cOps.Value(),
+			Batches:        w.cBatches.Value(),
+			QueueDepth:     w.gQueue.Value(),
+			StagedEpochs:   w.gStaged.Value(),
+			TargetFill:     w.gTarget.Value(),
+			LastEpochFill:  w.gOccupancy.Value(),
+			ConflictChains: w.cChains.Value(),
+			HotSlots:       w.gHotSlots.Value(),
+			CacheHits:      w.cCacheHits.Value(),
+			CacheFills:     w.cCacheFills.Value(),
+			Errors:         w.cErrors.Value(),
+		}
 	}
 	return out
 }
@@ -181,6 +262,10 @@ func (s *Server) Serve() error {
 // force-closed. Safe to call once.
 func (s *Server) Shutdown(timeout time.Duration) {
 	s.draining.Store(true)
+	s.cfg.Audit.Record(obs.AuditEvent{
+		Type: obs.AuditDrain, Shard: -1, Mode: s.cfg.Mode.String(),
+		Detail: fmt.Sprintf("graceful drain, timeout %s", timeout),
+	})
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -267,7 +352,7 @@ func (s *Server) handleConn(c net.Conn) {
 			s.cRejected.Inc()
 			continue
 		}
-		r := &request{op: op, key: key, val: val, enq: time.Now(), done: make(chan string, 1)}
+		r := &request{op: op, key: key, val: val, id: s.nextID.Add(1), enq: time.Now(), done: make(chan string, 1)}
 		s.shardFor(key).reqs <- r
 		futures <- r.done
 	}
@@ -369,6 +454,8 @@ type shardWorker struct {
 	gQueue      *telemetry.Gauge
 	gOccupancy  *telemetry.Gauge
 	gHotSlots   *telemetry.Gauge
+	gStaged     *telemetry.Gauge
+	gTarget     *telemetry.Gauge
 	hReqUS      *telemetry.Histogram
 	hBatchSim   *telemetry.Histogram
 	hFill       *telemetry.Histogram
@@ -400,6 +487,8 @@ func newShardWorker(sh *Shard, cfg Config, reg *telemetry.Registry) *shardWorker
 		gQueue:      reg.Gauge(p + "queue_depth"),
 		gOccupancy:  reg.Gauge(p + "batch_occupancy"),
 		gHotSlots:   reg.Gauge(p + "hot_slots"),
+		gStaged:     reg.Gauge(p + "staged_epochs"),
+		gTarget:     reg.Gauge(p + "target_fill"),
 		hReqUS:      reg.Histogram("serve.request_us", telemetry.LatencyBucketsUS),
 		hBatchSim:   reg.Histogram("serve.batch_sim_us", telemetry.LatencyBucketsUS),
 		hFill:       reg.Histogram(p+"batch_fill", fillBuckets),
@@ -459,6 +548,7 @@ func (w *shardWorker) epochFrom(floor uint64, fits func(*epochBatch) bool) *epoc
 // stages instead of sealing and shrinking batches.
 func (w *shardWorker) admit(r *request) {
 	now := time.Now()
+	r.admitted = now
 	w.hQueueWait.Observe(int64(now.Sub(r.enq) / time.Microsecond))
 	w.ctrl.observeArrival(now)
 	slot := w.shard.SlotOf(r.key)
@@ -476,6 +566,20 @@ func (w *shardWorker) admit(r *request) {
 				}
 				w.cCacheHits.Inc()
 				w.hReqUS.Observe(int64(now.Sub(r.enq) / time.Microsecond))
+				if tr := w.cfg.Trace; tr != nil {
+					total := now.Sub(r.enq)
+					if reason, ok := tr.ShouldCapture(r.id, total); ok {
+						off := float64(total) / 1e3
+						tr.Add(obs.ReqTrace{
+							ID: r.id, Shard: w.shard.ID(), Op: opName(r.op), Key: r.key,
+							Reason: reason, Start: r.enq, TotalUS: off,
+							Stages: []obs.StagePoint{
+								{Stage: "admit", OffsetUS: off},
+								{Stage: "cache-reply", OffsetUS: off},
+							},
+						})
+					}
+				}
 				return
 			}
 		}
@@ -582,6 +686,8 @@ func (w *shardWorker) run() {
 			break
 		}
 		w.gQueue.Set(int64(len(w.reqs)))
+		w.gStaged.Set(int64(len(w.staged)))
+		w.gTarget.Set(int64(w.ctrl.target()))
 
 		// Dispatch when the device is idle. The controller only gets a say
 		// in holding the head epoch open when nothing else is staged
@@ -637,6 +743,31 @@ func (w *shardWorker) run() {
 	}
 }
 
+// buildTrace assembles one sampled request's pipeline trace: stage points
+// are microsecond offsets from the client-enqueue instant, placed at the
+// instant each pipeline stage finished with the request. Apply's internal
+// boundaries (stage/kernel/persist) come from the wall durations it
+// reports, anchored at the applier's dispatch-receive instant.
+func (w *shardWorker) buildTrace(r *request, eb *epochBatch, res *BatchResult, applyStart, reply time.Time, reason string) obs.ReqTrace {
+	us := func(t time.Time) float64 { return float64(t.Sub(r.enq)) / 1e3 }
+	stageEnd := applyStart.Add(res.WallStage)
+	kernelEnd := stageEnd.Add(res.WallKernel)
+	persistEnd := kernelEnd.Add(res.WallPersist)
+	return obs.ReqTrace{
+		ID: r.id, Shard: w.shard.ID(), Op: opName(r.op), Key: r.key,
+		Epoch: eb.seq, Reason: reason, Start: r.enq,
+		TotalUS: us(reply),
+		Stages: []obs.StagePoint{
+			{Stage: "admit", OffsetUS: us(r.admitted)},
+			{Stage: "seal", OffsetUS: us(eb.sealedAt)},
+			{Stage: "stage", OffsetUS: us(stageEnd)},
+			{Stage: "kernel", OffsetUS: us(kernelEnd)},
+			{Stage: "persist", OffsetUS: us(persistEnd)},
+			{Stage: "commit", OffsetUS: us(reply)},
+		},
+	}
+}
+
 // applyLoop is the applier: one epoch at a time through the shard's
 // stage -> kernel -> persist path, then group-commit — every reply in the
 // epoch is released the moment the epoch is durable, and the hot cache is
@@ -666,6 +797,11 @@ func (w *shardWorker) applyLoop() {
 				r.done <- "NOTFOUND"
 			}
 			w.hReqUS.Observe(int64(now.Sub(r.enq) / time.Microsecond))
+			if tr := w.cfg.Trace; tr != nil {
+				if reason, ok := tr.ShouldCapture(r.id, now.Sub(r.enq)); ok {
+					tr.Add(w.buildTrace(r, eb, res, start, now, reason))
+				}
+			}
 		}
 		w.hEpochLag.Observe(int64(now.Sub(eb.sealedAt) / time.Microsecond))
 		w.gOccupancy.Set(int64(res.Ops))

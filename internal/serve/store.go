@@ -17,12 +17,15 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	gpm "github.com/gpm-sim/gpm/internal/core"
 	"github.com/gpm-sim/gpm/internal/cpusim"
 	"github.com/gpm-sim/gpm/internal/fsim"
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/kvstore"
+	"github.com/gpm-sim/gpm/internal/obs"
 	"github.com/gpm-sim/gpm/internal/sim"
 	"github.com/gpm-sim/gpm/internal/telemetry"
 	"github.com/gpm-sim/gpm/internal/workloads"
@@ -57,6 +60,11 @@ type BatchResult struct {
 	SimTime sim.Duration
 	// Ops echoes the batch's operation count.
 	Ops int
+	// WallStage/WallKernel/WallPersist are host wall-clock durations of the
+	// corresponding Apply sections. The simulator burns real CPU running
+	// kernels, so these let per-request traces place stage boundaries on the
+	// wall timeline without touching the simulated clock.
+	WallStage, WallKernel, WallPersist time.Duration
 }
 
 // Shard is one keyspace partition: a private simulated node holding a
@@ -99,6 +107,10 @@ type Shard struct {
 
 	ops  int64
 	down bool // crashed and not yet restarted
+
+	// audit, when set, receives crash/restart/verify events — the recovery
+	// audit trail. Nil disables (obs.AuditLog methods are nil-safe).
+	audit *obs.AuditLog
 }
 
 // ShardConfig sizes one shard.
@@ -249,6 +261,10 @@ func (s *Shard) logFor(g int) *gpm.Log {
 
 // ID returns the shard index.
 func (s *Shard) ID() int { return s.id }
+
+// SetAudit attaches the recovery audit trail; crash injection, Restart and
+// Verify record structured events to it. Nil detaches.
+func (s *Shard) SetAudit(l *obs.AuditLog) { s.audit = l }
 
 // Mode returns the shard's persistence mode.
 func (s *Shard) Mode() workloads.Mode { return s.mode }
@@ -562,10 +578,12 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 	}
 	ctx := s.env.Ctx
 	start := ctx.Timeline.Total()
+	wall0 := time.Now()
 	spStage := ctx.SpanStart()
 	s.stage(b)
 	ctx.SpanEnd(telemetry.TrackPCIe, "serve-stage", "serve", spStage)
 	logging := s.logged() && b.Mutations() > 0
+	wall1 := time.Now()
 
 	spKernel := ctx.SpanStart()
 	if logging {
@@ -581,6 +599,7 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 	s.getKernel(len(b.GetKeys))
 	s.env.PersistKernelEnd()
 	ctx.SpanEnd(telemetry.TrackKernel, "serve-kernel", "serve", spKernel)
+	wall2 := time.Now()
 
 	spCommit := ctx.SpanStart()
 	s.hostServe(n)
@@ -588,6 +607,7 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 		return nil, err
 	}
 	ctx.SpanEnd(telemetry.TrackPersist, "serve-persist", "serve", spCommit)
+	wall3 := time.Now()
 
 	out := make([]uint64, len(b.GetKeys))
 	for i := range out {
@@ -595,7 +615,12 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 	}
 	s.commitModel(b)
 	s.ops += int64(n)
-	return &BatchResult{GetVals: out, SimTime: s.env.Ctx.Timeline.Total() - start, Ops: n}, nil
+	return &BatchResult{
+		GetVals: out, SimTime: s.env.Ctx.Timeline.Total() - start, Ops: n,
+		WallStage:   wall1.Sub(wall0),
+		WallKernel:  wall2.Sub(wall1),
+		WallPersist: wall3.Sub(wall2),
+	}, nil
 }
 
 // CrashMidBatch starts applying b, aborts the mutation kernel after
@@ -631,6 +656,11 @@ func (s *Shard) CrashMidBatch(b *Batch, abortAfterOps int64) error {
 	}
 	s.env.Ctx.Crash()
 	s.down = true
+	s.audit.Record(obs.AuditEvent{
+		Type: obs.AuditCrash, Shard: s.id, Mode: s.mode.String(),
+		Point:  CrashMidKernel.String(),
+		Detail: fmt.Sprintf("%d mutations at risk, kernel aborted after %d device ops", b.Mutations(), abortAfterOps),
+	})
 	return nil
 }
 
@@ -726,6 +756,11 @@ func (s *Shard) CrashAt(b *Batch, p CrashPoint, abortAfterOps int64) error {
 	}
 	s.env.Ctx.Crash()
 	s.down = true
+	s.audit.Record(obs.AuditEvent{
+		Type: obs.AuditCrash, Shard: s.id, Mode: s.mode.String(),
+		Point:  p.String(),
+		Detail: fmt.Sprintf("%d mutations at risk", b.Mutations()),
+	})
 	return nil
 }
 
@@ -736,9 +771,13 @@ func (s *Shard) CrashAt(b *Batch, p CrashPoint, abortAfterOps int64) error {
 func (s *Shard) Restart() (sim.Duration, error) {
 	start := s.env.Ctx.Timeline.Total()
 	ctx := s.env.Ctx
+	txSet := false
+	var replayed []int
+	var undone atomic.Int64 // undo entries applied (recovery kernel threads run concurrently)
 	if s.logged() {
 		snap := ctx.Space.SnapshotPersistent(s.txFile.Mmap(), 8)
 		if binary.LittleEndian.Uint64(snap) != 0 {
+			txSet = true
 			// The crashed transaction ran at one (unknown) geometry, so
 			// recovery replays every geometry's log at its own grid; the
 			// untouched logs cost an empty launch each.
@@ -750,6 +789,7 @@ func (s *Shard) Restart() (sim.Duration, error) {
 					return 0, err
 				}
 				s.logs[i] = log
+				replayed = append(replayed, g)
 				ctx.PersistBegin()
 				var kerr error
 				ctx.Launch("kvs-recover", g, kvstore.TPB, func(t *gpu.Thread) {
@@ -772,6 +812,7 @@ func (s *Shard) Restart() (sim.Duration, error) {
 							kerr = err
 							return
 						}
+						undone.Add(1)
 					}
 				})
 				ctx.PersistEnd()
@@ -790,6 +831,11 @@ func (s *Shard) Restart() (sim.Duration, error) {
 	s.down = false
 	restore := ctx.Timeline.Total() - start
 	s.env.AddRestore(restore)
+	s.audit.Record(obs.AuditEvent{
+		Type: obs.AuditRestart, Shard: s.id, Mode: s.mode.String(),
+		TxSet: txSet, Geometries: replayed, SlotsRolledBack: undone.Load(),
+		RestoreUS: float64(restore) / 1e3,
+	})
 	return restore, nil
 }
 
@@ -801,10 +847,18 @@ func (s *Shard) Verify() error {
 		key := binary.LittleEndian.Uint64(snap[slot*kvstore.PairBytes:])
 		val := binary.LittleEndian.Uint64(snap[slot*kvstore.PairBytes+8:])
 		if key != s.model[slot*2] || val != s.model[slot*2+1] {
-			return fmt.Errorf("serve: shard %d durable slot %d = (%d,%d), want (%d,%d)",
+			err := fmt.Errorf("serve: shard %d durable slot %d = (%d,%d), want (%d,%d)",
 				s.id, slot, key, val, s.model[slot*2], s.model[slot*2+1])
+			s.audit.Record(obs.AuditEvent{
+				Type: obs.AuditVerify, Shard: s.id, Mode: s.mode.String(),
+				Outcome: "fail", Err: err.Error(),
+			})
+			return err
 		}
 	}
+	s.audit.Record(obs.AuditEvent{
+		Type: obs.AuditVerify, Shard: s.id, Mode: s.mode.String(), Outcome: "ok",
+	})
 	return nil
 }
 

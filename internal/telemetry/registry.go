@@ -234,6 +234,66 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// HistogramSnapshot is one histogram's state at snapshot time: the bucket
+// upper bounds (ascending, excluding +Inf), one count per bucket plus the
+// overflow count last, and the observation sum.
+type HistogramSnapshot struct {
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1; last is the +Inf overflow bucket
+	Sum    int64
+}
+
+// Count returns the total observations across all buckets.
+func (h HistogramSnapshot) Count() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. It is a
+// plain value: consumers (the Prometheus renderer, rolling-window stats)
+// can diff or iterate it without holding registry locks.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies every metric's current value. A nil registry returns an
+// empty (non-nil-mapped) snapshot, so callers never branch.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		snap.Histograms[name] = hs
+	}
+	return snap
+}
+
 // Merge folds another registry's metrics into r: counters and histogram
 // buckets/sums add; gauges overwrite (last merge wins, so merging run
 // results in run order keeps gauge semantics of "latest value"). A

@@ -37,11 +37,55 @@ func TestHistogramBucketEdges(t *testing.T) {
 	}
 }
 
+// Snapshot copies every metric and is safe on a nil registry; mutating
+// the source afterwards must not leak into the snapshot.
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(-3)
+	h := r.Histogram("h", []int64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(99)
+
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 7 || snap.Gauges["g"] != -3 {
+		t.Errorf("snapshot values: %+v", snap)
+	}
+	hs, ok := snap.Histograms["h"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if len(hs.Bounds) != 2 || hs.Bounds[0] != 10 || hs.Bounds[1] != 20 {
+		t.Errorf("bounds = %v", hs.Bounds)
+	}
+	if len(hs.Counts) != 3 || hs.Counts[0] != 1 || hs.Counts[1] != 1 || hs.Counts[2] != 1 {
+		t.Errorf("counts = %v", hs.Counts)
+	}
+	if hs.Sum != 5+15+99 || hs.Count() != 3 {
+		t.Errorf("sum=%d count=%d", hs.Sum, hs.Count())
+	}
+
+	// Later mutations do not alias into the snapshot.
+	r.Counter("c").Add(100)
+	h.Observe(1)
+	if snap.Counters["c"] != 7 || snap.Histograms["h"].Counts[0] != 1 {
+		t.Error("snapshot aliases live registry state")
+	}
+
+	// Nil registry: empty but usable maps.
+	var nilReg *Registry
+	ns := nilReg.Snapshot()
+	if ns.Counters == nil || ns.Gauges == nil || ns.Histograms == nil {
+		t.Error("nil-registry snapshot must have non-nil maps")
+	}
+}
+
 func TestHistogramObserveMicros(t *testing.T) {
 	h := NewHistogram([]int64{1, 100})
-	h.ObserveMicros(500 * sim.Nanosecond)  // 0 µs -> le=1
-	h.ObserveMicros(99 * sim.Microsecond)  // le=100
-	h.ObserveMicros(2 * sim.Millisecond)   // overflow
+	h.ObserveMicros(500 * sim.Nanosecond) // 0 µs -> le=1
+	h.ObserveMicros(99 * sim.Microsecond) // le=100
+	h.ObserveMicros(2 * sim.Millisecond)  // overflow
 	bks := h.Buckets()
 	if bks[0].Count != 1 || bks[1].Count != 1 || bks[2].Count != 1 {
 		t.Errorf("bucket counts = %+v", bks)
