@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check recover-smoke serve-smoke obs-smoke determinism bench figures quick-figures clean
+.PHONY: build test race vet check recover-smoke serve-smoke obs-smoke chaos-smoke determinism bench figures quick-figures clean
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 # check is the tier-1 gate: everything CI runs.
-check: vet race recover-smoke serve-smoke obs-smoke
+check: vet race recover-smoke serve-smoke obs-smoke chaos-smoke
 	$(GO) build ./...
 
 # Deterministic crash-campaign smoke: every recoverable workload, all four
@@ -33,6 +33,20 @@ recover-smoke:
 serve-smoke:
 	$(GO) run ./cmd/gpmserve -selftest -ops 10000 -shards 2 \
 		-baseline BENCH_serve.json -out BENCH_serve.json
+
+# Serve-level chaos smoke: deterministic crash campaigns over the whole
+# serving stack — retrying clients through fault-injecting network
+# schedules into shards that power-fail at swept crash points — asserting
+# exactly-once delivery, no lost updates, and durable-state integrity.
+# Then the negative control: with PM dedup persistence deliberately
+# broken, the campaign MUST catch the violation (exit 1) and shrink it.
+chaos-smoke:
+	$(GO) run ./cmd/gpmchaos -serve -mode GPM -schedule clean,chaos
+	@$(GO) run ./cmd/gpmchaos -serve -mode GPM -schedule clean -model clean \
+		-break-dedup > /dev/null 2>&1; \
+	if [ $$? -ne 1 ]; then \
+		echo "chaos-smoke: negative control NOT caught (broken dedup passed)"; exit 1; \
+	else echo "chaos-smoke: negative control caught"; fi
 
 # Observability smoke: run a real gpmserve process with the admin endpoint,
 # audit trail, and metrics flush on, drive TCP load, assert /metrics,

@@ -7,6 +7,7 @@
 //	gpmload -addr 127.0.0.1:7070 -ops 10000 -get 0.9 -json
 //	gpmload -addr 127.0.0.1:7070 -dist zipf -theta 0.99 -json
 //	gpmload -addr 127.0.0.1:7070 -ops 1000000 -progress 1s   # live status
+//	gpmload -addr 127.0.0.1:7070 -retry                      # exactly-once client
 package main
 
 import (
@@ -31,6 +32,9 @@ type cliOptions struct {
 	keySpace         uint64
 	timeout          time.Duration
 	progress         time.Duration
+	retry            bool
+	maxRetries       int
+	retryBackoff     time.Duration
 }
 
 func validateCLI(o cliOptions) error {
@@ -57,6 +61,15 @@ func validateCLI(o cliOptions) error {
 	}
 	if o.progress < 0 {
 		return fmt.Errorf("-progress must be >= 0 (0 = off), got %s", o.progress)
+	}
+	if o.maxRetries < 0 {
+		return fmt.Errorf("-max-retries must be >= 0 (0 = default), got %d", o.maxRetries)
+	}
+	if o.retryBackoff < 0 {
+		return fmt.Errorf("-retry-backoff must be >= 0 (0 = default), got %s", o.retryBackoff)
+	}
+	if !o.retry && (o.maxRetries != 0 || o.retryBackoff != 0) {
+		return fmt.Errorf("-max-retries/-retry-backoff require -retry")
 	}
 	switch o.dist {
 	case serve.DistUniform:
@@ -88,6 +101,9 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-connection dial/IO deadline")
 		progress = flag.Duration("progress", 0, "print a status line to stderr this often while running (0 = off)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		retry    = flag.Bool("retry", false, "exactly-once client: tag requests with IDs, resend on RETRY, reconnect on transport failure")
+		maxRetry = flag.Int("max-retries", 0, "resend attempts per op and per reconnect (0 = 8; requires -retry)")
+		backoff  = flag.Duration("retry-backoff", 0, "retry backoff base, doubles per attempt (0 = 2ms; requires -retry)")
 	)
 	flag.Parse()
 
@@ -95,6 +111,7 @@ func main() {
 		addr: *addr, dist: *dist, ops: *ops, conns: *conns, window: *window,
 		getFrac: *getFrac, delFrac: *delFrac, theta: *theta,
 		keySpace: *keySpace, timeout: *timeout, progress: *progress,
+		retry: *retry, maxRetries: *maxRetry, retryBackoff: *backoff,
 	}
 	if err := validateCLI(o); err != nil {
 		fmt.Fprintln(os.Stderr, "gpmload:", err)
@@ -103,19 +120,22 @@ func main() {
 	}
 
 	res, err := serve.RunLoad(serve.LoadConfig{
-		Addr:        o.addr,
-		Conns:       o.conns,
-		Ops:         o.ops,
-		Window:      o.window,
-		GetFraction: o.getFrac,
-		DelFraction: o.delFrac,
-		KeySpace:    o.keySpace,
-		Dist:        o.dist,
-		Theta:       o.theta,
-		Seed:        *seed,
-		Timeout:     o.timeout,
-		Progress:    o.progress,
-		OnProgress:  printProgress,
+		Addr:         o.addr,
+		Conns:        o.conns,
+		Ops:          o.ops,
+		Window:       o.window,
+		GetFraction:  o.getFrac,
+		DelFraction:  o.delFrac,
+		KeySpace:     o.keySpace,
+		Dist:         o.dist,
+		Theta:        o.theta,
+		Seed:         *seed,
+		Timeout:      o.timeout,
+		Progress:     o.progress,
+		OnProgress:   printProgress,
+		Retry:        o.retry,
+		MaxRetries:   o.maxRetries,
+		RetryBackoff: o.retryBackoff,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpmload:", err)
@@ -132,6 +152,10 @@ func main() {
 		fmt.Printf("%d ops in %v: %.0f ops/s, p50 %v p95 %v p99 %v, %d hits %d misses %d errors\n",
 			res.Ops, res.Elapsed.Round(time.Millisecond), res.Throughput,
 			res.P50, res.P95, res.P99, res.Hits, res.Misses, res.Errors)
+		if o.retry {
+			fmt.Printf("exactly-once: %d retries, %d reconnects, %d gave up\n",
+				res.Retries, res.Reconnects, res.GaveUp)
+		}
 	}
 	if res.Errors > 0 {
 		os.Exit(1)

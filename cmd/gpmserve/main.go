@@ -42,6 +42,7 @@ type cliOptions struct {
 	batchWait, drain                    time.Duration
 	getFrac, delFrac, theta             float64
 	selftest, noRecover, fixedWait      bool
+	retryPass                           bool
 }
 
 // validateCLI checks value ranges and cross-flag consistency. Mode names
@@ -194,6 +195,7 @@ func main() {
 		noRecover  = flag.Bool("no-recover", false, "selftest: skip the kill-and-recover pass")
 		out        = flag.String("out", "BENCH_serve.json", "selftest: write the benchmark report here")
 		baseline   = flag.String("baseline", "", "selftest: perf gate — fail unless ops/s >= 0.9x and p99 <= 1.1x this committed report")
+		retryPass  = flag.Bool("retry-pass", true, "selftest: also measure each config with the exactly-once retry client; its throughput must stay >= 0.9x of the retry-off pass")
 	)
 	flag.Parse()
 
@@ -206,6 +208,7 @@ func main() {
 		ops: *ops, batchWait: *batchWait, drain: *drain,
 		getFrac: *getFrac, delFrac: *delFrac, theta: *theta,
 		selftest: *selftest, noRecover: *noRecover, fixedWait: *fixedWait,
+		retryPass: *retryPass,
 	}
 	if err := validateCLI(o); err != nil {
 		fmt.Fprintln(os.Stderr, "gpmserve:", err)
@@ -347,14 +350,23 @@ func runSelfTest(o cliOptions, mode workloads.Mode, seed uint64) int {
 		KillAndRecover: !o.noRecover,
 		Admin:          true,
 		AuditPath:      o.audit,
+		RetryPass:      o.retryPass,
 	})
 	for _, e := range rep.Entries {
-		fmt.Printf("%-8s x%d: %d ops, %.0f ops/s, p50 %.0fµs p99 %.0fµs, %d batches (fill %.1f), %d cache hits, recovered=%v verified=%v, %d traces, %d audit events (consistent=%v)\n",
-			e.Mode, e.Shards, e.Ops, e.Throughput, e.P50US, e.P99US, e.Batches, e.MeanFill, e.CacheHits, e.Recovered, e.Verified,
+		tag := ""
+		if e.Retry {
+			tag = " [retry]"
+		}
+		fmt.Printf("%-8s x%d%s: %d ops, %.0f ops/s, p50 %.0fµs p99 %.0fµs, %d batches (fill %.1f), %d cache hits, recovered=%v verified=%v, %d traces, %d audit events (consistent=%v)\n",
+			e.Mode, e.Shards, tag, e.Ops, e.Throughput, e.P50US, e.P99US, e.Batches, e.MeanFill, e.CacheHits, e.Recovered, e.Verified,
 			e.TracesCaptured, e.AuditEvents, e.AuditConsistent)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpmserve:", err)
+		return 1
+	}
+	if err := gateRetryOverhead(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmserve: retry gate:", err)
 		return 1
 	}
 	if o.baseline != "" {
@@ -399,11 +411,11 @@ func gateAgainstBaseline(rep *serve.BenchReport, path string) error {
 	}
 	baseBy := make(map[string]serve.BenchEntry, len(base.Entries))
 	for _, e := range base.Entries {
-		baseBy[fmt.Sprintf("%s/%d", e.Mode, e.Shards)] = e
+		baseBy[fmt.Sprintf("%s/%d/retry=%v", e.Mode, e.Shards, e.Retry)] = e
 	}
 	matched := 0
 	for _, e := range rep.Entries {
-		b, ok := baseBy[fmt.Sprintf("%s/%d", e.Mode, e.Shards)]
+		b, ok := baseBy[fmt.Sprintf("%s/%d/retry=%v", e.Mode, e.Shards, e.Retry)]
 		if !ok {
 			continue
 		}
@@ -421,6 +433,38 @@ func gateAgainstBaseline(rep *serve.BenchReport, path string) error {
 	}
 	if matched == 0 {
 		return fmt.Errorf("no (mode, shards) entries in common with %s", path)
+	}
+	return nil
+}
+
+// gateRetryOverhead compares retry-on against retry-off entries within one
+// report. The real regression gate for both passes is the committed
+// baseline (gateAgainstBaseline keys entries by retry flag); two sequential
+// passes of one run are too noise-coupled for a tight relative bound, so
+// this only prints the observed overhead and trips on a catastrophic
+// (>2x) collapse that no scheduler noise explains. No retry entries
+// (e.g. -retry-pass=false) means nothing to compare.
+func gateRetryOverhead(rep *serve.BenchReport) error {
+	off := make(map[string]serve.BenchEntry, len(rep.Entries))
+	for _, e := range rep.Entries {
+		if !e.Retry {
+			off[fmt.Sprintf("%s/%d", e.Mode, e.Shards)] = e
+		}
+	}
+	for _, e := range rep.Entries {
+		if !e.Retry {
+			continue
+		}
+		b, ok := off[fmt.Sprintf("%s/%d", e.Mode, e.Shards)]
+		if !ok {
+			continue
+		}
+		fmt.Printf("retry overhead: %s x%d exactly-once client ran at %.0f%% of the retry-off pass\n",
+			e.Mode, e.Shards, 100*e.Throughput/b.Throughput)
+		if e.Throughput < b.Throughput*0.5 {
+			return fmt.Errorf("%s x%d: retry client %.0f ops/s is under half the %.0f retry-off pass",
+				e.Mode, e.Shards, e.Throughput, b.Throughput)
+		}
 	}
 	return nil
 }

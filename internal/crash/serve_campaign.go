@@ -1,0 +1,519 @@
+package crash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gpm-sim/gpm/internal/faultnet"
+	"github.com/gpm-sim/gpm/internal/pmem"
+	"github.com/gpm-sim/gpm/internal/serve"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// ServeCampaign sweeps the crash surface of the whole serving stack, not
+// just a workload: each run boots an isolated one-shard serve.Server on an
+// in-memory pipe, arms a shard crash plan (pipeline crash point x PM fault
+// model x nested re-crashes), fronts the server with a fault-injecting
+// network schedule, and drives it with the exactly-once retry client. The
+// run passes only if the end-to-end contract held through the power
+// failure AND the network faults:
+//
+//   - accounting: every client op either resolved or was explicitly given
+//     up (none vanished),
+//   - exactly-once: no request ID was applied to the committed store more
+//     than once (the lost-ack retry after CrashBeforeReply must be absorbed
+//     by the PM-recovered dedup marks),
+//   - consistency: the durable store image still matches the committed
+//     oracle after recovery.
+//
+// Every run is precomputed into a descriptor before execution and fully
+// isolated (its own simulated node, server, and pipe), so records commit by
+// descriptor index and the report's Identity is the same for every Workers
+// value. Identity hashes only stable run coordinates and the verdict class
+// — never timing-dependent counters like retries or batch composition.
+type ServeCampaign struct {
+	// Seed anchors every derived fault and load seed; equal campaigns
+	// replay identically.
+	Seed uint64
+
+	// Sweep axes; nil takes the default for each.
+	Modes     []workloads.Mode    // nil = ServeStudyModes
+	Schedules []faultnet.Schedule // nil = faultnet.Schedules()
+	Models    []pmem.FaultModel   // nil = pmem.Models()
+	Points    []serve.CrashPoint  // nil = serve.CrashPoints()
+
+	// ApplyIndices selects which mutation-bearing applies the crash plan
+	// fires on (1-based; see serve.ShardCrashPlan); nil = {1, 2}.
+	ApplyIndices []int64
+
+	// Ops is the client op count per run (0 = 32); Conns the client
+	// connection count (0 = 1).
+	Ops   int64
+	Conns int
+
+	// RecrashDepth injects that many nested power failures during each
+	// run's recovery replay.
+	RecrashDepth int
+
+	// Workers bounds concurrent runs (0 = GOMAXPROCS, 1 = the serial
+	// determinism reference).
+	Workers int
+
+	// BreakDedup disables the shard's PM dedup persistence in every run —
+	// the negative control proving the exactly-once invariant checker
+	// catches a real lost-marks bug.
+	BreakDedup bool
+}
+
+// ServeStudyModes are the persistence modes the serve campaign sweeps by
+// default: the paper's GPM plus the projected-hardware eADR variant, the
+// same pair the workload-level crash study uses.
+var ServeStudyModes = []workloads.Mode{workloads.GPM, workloads.GPMeADR}
+
+// Serve campaign verdict classes. NotReached means the armed crash plan
+// never fired (the run saw fewer mutation applies than ApplyIndex) — the
+// invariants still held, but the crash path went unexercised.
+const (
+	ServeVerdictOK         = "ok"
+	ServeVerdictNotReached = "not-reached"
+	ServeVerdictFail       = "fail"
+)
+
+// ServeRunRecord is one (mode, net schedule, fault model, crash point,
+// apply index) execution. The first six fields plus Verdict are the stable
+// coordinates Identity hashes; the counters after them are informational
+// and may legitimately vary with scheduling (batch composition decides
+// which ops ride the crashed epoch).
+type ServeRunRecord struct {
+	Mode       string `json:"mode"`
+	Schedule   string `json:"schedule"`
+	Model      string `json:"model"`
+	Point      string `json:"point"`
+	ApplyIndex int64  `json:"apply_index"`
+	FaultSeed  uint64 `json:"fault_seed"`
+	Verdict    string `json:"verdict"`
+	Err        string `json:"error,omitempty"`
+
+	Ops        int64 `json:"ops"`     // client ops resolved
+	GaveUp     int64 `json:"gave_up"` // client ops abandoned after retry caps
+	Errors     int64 `json:"errors"`  // ERR replies observed by the client
+	Retries    int64 `json:"retries"`
+	Reconnects int64 `json:"reconnects"`
+	Restarts   int64 `json:"restarts"`   // shard crash-recovery cycles
+	NetResets  int64 `json:"net_resets"` // injected connection resets
+	NetDups    int64 `json:"net_dups"`   // injected duplicate lines
+}
+
+// ServeCampaignReport aggregates one sweep. Identity is the hex FNV-64a of
+// every run's stable coordinates and verdict, in descriptor order — equal
+// reports from different Workers values hash identically.
+type ServeCampaignReport struct {
+	Runs     []ServeRunRecord `json:"runs"`
+	Failures int              `json:"failures"`
+	Identity string           `json:"identity"`
+	Shrunk   *ServeShrunk     `json:"shrunk,omitempty"`
+}
+
+// ServeShrunk is a minimized, replayable serve-campaign failure: the
+// mildest network schedule, fault model, apply index, and op count that
+// still violate an invariant under the same seed. Replay is the gpmchaos
+// invocation reproducing it.
+type ServeShrunk struct {
+	Mode       string `json:"mode"`
+	Schedule   string `json:"schedule"`
+	Model      string `json:"model"`
+	Point      string `json:"point"`
+	ApplyIndex int64  `json:"apply_index"`
+	Ops        int64  `json:"ops"`
+	Seed       uint64 `json:"seed"`
+	BreakDedup bool   `json:"break_dedup,omitempty"`
+	Err        string `json:"error"`
+	Replay     string `json:"replay"`
+}
+
+func (c *ServeCampaign) modes() []workloads.Mode {
+	if len(c.Modes) > 0 {
+		return c.Modes
+	}
+	return ServeStudyModes
+}
+
+func (c *ServeCampaign) schedules() []faultnet.Schedule {
+	if len(c.Schedules) > 0 {
+		return c.Schedules
+	}
+	return faultnet.Schedules()
+}
+
+func (c *ServeCampaign) serveModels() []pmem.FaultModel {
+	if len(c.Models) > 0 {
+		return c.Models
+	}
+	return pmem.Models()
+}
+
+func (c *ServeCampaign) points() []serve.CrashPoint {
+	if len(c.Points) > 0 {
+		return c.Points
+	}
+	return serve.CrashPoints()
+}
+
+func (c *ServeCampaign) indices() []int64 {
+	if len(c.ApplyIndices) > 0 {
+		return c.ApplyIndices
+	}
+	return []int64{1, 2}
+}
+
+func (c *ServeCampaign) ops() int64 {
+	if c.Ops > 0 {
+		return c.Ops
+	}
+	return 32
+}
+
+func (c *ServeCampaign) conns() int {
+	if c.Conns > 0 {
+		return c.Conns
+	}
+	return 1
+}
+
+// serveDesc is one precomputed campaign run; executing it cannot be
+// influenced by any other run.
+type serveDesc struct {
+	mode  workloads.Mode
+	sched faultnet.Schedule
+	model pmem.FaultModel
+	point serve.CrashPoint
+	index int64
+	ops   int64
+	rec   ServeRunRecord // pre-filled coordinates; outcome set by runOne
+}
+
+// descs expands the sweep axes into the flat descriptor list, in a fixed
+// nesting order (mode, schedule, model, point, index) so run numbering is
+// part of the campaign's contract.
+func (c *ServeCampaign) descs() []serveDesc {
+	var out []serveDesc
+	for _, mode := range c.modes() {
+		for _, sched := range c.schedules() {
+			for _, model := range c.serveModels() {
+				for _, point := range c.points() {
+					for _, idx := range c.indices() {
+						fs := faultSeed(c.Seed, "gpmserve",
+							mode.String()+"|"+sched.Name, model.Name(),
+							idx*64+int64(point))
+						out = append(out, serveDesc{
+							mode: mode, sched: sched, model: model,
+							point: point, index: idx, ops: c.ops(),
+							rec: ServeRunRecord{
+								Mode:       mode.String(),
+								Schedule:   sched.Name,
+								Model:      model.Name(),
+								Point:      point.String(),
+								ApplyIndex: idx,
+								FaultSeed:  fs,
+							},
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the sweep and, when shrink is true and a run failed,
+// reduces the first failure to a minimal replayable tuple.
+func (c *ServeCampaign) Run(shrink bool) (*ServeCampaignReport, error) {
+	descs := c.descs()
+	if len(descs) == 0 {
+		return nil, fmt.Errorf("crash: serve campaign has empty sweep axes")
+	}
+	recs := make([]ServeRunRecord, len(descs))
+	n := c.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(descs) {
+		n = len(descs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < n; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(descs) {
+					return
+				}
+				recs[i] = c.runOne(descs[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &ServeCampaignReport{Runs: recs}
+	h := fnv.New64a()
+	for _, r := range recs {
+		if r.Verdict == ServeVerdictFail {
+			rep.Failures++
+		}
+		fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d|%s\n",
+			r.Mode, r.Schedule, r.Model, r.Point, r.ApplyIndex, r.FaultSeed, r.Verdict)
+	}
+	rep.Identity = fmt.Sprintf("%016x", h.Sum64())
+	if shrink && rep.Failures > 0 {
+		for _, r := range rep.Runs {
+			if r.Verdict == ServeVerdictFail {
+				rep.Shrunk = c.ShrinkServe(r)
+				break
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runOne executes one descriptor: boot, arm, serve over a faulted pipe,
+// drive with the retry client, drain, and judge the invariants.
+func (c *ServeCampaign) runOne(d serveDesc) ServeRunRecord {
+	rec := d.rec
+	fail := func(format string, args ...any) ServeRunRecord {
+		rec.Verdict = ServeVerdictFail
+		rec.Err = fmt.Sprintf(format, args...)
+		return rec
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Mode: d.mode, Shards: 1, Sets: 64, MaxBatch: 8, Workers: 1,
+		DedupWindow: 64, Seed: rec.FaultSeed,
+	})
+	if err != nil {
+		return fail("boot: %v", err)
+	}
+	sh := srv.Shards()[0]
+	if c.BreakDedup {
+		sh.DisableDedupPersist()
+	}
+	sh.SetCrashPlan(&serve.ShardCrashPlan{
+		ApplyIndex:   d.index,
+		Point:        d.point,
+		Model:        d.model,
+		FaultSeed:    rec.FaultSeed,
+		RecrashDepth: c.RecrashDepth,
+	})
+
+	pl := faultnet.NewPipeListener()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeOn(pl) }()
+
+	// Faults ride the client side of the pipe: request lines get torn,
+	// reset, and duplicated on their way in; replies get stalled on their
+	// way back. That is the direction exactly-once retries must survive.
+	dialer := faultnet.NewDialer(pl.Dial, d.sched, rec.FaultSeed^0xfa1c0de)
+	res, loadErr := serve.RunLoad(serve.LoadConfig{
+		Conns: c.conns(), Ops: d.ops, Window: 4,
+		GetFraction: 0.25, DelFraction: 0.125, KeySpace: 48,
+		Seed:    rec.FaultSeed ^ 0x1c3a5e7d9bfd1357,
+		Timeout: 10 * time.Second,
+		Retry:   true, MaxRetries: 12, RetryBackoff: 200 * time.Microsecond,
+		Dial: dialer.Dial,
+	})
+	srv.Shutdown(5 * time.Second)
+	<-serveDone
+
+	if res != nil {
+		rec.Ops, rec.GaveUp, rec.Errors = res.Ops, res.GaveUp, res.Errors
+		rec.Retries, rec.Reconnects = res.Retries, res.Reconnects
+	}
+	rec.Restarts = srv.Status()[0].Restarts
+	st := dialer.Stats()
+	rec.NetResets, rec.NetDups = st.Resets(), st.Dups()
+
+	var probs []string
+	if loadErr != nil {
+		probs = append(probs, fmt.Sprintf("client transport gave out: %v", loadErr))
+	}
+	if res != nil && res.Ops+res.GaveUp != d.ops {
+		probs = append(probs, fmt.Sprintf(
+			"accounting: %d resolved + %d given up != %d issued", res.Ops, res.GaveUp, d.ops))
+	}
+	if v := sh.TallyViolations(); len(v) > 0 {
+		probs = append(probs, fmt.Sprintf("exactly-once violated: IDs %v applied more than once", v))
+	}
+	if v := srv.AckViolations(); len(v) > 0 {
+		probs = append(probs, fmt.Sprintf("lost update: IDs %v acked from high-water marks without exactly one apply", v))
+	}
+	if err := sh.Verify(); err != nil {
+		probs = append(probs, fmt.Sprintf("store verify: %v", err))
+	}
+	if len(probs) > 0 {
+		return fail("%s", strings.Join(probs, "; "))
+	}
+	if !sh.PlanFired() {
+		rec.Verdict = ServeVerdictNotReached
+	} else {
+		rec.Verdict = ServeVerdictOK
+	}
+	return rec
+}
+
+// ShrinkServe minimizes a failing serve run along four axes in severity
+// order — network schedule to clean, PM fault model to clean, apply index
+// down, op count down — re-executing every candidate and keeping only
+// reductions that still fail. The result is a replayable tuple; failure is
+// not guaranteed monotone, so it is best-effort minimal but always
+// re-confirmed.
+func (c *ServeCampaign) ShrinkServe(rec ServeRunRecord) *ServeShrunk {
+	mode, err := serve.ModeByName(rec.Mode)
+	if err != nil {
+		return nil
+	}
+	sched, err := faultnet.ScheduleByName(rec.Schedule)
+	if err != nil {
+		return nil
+	}
+	model, err := pmem.ModelByName(rec.Model)
+	if err != nil {
+		return nil
+	}
+	point, err := ServePointByName(rec.Point)
+	if err != nil {
+		return nil
+	}
+	// reseed re-derives the candidate's fault seed from its (possibly
+	// reduced) coordinates, exactly as descs and ReplayServe do — so every
+	// reduction we confirm is the run the replay command will execute.
+	reseed := func(d serveDesc) serveDesc {
+		d.rec.FaultSeed = faultSeed(c.Seed, "gpmserve",
+			d.mode.String()+"|"+d.sched.Name, d.model.Name(),
+			d.index*64+int64(d.point))
+		return d
+	}
+	cur := reseed(serveDesc{
+		mode: mode, sched: sched, model: model, point: point,
+		index: rec.ApplyIndex, ops: c.ops(), rec: rec,
+	})
+	cur.rec.Err, cur.rec.Verdict = "", ""
+	fails := func(d serveDesc) (bool, string) {
+		r := c.runOne(d)
+		return r.Verdict == ServeVerdictFail, r.Err
+	}
+	ok, lastErr := fails(cur)
+	if !ok {
+		return nil // not reproducible in isolation; nothing to shrink
+	}
+
+	if cur.sched.Name != "clean" {
+		cand := cur
+		cand.sched, _ = faultnet.ScheduleByName("clean")
+		cand.rec.Schedule = "clean"
+		cand = reseed(cand)
+		if ok, e := fails(cand); ok {
+			cur, lastErr = cand, e
+		}
+	}
+	if cur.model.Name() != "clean" {
+		cand := cur
+		cand.model = pmem.Clean{}
+		cand.rec.Model = "clean"
+		cand = reseed(cand)
+		if ok, e := fails(cand); ok {
+			cur, lastErr = cand, e
+		}
+	}
+	// Smallest apply index that still fails (binary search toward 1).
+	lo, hi := int64(1), cur.index
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		cand := cur
+		cand.index, cand.rec.ApplyIndex = mid, mid
+		cand = reseed(cand)
+		if ok, e := fails(cand); ok {
+			hi, cur, lastErr = mid, cand, e
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Halve the op count while the failure survives.
+	for cur.ops > 8 {
+		cand := cur
+		cand.ops = cur.ops / 2
+		ok, e := fails(cand)
+		if !ok {
+			break
+		}
+		cur, lastErr = cand, e
+	}
+
+	s := &ServeShrunk{
+		Mode:       cur.rec.Mode,
+		Schedule:   cur.rec.Schedule,
+		Model:      cur.rec.Model,
+		Point:      cur.rec.Point,
+		ApplyIndex: cur.index,
+		Ops:        cur.ops,
+		Seed:       c.Seed,
+		BreakDedup: c.BreakDedup,
+		Err:        lastErr,
+	}
+	s.Replay = fmt.Sprintf(
+		"gpmchaos -serve -mode %s -schedule %s -model %s -point %s -apply-index %d -ops %d -seed %d",
+		s.Mode, s.Schedule, s.Model, s.Point, s.ApplyIndex, s.Ops, s.Seed)
+	if s.BreakDedup {
+		s.Replay += " -break-dedup"
+	}
+	return s
+}
+
+// ReplayServe re-executes a shrunk tuple as a single campaign run and
+// returns its record — the round trip gpmchaos uses to confirm a shrunk
+// failure still reproduces.
+func (c *ServeCampaign) ReplayServe(s *ServeShrunk) (ServeRunRecord, error) {
+	mode, err := serve.ModeByName(s.Mode)
+	if err != nil {
+		return ServeRunRecord{}, err
+	}
+	sched, err := faultnet.ScheduleByName(s.Schedule)
+	if err != nil {
+		return ServeRunRecord{}, err
+	}
+	model, err := pmem.ModelByName(s.Model)
+	if err != nil {
+		return ServeRunRecord{}, err
+	}
+	point, err := ServePointByName(s.Point)
+	if err != nil {
+		return ServeRunRecord{}, err
+	}
+	fs := faultSeed(c.Seed, "gpmserve", mode.String()+"|"+sched.Name,
+		model.Name(), s.ApplyIndex*64+int64(point))
+	return c.runOne(serveDesc{
+		mode: mode, sched: sched, model: model, point: point,
+		index: s.ApplyIndex, ops: s.Ops,
+		rec: ServeRunRecord{
+			Mode: s.Mode, Schedule: s.Schedule, Model: s.Model,
+			Point: s.Point, ApplyIndex: s.ApplyIndex, FaultSeed: fs,
+		},
+	}), nil
+}
+
+// ServePointByName resolves a serve.CrashPoint from its String form.
+func ServePointByName(name string) (serve.CrashPoint, error) {
+	var valid []string
+	for _, p := range serve.CrashPoints() {
+		if p.String() == name {
+			return p, nil
+		}
+		valid = append(valid, p.String())
+	}
+	return 0, fmt.Errorf("crash: unknown crash point %q (valid: %s)", name, strings.Join(valid, ", "))
+}

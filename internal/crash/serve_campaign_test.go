@@ -1,0 +1,137 @@
+package crash
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/faultnet"
+	"github.com/gpm-sim/gpm/internal/pmem"
+	"github.com/gpm-sim/gpm/internal/serve"
+	"github.com/gpm-sim/gpm/internal/workloads"
+)
+
+// The default sweep — every mode x network schedule x PM fault model x
+// crash point x apply index — holds the end-to-end serving contract:
+// accounting, exactly-once, store/oracle consistency. This is the
+// ISSUE-level acceptance run (>= 200 runs).
+func TestServeCampaignDefaultSweepHolds(t *testing.T) {
+	t.Parallel()
+	c := &ServeCampaign{Seed: 42}
+	rep, err := c.Run(true)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Runs) < 200 {
+		t.Fatalf("default sweep is %d runs, want >= 200", len(rep.Runs))
+	}
+	if rep.Failures != 0 {
+		t.Errorf("failures = %d, want 0 (shrunk: %+v)", rep.Failures, rep.Shrunk)
+		for _, r := range rep.Runs {
+			if r.Verdict == ServeVerdictFail {
+				t.Errorf("  %s/%s/%s/%s@%d: %s", r.Mode, r.Schedule, r.Model, r.Point, r.ApplyIndex, r.Err)
+			}
+		}
+	}
+	fired := 0
+	for _, r := range rep.Runs {
+		if r.Verdict == ServeVerdictOK {
+			fired++
+		}
+	}
+	if fired < len(rep.Runs)*3/4 {
+		t.Errorf("only %d/%d runs reached their crash plan", fired, len(rep.Runs))
+	}
+	if rep.Identity == "" {
+		t.Error("report has no identity hash")
+	}
+}
+
+// The report is bit-identical regardless of worker count: runs are fully
+// isolated, commit by descriptor index, and the identity hashes only
+// stable coordinates.
+func TestServeCampaignDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	slow, _ := faultnet.ScheduleByName("slow")
+	chaos, _ := faultnet.ScheduleByName("chaos")
+	sub := func(workers int) *ServeCampaign {
+		return &ServeCampaign{
+			Seed:      7,
+			Modes:     []workloads.Mode{workloads.GPM},
+			Schedules: []faultnet.Schedule{slow, chaos},
+			Models:    []pmem.FaultModel{pmem.Clean{}, pmem.TornLines{}},
+			Points:    []serve.CrashPoint{serve.CrashBeforeKernel, serve.CrashBeforeReply},
+			Workers:   workers,
+		}
+	}
+	serial, err := sub(1).Run(false)
+	if err != nil {
+		t.Fatalf("serial Run: %v", err)
+	}
+	fanned, err := sub(4).Run(false)
+	if err != nil {
+		t.Fatalf("fanned Run: %v", err)
+	}
+	if serial.Identity != fanned.Identity {
+		t.Errorf("identity differs across workers: %s vs %s", serial.Identity, fanned.Identity)
+	}
+	if len(serial.Runs) != len(fanned.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial.Runs), len(fanned.Runs))
+	}
+	for i := range serial.Runs {
+		a, b := serial.Runs[i], fanned.Runs[i]
+		// Only the stable coordinates must match; counters like retries
+		// legitimately vary with scheduling.
+		a.Ops, a.GaveUp, a.Errors, a.Retries, a.Reconnects = 0, 0, 0, 0, 0
+		a.Restarts, a.NetResets, a.NetDups = 0, 0, 0
+		b.Ops, b.GaveUp, b.Errors, b.Retries, b.Reconnects = 0, 0, 0, 0, 0
+		b.Restarts, b.NetResets, b.NetDups = 0, 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("run %d differs across workers:\n  serial: %+v\n  fanned: %+v", i, a, b)
+		}
+	}
+}
+
+// Negative control: breaking dedup persistence makes the lost-ack retry
+// after CrashBeforeReply re-apply, the campaign must catch it, shrink it
+// to a replayable tuple, and the replay must still reproduce it.
+func TestServeCampaignNegativeControlCaught(t *testing.T) {
+	t.Parallel()
+	clean, _ := faultnet.ScheduleByName("clean")
+	c := &ServeCampaign{
+		Seed:         9,
+		Modes:        []workloads.Mode{workloads.GPM},
+		Schedules:    []faultnet.Schedule{clean},
+		Models:       []pmem.FaultModel{pmem.Clean{}},
+		Points:       []serve.CrashPoint{serve.CrashBeforeReply},
+		ApplyIndices: []int64{2},
+		BreakDedup:   true,
+	}
+	rep, err := c.Run(true)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failures == 0 {
+		t.Fatal("broken dedup persistence was not caught")
+	}
+	if rep.Shrunk == nil {
+		t.Fatal("caught failure was not shrunk")
+	}
+	if !strings.Contains(rep.Shrunk.Err, "applied more than once") &&
+		!strings.Contains(rep.Shrunk.Err, "acked from high-water marks") {
+		t.Errorf("shrunk error %q does not name an exactly-once violation", rep.Shrunk.Err)
+	}
+	if !strings.Contains(rep.Shrunk.Replay, "-break-dedup") {
+		t.Errorf("replay command %q lacks -break-dedup", rep.Shrunk.Replay)
+	}
+	if !strings.HasPrefix(rep.Shrunk.Replay, "gpmchaos -serve") {
+		t.Errorf("replay command %q is not a gpmchaos -serve invocation", rep.Shrunk.Replay)
+	}
+	rec, err := c.ReplayServe(rep.Shrunk)
+	if err != nil {
+		t.Fatalf("ReplayServe: %v", err)
+	}
+	if rec.Verdict != ServeVerdictFail {
+		t.Errorf("replayed shrunk tuple verdict = %s, want fail (%+v)", rec.Verdict, rec)
+	}
+}

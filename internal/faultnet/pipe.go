@@ -1,0 +1,62 @@
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// PipeListener is an in-memory transport for chaos campaigns and tests: a
+// net.Listener whose Accept hands out the server end of a net.Pipe each
+// time Dial is called. No sockets, no kernel buffering, no ports — a
+// campaign of hundreds of server instances runs without touching the
+// network stack, and faultnet wrappers compose on either end.
+type PipeListener struct {
+	ch     chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewPipeListener returns an open in-memory listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{ch: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+// Dial opens one connection pair, returning the client end (the server end
+// is delivered to Accept). Fails once the listener is closed.
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("faultnet: pipe listener closed")
+	}
+}
+
+// Accept implements net.Listener.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener; concurrent and repeated calls are safe.
+func (l *PipeListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+// pipeAddr is the fixed address pipes report.
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// Addr implements net.Listener.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }

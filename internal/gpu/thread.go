@@ -26,10 +26,10 @@ type Thread struct {
 	// seqBase + (index - opBase). lastExec is the highest index executed,
 	// abortedAt the index at which the fault injector unwound the thread
 	// (0 = none). Read by Launch after the join.
-	opIdx    int64
-	lastExec int64
+	opIdx     int64
+	lastExec  int64
 	abortedAt int64
-	curSeq   uint64
+	curSeq    uint64
 }
 
 // ---- Identity ----

@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"time"
 )
@@ -113,10 +115,17 @@ func (l *AuditLog) Close() error {
 	return nil
 }
 
+// syncer is what a file sink implements; Record fsyncs through it after
+// crash and restart events.
+type syncer interface{ Sync() error }
+
 // Record stamps ev with the next sequence number and the current time
 // (when unset), stores it in the ring, and writes one JSON line to the
 // attached sink. Sink write errors are swallowed: the audit trail must
-// never fail the serving or recovery path it is narrating.
+// never fail the serving or recovery path it is narrating. Crash and
+// restart events are fsynced through a file sink before Record returns —
+// those are exactly the entries a post-mortem needs, written at exactly
+// the moments the process is least likely to exit cleanly.
 func (l *AuditLog) Record(ev AuditEvent) {
 	if l == nil {
 		return
@@ -140,7 +149,45 @@ func (l *AuditLog) Record(ev AuditEvent) {
 	l.mu.Unlock()
 	if sink != nil && line != nil {
 		sink.Write(append(line, '\n'))
+		if ev.Type == AuditCrash || ev.Type == AuditRestart {
+			if s, ok := sink.(syncer); ok {
+				s.Sync()
+			}
+		}
 	}
+}
+
+// ReadAuditJSONL reads an audit trail file written by a file sink. A torn
+// final line — the partial write of a process that died mid-Record — is
+// tolerated and reported via torn rather than failing the whole read; a
+// malformed line anywhere else is real corruption and errors. Events are
+// returned in file order.
+func ReadAuditJSONL(path string) (events []AuditEvent, torn bool, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	lines := strings.Split(string(blob), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		var ev AuditEvent
+		if uerr := json.Unmarshal([]byte(line), &ev); uerr != nil {
+			tail := i == len(lines)-1
+			for j := i + 1; j < len(lines); j++ {
+				if lines[j] != "" {
+					tail = false
+				}
+			}
+			if tail {
+				return events, true, nil
+			}
+			return events, false, fmt.Errorf("obs: audit line %d corrupt: %w", i+1, uerr)
+		}
+		events = append(events, ev)
+	}
+	return events, false, nil
 }
 
 // Events returns the retained events, oldest first.

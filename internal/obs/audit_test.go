@@ -64,6 +64,99 @@ func TestAuditLogRingAndSink(t *testing.T) {
 	}
 }
 
+// syncCounter counts Sync calls through a file-like sink.
+type syncCounter struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (s *syncCounter) Sync() error { s.syncs++; return nil }
+
+// Crash and restart events fsync the sink before Record returns; routine
+// events (verify, drain) do not — the trail stays cheap on the hot path
+// but durable at exactly the moments the process may not exit cleanly.
+func TestAuditLogSyncOnCrashEvents(t *testing.T) {
+	var sink syncCounter
+	l := NewAuditLog(8)
+	l.Attach(&sink)
+	l.Record(AuditEvent{Type: AuditVerify, Outcome: "ok"})
+	l.Record(AuditEvent{Type: AuditDrain})
+	if sink.syncs != 0 {
+		t.Fatalf("routine events synced %d times, want 0", sink.syncs)
+	}
+	l.Record(AuditEvent{Type: AuditCrash, Point: "before-commit"})
+	if sink.syncs != 1 {
+		t.Fatalf("crash event synced %d times, want 1", sink.syncs)
+	}
+	l.Record(AuditEvent{Type: AuditRestart, TxSet: true})
+	if sink.syncs != 2 {
+		t.Fatalf("restart event synced %d times, want 2", sink.syncs)
+	}
+}
+
+// ReadAuditJSONL reads a trail back, tolerates the torn final line of a
+// process that died mid-append, and still rejects corruption anywhere
+// else in the file.
+func TestReadAuditJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	l := NewAuditLog(8)
+	if err := l.OpenFile(path); err != nil {
+		t.Fatal(err)
+	}
+	l.Record(AuditEvent{Type: AuditCrash, Shard: 0, Point: "mid-kernel"})
+	l.Record(AuditEvent{Type: AuditRestart, Shard: 0, TxSet: true})
+	l.Record(AuditEvent{Type: AuditVerify, Shard: 0, Outcome: "ok"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, torn, err := ReadAuditJSONL(path)
+	if err != nil || torn {
+		t.Fatalf("clean read: err=%v torn=%v", err, torn)
+	}
+	if len(evs) != 3 || evs[0].Type != AuditCrash || evs[2].Outcome != "ok" {
+		t.Fatalf("events = %+v", evs)
+	}
+
+	// A crash mid-append leaves a partial JSON line with no newline: the
+	// reader returns the complete prefix and flags the tear.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"type":"cra`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	evs, torn, err = ReadAuditJSONL(path)
+	if err != nil {
+		t.Fatalf("torn read: %v", err)
+	}
+	if !torn {
+		t.Error("torn tail not flagged")
+	}
+	if len(evs) != 3 {
+		t.Errorf("torn read kept %d events, want 3", len(evs))
+	}
+
+	// Corruption mid-file is NOT a tear and must error.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := bytes.Replace(blob, []byte(`"type":"restart"`), []byte(`XXtypeXX`), 1)
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadAuditJSONL(path); err == nil {
+		t.Error("mid-file corruption not rejected")
+	}
+
+	if _, _, err := ReadAuditJSONL(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file not reported")
+	}
+}
+
 // OpenFile appends JSONL across reopens — the post-crash queryable record.
 func TestAuditLogFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "audit.jsonl")

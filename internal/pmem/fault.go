@@ -175,7 +175,7 @@ func ModelByName(name string) (FaultModel, error) {
 // CrashStats reports what one crash did to the device's volatile state.
 type CrashStats struct {
 	Model           string `json:"model"`
-	DirtyLines      int    `json:"dirty_lines"`      // lines volatile at the crash instant
+	DirtyLines      int    `json:"dirty_lines"`       // lines volatile at the crash instant
 	LinesRolledBack int    `json:"lines_rolled_back"` // fully reverted to the durable image
 	LinesSurvived   int    `json:"lines_survived"`    // persisted whole despite never being flushed
 	WordsTorn       int    `json:"words_torn"`        // 8-byte words that survived inside partially-reverted lines

@@ -50,6 +50,13 @@ type BenchEntry struct {
 	// trail matched the injected crash points (kill-and-recover runs).
 	AuditEvents     int  `json:"audit_events,omitempty"`
 	AuditConsistent bool `json:"audit_consistent,omitempty"`
+	// Retry marks the exactly-once-client pass: every request carries an
+	// "@cid.seq" ID through the server's dedup window. The price of those
+	// IDs on a clean network is the retry-off vs retry-on throughput delta.
+	Retry      bool  `json:"retry,omitempty"`
+	Retries    int64 `json:"retries,omitempty"`    // RETRY-verdict resends observed
+	Reconnects int64 `json:"reconnects,omitempty"` // transport reconnects observed
+	GaveUp     int64 `json:"gave_up,omitempty"`    // ops abandoned after MaxRetries
 }
 
 // BenchReport is the BENCH_serve.json document.
@@ -97,6 +104,10 @@ type SelfTestOptions struct {
 	// AuditPath, when set, streams the recovery audit trail to this JSONL
 	// file (appending across runs).
 	AuditPath string
+	// RetryPass adds a second measurement per (mode, shards) combination
+	// with the exactly-once retry client enabled, so BENCH_serve.json
+	// records what request IDs and the dedup window cost on a clean network.
+	RetryPass bool
 }
 
 func (o *SelfTestOptions) normalize() {
@@ -159,17 +170,24 @@ func SelfTest(opts SelfTestOptions) (*BenchReport, error) {
 	}
 	for _, mode := range opts.Modes {
 		for _, shards := range opts.ShardCounts {
-			entry, err := runSelfTest(opts, mode, shards)
+			entry, err := runSelfTest(opts, mode, shards, false)
 			if err != nil {
 				return rep, fmt.Errorf("serve: selftest %s x%d: %w", mode, shards, err)
 			}
 			rep.Entries = append(rep.Entries, *entry)
+			if opts.RetryPass {
+				entry, err := runSelfTest(opts, mode, shards, true)
+				if err != nil {
+					return rep, fmt.Errorf("serve: selftest %s x%d (retry): %w", mode, shards, err)
+				}
+				rep.Entries = append(rep.Entries, *entry)
+			}
 		}
 	}
 	return rep, nil
 }
 
-func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchEntry, error) {
+func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int, retry bool) (*BenchEntry, error) {
 	tel := telemetry.New()
 	// The observability plane is always on for selftest runs — the numbers
 	// this writes into BENCH_serve.json (and the regression gate reads) must
@@ -224,6 +242,7 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 		Dist:        opts.Dist,
 		Theta:       opts.Theta,
 		Seed:        opts.Seed,
+		Retry:       retry,
 	})
 	if err != nil {
 		srv.Shutdown(5 * time.Second)
@@ -256,6 +275,13 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchE
 		P95US:       load.P95US,
 		P99US:       load.P99US,
 		AdminProbed: adminProbed,
+		Retry:       retry,
+		Retries:     load.Retries,
+		Reconnects:  load.Reconnects,
+		GaveUp:      load.GaveUp,
+	}
+	if retry && load.GaveUp > 0 {
+		return nil, fmt.Errorf("%d ops gave up on a clean loopback network", load.GaveUp)
 	}
 	entry.TracesCaptured, entry.SlowTraces = plane.Tracer.Captured()
 	if load.Ops >= obs.DefaultSampleEvery && entry.TracesCaptured == 0 {

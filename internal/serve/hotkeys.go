@@ -115,6 +115,17 @@ func (h *hotKeyCache) CommitSlot(slot int, key, val uint64) {
 	h.byKey[key] = slot
 }
 
+// Reset drops every cached slot and sketch counter. Called after a
+// crash-restart: a CrashBeforeReply cut commits mutations whose cache
+// refresh never ran, so the cheap safe move is to start cold.
+func (h *hotKeyCache) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts = make(map[uint64]int64, h.k)
+	h.slots = make(map[int]cachedSlot, h.k)
+	h.byKey = make(map[uint64]int, h.k)
+}
+
 // Len returns the number of cached slots (telemetry).
 func (h *hotKeyCache) Len() int {
 	h.mu.Lock()

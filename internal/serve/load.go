@@ -2,10 +2,12 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"math"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,6 +38,22 @@ type LoadConfig struct {
 	Seed        uint64
 	Timeout     time.Duration // per-connection dial/IO deadline (0 = 30s)
 
+	// Retry switches each connection to the exactly-once client: every
+	// request carries an "@<cid>.<seq>" identity, replies are matched by ID
+	// rather than stream position, and transport failures (or server RETRY
+	// verdicts after a crash-restart) resend the request — reconnecting
+	// with capped exponential backoff plus jitter — until it resolves or
+	// MaxRetries attempts are spent (the op is then counted as given up,
+	// not failed). Off, connections run the legacy positional pipeline.
+	Retry        bool
+	MaxRetries   int           // resend attempts per op and per reconnect (0 = 8)
+	RetryBackoff time.Duration // backoff base; doubles per attempt, capped (0 = 2ms)
+
+	// Dial overrides how connections reach the server (chaos campaigns
+	// dial in-memory pipes or fault-injecting wrappers); nil dials
+	// cfg.Addr over TCP.
+	Dial func() (net.Conn, error)
+
 	// Progress/OnProgress enable live status reporting: every Progress
 	// interval the generator calls OnProgress with a snapshot whose rate
 	// and p99 cover just that interval (a rolling window, not cumulative).
@@ -46,12 +64,15 @@ type LoadConfig struct {
 
 // LoadProgress is one live status snapshot from a running load generation.
 type LoadProgress struct {
-	Elapsed   time.Duration // since RunLoad started
-	Done      int64         // replies received so far (cumulative)
-	Total     int64         // cfg.Ops
-	Inflight  int64         // requests sent but not yet answered
-	OpsPerSec float64       // over the last interval only
-	P99US     float64       // p99 latency over the last interval, microseconds
+	Elapsed    time.Duration // since RunLoad started
+	Done       int64         // replies received so far (cumulative)
+	Total      int64         // cfg.Ops
+	Inflight   int64         // requests sent but not yet answered
+	OpsPerSec  float64       // over the last interval only
+	P99US      float64       // p99 latency over the last interval, microseconds
+	Errors     int64         // ERR replies so far (cumulative)
+	Reconnects int64         // transport reconnects so far (cumulative)
+	Retries    int64         // resends so far (cumulative; retry client only)
 }
 
 // Normalize fills defaults and validates.
@@ -68,16 +89,23 @@ func (c *LoadConfig) Normalize() error {
 	if c.Timeout == 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
 	if c.Dist == "" {
 		c.Dist = DistUniform
 	}
 	if c.Dist == DistZipf && c.Theta == 0 {
 		c.Theta = 0.99
 	}
-	if c.Addr == "" || c.Conns < 1 || c.Ops < 1 || c.Window < 1 ||
-		c.GetFraction < 0 || c.DelFraction < 0 || c.GetFraction+c.DelFraction > 1 {
-		return fmt.Errorf("serve: invalid load config (addr=%q conns=%d ops=%d window=%d get=%g del=%g)",
-			c.Addr, c.Conns, c.Ops, c.Window, c.GetFraction, c.DelFraction)
+	if (c.Addr == "" && c.Dial == nil) || c.Conns < 1 || c.Ops < 1 || c.Window < 1 ||
+		c.GetFraction < 0 || c.DelFraction < 0 || c.GetFraction+c.DelFraction > 1 ||
+		c.MaxRetries < 1 || c.RetryBackoff < 0 {
+		return fmt.Errorf("serve: invalid load config (addr=%q conns=%d ops=%d window=%d get=%g del=%g retries=%d)",
+			c.Addr, c.Conns, c.Ops, c.Window, c.GetFraction, c.DelFraction, c.MaxRetries)
 	}
 	switch c.Dist {
 	case DistUniform:
@@ -99,6 +127,10 @@ type LoadResult struct {
 	Errors     int64         `json:"errors"` // ERR replies + transport failures
 	Hits       int64         `json:"hits"`
 	Misses     int64         `json:"misses"`
+	Reconnects int64         `json:"reconnects"`      // transport reconnects (retry client)
+	Retries    int64         `json:"retries"`         // resends of already-sent requests
+	GaveUp     int64         `json:"gave_up"`         // ops abandoned after MaxRetries
+	PerConn    []ConnResult  `json:"conns,omitempty"` // per-worker breakdown
 	Dist       string        `json:"dist"`
 	Theta      float64       `json:"theta,omitempty"` // zipf only
 	KeySpace   uint64        `json:"keyspace"`
@@ -114,14 +146,57 @@ type LoadResult struct {
 	P99US      float64       `json:"p99_us"`
 }
 
+// ConnResult is one load worker's share of the run — per-worker errors,
+// reconnects, and retry outcomes stay visible even when the aggregate
+// looks healthy.
+type ConnResult struct {
+	Conn       int    `json:"conn"`
+	Ops        int64  `json:"ops"` // replies received (excludes gave-up)
+	Errors     int64  `json:"errors"`
+	Reconnects int64  `json:"reconnects"`
+	Retries    int64  `json:"retries"`
+	GaveUp     int64  `json:"gave_up"`
+	Failure    string `json:"failure,omitempty"` // fatal transport error, if any
+}
+
 // loadTracker aggregates live counters across connections for progress
 // reporting: sends/replies are atomics touched once per request; interval
 // latencies collect under a mutex and are swapped out at each report.
 type loadTracker struct {
-	sends   atomic.Int64
-	replies atomic.Int64
-	mu      sync.Mutex
-	lats    []time.Duration
+	sends      atomic.Int64
+	replies    atomic.Int64
+	errs       atomic.Int64
+	reconnects atomic.Int64
+	retries    atomic.Int64
+	mu         sync.Mutex
+	lats       []time.Duration
+}
+
+// The nil-safe increments below let drivers count unconditionally whether
+// or not progress reporting (and thus the tracker) is enabled.
+
+func (t *loadTracker) addSend() {
+	if t != nil {
+		t.sends.Add(1)
+	}
+}
+
+func (t *loadTracker) addErr() {
+	if t != nil {
+		t.errs.Add(1)
+	}
+}
+
+func (t *loadTracker) addReconnect() {
+	if t != nil {
+		t.reconnects.Add(1)
+	}
+}
+
+func (t *loadTracker) addRetry() {
+	if t != nil {
+		t.retries.Add(1)
+	}
 }
 
 func (t *loadTracker) record(d time.Duration) {
@@ -161,28 +236,40 @@ func (t *loadTracker) reportLoop(cfg LoadConfig, start time.Time, stop <-chan st
 				rate = float64(done-lastDone) / span.Seconds()
 			}
 			cfg.OnProgress(LoadProgress{
-				Elapsed:   now.Sub(start),
-				Done:      done,
-				Total:     cfg.Ops,
-				Inflight:  t.sends.Load() - done,
-				OpsPerSec: rate,
-				P99US:     float64(percentile(t.swap(), 0.99)) / float64(time.Microsecond),
+				Elapsed:    now.Sub(start),
+				Done:       done,
+				Total:      cfg.Ops,
+				Inflight:   t.sends.Load() - done,
+				OpsPerSec:  rate,
+				P99US:      float64(percentile(t.swap(), 0.99)) / float64(time.Microsecond),
+				Errors:     t.errs.Load(),
+				Reconnects: t.reconnects.Load(),
+				Retries:    t.retries.Load(),
 			})
 			lastDone, lastAt = done, now
 		}
 	}
 }
 
+// connStats is one worker's raw tallies, published once when it finishes.
+type connStats struct {
+	lats         []time.Duration
+	errs         int64
+	hits, misses int64
+	reconnects   int64
+	retries      int64
+	gaveUp       int64
+	err          error
+}
+
 // RunLoad drives the server at cfg.Addr and reports client-side metrics.
+// One connection failing does not void the run: its fatal error is
+// recorded in the per-connection breakdown and the first such error is
+// returned ALONGSIDE the aggregated result, so callers that want the
+// partial numbers can still read them.
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
-	}
-	type connStats struct {
-		lats         []time.Duration
-		errs         int64
-		hits, misses int64
-		err          error
 	}
 	stats := make([]connStats, cfg.Conns)
 	per := cfg.Ops / int64(cfg.Conns)
@@ -203,10 +290,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		wg.Add(1)
 		go func(ci int, ops int64) {
 			defer wg.Done()
-			st := &stats[ci]
-			st.err = driveConn(cfg, ci, ops, st.lats[:0], prog, func(lats []time.Duration, errs, hits, misses int64) {
-				st.lats, st.errs, st.hits, st.misses = lats, errs, hits, misses
-			})
+			if cfg.Retry {
+				stats[ci].err = driveConnRetry(cfg, ci, ops, prog, &stats[ci])
+			} else {
+				st := &stats[ci]
+				st.err = driveConn(cfg, ci, ops, st.lats[:0], prog, func(lats []time.Duration, errs, hits, misses int64) {
+					st.lats, st.errs, st.hits, st.misses = lats, errs, hits, misses
+				})
+			}
 		}(ci, ops)
 	}
 	wg.Wait()
@@ -221,15 +312,28 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		out.Theta = cfg.Theta
 	}
 	var all []time.Duration
+	var firstErr error
 	for i := range stats {
-		if stats[i].err != nil {
-			return nil, fmt.Errorf("serve: load conn %d: %w", i, stats[i].err)
+		st := &stats[i]
+		cr := ConnResult{
+			Conn: i, Ops: int64(len(st.lats)), Errors: st.errs,
+			Reconnects: st.reconnects, Retries: st.retries, GaveUp: st.gaveUp,
 		}
-		out.Ops += int64(len(stats[i].lats))
-		out.Errors += stats[i].errs
-		out.Hits += stats[i].hits
-		out.Misses += stats[i].misses
-		all = append(all, stats[i].lats...)
+		if st.err != nil {
+			cr.Failure = st.err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: load conn %d: %w", i, st.err)
+			}
+		}
+		out.PerConn = append(out.PerConn, cr)
+		out.Ops += cr.Ops
+		out.Errors += st.errs
+		out.Hits += st.hits
+		out.Misses += st.misses
+		out.Reconnects += st.reconnects
+		out.Retries += st.retries
+		out.GaveUp += st.gaveUp
+		all = append(all, st.lats...)
 	}
 	out.ElapsedMS = float64(out.Elapsed) / float64(time.Millisecond)
 	if out.Elapsed > 0 {
@@ -241,7 +345,15 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	out.P50US = float64(out.P50) / float64(time.Microsecond)
 	out.P95US = float64(out.P95) / float64(time.Microsecond)
 	out.P99US = float64(out.P99) / float64(time.Microsecond)
-	return out, nil
+	return out, firstErr
+}
+
+// dialLoad opens one load connection per cfg (custom dialer or TCP).
+func dialLoad(cfg LoadConfig) (net.Conn, error) {
+	if cfg.Dial != nil {
+		return cfg.Dial()
+	}
+	return net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
 }
 
 // driveConn runs one connection's share: a writer keeps up to Window
@@ -249,7 +361,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 // latencies. commit publishes the results exactly once before return.
 func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration, prog *loadTracker,
 	commit func(lats []time.Duration, errs, hits, misses int64)) error {
-	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
+	conn, err := dialLoad(cfg)
 	if err != nil {
 		return err
 	}
@@ -288,6 +400,7 @@ func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration, prog *lo
 				misses++
 			case strings.HasPrefix(line, "ERR"):
 				errs++
+				prog.addErr()
 			}
 		}
 	}()
@@ -337,6 +450,247 @@ func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration, prog *lo
 		return writeErr
 	}
 	return readErr
+}
+
+// driveConnRetry runs one connection's share with the exactly-once client:
+// every request carries "@<cid>.<seq>", replies are matched by ID (so
+// duplicated or reordered deliveries are harmless), and a transport
+// failure reconnects with capped exponential backoff plus jitter, then
+// resends everything still outstanding in seq order. A server RETRY
+// verdict resends the same request verbatim. An op that spends MaxRetries
+// attempts is abandoned and counted in gaveUp — its outcome is unknown,
+// which is exactly what the server-side dedup window exists to absorb.
+func driveConnRetry(cfg LoadConfig, ci int, ops int64, prog *loadTracker, st *connStats) error {
+	cid := uint64(ci) + 1
+	rng := sim.NewRNG(cfg.Seed + uint64(ci)*0x9e3779b9)
+	jit := sim.NewRNG(mix64(cfg.Seed^cid*0xa24baed4963ee407) | 1)
+	nextKey := newKeyGen(cfg, rng)
+
+	type pendingOp struct {
+		line     string
+		first    time.Time
+		attempts int
+	}
+	outstanding := make(map[uint64]*pendingOp, cfg.Window)
+
+	var conn net.Conn
+	var br *bufio.Reader
+	var bw *bufio.Writer
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+
+	backoff := func(attempt int) {
+		d := cfg.RetryBackoff << uint(attempt)
+		if cap := 64 * cfg.RetryBackoff; d > cap {
+			d = cap
+		}
+		time.Sleep(d/2 + time.Duration(jit.Uint64()%uint64(d))) // [0.5d, 1.5d)
+	}
+	// giveUpOrBump charges one attempt against an op, abandoning it once
+	// the cap is spent. Reports true when the op was dropped.
+	giveUpOrBump := func(seq uint64, p *pendingOp) bool {
+		if p.attempts >= cfg.MaxRetries {
+			delete(outstanding, seq)
+			st.gaveUp++
+			return true
+		}
+		p.attempts++
+		return false
+	}
+
+	connect := func(initial bool) error {
+		if !initial {
+			st.reconnects++
+			prog.addReconnect()
+		}
+		for attempt := 0; ; attempt++ {
+			if conn != nil {
+				conn.Close()
+				conn = nil
+			}
+			c, err := dialLoad(cfg)
+			if err != nil {
+				if attempt >= cfg.MaxRetries {
+					return err
+				}
+				backoff(attempt)
+				continue
+			}
+			conn = c
+			conn.SetDeadline(time.Now().Add(cfg.Timeout))
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			br, bw = bufio.NewReader(conn), bufio.NewWriter(conn)
+			// Re-send survivors lowest seq first: the server's per-client
+			// ordering contract wants old seqs before new ones.
+			seqs := make([]uint64, 0, len(outstanding))
+			for s := range outstanding {
+				seqs = append(seqs, s)
+			}
+			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+			resendErr := false
+			for _, s := range seqs {
+				p := outstanding[s]
+				if giveUpOrBump(s, p) {
+					continue
+				}
+				st.retries++
+				prog.addRetry()
+				if _, err := bw.WriteString(p.line); err != nil {
+					resendErr = true
+					break
+				}
+			}
+			if !resendErr {
+				resendErr = bw.Flush() != nil
+			}
+			if resendErr {
+				if attempt >= cfg.MaxRetries {
+					return fmt.Errorf("resend after reconnect failed")
+				}
+				backoff(attempt)
+				continue
+			}
+			return nil
+		}
+	}
+	if err := connect(true); err != nil {
+		return err
+	}
+
+	var sent int64
+	var seq uint64
+	for sent < ops || len(outstanding) > 0 {
+		// Top up the window with fresh requests.
+		for sent < ops && len(outstanding) < cfg.Window {
+			seq++
+			key := nextKey()
+			roll := rng.Float64()
+			var body string
+			switch {
+			case roll < cfg.GetFraction:
+				body = fmt.Sprintf("GET %d", key)
+			case roll < cfg.GetFraction+cfg.DelFraction:
+				body = fmt.Sprintf("DEL %d", key)
+			default:
+				body = fmt.Sprintf("SET %d %d", key, key*2654435761+13)
+			}
+			line := fmt.Sprintf("@%d.%d %s\n", cid, seq, body)
+			outstanding[seq] = &pendingOp{line: line, first: time.Now()}
+			sent++
+			prog.addSend()
+			if _, err := bw.WriteString(line); err != nil {
+				if rerr := connect(false); rerr != nil {
+					return rerr
+				}
+			}
+		}
+		if bw.Buffered() > 0 {
+			if err := bw.Flush(); err != nil {
+				if rerr := connect(false); rerr != nil {
+					return rerr
+				}
+			}
+		}
+		if len(outstanding) == 0 {
+			continue // everything resolved or abandoned; maybe more to send
+		}
+
+		// handleReply resolves one reply line against the outstanding map.
+		// It reports whether the connection needs to be rebuilt (a resend
+		// failed mid-write); every other malformed or stale line is skipped.
+		handleReply := func(raw string) (reconnect bool) {
+			line := strings.TrimSpace(raw)
+			if !strings.HasPrefix(line, "@") {
+				return false // unidentified line: not one of ours
+			}
+			idTok, body, ok := strings.Cut(line[1:], " ")
+			if !ok {
+				return false
+			}
+			cidS, seqS, ok := strings.Cut(idTok, ".")
+			if !ok {
+				return false
+			}
+			rcid, err1 := strconv.ParseUint(cidS, 10, 64)
+			rseq, err2 := strconv.ParseUint(seqS, 10, 64)
+			if err1 != nil || err2 != nil || rcid != cid {
+				return false
+			}
+			p, live := outstanding[rseq]
+			if !live {
+				return false // duplicate delivery of an already-resolved reply
+			}
+			if body == "RETRY" {
+				// Crash-restart severed the ack; resend the identical request
+				// after a beat and let the server's dedup window sort it out.
+				if giveUpOrBump(rseq, p) {
+					return false
+				}
+				st.retries++
+				prog.addRetry()
+				time.Sleep(cfg.RetryBackoff)
+				if _, err := bw.WriteString(p.line); err != nil {
+					return true
+				}
+				return false
+			}
+			delete(outstanding, rseq)
+			lat := time.Since(p.first)
+			st.lats = append(st.lats, lat)
+			prog.record(lat)
+			switch {
+			case strings.HasPrefix(body, "VALUE"):
+				st.hits++
+			case strings.HasPrefix(body, "NOTFOUND"):
+				st.misses++
+			case strings.HasPrefix(body, "ERR"):
+				st.errs++
+				prog.addErr()
+			}
+			return false
+		}
+
+		raw, err := br.ReadString('\n')
+		if err != nil {
+			if rerr := connect(false); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		needReconnect := handleReply(raw)
+		// Drain every complete reply already buffered before topping the
+		// window back up: the server writes replies a batch at a time, so
+		// taking them one-per-loop would cost a write+flush per op and
+		// forfeit the pipelining the plain client gets from its reader
+		// goroutine. Only whole lines are taken — a partial tail stays
+		// buffered for the next blocking read rather than stalling here.
+		for !needReconnect {
+			n := br.Buffered()
+			if n == 0 {
+				break
+			}
+			peek, _ := br.Peek(n)
+			if bytes.IndexByte(peek, '\n') < 0 {
+				break
+			}
+			raw, err := br.ReadString('\n')
+			if err != nil {
+				break // cannot happen with a whole buffered line; be safe
+			}
+			needReconnect = handleReply(raw)
+		}
+		if needReconnect {
+			if rerr := connect(false); rerr != nil {
+				return rerr
+			}
+		}
+	}
+	return nil
 }
 
 // newKeyGen builds the per-connection key stream for a normalized config:

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,18 +19,19 @@ import (
 
 // Config configures one serving node.
 type Config struct {
-	Mode       workloads.Mode
-	Shards     int           // keyspace partitions (key mod Shards)
-	Sets       int           // hash sets per shard
-	MaxBatch   int           // ops per batch before forced dispatch
-	BatchWait  time.Duration // cap on how long a starved pipeline holds a partial epoch
-	FixedWait  bool          // true: always hold BatchWait from first admission (legacy fixed policy)
-	QueueDepth int           // per-shard admission queue (requests)
-	HotKeys    int           // hot-key sketch capacity per shard (0 = 128)
-	Workers    int           // GPU block goroutines per shard (0 = GOMAXPROCS)
-	CAPThreads int
-	Seed       uint64
-	Telemetry  *telemetry.Telemetry // optional; nil disables metrics
+	Mode        workloads.Mode
+	Shards      int           // keyspace partitions (key mod Shards)
+	Sets        int           // hash sets per shard
+	MaxBatch    int           // ops per batch before forced dispatch
+	BatchWait   time.Duration // cap on how long a starved pipeline holds a partial epoch
+	FixedWait   bool          // true: always hold BatchWait from first admission (legacy fixed policy)
+	QueueDepth  int           // per-shard admission queue (requests)
+	HotKeys     int           // hot-key sketch capacity per shard (0 = 128)
+	DedupWindow int           // committed request IDs remembered per shard (0 = 4096)
+	Workers     int           // GPU block goroutines per shard (0 = GOMAXPROCS)
+	CAPThreads  int
+	Seed        uint64
+	Telemetry   *telemetry.Telemetry // optional; nil disables metrics
 
 	// Trace, when set, samples per-request pipeline traces (admission ID
 	// head sampling plus a slow-latency threshold); nil disables. Audit,
@@ -58,12 +61,15 @@ func (c *Config) Normalize() error {
 	if c.HotKeys == 0 {
 		c.HotKeys = 128
 	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = 4096
+	}
 	if c.CAPThreads == 0 {
 		c.CAPThreads = 16
 	}
-	if c.Shards < 1 || c.Sets < 1 || c.MaxBatch < 1 || c.QueueDepth < 1 || c.BatchWait < 0 || c.HotKeys < 1 {
-		return fmt.Errorf("serve: invalid config (shards=%d sets=%d batch=%d queue=%d wait=%s hotkeys=%d)",
-			c.Shards, c.Sets, c.MaxBatch, c.QueueDepth, c.BatchWait, c.HotKeys)
+	if c.Shards < 1 || c.Sets < 1 || c.MaxBatch < 1 || c.QueueDepth < 1 || c.BatchWait < 0 || c.HotKeys < 1 || c.DedupWindow < 1 {
+		return fmt.Errorf("serve: invalid config (shards=%d sets=%d batch=%d queue=%d wait=%s hotkeys=%d window=%d)",
+			c.Shards, c.Sets, c.MaxBatch, c.QueueDepth, c.BatchWait, c.HotKeys, c.DedupWindow)
 	}
 	if !ModeSupported(c.Mode) {
 		return fmt.Errorf("serve: mode %s cannot serve", c.Mode)
@@ -76,10 +82,32 @@ type request struct {
 	op       byte // 'S', 'G', 'D'
 	key      uint64
 	val      uint64
-	id       uint64      // admission ID (server-wide, monotone; trace sampling key)
-	enq      time.Time   // client-enqueue instant (read off the wire)
-	admitted time.Time   // batcher admission instant (zero until admitted)
-	done     chan string // receives exactly one reply line
+	id       uint64        // admission ID (server-wide, monotone; trace sampling key)
+	rid      ReqID         // client-assigned ID (zero for legacy unidentified ops)
+	fpr      uint64        // payload fingerprint (op, key, val) for ID-reuse detection
+	enq      time.Time     // client-enqueue instant (read off the wire)
+	admitted time.Time     // batcher admission instant (zero until admitted)
+	done     chan string   // receives exactly one reply line
+	dups     []chan string // duplicate arrivals of rid awaiting this request's outcome
+}
+
+// line prefixes a reply body with the request's ID, echoing what the
+// client sent ("@7.42 OK") so retried requests match replies by identity
+// rather than by stream position.
+func (r *request) line(body string) string { return idLine(r.rid, body) }
+
+func idLine(rid ReqID, body string) string {
+	if rid.Zero() {
+		return body
+	}
+	return rid.String() + " " + body
+}
+
+// fingerprint condenses a request payload for ID-reuse detection: a
+// committed ID presented again with a different (op, key, val) is a client
+// bug and is rejected rather than silently replayed.
+func fingerprint(op byte, key, val uint64) uint64 {
+	return mix64(uint64(op)*0x9e3779b97f4a7c15 ^ mix64(key) ^ mix64(val+0xd1b54a32d192ed03))
 }
 
 // opName spells a request op byte for traces and logs.
@@ -108,6 +136,20 @@ func opName(op byte) string {
 // connection, each only after the persist epoch containing its mutation is
 // durable (reads with no pending write may be served from the hot-key
 // cache, whose contents are committed state by construction).
+//
+// Any request may carry a client-assigned identity prefix,
+//
+//	@<cid>.<seq> SET <key> <value>  ->  @<cid>.<seq> OK
+//
+// (cid and seq decimal uint64 >= 1; the reply echoes the prefix). An
+// identified request is exactly-once: retrying it — after a dropped
+// connection, an injected duplicate, or a server crash-restart — replays
+// the original reply instead of re-applying the mutation. A reply of
+// "RETRY" means a crash interrupted the request before its acknowledgement
+// and the client should resend it verbatim. Each client must issue its
+// seqs in increasing order per connection (retries resend old seqs first);
+// the dedup window spans restarts because per-client high-water marks
+// commit with the batch transaction in persistent memory.
 type Server struct {
 	cfg     Config
 	workers []*shardWorker
@@ -169,6 +211,31 @@ func (s *Server) Shards() []*Shard {
 	return out
 }
 
+// AckViolations cross-checks every mutation ack the dedup filter derived
+// from a high-water mark alone (no window entry — the "seq <= hwm means
+// committed" shortcut) against the shard's applied-ID tally, and returns
+// the IDs that were acknowledged without having been applied exactly once.
+// Each such ID is an acknowledged lost update (or a duplicate apply the
+// tally also reports): the contiguity argument behind the shortcut failed.
+// Only safe to use after Shutdown has returned.
+func (s *Server) AckViolations() []ReqID {
+	var out []ReqID
+	for _, w := range s.workers {
+		for _, rid := range w.dedup.absorbed {
+			if w.shard.tally[rid] != 1 {
+				out = append(out, rid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CID != out[j].CID {
+			return out[i].CID < out[j].CID
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
 // Draining reports whether Shutdown has begun (health endpoints use this
 // to fail readiness before the listener disappears).
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -195,6 +262,9 @@ type ShardStatus struct {
 	CacheHits      int64 `json:"cache_hits"`
 	CacheFills     int64 `json:"cache_fills"`
 	Errors         int64 `json:"errors"`
+	DedupHits      int64 `json:"dedup_hits"`
+	DedupReuse     int64 `json:"dedup_reuse"`
+	Restarts       int64 `json:"restarts"`
 }
 
 // Status reports per-shard pipeline state for /statusz. Values come from
@@ -216,6 +286,9 @@ func (s *Server) Status() []ShardStatus {
 			CacheHits:      w.cCacheHits.Value(),
 			CacheFills:     w.cCacheFills.Value(),
 			Errors:         w.cErrors.Value(),
+			DedupHits:      w.cDedupHits.Value(),
+			DedupReuse:     w.cDedupReuse.Value(),
+			Restarts:       w.cRestarts.Value(),
 		}
 	}
 	return out
@@ -230,6 +303,15 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	}
 	s.ln = ln
 	return ln.Addr(), nil
+}
+
+// ServeOn accepts connections from a caller-provided listener instead of
+// a bound TCP socket — chaos campaigns drive the server over in-memory
+// pipes and fault-injecting listener wrappers this way. Blocks like Serve;
+// Shutdown closes the listener.
+func (s *Server) ServeOn(ln net.Listener) error {
+	s.ln = ln
+	return s.Serve()
 }
 
 // Serve accepts connections until the listener closes (via Shutdown).
@@ -338,21 +420,24 @@ func (s *Server) handleConn(c net.Conn) {
 	sc := bufio.NewScanner(c)
 	sc.Buffer(make([]byte, 4096), 1<<16)
 	for sc.Scan() {
-		op, key, val, err := parseRequest(sc.Text())
+		op, key, val, rid, err := parseRequest(sc.Text())
 		if err != nil {
-			instant("ERR " + err.Error())
+			instant(idLine(rid, "ERR "+err.Error()))
 			continue
 		}
 		if op == 'P' {
-			instant("PONG")
+			instant(idLine(rid, "PONG"))
 			continue
 		}
 		if s.draining.Load() {
-			instant("ERR server draining")
+			instant(idLine(rid, "ERR server draining"))
 			s.cRejected.Inc()
 			continue
 		}
-		r := &request{op: op, key: key, val: val, id: s.nextID.Add(1), enq: time.Now(), done: make(chan string, 1)}
+		r := &request{op: op, key: key, val: val, id: s.nextID.Add(1), rid: rid, enq: time.Now(), done: make(chan string, 1)}
+		if !rid.Zero() {
+			r.fpr = fingerprint(op, key, val)
+		}
 		s.shardFor(key).reqs <- r
 		futures <- r.done
 	}
@@ -360,35 +445,50 @@ func (s *Server) handleConn(c net.Conn) {
 	wWG.Wait()
 }
 
-// parseRequest parses one protocol line. op 'P' means PING.
-func parseRequest(line string) (op byte, key, val uint64, err error) {
+// parseRequest parses one protocol line. op 'P' means PING. An optional
+// leading "@<cid>.<seq>" token assigns the request a client identity.
+func parseRequest(line string) (op byte, key, val uint64, rid ReqID, err error) {
 	fields := strings.Fields(line)
+	if len(fields) > 0 && strings.HasPrefix(fields[0], "@") {
+		cidS, seqS, ok := strings.Cut(fields[0][1:], ".")
+		if !ok {
+			return 0, 0, 0, rid, fmt.Errorf("request id must be @<cid>.<seq>")
+		}
+		rid.CID, err = strconv.ParseUint(cidS, 10, 64)
+		if err == nil {
+			rid.Seq, err = strconv.ParseUint(seqS, 10, 64)
+		}
+		if err != nil || rid.CID == 0 || rid.Seq == 0 {
+			return 0, 0, 0, ReqID{}, fmt.Errorf("request id parts must be decimal integers >= 1")
+		}
+		fields = fields[1:]
+	}
 	if len(fields) == 0 {
-		return 0, 0, 0, fmt.Errorf("empty request")
+		return 0, 0, 0, rid, fmt.Errorf("empty request")
 	}
 	verb := strings.ToUpper(fields[0])
 	argc := map[string]int{"SET": 2, "GET": 1, "DEL": 1, "PING": 0}
 	n, ok := argc[verb]
 	if !ok {
-		return 0, 0, 0, fmt.Errorf("unknown verb %q", fields[0])
+		return 0, 0, 0, rid, fmt.Errorf("unknown verb %q", fields[0])
 	}
 	if len(fields)-1 != n {
-		return 0, 0, 0, fmt.Errorf("%s takes %d argument(s)", verb, n)
+		return 0, 0, 0, rid, fmt.Errorf("%s takes %d argument(s)", verb, n)
 	}
 	if verb == "PING" {
-		return 'P', 0, 0, nil
+		return 'P', 0, 0, rid, nil
 	}
 	key, err = strconv.ParseUint(fields[1], 10, 64)
 	if err != nil || key == 0 {
-		return 0, 0, 0, fmt.Errorf("key must be a decimal integer >= 1")
+		return 0, 0, 0, rid, fmt.Errorf("key must be a decimal integer >= 1")
 	}
 	if verb == "SET" {
 		val, err = strconv.ParseUint(fields[2], 10, 64)
 		if err != nil || val == 0 {
-			return 0, 0, 0, fmt.Errorf("value must be a decimal integer >= 1")
+			return 0, 0, 0, rid, fmt.Errorf("value must be a decimal integer >= 1")
 		}
 	}
-	return verb[0], key, val, nil
+	return verb[0], key, val, rid, nil
 }
 
 // epochBatch is one persist epoch moving through the shard pipeline: a
@@ -398,10 +498,20 @@ func parseRequest(line string) (op byte, key, val uint64, err error) {
 type epochBatch struct {
 	seq     uint64
 	batch   Batch
-	pending []*request   // ops riding this epoch, arrival order
-	getPos  []int        // per pending op: index into batch.GetKeys, -1 for mutations
-	mutated map[int]bool // slots this epoch writes
-	read    map[int]bool // slots this epoch batch-reads
+	pending []*request      // ops riding this epoch, arrival order
+	getPos  []int           // per pending op: index into batch.GetKeys, -1 for mutations
+	mutated map[int]bool    // slots this epoch writes
+	read    map[int]bool    // slots this epoch batch-reads
+	clients map[uint64]bool // cids whose epoch-order floor this epoch holds
+
+	// Filled by the applier, consumed by the batcher's onCommit:
+	replies []string          // reply line per pending op (dedup windowing)
+	ok      bool              // epoch committed (false: error or rolled back)
+	resync  map[uint64]uint64 // non-nil after a crash-restart: PM hwm snapshot
+	// Valid only when resync != nil: whether the crashed epoch's transaction
+	// was durable before the power cut (CrashBeforeReply) or rolled back. A
+	// rolled-back crash flushes the staged pipeline and opens dedup holes.
+	committed bool
 
 	firstAdmit time.Time     // admission of the epoch's oldest op
 	sealedAt   time.Time     // dispatch instant (epoch lag measures from here)
@@ -442,12 +552,14 @@ type shardWorker struct {
 	cache *hotKeyCache
 
 	// batcher-owned pipeline state
-	staged     []*epochBatch  // staged[0] is next to dispatch
-	nextSeq    uint64         // seq the next appended epoch gets
-	inflight   *epochBatch    // epoch on the device, nil when idle
-	lastMut    map[int]uint64 // slot -> seq of latest pending epoch mutating it
-	lastRead   map[int]uint64 // slot -> seq of latest pending epoch batch-reading it
-	stagedOps  int            // ops across staged epochs (admission backpressure)
+	staged     []*epochBatch     // staged[0] is next to dispatch
+	nextSeq    uint64            // seq the next appended epoch gets
+	inflight   *epochBatch       // epoch on the device, nil when idle
+	lastMut    map[int]uint64    // slot -> seq of latest pending epoch mutating it
+	lastRead   map[int]uint64    // slot -> seq of latest pending epoch batch-reading it
+	lastCli    map[uint64]uint64 // cid -> seq of latest pending epoch carrying its ops
+	dedup      *dedupState       // exactly-once admission filter
+	stagedOps  int               // ops across staged epochs (admission backpressure)
 	drained    bool
 	reqsClosed bool
 
@@ -467,6 +579,11 @@ type shardWorker struct {
 	cCacheHits  *telemetry.Counter
 	cCacheFills *telemetry.Counter
 	cErrors     *telemetry.Counter
+	cDedupHits  *telemetry.Counter
+	cDedupReuse *telemetry.Counter
+	cDedupHolds *telemetry.Counter
+	cRestarts   *telemetry.Counter
+	cFlushed    *telemetry.Counter
 }
 
 func newShardWorker(sh *Shard, cfg Config, reg *telemetry.Registry) *shardWorker {
@@ -484,6 +601,8 @@ func newShardWorker(sh *Shard, cfg Config, reg *telemetry.Registry) *shardWorker
 		cache:       newHotKeyCache(cfg.HotKeys),
 		lastMut:     make(map[int]uint64),
 		lastRead:    make(map[int]uint64),
+		lastCli:     make(map[uint64]uint64),
+		dedup:       newDedupState(cfg.DedupWindow),
 		gQueue:      reg.Gauge(p + "queue_depth"),
 		gOccupancy:  reg.Gauge(p + "batch_occupancy"),
 		gHotSlots:   reg.Gauge(p + "hot_slots"),
@@ -500,6 +619,11 @@ func newShardWorker(sh *Shard, cfg Config, reg *telemetry.Registry) *shardWorker
 		cCacheHits:  reg.Counter(p + "cache_hits"),
 		cCacheFills: reg.Counter(p + "cache_fills"),
 		cErrors:     reg.Counter(p + "errors"),
+		cDedupHits:  reg.Counter(p + "dedup_hits"),
+		cDedupReuse: reg.Counter(p + "dedup_reuse"),
+		cDedupHolds: reg.Counter(p + "dedup_holds"),
+		cRestarts:   reg.Counter(p + "restarts"),
+		cFlushed:    reg.Counter(p + "flushed_riders"),
 	}
 }
 
@@ -515,6 +639,7 @@ func (w *shardWorker) appendEpoch() *epochBatch {
 		seq:     w.nextSeq,
 		mutated: make(map[int]bool),
 		read:    make(map[int]bool),
+		clients: make(map[uint64]bool),
 	}
 	w.nextSeq++
 	w.staged = append(w.staged, eb)
@@ -553,16 +678,45 @@ func (w *shardWorker) admit(r *request) {
 	w.ctrl.observeArrival(now)
 	slot := w.shard.SlotOf(r.key)
 
+	// Exactly-once gate: a request ID already in flight, windowed, or below
+	// its client's committed high-water mark never reaches an epoch again.
+	if !r.rid.Zero() {
+		switch verdict, line := w.dedup.check(r); verdict {
+		case dedupAttach:
+			w.cDedupHits.Inc()
+			return
+		case dedupReplay:
+			w.cDedupHits.Inc()
+			r.done <- line
+			return
+		case dedupReject:
+			w.cDedupReuse.Inc()
+			r.done <- line
+			return
+		case dedupHold:
+			w.cDedupHolds.Inc()
+			r.done <- line
+			return
+		}
+	}
+
 	if r.op == 'G' {
 		w.cache.Observe(r.key)
 		if _, pending := w.lastMut[slot]; !pending {
 			if val, ok := w.cache.Lookup(r.key, slot); ok {
 				// Committed state with no pending write: durable by
 				// construction, reply without a kernel trip.
+				var line string
 				if val != 0 {
-					r.done <- "VALUE " + strconv.FormatUint(val, 10)
+					line = r.line("VALUE " + strconv.FormatUint(val, 10))
 				} else {
-					r.done <- "NOTFOUND"
+					line = r.line("NOTFOUND")
+				}
+				r.done <- line
+				if !r.rid.Zero() {
+					// Window the reply (retries replay it) but never register
+					// pending or touch PM: cache hits ride no epoch.
+					w.dedup.remember(r.rid, r.fpr, line)
 				}
 				w.cCacheHits.Inc()
 				w.hReqUS.Observe(int64(now.Sub(r.enq) / time.Microsecond))
@@ -586,10 +740,20 @@ func (w *shardWorker) admit(r *request) {
 	}
 
 	head := w.headSeq()
+	// cliFloor keeps one client's requests committing in seq order on a
+	// shard — the property that makes "seq <= high-water mark" equivalent
+	// to "committed" even when conflict chaining would otherwise let a
+	// later, unconflicted request overtake an earlier chained one.
+	cliFloor := head
+	if !r.rid.Zero() {
+		if c, ok := w.lastCli[r.rid.CID]; ok && c > cliFloor {
+			cliFloor = c
+		}
+	}
 	var eb *epochBatch
 	switch r.op {
 	case 'G':
-		floor := head
+		floor := cliFloor
 		if m, ok := w.lastMut[slot]; ok && m > floor {
 			floor = m // ride the mutating epoch (or any later one)
 		}
@@ -603,7 +767,7 @@ func (w *shardWorker) admit(r *request) {
 			w.lastRead[slot] = eb.seq
 		}
 	default: // 'S', 'D'
-		floor := head
+		floor := cliFloor
 		conflict := false
 		if m, ok := w.lastMut[slot]; ok && m+1 > floor {
 			floor, conflict = m+1, true
@@ -620,12 +784,19 @@ func (w *shardWorker) admit(r *request) {
 		if r.op == 'S' {
 			eb.batch.SetKeys = append(eb.batch.SetKeys, r.key)
 			eb.batch.SetVals = append(eb.batch.SetVals, r.val)
+			eb.batch.SetIDs = append(eb.batch.SetIDs, r.rid)
 		} else {
 			eb.batch.DelKeys = append(eb.batch.DelKeys, r.key)
+			eb.batch.DelIDs = append(eb.batch.DelIDs, r.rid)
 		}
 		eb.getPos = append(eb.getPos, -1)
 		eb.mutated[slot] = true
 		w.lastMut[slot] = eb.seq
+	}
+	if !r.rid.Zero() {
+		w.dedup.register(r)
+		w.lastCli[r.rid.CID] = eb.seq
+		eb.clients[r.rid.CID] = true
 	}
 	if len(eb.pending) == 0 {
 		eb.firstAdmit = now
@@ -640,17 +811,78 @@ func (w *shardWorker) dispatch() {
 	eb := w.staged[0]
 	w.staged = w.staged[1:]
 	w.stagedOps -= eb.batch.Ops()
+	w.sealAdvances(eb)
 	eb.sealedAt = time.Now()
 	w.inflight = eb
 	w.hFill.Observe(int64(eb.batch.Ops()))
 	w.dispatchCh <- eb
 }
 
-// onCommit retires a durable epoch: per-slot ordering state whose horizon
-// was this epoch is released, and the controller learns the apply cost.
+// sealAdvances flattens the epoch's per-client high-water-mark advances
+// (max seq per cid across its identified riders) into the batch, sorted by
+// cid so the PM journal and table writes are deterministic.
+func (w *shardWorker) sealAdvances(eb *epochBatch) {
+	if len(eb.clients) == 0 {
+		return
+	}
+	adv := make(map[uint64]uint64, len(eb.clients))
+	for _, r := range eb.pending {
+		if !r.rid.Zero() && r.rid.Seq > adv[r.rid.CID] {
+			adv[r.rid.CID] = r.rid.Seq
+		}
+	}
+	cids := make([]uint64, 0, len(adv))
+	for cid := range adv {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	for _, cid := range cids {
+		eb.batch.DedupCID = append(eb.batch.DedupCID, cid)
+		eb.batch.DedupSeq = append(eb.batch.DedupSeq, adv[cid])
+	}
+}
+
+// onCommit retires a finished epoch: per-slot and per-client ordering
+// state whose horizon was this epoch is released, the dedup filter
+// windows (or aborts) each identified rider, and the controller learns
+// the apply cost. After a crash-restart the filter is first resynced from
+// the PM-recovered high-water marks the applier snapshotted.
 func (w *shardWorker) onCommit(eb *epochBatch) {
 	w.inflight = nil
 	w.ctrl.observeApply(eb.applyWall)
+	rolledBack := eb.resync != nil && !eb.committed
+	if eb.resync != nil {
+		w.dedup.resync(eb.resync)
+		w.cRestarts.Inc()
+	}
+	for i, r := range eb.pending {
+		if r.rid.Zero() {
+			continue
+		}
+		if eb.ok {
+			w.dedup.commit(r, eb.replies[i])
+		} else {
+			w.dedup.abort(r, eb.replies[i])
+			if rolledBack && r.op != 'G' {
+				// The crash rolled this epoch's transaction back: its
+				// mutations are holes in their clients' otherwise-contiguous
+				// seq sequences. No later mutation of these clients may
+				// commit (or be hwm-acked) until the hole's retry re-commits
+				// — otherwise the advancing high-water mark would absorb the
+				// retry of a mutation that never happened: an acknowledged
+				// lost update. Rolled-back reads need no hole: they
+				// re-execute on retry.
+				w.dedup.addHole(r.rid)
+			}
+		}
+	}
+	if rolledBack {
+		// Epochs staged behind the crashed one would commit seqs ABOVE the
+		// holes just opened. Only one epoch is ever in the applier's hands,
+		// so all of them are still batcher-owned: flush the whole staged
+		// pipeline and let clients resend in seq order behind the holes.
+		w.flushStaged()
+	}
 	for slot := range eb.mutated {
 		if w.lastMut[slot] == eb.seq {
 			delete(w.lastMut, slot)
@@ -661,6 +893,41 @@ func (w *shardWorker) onCommit(eb *epochBatch) {
 			delete(w.lastRead, slot)
 		}
 	}
+	for cid := range eb.clients {
+		if w.lastCli[cid] == eb.seq {
+			delete(w.lastCli, cid)
+		}
+	}
+}
+
+// flushStaged aborts every epoch still staged behind a rolled-back
+// crash-restart: identified riders are told to retry (and become holes, so
+// their re-admission order is enforced), unidentified riders get the same
+// outcome-unknown error as riders of the crashed epoch itself. Per-slot
+// and per-client ordering state is rebuilt empty — it only ever described
+// the epochs just flushed.
+func (w *shardWorker) flushStaged() {
+	for _, eb := range w.staged {
+		for _, r := range eb.pending {
+			var line string
+			if r.rid.Zero() {
+				line = "ERR shard restarted; outcome unknown"
+			} else {
+				line = r.line("RETRY")
+				w.dedup.abort(r, line)
+				if r.op != 'G' {
+					w.dedup.addHole(r.rid)
+				}
+			}
+			r.done <- line
+			w.cFlushed.Inc()
+		}
+	}
+	w.staged = nil
+	w.stagedOps = 0
+	w.lastMut = make(map[int]uint64)
+	w.lastRead = make(map[int]uint64)
+	w.lastCli = make(map[uint64]uint64)
 }
 
 // run is the batcher: it drains the admission queue into staged epochs,
@@ -768,6 +1035,43 @@ func (w *shardWorker) buildTrace(r *request, eb *epochBatch, res *BatchResult, a
 	}
 }
 
+// handleCrash services a planned power failure that fired inside Apply:
+// every rider is told to retry (the crash severed the ack path whether or
+// not its batch committed — exactly the ambiguity the dedup window
+// resolves), the shard is recovered per its fired plan (nested re-crashes,
+// PM fault filtering), the hot cache starts cold, and the batcher is
+// handed the PM-recovered high-water-mark snapshot to resync admission
+// from. eb.ok stays false: riders leave the pipeline unwindowed, so their
+// retries consult the recovered marks, not volatile leftovers. committed
+// says whether the batch transaction survived the cut (CrashBeforeReply)
+// or rolled back — the batcher flushes the staged pipeline and opens
+// dedup holes only for a rollback.
+func (w *shardWorker) handleCrash(eb *epochBatch, committed bool) {
+	eb.committed = committed
+	for i, r := range eb.pending {
+		if r.rid.Zero() {
+			eb.replies[i] = "ERR shard restarted; outcome unknown"
+		} else {
+			eb.replies[i] = r.line("RETRY")
+		}
+	}
+	if err := w.shard.RecoverFromPlan(); err != nil {
+		// Unrecoverable: leave the shard down; later epochs fail fast with
+		// plain errors and clients give up through their retry caps.
+		w.cErrors.Inc()
+	}
+	w.cache.Reset()
+	eb.resync = w.shard.DedupSnapshot()
+	// Notify the batcher before releasing replies: by the time a client can
+	// act on a RETRY, admission has (usually) already resynced to the
+	// recovered marks. A retry that still races in early just attaches to
+	// its pending original and is re-RETRYed when the abort lands.
+	w.commitCh <- eb
+	for i, r := range eb.pending {
+		r.done <- eb.replies[i]
+	}
+}
+
 // applyLoop is the applier: one epoch at a time through the shard's
 // stage -> kernel -> persist path, then group-commit — every reply in the
 // epoch is released the moment the epoch is durable, and the hot cache is
@@ -778,24 +1082,33 @@ func (w *shardWorker) applyLoop() {
 		start := time.Now()
 		res, err := w.shard.Apply(&eb.batch)
 		eb.applyWall = time.Since(start)
+		eb.replies = make([]string, len(eb.pending))
 		if err != nil {
+			var down *ShardDownError
+			if errors.As(err, &down) {
+				w.handleCrash(eb, down.Committed)
+				continue
+			}
 			w.cErrors.Inc()
-			for _, r := range eb.pending {
-				r.done <- "ERR " + err.Error()
+			for i, r := range eb.pending {
+				eb.replies[i] = r.line("ERR " + err.Error())
+				r.done <- eb.replies[i]
 			}
 			w.commitCh <- eb
 			continue
 		}
+		eb.ok = true
 		now := time.Now()
 		for i, r := range eb.pending {
 			switch {
 			case r.op != 'G':
-				r.done <- "OK"
+				eb.replies[i] = r.line("OK")
 			case res.GetVals[eb.getPos[i]] != 0:
-				r.done <- "VALUE " + strconv.FormatUint(res.GetVals[eb.getPos[i]], 10)
+				eb.replies[i] = r.line("VALUE " + strconv.FormatUint(res.GetVals[eb.getPos[i]], 10))
 			default:
-				r.done <- "NOTFOUND"
+				eb.replies[i] = r.line("NOTFOUND")
 			}
+			r.done <- eb.replies[i]
 			w.hReqUS.Observe(int64(now.Sub(r.enq) / time.Microsecond))
 			if tr := w.cfg.Trace; tr != nil {
 				if reason, ok := tr.ShouldCapture(r.id, now.Sub(r.enq)); ok {

@@ -26,6 +26,7 @@ import (
 	"github.com/gpm-sim/gpm/internal/gpu"
 	"github.com/gpm-sim/gpm/internal/kvstore"
 	"github.com/gpm-sim/gpm/internal/obs"
+	"github.com/gpm-sim/gpm/internal/pmem"
 	"github.com/gpm-sim/gpm/internal/sim"
 	"github.com/gpm-sim/gpm/internal/telemetry"
 	"github.com/gpm-sim/gpm/internal/workloads"
@@ -42,6 +43,18 @@ type Batch struct {
 	SetKeys, SetVals []uint64
 	DelKeys          []uint64
 	GetKeys          []uint64
+
+	// SetIDs/DelIDs carry the client request ID of each mutation (zero ID =
+	// unidentified legacy request), parallel to SetKeys/DelKeys. They feed
+	// the per-ID apply tally the chaos invariant checker reads.
+	SetIDs, DelIDs []ReqID
+
+	// DedupCID/DedupSeq are the batch's dedup advances: for every client
+	// with identified requests riding this batch, the highest sequence
+	// number aboard. They are persisted into the PM dedup table inside the
+	// batch's transaction window, so a client's committed high-water mark
+	// survives exactly the crashes its acked mutations survive.
+	DedupCID, DedupSeq []uint64
 }
 
 // Mutations is the number of slot-writing operations in the batch.
@@ -80,14 +93,16 @@ type Shard struct {
 	maxBatch int
 	blocks   int // kernel grid (and HCL log geometry)
 
-	pmFile *fsim.File // PM-resident store
-	txFile *fsim.File // transaction-active flag
-	mirror uint64     // HBM working mirror
-	keysB  uint64     // HBM staging: SET keys
-	valsB  uint64     // HBM staging: SET values
-	delsB  uint64     // HBM staging: DEL keys
-	getsB  uint64     // HBM staging: GET keys
-	outB   uint64     // HBM staging: GET results
+	pmFile    *fsim.File // PM-resident store
+	txFile    *fsim.File // transaction-active flag
+	dedupFile *fsim.File // PM dedup table: per-client committed high-water marks
+	jnlFile   *fsim.File // dedup undo journal (count-last, valid only while tx set)
+	mirror    uint64     // HBM working mirror
+	keysB     uint64     // HBM staging: SET keys
+	valsB     uint64     // HBM staging: SET values
+	delsB     uint64     // HBM staging: DEL keys
+	getsB     uint64     // HBM staging: GET keys
+	outB      uint64     // HBM staging: GET results
 
 	// HCL logs, one per launch geometry. The HCL layout mirrors the kernel
 	// grid (Insert requires an exact geometry match), so a fixed
@@ -104,6 +119,21 @@ type Shard struct {
 	// clients were promised), and is what Verify compares the durable store
 	// against after recovery.
 	model []uint64 // slot -> key, value (2 u64 per slot)
+
+	// dedupShadow is the host-side mirror of the PM dedup table (2 u64 per
+	// table slot: cid, seq); authoritative between crashes, reloaded from PM
+	// durable state on Restart. tally counts model applications per request
+	// ID — the duplicate-apply detector chaos campaigns assert on.
+	dedupShadow    []uint64
+	tally          map[ReqID]int
+	noDedupPersist bool // negative control: dedup state never reaches PM
+
+	// plan, when set, injects a power failure inside a future Apply call;
+	// fired keeps the triggered plan so the recovery path can honor its
+	// fault model and re-crash depth.
+	plan       *ShardCrashPlan
+	fired      *ShardCrashPlan
+	applyCount int64 // mutation-bearing Apply calls seen (plan trigger index)
 
 	ops  int64
 	down bool // crashed and not yet restarted
@@ -193,7 +223,7 @@ func NewShard(id int, cfg ShardConfig) (*Shard, error) {
 		Workers:    cfg.Workers,
 		HBMSize:    store + staging + 1<<20,
 		DRAMSize:   store + 1<<20, // CAP bounce buffers
-		PMSize:     store + logSize + 1<<20,
+		PMSize:     store + logSize + dedupTableBytes + dedupJnlBytes(cfg.MaxBatch) + 1<<20,
 	}
 	s.env = workloads.NewEnv(cfg.Mode, wcfg)
 
@@ -205,6 +235,12 @@ func NewShard(id int, cfg ShardConfig) (*Shard, error) {
 	if s.txFile, err = s.env.Ctx.FS.Create("/pm/kvs.tx", 64, 0); err != nil {
 		return nil, err
 	}
+	if s.dedupFile, err = s.env.Ctx.FS.Create("/pm/kvs.dedup", dedupTableBytes, 0); err != nil {
+		return nil, err
+	}
+	if s.jnlFile, err = s.env.Ctx.FS.Create("/pm/kvs.dedup.jnl", dedupJnlBytes(cfg.MaxBatch), 0); err != nil {
+		return nil, err
+	}
 	s.mirror = sp.AllocHBM(store)
 	s.keysB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
 	s.valsB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
@@ -212,10 +248,14 @@ func NewShard(id int, cfg ShardConfig) (*Shard, error) {
 	s.getsB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
 	s.outB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
 	s.model = make([]uint64, cfg.Sets*kvstore.Ways*2)
+	s.dedupShadow = make([]uint64, dedupSlots*2)
+	s.tally = make(map[ReqID]int)
 
 	// The empty store is durable from the start.
 	sp.PersistRange(s.pmFile.Mmap(), int(store))
 	sp.PersistRange(s.txFile.Mmap(), 8)
+	sp.PersistRange(s.dedupFile.Mmap(), int(dedupTableBytes))
+	sp.PersistRange(s.jnlFile.Mmap(), int(dedupJnlBytes(cfg.MaxBatch)))
 
 	if s.logged() {
 		for _, g := range s.geoms {
@@ -309,6 +349,12 @@ func (s *Shard) logged() bool {
 func (s *Shard) checkBatch(b *Batch) error {
 	if len(b.SetKeys) != len(b.SetVals) {
 		return fmt.Errorf("serve: shard %d: %d SET keys with %d values", s.id, len(b.SetKeys), len(b.SetVals))
+	}
+	if (b.SetIDs != nil && len(b.SetIDs) != len(b.SetKeys)) ||
+		(b.DelIDs != nil && len(b.DelIDs) != len(b.DelKeys)) ||
+		len(b.DedupCID) != len(b.DedupSeq) || len(b.DedupCID) > 2*s.maxBatch {
+		return fmt.Errorf("serve: shard %d: malformed request-ID arrays (setids=%d delids=%d advances=%d/%d)",
+			s.id, len(b.SetIDs), len(b.DelIDs), len(b.DedupCID), len(b.DedupSeq))
 	}
 	if b.Mutations() > s.maxBatch || len(b.GetKeys) > s.maxBatch {
 		return fmt.Errorf("serve: shard %d: batch exceeds max %d (sets=%d dels=%d gets=%d)",
@@ -546,25 +592,35 @@ func (s *Shard) touchedSections(b *Batch) []secRun {
 	return runs
 }
 
-// commitModel applies an acknowledged batch to the committed-state oracle.
+// commitModel applies an acknowledged batch to the committed-state oracle
+// and tallies each identified mutation — a correctly deduplicating server
+// never lets any request ID's tally pass 1.
 func (s *Shard) commitModel(b *Batch) {
 	for i, key := range b.SetKeys {
 		slot := s.SlotOf(key)
 		s.model[slot*2] = key
 		s.model[slot*2+1] = b.SetVals[i]
+		if b.SetIDs != nil && !b.SetIDs[i].Zero() {
+			s.tally[b.SetIDs[i]]++
+		}
 	}
-	for _, key := range b.DelKeys {
+	for i, key := range b.DelKeys {
 		slot := s.SlotOf(key)
 		if s.model[slot*2] == key {
 			s.model[slot*2] = 0
 			s.model[slot*2+1] = 0
+		}
+		if b.DelIDs != nil && !b.DelIDs[i].Zero() {
+			s.tally[b.DelIDs[i]]++
 		}
 	}
 }
 
 // Apply executes one batch as a transaction and returns the GET results.
 // On return the batch's mutations are durable (the response path includes
-// the mode's persistence step), so the caller may acknowledge clients.
+// the mode's persistence step), so the caller may acknowledge clients. If
+// an armed ShardCrashPlan triggers on this call, Apply power-fails the
+// shard at the planned pipeline point and returns *ShardDownError.
 func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 	if s.down {
 		return nil, fmt.Errorf("serve: shard %d is down (crashed; Restart first)", s.id)
@@ -572,6 +628,19 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 	if err := s.checkBatch(b); err != nil {
 		return nil, err
 	}
+	var cp *ShardCrashPlan
+	if s.plan != nil && s.mode.UsesGPM() && b.Mutations() > 0 {
+		s.applyCount++
+		if s.applyCount >= s.plan.ApplyIndex {
+			cp, s.plan = s.plan, nil
+		}
+	}
+	return s.apply(b, cp)
+}
+
+// apply is the batch transaction body, with the crash plan's power-fail
+// checkpoints woven between pipeline stages (cp nil = no injection).
+func (s *Shard) apply(b *Batch, cp *ShardCrashPlan) (*BatchResult, error) {
 	n := b.Ops()
 	if n == 0 {
 		return &BatchResult{}, nil
@@ -587,24 +656,55 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 
 	spKernel := ctx.SpanStart()
 	if logging {
+		// The dedup journal is written while the tx flag is still CLEAR, so
+		// a crash landing before the flag never replays a stale journal;
+		// once the flag is set, journal + HCL logs roll back the dedup table
+		// and the store as one transaction.
+		s.dedupJournal(b)
 		s.setTxFlag(true)
 	}
-	s.env.PersistKernelBegin()
-	if err := s.mutateKernel("kvs-set", s.keysB, s.valsB, len(b.SetKeys), false, logging); err != nil {
-		return nil, err
+	if cp != nil && cp.Point == CrashBeforeKernel {
+		return nil, s.crashNow(cp, b, "staged and armed, before mutate kernel")
 	}
-	if err := s.mutateKernel("kvs-del", s.delsB, 0, len(b.DelKeys), true, logging); err != nil {
-		return nil, err
+	s.env.PersistKernelBegin()
+	if cp != nil && cp.Point == CrashMidKernel {
+		after := cp.AbortAfterOps
+		ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= after })
+	}
+	errSet := s.mutateKernel("kvs-set", s.keysB, s.valsB, len(b.SetKeys), false, logging)
+	errDel := s.mutateKernel("kvs-del", s.delsB, 0, len(b.DelKeys), true, logging)
+	if cp != nil && cp.Point == CrashMidKernel {
+		ctx.Dev.SetAbortCheck(nil)
+		s.env.PersistKernelEnd()
+		return nil, s.crashNow(cp, b, fmt.Sprintf("kernel aborted after %d device ops", cp.AbortAfterOps))
+	}
+	if errSet != nil {
+		return nil, errSet
+	}
+	if errDel != nil {
+		return nil, errDel
 	}
 	s.getKernel(len(b.GetKeys))
 	s.env.PersistKernelEnd()
 	ctx.SpanEnd(telemetry.TrackKernel, "serve-kernel", "serve", spKernel)
+	if logging {
+		s.dedupTableWrite(b)
+	}
+	if cp != nil && cp.Point == CrashBeforeCommit {
+		return nil, s.crashNow(cp, b, "mutations persisted, before log clear")
+	}
 	wall2 := time.Now()
 
 	spCommit := ctx.SpanStart()
 	s.hostServe(n)
 	if err := s.commit(b, logging); err != nil {
 		return nil, err
+	}
+	if !logging {
+		// Read-only batches and non-logging modes advance the dedup table
+		// outside any transaction: replaying a GET is harmless, and the
+		// non-logging modes have no crash injection to survive.
+		s.dedupTableWrite(b)
 	}
 	ctx.SpanEnd(telemetry.TrackPersist, "serve-persist", "serve", spCommit)
 	wall3 := time.Now()
@@ -614,7 +714,11 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 		out[i] = s.env.Ctx.Space.ReadU64(s.outB + uint64(i)*8)
 	}
 	s.commitModel(b)
+	s.dedupShadowAdvance(b)
 	s.ops += int64(n)
+	if cp != nil && cp.Point == CrashBeforeReply {
+		return nil, s.crashNow(cp, b, "batch committed durably, acks lost")
+	}
 	return &BatchResult{
 		GetVals: out, SimTime: s.env.Ctx.Timeline.Total() - start, Ops: n,
 		WallStage:   wall1.Sub(wall0),
@@ -642,6 +746,7 @@ func (s *Shard) CrashMidBatch(b *Batch, abortAfterOps int64) error {
 		return fmt.Errorf("serve: mid-batch crash needs mutations to abort")
 	}
 	s.stage(b)
+	s.dedupJournalClear()
 	s.setTxFlag(true)
 	s.env.PersistKernelBegin()
 	s.env.Ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= abortAfterOps })
@@ -734,9 +839,11 @@ func (s *Shard) CrashAt(b *Batch, p CrashPoint, abortAfterOps int64) error {
 	switch p {
 	case CrashBeforeKernel:
 		s.stage(b)
+		s.dedupJournalClear()
 		s.setTxFlag(true)
 	case CrashBeforeCommit:
 		s.stage(b)
+		s.dedupJournalClear()
 		s.setTxFlag(true)
 		s.env.PersistKernelBegin()
 		err := s.mutateKernel("kvs-set", s.keysB, s.valsB, len(b.SetKeys), false, true)
@@ -768,75 +875,130 @@ func (s *Shard) CrashAt(b *Batch, p CrashPoint, abortAfterOps int64) error {
 // set it runs the Fig 6b recovery kernel to undo the partial batch, then
 // reloads the HBM mirror from the durable store (the restart-time data
 // load). It returns the simulated restore time.
-func (s *Shard) Restart() (sim.Duration, error) {
-	start := s.env.Ctx.Timeline.Total()
+func (s *Shard) Restart() (sim.Duration, error) { return s.RestartWithRecrash(0, nil, 0) }
+
+// RestartWithRecrash is Restart with nested power failures injected during
+// the recovery replay itself: depth times, the undo kernels are aborted
+// after a shrinking device-op budget and the node power-fails again (under
+// model when non-nil), before a final clean recovery completes. Undo
+// replay is idempotent — entries are removed from the log only after their
+// rollback is durable — so every retry converges.
+func (s *Shard) RestartWithRecrash(depth int, model pmem.FaultModel, fseed uint64) (sim.Duration, error) {
 	ctx := s.env.Ctx
-	txSet := false
+	start := ctx.Timeline.Total()
+	txSet := s.txFlagSet()
 	var replayed []int
-	var undone atomic.Int64 // undo entries applied (recovery kernel threads run concurrently)
-	if s.logged() {
-		snap := ctx.Space.SnapshotPersistent(s.txFile.Mmap(), 8)
-		if binary.LittleEndian.Uint64(snap) != 0 {
-			txSet = true
-			// The crashed transaction ran at one (unknown) geometry, so
-			// recovery replays every geometry's log at its own grid; the
-			// untouched logs cost an empty launch each.
-			pm := s.pmFile.Mmap()
-			sets := s.sets
-			for i, g := range s.geoms {
-				log, err := ctx.LogOpen(logPath(g))
-				if err != nil {
-					return 0, err
-				}
-				s.logs[i] = log
-				replayed = append(replayed, g)
-				ctx.PersistBegin()
-				var kerr error
-				ctx.Launch("kvs-recover", g, kvstore.TPB, func(t *gpu.Thread) {
-					// Undo this thread's logged entries newest-first until its
-					// log partition is empty (Fig 6b).
-					var entry [kvstore.LogEntryBytes]byte
-					for log.Read(t, entry[:], -1) == nil {
-						set := int(binary.LittleEndian.Uint32(entry[0:]))
-						way := int(binary.LittleEndian.Uint32(entry[4:]))
-						if set >= sets || way >= kvstore.Ways {
-							kerr = fmt.Errorf("serve: corrupt log entry (set=%d way=%d)", set, way)
-							return
-						}
-						addr := s.slotAddr(pm, set, way)
-						t.StoreU64(addr, binary.LittleEndian.Uint64(entry[8:]))
-						t.StoreU64(addr+8, binary.LittleEndian.Uint64(entry[16:]))
-						gpm.Persist(t)
-						// Remove only after the undo is durable.
-						if err := log.Remove(t, kvstore.LogEntryBytes, -1); err != nil {
-							kerr = err
-							return
-						}
-						undone.Add(1)
-					}
-				})
-				ctx.PersistEnd()
-				if kerr != nil {
-					return 0, kerr
-				}
+	var undone int64
+	recrashes := 0
+	if txSet {
+		for d := depth; d > 0; d-- {
+			// Die again mid-replay: bound the undo kernels to a shrinking
+			// budget, then power-fail the half-recovered node.
+			budget := int64(16 * d)
+			ctx.Dev.SetAbortCheck(func(op int64) bool { return op >= budget })
+			s.recoverLogs() // partial by construction; errors surface on the final pass
+			ctx.Dev.SetAbortCheck(nil)
+			if model != nil {
+				ctx.CrashWith(model, fseed+uint64(d))
+			} else {
+				ctx.Crash()
 			}
-			s.setTxFlag(false)
+			recrashes++
+			s.audit.Record(obs.AuditEvent{
+				Type: obs.AuditCrash, Shard: s.id, Mode: s.mode.String(),
+				Point:  "mid-recovery",
+				Detail: fmt.Sprintf("re-crash %d during recovery replay (budget %d device ops)", recrashes, budget),
+			})
 		}
+		g, u, err := s.recoverLogs()
+		if err != nil {
+			return 0, err
+		}
+		replayed, undone = g, u
+		s.dedupJournalRestore()
+		s.setTxFlag(false)
 	}
 	// Reload the working mirror from the durable store (DMA down), the
-	// restart cost every mode pays.
+	// restart cost every mode pays; the dedup shadow reloads the same way.
 	snap := ctx.Space.SnapshotPersistent(s.pmFile.Mmap(), int(s.storeBytes()))
 	ctx.Space.WriteCPU(s.mirror, snap)
 	ctx.Timeline.Add("restore", ctx.Space.DMA.TransferDown(s.storeBytes()))
+	s.dedupShadowReload()
 	s.down = false
 	restore := ctx.Timeline.Total() - start
 	s.env.AddRestore(restore)
 	s.audit.Record(obs.AuditEvent{
 		Type: obs.AuditRestart, Shard: s.id, Mode: s.mode.String(),
-		TxSet: txSet, Geometries: replayed, SlotsRolledBack: undone.Load(),
+		TxSet: txSet, Geometries: replayed, SlotsRolledBack: undone,
 		RestoreUS: float64(restore) / 1e3,
+		Detail:    recrashDetail(recrashes),
 	})
 	return restore, nil
+}
+
+// recrashDetail annotates a restart audit event with nested-crash count.
+func recrashDetail(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf("survived %d nested re-crashes during replay", n)
+}
+
+// txFlagSet reads the durable transaction flag.
+func (s *Shard) txFlagSet() bool {
+	if !s.logged() {
+		return false
+	}
+	snap := s.env.Ctx.Space.SnapshotPersistent(s.txFile.Mmap(), 8)
+	return binary.LittleEndian.Uint64(snap) != 0
+}
+
+// recoverLogs replays every geometry's HCL log against the durable store
+// (Fig 6b), returning the geometries replayed and undo entries applied.
+func (s *Shard) recoverLogs() ([]int, int64, error) {
+	ctx := s.env.Ctx
+	pm := s.pmFile.Mmap()
+	sets := s.sets
+	var replayed []int
+	var undone atomic.Int64 // recovery kernel threads run concurrently
+	for i, g := range s.geoms {
+		log, err := ctx.LogOpen(logPath(g))
+		if err != nil {
+			return nil, 0, err
+		}
+		s.logs[i] = log
+		replayed = append(replayed, g)
+		ctx.PersistBegin()
+		var kerr error
+		ctx.Launch("kvs-recover", g, kvstore.TPB, func(t *gpu.Thread) {
+			// Undo this thread's logged entries newest-first until its
+			// log partition is empty (Fig 6b).
+			var entry [kvstore.LogEntryBytes]byte
+			for log.Read(t, entry[:], -1) == nil {
+				set := int(binary.LittleEndian.Uint32(entry[0:]))
+				way := int(binary.LittleEndian.Uint32(entry[4:]))
+				if set >= sets || way >= kvstore.Ways {
+					kerr = fmt.Errorf("serve: corrupt log entry (set=%d way=%d)", set, way)
+					return
+				}
+				addr := s.slotAddr(pm, set, way)
+				t.StoreU64(addr, binary.LittleEndian.Uint64(entry[8:]))
+				t.StoreU64(addr+8, binary.LittleEndian.Uint64(entry[16:]))
+				gpm.Persist(t)
+				// Remove only after the undo is durable.
+				if err := log.Remove(t, kvstore.LogEntryBytes, -1); err != nil {
+					kerr = err
+					return
+				}
+				undone.Add(1)
+			}
+		})
+		ctx.PersistEnd()
+		if kerr != nil {
+			return nil, 0, kerr
+		}
+	}
+	return replayed, undone.Load(), nil
 }
 
 // Verify checks that the DURABLE store matches the committed-state oracle
