@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check recover-smoke serve-smoke obs-smoke chaos-smoke determinism bench figures quick-figures clean
+.PHONY: build test race vet check recover-smoke serve-smoke obs-smoke chaos-smoke txn-smoke determinism bench figures quick-figures clean
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 # check is the tier-1 gate: everything CI runs.
-check: vet race recover-smoke serve-smoke obs-smoke chaos-smoke
+check: vet race recover-smoke serve-smoke obs-smoke chaos-smoke txn-smoke
 	$(GO) build ./...
 
 # Deterministic crash-campaign smoke: every recoverable workload, all four
@@ -47,6 +47,22 @@ chaos-smoke:
 	if [ $$? -ne 1 ]; then \
 		echo "chaos-smoke: negative control NOT caught (broken dedup passed)"; exit 1; \
 	else echo "chaos-smoke: negative control caught"; fi
+
+# Transactional serving smoke: zipf hot-key RMW transactions over wire
+# protocol v2 through the exactly-once client, with the per-key snapshot-
+# isolation ledger verified against the durable image and the conflict
+# epoch-fill gate (squashing >= 2x the PR-8 chained-epoch baseline). Then
+# the serve chaos campaign re-runs with transaction clients mixed in, and
+# the -break-si negative control (commit validation off) MUST be caught.
+txn-smoke:
+	$(GO) run ./cmd/gpmserve -selftest -ops 6000 -shards 2 -no-recover \
+		-retry-pass=false -out /tmp/bench_txn_smoke.json
+	$(GO) run ./cmd/gpmchaos -serve -mode GPM -schedule clean,chaos -txn
+	@$(GO) run ./cmd/gpmchaos -serve -mode GPM -schedule clean -model clean \
+		-txn -break-si > /dev/null 2>&1; \
+	if [ $$? -ne 1 ]; then \
+		echo "txn-smoke: negative control NOT caught (broken SI passed)"; exit 1; \
+	else echo "txn-smoke: negative control caught"; fi
 
 # Observability smoke: run a real gpmserve process with the admin endpoint,
 # audit trail, and metrics flush on, drive TCP load, assert /metrics,

@@ -8,7 +8,11 @@
 //	                                         # crash point x apply index
 //	gpmchaos -serve -json                    # machine-readable report
 //	gpmchaos -serve -schedule chaos          # one network schedule only
+//	gpmchaos -serve -txn                     # + snapshot-isolation txn
+//	                                         # clients and SI invariants
 //	gpmchaos -serve -break-dedup             # negative control: MUST fail
+//	gpmchaos -serve -txn -break-si           # negative control: lost
+//	                                         # updates MUST be caught
 //	gpmchaos -serve -mode GPM -schedule clean -model clean \
 //	    -point before-reply -apply-index 2 -ops 32 -seed 9   # replay one
 //	                                         # shrunk failure tuple
@@ -40,6 +44,9 @@ func main() {
 		shrink     = flag.Bool("shrink", true, "shrink the first failure to a minimal replayable tuple")
 		asJSON     = flag.Bool("json", false, "emit the campaign report as JSON")
 		breakDedup = flag.Bool("break-dedup", false, "negative control: disable PM dedup persistence (the campaign MUST catch it)")
+		txn        = flag.Bool("txn", false, "also drive snapshot-isolation transaction clients each run and judge the SI invariants")
+		txns       = flag.Int64("txns", 0, "transactions per run (0 = campaign default; requires -txn)")
+		breakSI    = flag.Bool("break-si", false, "negative control: disable commit conflict validation (the campaign MUST catch lost updates; requires -txn)")
 
 		// Axis filters; also the replay coordinates when -point is given.
 		modeSpec  = flag.String("mode", "", "persistence mode(s), comma-separated (empty = campaign default)")
@@ -55,6 +62,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if !*txn && (*breakSI || *txns != 0) {
+		fmt.Fprintln(os.Stderr, "gpmchaos: -break-si/-txns require -txn")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	c := &crash.ServeCampaign{
 		Seed:         *seed,
@@ -63,6 +75,9 @@ func main() {
 		Workers:      *workers,
 		RecrashDepth: *depth,
 		BreakDedup:   *breakDedup,
+		Txn:          *txn,
+		Txns:         *txns,
+		BreakSI:      *breakSI,
 	}
 	var err error
 	if c.Modes, err = parseModes(*modeSpec); err != nil {
@@ -198,6 +213,7 @@ func replayOne(c *crash.ServeCampaign, mode, sched, model, point string, idx, op
 	rec, err := c.ReplayServe(&crash.ServeShrunk{
 		Mode: mode, Schedule: sched, Model: model, Point: point,
 		ApplyIndex: idx, Ops: ops, Seed: c.Seed, BreakDedup: breakDedup,
+		Txn: c.Txn, BreakSI: c.BreakSI,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpmchaos:", err)

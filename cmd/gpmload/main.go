@@ -8,6 +8,7 @@
 //	gpmload -addr 127.0.0.1:7070 -dist zipf -theta 0.99 -json
 //	gpmload -addr 127.0.0.1:7070 -ops 1000000 -progress 1s   # live status
 //	gpmload -addr 127.0.0.1:7070 -retry                      # exactly-once client
+//	gpmload -addr 127.0.0.1:7070 -txn -txn-size 4            # RMW transactions
 package main
 
 import (
@@ -35,6 +36,8 @@ type cliOptions struct {
 	retry            bool
 	maxRetries       int
 	retryBackoff     time.Duration
+	txn              bool
+	txnSize          int
 }
 
 func validateCLI(o cliOptions) error {
@@ -71,6 +74,12 @@ func validateCLI(o cliOptions) error {
 	if !o.retry && (o.maxRetries != 0 || o.retryBackoff != 0) {
 		return fmt.Errorf("-max-retries/-retry-backoff require -retry")
 	}
+	if o.txnSize < 0 || (!o.txn && o.txnSize != 0) {
+		return fmt.Errorf("-txn-size requires -txn and must be >= 1, got %d", o.txnSize)
+	}
+	if o.txn && (o.getFrac != 0.5 || o.delFrac != 0.05) {
+		return fmt.Errorf("-get/-del do not apply with -txn (transactions are RMW increments)")
+	}
 	switch o.dist {
 	case serve.DistUniform:
 		if o.theta != 0 {
@@ -104,6 +113,8 @@ func main() {
 		retry    = flag.Bool("retry", false, "exactly-once client: tag requests with IDs, resend on RETRY, reconnect on transport failure")
 		maxRetry = flag.Int("max-retries", 0, "resend attempts per op and per reconnect (0 = 8; requires -retry)")
 		backoff  = flag.Duration("retry-backoff", 0, "retry backoff base, doubles per attempt (0 = 2ms; requires -retry)")
+		txn      = flag.Bool("txn", false, "drive snapshot-isolation RMW increment transactions instead of plain ops (-ops counts transactions)")
+		txnSize  = flag.Int("txn-size", 0, "keys per transaction (0 = 2; requires -txn)")
 	)
 	flag.Parse()
 
@@ -112,11 +123,16 @@ func main() {
 		getFrac: *getFrac, delFrac: *delFrac, theta: *theta,
 		keySpace: *keySpace, timeout: *timeout, progress: *progress,
 		retry: *retry, maxRetries: *maxRetry, retryBackoff: *backoff,
+		txn: *txn, txnSize: *txnSize,
 	}
 	if err := validateCLI(o); err != nil {
 		fmt.Fprintln(os.Stderr, "gpmload:", err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if o.txn {
+		runTxn(o, *seed, *asJSON)
+		return
 	}
 
 	res, err := serve.RunLoad(serve.LoadConfig{
@@ -168,4 +184,56 @@ func printProgress(p serve.LoadProgress) {
 	fmt.Fprintf(os.Stderr, "gpmload: %8s  %d/%d ops  %s ops/s  %d inflight  p99 %.0fµs\n",
 		p.Elapsed.Round(100*time.Millisecond), p.Done, p.Total,
 		obs.FormatRate(p.OpsPerSec), p.Inflight, p.P99US)
+}
+
+// runTxn drives the transaction generator: -ops closed-loop RMW increment
+// transactions of -txn-size keys, reporting the commit/abort/retry ledger.
+func runTxn(o cliOptions, seed uint64, asJSON bool) {
+	res, err := serve.RunTxnLoad(serve.TxnLoadConfig{
+		Addr:         o.addr,
+		Conns:        o.conns,
+		Txns:         o.ops,
+		TxnSize:      o.txnSize,
+		KeySpace:     o.keySpace,
+		Dist:         o.dist,
+		Theta:        o.theta,
+		Seed:         seed,
+		Timeout:      o.timeout,
+		Retry:        o.retry,
+		MaxRetries:   o.maxRetries,
+		RetryBackoff: o.retryBackoff,
+		Progress:     o.progress,
+		OnProgress:   printTxnProgress,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpmload:", err)
+		os.Exit(1)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "gpmload:", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("%d txns in %v: %.0f txns/s, p50 %v p95 %v p99 %v\n",
+			res.Txns, res.Elapsed.Round(time.Millisecond), res.Throughput,
+			res.P50, res.P95, res.P99)
+		fmt.Printf("conflicts: %d aborts, %d retried, %d dropped; %d unresolved, %d snapshots lost, %d read anomalies\n",
+			res.Aborts, res.ConflictRetries, res.AbortedForGood, res.GaveUp, res.SnapshotsLost, res.ReadAnomalies)
+		if o.retry {
+			fmt.Printf("exactly-once: %d retries, %d reconnects\n", res.Retries, res.Reconnects)
+		}
+	}
+	if res.Errors > 0 || res.ReadAnomalies > 0 {
+		os.Exit(1)
+	}
+}
+
+// printTxnProgress renders one -progress line for a transaction run.
+func printTxnProgress(p serve.LoadProgress) {
+	fmt.Fprintf(os.Stderr, "gpmload: %8s  %d/%d txns  %s txns/s  p99 %.0fµs  %d retries\n",
+		p.Elapsed.Round(100*time.Millisecond), p.Done, p.Total,
+		obs.FormatRate(p.OpsPerSec), p.P99US, p.Retries)
 }

@@ -15,7 +15,7 @@ func okOptions() cliOptions {
 		shards: 2, sets: 64, batch: 16, queue: 64, hotKeys: 128,
 		workers: 0, capThreads: 16, conns: 4, window: 8,
 		ops: 100, batchWait: time.Millisecond, drain: time.Second,
-		getFrac: 0.5, delFrac: 0.05,
+		getFrac: 0.5, delFrac: 0.05, txnSize: 2,
 	}
 }
 
@@ -47,6 +47,9 @@ func TestValidateCLI(t *testing.T) {
 		{"theta without zipf", func(o *cliOptions) { o.theta = 0.9 }, "-theta"},
 		{"zipf theta ok", func(o *cliOptions) { o.dist, o.theta = "zipf", 0.9 }, ""},
 		{"zipf theta out of range", func(o *cliOptions) { o.dist, o.theta = "zipf", 1.2 }, "-theta"},
+		{"zero txn-size", func(o *cliOptions) { o.txnSize = 0 }, "-txn-size"},
+		{"negative txns", func(o *cliOptions) { o.txns = -1 }, "-txns"},
+		{"txns default ok", func(o *cliOptions) { o.txns = 0 }, ""},
 		{"modes without selftest", func(o *cliOptions) { o.modes = "GPM" }, "-modes only applies"},
 		{"shard-counts without selftest", func(o *cliOptions) { o.shardCounts = "1,2" }, "-shard-counts only applies"},
 		{"baseline without selftest", func(o *cliOptions) { o.baseline = "BENCH_serve.json" }, "-baseline only applies"},

@@ -1,7 +1,9 @@
 // Command obssmoke is the end-to-end observability smoke test (make
 // obs-smoke): it builds and starts a real gpmserve process with the admin
 // endpoint, audit trail, and metrics flush enabled, drives pipelined load
-// over TCP, asserts the admin surfaces (/healthz, /metrics, /statusz,
+// over TCP plus multi-key transactions through the client package
+// (including a deliberate write-write conflict), asserts the admin
+// surfaces (/healthz, /metrics, /statusz with its txn section,
 // /debug/trace) are well-formed and show the load, then SIGTERMs the
 // server and checks the drain left a metrics snapshot and a parseable
 // audit trail on disk.
@@ -29,6 +31,7 @@ import (
 
 	"github.com/gpm-sim/gpm/internal/obs"
 	"github.com/gpm-sim/gpm/internal/serve"
+	"github.com/gpm-sim/gpm/internal/serve/client"
 )
 
 func main() {
@@ -117,10 +120,16 @@ func run(ops int64, shards int) error {
 	}
 	fmt.Printf("load: %d ops, %.0f ops/s, p99 %.0fµs\n", load.Ops, load.Throughput, load.P99US)
 
+	commits, aborts, err := exerciseTxns(addr)
+	if err != nil {
+		return fmt.Errorf("txn exercise: %w", err)
+	}
+	fmt.Printf("txns: %d committed, %d conflict-aborted over protocol v2\n", commits, aborts)
+
 	if err := checkMetrics(admin, ops); err != nil {
 		return err
 	}
-	if err := checkStatusz(admin, shards, ops); err != nil {
+	if err := checkStatusz(admin, shards, ops, commits, aborts); err != nil {
 		return err
 	}
 	if err := checkTraces(admin); err != nil {
@@ -172,6 +181,79 @@ func run(ops int64, shards int) error {
 	return nil
 }
 
+// exerciseTxns drives multi-key transactions through the first-class
+// client package against the live server: read-modify-write increments
+// that must commit, then a deliberate write-write conflict whose loser
+// must abort with the conflicting key named. Keys sit far above the plain
+// load's keyspace so the two workloads never share dedup or slot state.
+func exerciseTxns(addr string) (commits, aborts int64, err error) {
+	cl, err := client.Dial(client.Config{
+		Addr: addr, Timeout: 10 * time.Second,
+		Proto:    client.MaxProto,
+		Reliable: true, CID: 9001,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	if cl.Proto() != 2 {
+		return 0, 0, fmt.Errorf("negotiated protocol v%d, want v2", cl.Proto())
+	}
+	// A transaction's write set must stay on one shard: step keys by the
+	// negotiated shard count so they agree mod shards.
+	const base = uint64(1) << 21
+	stride := uint64(cl.Shards())
+	for i := uint64(0); i < 3; i++ {
+		txn, err := cl.Begin()
+		if err != nil {
+			return commits, aborts, err
+		}
+		for _, k := range []uint64{base, base + stride} {
+			v, _, err := txn.Get(k)
+			if err != nil {
+				return commits, aborts, fmt.Errorf("txn get %d: %w", k, err)
+			}
+			txn.Set(k, v+1)
+		}
+		res, err := txn.Commit()
+		if err != nil {
+			return commits, aborts, fmt.Errorf("txn commit: %w", err)
+		}
+		if !res.Committed {
+			return commits, aborts, fmt.Errorf("uncontended transaction %d aborted on key %d", i, res.ConflictKey)
+		}
+		commits++
+	}
+	// Write-write conflict: t2's snapshot predates t1's commit, so t2's
+	// write on the shared key must lose commit-window validation.
+	t1, err := cl.Begin()
+	if err != nil {
+		return commits, aborts, err
+	}
+	t2, err := cl.Begin()
+	if err != nil {
+		return commits, aborts, err
+	}
+	t1.Set(base, 100)
+	if res, err := t1.Commit(); err != nil || !res.Committed {
+		return commits, aborts, fmt.Errorf("conflict winner: committed=%v err=%v", res.Committed, err)
+	}
+	commits++
+	t2.Set(base, 200)
+	res, err := t2.Commit()
+	if err != nil {
+		return commits, aborts, fmt.Errorf("conflict loser commit: %w", err)
+	}
+	if res.Committed {
+		return commits, aborts, fmt.Errorf("conflicting transaction committed — write-write conflict not detected")
+	}
+	if res.ConflictKey != base {
+		return commits, aborts, fmt.Errorf("abort named key %d, conflict was on %d", res.ConflictKey, base)
+	}
+	aborts++
+	return commits, aborts, nil
+}
+
 // checkMetrics asserts /metrics renders Prometheus text whose shard-0 ops
 // counter accounts for a plausible share of the driven load.
 func checkMetrics(admin string, ops int64) error {
@@ -192,9 +274,10 @@ func checkMetrics(admin string, ops int64) error {
 	return nil
 }
 
-// checkStatusz asserts the /statusz JSON document is well-formed and its
-// per-shard rows account for every driven op.
-func checkStatusz(admin string, shards int, ops int64) error {
+// checkStatusz asserts the /statusz JSON document is well-formed, its
+// per-shard rows account for every driven op (transactions ride separate
+// counters), and the txn section shows the transactions just driven.
+func checkStatusz(admin string, shards int, ops, txnCommits, txnAborts int64) error {
 	code, body, err := get("http://" + admin + "/statusz")
 	if err != nil || code != 200 {
 		return fmt.Errorf("/statusz = %d (%v)", code, err)
@@ -205,9 +288,17 @@ func checkStatusz(admin string, shards int, ops int64) error {
 		Draining  bool    `json:"draining"`
 		Windows   []any   `json:"windows"`
 		ShardRows []struct {
-			Ops       int64 `json:"ops"`
-			CacheHits int64 `json:"cache_hits"`
+			Ops        int64 `json:"ops"`
+			CacheHits  int64 `json:"cache_hits"`
+			TxnCommits int64 `json:"txn_commits"`
+			TxnAborts  int64 `json:"txn_aborts"`
 		} `json:"shard_status"`
+		Txn struct {
+			ActiveSnapshots int      `json:"active_snapshots"`
+			OracleTS        uint64   `json:"oracle_ts"`
+			StableFloor     uint64   `json:"stable_floor"`
+			MVCCFloors      []uint64 `json:"mvcc_floor_by_shard"`
+		} `json:"txn"`
 		Traces struct {
 			Captured int64 `json:"captured"`
 		} `json:"traces"`
@@ -217,10 +308,14 @@ func checkStatusz(admin string, shards int, ops int64) error {
 	}
 	// Batched ops plus hot-key cache hits (answered at admission, so they
 	// never reach the shard op counters) must account for every driven op.
-	var rowOps int64
+	// Transaction commits ride the same epochs but tally separately.
+	var rowOps, rowCommits, rowAborts int64
 	for _, r := range doc.ShardRows {
 		rowOps += r.Ops + r.CacheHits
+		rowCommits += r.TxnCommits
+		rowAborts += r.TxnAborts
 	}
+	rowOps -= rowCommits // committed txns ride epochs, so they count as ops
 	switch {
 	case doc.Shards != shards || len(doc.ShardRows) != shards:
 		return fmt.Errorf("/statusz shards = %d with %d rows, want %d", doc.Shards, len(doc.ShardRows), shards)
@@ -232,8 +327,19 @@ func checkStatusz(admin string, shards int, ops int64) error {
 		return fmt.Errorf("/statusz has no rolling windows")
 	case doc.Traces.Captured < 1:
 		return fmt.Errorf("/statusz shows no captured traces")
+	case rowCommits != txnCommits || rowAborts != txnAborts:
+		return fmt.Errorf("/statusz txn rows show %d commits / %d aborts, drove %d / %d",
+			rowCommits, rowAborts, txnCommits, txnAborts)
+	case doc.Txn.OracleTS == 0 || doc.Txn.StableFloor > doc.Txn.OracleTS:
+		return fmt.Errorf("/statusz txn oracle ts %d, stable floor %d — not a monotone oracle",
+			doc.Txn.OracleTS, doc.Txn.StableFloor)
+	case doc.Txn.ActiveSnapshots != 0:
+		return fmt.Errorf("/statusz shows %d active snapshots after all txns resolved", doc.Txn.ActiveSnapshots)
+	case len(doc.Txn.MVCCFloors) != shards:
+		return fmt.Errorf("/statusz mvcc floors cover %d shards, want %d", len(doc.Txn.MVCCFloors), shards)
 	}
-	fmt.Printf("/statusz: ok (%d shards, %d ops, %d traces)\n", doc.Shards, rowOps, doc.Traces.Captured)
+	fmt.Printf("/statusz: ok (%d shards, %d ops, %d txn commits / %d aborts, oracle ts %d, %d traces)\n",
+		doc.Shards, rowOps, rowCommits, rowAborts, doc.Txn.OracleTS, doc.Traces.Captured)
 	return nil
 }
 

@@ -29,7 +29,10 @@ import (
 //     than once (the lost-ack retry after CrashBeforeReply must be absorbed
 //     by the PM-recovered dedup marks),
 //   - consistency: the durable store image still matches the committed
-//     oracle after recovery.
+//     oracle after recovery,
+//   - snapshot isolation (Txn runs): transaction accounting, repeatable
+//     reads inside open snapshots, and the per-key commit ledger all hold
+//     for the v2 transaction clients sharing the run.
 //
 // Every run is precomputed into a descriptor before execution and fully
 // isolated (its own simulated node, server, and pipe), so records commit by
@@ -68,7 +71,40 @@ type ServeCampaign struct {
 	// the negative control proving the exactly-once invariant checker
 	// catches a real lost-marks bug.
 	BreakDedup bool
+
+	// Txn additionally drives snapshot-isolation transactions during every
+	// run: v2 transaction clients run closed-loop RMW increment
+	// transactions over a key range disjoint from the plain load, sharing
+	// the server (and its faults and crashes) with the v1 retry clients.
+	// The run must then also hold the SI contract: every issued
+	// transaction accounted for, zero repeatable-read anomalies inside
+	// open snapshots, and for every transaction key owning its store slot
+	// alone, the durable increment count within
+	// [Committed[k], Committed[k]+Unresolved[k]].
+	Txn bool
+
+	// Txns is the transaction count per run when Txn is set (0 = 24).
+	Txns int64
+
+	// BreakSI disables commit-time conflict validation in every run's
+	// server — the negative control proving the SI ledger checker catches
+	// lost updates from unvalidated concurrent commits.
+	BreakSI bool
 }
+
+// Transaction-load shape for Txn runs. The key range sits far above the
+// plain load's [1, servePlainKeys] and the client IDs far above the plain
+// workers', so the two traffic classes share the server but never a dedup
+// identity — and only collide on store slots by hash accident, which the
+// ledger check excludes per key.
+const (
+	servePlainKeys   = 48
+	serveTxnKeyBase  = 1 << 20
+	serveTxnKeySpace = 16
+	serveTxnSize     = 2
+	serveTxnConns    = 2
+	serveTxnCIDBase  = 64
+)
 
 // ServeStudyModes are the persistence modes the serve campaign sweeps by
 // default: the paper's GPM plus the projected-hardware eADR variant, the
@@ -107,6 +143,12 @@ type ServeRunRecord struct {
 	Restarts   int64 `json:"restarts"`   // shard crash-recovery cycles
 	NetResets  int64 `json:"net_resets"` // injected connection resets
 	NetDups    int64 `json:"net_dups"`   // injected duplicate lines
+
+	// Transaction-load tallies; only set when the campaign drives Txn.
+	TxnCommits   int64 `json:"txn_commits,omitempty"`
+	TxnAborts    int64 `json:"txn_aborts,omitempty"`
+	TxnGaveUp    int64 `json:"txn_gave_up,omitempty"`
+	TxnSnapsLost int64 `json:"txn_snapshots_lost,omitempty"`
 }
 
 // ServeCampaignReport aggregates one sweep. Identity is the hex FNV-64a of
@@ -132,6 +174,8 @@ type ServeShrunk struct {
 	Ops        int64  `json:"ops"`
 	Seed       uint64 `json:"seed"`
 	BreakDedup bool   `json:"break_dedup,omitempty"`
+	Txn        bool   `json:"txn,omitempty"`
+	BreakSI    bool   `json:"break_si,omitempty"`
 	Err        string `json:"error"`
 	Replay     string `json:"replay"`
 }
@@ -183,6 +227,13 @@ func (c *ServeCampaign) conns() int {
 		return c.Conns
 	}
 	return 1
+}
+
+func (c *ServeCampaign) txns() int64 {
+	if c.Txns > 0 {
+		return c.Txns
+	}
+	return 24
 }
 
 // serveDesc is one precomputed campaign run; executing it cannot be
@@ -294,7 +345,7 @@ func (c *ServeCampaign) runOne(d serveDesc) ServeRunRecord {
 	}
 	srv, err := serve.NewServer(serve.Config{
 		Mode: d.mode, Shards: 1, Sets: 64, MaxBatch: 8, Workers: 1,
-		DedupWindow: 64, Seed: rec.FaultSeed,
+		DedupWindow: 64, Seed: rec.FaultSeed, BreakSI: c.BreakSI,
 	})
 	if err != nil {
 		return fail("boot: %v", err)
@@ -319,20 +370,48 @@ func (c *ServeCampaign) runOne(d serveDesc) ServeRunRecord {
 	// reset, and duplicated on their way in; replies get stalled on their
 	// way back. That is the direction exactly-once retries must survive.
 	dialer := faultnet.NewDialer(pl.Dial, d.sched, rec.FaultSeed^0xfa1c0de)
+	var tres *serve.TxnLoadResult
+	var tErr error
+	txnDone := make(chan struct{})
+	if c.Txn {
+		// Transactions run concurrently with the plain load: v2 commits
+		// and v1 writes share epochs, faults, and the crash plan.
+		go func() {
+			defer close(txnDone)
+			tres, tErr = serve.RunTxnLoad(serve.TxnLoadConfig{
+				Dial: dialer.Dial, Conns: serveTxnConns, Txns: c.txns(),
+				TxnSize: serveTxnSize, KeyBase: serveTxnKeyBase,
+				KeySpace: serveTxnKeySpace, CIDBase: serveTxnCIDBase,
+				Seed:    rec.FaultSeed ^ 0x5bd1e9955bd1e995,
+				Timeout: 10 * time.Second,
+				Retry:   true, MaxRetries: 12, RetryBackoff: 200 * time.Microsecond,
+				MaxAttempts: 16,
+			})
+		}()
+	} else {
+		close(txnDone)
+	}
 	res, loadErr := serve.RunLoad(serve.LoadConfig{
 		Conns: c.conns(), Ops: d.ops, Window: 4,
-		GetFraction: 0.25, DelFraction: 0.125, KeySpace: 48,
+		GetFraction: 0.25, DelFraction: 0.125, KeySpace: servePlainKeys,
 		Seed:    rec.FaultSeed ^ 0x1c3a5e7d9bfd1357,
 		Timeout: 10 * time.Second,
 		Retry:   true, MaxRetries: 12, RetryBackoff: 200 * time.Microsecond,
 		Dial: dialer.Dial,
 	})
+	<-txnDone
 	srv.Shutdown(5 * time.Second)
 	<-serveDone
 
 	if res != nil {
 		rec.Ops, rec.GaveUp, rec.Errors = res.Ops, res.GaveUp, res.Errors
 		rec.Retries, rec.Reconnects = res.Retries, res.Reconnects
+	}
+	if tres != nil {
+		rec.TxnCommits, rec.TxnAborts = tres.Txns, tres.Aborts
+		rec.TxnGaveUp, rec.TxnSnapsLost = tres.GaveUp, tres.SnapshotsLost
+		rec.Retries += tres.Retries
+		rec.Reconnects += tres.Reconnects
 	}
 	rec.Restarts = srv.Status()[0].Restarts
 	st := dialer.Stats()
@@ -355,6 +434,9 @@ func (c *ServeCampaign) runOne(d serveDesc) ServeRunRecord {
 	if err := sh.Verify(); err != nil {
 		probs = append(probs, fmt.Sprintf("store verify: %v", err))
 	}
+	if c.Txn {
+		probs = append(probs, c.txnProbs(tres, tErr, sh)...)
+	}
 	if len(probs) > 0 {
 		return fail("%s", strings.Join(probs, "; "))
 	}
@@ -364,6 +446,57 @@ func (c *ServeCampaign) runOne(d serveDesc) ServeRunRecord {
 		rec.Verdict = ServeVerdictOK
 	}
 	return rec
+}
+
+// txnProbs judges the snapshot-isolation contract after a Txn run:
+// transaction accounting, repeatable reads, and the per-key SI ledger.
+// The ledger compares each transaction key's durable increment count
+// (every committed transaction read-modify-wrote exactly +1) against the
+// client-side tally: at least every acknowledged commit, at most that
+// plus the commits whose outcome stayed unknown. Keys sharing a store
+// slot with any other key — plain or transactional — are excluded, since
+// a colliding SET legally evicts the incumbent's value.
+func (c *ServeCampaign) txnProbs(tres *serve.TxnLoadResult, tErr error, sh *serve.Shard) []string {
+	var probs []string
+	if tErr != nil {
+		probs = append(probs, fmt.Sprintf("txn client gave out: %v", tErr))
+	}
+	if tres == nil {
+		return probs
+	}
+	if tErr == nil {
+		if got := tres.Txns + tres.AbortedForGood + tres.GaveUp; got != c.txns() {
+			probs = append(probs, fmt.Sprintf(
+				"txn accounting: %d committed + %d dropped + %d unknown != %d issued",
+				tres.Txns, tres.AbortedForGood, tres.GaveUp, c.txns()))
+		}
+	}
+	if tres.ReadAnomalies > 0 {
+		probs = append(probs, fmt.Sprintf(
+			"repeatable read violated %d times inside open snapshots", tres.ReadAnomalies))
+	}
+	owners := make(map[int]int)
+	for k := uint64(1); k <= servePlainKeys; k++ {
+		owners[sh.SlotOf(k)]++
+	}
+	for k := uint64(0); k < serveTxnKeySpace; k++ {
+		owners[sh.SlotOf(serveTxnKeyBase+k)]++
+	}
+	for k := uint64(0); k < serveTxnKeySpace; k++ {
+		key := serveTxnKeyBase + k
+		if owners[sh.SlotOf(key)] != 1 {
+			continue
+		}
+		lo := tres.Committed[key]
+		hi := lo + tres.Unresolved[key]
+		v, _ := sh.MVCCLatest(key) // absent reads as 0
+		if int64(v) < lo || int64(v) > hi {
+			probs = append(probs, fmt.Sprintf(
+				"si ledger: key %d durable count %d outside [%d, %d] (%d commits acked, %d unknown)",
+				key, v, lo, hi, tres.Committed[key], tres.Unresolved[key]))
+		}
+	}
+	return probs
 }
 
 // ShrinkServe minimizes a failing serve run along four axes in severity
@@ -463,6 +596,8 @@ func (c *ServeCampaign) ShrinkServe(rec ServeRunRecord) *ServeShrunk {
 		Ops:        cur.ops,
 		Seed:       c.Seed,
 		BreakDedup: c.BreakDedup,
+		Txn:        c.Txn,
+		BreakSI:    c.BreakSI,
 		Err:        lastErr,
 	}
 	s.Replay = fmt.Sprintf(
@@ -470,6 +605,12 @@ func (c *ServeCampaign) ShrinkServe(rec ServeRunRecord) *ServeShrunk {
 		s.Mode, s.Schedule, s.Model, s.Point, s.ApplyIndex, s.Ops, s.Seed)
 	if s.BreakDedup {
 		s.Replay += " -break-dedup"
+	}
+	if s.Txn {
+		s.Replay += " -txn"
+	}
+	if s.BreakSI {
+		s.Replay += " -break-si"
 	}
 	return s
 }
@@ -496,7 +637,13 @@ func (c *ServeCampaign) ReplayServe(s *ServeShrunk) (ServeRunRecord, error) {
 	}
 	fs := faultSeed(c.Seed, "gpmserve", mode.String()+"|"+sched.Name,
 		model.Name(), s.ApplyIndex*64+int64(point))
-	return c.runOne(serveDesc{
+	// The shrunk tuple carries its break switches and txn flag so a
+	// JSON-driven replay reproduces them even on a fresh campaign value.
+	cc := *c
+	cc.BreakDedup = cc.BreakDedup || s.BreakDedup
+	cc.Txn = cc.Txn || s.Txn
+	cc.BreakSI = cc.BreakSI || s.BreakSI
+	return cc.runOne(serveDesc{
 		mode: mode, sched: sched, model: model, point: point,
 		index: s.ApplyIndex, ops: s.Ops,
 		rec: ServeRunRecord{

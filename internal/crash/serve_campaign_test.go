@@ -92,6 +92,43 @@ func TestServeCampaignDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// Transactions ride the chaos surface: v2 snapshot-isolation clients
+// share every run with the v1 plain retry load, and the SI contract —
+// accounting, repeatable reads, per-key commit ledger — holds through
+// network faults and power failures.
+func TestServeCampaignTxnSweepHolds(t *testing.T) {
+	t.Parallel()
+	clean, _ := faultnet.ScheduleByName("clean")
+	chaos, _ := faultnet.ScheduleByName("chaos")
+	c := &ServeCampaign{
+		Seed:      11,
+		Txn:       true,
+		Modes:     []workloads.Mode{workloads.GPM},
+		Schedules: []faultnet.Schedule{clean, chaos},
+		Models:    []pmem.FaultModel{pmem.Clean{}, pmem.TornLines{}},
+		Points:    []serve.CrashPoint{serve.CrashBeforeKernel, serve.CrashBeforeReply},
+	}
+	rep, err := c.Run(true)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failures != 0 {
+		t.Errorf("failures = %d, want 0 (shrunk: %+v)", rep.Failures, rep.Shrunk)
+		for _, r := range rep.Runs {
+			if r.Verdict == ServeVerdictFail {
+				t.Errorf("  %s/%s/%s/%s@%d: %s", r.Mode, r.Schedule, r.Model, r.Point, r.ApplyIndex, r.Err)
+			}
+		}
+	}
+	var commits int64
+	for _, r := range rep.Runs {
+		commits += r.TxnCommits
+	}
+	if commits == 0 {
+		t.Error("no transactions committed anywhere in the sweep")
+	}
+}
+
 // Negative control: breaking dedup persistence makes the lost-ack retry
 // after CrashBeforeReply re-apply, the campaign must catch it, shrink it
 // to a replayable tuple, and the replay must still reproduce it.
@@ -126,6 +163,51 @@ func TestServeCampaignNegativeControlCaught(t *testing.T) {
 	}
 	if !strings.HasPrefix(rep.Shrunk.Replay, "gpmchaos -serve") {
 		t.Errorf("replay command %q is not a gpmchaos -serve invocation", rep.Shrunk.Replay)
+	}
+	rec, err := c.ReplayServe(rep.Shrunk)
+	if err != nil {
+		t.Fatalf("ReplayServe: %v", err)
+	}
+	if rec.Verdict != ServeVerdictFail {
+		t.Errorf("replayed shrunk tuple verdict = %s, want fail (%+v)", rec.Verdict, rec)
+	}
+}
+
+// Negative control for snapshot isolation: with commit-time conflict
+// validation disabled, concurrent RMW increments lose updates. The SI
+// ledger must catch it, shrink it to a replayable tuple whose command
+// carries -txn -break-si, and the replay must still reproduce it.
+func TestServeCampaignBreakSICaught(t *testing.T) {
+	t.Parallel()
+	clean, _ := faultnet.ScheduleByName("clean")
+	c := &ServeCampaign{
+		Seed:         13,
+		Txn:          true,
+		Txns:         64,
+		BreakSI:      true,
+		Modes:        []workloads.Mode{workloads.GPM},
+		Schedules:    []faultnet.Schedule{clean},
+		Models:       []pmem.FaultModel{pmem.Clean{}},
+		Points:       []serve.CrashPoint{serve.CrashBeforeKernel},
+		ApplyIndices: []int64{2},
+	}
+	rep, err := c.Run(true)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failures == 0 {
+		t.Fatal("broken conflict validation was not caught")
+	}
+	if rep.Shrunk == nil {
+		t.Fatal("caught failure was not shrunk")
+	}
+	if !strings.Contains(rep.Shrunk.Err, "si ledger") {
+		t.Errorf("shrunk error %q does not name an SI ledger violation", rep.Shrunk.Err)
+	}
+	for _, want := range []string{"-txn", "-break-si"} {
+		if !strings.Contains(rep.Shrunk.Replay, want) {
+			t.Errorf("replay command %q lacks %s", rep.Shrunk.Replay, want)
+		}
 	}
 	rec, err := c.ReplayServe(rep.Shrunk)
 	if err != nil {

@@ -42,6 +42,11 @@ type AuditEvent struct {
 	Outcome string `json:"outcome,omitempty"` // verify: "ok" or "fail"
 	Err     string `json:"err,omitempty"`
 	Detail  string `json:"detail,omitempty"`
+
+	// OracleHWM is the MVCC commit-timestamp high-water mark known durable
+	// at a crash or recovered at a restart — the record that proves
+	// timestamps never regress across a power failure.
+	OracleHWM uint64 `json:"oracle_hwm,omitempty"`
 }
 
 // AuditLog is the crash/restart/replay event log: an in-memory ring (for

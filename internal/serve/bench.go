@@ -57,6 +57,23 @@ type BenchEntry struct {
 	Retries    int64 `json:"retries,omitempty"`    // RETRY-verdict resends observed
 	Reconnects int64 `json:"reconnects,omitempty"` // transport reconnects observed
 	GaveUp     int64 `json:"gave_up,omitempty"`    // ops abandoned after MaxRetries
+	// Txn marks the transactional pass: zipf hot-key read-modify-write
+	// transactions over protocol v2 (Ops counts issued transactions,
+	// Throughput/latency cover committed ones). The pass also verifies the
+	// per-key snapshot-isolation ledger against the durable image
+	// (SILedgerKeys = slot-exclusive keys checked) and probes epoch fill
+	// under plain zipf write conflicts with squashing on (ConflictFill)
+	// versus the PR-8 chained-epoch batcher (ChainedFill); FillGain is
+	// their ratio and must stay >= minConflictFillGain.
+	Txn                bool    `json:"txn,omitempty"`
+	TxnCommitted       int64   `json:"txn_committed,omitempty"`
+	TxnAborts          int64   `json:"txn_aborts,omitempty"`
+	TxnConflictRetries int64   `json:"txn_conflict_retries,omitempty"`
+	TxnDropped         int64   `json:"txn_dropped,omitempty"` // MaxAttempts exceeded
+	SILedgerKeys       int     `json:"si_ledger_keys,omitempty"`
+	ConflictFill       float64 `json:"conflict_fill,omitempty"`
+	ChainedFill        float64 `json:"chained_fill,omitempty"`
+	FillGain           float64 `json:"conflict_fill_gain,omitempty"`
 }
 
 // BenchReport is the BENCH_serve.json document.
@@ -108,6 +125,13 @@ type SelfTestOptions struct {
 	// with the exactly-once retry client enabled, so BENCH_serve.json
 	// records what request IDs and the dedup window cost on a clean network.
 	RetryPass bool
+	// TxnPass adds a transactional measurement per (mode, shards): a zipf
+	// hot-key RMW transaction load over protocol v2 with the SI ledger
+	// verified against the durable image, plus the conflict-fill probe
+	// (squash vs NoSquash plain zipf writers) gated at minConflictFillGain.
+	TxnPass bool
+	Txns    int64 // transactions per txn pass (0 = Ops/8)
+	TxnSize int   // keys per transaction (0 = 2)
 }
 
 func (o *SelfTestOptions) normalize() {
@@ -147,6 +171,15 @@ func (o *SelfTestOptions) normalize() {
 	if o.Dist == DistZipf && o.Theta == 0 {
 		o.Theta = 0.99
 	}
+	if o.Txns == 0 {
+		o.Txns = o.Ops / 8
+		if o.Txns < 64 {
+			o.Txns = 64
+		}
+	}
+	if o.TxnSize == 0 {
+		o.TxnSize = 2
+	}
 }
 
 // SelfTest runs the full serving path in-process for every (mode, shards)
@@ -179,6 +212,13 @@ func SelfTest(opts SelfTestOptions) (*BenchReport, error) {
 				entry, err := runSelfTest(opts, mode, shards, true)
 				if err != nil {
 					return rep, fmt.Errorf("serve: selftest %s x%d (retry): %w", mode, shards, err)
+				}
+				rep.Entries = append(rep.Entries, *entry)
+			}
+			if opts.TxnPass {
+				entry, err := runTxnSelfTest(opts, mode, shards)
+				if err != nil {
+					return rep, fmt.Errorf("serve: selftest %s x%d (txn): %w", mode, shards, err)
 				}
 				rep.Entries = append(rep.Entries, *entry)
 			}
@@ -354,6 +394,242 @@ func runSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int, retry bo
 		entry.AuditConsistent = true
 	}
 	return entry, nil
+}
+
+// Txn-pass workload shape: transactions draw zipf-hot keys from a keyspace
+// far above the plain-load range (disjoint dedup/key territory), small
+// enough that conflicting writers are the common case, not the tail.
+const (
+	benchTxnKeyBase  = 1 << 20
+	benchTxnKeySpace = 256
+)
+
+// minConflictFillGain is the batching acceptance floor: under zipf-0.99
+// conflicting writers, epoch fill with write-squashing must be at least
+// this multiple of the PR-8 chained-epoch batcher's fill.
+const minConflictFillGain = 2.0
+
+// runTxnSelfTest measures the transactional serving path for one (mode,
+// shards) combination: a zipf hot-key read-modify-write transaction load
+// over protocol v2 (exactly-once client, conflict re-runs), the per-key
+// snapshot-isolation ledger checked against the durable image, and the
+// conflict-fill probe comparing the squashing batcher against the PR-8
+// chained-epoch baseline.
+func runTxnSelfTest(opts SelfTestOptions, mode workloads.Mode, shards int) (*BenchEntry, error) {
+	tel := telemetry.New()
+	plane, err := NewObsPlane(ObsConfig{AuditPath: opts.AuditPath})
+	if err != nil {
+		return nil, err
+	}
+	defer plane.Stop()
+	cfg := Config{
+		Mode:       mode,
+		Shards:     shards,
+		Sets:       opts.Sets,
+		MaxBatch:   opts.MaxBatch,
+		BatchWait:  opts.BatchWait,
+		FixedWait:  opts.FixedWait,
+		QueueDepth: opts.QueueDepth,
+		HotKeys:    opts.HotKeys,
+		Workers:    opts.Workers,
+		Seed:       opts.Seed,
+		Telemetry:  tel,
+	}
+	plane.Apply(&cfg)
+	srv, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := plane.Start(srv); err != nil {
+		return nil, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	tres, terr := RunTxnLoad(TxnLoadConfig{
+		Addr:     addr.String(),
+		Conns:    opts.Conns,
+		Txns:     opts.Txns,
+		TxnSize:  opts.TxnSize,
+		KeyBase:  benchTxnKeyBase,
+		KeySpace: benchTxnKeySpace,
+		Dist:     DistZipf,
+		Theta:    0.99,
+		Seed:     opts.Seed,
+		Retry:    true,
+	})
+	srv.Shutdown(10 * time.Second)
+	if err := <-serveErr; err != nil {
+		return nil, fmt.Errorf("serve loop: %w", err)
+	}
+	if terr != nil {
+		return nil, terr
+	}
+	if tres.Errors > 0 || len(tres.Failures) > 0 {
+		return nil, fmt.Errorf("txn load: %d errors, failures %v", tres.Errors, tres.Failures)
+	}
+	if tres.GaveUp > 0 {
+		return nil, fmt.Errorf("%d txn outcomes unresolved on a clean loopback network", tres.GaveUp)
+	}
+	if tres.ReadAnomalies > 0 {
+		return nil, fmt.Errorf("repeatable read violated %d times inside open snapshots", tres.ReadAnomalies)
+	}
+	if tres.Txns == 0 {
+		return nil, fmt.Errorf("0 of %d transactions committed", opts.Txns)
+	}
+	if got := tres.Txns + tres.AbortedForGood + tres.GaveUp; got != opts.Txns {
+		return nil, fmt.Errorf("txn accounting: %d committed + %d dropped + %d unknown != %d issued",
+			tres.Txns, tres.AbortedForGood, tres.GaveUp, opts.Txns)
+	}
+
+	entry := &BenchEntry{
+		Mode:               mode.String(),
+		Shards:             shards,
+		Ops:                opts.Txns,
+		Throughput:         tres.Throughput,
+		P50US:              tres.P50US,
+		P95US:              tres.P95US,
+		P99US:              tres.P99US,
+		Retry:              true,
+		Retries:            tres.Retries,
+		Reconnects:         tres.Reconnects,
+		Txn:                true,
+		TxnCommitted:       tres.Txns,
+		TxnDropped:         tres.AbortedForGood,
+		TxnConflictRetries: tres.ConflictRetries,
+	}
+	reg := tel.Registry()
+	var served int64
+	for i := range srv.Shards() {
+		entry.Batches += reg.Counter(fmt.Sprintf("serve.shard%d.batches", i)).Value()
+		served += reg.Counter(fmt.Sprintf("serve.shard%d.ops", i)).Value()
+		entry.TxnAborts += reg.Counter(fmt.Sprintf("serve.shard%d.txn_aborts", i)).Value()
+	}
+	if entry.Batches > 0 {
+		// For the txn pass, fill counts epoch-riding requests (COMMITs) per
+		// dispatched epoch: conflicting commits sharing a kernel trip.
+		entry.MeanFill = float64(served) / float64(entry.Batches)
+	}
+
+	// SI ledger: every committed transaction read-modify-wrote +1 on each of
+	// its keys, so a slot-exclusive key's durable value must land inside
+	// [Committed[k], Committed[k]+Unresolved[k]]. Keys sharing a store slot
+	// are excluded — a colliding SET legally evicts the incumbent.
+	for _, sh := range srv.Shards() {
+		owners := make(map[int]int)
+		for k := uint64(0); k < benchTxnKeySpace; k++ {
+			key := uint64(benchTxnKeyBase) + k
+			if int(key%uint64(shards)) == sh.ID() {
+				owners[sh.SlotOf(key)]++
+			}
+		}
+		for k := uint64(0); k < benchTxnKeySpace; k++ {
+			key := uint64(benchTxnKeyBase) + k
+			if int(key%uint64(shards)) != sh.ID() || owners[sh.SlotOf(key)] != 1 {
+				continue
+			}
+			lo := tres.Committed[key]
+			hi := lo + tres.Unresolved[key]
+			v, _ := sh.MVCCLatest(key) // absent reads as 0
+			if int64(v) < lo || int64(v) > hi {
+				return nil, fmt.Errorf("si ledger: key %d durable count %d outside [%d, %d]", key, v, lo, hi)
+			}
+			entry.SILedgerKeys++
+		}
+		if err := sh.Verify(); err != nil {
+			return nil, err
+		}
+	}
+	if entry.SILedgerKeys == 0 {
+		return nil, fmt.Errorf("si ledger checked 0 slot-exclusive keys — the invariant was vacuous")
+	}
+	entry.Verified = true
+
+	// Conflict-fill probe: pure zipf-0.99 writers, squashing on vs the PR-8
+	// chained-epoch batcher (NoSquash). The whole point of the commit-window
+	// redesign is that hot-slot conflicts share a kernel epoch; gate it.
+	if entry.ConflictFill, err = conflictFillProbe(opts, mode, shards, false); err != nil {
+		return nil, fmt.Errorf("conflict-fill probe (squash): %w", err)
+	}
+	if entry.ChainedFill, err = conflictFillProbe(opts, mode, shards, true); err != nil {
+		return nil, fmt.Errorf("conflict-fill probe (chained): %w", err)
+	}
+	if entry.ChainedFill > 0 {
+		entry.FillGain = entry.ConflictFill / entry.ChainedFill
+	}
+	if entry.FillGain < minConflictFillGain {
+		return nil, fmt.Errorf("zipf conflict fill %.2f is only %.2fx the chained baseline %.2f, want >= %.1fx",
+			entry.ConflictFill, entry.FillGain, entry.ChainedFill, minConflictFillGain)
+	}
+	return entry, nil
+}
+
+// conflictFillProbe runs a pure-SET zipf-0.99 load — every hot key a
+// conflicting writer — and returns mean epoch fill, with write-squashing
+// either on (the redesigned batcher) or off (PR-8 chaining).
+func conflictFillProbe(opts SelfTestOptions, mode workloads.Mode, shards int, noSquash bool) (float64, error) {
+	tel := telemetry.New()
+	srv, err := NewServer(Config{
+		Mode:       mode,
+		Shards:     shards,
+		Sets:       opts.Sets,
+		MaxBatch:   opts.MaxBatch,
+		BatchWait:  opts.BatchWait,
+		FixedWait:  opts.FixedWait,
+		QueueDepth: opts.QueueDepth,
+		HotKeys:    opts.HotKeys,
+		Workers:    opts.Workers,
+		Seed:       opts.Seed,
+		Telemetry:  tel,
+		NoSquash:   noSquash,
+	})
+	if err != nil {
+		return 0, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	load, err := RunLoad(LoadConfig{
+		Addr:     addr.String(),
+		Conns:    opts.Conns,
+		Ops:      opts.Ops,
+		Window:   opts.Window,
+		KeySpace: uint64(opts.Sets) * 2,
+		Dist:     DistZipf,
+		Theta:    0.99,
+		Seed:     opts.Seed,
+	})
+	srv.Shutdown(10 * time.Second)
+	if serr := <-serveErr; serr != nil {
+		return 0, fmt.Errorf("serve loop: %w", serr)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if load.Errors > 0 {
+		return 0, fmt.Errorf("%d requests failed under load", load.Errors)
+	}
+	var batches int64
+	reg := tel.Registry()
+	for i := range srv.Shards() {
+		batches += reg.Counter(fmt.Sprintf("serve.shard%d.batches", i)).Value()
+	}
+	if batches == 0 {
+		return 0, fmt.Errorf("0 batches dispatched for %d ops", load.Ops)
+	}
+	for _, sh := range srv.Shards() {
+		if err := sh.Verify(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(load.Ops) / float64(batches), nil
 }
 
 // crashRound records one injected crash for audit-trail cross-checking.

@@ -1,0 +1,197 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Txn is one snapshot-isolation transaction: reads resolve against the
+// BEGIN snapshot (with read-your-writes over the local write set), writes
+// buffer locally, and Commit ships the whole write set in one COMMIT line
+// for first-committer-wins validation and atomic epoch commit. The write
+// set must stay on one shard: keys agreeing mod Client.Shards().
+type Txn struct {
+	c    *Client
+	snap uint64
+
+	keys []uint64
+	vals []uint64
+	dels []bool
+	idx  map[uint64]int // key -> write-set position (read-your-writes)
+
+	finished bool
+}
+
+// CommitResult is a COMMIT verdict.
+type CommitResult struct {
+	Committed bool
+	// CTS is the commit timestamp. 0 on a committed transaction means the
+	// verdict was absorbed from the server's high-water mark after the
+	// reply window aged out: the commit happened, its timestamp did not
+	// survive ("COMMITTED 0").
+	CTS uint64
+	// ConflictKey names the first conflicting key of an aborted commit.
+	ConflictKey uint64
+}
+
+// ErrTxnFinished rejects operations on a committed/aborted transaction.
+var ErrTxnFinished = errors.New("client: transaction already finished")
+
+// ErrSnapshotLost marks a snapshot the server can no longer answer — the
+// oracle floor passed it, typically because the shard crash-restarted or
+// version GC trimmed past it. The transaction cannot make progress;
+// re-run it from a fresh Begin.
+var ErrSnapshotLost = errors.New("client: transaction snapshot lost")
+
+// Begin opens a transaction: TXN -> BEGIN <snap>. Needs protocol v2.
+func (c *Client) Begin() (*Txn, error) {
+	if c.ver < 2 {
+		return nil, fmt.Errorf("client: transactions need protocol v2 (negotiated v%d)", c.ver)
+	}
+	f, err := c.submit("TXN")
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.Wait(f)
+	if err != nil {
+		return nil, err
+	}
+	rest, ok := strings.CutPrefix(body, "BEGIN ")
+	if !ok {
+		return nil, fmt.Errorf("client: bad TXN reply %q", body)
+	}
+	snap, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad TXN reply %q", body)
+	}
+	return &Txn{c: c, snap: snap, idx: make(map[uint64]int)}, nil
+}
+
+// Snapshot is the transaction's read timestamp.
+func (t *Txn) Snapshot() uint64 { return t.snap }
+
+// Get reads key at the transaction's snapshot, seeing the transaction's
+// own buffered writes first (read-your-writes).
+func (t *Txn) Get(key uint64) (val uint64, found bool, err error) {
+	if t.finished {
+		return 0, false, ErrTxnFinished
+	}
+	if i, ok := t.idx[key]; ok {
+		if t.dels[i] {
+			return 0, false, nil
+		}
+		return t.vals[i], true, nil
+	}
+	f, err := t.c.submit("GET " + strconv.FormatUint(key, 10) + " @" + strconv.FormatUint(t.snap, 10))
+	if err != nil {
+		return 0, false, err
+	}
+	body, err := t.c.Wait(f)
+	if err != nil {
+		return 0, false, err
+	}
+	switch {
+	case strings.HasPrefix(body, "VALUE "):
+		v, ok := IsValue(body)
+		if !ok {
+			return 0, false, fmt.Errorf("client: bad snapshot read reply %q", body)
+		}
+		return v, true, nil
+	case body == "NOTFOUND":
+		return 0, false, nil
+	case body == "ERR snapshot too old" || body == "ERR invalid snapshot":
+		return 0, false, fmt.Errorf("%w: %s", ErrSnapshotLost, body)
+	default:
+		return 0, false, fmt.Errorf("client: snapshot read: %s", body)
+	}
+}
+
+// Set buffers a write of key=val into the transaction's write set.
+func (t *Txn) Set(key, val uint64) {
+	t.write(key, val, false)
+}
+
+// Del buffers a delete of key into the transaction's write set.
+func (t *Txn) Del(key uint64) {
+	t.write(key, 0, true)
+}
+
+func (t *Txn) write(key, val uint64, del bool) {
+	if i, ok := t.idx[key]; ok {
+		t.vals[i], t.dels[i] = val, del
+		return
+	}
+	t.idx[key] = len(t.keys)
+	t.keys = append(t.keys, key)
+	t.vals = append(t.vals, val)
+	t.dels = append(t.dels, del)
+}
+
+// Commit ships the write set: COMMIT <snap> [S <k> <v>|D <k>]... A
+// conflict verdict is NOT an error — check CommitResult.Committed.
+func (t *Txn) Commit() (CommitResult, error) {
+	if t.finished {
+		return CommitResult{}, ErrTxnFinished
+	}
+	t.finished = true
+	var sb strings.Builder
+	sb.WriteString("COMMIT ")
+	sb.WriteString(strconv.FormatUint(t.snap, 10))
+	for i, k := range t.keys {
+		if t.dels[i] {
+			sb.WriteString(" D ")
+			sb.WriteString(strconv.FormatUint(k, 10))
+		} else {
+			sb.WriteString(" S ")
+			sb.WriteString(strconv.FormatUint(k, 10))
+			sb.WriteString(" ")
+			sb.WriteString(strconv.FormatUint(t.vals[i], 10))
+		}
+	}
+	f, err := t.c.submit(sb.String())
+	if err != nil {
+		return CommitResult{}, err
+	}
+	body, err := t.c.Wait(f)
+	if err != nil {
+		return CommitResult{}, err
+	}
+	switch {
+	case strings.HasPrefix(body, "COMMITTED "):
+		cts, perr := strconv.ParseUint(body[len("COMMITTED "):], 10, 64)
+		if perr != nil {
+			return CommitResult{}, fmt.Errorf("client: bad COMMIT reply %q", body)
+		}
+		return CommitResult{Committed: true, CTS: cts}, nil
+	case strings.HasPrefix(body, "ABORT "):
+		key, perr := strconv.ParseUint(body[len("ABORT "):], 10, 64)
+		if perr != nil {
+			return CommitResult{}, fmt.Errorf("client: bad COMMIT reply %q", body)
+		}
+		return CommitResult{ConflictKey: key}, nil
+	default:
+		return CommitResult{}, fmt.Errorf("client: commit: %s", body)
+	}
+}
+
+// Abort releases the transaction's snapshot without committing anything.
+func (t *Txn) Abort() error {
+	if t.finished {
+		return ErrTxnFinished
+	}
+	t.finished = true
+	f, err := t.c.submit("ABORT " + strconv.FormatUint(t.snap, 10))
+	if err != nil {
+		return err
+	}
+	body, err := t.c.Wait(f)
+	if err != nil {
+		return err
+	}
+	if body != "ABORTED" {
+		return fmt.Errorf("client: abort: %s", body)
+	}
+	return nil
+}

@@ -51,6 +51,14 @@ type dedupState struct {
 	// rests on the contiguity argument. Server.AckViolations cross-checks
 	// them against the applied-ID tally after shutdown.
 	absorbed []ReqID
+
+	// aborted is the decided-ABORT ledger: transaction COMMITs that lost
+	// conflict validation, keyed by request ID. Unlike the window it is
+	// never evicted and survives resync — an aborted COMMIT's seq never
+	// advances the high-water mark, so without this ledger an aged-out
+	// retry would fall through to the hwm-absorb path and be acknowledged
+	// OK for a commit that never happened.
+	aborted map[ReqID]windowEntry
 }
 
 // windowEntry is one committed request: its payload fingerprint and the
@@ -84,10 +92,23 @@ const (
 // queued on the original's waiter list.
 func (d *dedupState) check(r *request) (verdict int, reply string) {
 	if p, ok := d.pending[r.rid]; ok {
+		if p.fpr != r.fpr {
+			// Same ID, different payload: attaching would ack THIS payload
+			// with the pending one's verdict — a silent lost update. The
+			// window and abort ledgers reject this reuse; in-flight IDs
+			// must too.
+			return dedupReject, r.line("ERR request id " + r.rid.String() + " already used with a different payload")
+		}
 		p.dups = append(p.dups, r.done)
 		return dedupAttach, ""
 	}
 	if e, ok := d.window[r.rid]; ok {
+		if e.fpr == r.fpr {
+			return dedupReplay, e.reply
+		}
+		return dedupReject, r.line("ERR request id " + r.rid.String() + " already used with a different payload")
+	}
+	if e, ok := d.aborted[r.rid]; ok {
 		if e.fpr == r.fpr {
 			return dedupReplay, e.reply
 		}
@@ -131,8 +152,16 @@ func (d *dedupState) check(r *request) (verdict int, reply string) {
 		if r.op != 'G' {
 			// Committed mutation whose window entry is gone (evicted, or the
 			// window died with a crash): mutation acks are deterministic, so
-			// acknowledge without re-applying.
+			// acknowledge without re-applying. A transaction COMMIT's ack is
+			// deterministic only up to its commit timestamp, which the
+			// window entry carried — the absorbed form elides it ("COMMITTED
+			// 0": the commit happened, its timestamp aged out). Aborted
+			// COMMITs can never reach here: they advance no high-water mark
+			// and their ledger entry was checked above.
 			d.absorbed = append(d.absorbed, r.rid)
+			if r.op == 'C' {
+				return dedupReplay, r.line("COMMITTED 0")
+			}
 			return dedupReplay, r.line("OK")
 		}
 		// A committed GET re-executes: reads are idempotent.
@@ -157,9 +186,29 @@ func (d *dedupState) addHole(rid ReqID) {
 func (d *dedupState) register(r *request) { d.pending[r.rid] = r }
 
 // remember windows a committed request that never rode an epoch (cache-hit
-// GETs): retries replay the same reply.
+// and MVCC instant GETs): retries replay the same reply.
 func (d *dedupState) remember(rid ReqID, fpr uint64, reply string) {
 	d.insert(rid, windowEntry{fpr: fpr, reply: reply})
+}
+
+// rememberAbort records a COMMIT's conflict-abort verdict in the permanent
+// ledger (and the window, for the fast path). Retries replay the ABORT.
+// An abort is a DECIDED outcome, so it also closes any hole the rid left
+// from a rolled-back crash: the client's later seqs need not wait for a
+// commit that will never happen (its retries hit the ledger first, so the
+// advancing high-water mark can never absorb it as committed).
+func (d *dedupState) rememberAbort(rid ReqID, fpr uint64, reply string) {
+	if d.aborted == nil {
+		d.aborted = make(map[ReqID]windowEntry)
+	}
+	d.aborted[rid] = windowEntry{fpr: fpr, reply: reply}
+	d.insert(rid, windowEntry{fpr: fpr, reply: reply})
+	if hs := d.holes[rid.CID]; hs[rid.Seq] {
+		delete(hs, rid.Seq)
+		if len(hs) == 0 {
+			delete(d.holes, rid.CID)
+		}
+	}
 }
 
 // commit retires a committed rider: window its reply, advance its client's

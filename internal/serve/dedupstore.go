@@ -33,13 +33,14 @@ const (
 )
 
 // dedupJnlBytes sizes the undo journal: one entry per possible advance in a
-// maximally-filled batch (mutations + reads), count word last.
+// maximally-filled epoch (write squashing lets logical mutations outnumber
+// kernel slots, up to mutCap), count word last.
 func dedupJnlBytes(maxBatch int) int64 {
-	return int64(2*maxBatch)*jnlEntryBytes + 64
+	return int64(mutCap(maxBatch))*jnlEntryBytes + 64
 }
 
 // jnlCountOff is the journal's count-word offset (past the entry region).
-func (s *Shard) jnlCountOff() uint64 { return uint64(2*s.maxBatch) * jnlEntryBytes }
+func (s *Shard) jnlCountOff() uint64 { return uint64(mutCap(s.maxBatch)) * jnlEntryBytes }
 
 // dedupJournal writes the undo journal for the batch's dedup advances:
 // zero the count (so a torn journal is empty, not stale), persist the old
@@ -127,7 +128,7 @@ func (s *Shard) dedupShadowAdvance(b *Batch) {
 func (s *Shard) dedupJournalRestore() {
 	jnlSnap := s.env.Ctx.Space.SnapshotPersistent(s.jnlFile.Mmap(), int(dedupJnlBytes(s.maxBatch)))
 	n := binary.LittleEndian.Uint64(jnlSnap[s.jnlCountOff():])
-	if n == 0 || n > uint64(2*s.maxBatch) {
+	if n == 0 || n > uint64(mutCap(s.maxBatch)) {
 		return // empty (or implausible ⇒ torn) journal: nothing recorded
 	}
 	table := s.dedupFile.Mmap()
@@ -282,7 +283,8 @@ func (s *Shard) crashNow(cp *ShardCrashPlan, b *Batch, detail string) error {
 	}
 	s.audit.Record(obs.AuditEvent{
 		Type: obs.AuditCrash, Shard: s.id, Mode: s.mode.String(),
-		Point: cp.Point.String(),
+		Point:     cp.Point.String(),
+		OracleHWM: s.oraShadow,
 		Detail: fmt.Sprintf("planned power failure (%s model): %s; %d mutations at risk",
 			model, detail, b.Mutations()),
 	})

@@ -1,18 +1,17 @@
 package serve
 
 import (
-	"bufio"
-	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"net"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/gpm-sim/gpm/internal/serve/client"
 	"github.com/gpm-sim/gpm/internal/sim"
 )
 
@@ -290,14 +289,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		wg.Add(1)
 		go func(ci int, ops int64) {
 			defer wg.Done()
-			if cfg.Retry {
-				stats[ci].err = driveConnRetry(cfg, ci, ops, prog, &stats[ci])
-			} else {
-				st := &stats[ci]
-				st.err = driveConn(cfg, ci, ops, st.lats[:0], prog, func(lats []time.Duration, errs, hits, misses int64) {
-					st.lats, st.errs, st.hits, st.misses = lats, errs, hits, misses
-				})
-			}
+			stats[ci].err = driveConn(cfg, ci, ops, prog, &stats[ci])
 		}(ci, ops)
 	}
 	wg.Wait()
@@ -348,350 +340,94 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	return out, firstErr
 }
 
-// dialLoad opens one load connection per cfg (custom dialer or TCP).
-func dialLoad(cfg LoadConfig) (net.Conn, error) {
-	if cfg.Dial != nil {
-		return cfg.Dial()
+// loadClientConfig maps one load worker onto a client-package Config:
+// plain workers run the positional pipeline, Retry workers the reliable
+// exactly-once client (CID = worker index + 1, matching the legacy
+// generator's identity scheme byte for byte).
+func loadClientConfig(cfg LoadConfig, ci int, prog *loadTracker) client.Config {
+	return client.Config{
+		Addr:         cfg.Addr,
+		Dial:         cfg.Dial,
+		Timeout:      cfg.Timeout,
+		Reliable:     cfg.Retry,
+		CID:          uint64(ci) + 1,
+		MaxRetries:   cfg.MaxRetries,
+		RetryBackoff: cfg.RetryBackoff,
+		Seed:         cfg.Seed,
+		OnRetry:      prog.addRetry,
+		OnReconnect:  prog.addReconnect,
 	}
-	return net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
 }
 
-// driveConn runs one connection's share: a writer keeps up to Window
-// requests outstanding; the reader matches in-order replies and records
-// latencies. commit publishes the results exactly once before return.
-func driveConn(cfg LoadConfig, ci int, ops int64, lats []time.Duration, prog *loadTracker,
-	commit func(lats []time.Duration, errs, hits, misses int64)) error {
-	conn, err := dialLoad(cfg)
+// driveConn runs one worker's share of the load through the client
+// package: keep up to Window futures pipelined, wait on the oldest,
+// tally its reply. Plain workers match replies positionally; Retry
+// workers run the reliable client, whose transport retries/reconnects
+// and RETRY resends happen inside Wait. A reliable op that spends its
+// retry budget resolves ErrGaveUp and is tallied as given up, not done.
+func driveConn(cfg LoadConfig, ci int, ops int64, prog *loadTracker, st *connStats) error {
+	cl, err := client.Dial(loadClientConfig(cfg, ci, prog))
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(cfg.Timeout))
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true) // pipelined small writes; avoid Nagle stalls
-	}
-
-	rng := sim.NewRNG(cfg.Seed + uint64(ci)*0x9e3779b9)
-	nextKey := newKeyGen(cfg, rng)
-	sendTimes := make(chan time.Time, cfg.Window)
-	var errs, hits, misses int64
-
-	var readErr error
-	readerGone := make(chan struct{})
-	var rd sync.WaitGroup
-	rd.Add(1)
-	go func() {
-		defer rd.Done()
-		defer close(readerGone)
-		br := bufio.NewReader(conn)
-		for i := int64(0); i < ops; i++ {
-			line, err := br.ReadString('\n')
-			if err != nil {
-				readErr = err
-				return
-			}
-			lat := time.Since(<-sendTimes)
-			lats = append(lats, lat)
-			prog.record(lat)
-			switch {
-			case strings.HasPrefix(line, "VALUE"):
-				hits++
-			case strings.HasPrefix(line, "NOTFOUND"):
-				misses++
-			case strings.HasPrefix(line, "ERR"):
-				errs++
-				prog.addErr()
-			}
-		}
-	}()
-
-	var writeErr error
-	bw := bufio.NewWriter(conn)
-	for i := int64(0); i < ops; i++ {
-		key := nextKey()
-		roll := rng.Float64()
-		var line string
-		switch {
-		case roll < cfg.GetFraction:
-			line = fmt.Sprintf("GET %d\n", key)
-		case roll < cfg.GetFraction+cfg.DelFraction:
-			line = fmt.Sprintf("DEL %d\n", key)
-		default:
-			line = fmt.Sprintf("SET %d %d\n", key, key*2654435761+13)
-		}
-		// Blocks when Window requests are in flight; a dead reader releases
-		// the writer instead of deadlocking it.
-		select {
-		case sendTimes <- time.Now():
-			if prog != nil {
-				prog.sends.Add(1)
-			}
-		case <-readerGone:
-			writeErr = fmt.Errorf("reader stopped")
-		}
-		if writeErr != nil {
-			break
-		}
-		if _, err := bw.WriteString(line); err != nil {
-			writeErr = err
-			break
-		}
-		if len(sendTimes) == cap(sendTimes) || i == ops-1 {
-			if err := bw.Flush(); err != nil {
-				writeErr = err
-				break
-			}
-		}
-	}
-	bw.Flush()
-	rd.Wait()
-	commit(lats, errs, hits, misses)
-	if writeErr != nil {
-		return writeErr
-	}
-	return readErr
-}
-
-// driveConnRetry runs one connection's share with the exactly-once client:
-// every request carries "@<cid>.<seq>", replies are matched by ID (so
-// duplicated or reordered deliveries are harmless), and a transport
-// failure reconnects with capped exponential backoff plus jitter, then
-// resends everything still outstanding in seq order. A server RETRY
-// verdict resends the same request verbatim. An op that spends MaxRetries
-// attempts is abandoned and counted in gaveUp — its outcome is unknown,
-// which is exactly what the server-side dedup window exists to absorb.
-func driveConnRetry(cfg LoadConfig, ci int, ops int64, prog *loadTracker, st *connStats) error {
-	cid := uint64(ci) + 1
-	rng := sim.NewRNG(cfg.Seed + uint64(ci)*0x9e3779b9)
-	jit := sim.NewRNG(mix64(cfg.Seed^cid*0xa24baed4963ee407) | 1)
-	nextKey := newKeyGen(cfg, rng)
-
-	type pendingOp struct {
-		line     string
-		first    time.Time
-		attempts int
-	}
-	outstanding := make(map[uint64]*pendingOp, cfg.Window)
-
-	var conn net.Conn
-	var br *bufio.Reader
-	var bw *bufio.Writer
 	defer func() {
-		if conn != nil {
-			conn.Close()
-		}
+		cs := cl.Stats()
+		st.reconnects, st.retries, st.gaveUp = cs.Reconnects, cs.Retries, cs.GaveUp
+		cl.Close()
 	}()
 
-	backoff := func(attempt int) {
-		d := cfg.RetryBackoff << uint(attempt)
-		if cap := 64 * cfg.RetryBackoff; d > cap {
-			d = cap
-		}
-		time.Sleep(d/2 + time.Duration(jit.Uint64()%uint64(d))) // [0.5d, 1.5d)
-	}
-	// giveUpOrBump charges one attempt against an op, abandoning it once
-	// the cap is spent. Reports true when the op was dropped.
-	giveUpOrBump := func(seq uint64, p *pendingOp) bool {
-		if p.attempts >= cfg.MaxRetries {
-			delete(outstanding, seq)
-			st.gaveUp++
-			return true
-		}
-		p.attempts++
-		return false
-	}
+	rng := sim.NewRNG(cfg.Seed + uint64(ci)*0x9e3779b9)
+	nextKey := newKeyGen(cfg, rng)
 
-	connect := func(initial bool) error {
-		if !initial {
-			st.reconnects++
-			prog.addReconnect()
-		}
-		for attempt := 0; ; attempt++ {
-			if conn != nil {
-				conn.Close()
-				conn = nil
-			}
-			c, err := dialLoad(cfg)
-			if err != nil {
-				if attempt >= cfg.MaxRetries {
-					return err
-				}
-				backoff(attempt)
-				continue
-			}
-			conn = c
-			conn.SetDeadline(time.Now().Add(cfg.Timeout))
-			if tc, ok := conn.(*net.TCPConn); ok {
-				tc.SetNoDelay(true)
-			}
-			br, bw = bufio.NewReader(conn), bufio.NewWriter(conn)
-			// Re-send survivors lowest seq first: the server's per-client
-			// ordering contract wants old seqs before new ones.
-			seqs := make([]uint64, 0, len(outstanding))
-			for s := range outstanding {
-				seqs = append(seqs, s)
-			}
-			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-			resendErr := false
-			for _, s := range seqs {
-				p := outstanding[s]
-				if giveUpOrBump(s, p) {
-					continue
-				}
-				st.retries++
-				prog.addRetry()
-				if _, err := bw.WriteString(p.line); err != nil {
-					resendErr = true
-					break
-				}
-			}
-			if !resendErr {
-				resendErr = bw.Flush() != nil
-			}
-			if resendErr {
-				if attempt >= cfg.MaxRetries {
-					return fmt.Errorf("resend after reconnect failed")
-				}
-				backoff(attempt)
-				continue
-			}
-			return nil
-		}
-	}
-	if err := connect(true); err != nil {
-		return err
-	}
-
+	window := make([]*client.Future, 0, cfg.Window)
 	var sent int64
-	var seq uint64
-	for sent < ops || len(outstanding) > 0 {
-		// Top up the window with fresh requests.
-		for sent < ops && len(outstanding) < cfg.Window {
-			seq++
+	for sent < ops || len(window) > 0 {
+		// Top up the pipeline with fresh requests.
+		for sent < ops && len(window) < cfg.Window {
 			key := nextKey()
 			roll := rng.Float64()
-			var body string
+			var f *client.Future
+			var err error
 			switch {
 			case roll < cfg.GetFraction:
-				body = fmt.Sprintf("GET %d", key)
+				f, err = cl.Get(key)
 			case roll < cfg.GetFraction+cfg.DelFraction:
-				body = fmt.Sprintf("DEL %d", key)
+				f, err = cl.Del(key)
 			default:
-				body = fmt.Sprintf("SET %d %d", key, key*2654435761+13)
+				f, err = cl.Set(key, key*2654435761+13)
 			}
-			line := fmt.Sprintf("@%d.%d %s\n", cid, seq, body)
-			outstanding[seq] = &pendingOp{line: line, first: time.Now()}
+			if err != nil {
+				return err
+			}
 			sent++
 			prog.addSend()
-			if _, err := bw.WriteString(line); err != nil {
-				if rerr := connect(false); rerr != nil {
-					return rerr
-				}
-			}
+			window = append(window, f)
 		}
-		if bw.Buffered() > 0 {
-			if err := bw.Flush(); err != nil {
-				if rerr := connect(false); rerr != nil {
-					return rerr
-				}
-			}
-		}
-		if len(outstanding) == 0 {
-			continue // everything resolved or abandoned; maybe more to send
-		}
-
-		// handleReply resolves one reply line against the outstanding map.
-		// It reports whether the connection needs to be rebuilt (a resend
-		// failed mid-write); every other malformed or stale line is skipped.
-		handleReply := func(raw string) (reconnect bool) {
-			line := strings.TrimSpace(raw)
-			if !strings.HasPrefix(line, "@") {
-				return false // unidentified line: not one of ours
-			}
-			idTok, body, ok := strings.Cut(line[1:], " ")
-			if !ok {
-				return false
-			}
-			cidS, seqS, ok := strings.Cut(idTok, ".")
-			if !ok {
-				return false
-			}
-			rcid, err1 := strconv.ParseUint(cidS, 10, 64)
-			rseq, err2 := strconv.ParseUint(seqS, 10, 64)
-			if err1 != nil || err2 != nil || rcid != cid {
-				return false
-			}
-			p, live := outstanding[rseq]
-			if !live {
-				return false // duplicate delivery of an already-resolved reply
-			}
-			if body == "RETRY" {
-				// Crash-restart severed the ack; resend the identical request
-				// after a beat and let the server's dedup window sort it out.
-				if giveUpOrBump(rseq, p) {
-					return false
-				}
-				st.retries++
-				prog.addRetry()
-				time.Sleep(cfg.RetryBackoff)
-				if _, err := bw.WriteString(p.line); err != nil {
-					return true
-				}
-				return false
-			}
-			delete(outstanding, rseq)
-			lat := time.Since(p.first)
-			st.lats = append(st.lats, lat)
-			prog.record(lat)
-			switch {
-			case strings.HasPrefix(body, "VALUE"):
-				st.hits++
-			case strings.HasPrefix(body, "NOTFOUND"):
-				st.misses++
-			case strings.HasPrefix(body, "ERR"):
-				st.errs++
-				prog.addErr()
-			}
-			return false
-		}
-
-		raw, err := br.ReadString('\n')
+		f := window[0]
+		window = window[1:]
+		body, err := cl.Wait(f)
 		if err != nil {
-			if rerr := connect(false); rerr != nil {
-				return rerr
+			if errors.Is(err, client.ErrGaveUp) {
+				continue // outcome unknown; the dedup window absorbs a later retry
 			}
-			continue
+			return err
 		}
-		needReconnect := handleReply(raw)
-		// Drain every complete reply already buffered before topping the
-		// window back up: the server writes replies a batch at a time, so
-		// taking them one-per-loop would cost a write+flush per op and
-		// forfeit the pipelining the plain client gets from its reader
-		// goroutine. Only whole lines are taken — a partial tail stays
-		// buffered for the next blocking read rather than stalling here.
-		for !needReconnect {
-			n := br.Buffered()
-			if n == 0 {
-				break
-			}
-			peek, _ := br.Peek(n)
-			if bytes.IndexByte(peek, '\n') < 0 {
-				break
-			}
-			raw, err := br.ReadString('\n')
-			if err != nil {
-				break // cannot happen with a whole buffered line; be safe
-			}
-			needReconnect = handleReply(raw)
-		}
-		if needReconnect {
-			if rerr := connect(false); rerr != nil {
-				return rerr
-			}
+		lat := f.RTT()
+		st.lats = append(st.lats, lat)
+		prog.record(lat)
+		switch {
+		case strings.HasPrefix(body, "VALUE"):
+			st.hits++
+		case strings.HasPrefix(body, "NOTFOUND"):
+			st.misses++
+		case strings.HasPrefix(body, "ERR"):
+			st.errs++
+			prog.addErr()
 		}
 	}
 	return nil
 }
+
 
 // newKeyGen builds the per-connection key stream for a normalized config:
 // uniform over [1, KeySpace], or scrambled zipfian for hot-key workloads.

@@ -116,6 +116,7 @@ type StatusDoc struct {
 	Rejected  int64               `json:"rejected"`
 	Windows   []obs.WindowSummary `json:"windows"`
 	ShardRows []ShardStatus       `json:"shard_status"`
+	Txn       TxnStatus           `json:"txn"`
 	Traces    TraceStats          `json:"traces"`
 	AuditTail []obs.AuditEvent    `json:"audit_tail,omitempty"`
 }
@@ -141,6 +142,7 @@ func (p *ObsPlane) StatusDoc(srv *Server) StatusDoc {
 		Draining:  srv.Draining(),
 		Rejected:  srv.cRejected.Value(),
 		ShardRows: srv.Status(),
+		Txn:       srv.TxnStatus(),
 		AuditTail: p.Audit.Tail(statusAuditTail),
 	}
 	doc.Windows = p.Windows.Summary("serve.request_us", obs.StandardWindows...)

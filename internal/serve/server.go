@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -39,6 +40,17 @@ type Config struct {
 	// verify events) from the server and its shards; nil disables.
 	Trace *obs.RequestTracer
 	Audit *obs.AuditLog
+
+	// BreakSI is the chaos negative control: transaction COMMITs skip the
+	// commit-window conflict check, so concurrent read-modify-write
+	// transactions lose updates — which the campaign's snapshot-isolation
+	// invariant must catch.
+	BreakSI bool
+
+	// NoSquash disables epoch write-squashing and restores the PR-8
+	// chained-epoch admission (every same-slot mutation seals into a later
+	// epoch). Kept as the measured baseline for the conflict-fill probe.
+	NoSquash bool
 }
 
 // Normalize fills zero fields with serving defaults and validates the rest.
@@ -79,7 +91,7 @@ func (c *Config) Normalize() error {
 
 // request is one parsed client operation in flight.
 type request struct {
-	op       byte // 'S', 'G', 'D'
+	op       byte // 'S', 'G', 'D', 'C' (transaction COMMIT)
 	key      uint64
 	val      uint64
 	id       uint64        // admission ID (server-wide, monotone; trace sampling key)
@@ -89,6 +101,13 @@ type request struct {
 	admitted time.Time     // batcher admission instant (zero until admitted)
 	done     chan string   // receives exactly one reply line
 	dups     []chan string // duplicate arrivals of rid awaiting this request's outcome
+
+	// txn carries a transaction COMMIT's write set (op 'C' only).
+	txn *txnOp
+	// pre is the precomputed reply of a GET that rides an epoch only for
+	// durability ordering: its value was resolved at admission from the
+	// staged slot image (getPos -2), not from a kernel read.
+	pre string
 }
 
 // line prefixes a reply body with the request's ID, echoing what the
@@ -119,6 +138,8 @@ func opName(op byte) string {
 		return "GET"
 	case 'D':
 		return "DEL"
+	case 'C':
+		return "COMMIT"
 	default:
 		return string(op)
 	}
@@ -156,6 +177,12 @@ type Server struct {
 	reg     *telemetry.Registry
 	started time.Time
 
+	// oracle is the server-wide monotonic timestamp authority for MVCC
+	// snapshot isolation; snaps tracks live snapshots so the version-chain
+	// GC never trims under an open transaction.
+	oracle *tsOracle
+	snaps  *snapRegistry
+
 	ln       net.Listener
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -171,7 +198,14 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{}), started: time.Now()}
+	s := &Server{
+		cfg:    cfg,
+		conns:  make(map[net.Conn]struct{}),
+		oracle: newOracle(0),
+		snaps:  newSnapRegistry(),
+
+		started: time.Now(),
+	}
 	var reg *telemetry.Registry
 	if cfg.Telemetry != nil {
 		reg = cfg.Telemetry.Registry()
@@ -195,6 +229,8 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		sh.SetAudit(cfg.Audit)
 		w := newShardWorker(sh, cfg, reg)
+		w.oracle = s.oracle
+		w.snaps = s.snaps
 		s.workers = append(s.workers, w)
 		go w.run()
 	}
@@ -265,6 +301,10 @@ type ShardStatus struct {
 	DedupHits      int64 `json:"dedup_hits"`
 	DedupReuse     int64 `json:"dedup_reuse"`
 	Restarts       int64 `json:"restarts"`
+	Squashes       int64 `json:"squashes"`
+	TxnCommits     int64 `json:"txn_commits"`
+	TxnAborts      int64 `json:"txn_aborts"`
+	TxnRetries     int64 `json:"txn_conflict_retries"`
 }
 
 // Status reports per-shard pipeline state for /statusz. Values come from
@@ -289,6 +329,10 @@ func (s *Server) Status() []ShardStatus {
 			DedupHits:      w.cDedupHits.Value(),
 			DedupReuse:     w.cDedupReuse.Value(),
 			Restarts:       w.cRestarts.Value(),
+			Squashes:       w.cSquashes.Value(),
+			TxnCommits:     w.cTxnCommits.Value(),
+			TxnAborts:      w.cTxnAborts.Value(),
+			TxnRetries:     w.cTxnRetries.Value(),
 		}
 	}
 	return out
@@ -417,10 +461,49 @@ func (s *Server) handleConn(c net.Conn) {
 		f <- line
 		futures <- f
 	}
+	// Per-connection protocol state: negotiated version (1 until a HELLO
+	// upgrades it) and the snapshots this connection holds open.
+	st := &connState{ver: 1}
 	sc := bufio.NewScanner(c)
 	sc.Buffer(make([]byte, 4096), 1<<16)
+	// Only newline-terminated lines are requests. A connection that dies
+	// mid-write (crash, reset) leaves a torn final line, and a torn prefix
+	// can parse as a VALID shorter request — e.g. a multi-key COMMIT cut
+	// after its first write — which would then execute under the full
+	// request's ID and absorb the client's retry into a lost update. Drop
+	// the unterminated tail instead: the client never saw an ack, so its
+	// retry re-sends the whole line on a fresh connection.
+	sc.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			return i + 1, bytes.TrimSuffix(data[:i], []byte{'\r'}), nil
+		}
+		if atEOF {
+			return 0, nil, bufio.ErrFinalToken // torn tail: discard, stop
+		}
+		return 0, nil, nil
+	})
 	for sc.Scan() {
-		op, key, val, rid, err := parseRequest(sc.Text())
+		line := sc.Text()
+		// HELLO is the version-negotiation escape hatch: legal on any
+		// connection (v1 clients simply never send it), answered before the
+		// draining gate like PING.
+		if rid, ver, ok := parseHello(line); ok {
+			if ver < 1 {
+				instant(idLine(rid, "ERR protocol version must be >= 1"))
+				continue
+			}
+			if ver > maxProtoVersion {
+				ver = maxProtoVersion
+			}
+			st.ver = ver
+			instant(idLine(rid, fmt.Sprintf("HELLO %d %d", ver, len(s.workers))))
+			continue
+		}
+		if st.ver >= 2 {
+			s.serveV2(line, st, instant, futures)
+			continue
+		}
+		op, key, val, rid, err := parseRequest(line)
 		if err != nil {
 			instant(idLine(rid, "ERR "+err.Error()))
 			continue
@@ -443,6 +526,7 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 	close(futures)
 	wWG.Wait()
+	st.releaseAll(s.snaps)
 }
 
 // parseRequest parses one protocol line. op 'P' means PING. An optional
@@ -491,18 +575,27 @@ func parseRequest(line string) (op byte, key, val uint64, rid ReqID, err error) 
 	return verb[0], key, val, rid, nil
 }
 
+// slotStage is the staged final image of one store slot inside one epoch:
+// write-squashing folds every same-slot logical mutation over it, and the
+// seal synthesizes at most one kernel op per slot from base vs final image.
+type slotStage struct {
+	baseKey, baseVal uint64 // slot occupant when the epoch first touched it
+	key, val         uint64 // staged final occupant (key 0 = empty)
+	firstKey         uint64 // first logical key staged here (no-op DEL synthesis)
+}
+
 // epochBatch is one persist epoch moving through the shard pipeline: a
-// staged batch, the requests riding it, and the per-epoch conflict maps
-// that let a second mutation of a slot land in the NEXT epoch instead of
-// destroying the current batch.
+// staged batch, the requests riding it, and the per-epoch slot images that
+// let every same-slot logical mutation squash into ONE kernel op instead of
+// sealing the epoch and chaining into the next.
 type epochBatch struct {
 	seq     uint64
 	batch   Batch
-	pending []*request      // ops riding this epoch, arrival order
-	getPos  []int           // per pending op: index into batch.GetKeys, -1 for mutations
-	mutated map[int]bool    // slots this epoch writes
-	read    map[int]bool    // slots this epoch batch-reads
-	clients map[uint64]bool // cids whose epoch-order floor this epoch holds
+	pending []*request          // ops riding this epoch, arrival order
+	getPos  []int               // per pending op: batch.GetKeys index; -1 mutation; -2 precomputed read
+	slots   map[int]*slotStage  // staged slot images (this epoch's writes)
+	read    map[int]bool        // slots this epoch batch-reads
+	clients map[uint64]bool     // cids whose epoch-order floor this epoch holds
 
 	// Filled by the applier, consumed by the batcher's onCommit:
 	replies []string          // reply line per pending op (dedup windowing)
@@ -539,6 +632,12 @@ var fillBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 type shardWorker struct {
 	shard *Shard
 	cfg   Config
+
+	// oracle/snaps are shared server-wide MVCC state (see Server); the
+	// batcher allocates a commit timestamp per logical mutation and the
+	// commit path releases them so the stable snapshot floor advances.
+	oracle *tsOracle
+	snaps  *snapRegistry
 
 	reqs    chan *request
 	drainCh chan struct{} // closed by Shutdown: flush eagerly from now on
@@ -584,6 +683,12 @@ type shardWorker struct {
 	cDedupHolds *telemetry.Counter
 	cRestarts   *telemetry.Counter
 	cFlushed    *telemetry.Counter
+	cSquashes   *telemetry.Counter
+	cTxnCommits *telemetry.Counter
+	cTxnAborts  *telemetry.Counter
+	cTxnRetries *telemetry.Counter
+
+	commits uint64 // epochs retired since start (MVCC GC cadence)
 }
 
 func newShardWorker(sh *Shard, cfg Config, reg *telemetry.Registry) *shardWorker {
@@ -624,6 +729,10 @@ func newShardWorker(sh *Shard, cfg Config, reg *telemetry.Registry) *shardWorker
 		cDedupHolds: reg.Counter(p + "dedup_holds"),
 		cRestarts:   reg.Counter(p + "restarts"),
 		cFlushed:    reg.Counter(p + "flushed_riders"),
+		cSquashes:   reg.Counter(p + "squashes"),
+		cTxnCommits: reg.Counter(p + "txn_commits"),
+		cTxnAborts:  reg.Counter(p + "txn_aborts"),
+		cTxnRetries: reg.Counter(p + "txn_conflict_retries"),
 	}
 }
 
@@ -637,13 +746,93 @@ func (w *shardWorker) headSeq() uint64 {
 func (w *shardWorker) appendEpoch() *epochBatch {
 	eb := &epochBatch{
 		seq:     w.nextSeq,
-		mutated: make(map[int]bool),
+		slots:   make(map[int]*slotStage),
 		read:    make(map[int]bool),
 		clients: make(map[uint64]bool),
 	}
 	w.nextSeq++
 	w.staged = append(w.staged, eb)
 	return eb
+}
+
+// epochAt resolves a pipeline seq to its epoch: a staged one, or the one on
+// the device. Returns nil for already-retired seqs.
+func (w *shardWorker) epochAt(seq uint64) *epochBatch {
+	if w.inflight != nil && w.inflight.seq == seq {
+		return w.inflight
+	}
+	if i := int(seq - w.headSeq()); i >= 0 && i < len(w.staged) {
+		return w.staged[i]
+	}
+	return nil
+}
+
+// fitsCID reports whether an identified request can ride an epoch without
+// overflowing the dedup journal (one advance per distinct client).
+func (w *shardWorker) fitsCID(e *epochBatch, rid ReqID) bool {
+	if rid.Zero() || e.clients[rid.CID] {
+		return true
+	}
+	return len(e.clients) < mutCap(w.cfg.MaxBatch)
+}
+
+// stageSlot returns (creating if needed) the epoch's staged image of slot,
+// basing a fresh stage on the latest pending image of the slot — an earlier
+// staged/in-flight epoch's stage if one exists, else the committed occupant.
+func (w *shardWorker) stageSlot(eb *epochBatch, slot int, firstKey uint64) *slotStage {
+	if st := eb.slots[slot]; st != nil {
+		return st
+	}
+	var bk, bv uint64
+	if m, ok := w.lastMut[slot]; ok && m < eb.seq {
+		if prev := w.epochAt(m); prev != nil {
+			if pst := prev.slots[slot]; pst != nil {
+				bk, bv = pst.key, pst.val
+			}
+		}
+	} else {
+		bk, bv = w.shard.MVCCSlotImage(slot)
+	}
+	st := &slotStage{baseKey: bk, baseVal: bv, key: bk, val: bv, firstKey: firstKey}
+	eb.slots[slot] = st
+	return st
+}
+
+// stageWrite folds one logical mutation into an epoch: the slot image
+// advances, and the batch's version row (key, value, delete, commit ts,
+// request ID) records the mutation for the MVCC chains and the apply tally.
+func (w *shardWorker) stageWrite(eb *epochBatch, slot int, key, val uint64, del bool, ts uint64, rid ReqID) {
+	st := w.stageSlot(eb, slot, key)
+	if del {
+		if st.key == key {
+			st.key, st.val = 0, 0
+		}
+	} else {
+		st.key, st.val = key, val
+	}
+	eb.batch.VerKeys = append(eb.batch.VerKeys, key)
+	eb.batch.VerVals = append(eb.batch.VerVals, val)
+	eb.batch.VerDel = append(eb.batch.VerDel, del)
+	eb.batch.VerTS = append(eb.batch.VerTS, ts)
+	eb.batch.VerIDs = append(eb.batch.VerIDs, rid)
+	if m, ok := w.lastMut[slot]; !ok || m < eb.seq {
+		w.lastMut[slot] = eb.seq
+	}
+}
+
+// stagedValue resolves a GET against the latest pending image of its slot
+// (the caller established one exists): found=false means the slot's staged
+// final state does not hold the key.
+func (w *shardWorker) stagedValue(key uint64, slot int) (val uint64, found bool) {
+	eb := w.epochAt(w.lastMut[slot])
+	if eb == nil {
+		return 0, false
+	}
+	st := eb.slots[slot]
+	if st == nil || st.key != key {
+		return 0, false
+	}
+	return st.val, true
 }
 
 // epochFrom returns the first staged epoch with seq >= floor satisfying
@@ -660,23 +849,25 @@ func (w *shardWorker) epochFrom(floor uint64, fits func(*epochBatch) bool) *epoc
 }
 
 // admit places one request into the pipeline: cache-served, or assigned to
-// the earliest epoch that respects the per-slot ordering constraints —
+// an epoch under the write-squashing rules —
 //
-//	SET then GET  same slot: GET rides the SAME epoch (it reads the
-//	              post-mutation mirror, so it observes the SET);
-//	GET then SET  same slot: the SET goes to a LATER epoch (the staged GET
-//	              must not observe it);
-//	SET then SET  same slot: the second goes to a LATER epoch (one
-//	              mutation per slot per kernel batch).
+//	SET then GET  same slot: the GET's value is resolved at admission from
+//	              the staged slot image and the reply rides the mutating
+//	              epoch (or later) for durability ordering only;
+//	GET then SET  same slot: the SET goes to an epoch AFTER the staged
+//	              kernel GET (the batched read must not observe it);
+//	SET then SET  same slot: the second SQUASHES into the same epoch — the
+//	              slot image folds, each logical mutation keeps its own
+//	              MVCC commit timestamp, and the kernel runs one op.
 //
-// Conflicts therefore chain hot-key mutations into consecutive pipeline
-// stages instead of sealing and shrinking batches.
+// Hot-key write conflicts therefore share one kernel epoch instead of
+// chaining into consecutive pipeline stages; the per-epoch slot-conflict
+// seal survives only as the transaction commit-window check (admitTxn).
 func (w *shardWorker) admit(r *request) {
 	now := time.Now()
 	r.admitted = now
 	w.hQueueWait.Observe(int64(now.Sub(r.enq) / time.Microsecond))
 	w.ctrl.observeArrival(now)
-	slot := w.shard.SlotOf(r.key)
 
 	// Exactly-once gate: a request ID already in flight, windowed, or below
 	// its client's committed high-water mark never reaches an epoch again.
@@ -684,9 +875,15 @@ func (w *shardWorker) admit(r *request) {
 		switch verdict, line := w.dedup.check(r); verdict {
 		case dedupAttach:
 			w.cDedupHits.Inc()
+			if r.op == 'C' {
+				w.cTxnRetries.Inc()
+			}
 			return
 		case dedupReplay:
 			w.cDedupHits.Inc()
+			if r.op == 'C' {
+				w.cTxnRetries.Inc()
+			}
 			r.done <- line
 			return
 		case dedupReject:
@@ -695,14 +892,36 @@ func (w *shardWorker) admit(r *request) {
 			return
 		case dedupHold:
 			w.cDedupHolds.Inc()
+			if r.op == 'C' {
+				w.cTxnRetries.Inc()
+			}
 			r.done <- line
 			return
 		}
 	}
 
+	head := w.headSeq()
+	// cliFloor keeps one client's requests committing in seq order on a
+	// shard — the property that makes "seq <= high-water mark" equivalent
+	// to "committed" even when conflict ordering would otherwise let a
+	// later, unconflicted request overtake an earlier one.
+	cliFloor := head
+	if !r.rid.Zero() {
+		if c, ok := w.lastCli[r.rid.CID]; ok && c > cliFloor {
+			cliFloor = c
+		}
+	}
+
+	if r.op == 'C' {
+		w.admitTxn(r, now, cliFloor)
+		return
+	}
+
+	slot := w.shard.SlotOf(r.key)
 	if r.op == 'G' {
 		w.cache.Observe(r.key)
-		if _, pending := w.lastMut[slot]; !pending {
+		m, mutPending := w.lastMut[slot]
+		if !mutPending {
 			if val, ok := w.cache.Lookup(r.key, slot); ok {
 				// Committed state with no pending write: durable by
 				// construction, reply without a kernel trip.
@@ -736,29 +955,39 @@ func (w *shardWorker) admit(r *request) {
 				}
 				return
 			}
+		} else if !w.cfg.NoSquash {
+			// Staged-image read: the slot has a pending mutation, so the
+			// GET's value is already decided by arrival order. Resolve it
+			// NOW from the staged image, and ride the mutating epoch (or the
+			// client's floor) so the reply still waits for durability. No
+			// read mark is set — later same-slot writes keep squashing.
+			var line string
+			if val, ok := w.stagedValue(r.key, slot); ok {
+				line = r.line("VALUE " + strconv.FormatUint(val, 10))
+			} else {
+				line = r.line("NOTFOUND")
+			}
+			r.pre = line
+			floor := cliFloor
+			if m > floor {
+				floor = m
+			}
+			eb := w.epochFrom(floor, func(e *epochBatch) bool {
+				return w.fitsCID(e, r.rid)
+			})
+			eb.getPos = append(eb.getPos, -2)
+			w.finishAdmit(eb, r, now)
+			return
 		}
-	}
-
-	head := w.headSeq()
-	// cliFloor keeps one client's requests committing in seq order on a
-	// shard — the property that makes "seq <= high-water mark" equivalent
-	// to "committed" even when conflict chaining would otherwise let a
-	// later, unconflicted request overtake an earlier chained one.
-	cliFloor := head
-	if !r.rid.Zero() {
-		if c, ok := w.lastCli[r.rid.CID]; ok && c > cliFloor {
-			cliFloor = c
-		}
-	}
-	var eb *epochBatch
-	switch r.op {
-	case 'G':
+		// Batched kernel read: cache miss with no staged mutation (or the
+		// NoSquash compat path, where the GET rides the mutating epoch and
+		// reads the post-mutation mirror).
 		floor := cliFloor
-		if m, ok := w.lastMut[slot]; ok && m > floor {
-			floor = m // ride the mutating epoch (or any later one)
+		if mutPending && m > floor {
+			floor = m
 		}
-		eb = w.epochFrom(floor, func(e *epochBatch) bool {
-			return len(e.batch.GetKeys) < w.cfg.MaxBatch
+		eb := w.epochFrom(floor, func(e *epochBatch) bool {
+			return len(e.batch.GetKeys) < w.cfg.MaxBatch && w.fitsCID(e, r.rid)
 		})
 		eb.getPos = append(eb.getPos, len(eb.batch.GetKeys))
 		eb.batch.GetKeys = append(eb.batch.GetKeys, r.key)
@@ -766,33 +995,121 @@ func (w *shardWorker) admit(r *request) {
 		if g, ok := w.lastRead[slot]; !ok || eb.seq > g {
 			w.lastRead[slot] = eb.seq
 		}
-	default: // 'S', 'D'
-		floor := cliFloor
-		conflict := false
-		if m, ok := w.lastMut[slot]; ok && m+1 > floor {
+		w.finishAdmit(eb, r, now)
+		return
+	}
+
+	// 'S', 'D': try to squash into the slot's latest staged epoch; fall
+	// back to chaining past it (capacity, client-order floor, or the epoch
+	// already being on the device) or past a staged kernel read.
+	floor := cliFloor
+	conflict := false
+	if m, ok := w.lastMut[slot]; ok {
+		if !w.cfg.NoSquash && m >= head && m >= cliFloor {
+			if eb := w.epochAt(m); eb != nil && eb.slots[slot] != nil &&
+				len(eb.batch.VerKeys) < mutCap(w.cfg.MaxBatch) && w.fitsCID(eb, r.rid) {
+				val := r.val
+				if r.op == 'D' {
+					val = 0
+				}
+				w.stageWrite(eb, slot, r.key, val, r.op == 'D', w.oracle.alloc(1), r.rid)
+				eb.getPos = append(eb.getPos, -1)
+				w.cSquashes.Inc()
+				w.finishAdmit(eb, r, now)
+				return
+			}
+		}
+		if m+1 > floor {
 			floor, conflict = m+1, true
 		}
-		if g, ok := w.lastRead[slot]; ok && g+1 > floor {
-			floor, conflict = g+1, true
-		}
-		eb = w.epochFrom(floor, func(e *epochBatch) bool {
-			return e.batch.Mutations() < w.cfg.MaxBatch
-		})
-		if conflict {
-			w.cChains.Inc()
-		}
-		if r.op == 'S' {
-			eb.batch.SetKeys = append(eb.batch.SetKeys, r.key)
-			eb.batch.SetVals = append(eb.batch.SetVals, r.val)
-			eb.batch.SetIDs = append(eb.batch.SetIDs, r.rid)
-		} else {
-			eb.batch.DelKeys = append(eb.batch.DelKeys, r.key)
-			eb.batch.DelIDs = append(eb.batch.DelIDs, r.rid)
-		}
-		eb.getPos = append(eb.getPos, -1)
-		eb.mutated[slot] = true
-		w.lastMut[slot] = eb.seq
 	}
+	if g, ok := w.lastRead[slot]; ok && g+1 > floor {
+		floor, conflict = g+1, true
+	}
+	eb := w.epochFrom(floor, func(e *epochBatch) bool {
+		return len(e.slots) < w.cfg.MaxBatch &&
+			len(e.batch.VerKeys) < mutCap(w.cfg.MaxBatch) && w.fitsCID(e, r.rid)
+	})
+	if conflict {
+		w.cChains.Inc()
+	}
+	val := r.val
+	if r.op == 'D' {
+		val = 0
+	}
+	w.stageWrite(eb, slot, r.key, val, r.op == 'D', w.oracle.alloc(1), r.rid)
+	eb.getPos = append(eb.getPos, -1)
+	w.finishAdmit(eb, r, now)
+}
+
+// admitTxn validates and stages a transaction COMMIT (op 'C'). Conflict
+// detection is first-committer-wins at store-slot granularity: a write key
+// whose slot has a staged or in-flight uncommitted mutation loses to the
+// pending writer, and one whose newest committed version is above the
+// transaction's snapshot lost to an already-committed writer. A valid
+// commit stages ALL its writes into ONE epoch at a single commit timestamp
+// — the transaction is atomic because the epoch's group-commit is.
+func (w *shardWorker) admitTxn(r *request, now time.Time, cliFloor uint64) {
+	t := r.txn
+	if !w.cfg.BreakSI {
+		for _, k := range t.keys {
+			slot := w.shard.SlotOf(k)
+			_, staged := w.lastMut[slot]
+			if staged || w.shard.MVCCLatestTS(k) > t.snap {
+				line := r.line("ABORT " + strconv.FormatUint(k, 10))
+				w.cTxnAborts.Inc()
+				if !r.rid.Zero() {
+					// The verdict is decided: record it in the permanent
+					// abort ledger so retries replay ABORT instead of
+					// re-validating (or worse, being hwm-absorbed as
+					// committed).
+					w.dedup.rememberAbort(r.rid, r.fpr, line)
+				}
+				r.done <- line
+				w.hReqUS.Observe(int64(now.Sub(r.enq) / time.Microsecond))
+				return
+			}
+		}
+	}
+	slotSet := make(map[int]bool, len(t.keys))
+	floor := cliFloor
+	for _, k := range t.keys {
+		slot := w.shard.SlotOf(k)
+		slotSet[slot] = true
+		if g, ok := w.lastRead[slot]; ok && g+1 > floor {
+			floor = g + 1
+		}
+	}
+	eb := w.epochFrom(floor, func(e *epochBatch) bool {
+		fresh := 0
+		for slot := range slotSet {
+			if e.slots[slot] == nil {
+				fresh++
+			}
+		}
+		return len(e.slots)+fresh <= w.cfg.MaxBatch &&
+			len(e.batch.VerKeys)+len(t.keys) <= mutCap(w.cfg.MaxBatch) &&
+			w.fitsCID(e, r.rid)
+	})
+	t.cts = w.oracle.alloc(1)
+	for i, k := range t.keys {
+		rid := ReqID{}
+		if i == 0 {
+			rid = r.rid // one apply-tally entry per commit unit
+		}
+		val := t.vals[i]
+		if t.dels[i] {
+			val = 0
+		}
+		w.stageWrite(eb, w.shard.SlotOf(k), k, val, t.dels[i], t.cts, rid)
+	}
+	eb.getPos = append(eb.getPos, -1)
+	w.finishAdmit(eb, r, now)
+}
+
+// finishAdmit is the common admission tail: dedup registration, client
+// epoch-order floor, and the epoch's pending list.
+func (w *shardWorker) finishAdmit(eb *epochBatch, r *request, now time.Time) {
 	if !r.rid.Zero() {
 		w.dedup.register(r)
 		w.lastCli[r.rid.CID] = eb.seq
@@ -810,12 +1127,52 @@ func (w *shardWorker) admit(r *request) {
 func (w *shardWorker) dispatch() {
 	eb := w.staged[0]
 	w.staged = w.staged[1:]
-	w.stagedOps -= eb.batch.Ops()
+	w.stagedOps -= len(eb.pending)
+	eb.batch.LogicalOps = len(eb.pending)
+	w.sealKernel(eb)
 	w.sealAdvances(eb)
 	eb.sealedAt = time.Now()
 	w.inflight = eb
-	w.hFill.Observe(int64(eb.batch.Ops()))
+	w.hFill.Observe(int64(len(eb.pending)))
 	w.dispatchCh <- eb
+}
+
+// sealKernel synthesizes the epoch's kernel mutation ops from its staged
+// slot images: at most one op per touched slot, no matter how many logical
+// mutations squashed onto it. A slot whose final image equals its base
+// still gets a no-op kernel op (an idempotent rewrite, or a DEL of a key
+// known absent) so a mutation-bearing epoch always runs the full persist
+// path — its dedup advances, version rows, and oracle reservation must
+// commit inside a transaction window. SetIDs/DelIDs stay nil: the apply
+// tally runs off the version rows for squashed epochs.
+func (w *shardWorker) sealKernel(eb *epochBatch) {
+	if len(eb.batch.VerKeys) == 0 {
+		return
+	}
+	slots := make([]int, 0, len(eb.slots))
+	for slot := range eb.slots {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	b := &eb.batch
+	for _, slot := range slots {
+		st := eb.slots[slot]
+		switch {
+		case st.key == st.baseKey && st.val == st.baseVal:
+			if st.baseKey != 0 {
+				b.SetKeys = append(b.SetKeys, st.baseKey)
+				b.SetVals = append(b.SetVals, st.baseVal)
+			} else {
+				b.DelKeys = append(b.DelKeys, st.firstKey)
+			}
+		case st.key != 0:
+			b.SetKeys = append(b.SetKeys, st.key)
+			b.SetVals = append(b.SetVals, st.val)
+		default:
+			b.DelKeys = append(b.DelKeys, st.baseKey)
+		}
+	}
+	b.OracleHWM = w.oracle.reserve()
 }
 
 // sealAdvances flattens the epoch's per-client high-water-mark advances
@@ -883,7 +1240,15 @@ func (w *shardWorker) onCommit(eb *epochBatch) {
 		// pipeline and let clients resend in seq order behind the holes.
 		w.flushStaged()
 	}
-	for slot := range eb.mutated {
+	// The epoch's commit units are stable (committed or rolled back): the
+	// oracle floor may advance past their timestamps. This runs AFTER the
+	// applier folded the batch into the version chains, so a new snapshot
+	// can never miss a version below its floor. Duplicate rows of one
+	// transaction share a ts; the extra releases are no-ops.
+	for _, ts := range eb.batch.VerTS {
+		w.oracle.release(ts)
+	}
+	for slot := range eb.slots {
 		if w.lastMut[slot] == eb.seq {
 			delete(w.lastMut, slot)
 		}
@@ -898,7 +1263,18 @@ func (w *shardWorker) onCommit(eb *epochBatch) {
 			delete(w.lastCli, cid)
 		}
 	}
+	w.commits++
+	if w.commits%mvccGCEvery == 0 {
+		wm := w.oracle.snapshot()
+		if smin, ok := w.snaps.min(); ok && smin < wm {
+			wm = smin
+		}
+		w.shard.MVCCGC(wm)
+	}
 }
+
+// mvccGCEvery is the epoch cadence of version-chain garbage collection.
+const mvccGCEvery = 16
 
 // flushStaged aborts every epoch still staged behind a rolled-back
 // crash-restart: identified riders are told to retry (and become holes, so
@@ -908,6 +1284,9 @@ func (w *shardWorker) onCommit(eb *epochBatch) {
 // the epochs just flushed.
 func (w *shardWorker) flushStaged() {
 	for _, eb := range w.staged {
+		for _, ts := range eb.batch.VerTS {
+			w.oracle.release(ts) // flushed units are stable: never applied
+		}
 		for _, r := range eb.pending {
 			var line string
 			if r.rid.Zero() {
@@ -1020,18 +1399,25 @@ func (w *shardWorker) buildTrace(r *request, eb *epochBatch, res *BatchResult, a
 	stageEnd := applyStart.Add(res.WallStage)
 	kernelEnd := stageEnd.Add(res.WallKernel)
 	persistEnd := kernelEnd.Add(res.WallPersist)
+	stages := make([]obs.StagePoint, 0, 7)
+	stages = append(stages, obs.StagePoint{Stage: "admit", OffsetUS: us(r.admitted)})
+	if r.op == 'C' {
+		// Conflict validation happens inside admission; the distinct stage
+		// point makes transaction traces self-describing.
+		stages = append(stages, obs.StagePoint{Stage: "txn-validate", OffsetUS: us(r.admitted)})
+	}
+	stages = append(stages,
+		obs.StagePoint{Stage: "seal", OffsetUS: us(eb.sealedAt)},
+		obs.StagePoint{Stage: "stage", OffsetUS: us(stageEnd)},
+		obs.StagePoint{Stage: "kernel", OffsetUS: us(kernelEnd)},
+		obs.StagePoint{Stage: "persist", OffsetUS: us(persistEnd)},
+		obs.StagePoint{Stage: "commit", OffsetUS: us(reply)},
+	)
 	return obs.ReqTrace{
 		ID: r.id, Shard: w.shard.ID(), Op: opName(r.op), Key: r.key,
 		Epoch: eb.seq, Reason: reason, Start: r.enq,
 		TotalUS: us(reply),
-		Stages: []obs.StagePoint{
-			{Stage: "admit", OffsetUS: us(r.admitted)},
-			{Stage: "seal", OffsetUS: us(eb.sealedAt)},
-			{Stage: "stage", OffsetUS: us(stageEnd)},
-			{Stage: "kernel", OffsetUS: us(kernelEnd)},
-			{Stage: "persist", OffsetUS: us(persistEnd)},
-			{Stage: "commit", OffsetUS: us(reply)},
-		},
+		Stages:  stages,
 	}
 }
 
@@ -1059,6 +1445,15 @@ func (w *shardWorker) handleCrash(eb *epochBatch, committed bool) {
 		// Unrecoverable: leave the shard down; later epochs fail fast with
 		// plain errors and clients give up through their retry caps.
 		w.cErrors.Inc()
+	} else {
+		// Resume the oracle past the shard's durable reservation (a no-op
+		// while the in-process oracle outlives the crash, but the honest
+		// path), then rebuild the version chains from the recovered mirror:
+		// every live key gets one version at the rebuild timestamp, and the
+		// MVCC read floor rises so pre-crash snapshots answer "snapshot too
+		// old" instead of reading chains the crash discarded.
+		w.oracle.advanceTo(w.shard.RecoveredOracleHWM())
+		w.shard.MVCCReset(w.oracle.current())
 	}
 	w.cache.Reset()
 	eb.resync = w.shard.DedupSnapshot()
@@ -1101,8 +1496,13 @@ func (w *shardWorker) applyLoop() {
 		now := time.Now()
 		for i, r := range eb.pending {
 			switch {
+			case r.op == 'C':
+				eb.replies[i] = r.line("COMMITTED " + strconv.FormatUint(r.txn.cts, 10))
+				w.cTxnCommits.Inc()
 			case r.op != 'G':
 				eb.replies[i] = r.line("OK")
+			case eb.getPos[i] == -2:
+				eb.replies[i] = r.pre // staged-image read, resolved at admission
 			case res.GetVals[eb.getPos[i]] != 0:
 				eb.replies[i] = r.line("VALUE " + strconv.FormatUint(res.GetVals[eb.getPos[i]], 10))
 			default:
@@ -1117,15 +1517,15 @@ func (w *shardWorker) applyLoop() {
 			}
 		}
 		w.hEpochLag.Observe(int64(now.Sub(eb.sealedAt) / time.Microsecond))
-		w.gOccupancy.Set(int64(res.Ops))
+		w.gOccupancy.Set(int64(len(eb.pending)))
 		w.hBatchSim.ObserveMicros(res.SimTime)
 		w.cBatches.Inc()
-		w.cOps.Add(int64(res.Ops))
+		w.cOps.Add(int64(len(eb.pending)))
 
 		// Cache maintenance, committed state only: every mutated slot that
 		// is cached gets refreshed (or dropped), and slots of hot batched
 		// GETs are filled so the next read skips the kernel.
-		for slot := range eb.mutated {
+		for slot := range eb.slots {
 			k, v := w.shard.ModelPair(slot)
 			w.cache.CommitSlot(slot, k, v)
 		}

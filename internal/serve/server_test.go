@@ -131,7 +131,7 @@ func TestServerProtocolErrors(t *testing.T) {
 // Two mutations of the same slot pipelined back-to-back chain into
 // consecutive epochs (the batch is NOT sealed — other keys keep filling
 // it) and resolve in arrival order.
-func TestServerConflictChainsEpochs(t *testing.T) {
+func TestServerConflictSquashesIntoEpoch(t *testing.T) {
 	tel := telemetry.New()
 	srv, addr := startServer(t, Config{
 		Mode: workloads.GPM, Shards: 1, Sets: 64, MaxBatch: 64,
@@ -141,7 +141,49 @@ func TestServerConflictChainsEpochs(t *testing.T) {
 	br, c := dial(t, addr)
 	defer c.Close()
 
-	// Pipeline without waiting: SET k, SET k, GET k.
+	// Pipeline without waiting: SET k, SET k, GET k. The second SET folds
+	// onto the first's slot image inside ONE epoch; the GET resolves
+	// against the staged image and rides along for durability.
+	if _, err := fmt.Fprintf(c, "SET 11 1\nSET 11 2\nGET 11\n"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OK", "OK", "VALUE 2"} {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got := strings.TrimSpace(line); got != want {
+			t.Errorf("reply %q, want %q", got, want)
+		}
+	}
+	c.Close()
+	srv.Shutdown(5 * time.Second)
+	if sq := tel.Registry().Counter("serve.shard0.squashes").Value(); sq < 1 {
+		t.Errorf("squashes = %d, want >= 1", sq)
+	}
+	if chains := tel.Registry().Counter("serve.shard0.conflict_chains").Value(); chains != 0 {
+		t.Errorf("conflict_chains = %d, want 0 (conflict squashed, not chained)", chains)
+	}
+	for _, sh := range srv.Shards() {
+		if err := sh.Verify(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// With squashing disabled (the PR-8 compatibility baseline) a same-slot
+// conflict must still seal the epoch and chain the second write into the
+// next one.
+func TestServerConflictChainsEpochsNoSquash(t *testing.T) {
+	tel := telemetry.New()
+	srv, addr := startServer(t, Config{
+		Mode: workloads.GPM, Shards: 1, Sets: 64, MaxBatch: 64,
+		BatchWait: 50 * time.Millisecond,
+		Workers:   1, Telemetry: tel, NoSquash: true,
+	})
+	br, c := dial(t, addr)
+	defer c.Close()
+
 	if _, err := fmt.Fprintf(c, "SET 11 1\nSET 11 2\nGET 11\n"); err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,29 @@ type Batch struct {
 	// batch's transaction window, so a client's committed high-water mark
 	// survives exactly the crashes its acked mutations survive.
 	DedupCID, DedupSeq []uint64
+
+	// VerKeys/VerVals/VerDel/VerTS/VerIDs carry EVERY logical mutation the
+	// epoch squashed onto its kernel slots, each with its MVCC commit
+	// timestamp: the version-chain commit and the per-ID apply tally. When
+	// VerKeys is empty the batch is a legacy direct-Apply batch and
+	// SetKeys/DelKeys are both the kernel ops and the logical mutations.
+	// VerIDs carries a request ID only on the first write of a multi-write
+	// transaction commit (one tally per commit unit).
+	VerKeys, VerVals []uint64
+	VerDel           []bool
+	VerTS            []uint64
+	VerIDs           []ReqID
+
+	// OracleHWM, when nonzero, is the timestamp-oracle reservation to
+	// persist with this batch's transaction (monotone, never journaled).
+	OracleHWM uint64
+
+	// LogicalOps, when nonzero, is the client-operation count this batch
+	// services. Write-squashing folds many client writes onto few kernel
+	// slots and precomputed snapshot reads ride epochs without a kernel op
+	// at all, so the kernel op count (Ops) undercounts service; the shard's
+	// Ops() tally uses this when set.
+	LogicalOps int
 }
 
 // Mutations is the number of slot-writing operations in the batch.
@@ -97,6 +120,7 @@ type Shard struct {
 	txFile    *fsim.File // transaction-active flag
 	dedupFile *fsim.File // PM dedup table: per-client committed high-water marks
 	jnlFile   *fsim.File // dedup undo journal (count-last, valid only while tx set)
+	oraFile   *fsim.File // MVCC timestamp-oracle reservation (monotone, unjournaled)
 	mirror    uint64     // HBM working mirror
 	keysB     uint64     // HBM staging: SET keys
 	valsB     uint64     // HBM staging: SET values
@@ -127,6 +151,12 @@ type Shard struct {
 	dedupShadow    []uint64
 	tally          map[ReqID]int
 	noDedupPersist bool // negative control: dedup state never reaches PM
+
+	// oraShadow mirrors the durable oracle reservation; mvcc is the
+	// committed multi-version view the snapshot-read and conflict-check
+	// surfaces run against (its own lock — see mvccState).
+	oraShadow uint64
+	mvcc      *mvccState
 
 	// plan, when set, injects a power failure inside a future Apply call;
 	// fired keeps the triggered plan so the recovery path can honor its
@@ -223,7 +253,7 @@ func NewShard(id int, cfg ShardConfig) (*Shard, error) {
 		Workers:    cfg.Workers,
 		HBMSize:    store + staging + 1<<20,
 		DRAMSize:   store + 1<<20, // CAP bounce buffers
-		PMSize:     store + logSize + dedupTableBytes + dedupJnlBytes(cfg.MaxBatch) + 1<<20,
+		PMSize:     store + logSize + dedupTableBytes + dedupJnlBytes(cfg.MaxBatch) + 64 + 1<<20,
 	}
 	s.env = workloads.NewEnv(cfg.Mode, wcfg)
 
@@ -241,6 +271,9 @@ func NewShard(id int, cfg ShardConfig) (*Shard, error) {
 	if s.jnlFile, err = s.env.Ctx.FS.Create("/pm/kvs.dedup.jnl", dedupJnlBytes(cfg.MaxBatch), 0); err != nil {
 		return nil, err
 	}
+	if s.oraFile, err = s.env.Ctx.FS.Create("/pm/kvs.oracle", 64, 0); err != nil {
+		return nil, err
+	}
 	s.mirror = sp.AllocHBM(store)
 	s.keysB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
 	s.valsB = sp.AllocHBM(int64(cfg.MaxBatch) * 8)
@@ -250,12 +283,14 @@ func NewShard(id int, cfg ShardConfig) (*Shard, error) {
 	s.model = make([]uint64, cfg.Sets*kvstore.Ways*2)
 	s.dedupShadow = make([]uint64, dedupSlots*2)
 	s.tally = make(map[ReqID]int)
+	s.mvcc = newMVCC()
 
 	// The empty store is durable from the start.
 	sp.PersistRange(s.pmFile.Mmap(), int(store))
 	sp.PersistRange(s.txFile.Mmap(), 8)
 	sp.PersistRange(s.dedupFile.Mmap(), int(dedupTableBytes))
 	sp.PersistRange(s.jnlFile.Mmap(), int(dedupJnlBytes(cfg.MaxBatch)))
+	sp.PersistRange(s.oraFile.Mmap(), 64)
 
 	if s.logged() {
 		for _, g := range s.geoms {
@@ -352,9 +387,16 @@ func (s *Shard) checkBatch(b *Batch) error {
 	}
 	if (b.SetIDs != nil && len(b.SetIDs) != len(b.SetKeys)) ||
 		(b.DelIDs != nil && len(b.DelIDs) != len(b.DelKeys)) ||
-		len(b.DedupCID) != len(b.DedupSeq) || len(b.DedupCID) > 2*s.maxBatch {
+		len(b.DedupCID) != len(b.DedupSeq) || len(b.DedupCID) > mutCap(s.maxBatch) {
 		return fmt.Errorf("serve: shard %d: malformed request-ID arrays (setids=%d delids=%d advances=%d/%d)",
 			s.id, len(b.SetIDs), len(b.DelIDs), len(b.DedupCID), len(b.DedupSeq))
+	}
+	if len(b.VerKeys) != len(b.VerVals) || len(b.VerKeys) != len(b.VerDel) ||
+		len(b.VerKeys) != len(b.VerTS) ||
+		(b.VerIDs != nil && len(b.VerIDs) != len(b.VerKeys)) ||
+		len(b.VerKeys) > mutCap(s.maxBatch) {
+		return fmt.Errorf("serve: shard %d: malformed version arrays (keys=%d vals=%d del=%d ts=%d ids=%d cap=%d)",
+			s.id, len(b.VerKeys), len(b.VerVals), len(b.VerDel), len(b.VerTS), len(b.VerIDs), mutCap(s.maxBatch))
 	}
 	if b.Mutations() > s.maxBatch || len(b.GetKeys) > s.maxBatch {
 		return fmt.Errorf("serve: shard %d: batch exceeds max %d (sets=%d dels=%d gets=%d)",
@@ -594,7 +636,9 @@ func (s *Shard) touchedSections(b *Batch) []secRun {
 
 // commitModel applies an acknowledged batch to the committed-state oracle
 // and tallies each identified mutation — a correctly deduplicating server
-// never lets any request ID's tally pass 1.
+// never lets any request ID's tally pass 1. Versioned batches (VerKeys
+// set) tally from VerIDs — the full squashed logical history — and feed
+// the MVCC chains; the kernel arrays only carry per-slot winners there.
 func (s *Shard) commitModel(b *Batch) {
 	for i, key := range b.SetKeys {
 		slot := s.SlotOf(key)
@@ -613,6 +657,18 @@ func (s *Shard) commitModel(b *Batch) {
 		if b.DelIDs != nil && !b.DelIDs[i].Zero() {
 			s.tally[b.DelIDs[i]]++
 		}
+	}
+	if len(b.VerKeys) > 0 {
+		if b.VerIDs != nil {
+			for _, id := range b.VerIDs {
+				if !id.Zero() {
+					s.tally[id]++
+				}
+			}
+		}
+		s.mvccCommit(b)
+	} else if b.Mutations() > 0 {
+		s.mvccLegacyCommit(b)
 	}
 }
 
@@ -643,6 +699,9 @@ func (s *Shard) Apply(b *Batch) (*BatchResult, error) {
 func (s *Shard) apply(b *Batch, cp *ShardCrashPlan) (*BatchResult, error) {
 	n := b.Ops()
 	if n == 0 {
+		// A batch with no kernel ops can still service clients: an epoch
+		// whose riders are all precomputed snapshot reads. Tally them.
+		s.ops += int64(b.LogicalOps)
 		return &BatchResult{}, nil
 	}
 	ctx := s.env.Ctx
@@ -689,6 +748,7 @@ func (s *Shard) apply(b *Batch, cp *ShardCrashPlan) (*BatchResult, error) {
 	ctx.SpanEnd(telemetry.TrackKernel, "serve-kernel", "serve", spKernel)
 	if logging {
 		s.dedupTableWrite(b)
+		s.oracleWrite(b)
 	}
 	if cp != nil && cp.Point == CrashBeforeCommit {
 		return nil, s.crashNow(cp, b, "mutations persisted, before log clear")
@@ -705,6 +765,7 @@ func (s *Shard) apply(b *Batch, cp *ShardCrashPlan) (*BatchResult, error) {
 		// outside any transaction: replaying a GET is harmless, and the
 		// non-logging modes have no crash injection to survive.
 		s.dedupTableWrite(b)
+		s.oracleWrite(b)
 	}
 	ctx.SpanEnd(telemetry.TrackPersist, "serve-persist", "serve", spCommit)
 	wall3 := time.Now()
@@ -715,7 +776,11 @@ func (s *Shard) apply(b *Batch, cp *ShardCrashPlan) (*BatchResult, error) {
 	}
 	s.commitModel(b)
 	s.dedupShadowAdvance(b)
-	s.ops += int64(n)
+	if b.LogicalOps > 0 {
+		s.ops += int64(b.LogicalOps)
+	} else {
+		s.ops += int64(n)
+	}
 	if cp != nil && cp.Point == CrashBeforeReply {
 		return nil, s.crashNow(cp, b, "batch committed durably, acks lost")
 	}
@@ -763,8 +828,9 @@ func (s *Shard) CrashMidBatch(b *Batch, abortAfterOps int64) error {
 	s.down = true
 	s.audit.Record(obs.AuditEvent{
 		Type: obs.AuditCrash, Shard: s.id, Mode: s.mode.String(),
-		Point:  CrashMidKernel.String(),
-		Detail: fmt.Sprintf("%d mutations at risk, kernel aborted after %d device ops", b.Mutations(), abortAfterOps),
+		Point:     CrashMidKernel.String(),
+		OracleHWM: s.oraShadow,
+		Detail:    fmt.Sprintf("%d mutations at risk, kernel aborted after %d device ops", b.Mutations(), abortAfterOps),
 	})
 	return nil
 }
@@ -865,8 +931,9 @@ func (s *Shard) CrashAt(b *Batch, p CrashPoint, abortAfterOps int64) error {
 	s.down = true
 	s.audit.Record(obs.AuditEvent{
 		Type: obs.AuditCrash, Shard: s.id, Mode: s.mode.String(),
-		Point:  p.String(),
-		Detail: fmt.Sprintf("%d mutations at risk", b.Mutations()),
+		Point:     p.String(),
+		OracleHWM: s.oraShadow,
+		Detail:    fmt.Sprintf("%d mutations at risk", b.Mutations()),
 	})
 	return nil
 }
@@ -924,6 +991,7 @@ func (s *Shard) RestartWithRecrash(depth int, model pmem.FaultModel, fseed uint6
 	ctx.Space.WriteCPU(s.mirror, snap)
 	ctx.Timeline.Add("restore", ctx.Space.DMA.TransferDown(s.storeBytes()))
 	s.dedupShadowReload()
+	s.oraShadowReload()
 	s.down = false
 	restore := ctx.Timeline.Total() - start
 	s.env.AddRestore(restore)
@@ -931,6 +999,7 @@ func (s *Shard) RestartWithRecrash(depth int, model pmem.FaultModel, fseed uint6
 		Type: obs.AuditRestart, Shard: s.id, Mode: s.mode.String(),
 		TxSet: txSet, Geometries: replayed, SlotsRolledBack: undone,
 		RestoreUS: float64(restore) / 1e3,
+		OracleHWM: s.oraShadow,
 		Detail:    recrashDetail(recrashes),
 	})
 	return restore, nil
