@@ -61,6 +61,9 @@ func validateFlags(experiment string, workers int, known []string) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be >= 1, got %d (1 = serial reference; default = GOMAXPROCS)", workers)
 	}
+	if workers > workloads.MaxWorkers {
+		return fmt.Errorf("-workers must be <= %d, got %d (results are identical for every value; more workers than blocks buys nothing)", workloads.MaxWorkers, workers)
+	}
 	if experiment == "all" {
 		return nil
 	}

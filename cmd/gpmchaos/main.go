@@ -67,6 +67,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *workers < 1 || *workers > workloads.MaxWorkers {
+		fmt.Fprintf(os.Stderr, "gpmchaos: -workers must be in [1, %d], got %d (1 = serial reference; default = GOMAXPROCS)\n", workloads.MaxWorkers, *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	c := &crash.ServeCampaign{
 		Seed:         *seed,

@@ -53,6 +53,9 @@ func validateCLI(o cliOptions) error {
 	if o.workers < 1 {
 		return fmt.Errorf("-workers must be >= 1, got %d (1 = serial reference; default = GOMAXPROCS)", o.workers)
 	}
+	if o.workers > workloads.MaxWorkers {
+		return fmt.Errorf("-workers must be <= %d, got %d (results are identical for every value; more workers than runs buys nothing)", workloads.MaxWorkers, o.workers)
+	}
 	if o.runs < 1 {
 		return fmt.Errorf("-runs must be >= 1, got %d", o.runs)
 	}
@@ -349,15 +352,39 @@ func replay(mks []func() workloads.Crasher, cfg workloads.Config, modeName, mode
 type benchReport struct {
 	Workers        int     `json:"workers"`
 	GOMAXPROCS     int     `json:"gomaxprocs"`
+	NumCPU         int     `json:"numcpu"`
 	Runs           int     `json:"runs"`
 	SerialWallMS   float64 `json:"serial_wall_ms"`
 	ParallelWallMS float64 `json:"parallel_wall_ms"`
 	// Speedup is serial/parallel wall-clock. It is only a meaningful
-	// parallelism measurement when GOMAXPROCS > 1; with a single scheduler
-	// thread the two sweeps interleave on one core and the ratio is noise.
+	// parallelism measurement when both GOMAXPROCS and the physical core
+	// count exceed 1; with a single scheduler thread (or a single core
+	// under an inflated GOMAXPROCS) the two sweeps interleave on one core
+	// and the ratio is noise.
 	Speedup         float64 `json:"speedup"`
-	SpeedupMeasured bool    `json:"speedup_measured"` // false when GOMAXPROCS==1
+	SpeedupMeasured bool    `json:"speedup_measured"` // false when GOMAXPROCS==1 or NumCPU==1
 	Identical       bool    `json:"identical_results"`
+}
+
+// checkBaselineDowngrade guards the committed bench artifact: a baseline
+// whose speedup was actually measured (multi-core run) must not be silently
+// replaced by an unmeasured single-core run — that is exactly how the stale
+// "0.78x" headline survived several PRs. Corrupt or missing baselines don't
+// block: only a verified measured -> unmeasured downgrade does.
+func checkBaselineDowngrade(outPath string, rep *benchReport) error {
+	if rep.SpeedupMeasured {
+		return nil
+	}
+	prev, err := os.ReadFile(outPath)
+	if err != nil {
+		return nil // no baseline to protect
+	}
+	var old benchReport
+	if json.Unmarshal(prev, &old) != nil || !old.SpeedupMeasured {
+		return nil
+	}
+	return fmt.Errorf("refusing to overwrite %s: existing baseline has speedup_measured=true (%.2fx on %d CPUs) but this run cannot measure speedup (GOMAXPROCS=%d, NumCPU=%d); rerun on a multi-core box or pick another -bench path",
+		outPath, old.Speedup, old.NumCPU, rep.GOMAXPROCS, rep.NumCPU)
 }
 
 // bench times the campaign sweep twice — workers=1, then the requested pool
@@ -408,6 +435,7 @@ func bench(mks []func() workloads.Crasher, cfg workloads.Config, seed uint64, st
 	rep := benchReport{
 		Workers:        par,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
 		SerialWallMS:   serialMS,
 		ParallelWallMS: parMS,
 		Identical:      bytes.Equal(serialBlob, parBlob),
@@ -421,11 +449,15 @@ func bench(mks []func() workloads.Crasher, cfg workloads.Config, seed uint64, st
 	if parMS > 0 {
 		rep.Speedup = serialMS / parMS
 	}
-	rep.SpeedupMeasured = rep.GOMAXPROCS > 1 && par > 1
+	rep.SpeedupMeasured = rep.GOMAXPROCS > 1 && rep.NumCPU > 1 && par > 1
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
 		return 2
+	}
+	if err := checkBaselineDowngrade(outPath, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)
+		return 1
 	}
 	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "gpmrecover: %v\n", err)

@@ -71,8 +71,8 @@ func validateCLI(o cliOptions) error {
 	if o.queue < 1 {
 		return fmt.Errorf("-queue must be >= 1, got %d", o.queue)
 	}
-	if o.workers < 0 {
-		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", o.workers)
+	if err := workloads.ValidateWorkers(o.workers); err != nil {
+		return fmt.Errorf("-workers: %w", err)
 	}
 	if o.capThreads < 1 {
 		return fmt.Errorf("-capthreads must be >= 1, got %d", o.capThreads)

@@ -243,8 +243,15 @@ func (c *Campaign) Run(mk func() workloads.Crasher, cfg workloads.Config) (*Work
 	return wc, nil
 }
 
-// workers resolves the campaign's worker-pool size.
+// workers resolves the campaign's worker-pool size. The CLIs validate
+// their -workers flags upfront; library callers setting Campaign.Workers
+// directly get the same bound (a pool larger than MaxWorkers is certainly
+// a miscomputed value, and buys nothing — runs beyond the descriptor count
+// just idle).
 func (c *Campaign) workers() int {
+	if c.Workers > workloads.MaxWorkers {
+		return workloads.MaxWorkers
+	}
 	if c.Workers > 0 {
 		return c.Workers
 	}

@@ -6,19 +6,60 @@ import (
 	"github.com/gpm-sim/gpm/internal/sim"
 )
 
-// Block is one resident threadblock.
+// threadState is a thread's position in its block's cooperative schedule.
+type threadState uint8
+
+const (
+	tsNew     threadState = iota // never run; executes inline on a scheduler goroutine
+	tsReady                      // runnable, queued in canonical order
+	tsRunning                    // holds the block's baton
+	tsBarrier                    // parked at the block barrier
+	tsAtomic                     // parked at an atomic, operands staged for the engine
+	tsExited                     // returned or crash-unwound
+)
+
+// Block is one resident threadblock: the block-granularity execution unit.
+//
+// A block owns a single scheduling "baton": at any instant exactly one
+// goroutine — the baton holder — is executing kernel code or scheduling on
+// the block's behalf. Threads run as an inner loop in ascending thread-ID
+// order between synchronization points; a thread that parks (barrier,
+// atomic) hands the baton to the next runnable thread, lazily materializing
+// a goroutine only for threads that actually park. Kernels that never
+// synchronize execute on the block's bootstrap goroutine alone, with zero
+// thread goroutines, zero channel operations, and zero locking.
+//
+// Because threads of a block never run concurrently, all block-local state
+// (shared memory, warp logs, barrier counts, stats) is mutex-free; the
+// happens-before edges are the baton handoffs themselves (channel sends,
+// goroutine spawns, and the engine's round mutex).
 type Block struct {
 	dev      *Device
 	eng      *engine
 	id       int
 	grid     int // number of blocks in the grid
 	nthreads int
+	kern     func(*Thread)
 	warps    []*warp
-	bar      barrier
+	threads  []*Thread
 	stats    *kernelStats
-
-	sharedMu sync.Mutex
 	shared   []byte
+
+	live    int // threads not yet exited
+	arrived int // threads parked at the current barrier generation
+	nAtomic int // threads parked at atomics
+
+	// ready is the canonical run queue. It is refilled only at block-local
+	// quiescence (when it is empty) in ascending thread-ID order, so FIFO
+	// consumption is canonical order.
+	ready     []int32
+	readyHead int
+
+	wake  chan struct{} // engine -> baton holder: atomic round committed
+	batch replayBatch   // reused across warp-log flushes
+
+	out *blockOutcome // finish results, read by Launch after the wave joins
+	wg  *sync.WaitGroup
 }
 
 // ID returns the block index within the grid.
@@ -33,10 +74,9 @@ func (b *Block) Grid() int { return b.grid }
 // Shared returns the block's shared-memory arena, allocating it at the
 // requested size on first use (CUDA __shared__ analog). All threads in the
 // block see the same arena; callers synchronize with SyncBlock as they
-// would on hardware.
+// would on hardware. Threads of a block never run concurrently, so the
+// arena needs no lock.
 func (b *Block) Shared(n int) []byte {
-	b.sharedMu.Lock()
-	defer b.sharedMu.Unlock()
 	if len(b.shared) < n {
 		grown := make([]byte, n)
 		copy(grown, b.shared)
@@ -45,13 +85,179 @@ func (b *Block) Shared(n int) []byte {
 	return b.shared[:n]
 }
 
+// ---- Cooperative scheduler ----
+
+// popReady dequeues the next runnable thread in canonical order.
+func (b *Block) popReady() *Thread {
+	if b.readyHead >= len(b.ready) {
+		return nil
+	}
+	t := b.threads[b.ready[b.readyHead]]
+	b.readyHead++
+	return t
+}
+
+// refill restarts the run queue from empty; push order must be ascending
+// thread ID so FIFO consumption stays canonical.
+func (b *Block) refill() {
+	b.ready = b.ready[:0]
+	b.readyHead = 0
+}
+
+// next returns the lowest-ID runnable thread, resolving block-local
+// quiescence on the calling goroutine: releasable barriers release here,
+// and when every live thread is parked at an atomic (or behind a barrier an
+// atomic is holding up) the block reports quiescent to the engine and
+// sleeps until the round commits. Returns nil once every thread has exited.
+func (b *Block) next() *Thread {
+	for {
+		if t := b.popReady(); t != nil {
+			return t
+		}
+		if b.live == 0 {
+			return nil
+		}
+		if b.arrived == b.live {
+			b.releaseBarrier()
+			continue
+		}
+		if b.nAtomic == 0 {
+			panic("gpu: block quiescent with no pending atomics") // scheduler invariant
+		}
+		b.eng.blockQuiescent(b)
+		<-b.wake
+		b.roundCommitted()
+	}
+}
+
+// releaseBarrier runs when every live thread has arrived: flush the warp
+// logs (aligning warp clocks to the block maximum) and requeue the waiters
+// in canonical order.
+func (b *Block) releaseBarrier() {
+	b.flushAndSync()
+	b.refill()
+	for _, t := range b.threads {
+		if t.state == tsBarrier {
+			t.state = tsReady
+			b.ready = append(b.ready, int32(t.id))
+		}
+	}
+	b.arrived = 0
+}
+
+// roundCommitted requeues the atomic waiters after the engine committed
+// their operations (results are staged in each thread's aOld/aLines).
+func (b *Block) roundCommitted() {
+	b.refill()
+	for _, t := range b.threads {
+		if t.state == tsAtomic {
+			t.state = tsReady
+			b.ready = append(b.ready, int32(t.id))
+		}
+	}
+	b.nAtomic = 0
+}
+
+// runScheduler drives runnable threads in canonical order on the calling
+// goroutine, which must carry no kernel frames: new threads execute inline
+// on its stack. It returns after handing the baton to a parked thread's
+// goroutine, or after retiring the block. first, if non-nil, is a thread
+// already dequeued by the spawning parker.
+func (b *Block) runScheduler(first *Thread) {
+	t := first
+	for {
+		if t == nil {
+			if t = b.next(); t == nil {
+				b.finish()
+				return
+			}
+		}
+		if t.started {
+			t.state = tsRunning
+			t.resume <- struct{}{}
+			return
+		}
+		b.exec(t)
+		t = nil
+	}
+}
+
+// exec runs one new thread's kernel function inline. If the thread parks,
+// the baton moves elsewhere and this call does not return until the thread
+// is resumed and its kernel completes; either way, when exec returns the
+// calling goroutine holds the baton again.
+func (b *Block) exec(t *Thread) {
+	t.started = true
+	t.state = tsRunning
+	defer func() {
+		t.state = tsExited
+		b.live--
+		if r := recover(); r != nil && r != ErrCrashed {
+			panic(r)
+		}
+	}()
+	b.kern(t)
+}
+
+// park suspends t — already marked tsBarrier or tsAtomic by the caller —
+// and moves the baton onward; it returns once t is resumed. The calling
+// goroutine carries t's kernel frames, so a tsNew successor needs a fresh
+// scheduler goroutine (this is the lazy materialization point: kernels
+// whose threads never park never reach it).
+func (b *Block) park(t *Thread) {
+	u := b.next() // never nil: t itself is live and parked
+	if u == t {
+		// t's own park resolved the quiescence (last to a barrier, or a
+		// round committed and t is first in canonical order): baton returns
+		// straight to t with no channel traffic.
+		t.state = tsRunning
+		return
+	}
+	if t.resume == nil {
+		t.resume = make(chan struct{}, 1)
+	}
+	if u.started {
+		u.state = tsRunning
+		u.resume <- struct{}{}
+	} else {
+		go b.runScheduler(u)
+	}
+	<-t.resume
+}
+
+// finish retires the block: replay remaining warp logs, harvest the results
+// Launch reads after the join, recycle the Block, and free the window slot.
+// Runs on the final baton holder. The harvest must complete before the pool
+// Put — a concurrent spawner may reuse the Block the moment it is pooled —
+// and the Put must precede blockDone so a spawner unblocked by the freed
+// window slot finds the Block available.
+func (b *Block) finish() {
+	out := b.out
+	out.crit = b.flushFinal()
+	for _, t := range b.threads {
+		if t.opIdx > out.maxLocal {
+			out.maxLocal = t.opIdx
+		}
+		if t.lastExec > out.maxExec {
+			out.maxExec = t.lastExec
+		}
+		if t.abortedAt != 0 && (out.minAbort == 0 || t.abortedAt < out.minAbort) {
+			out.minAbort = t.abortedAt
+		}
+	}
+	eng, wg, dev := b.eng, b.wg, b.dev
+	dev.blockPool.Put(b)
+	eng.blockDone()
+	wg.Done()
+}
+
 // flushAndSync replays every warp's pending operations and, because it runs
 // at a block-wide barrier, aligns all warp clocks to the block maximum.
 func (b *Block) flushAndSync() {
-	batch := newReplayBatch()
+	b.batch.reset()
 	var maxClock sim.Duration
 	for _, w := range b.warps {
-		w.replay(b.dev.Params, batch)
+		w.replay(b.dev.Params, &b.batch)
 		if w.clock > maxClock {
 			maxClock = w.clock
 		}
@@ -59,141 +265,20 @@ func (b *Block) flushAndSync() {
 	for _, w := range b.warps {
 		w.clock = maxClock
 	}
-	b.stats.merge(batch)
+	b.stats.merge(&b.batch)
 }
 
 // flushFinal replays any remaining operations at block exit and returns the
 // block's critical path.
 func (b *Block) flushFinal() sim.Duration {
-	batch := newReplayBatch()
+	b.batch.reset()
 	var maxClock sim.Duration
 	for _, w := range b.warps {
-		w.replay(b.dev.Params, batch)
+		w.replay(b.dev.Params, &b.batch)
 		if w.clock > maxClock {
 			maxClock = w.clock
 		}
 	}
-	b.stats.merge(batch)
+	b.stats.merge(&b.batch)
 	return maxClock
-}
-
-func (d *Device) runBlock(eng *engine, id, grid, tpb int, kern func(*Thread), st *kernelStats) (sim.Duration, []*Thread) {
-	ws := d.Params.WarpSize
-	if ws <= 0 {
-		ws = 32
-	}
-	nWarps := (tpb + ws - 1) / ws
-	blk := &Block{
-		dev:      d,
-		eng:      eng,
-		id:       id,
-		grid:     grid,
-		nthreads: tpb,
-		warps:    make([]*warp, nWarps),
-		stats:    st,
-	}
-	for i := range blk.warps {
-		width := ws
-		if i == nWarps-1 && tpb%ws != 0 {
-			width = tpb % ws
-		}
-		blk.warps[i] = newWarp(width)
-	}
-	blk.bar.init(tpb, blk.flushAndSync, eng)
-
-	threads := make([]*Thread, tpb)
-	var wg sync.WaitGroup
-	for tid := 0; tid < tpb; tid++ {
-		t := &Thread{
-			blk:  blk,
-			id:   tid,
-			warp: blk.warps[tid/ws],
-			lane: tid % ws,
-		}
-		threads[tid] = t
-		wg.Add(1)
-		go func(t *Thread) {
-			defer wg.Done()
-			defer func() {
-				// Order matters: deregister from the barrier first (it may
-				// release stragglers, re-registering them with the engine),
-				// then leave the engine's runnable set — which may trigger
-				// a spawn or an atomic round.
-				blk.bar.done()
-				eng.exitThread()
-				if r := recover(); r != nil && r != ErrCrashed {
-					panic(r)
-				}
-			}()
-			kern(t)
-		}(t)
-	}
-	wg.Wait()
-	return blk.flushFinal(), threads
-}
-
-// barrier is a reusable block-wide barrier that tolerates threads leaving
-// (thread exit deregisters via done) and runs a callback — the warp-log
-// flush — exactly once per release, while all threads are quiescent. It
-// reports parked/woken threads to the launch engine so quiescence detection
-// sees barrier waiters as not-runnable. Lock order: bar.mu → eng.mu.
-type barrier struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
-	total     int
-	count     int
-	gen       uint64
-	onRelease func()
-	eng       *engine
-}
-
-func (b *barrier) init(total int, onRelease func(), eng *engine) {
-	b.total = total
-	b.onRelease = onRelease
-	b.eng = eng
-	b.cond = sync.NewCond(&b.mu)
-}
-
-// wait blocks until all live threads of the block have arrived.
-func (b *barrier) wait() {
-	b.mu.Lock()
-	b.count++
-	if b.count >= b.total {
-		// The arriving thread never parked, so it wakes count-1 waiters.
-		b.release(b.count - 1)
-		b.mu.Unlock()
-		return
-	}
-	gen := b.gen
-	// Park before sleeping; releasing requires b.mu, so a release cannot
-	// slip between the park and the cond.Wait below.
-	b.eng.parkBarrier()
-	for gen == b.gen {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
-}
-
-// done deregisters an exiting thread; if it was the last straggler holding
-// up a barrier, the barrier releases. All count arrived threads are parked.
-func (b *barrier) done() {
-	b.mu.Lock()
-	b.total--
-	if b.count > 0 && b.count >= b.total {
-		b.release(b.count)
-	}
-	b.mu.Unlock()
-}
-
-// release must be called with b.mu held; woken is the number of parked
-// threads this release wakes. They re-enter the engine's runnable set
-// before the broadcast so quiescence is never observed mid-release.
-func (b *barrier) release(woken int) {
-	if b.onRelease != nil {
-		b.onRelease()
-	}
-	b.eng.unpark(woken)
-	b.count = 0
-	b.gen++
-	b.cond.Broadcast()
 }

@@ -3,9 +3,13 @@
 // scoped memory fences, and device memory, executing real Go code per thread
 // while a deterministic timing engine accounts simulated time.
 //
-// Execution model. Each threadblock runs its threads as goroutines; blocks
-// are scheduled over a worker pool and grouped into waves of at most
-// NumSMs×MaxBlocksPerSM resident blocks, like hardware occupancy. Every
+// Execution model. The execution unit is the threadblock: each block runs
+// on (at most) one goroutine at a time, executing its threads as an inner
+// loop in ascending thread-ID order between synchronization points, and
+// lazily materializing goroutines only for threads that park at a barrier
+// or atomic (see Block). Blocks are scheduled over a worker window and
+// grouped into waves of at most NumSMs×MaxBlocksPerSM resident blocks, like
+// hardware occupancy. Every
 // thread records its memory operations into a per-lane log; at each block
 // barrier and at block exit the warp logs are replayed in SIMT lockstep
 // order (the i-th operation of every lane forms one step), which is where
@@ -41,6 +45,13 @@ type Device struct {
 	resMu    sync.Mutex
 	resNames []string
 	resIDs   map[string]uint32
+
+	// blockPool recycles Block execution units (threads, warps, scratch
+	// buffers, channels) within and across launches. Pool order is
+	// nondeterministic, but acquireBlock resets every simulation-visible
+	// field, so which physical Block serves which block ID cannot affect
+	// results.
+	blockPool sync.Pool
 
 	// workers bounds how many blocks execute on real goroutines at once;
 	// 0 means GOMAXPROCS. Simulated results are identical for every value
@@ -183,6 +194,86 @@ func (d *Device) Aborted() bool { return d.aborted.Load() }
 // instant can become durable.
 func (d *Device) SetPowerFailOnAbort(on bool) { d.powerFailOnAbort.Store(on) }
 
+// blockOutcome is what Launch needs from a retired block. finish writes it
+// before recycling the Block, so outcomes survive pooling.
+type blockOutcome struct {
+	crit     sim.Duration
+	maxLocal int64 // highest per-thread operation count
+	maxExec  int64 // highest canonical index executed
+	minAbort int64 // lowest canonical index aborted at; 0 = none
+}
+
+// acquireBlock readies a Block execution unit for one (launch, block ID)
+// assignment, recycling a pooled Block when its geometry matches. Every
+// simulation-visible field is reset; shared memory is dropped (not reused)
+// so kernels observe the same zeroed arena a fresh Block would give them.
+func (d *Device) acquireBlock(eng *engine, id, grid, tpb int, kern func(*Thread),
+	st *kernelStats, out *blockOutcome, wg *sync.WaitGroup) *Block {
+	var b *Block
+	if v := d.blockPool.Get(); v != nil {
+		b = v.(*Block)
+		if b.nthreads != tpb {
+			b = nil // wrong geometry; rebuild
+		}
+	}
+	if b == nil {
+		b = d.newBlock(tpb)
+	}
+	b.eng, b.id, b.grid, b.kern = eng, id, grid, kern
+	b.stats, b.out, b.wg = st, out, wg
+	b.live, b.arrived, b.nAtomic = tpb, 0, 0
+	b.shared = nil
+	b.batch.reset()
+	b.ready = b.ready[:0]
+	b.readyHead = 0
+	for i := 0; i < tpb; i++ {
+		b.ready = append(b.ready, int32(i))
+	}
+	for _, w := range b.warps {
+		w.clock = 0 // lane logs and positions are reset by replay itself
+	}
+	for _, t := range b.threads {
+		t.state = tsNew
+		t.started = false
+		t.opIdx, t.lastExec, t.abortedAt = 0, 0, 0
+		t.curSeq = 0
+		t.dirty = t.dirty[:0]
+	}
+	return b
+}
+
+// newBlock builds a Block with its threads and warps for one geometry.
+func (d *Device) newBlock(tpb int) *Block {
+	ws := d.Params.WarpSize
+	if ws <= 0 {
+		ws = 32
+	}
+	nWarps := (tpb + ws - 1) / ws
+	b := &Block{
+		dev:      d,
+		nthreads: tpb,
+		warps:    make([]*warp, nWarps),
+		threads:  make([]*Thread, tpb),
+		wake:     make(chan struct{}, 1),
+	}
+	for i := range b.warps {
+		width := ws
+		if i == nWarps-1 && tpb%ws != 0 {
+			width = tpb % ws
+		}
+		b.warps[i] = newWarp(width)
+	}
+	for tid := 0; tid < tpb; tid++ {
+		b.threads[tid] = &Thread{
+			blk:  b,
+			id:   tid,
+			warp: b.warps[tid/ws],
+			lane: tid % ws,
+		}
+	}
+	return b
+}
+
 // Result reports one kernel execution.
 type Result struct {
 	// Elapsed is the simulated kernel duration.
@@ -214,14 +305,14 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, kern func(*Thr
 	}
 
 	blockStats := make([]*kernelStats, blocks)
-	blockThreads := make([][]*Thread, blocks)
-	blockCrit := make([]sim.Duration, blocks)
+	outcomes := make([]blockOutcome, blocks)
 
-	// Blocks execute on a bounded pool of goroutines, one wave of resident
-	// blocks at a time (hardware occupancy). The engine's quiescence
-	// protocol keeps atomics and fault injection deterministic for any
-	// window size; everything below the wave loop is a serial reduction in
-	// block-ID order.
+	// Blocks execute one wave of resident blocks at a time (hardware
+	// occupancy), each block on its own scheduler goroutine; the spawn
+	// window bounds how many run at once. The engine's quiescence protocol
+	// keeps atomics and fault injection deterministic for any window size;
+	// everything below the wave loop is a serial reduction in block-ID
+	// order.
 	for w := 0; w < waves; w++ {
 		lo, hi := w*concurrent, (w+1)*concurrent
 		if hi > blocks {
@@ -230,17 +321,11 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, kern func(*Thr
 		eng.beginWave(hi - lo)
 		var wg sync.WaitGroup
 		for b := lo; b < hi; b++ {
-			eng.awaitSpawnSlot(window, tpb)
+			eng.awaitSpawnSlot(window)
+			blockStats[b] = newStats()
+			blk := d.acquireBlock(eng, b, blocks, tpb, kern, blockStats[b], &outcomes[b], &wg)
 			wg.Add(1)
-			go func(b int) {
-				defer wg.Done()
-				st := newStats()
-				crit, threads := d.runBlock(eng, b, blocks, tpb, kern, st)
-				blockStats[b] = st
-				blockThreads[b] = threads
-				blockCrit[b] = crit
-				eng.blockDone()
-			}(b)
+			go blk.runScheduler(nil)
 		}
 		wg.Wait()
 	}
@@ -257,8 +342,8 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, kern func(*Thr
 		}
 		var waveMax sim.Duration
 		for b := lo; b < hi; b++ {
-			if blockCrit[b] > waveMax {
-				waveMax = blockCrit[b]
+			if outcomes[b].crit > waveMax {
+				waveMax = outcomes[b].crit
 			}
 		}
 		crit += waveMax
@@ -269,17 +354,16 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, kern func(*Thr
 	// power-failure instant (if armed) to the first aborted operation.
 	var maxLocal, maxExec int64
 	minAbort := int64(math.MaxInt64)
-	for _, threads := range blockThreads {
-		for _, t := range threads {
-			if t.opIdx > maxLocal {
-				maxLocal = t.opIdx
-			}
-			if t.lastExec > maxExec {
-				maxExec = t.lastExec
-			}
-			if t.abortedAt != 0 && t.abortedAt < minAbort {
-				minAbort = t.abortedAt
-			}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.maxLocal > maxLocal {
+			maxLocal = o.maxLocal
+		}
+		if o.maxExec > maxExec {
+			maxExec = o.maxExec
+		}
+		if o.minAbort != 0 && o.minAbort < minAbort {
+			minAbort = o.minAbort
 		}
 	}
 	d.opBase = eng.opBase + maxLocal*eng.gridThreads

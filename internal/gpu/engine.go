@@ -2,27 +2,37 @@ package gpu
 
 import (
 	"encoding/binary"
-	"sort"
 	"sync"
 )
 
-// engine coordinates one kernel launch across a bounded pool of real
-// goroutines while keeping every simulated outcome schedule-independent.
+// engine coordinates one kernel launch across block-granularity execution
+// units while keeping every simulated outcome schedule-independent.
+//
+// Execution units are threadblocks, not threads: each block owns a single
+// scheduling "baton" and runs its threads as an inner loop in canonical
+// thread-ID order between synchronization points (see block.go). The engine
+// therefore only has to arbitrate *between* blocks, and its mutex is taken
+// once per block state transition (spawn, quiescence, retire) instead of
+// once per thread park — the change that makes host parallelism pay.
 //
 // The determinism argument has three parts:
 //
-//  1. Between synchronization points (atomics, barriers, exit) kernel code
-//     is race-free — the repo runs under -race — so each thread's execution
-//     segment depends only on values committed by earlier rounds, never on
-//     how the OS interleaved the segments.
+//  1. Between synchronization points kernel code is race-free — the repo
+//     runs under -race — so each thread's execution segment depends only on
+//     values committed by earlier rounds, never on the order segments ran
+//     in. Within a block the order is in fact fixed (ascending thread ID);
+//     across blocks it is whatever the host scheduler does, which by the
+//     race-freedom contract cannot be observed.
 //
-//  2. Atomics do not execute inline. A thread reaching an atomic parks;
-//     when every runnable thread of the wave has parked or exited
-//     (quiescence), the engine commits all pending atomics in canonical
-//     (block ID, thread ID) order and wakes the waiters. The quiescent
-//     state — who is parked where, with which operands — is therefore the
-//     unique fixed point of "run every thread to its next synchronization
-//     point", independent of scheduling and of the worker count.
+//  2. Atomics do not execute inline. A thread reaching an atomic parks
+//     inside its block; when every live thread of a block is parked the
+//     block reports quiescent, and when every spawned block of the wave is
+//     quiescent or retired (activeBlocks == 0), the engine commits all
+//     pending atomics in canonical (block ID, thread ID) order and wakes
+//     the blocks. The quiescent state — who is parked where, with which
+//     operands — is the unique fixed point of "run every thread to its
+//     next synchronization point", independent of scheduling and of the
+//     worker count.
 //
 //  3. Rounds never commit while the wave is partially spawned: if the
 //     spawn window (the -workers bound) is full and the wave still has
@@ -48,23 +58,15 @@ type engine struct {
 	mu        sync.Mutex
 	spawnCond *sync.Cond
 
-	active    int  // spawned threads neither parked nor exited
-	inFlight  int  // spawned, unfinished blocks
-	unspawned int  // blocks of the current wave not yet spawned
-	force     bool // quiescence hit with a partially spawned wave
+	activeBlocks int  // spawned blocks neither quiescent nor retired
+	inFlight     int  // spawned, unfinished blocks (window occupancy)
+	unspawned    int  // blocks of the current wave not yet spawned
+	force        bool // quiescence hit with a partially spawned wave
 
-	pending []*atomicWait
-}
-
-// atomicWait is one thread parked at an atomic read-modify-write.
-type atomicWait struct {
-	t     *Thread
-	addr  uint64
-	f     func(uint32) uint32
-	seq   uint64 // canonical sequence of the atomic's write
-	old   uint32
-	lines []uint64
-	wake  chan struct{}
+	// waiting holds blocks parked at quiescence with pending atomics. They
+	// arrive roughly in spawn (block ID) order, so the round sort is an
+	// insertion sort over a near-sorted list.
+	waiting []*Block
 }
 
 func newEngine(d *Device, gridThreads int) *engine {
@@ -90,8 +92,8 @@ func (e *engine) beginWave(blocks int) {
 
 // awaitSpawnSlot blocks until the spawner may launch the next block of the
 // wave (window has room, or quiescence demands progress), then registers
-// the block's threads as runnable.
-func (e *engine) awaitSpawnSlot(window, tpb int) {
+// the block as active.
+func (e *engine) awaitSpawnSlot(window int) {
 	e.mu.Lock()
 	for e.inFlight >= window && !e.force {
 		e.spawnCond.Wait()
@@ -99,64 +101,38 @@ func (e *engine) awaitSpawnSlot(window, tpb int) {
 	e.force = false
 	e.inFlight++
 	e.unspawned--
-	e.active += tpb
+	e.activeBlocks++
 	e.mu.Unlock()
 }
 
-// blockDone retires a finished block, freeing a window slot.
+// blockDone retires a finished block, freeing a window slot. The retiring
+// block may have been the last active one, unblocking a pending round.
 func (e *engine) blockDone() {
 	e.mu.Lock()
 	e.inFlight--
+	e.activeBlocks--
 	e.spawnCond.Signal()
-	e.mu.Unlock()
-}
-
-// exitThread removes an exiting (returned or crash-unwound) thread from the
-// runnable set.
-func (e *engine) exitThread() {
-	e.mu.Lock()
-	e.active--
 	e.maybeTrigger()
 	e.mu.Unlock()
 }
 
-// parkBarrier removes a thread that is about to wait on its block barrier
-// from the runnable set. Called with the barrier's mutex held; the
-// bar.mu → eng.mu lock order is the only compound order in the engine.
-func (e *engine) parkBarrier() {
+// blockQuiescent records that every live thread of b is parked and at least
+// one is waiting on an atomic. The caller (b's baton holder) must block on
+// b.wake immediately after; the engine owns b's parked thread records until
+// it sends the wake token.
+func (e *engine) blockQuiescent(b *Block) {
 	e.mu.Lock()
-	e.active--
-	e.maybeTrigger()
-	e.mu.Unlock()
-}
-
-// unpark re-registers n threads that a barrier release is about to wake.
-// The accounting must precede the wake: a woken thread could otherwise
-// observe a stale quiescent state.
-func (e *engine) unpark(n int) {
-	if n <= 0 {
-		return
-	}
-	e.mu.Lock()
-	e.active += n
-	e.mu.Unlock()
-}
-
-// parkAtomic parks the calling thread at an atomic; the caller then blocks
-// on w.wake until a round commits it.
-func (e *engine) parkAtomic(w *atomicWait) {
-	e.mu.Lock()
-	e.pending = append(e.pending, w)
-	e.active--
+	e.waiting = append(e.waiting, b)
+	e.activeBlocks--
 	e.maybeTrigger()
 	e.mu.Unlock()
 }
 
 // maybeTrigger runs on every transition that can reach quiescence
-// (active == 0). Policy, in order: finish spawning the wave, then commit
-// the pending atomic round. Called with e.mu held.
+// (activeBlocks == 0). Policy, in order: finish spawning the wave, then
+// commit the pending atomic round. Called with e.mu held.
 func (e *engine) maybeTrigger() {
-	if e.active != 0 {
+	if e.activeBlocks != 0 {
 		return
 	}
 	if e.unspawned > 0 {
@@ -164,33 +140,49 @@ func (e *engine) maybeTrigger() {
 		e.spawnCond.Signal()
 		return
 	}
-	if len(e.pending) > 0 {
+	if len(e.waiting) > 0 {
 		e.runRound()
 	}
 }
 
 // runRound commits every pending atomic in canonical (block, thread) order
-// and wakes the waiters. All other threads of the wave are parked or
-// exited, so the reads and writes below are the only accesses in flight.
-// Called with e.mu held.
+// and wakes the waiting blocks. All other blocks of the wave have retired,
+// so the reads and writes below are the only accesses in flight. Called
+// with e.mu held; the mutex is also what publishes the per-thread operand
+// fields each block wrote before parking.
 func (e *engine) runRound() {
-	sort.Slice(e.pending, func(i, j int) bool {
-		a, b := e.pending[i].t, e.pending[j].t
-		if a.blk.id != b.blk.id {
-			return a.blk.id < b.blk.id
-		}
-		return a.id < b.id
-	})
+	// Blocks quiesce roughly in spawn order, so the list is near-sorted:
+	// insertion sort is O(n) here and skips sort.Slice's closure overhead.
+	sortBlocksByID(e.waiting)
 	sp := e.dev.Space
-	for _, w := range e.pending {
-		w.old = sp.ReadU32(w.addr)
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], w.f(w.old))
-		w.lines = sp.WriteGPUSeq(w.addr, b[:], w.seq)
+	for _, b := range e.waiting {
+		for _, t := range b.threads {
+			if t.state != tsAtomic {
+				continue
+			}
+			t.aOld = sp.ReadU32(t.aAddr)
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], t.aFn(t.aOld))
+			t.aLines = sp.WriteGPUSeqInto(t.aLines[:0], t.aAddr, buf[:], t.aSeq)
+		}
 	}
-	e.active += len(e.pending)
-	for _, w := range e.pending {
-		close(w.wake)
+	e.activeBlocks += len(e.waiting)
+	for _, b := range e.waiting {
+		b.wake <- struct{}{} // buffered; the baton holder is (or will be) receiving
 	}
-	e.pending = nil
+	e.waiting = e.waiting[:0]
+}
+
+// sortBlocksByID sorts a near-sorted block list by block ID (insertion
+// sort: linear on the already-ordered common case).
+func sortBlocksByID(bs []*Block) {
+	for i := 1; i < len(bs); i++ {
+		b := bs[i]
+		j := i - 1
+		for j >= 0 && bs[j].id > b.id {
+			bs[j+1] = bs[j]
+			j--
+		}
+		bs[j+1] = b
+	}
 }

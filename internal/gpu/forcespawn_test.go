@@ -1,0 +1,124 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/gpm-sim/gpm/internal/memsys"
+	"github.com/gpm-sim/gpm/internal/sim"
+)
+
+// forceSpawnRun drives the quiescence force-spawn path: 8 blocks whose
+// threads all park at atomics almost immediately, with a spawn window
+// (workers) smaller than the wave. Quiescence is reached while the wave is
+// partially spawned, so the engine must force-spawn the remaining blocks
+// before committing a round. Two atomics per thread make whole-wave rounds
+// observable: round one's old values are 0..gridThreads-1 in canonical
+// (block, thread) order, round two's continue at gridThreads — a round
+// committed over a partial wave would break the second round's values for
+// the early blocks.
+func forceSpawnRun(t *testing.T, workers int) (olds1, olds2, seqs []uint32, elapsed sim.Duration, seqBase uint64) {
+	t.Helper()
+	d := newDev(t)
+	d.SetWorkers(workers)
+	const blocks, tpb = 8, 32
+	grid := blocks * tpb
+	addr := memsys.PMBase
+	olds1 = make([]uint32, grid)
+	olds2 = make([]uint32, grid)
+	seqs = make([]uint32, 2*grid)
+	seqBase = d.Space.SeqMark()
+	res := d.Launch("forcespawn", blocks, tpb, func(th *Thread) {
+		g := th.GlobalID()
+		olds1[g] = th.AtomicAdd32(addr, 1)
+		seqs[g] = uint32(th.curSeq - seqBase)
+		olds2[g] = th.AtomicAdd32(addr, 1)
+		seqs[grid+g] = uint32(th.curSeq - seqBase)
+	})
+	elapsed = res.Elapsed
+	if got := d.Space.ReadU32(addr); got != uint32(2*grid) {
+		t.Fatalf("workers=%d: counter = %d, want %d", workers, got, 2*grid)
+	}
+	return olds1, olds2, seqs, elapsed, seqBase
+}
+
+// TestForceSpawnQuiescenceDeterminism checks the non-negotiable invariant
+// on the force-spawn path at workers 1, 2, and 8: atomic commit order is
+// canonical (block ID, thread ID) over the WHOLE wave, and every atomic's
+// PM write sequence number is its canonical program position — identical
+// for every worker count.
+func TestForceSpawnQuiescenceDeterminism(t *testing.T) {
+	const grid = 8 * 32
+	var ref1, ref2, refSeqs []uint32
+	var refElapsed sim.Duration
+	for _, workers := range []int{1, 2, 8} {
+		olds1, olds2, seqs, elapsed, _ := forceSpawnRun(t, workers)
+		for g := 0; g < grid; g++ {
+			// Round one commits all gridThreads adds in canonical order, so
+			// thread g observes exactly g; round two continues at grid+g.
+			if olds1[g] != uint32(g) {
+				t.Fatalf("workers=%d: round-1 old for thread %d = %d, want %d (commit order not canonical whole-wave)",
+					workers, g, olds1[g], g)
+			}
+			if olds2[g] != uint32(grid+g) {
+				t.Fatalf("workers=%d: round-2 old for thread %d = %d, want %d (round committed over a partial wave?)",
+					workers, g, olds2[g], grid+g)
+			}
+			// The atomic is thread g's op 1 (index opBase+g+1) and op 2
+			// (index opBase+grid+g+1); PM sequences must match those
+			// canonical positions, not any scheduling order.
+			if want := uint32(g + 1); seqs[g] != want {
+				t.Fatalf("workers=%d: round-1 seq for thread %d = %d, want %d", workers, g, seqs[g], want)
+			}
+			if want := uint32(grid + g + 1); seqs[grid+g] != want {
+				t.Fatalf("workers=%d: round-2 seq for thread %d = %d, want %d", workers, g, seqs[grid+g], want)
+			}
+		}
+		if ref1 == nil {
+			ref1, ref2, refSeqs, refElapsed = olds1, olds2, seqs, elapsed
+			continue
+		}
+		for g := range ref1 {
+			if olds1[g] != ref1[g] || olds2[g] != ref2[g] {
+				t.Fatalf("workers=%d: old values diverge from workers=1 at thread %d", workers, g)
+			}
+		}
+		for i := range refSeqs {
+			if seqs[i] != refSeqs[i] {
+				t.Fatalf("workers=%d: PM write sequences diverge from workers=1 at %d", workers, i)
+			}
+		}
+		if elapsed != refElapsed {
+			t.Fatalf("workers=%d: elapsed %v != workers=1 elapsed %v", workers, elapsed, refElapsed)
+		}
+	}
+}
+
+// TestForceSpawnWithStoresBetweenRounds interleaves per-thread PM stores
+// with the atomics so force-spawned rounds run against threads at different
+// program positions; the counter totals and store contents must still be
+// exact at every worker count.
+func TestForceSpawnWithStoresBetweenRounds(t *testing.T) {
+	const blocks, tpb = 8, 32
+	grid := blocks * tpb
+	for _, workers := range []int{1, 2, 8} {
+		d := newDev(t)
+		d.SetWorkers(workers)
+		ctr := memsys.PMBase
+		data := memsys.PMBase + 64
+		d.Launch("forcespawn-stores", blocks, tpb, func(th *Thread) {
+			g := th.GlobalID()
+			old := th.AtomicAdd32(ctr, 1)
+			th.StoreU32(data+uint64(4*g), old)
+			th.AtomicAdd32(ctr, 1)
+			th.FenceSystem()
+		})
+		for g := 0; g < grid; g++ {
+			if got := d.Space.ReadU32(data + uint64(4*g)); got != uint32(g) {
+				t.Fatalf("workers=%d: stored old for thread %d = %d, want %d", workers, g, got, g)
+			}
+		}
+		if got := d.Space.ReadU32(ctr); got != uint32(2*grid) {
+			t.Fatalf("workers=%d: counter = %d, want %d", workers, got, 2*grid)
+		}
+	}
+}

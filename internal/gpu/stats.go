@@ -1,8 +1,6 @@
 package gpu
 
 import (
-	"sync"
-
 	"github.com/gpm-sim/gpm/internal/sim"
 )
 
@@ -50,10 +48,11 @@ func (s *Stats) Clone() Stats {
 	return out
 }
 
-// kernelStats is the mutable accumulator shared by a kernel's blocks.
+// kernelStats accumulates one block's traffic. Each block owns its own
+// instance and is driven by a single baton holder at a time (see Block), so
+// no locking is needed; Launch folds the per-block instances together in
+// block-ID order after the wave joins.
 type kernelStats struct {
-	mu sync.Mutex
-
 	pmWriteBytes, pmWriteTxns int64
 	pmReadBytes, pmReadTxns   int64
 	hostWriteBytes            int64
@@ -62,18 +61,26 @@ type kernelStats struct {
 	hbmBytes                  int64
 	fences                    int64
 
-	serial map[uint32]sim.Duration
+	serial []sim.Duration // dense, indexed by resource id
 
 	pmWrites sim.AccessStats
 }
 
 func newStats() *kernelStats {
-	return &kernelStats{serial: make(map[uint32]sim.Duration)}
+	return &kernelStats{}
 }
 
-// merge folds one warp-replay batch into the kernel totals.
+// addSerial accumulates serialized time for a resource id.
+func (k *kernelStats) addSerial(id uint32, d sim.Duration) {
+	for int(id) >= len(k.serial) {
+		k.serial = append(k.serial, 0)
+	}
+	k.serial[id] += d
+}
+
+// merge folds one warp-replay batch into the block totals. Single-threaded:
+// only the block's baton holder calls it.
 func (k *kernelStats) merge(b *replayBatch) {
-	k.mu.Lock()
 	k.pmWriteBytes += b.pmWriteBytes
 	k.pmWriteTxns += b.pmWriteTxns
 	k.pmReadBytes += b.pmReadBytes
@@ -84,9 +91,10 @@ func (k *kernelStats) merge(b *replayBatch) {
 	k.hbmBytes += b.hbmBytes
 	k.fences += b.fences
 	for id, d := range b.serial {
-		k.serial[id] += d
+		if d != 0 {
+			k.addSerial(uint32(id), d)
+		}
 	}
-	k.mu.Unlock()
 	k.pmWrites.Merge(&b.pmWrites)
 }
 
@@ -106,14 +114,16 @@ func (k *kernelStats) mergeFrom(o *kernelStats) {
 	k.hbmBytes += o.hbmBytes
 	k.fences += o.fences
 	for id, d := range o.serial {
-		k.serial[id] += d
+		if d != 0 {
+			k.addSerial(uint32(id), d)
+		}
 	}
 	k.pmWrites.Merge(&o.pmWrites)
 }
 
+// snapshot converts the folded totals to the public Stats form. Runs after
+// the wave joins, on Launch's goroutine.
 func (k *kernelStats) snapshot(d *Device) Stats {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	st := Stats{
 		PMWriteBytes:   k.pmWriteBytes,
 		PMWriteTxns:    k.pmWriteTxns,
@@ -127,7 +137,9 @@ func (k *kernelStats) snapshot(d *Device) Stats {
 		Serial:         make(map[string]sim.Duration, len(k.serial)),
 	}
 	for id, dur := range k.serial {
-		st.Serial[d.resourceName(id)] += dur
+		if dur != 0 {
+			st.Serial[d.resourceName(uint32(id))] += dur
+		}
 	}
 	st.pmPattern = k.pmWrites.Snapshot()
 	return st

@@ -12,6 +12,10 @@ import (
 // It provides CUDA-thread semantics: identity within the execution
 // hierarchy, typed loads and stores into the unified address space, scoped
 // fences, a block barrier, and atomics.
+//
+// Threads of a block never execute concurrently (see Block): a thread runs
+// on its block's baton until it parks at a synchronization point, so all
+// per-thread and block-local state below is unlocked.
 type Thread struct {
 	blk  *Block
 	warp *warp
@@ -20,12 +24,29 @@ type Thread struct {
 
 	dirty []uint64 // virtual PM lines written since the last system fence
 
+	// Cooperative-scheduling state (owned by the block's baton holder; the
+	// engine reads the atomic operand fields under its round mutex while
+	// the block is quiescent).
+	state   threadState
+	started bool
+	resume  chan struct{} // baton handoff; allocated at first park
+
+	// Pending-atomic operands and results, staged across the park.
+	aAddr  uint64
+	aSeq   uint64
+	aFn    func(uint32) uint32
+	aOld   uint32
+	aLines []uint64
+
+	lineScratch []uint64            // reused dirty-line buffer for stores
+	seenLines   map[uint64]struct{} // reused dedupe scratch
+
 	// Canonical-index state (see engine.go). opIdx counts this thread's
 	// operations; each gets the launch-wide canonical index
 	// opBase + (opIdx-1)*gridThreads + globalID + 1 and the PM sequence
 	// seqBase + (index - opBase). lastExec is the highest index executed,
 	// abortedAt the index at which the fault injector unwound the thread
-	// (0 = none). Read by Launch after the join.
+	// (0 = none). Harvested by Block.finish.
 	opIdx     int64
 	lastExec  int64
 	abortedAt int64
@@ -88,18 +109,25 @@ func (t *Thread) trackDirty(lines []uint64) {
 	}
 	t.dirty = append(t.dirty, lines...)
 	if len(t.dirty) > 1<<16 {
-		t.dirty = dedupeLines(t.dirty)
+		t.dirty = t.dedupeLines(t.dirty)
 	}
 }
 
-func dedupeLines(lines []uint64) []uint64 {
-	seen := make(map[uint64]struct{}, len(lines))
+// dedupeLines removes duplicates in place, preserving first-occurrence
+// order (the order fault models observe). The scratch map is reused across
+// calls so the fence path allocates nothing in steady state.
+func (t *Thread) dedupeLines(lines []uint64) []uint64 {
+	if t.seenLines == nil {
+		t.seenLines = make(map[uint64]struct{}, len(lines))
+	} else {
+		clear(t.seenLines)
+	}
 	out := lines[:0]
 	for _, la := range lines {
-		if _, ok := seen[la]; ok {
+		if _, ok := t.seenLines[la]; ok {
 			continue
 		}
-		seen[la] = struct{}{}
+		t.seenLines[la] = struct{}{}
 		out = append(out, la)
 	}
 	return out
@@ -110,7 +138,9 @@ func dedupeLines(lines []uint64) []uint64 {
 // StoreBytes writes p at addr.
 func (t *Thread) StoreBytes(addr uint64, p []byte) {
 	t.checkCrash()
-	t.trackDirty(t.Space().WriteGPUSeq(addr, p, t.curSeq))
+	lines := t.Space().WriteGPUSeqInto(t.lineScratch[:0], addr, p, t.curSeq)
+	t.trackDirty(lines)
+	t.lineScratch = lines[:0]
 	t.log(laneOp{kind: opStore, addr: addr, size: uint32(len(p)), space: t.Space().KindOf(addr)})
 }
 
@@ -173,7 +203,7 @@ func (t *Thread) FenceSystem() {
 	t.checkCrash()
 	sp := t.Space()
 	ddioOff := sp.DDIOOff()
-	lines := dedupeLines(t.dirty)
+	lines := t.dedupeLines(t.dirty)
 	if ddioOff {
 		sp.PersistLinesSeq(lines, t.curSeq)
 	}
@@ -195,9 +225,15 @@ func (t *Thread) FenceBlock() {
 }
 
 // SyncBlock is __syncthreads(): all live threads of the block rendezvous.
+// The arriving thread parks; the barrier releases block-locally once every
+// live thread has arrived (threads parked at atomics count as "on their
+// way": the barrier waits through the atomic round).
 func (t *Thread) SyncBlock() {
 	t.checkCrash()
-	t.blk.bar.wait()
+	b := t.blk
+	b.arrived++
+	t.state = tsBarrier
+	b.park(t)
 }
 
 // Compute accounts d of pure computation on this thread.
@@ -235,20 +271,23 @@ func (t *Thread) HostPersistRange(addr uint64, n int) {
 
 // ---- Atomics ----
 
-// atomicApply32 parks the thread at the launch engine's arbiter. The
-// read-modify-write executes when every runnable thread of the wave has
-// parked or exited, in canonical (block, thread) order — so the value each
-// thread observes is identical for every worker count. The timing model is
-// unchanged: the operation is logged and costed at warp replay, exactly as
-// when atomics executed inline.
+// atomicApply32 parks the thread at its block. The read-modify-write
+// executes when every runnable thread of the wave has parked or exited, in
+// canonical (block, thread) order — so the value each thread observes is
+// identical for every worker count. The timing model is unchanged: the
+// operation is logged and costed at warp replay, exactly as when atomics
+// executed inline.
 func (t *Thread) atomicApply32(addr uint64, f func(uint32) uint32) (old uint32) {
 	t.checkCrash()
-	w := &atomicWait{t: t, addr: addr, f: f, seq: t.curSeq, wake: make(chan struct{})}
-	t.blk.eng.parkAtomic(w)
-	<-w.wake
-	t.trackDirty(w.lines)
+	b := t.blk
+	t.aAddr, t.aFn, t.aSeq = addr, f, t.curSeq
+	t.state = tsAtomic
+	b.nAtomic++
+	b.park(t)
+	t.aFn = nil
+	t.trackDirty(t.aLines)
 	t.log(laneOp{kind: opAtomic, addr: addr, size: 4, space: t.Space().KindOf(addr)})
-	return w.old
+	return t.aOld
 }
 
 // AtomicAdd32 atomically adds delta at addr and returns the old value.

@@ -1,8 +1,6 @@
 package gpu
 
 import (
-	"sort"
-
 	"github.com/gpm-sim/gpm/internal/memsys"
 	"github.com/gpm-sim/gpm/internal/sim"
 )
@@ -46,7 +44,8 @@ func newWarp(width int) *warp {
 }
 
 // replayBatch accumulates one replay's traffic before merging into the
-// kernel totals.
+// kernel totals. Blocks embed one and reuse it across flushes (reset), so
+// the replay hot path allocates nothing in steady state.
 type replayBatch struct {
 	pmWriteBytes, pmWriteTxns int64
 	pmReadBytes, pmReadTxns   int64
@@ -55,12 +54,26 @@ type replayBatch struct {
 	hostTxns                  int64
 	hbmBytes                  int64
 	fences                    int64
-	serial                    map[uint32]sim.Duration
+	serial                    []sim.Duration // dense, indexed by resource id
 	pmWrites                  sim.AccessStats
 }
 
-func newReplayBatch() *replayBatch {
-	return &replayBatch{serial: make(map[uint32]sim.Duration)}
+// reset clears the batch for reuse, keeping the serial slice's capacity.
+func (b *replayBatch) reset() {
+	serial := b.serial
+	for i := range serial {
+		serial[i] = 0
+	}
+	*b = replayBatch{serial: serial}
+}
+
+// addSerial accumulates serialized time for a resource id, growing the
+// dense slice on first sight of a new id.
+func (b *replayBatch) addSerial(id uint32, d sim.Duration) {
+	for int(id) >= len(b.serial) {
+		b.serial = append(b.serial, 0)
+	}
+	b.serial[id] += d
 }
 
 // replay drains the lane logs in lockstep order: step i pairs the i-th
@@ -84,7 +97,7 @@ func (w *warp) replay(p *sim.Params, batch *replayBatch) {
 				d := sim.Duration(float64(op.dur) * p.GPUComputeScale)
 				stepDur = sim.MaxDuration(stepDur, d)
 			case opSerial:
-				batch.serial[op.aux] += op.dur
+				batch.addSerial(op.aux, op.dur)
 			case opFence:
 				batch.fences++
 				var c sim.Duration
@@ -117,16 +130,7 @@ func (w *warp) replay(p *sim.Params, batch *replayBatch) {
 // step's latency contribution.
 func (w *warp) coalesce(p *sim.Params, batch *replayBatch) sim.Duration {
 	cb := uint64(p.CoalesceBytes)
-	sort.Slice(w.step, func(i, j int) bool {
-		a, b := &w.step[i], &w.step[j]
-		if a.kind != b.kind {
-			return a.kind < b.kind
-		}
-		if a.space != b.space {
-			return a.space < b.space
-		}
-		return a.addr < b.addr
-	})
+	sortStepOps(w.step)
 	var stepDur sim.Duration
 	i := 0
 	for i < len(w.step) {
@@ -195,4 +199,35 @@ func (w *warp) coalesce(p *sim.Params, batch *replayBatch) sim.Duration {
 		i = j
 	}
 	return stepDur
+}
+
+// stepLess is the coalescer's canonical (kind, space, addr) ordering.
+func stepLess(a, b *laneOp) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.space != b.space {
+		return a.space < b.space
+	}
+	return a.addr < b.addr
+}
+
+// sortStepOps orders a step's memory operations by (kind, space, addr).
+// Lane ops are generated near-sorted (ascending lane, usually ascending
+// address) and a step holds at most a warp's width of them, so insertion
+// sort beats sort.Slice here: linear on the common case and free of the
+// closure/interface overhead. The grouping pass only depends on the sorted
+// key order — equal-key ties carry identical (kind, space, addr) and
+// contribute the same bytes/span regardless of relative order — so the
+// outcome is identical to the previous sort.Slice.
+func sortStepOps(step []laneOp) {
+	for i := 1; i < len(step); i++ {
+		op := step[i]
+		j := i - 1
+		for j >= 0 && stepLess(&op, &step[j]) {
+			step[j+1] = step[j]
+			j--
+		}
+		step[j+1] = op
+	}
 }

@@ -298,15 +298,24 @@ func (s *Space) WriteGPU(addr uint64, p []byte) []uint64 {
 // WriteGPUSeq is WriteGPU with a caller-supplied canonical sequence number
 // (GPU threads stamp each store with its program position).
 func (s *Space) WriteGPUSeq(addr uint64, p []byte, seq uint64) []uint64 {
+	return s.WriteGPUSeqInto(nil, addr, p, seq)
+}
+
+// WriteGPUSeqInto is WriteGPUSeq appending the to-persist line addresses to
+// dst, so the GPU store hot path can reuse one scratch slice per thread.
+// The DDIO-on PM path still allocates fresh lines: the LLC event buffer
+// takes ownership of the slice it is handed, so scratch must not reach it.
+func (s *Space) WriteGPUSeqInto(dst []uint64, addr uint64, p []byte, seq uint64) []uint64 {
 	kind, off := s.resolve(addr, len(p))
 	switch kind {
 	case KindPM:
-		lines := s.PM.WriteSeq(off, p, seq)
 		if !s.ddioOff.Load() {
-			s.LLC.CacheLines(lines, seq)
-			return nil // the fence cannot persist LLC-resident lines
+			s.LLC.CacheLines(s.PM.WriteSeq(off, p, seq), seq)
+			return dst // the fence cannot persist LLC-resident lines
 		}
-		for i := range lines {
+		base := len(dst)
+		lines := s.PM.WriteSeqInto(dst, off, p, seq)
+		for i := base; i < len(lines); i++ {
 			lines[i] += PMBase
 		}
 		return lines
@@ -315,7 +324,7 @@ func (s *Space) WriteGPUSeq(addr uint64, p []byte, seq uint64) []uint64 {
 	case KindHBM:
 		copy(s.hbm.data[off:], p)
 	}
-	return nil
+	return dst
 }
 
 // WriteCPU performs a store issued by a CPU thread. PM stores land in the

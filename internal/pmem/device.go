@@ -162,14 +162,23 @@ func (d *Device) Write(addr uint64, p []byte) []uint64 {
 // goroutines executed the run. When concurrent writers touch the same line,
 // the line keeps the maximum sequence — also schedule-independent.
 func (d *Device) WriteSeq(addr uint64, p []byte, seq uint64) []uint64 {
+	return d.WriteSeqInto(nil, addr, p, seq)
+}
+
+// WriteSeqInto is WriteSeq appending the dirtied line addresses to dst,
+// letting hot-path callers (the GPU store path) reuse one scratch slice
+// instead of allocating per store. The returned slice may share dst's
+// backing array; callers that hand lines to an owning consumer (the LLC)
+// must not pass reused scratch.
+func (d *Device) WriteSeqInto(dst []uint64, addr uint64, p []byte, seq uint64) []uint64 {
 	d.check(addr, len(p))
 	if len(p) == 0 {
-		return nil
+		return dst
 	}
 	d.noteSeq(seq)
 	first := addr / d.line * d.line
 	last := (addr + uint64(len(p)) - 1) / d.line * d.line
-	lines := make([]uint64, 0, (last-first)/d.line+1)
+	lines := dst
 	for la := first; la <= last; la += d.line {
 		// Intersect the payload with this line.
 		start, end := la, la+d.line

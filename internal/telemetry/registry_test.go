@@ -249,3 +249,55 @@ func TestMergeMatchingMetrics(t *testing.T) {
 		t.Errorf("nil src Merge: %v", err)
 	}
 }
+
+// The parallel campaign driver hands each run its own registry, lets the
+// runs complete in any order the scheduler picks, and then folds the
+// registries into the aggregate in descriptor order. The aggregate —
+// including gauges, whose merge semantics are last-write-wins — must be a
+// function of that descriptor order alone, never of run completion order.
+// This pins the guarantee the block-granularity engine relies on: per-block
+// stats fold inside a run before its registry is ever merged, so the only
+// ordering that may matter is the serial merge loop itself.
+func TestMergeGaugeOrderIndependentOfCompletion(t *testing.T) {
+	const runs = 16
+	build := func(completionOrder []int) string {
+		tels := make([]*Registry, runs)
+		for i := range tels {
+			tels[i] = NewRegistry()
+		}
+		// Populate in the given "completion" order, concurrently, as the
+		// campaign worker pool would.
+		var wg sync.WaitGroup
+		for _, i := range completionOrder {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tels[i].Counter("runs").Inc()
+				tels[i].Gauge("last_depth").Set(int64(100 + i))
+				tels[i].Histogram("us", []int64{10, 100}).Observe(int64(i))
+			}(i)
+		}
+		wg.Wait()
+		// Fold in descriptor order, exactly like crash.Campaign.execute.
+		agg := NewRegistry()
+		for i := 0; i < runs; i++ {
+			if err := agg.Merge(tels[i]); err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+		}
+		return agg.TSV()
+	}
+	fwd := make([]int, runs)
+	rev := make([]int, runs)
+	for i := range fwd {
+		fwd[i] = i
+		rev[i] = runs - 1 - i
+	}
+	a, b := build(fwd), build(rev)
+	if a != b {
+		t.Fatalf("aggregate depends on run completion order:\n--- forward ---\n%s\n--- reverse ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "last_depth") || !strings.Contains(a, "115") {
+		t.Fatalf("gauge must take the LAST merged registry's value (115), got:\n%s", a)
+	}
+}

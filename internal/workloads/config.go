@@ -20,7 +20,8 @@ type Config struct {
 	// Workers bounds how many GPU threadblocks execute on real goroutines
 	// at once (0 = GOMAXPROCS). Simulated results are bit-identical for
 	// every value — Workers trades host wall-clock time only, and 1 is the
-	// determinism reference.
+	// determinism reference. Run rejects values outside [0, MaxWorkers];
+	// see ValidateWorkers.
 	Workers int
 
 	// Simulated memory region sizes (bytes). Sized to the scaled

@@ -38,6 +38,27 @@ func WithTelemetry(tel *telemetry.Telemetry) Option {
 	return func(o *runOptions) { o.cfg.Telemetry = tel }
 }
 
+// MaxWorkers is the largest accepted Config.Workers value. Each worker is
+// a spawn-window slot backed by real goroutines; anything past a few
+// thousand is certainly a typo'd or miscomputed value (e.g. a byte size
+// landing in a worker flag), and silently accepting it used to burn memory
+// on goroutine stacks without changing any result.
+const MaxWorkers = 4096
+
+// ValidateWorkers checks a worker-bound value: 0 means GOMAXPROCS,
+// 1..MaxWorkers are explicit bounds, anything else is an error. Run applies
+// it to Config.Workers; CLIs call it directly so flag errors surface as
+// exit 2 + usage before any simulation work.
+func ValidateWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d (0 = GOMAXPROCS; 1 = serial reference)", n)
+	}
+	if n > MaxWorkers {
+		return fmt.Errorf("workers must be <= %d, got %d (results are identical for every value; more workers than blocks buys nothing)", MaxWorkers, n)
+	}
+	return nil
+}
+
 // WithWorkers bounds how many GPU threadblocks execute on real goroutines
 // at once (0 = GOMAXPROCS). Simulated results are identical for every
 // value; workers trade wall-clock time only.
@@ -152,6 +173,9 @@ func RunWorkload(w Workload, opts ...Option) (*Report, error) {
 	o := runOptions{mode: GPM, cfg: DefaultConfig()}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if err := ValidateWorkers(o.cfg.Workers); err != nil {
+		return nil, fmt.Errorf("workloads: %w", err)
 	}
 	if o.plan != nil {
 		cr, ok := w.(Crasher)

@@ -1,0 +1,34 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// Worker bounds outside [0, MaxWorkers] used to be accepted silently (a
+// negative value fell back to GOMAXPROCS deep inside the device; an absurd
+// one allocated that many spawn-window slots). Both must now fail upfront.
+func TestValidateWorkers(t *testing.T) {
+	for _, n := range []int{0, 1, 8, MaxWorkers} {
+		if err := ValidateWorkers(n); err != nil {
+			t.Errorf("ValidateWorkers(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{-1, -100, MaxWorkers + 1, 1 << 30} {
+		if err := ValidateWorkers(n); err == nil {
+			t.Errorf("ValidateWorkers(%d) = nil, want error", n)
+		}
+	}
+}
+
+// Run must reject an invalid Config.Workers before any simulation work.
+func TestRunRejectsInvalidWorkers(t *testing.T) {
+	if _, err := RunWorkload(&fakeWorkload{}, WithWorkers(-3)); err == nil ||
+		!strings.Contains(err.Error(), "workers") {
+		t.Fatalf("RunWorkload with workers=-3: err = %v, want workers validation error", err)
+	}
+	if _, err := RunWorkload(&fakeWorkload{}, WithWorkers(MaxWorkers+5)); err == nil ||
+		!strings.Contains(err.Error(), "workers") {
+		t.Fatalf("RunWorkload with workers=%d: err = %v, want workers validation error", MaxWorkers+5, err)
+	}
+}
